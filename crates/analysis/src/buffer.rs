@@ -1,0 +1,124 @@
+//! Transparent buffer sizes (§4).
+//!
+//! A buffer size is *transparent* when the protocol can operate
+//! continuously without the buffer ever becoming the binding constraint.
+//! §4 shows:
+//!
+//! * **LAMS-DLC**: the sending buffer stabilises once the pipeline fills —
+//!   frames flow out at the same rate they flow in after one mean holding
+//!   time — so the transparent size is the arrivals during `H_frame`:
+//!   `B_LAMS = H_frame/t_f + t_proc/t_f` (sending + receiving sides).
+//! * **SR-HDLC**: *no* transparent size exists. Every window must be
+//!   resolved before the next opens; during each resolution gap the
+//!   sending buffer absorbs `gap/t_f` new frames it can never drain, so
+//!   occupancy grows without bound at sustained load (`B_HDLC = ∞`), and
+//!   the receiver additionally must hold up to a window for resequencing.
+
+use crate::holding::h_frame_lams;
+use crate::params::LinkParams;
+
+/// Transparent sending-buffer size for LAMS-DLC, in frames:
+/// `H_frame / t_f`.
+pub fn b_lams_sending(p: &LinkParams) -> f64 {
+    h_frame_lams(p) / p.t_f
+}
+
+/// Transparent receiving-buffer size for LAMS-DLC, in frames:
+/// `t_proc / t_f` (frames in processing; nothing is held for
+/// resequencing).
+pub fn b_lams_receiving(p: &LinkParams) -> f64 {
+    p.t_proc / p.t_f
+}
+
+/// Total transparent buffer size `B_LAMS` (§4).
+pub fn b_lams(p: &LinkParams) -> f64 {
+    b_lams_sending(p) + b_lams_receiving(p)
+}
+
+/// SR-HDLC transparent buffer size: none exists (`∞`, §4).
+pub fn b_hdlc(_p: &LinkParams) -> f64 {
+    f64::INFINITY
+}
+
+/// The *rate* at which the SR-HDLC sending buffer grows at saturation,
+/// in frames per second: during each window's resolution gap
+/// (`D_low(W) − W·t_f`) arrivals continue at `1/t_f` while departures
+/// stop, so each cycle of length `D_low(W)` accumulates `gap/t_f` frames.
+pub fn b_hdlc_growth_rate(p: &LinkParams) -> f64 {
+    let gap = crate::delivery::d_low_hdlc(p, p.w) - p.w as f64 * p.t_f;
+    let cycle = crate::delivery::d_low_hdlc(p, p.w);
+    (gap / p.t_f) / cycle
+}
+
+/// SR-HDLC receiving-buffer requirement: the window size (the receiver
+/// cannot release out-of-order frames upward).
+pub fn b_hdlc_receiving(p: &LinkParams) -> f64 {
+    p.w as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::LinkParams;
+
+    fn params() -> LinkParams {
+        LinkParams::paper_default()
+    }
+
+    #[test]
+    fn b_lams_finite_and_in_flight_scale() {
+        let p = params();
+        let b = b_lams(&p);
+        assert!(b.is_finite());
+        // Must at least cover the frames in flight over one RTT, and stay
+        // within a small multiple of it at low error rates.
+        let in_flight = p.r / p.t_f;
+        assert!(b > in_flight, "b={b} in_flight={in_flight}");
+        assert!(b < 10.0 * in_flight, "b={b} in_flight={in_flight}");
+    }
+
+    #[test]
+    fn b_hdlc_unbounded() {
+        assert!(b_hdlc(&params()).is_infinite());
+    }
+
+    #[test]
+    fn hdlc_growth_positive_even_error_free() {
+        // Even with a perfect channel the resolution gap (one RTT per
+        // window) forces growth at saturation.
+        let mut p = params();
+        p.p_f = 0.0;
+        p.p_c = 0.0;
+        assert!(b_hdlc_growth_rate(&p) > 0.0);
+    }
+
+    #[test]
+    fn b_lams_shrinks_with_checkpoint_interval() {
+        // §3.4: buffer control — a shorter W_cp reduces holding time and
+        // hence the transparent size.
+        let mut small = params();
+        small.i_cp = 1e-3;
+        let mut large = params();
+        large.i_cp = 20e-3;
+        assert!(b_lams(&small) < b_lams(&large));
+    }
+
+    #[test]
+    fn b_lams_grows_with_distance_and_error() {
+        let near = params();
+        let mut far = params();
+        far.r = 3.0 * near.r;
+        assert!(b_lams(&far) > b_lams(&near));
+        let noisy = params().with_residual_ber(1e-5, 1e-6, 8192, 512);
+        assert!(b_lams(&noisy) > b_lams(&near));
+    }
+
+    #[test]
+    fn receiving_sides_ordering() {
+        // LAMS receiving buffer is tiny (t_proc/t_f < 1 frame here);
+        // HDLC's is a full window.
+        let p = params();
+        assert!(b_lams_receiving(&p) < 1.0);
+        assert_eq!(b_hdlc_receiving(&p), p.w as f64);
+    }
+}

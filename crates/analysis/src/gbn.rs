@@ -1,0 +1,106 @@
+//! Go-Back-N closed-form model (the §1/§2 baseline the paper says is
+//! "often preferred despite its inferior performance").
+//!
+//! Classic result: with `a = R/(2·t_f)` half-round-trips of frames in
+//! flight, an error forces the sender to go back and resend the whole
+//! pipeline, `W_r = 1 + 2a` frames. For window `W ≥ W_r` (pipeline never
+//! starves):
+//!
+//! ```text
+//! η_GBN = (1 − P) / (1 + 2a·P)
+//! ```
+//!
+//! and for a window smaller than the pipeline the ceiling
+//! `W/(1 + 2a)` applies first. `P` is the per-frame retransmission
+//! probability — `P_F + P_C − P_F·P_C` for a pos-ack protocol, like
+//! SR-HDLC's.
+
+use crate::params::LinkParams;
+use crate::periods::p_r_hdlc;
+
+/// Frames in flight during one round trip: `2a = R / t_f`.
+pub fn pipeline_frames(p: &LinkParams) -> f64 {
+    p.r / p.t_f
+}
+
+/// GBN throughput efficiency with an ample window (`W ≥ 1 + 2a`).
+pub fn efficiency_gbn(p: &LinkParams) -> f64 {
+    let pr = p_r_hdlc(p);
+    let two_a = pipeline_frames(p);
+    let eta = (1.0 - pr) / (1.0 + two_a * pr);
+    // A window smaller than the pipeline caps utilisation first.
+    let window_cap = (p.w as f64 / (1.0 + two_a)).min(1.0);
+    eta.min(window_cap)
+}
+
+/// Frames *discarded* by the GBN receiver per frame error (§2.3's
+/// "waste"): everything in flight behind the error, ≈ `2a` at
+/// saturation.
+pub fn discards_per_error(p: &LinkParams) -> f64 {
+    pipeline_frames(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::LinkParams;
+    use crate::throughput::efficiency_lams;
+
+    fn params() -> LinkParams {
+        LinkParams::paper_default()
+    }
+
+    #[test]
+    fn error_free_gbn_is_window_or_line_limited() {
+        let mut p = params();
+        p.p_f = 0.0;
+        p.p_c = 0.0;
+        // W = 1024 > pipeline (~490): line-limited, η = 1.
+        assert!((efficiency_gbn(&p) - 1.0).abs() < 1e-12);
+        // Tiny window: ceiling W/(1+2a).
+        p.w = 100;
+        let cap = 100.0 / (1.0 + pipeline_frames(&p));
+        assert!((efficiency_gbn(&p) - cap).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gbn_collapses_on_long_links() {
+        // The §2.3 argument: on a long fat link every error throws away a
+        // pipeline of good frames, so η_GBN craters with distance × BER.
+        let p = params().with_residual_ber(1e-5, 1e-6, 8192, 512);
+        let eta = efficiency_gbn(&p);
+        // 2a ≈ 490, P ≈ 0.08 → η ≈ 0.92/40 ≈ 0.023.
+        assert!(eta < 0.05, "eta={eta}");
+        assert!(eta > 0.005, "eta={eta}");
+    }
+
+    #[test]
+    fn gbn_below_lams_everywhere_in_paper_band() {
+        for res in [1e-7, 1e-6, 1e-5] {
+            let p = params().with_residual_ber(res, res / 10.0, 8192, 512);
+            assert!(
+                efficiency_gbn(&p) < efficiency_lams(&p, 50_000),
+                "res={res}"
+            );
+        }
+    }
+
+    #[test]
+    fn discards_scale_with_distance() {
+        let near = params();
+        let mut far = params();
+        far.r = 3.0 * near.r;
+        assert!(discards_per_error(&far) > 2.9 * discards_per_error(&near));
+    }
+
+    #[test]
+    fn monotone_in_error_rate() {
+        let mut last = 1.1;
+        for res in [1e-8, 1e-7, 1e-6, 1e-5] {
+            let p = params().with_residual_ber(res, res / 10.0, 8192, 512);
+            let eta = efficiency_gbn(&p);
+            assert!(eta < last, "res={res}: {eta} !< {last}");
+            last = eta;
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Sender-side holding times (§4).
+//!
+//! The paper derives the LAMS-DLC mean holding time recursively:
+//!
+//! ```text
+//! H_frame = (1 − P_F)·H_succ + P_F·H_fail
+//! H_succ  = D_trans(1) = R + t_f + t_c + t_proc + (n̄_cp − ½)·I_cp
+//! H_fail  = H_succ + H_frame
+//! ⇒ H_frame = H_succ / (1 − P_F) = s̄_LAMS · H_succ
+//! ```
+//!
+//! For SR-HDLC the same recursion applies with the HDLC per-attempt
+//! resolution delay and retransmission probability — but there the
+//! per-attempt delay includes the timeout α on every failed attempt, and
+//! in the worst case (repeated ACK loss) the holding time of a *specific*
+//! frame is unbounded, which is the §2.3 argument for why HDLC's
+//! numbering cannot be bounded.
+
+use crate::params::LinkParams;
+use crate::periods::{n_bar_cp, s_bar_hdlc, s_bar_lams};
+
+/// LAMS-DLC holding time of a frame that succeeds on a given attempt:
+/// `H_succ = R + t_f + t_c + t_proc + (n̄_cp − ½)·I_cp`.
+pub fn h_succ_lams(p: &LinkParams) -> f64 {
+    p.r + p.t_f + p.t_c + p.t_proc + (n_bar_cp(p) - 0.5) * p.i_cp
+}
+
+/// LAMS-DLC mean holding time `H_frame = s̄_LAMS · H_succ` (§4).
+pub fn h_frame_lams(p: &LinkParams) -> f64 {
+    s_bar_lams(p) * h_succ_lams(p)
+}
+
+/// The worst-case (deterministic bound) holding time of any single LAMS
+/// sequence number: the resolving period
+/// `R + I_cp/2 + C_depth·I_cp` (§3.3) plus the serialization terms.
+pub fn h_bound_lams(p: &LinkParams) -> f64 {
+    p.r + 0.5 * p.i_cp + p.c_depth as f64 * p.i_cp + p.t_f + p.t_c + p.t_proc
+}
+
+/// SR-HDLC per-attempt resolution delay: a successful attempt resolves
+/// after `R + 2t_proc + t_c`; a failed attempt costs the timeout
+/// `t_out = R + α`.
+pub fn h_attempt_hdlc(p: &LinkParams) -> f64 {
+    let q = (1.0 - p.p_f) * (1.0 - p.p_c);
+    q * (p.r + 2.0 * p.t_proc + p.t_c) + (1.0 - q) * p.t_out()
+}
+
+/// SR-HDLC mean holding time: `s̄_HDLC` attempts, each paying the blended
+/// attempt delay plus the frame transmission.
+pub fn h_frame_hdlc(p: &LinkParams) -> f64 {
+    s_bar_hdlc(p) * (p.t_f + h_attempt_hdlc(p))
+}
+
+/// Probability that an SR-HDLC frame is still held after `k` attempts —
+/// `P_R^k`, which never reaches zero for `P_R > 0`: the §2.3 point that
+/// `H_frame^HDLC` is unbounded (each attempt reuses the *same* sequence
+/// number, so the number is pinned arbitrarily long).
+pub fn hdlc_holding_tail(p: &LinkParams, k: u32) -> f64 {
+    let pr = crate::periods::p_r_hdlc(p);
+    pr.powi(k as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::LinkParams;
+
+    fn params() -> LinkParams {
+        LinkParams::paper_default()
+    }
+
+    #[test]
+    fn recursion_fixed_point() {
+        // H_frame must satisfy the paper's recursion
+        // H = (1−P_F)·H_succ + P_F·(H_succ + H).
+        let p = params();
+        let h = h_frame_lams(&p);
+        let rec = (1.0 - p.p_f) * h_succ_lams(&p) + p.p_f * (h_succ_lams(&p) + h);
+        assert!((h - rec).abs() < 1e-12, "h={h} rec={rec}");
+    }
+
+    #[test]
+    fn error_free_holding_is_one_round() {
+        let mut p = params();
+        p.p_f = 0.0;
+        p.p_c = 0.0;
+        let expect = p.r + p.t_f + p.t_c + p.t_proc + 0.5 * p.i_cp;
+        assert!((h_frame_lams(&p) - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn holding_grows_with_checkpoint_interval() {
+        // §3.4 buffer control: decreasing W_cp decreases the holding time.
+        let mut small = params();
+        small.i_cp = 1e-3;
+        let mut large = params();
+        large.i_cp = 20e-3;
+        assert!(h_frame_lams(&small) < h_frame_lams(&large));
+    }
+
+    #[test]
+    fn lams_mean_holding_below_deterministic_bound_at_low_error() {
+        let p = params();
+        assert!(h_frame_lams(&p) < h_bound_lams(&p) * 2.0);
+        // And in the error-free limit, well below the bound.
+        let mut clean = params();
+        clean.p_f = 0.0;
+        clean.p_c = 0.0;
+        assert!(h_frame_lams(&clean) < h_bound_lams(&clean));
+    }
+
+    #[test]
+    fn hdlc_holds_longer_under_errors() {
+        // §3.3: a control-frame loss costs LAMS one I_cp but costs HDLC a
+        // full timeout. The effect dominates once control loss and the
+        // timeout slack are non-trivial (the LAMS-network regime: bursty
+        // channel eating NAKs, high mobility inflating α).
+        let mut p = params();
+        p.p_f = 0.01;
+        p.p_c = 0.10; // burst-degraded acknowledgement path
+        p.alpha = 50e-3;
+        assert!(
+            h_frame_hdlc(&p) > h_frame_lams(&p),
+            "hdlc={} lams={}",
+            h_frame_hdlc(&p),
+            h_frame_lams(&p)
+        );
+    }
+
+    #[test]
+    fn marginal_cost_of_control_loss_smaller_for_lams() {
+        // The §3.3 claim in differential form: raising P_C by the same
+        // amount raises the HDLC holding time more than the LAMS one.
+        let mut lo = params();
+        lo.p_c = 0.0;
+        let mut hi = params();
+        hi.p_c = 0.2;
+        let d_lams = h_frame_lams(&hi) - h_frame_lams(&lo);
+        let d_hdlc = h_frame_hdlc(&hi) - h_frame_hdlc(&lo);
+        assert!(d_hdlc > d_lams, "Δhdlc={d_hdlc} Δlams={d_lams}");
+    }
+
+    #[test]
+    fn hdlc_tail_never_vanishes() {
+        let p = params();
+        let mut last = 1.0;
+        for k in 1..50 {
+            let t = hdlc_holding_tail(&p, k);
+            assert!(t > 0.0, "tail vanished at k={k}");
+            assert!(t < last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn holding_monotone_in_rtt() {
+        let mut near = params();
+        near.r = 10e-3;
+        let mut far = params();
+        far.r = 60e-3;
+        assert!(h_frame_lams(&far) > h_frame_lams(&near));
+        assert!(h_frame_hdlc(&far) > h_frame_hdlc(&near));
+    }
+}

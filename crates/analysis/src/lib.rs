@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+//! # analysis
+//!
+//! The complete closed-form performance model from §4 of *The LAMS-DLC
+//! ARQ Protocol* (Ward & Choi, 1991), for both LAMS-DLC and the SR-HDLC
+//! baseline:
+//!
+//! * [`periods`] — retransmission probabilities `P_R`, mean period count
+//!   `s̄ = 1/(1−P_R)`, checkpoint count `n̄_cp`;
+//! * [`delivery`] — period lengths `D_trans`/`D_retrn` and the
+//!   low-traffic delivery time `D_low(N)`;
+//! * [`holding`] — sender holding times `H_frame` (the recursive
+//!   derivation) and HDLC's unbounded tail;
+//! * [`buffer`] — transparent buffer sizes: finite `B_LAMS`,
+//!   `B_HDLC = ∞` plus its growth rate;
+//! * [`throughput`] — the high-traffic `N_total` sub-period recursion,
+//!   `D_high`, and throughput efficiency `η`;
+//! * [`numbering`] — bounded LAMS numbering vs HDLC's error-dependent
+//!   requirement;
+//! * [`framesize`] — the optimal-frame-length tradeoff the §1 NBDT
+//!   discussion motivates (renumbering frees the frame size).
+//!
+//! Every function takes a [`LinkParams`], which can be built from the
+//! paper's parameterisation ([`LinkParams::paper_default`]), from raw
+//! channel BER via the FEC grades, or from an orbital
+//! [`orbit::LinkProfile`]. The experiment harness evaluates these
+//! alongside discrete-event simulations of the actual protocols to
+//! validate every curve.
+
+pub mod buffer;
+pub mod delivery;
+pub mod framesize;
+pub mod gbn;
+pub mod holding;
+pub mod numbering;
+pub mod params;
+pub mod periods;
+pub mod throughput;
+
+pub use params::{frame_error_prob, LinkParams};

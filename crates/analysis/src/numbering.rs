@@ -1,0 +1,106 @@
+//! Numbering-size requirements (§2.3, §3.3).
+//!
+//! A numbering scheme must uniquely identify every unacknowledged frame.
+//! The required number of distinct values is `H_frame / t_f` — the frames
+//! that can be outstanding during one holding time:
+//!
+//! * **LAMS-DLC** substitutes the *bounded* resolving period for
+//!   `H_frame` (a frame either resolves inside
+//!   `R + I_cp/2 + C_depth·I_cp` or the sender halts), so the numbering
+//!   size is finite and small;
+//! * **HDLC** pins one number to a frame until its positive ACK arrives —
+//!   an unbounded wait under repeated control loss — so no finite
+//!   numbering size suffices for continuous operation in the worst case;
+//!   in practice the window (and thus `M = 2W`) must scale with the link
+//!   frame length.
+
+use crate::params::LinkParams;
+
+/// LAMS-DLC required numbering size: resolving period over the frame
+/// time (§3.3).
+pub fn lams_numbering_size(p: &LinkParams) -> f64 {
+    let resolving = p.r + 0.5 * p.i_cp + p.c_depth as f64 * p.i_cp;
+    resolving / p.t_f
+}
+
+/// Minimum HDLC numbering size for continuous operation at a given
+/// confidence: the window must cover the link frame length, and the
+/// modulus must be at least twice the window; moreover each number stays
+/// pinned for `s̄_HDLC` round trips on average, growing with the error
+/// rate. `quantile` (e.g. 0.999) picks how much of the holding-time tail
+/// the numbering must cover.
+pub fn hdlc_numbering_size(p: &LinkParams, quantile: f64) -> f64 {
+    assert!((0.0..1.0).contains(&quantile));
+    let p_r = crate::periods::p_r_hdlc(p);
+    // Attempts needed so that P[still unresolved] ≤ 1 − quantile.
+    let attempts = if p_r <= 0.0 {
+        1.0
+    } else {
+        ((1.0 - quantile).ln() / p_r.ln()).max(1.0)
+    };
+    // Each attempt pins the number for about one timeout; numbers in
+    // flight during that span all need distinct values, and SR needs 2×.
+    let pinned = attempts * p.t_out();
+    2.0 * (pinned / p.t_f).max(p.w as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::LinkParams;
+
+    fn params() -> LinkParams {
+        LinkParams::paper_default()
+    }
+
+    #[test]
+    fn lams_size_is_bounded_and_modest() {
+        let p = params();
+        let n = lams_numbering_size(&p);
+        // Resolving period ≈ 26.7ms + 2.5ms + 15ms = 44.2ms over 27.3µs.
+        assert!(n > 1000.0 && n < 5000.0, "n={n}");
+    }
+
+    #[test]
+    fn lams_size_independent_of_error_rate() {
+        // The bound is deterministic — unlike HDLC it does not grow with
+        // the channel error rate.
+        let clean = params().with_residual_ber(1e-9, 1e-9, 8192, 512);
+        let noisy = params().with_residual_ber(1e-5, 1e-6, 8192, 512);
+        assert_eq!(lams_numbering_size(&clean), lams_numbering_size(&noisy));
+    }
+
+    #[test]
+    fn hdlc_size_grows_with_error_rate() {
+        let clean = params().with_residual_ber(1e-8, 1e-9, 8192, 512);
+        let noisy = params().with_residual_ber(1e-5, 1e-6, 8192, 512);
+        let q = 0.999999;
+        assert!(
+            hdlc_numbering_size(&noisy, q) > hdlc_numbering_size(&clean, q),
+            "noisy={} clean={}",
+            hdlc_numbering_size(&noisy, q),
+            hdlc_numbering_size(&clean, q)
+        );
+    }
+
+    #[test]
+    fn hdlc_size_grows_with_confidence() {
+        let p = params().with_residual_ber(1e-5, 1e-6, 8192, 512);
+        assert!(hdlc_numbering_size(&p, 0.999999) >= hdlc_numbering_size(&p, 0.9));
+    }
+
+    #[test]
+    fn hdlc_at_least_double_window() {
+        let p = params();
+        assert!(hdlc_numbering_size(&p, 0.9) >= 2.0 * p.w as f64);
+    }
+
+    #[test]
+    fn lams_size_scales_with_link_length() {
+        let mut near = params();
+        near.r = 13e-3; // 2,000 km
+        let mut far = params();
+        far.r = 67e-3; // 10,000 km
+        assert!(lams_numbering_size(&far) > lams_numbering_size(&near));
+    }
+}

@@ -1,0 +1,201 @@
+//! The parameter set of the §4 analysis.
+
+use fec::FecGrade;
+use orbit::LinkProfile;
+
+/// All quantities the closed-form model depends on. Times in seconds;
+/// probabilities dimensionless.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkParams {
+    /// Mean round-trip time `R`.
+    pub r: f64,
+    /// I-frame transmission time `t_f`.
+    pub t_f: f64,
+    /// Control-frame transmission time `t_c`.
+    pub t_c: f64,
+    /// Deterministic processing time `t_proc`.
+    pub t_proc: f64,
+    /// Checkpoint interval `I_cp` (= `W_cp`).
+    pub i_cp: f64,
+    /// Cumulation depth `C_depth`.
+    pub c_depth: u32,
+    /// HDLC timeout slack `α` (`t_out = R + α`).
+    pub alpha: f64,
+    /// HDLC window `W`.
+    pub w: u64,
+    /// Probability an I-frame is residually erroneous, `P_F`.
+    pub p_f: f64,
+    /// Probability a control frame is residually erroneous, `P_C`.
+    pub p_c: f64,
+}
+
+impl LinkParams {
+    /// The paper's representative operating point: 4,000 km link
+    /// (R ≈ 26.7 ms), 300 Mbps, 1 kB I-frames (8,192 info bits), 64-byte
+    /// control frames, residual BER 1e-6 on I-frames with the stronger
+    /// control FEC an order lower, `W_cp = 5 ms`, `C_depth = 3`,
+    /// `α = 10 ms`, HDLC window = 1024.
+    pub fn paper_default() -> Self {
+        let frame_bits = 8.0 * 1024.0;
+        let ctrl_bits = 8.0 * 64.0;
+        let rate = 300e6;
+        LinkParams {
+            r: 2.0 * 4000.0 / 299_792.458,
+            t_f: frame_bits / rate,
+            t_c: ctrl_bits / rate,
+            t_proc: 10e-6,
+            i_cp: 5e-3,
+            c_depth: 3,
+            alpha: 10e-3,
+            w: 1024,
+            p_f: frame_error_prob(1e-6, frame_bits as u64),
+            p_c: frame_error_prob(1e-7, ctrl_bits as u64),
+        }
+    }
+
+    /// Derive `P_F`/`P_C` from a raw channel BER via the two FEC grades
+    /// (assumption 4), holding the timing parameters fixed.
+    pub fn with_raw_ber(mut self, raw_ber: f64, frame_bits: u64, ctrl_bits: u64) -> Self {
+        self.p_f = FecGrade::IFRAME.frame_error_prob(raw_ber, frame_bits);
+        self.p_c = FecGrade::CFRAME.frame_error_prob(raw_ber, ctrl_bits);
+        self
+    }
+
+    /// Derive `P_F`/`P_C` directly from residual BERs (the paper's own
+    /// parameterisation: residual 1e-5–1e-7).
+    pub fn with_residual_ber(
+        mut self,
+        residual_i: f64,
+        residual_c: f64,
+        frame_bits: u64,
+        ctrl_bits: u64,
+    ) -> Self {
+        self.p_f = frame_error_prob(residual_i, frame_bits);
+        self.p_c = frame_error_prob(residual_c, ctrl_bits);
+        self
+    }
+
+    /// Take `R` and `α` from an orbital link profile
+    /// (`t_out = R + α`, §4).
+    pub fn with_profile(mut self, profile: &LinkProfile) -> Self {
+        self.r = profile.mean_rtt_s();
+        self.alpha = profile.alpha_s();
+        self
+    }
+
+    /// HDLC timeout `t_out = R + α`.
+    pub fn t_out(&self) -> f64 {
+        self.r + self.alpha
+    }
+
+    /// The paper's "link frame length": frames in transit at full rate,
+    /// `(D_link · T_data) / (V · L_frame)` — equivalently one-way
+    /// propagation over `t_f`.
+    pub fn link_frame_length(&self) -> f64 {
+        (self.r / 2.0) / self.t_f
+    }
+
+    /// Sanity-check ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("r", self.r),
+            ("t_f", self.t_f),
+            ("t_c", self.t_c),
+            ("i_cp", self.i_cp),
+        ] {
+            if v <= 0.0 || v.is_nan() {
+                return Err(format!("{name} must be positive, got {v}"));
+            }
+        }
+        if self.t_proc < 0.0 || self.alpha < 0.0 {
+            return Err("t_proc and alpha must be non-negative".into());
+        }
+        for (name, p) in [("p_f", self.p_f), ("p_c", self.p_c)] {
+            if !(0.0..1.0).contains(&p) {
+                return Err(format!("{name} must be in [0,1), got {p}"));
+            }
+        }
+        if self.c_depth == 0 || self.w == 0 {
+            return Err("c_depth and w must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// `1 - (1 - ber)^bits`, computed stably.
+pub fn frame_error_prob(ber: f64, bits: u64) -> f64 {
+    if ber <= 0.0 || bits == 0 {
+        0.0
+    } else if ber >= 1.0 {
+        1.0
+    } else {
+        1.0 - f64::exp(bits as f64 * f64::ln_1p(-ber))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_validates() {
+        LinkParams::paper_default().validate().unwrap();
+    }
+
+    #[test]
+    fn default_is_in_paper_regime() {
+        let p = LinkParams::paper_default();
+        // §2.1: 10–100 ms propagation, 2,000–10,000 km.
+        assert!(p.r > 10e-3 && p.r < 100e-3, "r={}", p.r);
+        // 1 kB at 300 Mbps ≈ 27 µs.
+        assert!((p.t_f - 27.3e-6).abs() < 1e-6);
+        // P_F ≈ 8.2e-3 at residual 1e-6 × 8192 bits.
+        assert!((p.p_f - 8.16e-3).abs() < 2e-4, "p_f={}", p.p_f);
+        assert!(p.p_c < p.p_f, "control frames must be better protected");
+    }
+
+    #[test]
+    fn link_frame_length_matches_definition() {
+        let p = LinkParams::paper_default();
+        // 4000 km one way at 300 Mbps, 8192-bit frames:
+        // 13.34 ms / 27.3 µs ≈ 489 frames in flight.
+        let lfl = p.link_frame_length();
+        assert!((lfl - 489.0).abs() < 5.0, "lfl={lfl}");
+    }
+
+    #[test]
+    fn with_residual_ber_sets_probs() {
+        let p = LinkParams::paper_default().with_residual_ber(1e-5, 1e-7, 8192, 512);
+        assert!((p.p_f - frame_error_prob(1e-5, 8192)).abs() < 1e-15);
+        assert!((p.p_c - frame_error_prob(1e-7, 512)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn with_raw_ber_uses_grades() {
+        let p = LinkParams::paper_default().with_raw_ber(5e-4, 8192, 512);
+        assert!(p.p_f > 0.0 && p.p_f < 1.0);
+        assert!(p.p_c < p.p_f);
+    }
+
+    #[test]
+    fn invalid_rejected() {
+        let mut p = LinkParams::paper_default();
+        p.p_f = 1.0;
+        assert!(p.validate().is_err());
+        let mut p = LinkParams::paper_default();
+        p.r = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = LinkParams::paper_default();
+        p.c_depth = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn frame_error_prob_limits() {
+        assert_eq!(frame_error_prob(0.0, 1000), 0.0);
+        assert_eq!(frame_error_prob(1e-6, 0), 0.0);
+        assert_eq!(frame_error_prob(1.0, 10), 1.0);
+        let p = frame_error_prob(1e-7, 8192);
+        assert!((p - 8.19e-4).abs() < 1e-5, "p={p}");
+    }
+}

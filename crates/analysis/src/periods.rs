@@ -1,0 +1,133 @@
+//! Retransmission probabilities and the mean period count `s̄` (§4).
+//!
+//! `S`, the number of (re)transmission periods needed to deliver one
+//! I-frame, is geometric with success probability `1 − P_R`:
+//!
+//! ```text
+//! Prob[S = k] = (1 − P_R) · P_R^(k−1),    s̄ = E[S] = 1 / (1 − P_R)
+//! ```
+//!
+//! The protocols differ only in `P_R`:
+//!
+//! * **LAMS-DLC** (pure NAK, cumulative reporting): an I-frame is resent
+//!   only if it was itself in error — `P_R = P_F`. A lost checkpoint does
+//!   not trigger retransmission because the next checkpoint repeats the
+//!   NAK (the probability that all `C_depth` reports fail, `P_C^C_depth`,
+//!   is negligible and is ignored here exactly as in the paper).
+//! * **SR-HDLC** (pos-ack + NAK): either a frame error *or* the loss of
+//!   the acknowledgement forces a retransmission —
+//!   `P_R = P_F + P_C − P_F·P_C`, in both the transmission and the
+//!   retransmission period (§4 derives them separately and they coincide).
+
+use crate::params::LinkParams;
+
+/// LAMS-DLC retransmission probability: `P_F`.
+pub fn p_r_lams(p: &LinkParams) -> f64 {
+    p.p_f
+}
+
+/// SR-HDLC retransmission probability: `P_F + P_C − P_F·P_C`.
+pub fn p_r_hdlc(p: &LinkParams) -> f64 {
+    p.p_f + p.p_c - p.p_f * p.p_c
+}
+
+/// `s̄ = 1 / (1 − P_R)` for LAMS-DLC.
+pub fn s_bar_lams(p: &LinkParams) -> f64 {
+    1.0 / (1.0 - p_r_lams(p))
+}
+
+/// `s̄ = 1 / (1 − P_R)` for SR-HDLC.
+pub fn s_bar_hdlc(p: &LinkParams) -> f64 {
+    1.0 / (1.0 - p_r_hdlc(p))
+}
+
+/// Mean number of checkpoint commands needed to acknowledge an I-frame:
+/// `n̄_cp = 1 / (1 − P_C)` (§4 — each lost checkpoint defers the
+/// acknowledgement by one interval).
+pub fn n_bar_cp(p: &LinkParams) -> f64 {
+    1.0 / (1.0 - p.p_c)
+}
+
+/// The paper's §2 motivating comparison: with piggybacked acks
+/// (`P_C = P_F`), a pos-ack scheme retransmits with probability
+/// `2·P_F − P_F²` versus `P_F` for pure NAK.
+pub fn p_r_posack_piggyback(p_f: f64) -> f64 {
+    2.0 * p_f - p_f * p_f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn params() -> LinkParams {
+        crate::params::LinkParams::paper_default()
+    }
+
+    #[test]
+    fn lams_beats_hdlc_whenever_commands_can_fail() {
+        let p = params();
+        assert!(p_r_lams(&p) < p_r_hdlc(&p));
+        assert!(s_bar_lams(&p) < s_bar_hdlc(&p));
+    }
+
+    #[test]
+    fn equal_when_control_is_perfect() {
+        let mut p = params();
+        p.p_c = 0.0;
+        assert_eq!(p_r_lams(&p), p_r_hdlc(&p));
+        assert_eq!(s_bar_lams(&p), s_bar_hdlc(&p));
+    }
+
+    #[test]
+    fn s_bar_error_free_is_one() {
+        let mut p = params();
+        p.p_f = 0.0;
+        p.p_c = 0.0;
+        assert_eq!(s_bar_lams(&p), 1.0);
+        assert_eq!(s_bar_hdlc(&p), 1.0);
+        assert_eq!(n_bar_cp(&p), 1.0);
+    }
+
+    #[test]
+    fn geometric_mean_formula() {
+        // s̄ at P_F = 0.5 is 2: on average two periods per frame.
+        let mut p = params();
+        p.p_f = 0.5;
+        assert!((s_bar_lams(&p) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn piggyback_comparison_from_section_2() {
+        let p_f = 0.01;
+        let pig = p_r_posack_piggyback(p_f);
+        assert!((pig - (2.0 * 0.01 - 0.0001)).abs() < 1e-15);
+        assert!(pig > p_f, "pos-ack at least doubles P_R for small P_F");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hdlc_p_r_dominates(p_f in 0.0..0.5f64, p_c in 0.0..0.5f64) {
+            let mut p = params();
+            p.p_f = p_f;
+            p.p_c = p_c;
+            let union = p_r_hdlc(&p);
+            prop_assert!(union >= p_r_lams(&p) - 1e-15);
+            prop_assert!(union <= p_f + p_c + 1e-15);
+            // Union bound identity: P(A ∪ B) for independent events.
+            prop_assert!((union - (1.0 - (1.0 - p_f) * (1.0 - p_c))).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_s_bar_monotone_in_error_rate(
+            a in 0.0..0.4f64,
+            delta in 0.0..0.4f64,
+        ) {
+            let mut lo = params();
+            lo.p_f = a;
+            let mut hi = params();
+            hi.p_f = a + delta;
+            prop_assert!(s_bar_lams(&hi) >= s_bar_lams(&lo) - 1e-12);
+        }
+    }
+}

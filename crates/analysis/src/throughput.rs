@@ -1,0 +1,236 @@
+//! High-traffic totals and throughput efficiency (§4).
+//!
+//! In high traffic LAMS-DLC overlaps retransmissions with new
+//! transmissions: the paper divides the transmission into sub-periods of
+//! `h = H_frame/t_f` frames and computes `N_total(N)`, the total frame
+//! transmissions (new + repeats) needed to deliver `N` new frames:
+//!
+//! ```text
+//! N_1 = h;   N_i = h − Σ_{j<i} N_j·P_R^{i−j}   (each sub-period's new
+//! frames share capacity with the repeats surfacing from earlier ones)
+//! ```
+//!
+//! SR-HDLC instead serialises: each window of `W` must fully resolve
+//! before the next opens, so `D_high^HDLC(N) = m·D_low(N_win) +
+//! D_low(r_w)` with `m = ⌊N/W⌋`, `r_w = N mod W`.
+
+use crate::delivery::{d_low_hdlc, d_low_lams};
+use crate::params::LinkParams;
+use crate::periods::{p_r_hdlc, p_r_lams};
+
+/// The paper's sub-period recursion: expected total transmissions
+/// (first + repeats) to deliver `n` new frames when each sub-period holds
+/// `h` frame slots and each transmission repeats with probability `p_r`.
+///
+/// The recursion is evaluated literally, then the residual repeat tail of
+/// frames still unresolved at the end is added (geometric continuation).
+/// As `n → ∞` this converges to `n·s̄` — each frame independently needs a
+/// geometric number of transmissions — which the tests verify.
+pub fn n_total(n: u64, h: f64, p_r: f64) -> f64 {
+    assert!(h > 0.0, "sub-period length must be positive");
+    assert!((0.0..1.0).contains(&p_r), "p_r out of [0,1): {p_r}");
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    // news[i]: new frames first-transmitted in sub-period i.
+    let mut news: Vec<f64> = Vec::new();
+    let mut sent_new = 0.0;
+    let mut total = 0.0;
+    while sent_new < n {
+        // Repeats surfacing this sub-period from every earlier one.
+        let i = news.len();
+        let repeats: f64 = news
+            .iter()
+            .enumerate()
+            .map(|(j, nj)| nj * p_r.powi((i - j) as i32))
+            .sum();
+        let capacity_for_new = (h - repeats).max(0.0);
+        let fresh = capacity_for_new.min(n - sent_new);
+        news.push(fresh);
+        sent_new += fresh;
+        total += fresh + repeats;
+        if fresh == 0.0 && repeats == 0.0 {
+            break; // numerical dead end (p_r ~ 0 pathology)
+        }
+    }
+    // Tail: every transmitted frame still repeats geometrically after the
+    // last counted sub-period.
+    let tail: f64 = news
+        .iter()
+        .enumerate()
+        .map(|(j, nj)| {
+            let k = news.len() - j;
+            // Σ_{m ≥ k+? } handled: repeats for offsets ≥ (len - j).
+            nj * p_r.powi(k as i32) / (1.0 - p_r)
+        })
+        .sum();
+    total + tail
+}
+
+/// LAMS-DLC sub-period length in frames: `h = H_frame / t_f`.
+pub fn h_lams(p: &LinkParams) -> f64 {
+    crate::holding::h_frame_lams(p) / p.t_f
+}
+
+/// `N_total` for LAMS-DLC delivering `n` frames.
+pub fn n_total_lams(p: &LinkParams, n: u64) -> f64 {
+    n_total(n, h_lams(p), p_r_lams(p))
+}
+
+/// `N_total` for one SR-HDLC window.
+pub fn n_total_hdlc_window(p: &LinkParams) -> f64 {
+    n_total(p.w, p.w as f64, p_r_hdlc(p))
+}
+
+/// LAMS-DLC high-traffic total time for `n` frames (§4):
+/// `D_high = D_low(N_total(n))` — retransmissions ride along with new
+/// traffic, so the clock is the serialised total transmissions plus one
+/// resolving tail (which `D_low` contributes).
+pub fn d_high_lams(p: &LinkParams, n: u64) -> f64 {
+    let total = n_total_lams(p, n).round() as u64;
+    d_low_lams(p, total)
+}
+
+/// SR-HDLC high-traffic total time for `n` frames (§4):
+/// `m·D_low(W) + D_low(r_w)`.
+pub fn d_high_hdlc(p: &LinkParams, n: u64) -> f64 {
+    let m = n / p.w;
+    let r_w = n % p.w;
+    let mut t = m as f64 * d_low_hdlc(p, p.w);
+    if r_w > 0 {
+        t += d_low_hdlc(p, r_w);
+    }
+    t
+}
+
+/// LAMS-DLC throughput in frames per second at high traffic:
+/// `η = N / D_high(N)` (§4).
+pub fn eta_lams_fps(p: &LinkParams, n: u64) -> f64 {
+    n as f64 / d_high_lams(p, n)
+}
+
+/// SR-HDLC throughput in frames per second at high traffic.
+pub fn eta_hdlc_fps(p: &LinkParams, n: u64) -> f64 {
+    n as f64 / d_high_hdlc(p, n)
+}
+
+/// Normalised efficiency in `[0, 1]`: fraction of the line rate carrying
+/// *new* user frames, `η·t_f`.
+pub fn efficiency_lams(p: &LinkParams, n: u64) -> f64 {
+    eta_lams_fps(p, n) * p.t_f
+}
+
+/// Normalised efficiency for SR-HDLC.
+pub fn efficiency_hdlc(p: &LinkParams, n: u64) -> f64 {
+    eta_hdlc_fps(p, n) * p.t_f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::LinkParams;
+    use crate::periods::{s_bar_hdlc, s_bar_lams};
+
+    fn params() -> LinkParams {
+        LinkParams::paper_default()
+    }
+
+    #[test]
+    fn n_total_error_free_is_n() {
+        assert!((n_total(1000, 50.0, 0.0) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn n_total_converges_to_n_times_s_bar() {
+        // Each frame needs a geometric number of transmissions; the
+        // sub-period accounting must agree asymptotically.
+        for p_r in [0.01, 0.05, 0.2] {
+            let n = 100_000u64;
+            let total = n_total(n, 500.0, p_r);
+            let expect = n as f64 / (1.0 - p_r);
+            let rel = (total - expect).abs() / expect;
+            assert!(rel < 0.01, "p_r={p_r}: total={total} expect={expect}");
+        }
+    }
+
+    #[test]
+    fn n_total_zero_frames() {
+        assert_eq!(n_total(0, 10.0, 0.1), 0.0);
+    }
+
+    #[test]
+    fn n_total_monotone_in_error() {
+        let a = n_total(10_000, 100.0, 0.01);
+        let b = n_total(10_000, 100.0, 0.1);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn lams_efficiency_increases_with_traffic() {
+        // §4's conclusion: η_LAMS grows with N because the fixed s̄·R tail
+        // amortises; HDLC pays the tail per window.
+        let p = params();
+        let e_small = efficiency_lams(&p, 2_000);
+        let e_large = efficiency_lams(&p, 200_000);
+        assert!(e_large > e_small, "small={e_small} large={e_large}");
+        assert!(e_large > 0.9, "LAMS should approach line rate: {e_large}");
+    }
+
+    #[test]
+    fn hdlc_efficiency_plateaus_below_lams() {
+        let p = params().with_residual_ber(1e-5, 1e-6, 8192, 512);
+        let n = 200_000;
+        let lams = efficiency_lams(&p, n);
+        let hdlc = efficiency_hdlc(&p, n);
+        assert!(
+            lams > hdlc,
+            "LAMS must win at high traffic: lams={lams} hdlc={hdlc}"
+        );
+        // HDLC is capped by the per-window stall: W·t_f / D_low(W).
+        let cap = p.w as f64 * p.t_f / crate::delivery::d_low_hdlc(&p, p.w);
+        assert!((hdlc - cap).abs() / cap < 0.05, "hdlc={hdlc} cap={cap}");
+    }
+
+    #[test]
+    fn efficiencies_bounded() {
+        let p = params();
+        for n in [100u64, 10_000, 1_000_000] {
+            for e in [efficiency_lams(&p, n), efficiency_hdlc(&p, n)] {
+                assert!(e > 0.0 && e <= 1.0 + 1e-9, "e={e} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn lams_wins_across_the_paper_ber_band() {
+        // Who-wins shape: at high traffic LAMS leads at every residual
+        // BER in the paper's 1e-7..1e-5 band, by roughly the window-stall
+        // factor (~2× at W ≈ one bandwidth-delay product).
+        let n = 100_000;
+        for res in [1e-7, 1e-6, 1e-5] {
+            let p = params().with_residual_ber(res, res / 10.0, 8192, 512);
+            let ratio = efficiency_lams(&p, n) / efficiency_hdlc(&p, n);
+            assert!(ratio > 1.5, "res={res}: ratio={ratio}");
+            assert!(ratio < 4.0, "res={res}: implausible ratio={ratio}");
+        }
+    }
+
+    #[test]
+    fn hdlc_degrades_as_window_shrinks_relative_to_bdp() {
+        // The window stall dominates when W·t_f ≪ R: shrinking the window
+        // collapses HDLC's ceiling while LAMS is unaffected.
+        let n = 100_000;
+        let big = params();
+        let mut small = params();
+        small.w = 256;
+        assert!(efficiency_hdlc(&small, n) < efficiency_hdlc(&big, n) * 0.6);
+        assert!((efficiency_lams(&small, n) - efficiency_lams(&big, n)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn s_bar_consistency_between_modules() {
+        let p = params();
+        assert!(s_bar_hdlc(&p) > s_bar_lams(&p));
+    }
+}

@@ -1,0 +1,66 @@
+//! Closed-form model benchmarks: every §4 expression, including the
+//! `N_total` sub-period recursion at realistic sizes.
+
+use analysis::buffer::{b_hdlc_growth_rate, b_lams};
+use analysis::delivery::{d_low_hdlc, d_low_lams};
+use analysis::holding::{h_frame_hdlc, h_frame_lams};
+use analysis::numbering::{hdlc_numbering_size, lams_numbering_size};
+use analysis::periods::{s_bar_hdlc, s_bar_lams};
+use analysis::throughput::{
+    d_high_hdlc, d_high_lams, efficiency_hdlc, efficiency_lams, n_total,
+};
+use analysis::LinkParams;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn full_model(c: &mut Criterion) {
+    let p = LinkParams::paper_default();
+    c.bench_function("analysis/full_suite_one_point", |b| {
+        b.iter(|| {
+            let p = black_box(&p);
+            black_box((
+                s_bar_lams(p),
+                s_bar_hdlc(p),
+                d_low_lams(p, 1000),
+                d_low_hdlc(p, 1000),
+                h_frame_lams(p),
+                h_frame_hdlc(p),
+                b_lams(p),
+                b_hdlc_growth_rate(p),
+                lams_numbering_size(p),
+                hdlc_numbering_size(p, 0.999999),
+            ))
+        })
+    });
+}
+
+fn n_total_recursion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis/n_total");
+    for n in [1_000u64, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| n_total(black_box(n), 500.0, 0.05))
+        });
+    }
+    g.finish();
+}
+
+fn throughput_curves(c: &mut Criterion) {
+    let p = LinkParams::paper_default();
+    c.bench_function("analysis/eta_sweep_20_points", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 1..=20u64 {
+                let n = k * 5_000;
+                acc += efficiency_lams(black_box(&p), n);
+                acc += efficiency_hdlc(black_box(&p), n);
+            }
+            acc
+        })
+    });
+    c.bench_function("analysis/d_high_100k", |b| {
+        b.iter(|| (d_high_lams(black_box(&p), 100_000), d_high_hdlc(black_box(&p), 100_000)))
+    });
+}
+
+criterion_group!(benches, full_model, n_total_recursion, throughput_curves);
+criterion_main!(benches);

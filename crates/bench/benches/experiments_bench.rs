@@ -1,0 +1,79 @@
+//! One bench per paper artifact: each target regenerates the
+//! corresponding table/figure kernel (quick-sized) — run
+//! `cargo bench -p bench --bench experiments_bench` to time the full
+//! regeneration, or `cargo run -p harness --bin repro` to print the
+//! results themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::experiments;
+use std::hint::black_box;
+
+fn bench_experiment(c: &mut Criterion, id: &'static str) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function(id, |b| {
+        b.iter(|| {
+            let out = experiments::run_by_id(black_box(id), true).expect("known id");
+            black_box(out.tables.len())
+        })
+    });
+    g.finish();
+}
+
+fn e1(c: &mut Criterion) {
+    bench_experiment(c, "e1");
+}
+fn e2(c: &mut Criterion) {
+    bench_experiment(c, "e2");
+}
+fn e3(c: &mut Criterion) {
+    bench_experiment(c, "e3");
+}
+fn e4(c: &mut Criterion) {
+    bench_experiment(c, "e4");
+}
+fn e5(c: &mut Criterion) {
+    bench_experiment(c, "e5");
+}
+fn e6(c: &mut Criterion) {
+    bench_experiment(c, "e6");
+}
+fn e7(c: &mut Criterion) {
+    bench_experiment(c, "e7");
+}
+fn e8(c: &mut Criterion) {
+    bench_experiment(c, "e8");
+}
+fn e9(c: &mut Criterion) {
+    bench_experiment(c, "e9");
+}
+fn e10(c: &mut Criterion) {
+    bench_experiment(c, "e10");
+}
+fn e11(c: &mut Criterion) {
+    bench_experiment(c, "e11");
+}
+fn e12(c: &mut Criterion) {
+    bench_experiment(c, "e12");
+}
+fn e13(c: &mut Criterion) {
+    bench_experiment(c, "e13");
+}
+fn e14(c: &mut Criterion) {
+    bench_experiment(c, "e14");
+}
+fn e15(c: &mut Criterion) {
+    bench_experiment(c, "e15");
+}
+fn e16(c: &mut Criterion) {
+    bench_experiment(c, "e16");
+}
+fn e17(c: &mut Criterion) {
+    bench_experiment(c, "e17");
+}
+
+criterion_group!(
+    benches, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13, e14, e15,
+    e16, e17
+);
+criterion_main!(benches);

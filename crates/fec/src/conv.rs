@@ -1,0 +1,128 @@
+//! Convolutional encoder.
+//!
+//! The paper builds on Paul et al.'s laser-link codec, a convolutional code
+//! with interleaving that converts mispointing burst errors into random
+//! errors and achieves a residual BER around 1e-7. We implement the
+//! standard rate-1/2, constraint-length-7 code (generators 171/133 octal —
+//! the CCSDS/"Voyager" code of that era) with zero-tail termination, and a
+//! hard-decision Viterbi decoder in [`crate::viterbi`].
+
+use crate::bits::BitBuf;
+
+/// Rate-1/2 convolutional code parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvCode {
+    /// Constraint length K (number of taps including the current bit).
+    pub constraint: u32,
+    /// First generator polynomial (bit i = tap on delay i), e.g. 0o171.
+    pub g1: u32,
+    /// Second generator polynomial, e.g. 0o133.
+    pub g2: u32,
+}
+
+/// The standard K=7 (171, 133) code used throughout this workspace.
+pub const CCSDS_K7: ConvCode = ConvCode { constraint: 7, g1: 0o171, g2: 0o133 };
+
+impl ConvCode {
+    /// Number of trellis states, `2^(K-1)`.
+    pub fn num_states(&self) -> usize {
+        1 << (self.constraint - 1)
+    }
+
+    /// Encode `input`, appending `K-1` zero tail bits to return the encoder
+    /// to the all-zero state. Output length is `2 * (input.len() + K - 1)`.
+    pub fn encode(&self, input: &BitBuf) -> BitBuf {
+        let tail = (self.constraint - 1) as usize;
+        let mut out = BitBuf::with_capacity(2 * (input.len() + tail));
+        let mut shift: u32 = 0; // bit 0 = most recent input bit
+        let mask = (1u32 << self.constraint) - 1;
+        let push_bit = |shift: u32, out: &mut BitBuf| {
+            out.push(((shift & self.g1).count_ones() & 1) == 1);
+            out.push(((shift & self.g2).count_ones() & 1) == 1);
+        };
+        for bit in input.iter().chain(core::iter::repeat_n(false, tail)) {
+            shift = ((shift << 1) | bit as u32) & mask;
+            push_bit(shift, &mut out);
+        }
+        out
+    }
+
+    /// For trellis construction: given the current state (the last `K-1`
+    /// input bits, most recent in the low bit) and a new input bit, return
+    /// `(next_state, symbol)` where `symbol` packs the two output bits as
+    /// `g1_out << 1 | g2_out`.
+    pub fn step(&self, state: u32, input: bool) -> (u32, u8) {
+        let mask_state = (1u32 << (self.constraint - 1)) - 1;
+        let shift = (state << 1) | input as u32;
+        let full = shift & ((1u32 << self.constraint) - 1);
+        let o1 = ((full & self.g1).count_ones() & 1) as u8;
+        let o2 = ((full & self.g2).count_ones() & 1) as u8;
+        (shift & mask_state, (o1 << 1) | o2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_length() {
+        let input = BitBuf::from_bytes(&[0xAB, 0xCD]);
+        let out = CCSDS_K7.encode(&input);
+        assert_eq!(out.len(), 2 * (16 + 6));
+    }
+
+    #[test]
+    fn all_zero_input_encodes_to_all_zero() {
+        let input = BitBuf::from_bits(&[false; 20]);
+        let out = CCSDS_K7.encode(&input);
+        assert!(out.iter().all(|b| !b));
+    }
+
+    #[test]
+    fn encoder_is_linear() {
+        // Convolutional codes are linear: enc(a) XOR enc(b) == enc(a XOR b).
+        let a = BitBuf::from_bytes(&[0x3C, 0x71]);
+        let b = BitBuf::from_bytes(&[0x9E, 0x04]);
+        let xor: BitBuf = a.iter().zip(b.iter()).map(|(x, y)| x ^ y).collect();
+        let ea = CCSDS_K7.encode(&a);
+        let eb = CCSDS_K7.encode(&b);
+        let exor = CCSDS_K7.encode(&xor);
+        let combined: BitBuf = ea.iter().zip(eb.iter()).map(|(x, y)| x ^ y).collect();
+        assert_eq!(combined, exor);
+    }
+
+    #[test]
+    fn step_matches_encode() {
+        let input = BitBuf::from_bits(&[true, false, true, true, false]);
+        let enc = CCSDS_K7.encode(&input);
+        let mut state = 0u32;
+        let mut via_step = BitBuf::new();
+        let tail = (CCSDS_K7.constraint - 1) as usize;
+        for bit in input.iter().chain(core::iter::repeat_n(false, tail)) {
+            let (next, sym) = CCSDS_K7.step(state, bit);
+            via_step.push(sym & 0b10 != 0);
+            via_step.push(sym & 0b01 != 0);
+            state = next;
+        }
+        assert_eq!(via_step, enc);
+        assert_eq!(state, 0, "zero tail must terminate in state 0");
+    }
+
+    #[test]
+    fn known_impulse_response() {
+        // A single 1 followed by zeros produces the generator sequences.
+        let input = BitBuf::from_bits(&[true]);
+        let out = CCSDS_K7.encode(&input);
+        // First symbol pair: input bit just entered; shift register = 0000001.
+        // g1 = 0o171 = 1111001b → tap on bit0 = 1; g2 = 0o133 = 1011011b → bit0 = 1.
+        assert!(out.get(0));
+        assert!(out.get(1));
+        assert_eq!(out.len(), 2 * 7);
+    }
+
+    #[test]
+    fn num_states() {
+        assert_eq!(CCSDS_K7.num_states(), 64);
+    }
+}

@@ -1,0 +1,196 @@
+//! Frame check sequences.
+//!
+//! HDLC and LAMS-DLC frames both carry a CRC so the receiver can treat any
+//! corruption as a *detectable* error (paper assumption 9: frame losses are
+//! detectable errors; undetectable CRC violations are out of scope).
+//!
+//! Two generators are provided:
+//!
+//! * [`Crc16Ccitt`] — the X.25/HDLC FCS (poly 0x1021, reflected, init
+//!   0xFFFF, final XOR 0xFFFF), used for control frames;
+//! * [`Crc32`] — IEEE 802.3 (poly 0x04C11DB7 reflected), used for I-frames
+//!   whose payloads are large enough that 16 bits of check would leave a
+//!   non-negligible undetected-error rate.
+
+/// Table-driven CRC-16/X.25 (the HDLC frame check sequence).
+pub struct Crc16Ccitt;
+
+/// Table-driven CRC-32 (IEEE 802.3).
+pub struct Crc32;
+
+const fn make_table_16() -> [u16; 256] {
+    // Reflected polynomial for 0x1021 is 0x8408.
+    let mut table = [0u16; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u16;
+        let mut b = 0;
+        while b < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0x8408 } else { crc >> 1 };
+            b += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const fn make_table_32() -> [u32; 256] {
+    // Reflected polynomial for 0x04C11DB7 is 0xEDB88320.
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut b = 0;
+        while b < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            b += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE_16: [u16; 256] = make_table_16();
+static TABLE_32: [u32; 256] = make_table_32();
+
+impl Crc16Ccitt {
+    /// Compute the FCS over `data`.
+    pub fn checksum(data: &[u8]) -> u16 {
+        let mut crc: u16 = 0xFFFF;
+        for &byte in data {
+            let idx = ((crc ^ byte as u16) & 0xFF) as usize;
+            crc = (crc >> 8) ^ TABLE_16[idx];
+        }
+        crc ^ 0xFFFF
+    }
+
+    /// Verify `data` whose trailing two bytes are the little-endian FCS.
+    pub fn verify(data_with_fcs: &[u8]) -> bool {
+        if data_with_fcs.len() < 2 {
+            return false;
+        }
+        let (data, fcs) = data_with_fcs.split_at(data_with_fcs.len() - 2);
+        let expect = u16::from_le_bytes([fcs[0], fcs[1]]);
+        Self::checksum(data) == expect
+    }
+
+    /// Append the FCS (little-endian) to `data`.
+    pub fn append(data: &mut Vec<u8>) {
+        let fcs = Self::checksum(data);
+        data.extend_from_slice(&fcs.to_le_bytes());
+    }
+}
+
+impl Crc32 {
+    /// Compute the CRC-32 over `data`.
+    pub fn checksum(data: &[u8]) -> u32 {
+        let mut crc: u32 = 0xFFFF_FFFF;
+        for &byte in data {
+            let idx = ((crc ^ byte as u32) & 0xFF) as usize;
+            crc = (crc >> 8) ^ TABLE_32[idx];
+        }
+        crc ^ 0xFFFF_FFFF
+    }
+
+    /// Verify `data` whose trailing four bytes are the little-endian CRC.
+    pub fn verify(data_with_crc: &[u8]) -> bool {
+        if data_with_crc.len() < 4 {
+            return false;
+        }
+        let (data, crc) = data_with_crc.split_at(data_with_crc.len() - 4);
+        let expect = u32::from_le_bytes([crc[0], crc[1], crc[2], crc[3]]);
+        Self::checksum(data) == expect
+    }
+
+    /// Append the CRC (little-endian) to `data`.
+    pub fn append(data: &mut Vec<u8>) {
+        let crc = Self::checksum(data);
+        data.extend_from_slice(&crc.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Standard check values: CRC-16/X.25("123456789") = 0x906E,
+    // CRC-32/ISO-HDLC("123456789") = 0xCBF43926.
+    #[test]
+    fn crc16_check_value() {
+        assert_eq!(Crc16Ccitt::checksum(b"123456789"), 0x906E);
+    }
+
+    #[test]
+    fn crc32_check_value() {
+        assert_eq!(Crc32::checksum(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc16_append_verify_roundtrip() {
+        let mut data = b"hello LAMS".to_vec();
+        Crc16Ccitt::append(&mut data);
+        assert!(Crc16Ccitt::verify(&data));
+    }
+
+    #[test]
+    fn crc32_append_verify_roundtrip() {
+        let mut data = vec![0u8; 1024];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i * 7) as u8;
+        }
+        Crc32::append(&mut data);
+        assert!(Crc32::verify(&data));
+    }
+
+    #[test]
+    fn crc16_detects_single_bit_flip() {
+        let mut data = b"payload bytes".to_vec();
+        Crc16Ccitt::append(&mut data);
+        for i in 0..data.len() * 8 {
+            let mut corrupted = data.clone();
+            corrupted[i / 8] ^= 0x80 >> (i % 8);
+            assert!(!Crc16Ccitt::verify(&corrupted), "missed flip at bit {i}");
+        }
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flip() {
+        let mut data = vec![0xA5; 64];
+        Crc32::append(&mut data);
+        for i in 0..data.len() * 8 {
+            let mut corrupted = data.clone();
+            corrupted[i / 8] ^= 0x80 >> (i % 8);
+            assert!(!Crc32::verify(&corrupted), "missed flip at bit {i}");
+        }
+    }
+
+    #[test]
+    fn crc16_detects_burst_up_to_16_bits() {
+        let mut data = b"burst error detection test".to_vec();
+        Crc16Ccitt::append(&mut data);
+        // Any burst of length <= 16 bits is detected by a 16-bit CRC.
+        for start in 0..(data.len() * 8 - 16) {
+            let mut corrupted = data.clone();
+            for bit in start..start + 16 {
+                corrupted[bit / 8] ^= 0x80 >> (bit % 8);
+            }
+            assert!(!Crc16Ccitt::verify(&corrupted), "missed burst at {start}");
+        }
+    }
+
+    #[test]
+    fn verify_too_short() {
+        assert!(!Crc16Ccitt::verify(&[0x01]));
+        assert!(!Crc32::verify(&[0x01, 0x02, 0x03]));
+    }
+
+    #[test]
+    fn empty_payload() {
+        let mut data = Vec::new();
+        Crc16Ccitt::append(&mut data);
+        assert_eq!(data.len(), 2);
+        assert!(Crc16Ccitt::verify(&data));
+    }
+}

@@ -1,0 +1,164 @@
+//! Block interleaving.
+//!
+//! Paul et al.'s laser-link codec — which the paper takes as its FEC
+//! substrate — uses interleaving to convert burst errors (antenna
+//! mispointing, tracking loss) into scattered random errors the
+//! convolutional code can correct. A classic `rows × cols` block
+//! interleaver: write row-wise, read column-wise. A burst of length `b` on
+//! the channel lands at least `rows` positions apart after deinterleaving,
+//! so any burst up to `rows` bits looks like isolated single errors.
+
+use crate::bits::BitBuf;
+
+/// A `rows × cols` block interleaver.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockInterleaver {
+    rows: usize,
+    cols: usize,
+}
+
+impl BlockInterleaver {
+    /// Create an interleaver with the given geometry. A burst of up to
+    /// `rows` channel bits is spread to single errors `cols` apart.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "interleaver dimensions must be positive");
+        BlockInterleaver { rows, cols }
+    }
+
+    /// Bits per block.
+    pub fn block_len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Interleave `input`. The input is processed in blocks of
+    /// [`Self::block_len`]; a final partial block is padded with zeros
+    /// (the original length is restored by [`Self::deinterleave`] given the
+    /// same length).
+    pub fn interleave(&self, input: &BitBuf) -> BitBuf {
+        self.permute(input, /*forward=*/ true)
+    }
+
+    /// Inverse of [`Self::interleave`]. `input.len()` must equal the
+    /// interleaved length (a whole number of blocks); the caller truncates
+    /// to the original message length.
+    pub fn deinterleave(&self, input: &BitBuf) -> BitBuf {
+        self.permute(input, /*forward=*/ false)
+    }
+
+    fn permute(&self, input: &BitBuf, forward: bool) -> BitBuf {
+        let block = self.block_len();
+        let n_blocks = input.len().div_ceil(block);
+        let mut out = BitBuf::with_capacity(n_blocks * block);
+        for b in 0..n_blocks {
+            let base = b * block;
+            for i in 0..block {
+                // Forward: output position i reads input at transpose(i).
+                let (r, c) = (i / self.cols, i % self.cols);
+                let src_in_block = if forward {
+                    // write row-wise, read column-wise
+                    (i % self.rows) * self.cols + i / self.rows
+                } else {
+                    c * self.rows + r
+                };
+                let src = base + src_in_block;
+                out.push(src < input.len() && input.get(src));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::CCSDS_K7;
+    use crate::viterbi::Viterbi;
+
+    #[test]
+    fn roundtrip_exact_block() {
+        let il = BlockInterleaver::new(4, 8);
+        let data: BitBuf = (0..32).map(|i| i % 5 == 0).collect();
+        let inter = il.interleave(&data);
+        let deinter = il.deinterleave(&inter);
+        assert_eq!(deinter, data);
+    }
+
+    #[test]
+    fn roundtrip_with_padding() {
+        let il = BlockInterleaver::new(8, 16);
+        let data: BitBuf = (0..300).map(|i| (i * 7) % 3 == 0).collect();
+        let inter = il.interleave(&data);
+        assert_eq!(inter.len(), 384); // 3 blocks of 128
+        let deinter = il.deinterleave(&inter);
+        let restored: BitBuf = deinter.iter().take(300).collect();
+        assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn interleave_is_permutation() {
+        let il = BlockInterleaver::new(4, 4);
+        // Exactly one output position per input position within a block.
+        let mut seen = [false; 16];
+        for i in 0..16 {
+            let mut unit = BitBuf::from_bits(&[false; 16]);
+            unit.set(i, true);
+            let out = il.interleave(&unit);
+            let pos: Vec<usize> =
+                out.iter().enumerate().filter(|&(_, b)| b).map(|(j, _)| j).collect();
+            assert_eq!(pos.len(), 1, "input bit {i} mapped to {pos:?}");
+            assert!(!seen[pos[0]], "collision at output {}", pos[0]);
+            seen[pos[0]] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn burst_spreads_after_deinterleave() {
+        let rows = 16;
+        let cols = 16;
+        let il = BlockInterleaver::new(rows, cols);
+        let data = BitBuf::from_bits(&[false; 256]);
+        let mut inter = il.interleave(&data);
+        // A burst of `rows` consecutive channel errors...
+        for i in 40..40 + rows {
+            inter.toggle(i);
+        }
+        let deinter = il.deinterleave(&inter);
+        // ...lands as isolated errors at least `cols - 1` apart (the
+        // spacing drops by one where the burst crosses a column boundary).
+        let errs: Vec<usize> =
+            deinter.iter().enumerate().filter(|&(_, b)| b).map(|(i, _)| i).collect();
+        assert_eq!(errs.len(), rows);
+        for w in errs.windows(2) {
+            assert!(w[1] - w[0] >= cols - 1, "errors too close: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn interleaving_rescues_burst_for_viterbi() {
+        // End-to-end: encode → interleave → burst on channel → deinterleave
+        // → Viterbi. The same burst defeats the bare code (see viterbi
+        // tests) but is corrected with interleaving.
+        let il = BlockInterleaver::new(32, 16);
+        let v = Viterbi::new(CCSDS_K7);
+        let input = BitBuf::from_bytes(&[0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0xF0,
+                                         0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88,
+                                         0x99, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF, 0x00,
+                                         0x13, 0x57, 0x9B, 0xDF, 0x24, 0x68, 0xAC, 0xE0]);
+        let enc = CCSDS_K7.encode(&input);
+        let mut channel = il.interleave(&enc);
+        for i in 100..130 {
+            channel.toggle(i); // 30-bit contiguous burst
+        }
+        let deinter = il.deinterleave(&channel);
+        let trimmed: BitBuf = deinter.iter().take(enc.len()).collect();
+        let dec = v.decode(&trimmed).expect("decode");
+        assert_eq!(dec, input, "interleaved burst should be corrected");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dimension_panics() {
+        let _ = BlockInterleaver::new(0, 4);
+    }
+}

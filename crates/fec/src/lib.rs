@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+//! # fec
+//!
+//! Forward-error-correction and channel-error substrate for the LAMS-DLC
+//! reproduction.
+//!
+//! §2.1 of the paper makes FEC "an integral component" of any DLC for the
+//! laser inter-satellite link and builds on Paul et al.'s interleaved
+//! convolutional codec; §2.2 assumption 4 requires *two* FEC grades (a
+//! stronger one for control frames, since LAMS-DLC forbids piggybacking).
+//! This crate implements the whole pipeline from scratch:
+//!
+//! * [`bits::BitBuf`] — a compact bit buffer, MSB-first;
+//! * [`crc`] — CRC-16/X.25 (HDLC FCS) and CRC-32 frame checks (detectable
+//!   errors, paper assumption 9);
+//! * [`conv`] / [`viterbi`] — the K=7, rate-1/2 (171, 133) convolutional
+//!   code with a hard-decision Viterbi decoder;
+//! * [`interleave`] — block interleaver turning mispointing bursts into
+//!   isolated errors;
+//! * [`codec`] — the composed [`codec::LinkCodec`] pipeline and the
+//!   analytic [`codec::FecGrade`] residual-BER model used by the fast
+//!   simulation path and the closed-form analysis;
+//! * [`channel`] — stochastic bit-error processes: i.i.d.
+//!   [`channel::UniformBer`] and the continuous-time
+//!   [`channel::GilbertElliott`] burst model.
+
+pub mod bits;
+pub mod channel;
+pub mod codec;
+pub mod conv;
+pub mod crc;
+pub mod interleave;
+pub mod viterbi;
+
+pub use bits::BitBuf;
+pub use channel::{ErrorProcess, GeState, GilbertElliott, Lossless, UniformBer};
+pub use codec::{DecodeOutcome, FecGrade, LinkCodec};
+pub use conv::{ConvCode, CCSDS_K7};
+pub use crc::{Crc16Ccitt, Crc32};
+pub use interleave::BlockInterleaver;
+pub use viterbi::Viterbi;

@@ -1,0 +1,60 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro              # run every experiment at full size
+//! repro e1 e5        # run a subset
+//! repro --quick all  # CI-sized workloads
+//! repro --list       # show the experiment index
+//! ```
+
+use harness::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let list = args.iter().any(|a| a == "--list" || a == "-l");
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with('-') && *a != "all")
+        .cloned()
+        .collect();
+
+    if list {
+        println!("experiment index (paper artifact → id):");
+        for (id, title) in [
+            ("e1", "Retransmission probability & mean periods (P_R, s-bar)"),
+            ("e2", "Throughput efficiency vs offered traffic N"),
+            ("e3", "Throughput efficiency vs residual BER"),
+            ("e4", "Throughput efficiency vs link distance"),
+            ("e5", "Transparent buffer size (B_LAMS finite, B_HDLC = inf)"),
+            ("e6", "Sender holding time H_frame vs W_cp"),
+            ("e7", "Low-traffic delivery time D_low(N)"),
+            ("e8", "Burst-error resilience (Gilbert-Elliott)"),
+            ("e9", "Enforced recovery & failure detection"),
+            ("e10", "Bounded numbering size"),
+            ("e11", "Stop-Go flow control"),
+            ("e12", "W_cp x C_depth ablation"),
+            ("e13", "Store-and-forward relay chain (end-to-end)"),
+            ("e14", "Optimal frame length"),
+            ("e15", "Full-duplex operation (no-piggyback cost)"),
+            ("e16", "Delay vs offered load (throughput/delay tradeoff)"),
+            ("e17", "Go-Back-N baseline collapse"),
+        ] {
+            println!("  {id:>4}  {title}");
+        }
+        return;
+    }
+
+    let run_ids: Vec<&str> = if ids.is_empty() {
+        experiments::ALL.to_vec()
+    } else {
+        ids.iter().map(|s| s.as_str()).collect()
+    };
+
+    for id in run_ids {
+        match experiments::run_by_id(id, quick) {
+            Some(out) => print!("{}", out.render()),
+            None => eprintln!("unknown experiment id: {id} (try --list)"),
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Full-duplex operation: data flowing in *both* directions at once
+//! (paper assumption 2: "all links operate in a full-duplex mode").
+//!
+//! Each node hosts a sender (for its outgoing data) and a receiver (for
+//! the incoming flow), and the two share the node's single laser
+//! transmitter: the receiver's control frames (checkpoints, Enforced-
+//! NAKs) compete with the sender's I-frames for airtime. Control frames
+//! get priority — they are small, time-critical, and the paper's no-
+//! piggyback rule (assumption 4) makes them unavoidable overhead on the
+//! data path.
+//!
+//! This answers a question the paper's unidirectional analysis leaves
+//! open: how much forward goodput does the reverse flow's checkpoint
+//! stream cost? (Answer, measured in E15: a fraction of a percent at the
+//! paper's parameters — checkpoints are ~40 bytes every `W_cp`.)
+
+
+use crate::metrics::{Collector, RunReport};
+use crate::node::{LamsRx, LamsTx, RxEndpoint, SrRx, SrTx, TxEndpoint};
+use crate::scenario::ScenarioConfig;
+use crate::traffic::TrafficGen;
+use bytes::Bytes;
+use sim_core::{EventQueue, Instant, SeedSplitter};
+
+enum Ev<F> {
+    /// SDU arriving at node A (0) or B (1).
+    Push(usize, u64),
+    /// Frame arriving at node A (0) or B (1).
+    Arrive(usize, F, bool),
+    Sample,
+    Wake,
+}
+
+/// Reports for the two directions: `a_to_b` and `b_to_a`.
+pub struct DuplexReport {
+    /// Metrics of the A→B flow.
+    pub a_to_b: RunReport,
+    /// Metrics of the B→A flow.
+    pub b_to_a: RunReport,
+}
+
+/// Drive a symmetric full-duplex scenario: both nodes offer
+/// `cfg.n_packets` SDUs to each other under `cfg`'s channel conditions.
+pub fn run_duplex<T, R>(
+    cfg: &ScenarioConfig,
+    mk_tx: impl Fn(usize) -> T,
+    mk_rx: impl Fn(usize) -> R,
+    protocol: &str,
+) -> DuplexReport
+where
+    T: TxEndpoint,
+    R: RxEndpoint<Frame = T::Frame>,
+{
+    // Node 0 = A, node 1 = B. txs[i] sends data FROM node i; rxs[i]
+    // receives data AT node i. chan[i] carries node i's transmissions.
+    let mut txs: Vec<T> = (0..2).map(&mk_tx).collect();
+    let mut rxs: Vec<R> = (0..2).map(&mk_rx).collect();
+    let (chan_a, chan_b) = cfg.build_channels();
+    let mut chans = [chan_a, chan_b];
+    let mut gens: Vec<TrafficGen> = (0..2)
+        .map(|i| {
+            TrafficGen::new(
+                cfg.pattern.clone(),
+                cfg.n_packets,
+                SeedSplitter::new(cfg.seed).stream(2 + i as u64),
+            )
+        })
+        .collect();
+    let mut cols = [Collector::new(), Collector::new()];
+    let mut q: EventQueue<Ev<T::Frame>> = EventQueue::new();
+    let deadline = Instant::ZERO + cfg.deadline;
+    let payload = Bytes::from(vec![0u8; cfg.payload_bytes]);
+
+    for i in 0..2 {
+        txs[i].start(Instant::ZERO);
+        rxs[i].start(Instant::ZERO);
+        if let Some((at, id)) = gens[i].next() {
+            q.schedule(at, Ev::Push(i, id));
+        }
+    }
+    q.schedule(Instant::ZERO, Ev::Sample);
+    q.schedule(Instant::ZERO, Ev::Wake);
+
+    let mut next_wake = Instant::MAX;
+    let mut holding = Vec::new();
+    let mut finished_at = Instant::ZERO;
+    let mut deadline_hit = false;
+
+    while let Some((now, first_ev)) = q.pop() {
+        if now > deadline {
+            deadline_hit = true;
+            finished_at = deadline;
+            break;
+        }
+        let mut ev = first_ev;
+        loop {
+            match ev {
+                Ev::Push(i, id) => {
+                    cols[i].on_push(now, id);
+                    txs[i].push(id, payload.clone());
+                    if let Some((at, nid)) = gens[i].next() {
+                        q.schedule(at.max(now), Ev::Push(i, nid));
+                    }
+                }
+                Ev::Arrive(i, f, clean) => {
+                    // A frame arriving at node i may belong to either the
+                    // data plane (for rxs[i]) or the control plane (for
+                    // txs[i]); the endpoints ignore frames that are not
+                    // theirs, so offer to both.
+                    rxs[i].handle_frame(now, f.clone(), clean);
+                    txs[i].handle_frame(now, f, clean);
+                }
+                Ev::Sample => {
+                    for i in 0..2 {
+                        cols[i].sample(now, txs[i].buffered(), rxs[i].occupancy(), txs[i].rate());
+                    }
+                    if now + cfg.sample_every <= deadline {
+                        q.schedule(now + cfg.sample_every, Ev::Sample);
+                    }
+                }
+                Ev::Wake => {
+                    if next_wake <= now {
+                        next_wake = Instant::MAX;
+                    }
+                }
+            }
+            if q.peek_time() == Some(now) {
+                ev = q.pop().expect("peeked").1;
+            } else {
+                break;
+            }
+        }
+
+        for i in 0..2 {
+            txs[i].on_timeout(now);
+            rxs[i].on_timeout(now);
+        }
+        // Node i's transmitter serves its receiver's control frames
+        // first (priority), then its sender's I-frames; everything lands
+        // at the peer 1 − i.
+        for i in 0..2 {
+            while chans[i].idle(now) {
+                let (frame, meta) = if let Some(f) = rxs[i].poll_transmit(now) {
+                    let m = R::meta(&f);
+                    (f, m)
+                } else if let Some(f) = txs[i].poll_transmit(now) {
+                    let m = T::meta(&f);
+                    (f, m)
+                } else {
+                    break;
+                };
+                if let crate::link::Fate::Arrives { at, clean } =
+                    chans[i].transmit(now, meta.bytes, meta.is_info)
+                {
+                    q.schedule(at, Ev::Arrive(1 - i, frame, clean));
+                }
+            }
+        }
+        for i in 0..2 {
+            // Data sent FROM node 1-i is delivered AT node i.
+            while let Some((id, _len)) = rxs[i].poll_deliver(now) {
+                cols[1 - i].on_deliver(now, id);
+            }
+            holding.clear();
+            txs[i].drain_holding(&mut holding);
+            cols[i].on_holding(&holding);
+        }
+
+        let done = (0..2).all(|i| {
+            cols[i].delivered_unique() >= cfg.n_packets && txs[i].buffered() == 0
+        });
+        if done || txs.iter().any(|t| t.is_failed()) {
+            finished_at = now;
+            break;
+        }
+
+        let mut want: Option<Instant> = None;
+        let mut consider = |c: Option<Instant>| {
+            if let Some(t) = c {
+                want = Some(want.map_or(t, |w| w.min(t)));
+            }
+        };
+        for i in 0..2 {
+            consider(txs[i].poll_timeout());
+            consider(rxs[i].poll_timeout());
+            if !chans[i].idle(now) {
+                consider(Some(chans[i].free_at()));
+            }
+        }
+        if let Some(t) = want {
+            let t = if t > now {
+                Some(t)
+            } else {
+                (0..2)
+                    .filter_map(|i| (!chans[i].idle(now)).then(|| chans[i].free_at()))
+                    .min()
+            };
+            if let Some(t) = t {
+                debug_assert!(t > now);
+                if t < next_wake {
+                    next_wake = t;
+                    q.schedule(t, Ev::Wake);
+                }
+            }
+        }
+        finished_at = now;
+    }
+
+    let mut it = cols.into_iter();
+    let finish = |col: Collector, i: usize, txs: &[T], rxs: &[R]| {
+        col.finish(
+            protocol,
+            cfg.n_packets,
+            finished_at,
+            deadline_hit,
+            txs[i].is_failed(),
+            txs[i].transmissions(),
+            txs[i].retransmissions(),
+            cfg.t_f(),
+            txs[i].extra_stats(),
+            rxs[1 - i].extra_stats(),
+        )
+    };
+    let a_to_b = finish(it.next().expect("col a"), 0, &txs, &rxs);
+    let b_to_a = finish(it.next().expect("col b"), 1, &txs, &rxs);
+    DuplexReport { a_to_b, b_to_a }
+}
+
+/// Symmetric full-duplex LAMS-DLC.
+pub fn run_duplex_lams(cfg: &ScenarioConfig) -> DuplexReport {
+    let lcfg = cfg.lams_config();
+    run_duplex(
+        cfg,
+        |_| LamsTx::new(lams_dlc::Sender::new(lcfg.clone())),
+        |_| LamsRx { inner: lams_dlc::Receiver::new(lcfg.clone()) },
+        "lams-duplex",
+    )
+}
+
+/// Symmetric full-duplex SR-HDLC.
+pub fn run_duplex_sr(cfg: &ScenarioConfig) -> DuplexReport {
+    let hcfg = cfg.hdlc_config();
+    run_duplex(
+        cfg,
+        |_| SrTx::new(hdlc::SrSender::new(hcfg.clone())),
+        |_| SrRx { inner: hdlc::SrReceiver::new(hcfg.clone()) },
+        "sr-duplex",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::Duration;
+
+    fn cfg(n: u64, ber: f64) -> ScenarioConfig {
+        let mut c = ScenarioConfig::paper_default();
+        c.n_packets = n;
+        c.data_residual_ber = ber;
+        c.ctrl_residual_ber = ber / 10.0;
+        c.deadline = Duration::from_secs(120);
+        c
+    }
+
+    #[test]
+    fn duplex_both_directions_lossless() {
+        let r = run_duplex_lams(&cfg(2_000, 1e-6));
+        assert_eq!(r.a_to_b.lost, 0);
+        assert_eq!(r.b_to_a.lost, 0);
+        assert_eq!(r.a_to_b.delivered_unique, 2_000);
+        assert_eq!(r.b_to_a.delivered_unique, 2_000);
+        assert!(!r.a_to_b.deadline_hit);
+    }
+
+    #[test]
+    fn duplex_sr_also_lossless() {
+        let r = run_duplex_sr(&cfg(1_500, 1e-6));
+        assert_eq!(r.a_to_b.lost, 0);
+        assert_eq!(r.b_to_a.lost, 0);
+    }
+
+    #[test]
+    fn directions_are_symmetric() {
+        let r = run_duplex_lams(&cfg(3_000, 1e-6));
+        let ea = r.a_to_b.efficiency();
+        let eb = r.b_to_a.efficiency();
+        assert!((ea - eb).abs() / ea < 0.05, "a→b {ea} vs b→a {eb}");
+    }
+
+    #[test]
+    fn control_overhead_is_small() {
+        // Duplex forward efficiency vs unidirectional: the reverse flow's
+        // checkpoints steal only a sliver of airtime (~40 B per W_cp
+        // against 300 Mbps).
+        let c = cfg(5_000, 1e-6);
+        let duplex = run_duplex_lams(&c);
+        let uni = crate::scenario::run_lams(&c);
+        let loss_frac =
+            1.0 - duplex.a_to_b.efficiency() / uni.efficiency();
+        assert!(
+            loss_frac < 0.05,
+            "duplex cost too high: {:.1}% (duplex {}, uni {})",
+            loss_frac * 100.0,
+            duplex.a_to_b.efficiency(),
+            uni.efficiency()
+        );
+    }
+
+    #[test]
+    fn duplex_under_errors_recovers_both_ways() {
+        let r = run_duplex_lams(&cfg(3_000, 1e-5));
+        assert_eq!(r.a_to_b.lost, 0);
+        assert_eq!(r.b_to_a.lost, 0);
+        assert!(r.a_to_b.retransmissions > 0);
+        assert!(r.b_to_a.retransmissions > 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! E3 — throughput efficiency vs residual BER (the paper's stated
+//! operating band 1e-7…1e-5, extended one decade each way).
+
+use crate::experiments::ExperimentOutput;
+use crate::report::Table;
+use crate::scenario::{run_lams, run_sr, ScenarioConfig};
+use analysis::throughput::{efficiency_hdlc, efficiency_lams};
+
+/// BER sweep points.
+pub const BERS: &[f64] = &[1e-8, 1e-7, 1e-6, 1e-5, 1e-4];
+
+/// Run E3.
+pub fn run(quick: bool) -> ExperimentOutput {
+    let n: u64 = if quick { 3_000 } else { 20_000 };
+    let mut table = Table::new(
+        "throughput efficiency vs residual BER",
+        &[
+            "residual_ber",
+            "eta_lams_analytic",
+            "eta_hdlc_analytic",
+            "eta_lams_sim",
+            "eta_hdlc_sim",
+        ],
+    );
+    for &ber in BERS {
+        let mut cfg = ScenarioConfig::paper_default();
+        cfg.n_packets = n;
+        cfg.data_residual_ber = ber;
+        cfg.ctrl_residual_ber = ber / 10.0;
+        let p = cfg.link_params();
+        let lams = run_lams(&cfg);
+        let sr = run_sr(&cfg);
+        table.row(vec![
+            ber.into(),
+            efficiency_lams(&p, n).into(),
+            efficiency_hdlc(&p, n).into(),
+            lams.efficiency().into(),
+            sr.efficiency().into(),
+        ]);
+    }
+    ExperimentOutput {
+        id: "E3",
+        title: "Throughput efficiency vs residual BER (paper §2.1 band)".into(),
+        tables: vec![table],
+        traces: vec![],
+        notes: vec![
+            "expected shape: both decline with BER (∝ 1/s̄); LAMS stays above \
+             HDLC everywhere; at 1e-4 the I-frame error probability nears \
+             1 − (1−ber)^bits ≈ 0.57 and both degrade sharply"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_monotone_decline_and_dominance() {
+        let out = run(true);
+        let t = &out.tables[0];
+        let mut last = f64::INFINITY;
+        for row in 0..t.len() {
+            let lams = t.value(row, 3).unwrap();
+            let hdlc = t.value(row, 4).unwrap();
+            assert!(lams > hdlc, "row {row}");
+            assert!(lams <= last + 0.02, "efficiency must decline with BER");
+            last = lams;
+        }
+    }
+}

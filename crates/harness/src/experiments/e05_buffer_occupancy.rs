@@ -1,0 +1,126 @@
+//! E5 — sender-buffer occupancy at sustained load: the §4 transparent
+//! buffer size. LAMS-DLC's sending buffer plateaus near the analytic
+//! `B_LAMS`; SR-HDLC's grows without bound (`B_HDLC = ∞`).
+
+use crate::experiments::ExperimentOutput;
+use crate::report::Table;
+use crate::scenario::{run_lams, run_sr, ScenarioConfig};
+use crate::traffic::Pattern;
+use analysis::buffer::{b_hdlc_growth_rate, b_lams};
+
+/// Run E5.
+pub fn run(quick: bool) -> ExperimentOutput {
+    let mut cfg = ScenarioConfig::paper_default();
+    // CBR at the line rate: one SDU per frame time — the paper's
+    // saturated forwarding-node model (incoming rate 1/t_f).
+    let t_f = cfg.t_f();
+    cfg.pattern = Pattern::Cbr { interval: t_f };
+    let seconds = if quick { 0.4 } else { 2.0 };
+    cfg.n_packets = (seconds / t_f.as_secs_f64()) as u64;
+    cfg.sample_every = sim_core::Duration::from_millis(if quick { 2 } else { 10 });
+    // Cut at the end of the loaded phase: the measurement is occupancy
+    // *under sustained load*, not the post-arrival drain.
+    cfg.deadline = sim_core::Duration::from_secs_f64(seconds);
+
+    let p = cfg.link_params();
+    let lams = run_lams(&cfg);
+    let sr = run_sr(&cfg);
+
+    let mut table = Table::new(
+        "sender-buffer occupancy at saturation (frames)",
+        &["protocol", "mean", "peak", "final", "analytic_bound"],
+    );
+    table.row(vec![
+        "lams".into(),
+        lams.tx_buffer_tw.mean_at(lams.finished_at).into(),
+        lams.tx_buffer_tw.peak().into(),
+        lams.tx_buffer.last_value().unwrap_or(0.0).into(),
+        b_lams(&p).into(),
+    ]);
+    table.row(vec![
+        "sr-hdlc".into(),
+        sr.tx_buffer_tw.mean_at(sr.finished_at).into(),
+        sr.tx_buffer_tw.peak().into(),
+        sr.tx_buffer.last_value().unwrap_or(0.0).into(),
+        f64::INFINITY.into(),
+    ]);
+
+    let mut growth = Table::new(
+        "SR-HDLC buffer growth (no transparent size exists)",
+        &["analytic_growth_frames_per_s", "simulated_growth_frames_per_s"],
+    );
+    let sim_growth = linear_growth(&sr.tx_buffer);
+    growth.row(vec![b_hdlc_growth_rate(&p).into(), sim_growth.into()]);
+
+    ExperimentOutput {
+        id: "E5",
+        title: "Transparent buffer size: B_LAMS finite, B_HDLC = ∞ (paper §4)".into(),
+        tables: vec![table, growth],
+        traces: vec![lams.tx_buffer.clone(), sr.tx_buffer.clone()],
+        notes: vec![
+            "expected shape: the LAMS trace plateaus at ≈ B_LAMS; the \
+             SR-HDLC trace climbs linearly for the whole run"
+                .into(),
+        ],
+    }
+}
+
+/// Least-squares slope of a series (frames per second).
+fn linear_growth(s: &sim_core::stats::Series) -> f64 {
+    let pts = s.points();
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    let n = pts.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(t, v) in pts {
+        let x = t.as_secs_f64();
+        sx += x;
+        sy += v;
+        sxx += x * x;
+        sxy += x * v;
+    }
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-18 {
+        0.0
+    } else {
+        (n * sxy - sx * sy) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5_lams_bounded_hdlc_grows() {
+        let out = run(true);
+        let t = &out.tables[0];
+        let lams_peak = t.value(0, 2).unwrap();
+        let bound = t.value(0, 4).unwrap();
+        // LAMS peak stays within a small multiple of the analytic
+        // transparent size (transients included).
+        assert!(
+            lams_peak < 4.0 * bound,
+            "lams peak {lams_peak} vs analytic bound {bound}"
+        );
+        let hdlc_final = t.value(1, 3).unwrap();
+        let lams_final = t.value(0, 3).unwrap();
+        assert!(
+            hdlc_final > 3.0 * lams_final.max(1.0),
+            "HDLC ({hdlc_final}) must dwarf LAMS ({lams_final}) at saturation"
+        );
+        // Positive growth slope for HDLC.
+        let g = &out.tables[1];
+        assert!(g.value(0, 1).unwrap() > 0.0, "HDLC buffer must grow");
+    }
+
+    #[test]
+    fn linear_growth_of_line() {
+        let mut s = sim_core::stats::Series::new("x");
+        for i in 0..100u64 {
+            s.push(sim_core::Instant::from_millis(i), 3.0 * i as f64 / 1000.0);
+        }
+        assert!((linear_growth(&s) - 3.0).abs() < 1e-9);
+    }
+}

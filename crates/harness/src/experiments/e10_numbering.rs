@@ -1,0 +1,93 @@
+//! E10 — numbering size vs link frame length (§2.3, §3.3): LAMS-DLC's
+//! numbering requirement is bounded by the resolving period and is
+//! independent of the error rate; HDLC's grows with both the window (≥
+//! link frame length for continuous operation) and the error rate
+//! (numbers stay pinned across retransmissions).
+
+use crate::experiments::ExperimentOutput;
+use crate::report::Table;
+use crate::scenario::ScenarioConfig;
+use analysis::numbering::{hdlc_numbering_size, lams_numbering_size};
+
+/// Link distances swept, km.
+pub const DISTANCES: &[f64] = &[2_000.0, 4_000.0, 6_000.0, 8_000.0, 10_000.0];
+
+/// Run E10 (pure analysis + protocol-config cross-check; no simulation
+/// needed — the quantity is a design bound).
+pub fn run(_quick: bool) -> ExperimentOutput {
+    let mut table = Table::new(
+        "required numbering size vs link distance",
+        &[
+            "distance_km",
+            "link_frame_length",
+            "lams_numbering",
+            "lams_config_modulus",
+            "hdlc_numbering_ber_1e-7",
+            "hdlc_numbering_ber_1e-5",
+        ],
+    );
+    for &d in DISTANCES {
+        let mut cfg = ScenarioConfig::paper_default();
+        cfg.distance_km = d;
+        let p = cfg.link_params();
+        let p_clean = {
+            let mut q = cfg.clone();
+            q.data_residual_ber = 1e-7;
+            q.ctrl_residual_ber = 1e-8;
+            q.link_params()
+        };
+        let p_noisy = {
+            let mut q = cfg.clone();
+            q.data_residual_ber = 1e-5;
+            q.ctrl_residual_ber = 1e-6;
+            q.link_params()
+        };
+        let q = 0.999_999; // one-in-a-million unresolved tail
+        table.row(vec![
+            d.into(),
+            p.link_frame_length().into(),
+            lams_numbering_size(&p).into(),
+            cfg.lams_config().seq_modulus().into(),
+            hdlc_numbering_size(&p_clean, q).into(),
+            hdlc_numbering_size(&p_noisy, q).into(),
+        ]);
+    }
+    ExperimentOutput {
+        id: "E10",
+        title: "Bounded numbering (paper §2.3, §3.3)".into(),
+        tables: vec![table],
+        traces: vec![],
+        notes: vec![
+            "expected shape: every column grows with distance (more frames \
+             in flight), but only the HDLC columns grow with the error \
+             rate; the LAMS config modulus (a power of two) always covers \
+             the analytic requirement"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e10_lams_bounded_hdlc_error_dependent() {
+        let out = run(true);
+        let t = &out.tables[0];
+        for row in 0..t.len() {
+            let lams = t.value(row, 2).unwrap();
+            let modulus = t.value(row, 3).unwrap();
+            assert!(modulus >= lams, "row {row}: modulus must cover requirement");
+            let h_clean = t.value(row, 4).unwrap();
+            let h_noisy = t.value(row, 5).unwrap();
+            assert!(
+                h_noisy > h_clean,
+                "row {row}: HDLC requirement must grow with BER"
+            );
+        }
+        // LAMS requirement grows with distance but stays modest.
+        assert!(t.value(t.len() - 1, 2).unwrap() > t.value(0, 2).unwrap());
+        assert!(t.value(t.len() - 1, 3).unwrap() < (1u64 << 20) as f64);
+    }
+}

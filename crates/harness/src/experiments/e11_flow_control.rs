@@ -1,0 +1,105 @@
+//! E11 — Stop-Go flow control (§3.4): the receiver anticipates overflow
+//! of its processing queue, sets the Stop bit, the sender decreases its
+//! rate multiplicatively, and recovers stepwise on Go. Overflowing frames
+//! may be discarded but are NAK'd and retransmitted — losses due to
+//! congestion stay zero end-to-end.
+//!
+//! Overload is created by a slow receiver: `t_proc` is set above the
+//! frame service time, so an unthrottled sender must drown it.
+
+use crate::experiments::ExperimentOutput;
+use crate::report::Table;
+use crate::scenario::{run_lams, ScenarioConfig};
+use crate::traffic::Pattern;
+use sim_core::Duration;
+
+/// Run E11.
+pub fn run(quick: bool) -> ExperimentOutput {
+    let mut cfg = ScenarioConfig::paper_default();
+    let t_f = cfg.t_f();
+    cfg.pattern = Pattern::Cbr { interval: t_f };
+    let seconds = if quick { 0.3 } else { 1.5 };
+    cfg.n_packets = (seconds / t_f.as_secs_f64()) as u64;
+    // Receiver processes at half the line rate and has a small queue.
+    cfg.t_proc = Duration::from_nanos(t_f.as_nanos() * 2);
+    cfg.rx_capacity = Some((64, 24));
+    cfg.sample_every = Duration::from_millis(1);
+    cfg.deadline = Duration::from_secs(120);
+    let throttled = run_lams(&cfg);
+
+    // Control: an unconstrained receiver at the same settings.
+    let mut cfg_free = cfg.clone();
+    cfg_free.rx_capacity = None;
+    let free = run_lams(&cfg_free);
+
+    let mut table = Table::new(
+        "Stop-Go flow control under a slow receiver",
+        &[
+            "receiver",
+            "delivered",
+            "lost",
+            "overflow_discards",
+            "min_rate",
+            "final_rate",
+            "elapsed_ms",
+        ],
+    );
+    let min_rate = throttled
+        .rate
+        .points()
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::INFINITY, f64::min);
+    table.row(vec![
+        "capacity 64 (Stop at 24)".into(),
+        throttled.delivered_unique.into(),
+        throttled.lost.into(),
+        throttled.extra("overflow_discards").unwrap_or(0.0).into(),
+        min_rate.into(),
+        throttled.rate.last_value().unwrap_or(1.0).into(),
+        (throttled.elapsed_s() * 1e3).into(),
+    ]);
+    table.row(vec![
+        "unbounded (control)".into(),
+        free.delivered_unique.into(),
+        free.lost.into(),
+        free.extra("overflow_discards").unwrap_or(0.0).into(),
+        1.0.into(),
+        free.rate.last_value().unwrap_or(1.0).into(),
+        (free.elapsed_s() * 1e3).into(),
+    ]);
+
+    ExperimentOutput {
+        id: "E11",
+        title: "Stop-Go flow control (paper §3.4)".into(),
+        tables: vec![table],
+        traces: vec![throttled.rate.clone(), throttled.rx_buffer.clone()],
+        notes: vec![
+            "expected shape: the rate trace drops multiplicatively on Stop \
+             and creeps back on Go, oscillating around the receiver's \
+             service rate (0.5 of line); congestion causes discards but \
+             zero end-to-end loss"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e11_flow_control_throttles_without_loss() {
+        let out = run(true);
+        let t = &out.tables[0];
+        // Zero loss despite overflow discards.
+        assert_eq!(t.value(0, 2).unwrap(), 0.0, "congestion must not lose frames");
+        // The controller actually engaged.
+        let min_rate = t.value(0, 4).unwrap();
+        assert!(min_rate < 1.0, "rate never decreased: {min_rate}");
+        // And the slow receiver stretched the run relative to the control.
+        let slow = t.value(0, 6).unwrap();
+        let fast = t.value(1, 6).unwrap();
+        assert!(slow > fast, "slow-receiver run must take longer");
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+//! # harness
+//!
+//! Discrete-event experiment harness for the LAMS-DLC reproduction.
+//!
+//! * [`node`] — one sans-IO driving contract ([`node::TxEndpoint`] /
+//!   [`node::RxEndpoint`]) with adapters for LAMS-DLC, SR-HDLC and
+//!   GBN-HDLC;
+//! * [`link`] — the full-duplex channel: serialization, fixed or orbital
+//!   propagation delay, uniform/burst error processes, outage injection;
+//! * [`traffic`] — CBR / Poisson / on-off / batch generators;
+//! * [`scenario`] — configuration and the generic run loop (common random
+//!   numbers across protocols);
+//! * [`metrics`] — per-run measurement collection and [`metrics::RunReport`];
+//! * [`experiments`] — the E1–E12 suite regenerating every table and
+//!   figure of the paper (see DESIGN.md for the index);
+//! * [`report`] — plain-text table/series rendering.
+
+pub mod duplex;
+pub mod experiments;
+pub mod link;
+pub mod metrics;
+pub mod node;
+pub mod passes;
+pub mod relay;
+pub mod report;
+pub mod scenario;
+pub mod traffic;
+
+pub use duplex::{run_duplex, run_duplex_lams, run_duplex_sr, DuplexReport};
+pub use link::{Channel, DelayModel, ErrorModel, Fate, Outage};
+pub use passes::{run_multi_pass, run_multi_pass_limited, MultiPassReport, PassSummary};
+pub use relay::{run_relay, run_relay_lams, run_relay_sr, RelayConfig};
+pub use metrics::{Collector, RunReport};
+pub use scenario::{run, run_gbn, run_lams, run_sr, BurstCfg, ScenarioConfig};
+pub use traffic::{Pattern, TrafficGen};

@@ -1,0 +1,351 @@
+//! Multi-hop store-and-forward relay (paper §2.2 assumption 3).
+//!
+//! A chain of satellites: `hops` links, `hops + 1` nodes. Every
+//! intermediate node receives on one link and forwards on the next —
+//! "incoming I-frames destined for other nodes are received by the
+//! sender and are stored in its sending buffer. The sender forwards
+//! these packets whenever the link is available."
+//!
+//! This is where §2.3's argument bites end-to-end:
+//!
+//! * a **LAMS-DLC** intermediate node forwards each datagram the moment
+//!   its local processing finishes — out-of-order is fine, only the
+//!   destination resequences; one reordering delay is paid once;
+//! * an **SR-HDLC** intermediate node may not release a frame upward
+//!   (and hence forward it) until every earlier frame has arrived — the
+//!   resequencing delay is paid *per hop*, and a loss near the source
+//!   stalls the pipeline of every downstream link.
+
+use crate::link::Channel;
+use crate::metrics::RunReport;
+use crate::node::{LamsRx, LamsTx, RxEndpoint, SrRx, SrTx, TxEndpoint};
+use crate::scenario::ScenarioConfig;
+use crate::traffic::TrafficGen;
+use bytes::Bytes;
+use sim_core::{EventQueue, Instant, SeedSplitter};
+
+/// Relay chain configuration: `hops` identical links, each drawn from the
+/// base scenario (distance, rate, error model, protocol knobs).
+#[derive(Clone, Debug)]
+pub struct RelayConfig {
+    /// Number of links in the chain (≥ 1).
+    pub hops: usize,
+    /// Per-link scenario parameters.
+    pub base: ScenarioConfig,
+}
+
+enum Ev<F> {
+    Push(u64),
+    /// Frame arriving at the downstream node of link `hop`.
+    ArriveFwd(usize, F, bool),
+    /// Control frame arriving back at the upstream node of link `hop`.
+    ArriveRev(usize, F, bool),
+    Sample,
+    Wake,
+}
+
+/// Drive a relay chain where every hop runs the same protocol.
+/// `mk_tx(i)` / `mk_rx(i)` build the endpoints of link `i`.
+pub fn run_relay<T, R>(
+    cfg: &RelayConfig,
+    mk_tx: impl Fn(usize) -> T,
+    mk_rx: impl Fn(usize) -> R,
+    protocol: &str,
+) -> RunReport
+where
+    T: TxEndpoint,
+    R: RxEndpoint<Frame = T::Frame>,
+{
+    assert!(cfg.hops >= 1, "need at least one link");
+    let h = cfg.hops;
+    let base = &cfg.base;
+    let mut txs: Vec<T> = (0..h).map(&mk_tx).collect();
+    let mut rxs: Vec<R> = (0..h).map(&mk_rx).collect();
+    // Independent channels per hop (fresh RNG streams per link).
+    let mut fwd: Vec<Channel> = Vec::with_capacity(h);
+    let mut rev: Vec<Channel> = Vec::with_capacity(h);
+    for i in 0..h {
+        let mut c = base.clone();
+        c.seed = base.seed.wrapping_add(1000 * (i as u64 + 1));
+        let (f, r) = c.build_channels();
+        fwd.push(f);
+        rev.push(r);
+    }
+    let mut gen = TrafficGen::new(
+        base.pattern.clone(),
+        base.n_packets,
+        SeedSplitter::new(base.seed).stream(2),
+    );
+    let mut col = crate::metrics::Collector::new();
+    let mut q: EventQueue<Ev<T::Frame>> = EventQueue::new();
+    let deadline = Instant::ZERO + base.deadline;
+    let payload = Bytes::from(vec![0u8; base.payload_bytes]);
+
+    for i in 0..h {
+        txs[i].start(Instant::ZERO);
+        rxs[i].start(Instant::ZERO);
+    }
+    if let Some((at, id)) = gen.next() {
+        q.schedule(at, Ev::Push(id));
+    }
+    q.schedule(Instant::ZERO, Ev::Sample);
+    q.schedule(Instant::ZERO, Ev::Wake);
+
+    let mut next_wake = Instant::MAX;
+    let mut holding = Vec::new();
+    let mut finished_at = Instant::ZERO;
+    let mut deadline_hit = false;
+
+    'outer: while let Some((now, first_ev)) = q.pop() {
+        if now > deadline {
+            deadline_hit = true;
+            finished_at = deadline;
+            break;
+        }
+        let mut ev = first_ev;
+        loop {
+            match ev {
+                Ev::Push(id) => {
+                    col.on_push(now, id);
+                    txs[0].push(id, payload.clone());
+                    if let Some((at, nid)) = gen.next() {
+                        q.schedule(at.max(now), Ev::Push(nid));
+                    }
+                }
+                Ev::ArriveFwd(i, f, clean) => rxs[i].handle_frame(now, f, clean),
+                Ev::ArriveRev(i, f, clean) => txs[i].handle_frame(now, f, clean),
+                Ev::Sample => {
+                    // Report the source node's buffer; intermediate hops
+                    // contribute to rx occupancy (worst hop).
+                    let worst_rx =
+                        rxs.iter().map(|r| r.occupancy()).max().unwrap_or(0);
+                    col.sample(now, txs[0].buffered(), worst_rx, txs[0].rate());
+                    if now + base.sample_every <= deadline {
+                        q.schedule(now + base.sample_every, Ev::Sample);
+                    }
+                }
+                Ev::Wake => {
+                    if next_wake <= now {
+                        next_wake = Instant::MAX;
+                    }
+                }
+            }
+            if q.peek_time() == Some(now) {
+                ev = q.pop().expect("peeked").1;
+            } else {
+                break;
+            }
+        }
+
+        // Pump every node: timers, transmissions, store-and-forward.
+        for i in 0..h {
+            txs[i].on_timeout(now);
+            rxs[i].on_timeout(now);
+        }
+        for i in 0..h {
+            while fwd[i].idle(now) {
+                let Some(f) = txs[i].poll_transmit(now) else { break };
+                let meta = T::meta(&f);
+                if let crate::link::Fate::Arrives { at, clean } =
+                    fwd[i].transmit(now, meta.bytes, meta.is_info)
+                {
+                    q.schedule(at, Ev::ArriveFwd(i, f, clean));
+                }
+            }
+            while rev[i].idle(now) {
+                let Some(f) = rxs[i].poll_transmit(now) else { break };
+                let meta = R::meta(&f);
+                if let crate::link::Fate::Arrives { at, clean } =
+                    rev[i].transmit(now, meta.bytes, meta.is_info)
+                {
+                    q.schedule(at, Ev::ArriveRev(i, f, clean));
+                }
+            }
+            // Store-and-forward: deliveries at node i+1 feed the next
+            // link's sender; the final hop's deliveries are the result.
+            while let Some((id, _len)) = rxs[i].poll_deliver(now) {
+                if i + 1 < h {
+                    txs[i + 1].push(id, payload.clone());
+                } else {
+                    col.on_deliver(now, id);
+                }
+            }
+        }
+        holding.clear();
+        txs[0].drain_holding(&mut holding);
+        col.on_holding(&holding);
+
+        if col.delivered_unique() >= base.n_packets
+            && txs.iter().all(|t| t.buffered() == 0)
+        {
+            finished_at = now;
+            break;
+        }
+        for t in &txs {
+            if t.is_failed() {
+                finished_at = now;
+                break 'outer;
+            }
+        }
+
+        let mut want: Option<Instant> = None;
+        let mut consider = |c: Option<Instant>| {
+            if let Some(t) = c {
+                want = Some(want.map_or(t, |w| w.min(t)));
+            }
+        };
+        for i in 0..h {
+            consider(txs[i].poll_timeout());
+            consider(rxs[i].poll_timeout());
+            if !fwd[i].idle(now) {
+                consider(Some(fwd[i].free_at()));
+            }
+            if !rev[i].idle(now) {
+                consider(Some(rev[i].free_at()));
+            }
+        }
+        if let Some(t) = want {
+            let t = if t > now {
+                Some(t)
+            } else {
+                // Blocked on a busy transmitter: wake at the earliest
+                // channel-free instant (strictly future).
+                (0..h)
+                    .flat_map(|i| {
+                        [
+                            (!fwd[i].idle(now)).then(|| fwd[i].free_at()),
+                            (!rev[i].idle(now)).then(|| rev[i].free_at()),
+                        ]
+                    })
+                    .flatten()
+                    .min()
+            };
+            if let Some(t) = t {
+                debug_assert!(t > now);
+                if t < next_wake {
+                    next_wake = t;
+                    q.schedule(t, Ev::Wake);
+                }
+            }
+        }
+        finished_at = now;
+    }
+
+    let failed = txs.iter().any(|t| t.is_failed());
+    let transmissions: u64 = txs.iter().map(|t| t.transmissions()).sum();
+    let retransmissions: u64 = txs.iter().map(|t| t.retransmissions()).sum();
+    col.finish(
+        protocol,
+        gen.issued(),
+        finished_at,
+        deadline_hit,
+        failed,
+        transmissions,
+        retransmissions,
+        base.t_f(),
+        txs[0].extra_stats(),
+        rxs[h - 1].extra_stats(),
+    )
+}
+
+/// Relay chain under LAMS-DLC at every hop.
+pub fn run_relay_lams(cfg: &RelayConfig) -> RunReport {
+    let lcfg = cfg.base.lams_config();
+    run_relay(
+        cfg,
+        |_| LamsTx::new(lams_dlc::Sender::new(lcfg.clone())),
+        |_| LamsRx { inner: lams_dlc::Receiver::new(lcfg.clone()) },
+        "lams-relay",
+    )
+}
+
+/// Relay chain under SR-HDLC at every hop.
+pub fn run_relay_sr(cfg: &RelayConfig) -> RunReport {
+    let hcfg = cfg.base.hdlc_config();
+    run_relay(
+        cfg,
+        |_| SrTx::new(hdlc::SrSender::new(hcfg.clone())),
+        |_| SrRx { inner: hdlc::SrReceiver::new(hcfg.clone()) },
+        "sr-relay",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::Duration;
+
+    fn relay(hops: usize, n: u64, ber: f64) -> RelayConfig {
+        let mut base = ScenarioConfig::paper_default();
+        base.n_packets = n;
+        base.data_residual_ber = ber;
+        base.ctrl_residual_ber = ber / 10.0;
+        base.deadline = Duration::from_secs(120);
+        RelayConfig { hops, base }
+    }
+
+    #[test]
+    fn single_hop_matches_direct_runner() {
+        let cfg = relay(1, 1_000, 1e-6);
+        let relayed = run_relay_lams(&cfg);
+        let direct = crate::scenario::run_lams(&cfg.base);
+        assert_eq!(relayed.lost, 0);
+        // Same protocol, same seed-derived... the relay uses shifted seeds,
+        // so compare statistically: within 10%.
+        let d = (relayed.elapsed_s() - direct.elapsed_s()).abs() / direct.elapsed_s();
+        assert!(d < 0.1, "relay {} vs direct {}", relayed.elapsed_s(), direct.elapsed_s());
+    }
+
+    #[test]
+    fn three_hop_chain_is_lossless_and_ordered() {
+        let cfg = relay(3, 1_500, 1e-6);
+        let r = run_relay_lams(&cfg);
+        assert_eq!(r.lost, 0);
+        assert_eq!(r.delivered_unique, 1_500);
+        assert_eq!(r.e2e_delay.count(), 1_500, "all released in order");
+        assert!(!r.deadline_hit);
+    }
+
+    #[test]
+    fn sr_chain_also_lossless() {
+        let cfg = relay(2, 1_000, 1e-6);
+        let r = run_relay_sr(&cfg);
+        assert_eq!(r.lost, 0);
+        assert_eq!(r.delivered_unique, 1_000);
+    }
+
+    #[test]
+    fn per_hop_resequencing_penalty_compounds() {
+        // §2.3's end-to-end claim: over several noisy hops the in-order
+        // protocol's mean end-to-end delay grows faster than the
+        // out-of-order one's.
+        let cfg = relay(3, 3_000, 1e-5);
+        let lams = run_relay_lams(&cfg);
+        let sr = run_relay_sr(&cfg);
+        assert_eq!(lams.lost, 0);
+        assert_eq!(sr.lost, 0);
+        assert!(
+            lams.e2e_delay.mean() < sr.e2e_delay.mean(),
+            "lams {} !< sr {}",
+            lams.e2e_delay.mean(),
+            sr.e2e_delay.mean()
+        );
+    }
+
+    #[test]
+    fn extra_hops_cost_one_propagation_each() {
+        // The chain pipelines: serialization happens once (frames flow
+        // through intermediate nodes as they arrive), so each extra hop
+        // adds ≈ one propagation delay + t_proc, not a full batch time.
+        let cfg1 = relay(1, 800, 1e-7);
+        let d1 = run_relay_lams(&cfg1).e2e_delay.mean();
+        let d3 = run_relay_lams(&relay(3, 800, 1e-7)).e2e_delay.mean();
+        let per_hop = cfg1.base.one_way_delay().as_secs_f64();
+        let increment = d3 - d1;
+        let expect = 2.0 * per_hop;
+        assert!(
+            (increment - expect).abs() / expect < 0.25,
+            "increment {increment}s vs 2 hops of propagation {expect}s"
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! Plain-text rendering of experiment output.
+//!
+//! Experiments produce [`Table`]s (rows of labelled numeric columns) and
+//! time-series traces; both print as aligned monospace blocks that diff
+//! cleanly and feed any plotting tool.
+
+use sim_core::stats::Series;
+use std::fmt::Write as _;
+
+/// A rectangular table with named columns.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+}
+
+/// One table cell.
+#[derive(Clone, Debug)]
+pub enum Cell {
+    /// Free text (row label).
+    Text(String),
+    /// A number rendered with engineering precision.
+    Num(f64),
+    /// An integer count.
+    Int(u64),
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Num(v)
+    }
+}
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Int(v)
+    }
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Int(v) => format!("{v}"),
+            Cell::Num(v) => {
+                if *v == 0.0 {
+                    "0".into()
+                } else if v.is_infinite() {
+                    "inf".into()
+                } else if v.abs() >= 1e4 || v.abs() < 1e-3 {
+                    format!("{v:.4e}")
+                } else {
+                    format!("{v:.4}")
+                }
+            }
+        }
+    }
+}
+
+impl Table {
+    /// New table with a title and column names.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the column count.
+    pub fn row(&mut self, cells: Vec<Cell>) -> &mut Self {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Title accessor.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Fetch a cell's numeric value (Num or Int) by row/column index.
+    pub fn value(&self, row: usize, col: usize) -> Option<f64> {
+        match self.rows.get(row)?.get(col)? {
+            Cell::Num(v) => Some(*v),
+            Cell::Int(v) => Some(*v as f64),
+            Cell::Text(_) => None,
+        }
+    }
+
+    /// Render to an aligned text block.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> =
+            self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Cell::render).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+        );
+        for row in rendered {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+}
+
+/// Render a series as a two-column block under a heading, decimated to a
+/// printable number of points.
+pub fn render_series(series: &Series, max_points: usize) -> String {
+    let d = series.decimate(max_points);
+    let mut out = String::new();
+    let _ = writeln!(out, "## trace: {} ({} of {} points)", d.name(), d.len(), series.len());
+    let _ = writeln!(out, "{:>16}  {:>16}", "t_seconds", "value");
+    for &(t, v) in d.points() {
+        let _ = writeln!(out, "{:>16.9}  {:>16.6}", t.as_secs_f64(), v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::Instant;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "x", "n"]);
+        t.row(vec!["alpha".into(), 1.5.into(), 10u64.into()]);
+        t.row(vec!["b".into(), 0.00001.into(), 2u64.into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("alpha"));
+        assert!(s.contains("1.0000e-5"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn value_accessor() {
+        let mut t = Table::new("v", &["a", "b"]);
+        t.row(vec![2.5.into(), 7u64.into()]);
+        assert_eq!(t.value(0, 0), Some(2.5));
+        assert_eq!(t.value(0, 1), Some(7.0));
+        assert_eq!(t.value(1, 0), None);
+        let mut t2 = Table::new("t", &["s"]);
+        t2.row(vec!["text".into()]);
+        assert_eq!(t2.value(0, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec![1.0.into()]);
+    }
+
+    #[test]
+    fn series_rendering() {
+        let mut s = Series::new("queue");
+        for i in 0..100 {
+            s.push(Instant::from_millis(i), i as f64);
+        }
+        let out = render_series(&s, 10);
+        assert!(out.contains("queue"));
+        assert_eq!(out.lines().count(), 12);
+    }
+
+    #[test]
+    fn cell_formats() {
+        assert_eq!(Cell::Num(0.0).render(), "0");
+        assert_eq!(Cell::Num(f64::INFINITY).render(), "inf");
+        assert_eq!(Cell::Num(0.5).render(), "0.5000");
+        assert_eq!(Cell::Int(42).render(), "42");
+    }
+}

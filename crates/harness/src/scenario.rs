@@ -1,0 +1,571 @@
+//! Scenario construction and the discrete-event run loop.
+//!
+//! A scenario wires one sending endpoint and one receiving endpoint over
+//! a full-duplex [`Channel`] pair, feeds SDUs from a [`TrafficGen`], and
+//! collects a [`RunReport`]. The loop is generic over the endpoint
+//! traits, so LAMS-DLC, SR-HDLC and GBN-HDLC all run over **identical**
+//! channel error realisations for a given seed (common random numbers).
+
+use crate::link::{Channel, DelayModel, ErrorModel, Outage};
+use crate::metrics::{Collector, RunReport};
+use crate::node::{
+    GbnRx, GbnTx, LamsRx, LamsTx, RxEndpoint, SrRx, SrTx, TxEndpoint,
+};
+use crate::traffic::{Pattern, TrafficGen};
+use bytes::Bytes;
+use fec::GilbertElliott;
+use orbit::propagation_delay_s;
+use sim_core::{Duration, EventQueue, Instant, SeedSplitter};
+
+/// Gilbert–Elliott burst-error configuration (residual BERs per state).
+#[derive(Clone, Debug)]
+pub struct BurstCfg {
+    /// Mean sojourn in the good state.
+    pub mean_good: Duration,
+    /// Mean burst duration.
+    pub mean_bad: Duration,
+    /// Residual BER in the good state (data direction).
+    pub ber_good: f64,
+    /// Residual BER inside a burst (data direction).
+    pub ber_bad: f64,
+    /// Residual BER in the good state (control direction).
+    pub ctrl_ber_good: f64,
+    /// Residual BER inside a burst (control direction).
+    pub ctrl_ber_bad: f64,
+}
+
+/// Everything defining one simulation run.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// Master seed; all stochastic components derive from it.
+    pub seed: u64,
+    /// Line rate in channel bits per second.
+    pub rate_bps: f64,
+    /// SDU payload size in bytes.
+    pub payload_bytes: usize,
+    /// Number of SDUs to deliver.
+    pub n_packets: u64,
+    /// Arrival pattern.
+    pub pattern: Pattern,
+    /// Link distance (fixed-delay model), km.
+    pub distance_km: f64,
+    /// Orbital profile overriding `distance_km` when present, with a
+    /// start offset (seconds into the profile window).
+    pub profile: Option<(orbit::LinkProfile, f64)>,
+    /// Residual BER on the data direction.
+    pub data_residual_ber: f64,
+    /// Residual BER on the control direction.
+    pub ctrl_residual_ber: f64,
+    /// Burst model overriding the uniform BERs when present.
+    pub burst: Option<BurstCfg>,
+    /// Scheduled outages (both directions).
+    pub outages: Vec<Outage>,
+    /// Give-up time.
+    pub deadline: Duration,
+    /// Occupancy sampling period.
+    pub sample_every: Duration,
+    /// LAMS checkpoint interval.
+    pub w_cp: Duration,
+    /// LAMS cumulation depth.
+    pub c_depth: u32,
+    /// HDLC window.
+    pub window: usize,
+    /// HDLC sequence bits (`M = 2^bits`).
+    pub seq_bits: u32,
+    /// HDLC timeout slack α.
+    pub alpha: Duration,
+    /// Processing time per frame.
+    pub t_proc: Duration,
+    /// Optional LAMS receive capacity `(capacity, stop_watermark)` for
+    /// flow-control scenarios.
+    pub rx_capacity: Option<(usize, usize)>,
+}
+
+impl ScenarioConfig {
+    /// The paper's reference scenario: 4,000 km, 300 Mbps, 1 kB SDUs,
+    /// residual BER 1e-6 / 1e-7, `W_cp` = 5 ms, `C_depth` = 3, window
+    /// 1024 (≈ one bandwidth-delay product), α = 10 ms.
+    pub fn paper_default() -> Self {
+        ScenarioConfig {
+            seed: 1,
+            rate_bps: 300e6,
+            payload_bytes: 1024,
+            n_packets: 10_000,
+            pattern: Pattern::Batch,
+            distance_km: 4000.0,
+            profile: None,
+            data_residual_ber: 1e-6,
+            ctrl_residual_ber: 1e-7,
+            burst: None,
+            outages: Vec::new(),
+            deadline: Duration::from_secs(300),
+            sample_every: Duration::from_millis(5),
+            w_cp: Duration::from_millis(5),
+            c_depth: 3,
+            window: 1024,
+            seq_bits: 11,
+            alpha: Duration::from_millis(10),
+            t_proc: Duration::from_micros(10),
+            rx_capacity: None,
+        }
+    }
+
+    /// One-way propagation delay of the fixed-delay model.
+    pub fn one_way_delay(&self) -> Duration {
+        match &self.profile {
+            Some((p, off)) => {
+                Duration::from_secs_f64(p.one_way_delay_s(p.window.start_s + off))
+            }
+            None => Duration::from_secs_f64(propagation_delay_s(self.distance_km)),
+        }
+    }
+
+    /// Expected round-trip time.
+    pub fn rtt(&self) -> Duration {
+        self.one_way_delay() * 2
+    }
+
+    fn delay_model(&self) -> DelayModel {
+        match &self.profile {
+            Some((p, off)) => {
+                DelayModel::Profile { profile: p.clone(), t0_offset_s: *off }
+            }
+            None => DelayModel::Fixed(self.one_way_delay()),
+        }
+    }
+
+    /// Build the (forward, reverse) channel pair this scenario defines.
+    pub fn build_channels(&self) -> (Channel, Channel) {
+        self.channels()
+    }
+
+    fn channels(&self) -> (Channel, Channel) {
+        let split = SeedSplitter::new(self.seed);
+        let (fwd_err, rev_err) = match &self.burst {
+            None => (
+                ErrorModel::uniform(self.data_residual_ber, split.stream(0)),
+                ErrorModel::uniform(self.ctrl_residual_ber, split.stream(1)),
+            ),
+            Some(b) => (
+                ErrorModel::Burst(GilbertElliott::new(
+                    b.mean_good,
+                    b.mean_bad,
+                    b.ber_good,
+                    b.ber_bad,
+                    split.stream(0),
+                )),
+                ErrorModel::Burst(GilbertElliott::new(
+                    b.mean_good,
+                    b.mean_bad,
+                    b.ctrl_ber_good,
+                    b.ctrl_ber_bad,
+                    split.stream(1),
+                )),
+            ),
+        };
+        let mut fwd = Channel::new(self.rate_bps, self.delay_model(), fwd_err);
+        let mut rev = Channel::new(self.rate_bps, self.delay_model(), rev_err);
+        fwd.outages = self.outages.clone();
+        rev.outages = self.outages.clone();
+        (fwd, rev)
+    }
+
+    /// Serialization time of one I-frame (info wire bytes + FEC) — the
+    /// simulated `t_f`.
+    pub fn t_f(&self) -> Duration {
+        let (fwd, _) = self.channels();
+        // LAMS info header/trailer is 19 bytes; HDLC's is 20 — close
+        // enough that one t_f serves both for reporting.
+        fwd.tx_time(self.payload_bytes + 19, true)
+    }
+
+    /// The LAMS protocol configuration this scenario induces.
+    pub fn lams_config(&self) -> lams_dlc::LamsConfig {
+        let (fwd, rev) = self.channels();
+        let t_f = fwd.tx_time(self.payload_bytes + 19, true);
+        // A checkpoint with a typical NAK load is ~40 wire bytes.
+        let t_c = rev.tx_time(40, false);
+        lams_dlc::LamsConfig {
+            w_cp: self.w_cp,
+            c_depth: self.c_depth,
+            t_proc: self.t_proc,
+            expected_rtt: self.rtt(),
+            t_c,
+            t_f,
+            flow: lams_dlc::FlowConfig::default(),
+            deadline_slack: Duration::from_millis(1),
+        }
+    }
+
+    /// The HDLC configuration this scenario induces.
+    pub fn hdlc_config(&self) -> hdlc::HdlcConfig {
+        let (fwd, rev) = self.channels();
+        hdlc::HdlcConfig {
+            window: self.window,
+            seq_bits: self.seq_bits,
+            t_out: self.rtt() + self.alpha,
+            t_f: fwd.tx_time(self.payload_bytes + 20, true),
+            t_c: rev.tx_time(8, false),
+            t_proc: self.t_proc,
+        }
+    }
+
+    /// Convert analysis-ready parameters from this scenario (for
+    /// analysis-vs-simulation validation).
+    pub fn link_params(&self) -> analysis::LinkParams {
+        let bits_f = ((self.payload_bytes + 19) * 8) as u64;
+        let bits_c = 40 * 8;
+        analysis::LinkParams {
+            r: self.rtt().as_secs_f64(),
+            t_f: self.t_f().as_secs_f64(),
+            t_c: self.lams_config().t_c.as_secs_f64(),
+            t_proc: self.t_proc.as_secs_f64(),
+            i_cp: self.w_cp.as_secs_f64(),
+            c_depth: self.c_depth,
+            alpha: self.alpha.as_secs_f64(),
+            w: self.window as u64,
+            p_f: analysis::frame_error_prob(self.data_residual_ber, bits_f),
+            p_c: analysis::frame_error_prob(self.ctrl_residual_ber, bits_c),
+        }
+    }
+}
+
+enum Ev<F> {
+    Push(u64),
+    ArriveFwd(F, bool),
+    ArriveRev(F, bool),
+    Sample,
+    Wake,
+}
+
+/// Drive one scenario with the given endpoints. `protocol` labels the
+/// report.
+pub fn run<T, R>(cfg: &ScenarioConfig, mut tx: T, mut rx: R, protocol: &str) -> RunReport
+where
+    T: TxEndpoint,
+    R: RxEndpoint<Frame = T::Frame>,
+{
+    let (mut fwd, mut rev) = cfg.channels();
+    let mut gen = TrafficGen::new(
+        cfg.pattern.clone(),
+        cfg.n_packets,
+        SeedSplitter::new(cfg.seed).stream(2),
+    );
+    let mut col = Collector::new();
+    let mut q: EventQueue<Ev<T::Frame>> = EventQueue::new();
+    let deadline = Instant::ZERO + cfg.deadline;
+    let payload = Bytes::from(vec![0u8; cfg.payload_bytes]);
+    let t_f_channel = cfg.t_f();
+
+    tx.start(Instant::ZERO);
+    rx.start(Instant::ZERO);
+    if let Some((at, id)) = gen.next() {
+        q.schedule(at, Ev::Push(id));
+    }
+    q.schedule(Instant::ZERO, Ev::Sample);
+    q.schedule(Instant::ZERO, Ev::Wake);
+
+    let mut next_wake = Instant::MAX;
+    let mut holding_buf = Vec::new();
+    let mut finished_at = Instant::ZERO;
+    let mut deadline_hit = false;
+
+    while let Some((now, first_ev)) = q.pop() {
+        if now > deadline {
+            deadline_hit = true;
+            finished_at = deadline;
+            break;
+        }
+        // Drain every event scheduled for this same instant before
+        // pumping: simultaneous SDU arrivals (a batch) must all be in the
+        // sending buffer before any transmission decision is taken.
+        let mut ev = first_ev;
+        loop {
+            match ev {
+                Ev::Push(id) => {
+                    col.on_push(now, id);
+                    tx.push(id, payload.clone());
+                    if let Some((at, nid)) = gen.next() {
+                        q.schedule(at.max(now), Ev::Push(nid));
+                    }
+                }
+                Ev::ArriveFwd(f, clean) => rx.handle_frame(now, f, clean),
+                Ev::ArriveRev(f, clean) => tx.handle_frame(now, f, clean),
+                Ev::Sample => {
+                    col.sample(now, tx.buffered(), rx.occupancy(), tx.rate());
+                    if now + cfg.sample_every <= deadline {
+                        q.schedule(now + cfg.sample_every, Ev::Sample);
+                    }
+                }
+                Ev::Wake => {
+                    if next_wake <= now {
+                        next_wake = Instant::MAX;
+                    }
+                }
+            }
+            if q.peek_time() == Some(now) {
+                ev = q.pop().expect("peeked").1;
+            } else {
+                break;
+            }
+        }
+
+        // Pump: timers, transmissions, deliveries.
+        tx.on_timeout(now);
+        rx.on_timeout(now);
+        while fwd.idle(now) {
+            let Some(f) = tx.poll_transmit(now) else { break };
+            let meta = T::meta(&f);
+            match fwd.transmit(now, meta.bytes, meta.is_info) {
+                crate::link::Fate::Arrives { at, clean } => {
+                    q.schedule(at, Ev::ArriveFwd(f, clean));
+                }
+                crate::link::Fate::Lost => {}
+            }
+        }
+        while rev.idle(now) {
+            let Some(f) = rx.poll_transmit(now) else { break };
+            let meta = R::meta(&f);
+            match rev.transmit(now, meta.bytes, meta.is_info) {
+                crate::link::Fate::Arrives { at, clean } => {
+                    q.schedule(at, Ev::ArriveRev(f, clean));
+                }
+                crate::link::Fate::Lost => {}
+            }
+        }
+        while let Some((id, _len)) = rx.poll_deliver(now) {
+            col.on_deliver(now, id);
+        }
+        holding_buf.clear();
+        tx.drain_holding(&mut holding_buf);
+        col.on_holding(&holding_buf);
+
+        // "Safe delivery" (§4): the run completes when every SDU has been
+        // delivered AND the sender has drained (every frame positively
+        // acknowledged) — the same event the analytic D_low clocks.
+        if col.delivered_unique() >= cfg.n_packets && tx.buffered() == 0 {
+            finished_at = now;
+            break;
+        }
+        if tx.is_failed() {
+            finished_at = now;
+            break;
+        }
+
+        // Re-arm the wake-up at the earliest pending protocol instant.
+        let mut want: Option<Instant> = None;
+        let mut consider = |c: Option<Instant>| {
+            if let Some(t) = c {
+                want = Some(want.map_or(t, |w| w.min(t)));
+            }
+        };
+        consider(tx.poll_timeout());
+        consider(rx.poll_timeout());
+        // Channel-busy stall: re-poll when the transmitter frees up.
+        if !fwd.idle(now) {
+            consider(Some(fwd.free_at()));
+        }
+        if !rev.idle(now) {
+            consider(Some(rev.free_at()));
+        }
+        if let Some(t) = want {
+            // A want at or before `now` means the protocol is blocked on a
+            // busy transmitter (the pump already did everything else
+            // possible at `now`): waking again at `now` would spin without
+            // advancing time, so defer to the earliest channel-free
+            // instant — which is strictly in the future when busy.
+            let t = if t > now {
+                Some(t)
+            } else {
+                let f1 = (!fwd.idle(now)).then(|| fwd.free_at());
+                let f2 = (!rev.idle(now)).then(|| rev.free_at());
+                match (f1, f2) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                }
+            };
+            if let Some(t) = t {
+                debug_assert!(t > now, "wake must advance time");
+                if t < next_wake {
+                    next_wake = t;
+                    q.schedule(t, Ev::Wake);
+                }
+            }
+        }
+        finished_at = now;
+    }
+
+    col.finish(
+        protocol,
+        gen.issued(),
+        finished_at,
+        deadline_hit,
+        tx.is_failed(),
+        tx.transmissions(),
+        tx.retransmissions(),
+        t_f_channel,
+        tx.extra_stats(),
+        rx.extra_stats(),
+    )
+}
+
+/// Run the scenario under LAMS-DLC.
+pub fn run_lams(cfg: &ScenarioConfig) -> RunReport {
+    let lcfg = cfg.lams_config();
+    let tx = LamsTx::new(lams_dlc::Sender::new(lcfg.clone()));
+    let rx = LamsRx {
+        inner: match cfg.rx_capacity {
+            Some((cap, mark)) => lams_dlc::Receiver::with_capacity(lcfg, cap, mark),
+            None => lams_dlc::Receiver::new(lcfg),
+        },
+    };
+    run(cfg, tx, rx, "lams")
+}
+
+/// Run the scenario under SR-HDLC.
+pub fn run_sr(cfg: &ScenarioConfig) -> RunReport {
+    let hcfg = cfg.hdlc_config();
+    let tx = SrTx::new(hdlc::SrSender::new(hcfg.clone()));
+    let rx = SrRx { inner: hdlc::SrReceiver::new(hcfg) };
+    run(cfg, tx, rx, "sr-hdlc")
+}
+
+/// Run the scenario under GBN-HDLC.
+pub fn run_gbn(cfg: &ScenarioConfig) -> RunReport {
+    let hcfg = cfg.hdlc_config();
+    let tx = GbnTx { inner: hdlc::GbnSender::new(hcfg.clone()) };
+    let rx = GbnRx { inner: hdlc::GbnReceiver::new(hcfg) };
+    run(cfg, tx, rx, "gbn-hdlc")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(n: u64) -> ScenarioConfig {
+        let mut c = ScenarioConfig::paper_default();
+        c.n_packets = n;
+        c.deadline = Duration::from_secs(60);
+        c
+    }
+
+    #[test]
+    fn lams_clean_channel_delivers_everything() {
+        let mut cfg = small(500);
+        cfg.data_residual_ber = 0.0;
+        cfg.ctrl_residual_ber = 0.0;
+        let r = run_lams(&cfg);
+        assert_eq!(r.delivered_unique, 500);
+        assert_eq!(r.lost, 0);
+        assert_eq!(r.duplicates, 0);
+        assert!(!r.deadline_hit);
+        assert!(!r.link_failed);
+    }
+
+    #[test]
+    fn sr_hdlc_clean_channel_delivers_everything() {
+        let mut cfg = small(500);
+        cfg.data_residual_ber = 0.0;
+        cfg.ctrl_residual_ber = 0.0;
+        let r = run_sr(&cfg);
+        assert_eq!(r.delivered_unique, 500);
+        assert_eq!(r.lost, 0);
+    }
+
+    #[test]
+    fn gbn_clean_channel_delivers_everything() {
+        let mut cfg = small(500);
+        cfg.data_residual_ber = 0.0;
+        cfg.ctrl_residual_ber = 0.0;
+        let r = run_gbn(&cfg);
+        assert_eq!(r.delivered_unique, 500);
+        assert_eq!(r.lost, 0);
+    }
+
+    #[test]
+    fn lams_lossy_channel_zero_loss() {
+        let mut cfg = small(2000);
+        cfg.data_residual_ber = 1e-5; // P_F ≈ 8%
+        cfg.ctrl_residual_ber = 1e-6;
+        let r = run_lams(&cfg);
+        assert_eq!(r.lost, 0, "LAMS-DLC must provide zero packet loss");
+        assert!(r.retransmissions > 0, "errors must have occurred");
+        assert!(!r.deadline_hit);
+    }
+
+    #[test]
+    fn sr_hdlc_lossy_channel_zero_loss() {
+        let mut cfg = small(2000);
+        cfg.data_residual_ber = 1e-5;
+        cfg.ctrl_residual_ber = 1e-6;
+        let r = run_sr(&cfg);
+        assert_eq!(r.lost, 0);
+        assert!(r.retransmissions > 0);
+    }
+
+    #[test]
+    fn lams_faster_than_hdlc_at_saturation() {
+        // The headline: at sustained load LAMS-DLC outperforms SR-HDLC.
+        let mut cfg = small(20_000);
+        cfg.data_residual_ber = 1e-6;
+        cfg.ctrl_residual_ber = 1e-7;
+        let lams = run_lams(&cfg);
+        let sr = run_sr(&cfg);
+        assert_eq!(lams.lost, 0);
+        assert_eq!(sr.lost, 0);
+        assert!(
+            lams.efficiency() > sr.efficiency(),
+            "lams={} sr={}",
+            lams.efficiency(),
+            sr.efficiency()
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let mut cfg = small(1000);
+        cfg.data_residual_ber = 1e-5;
+        let a = run_lams(&cfg);
+        let b = run_lams(&cfg);
+        assert_eq!(a.finished_at, b.finished_at);
+        assert_eq!(a.transmissions, b.transmissions);
+        assert_eq!(a.retransmissions, b.retransmissions);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = small(2000);
+        cfg.data_residual_ber = 1e-5;
+        let a = run_lams(&cfg);
+        cfg.seed = 2;
+        let b = run_lams(&cfg);
+        assert_ne!(
+            (a.retransmissions, a.finished_at),
+            (b.retransmissions, b.finished_at)
+        );
+    }
+
+    #[test]
+    fn outage_recovers_without_loss() {
+        // A short outage inside the run: enforced recovery brings the
+        // link back; nothing may be lost.
+        let mut cfg = small(3000);
+        cfg.data_residual_ber = 0.0;
+        cfg.ctrl_residual_ber = 0.0;
+        cfg.outages.push(Outage {
+            from: Instant::from_millis(30),
+            until: Instant::from_millis(60),
+        });
+        let r = run_lams(&cfg);
+        assert_eq!(r.lost, 0, "outage must not lose frames");
+        assert!(!r.link_failed, "30 ms outage must be recoverable");
+    }
+
+    #[test]
+    fn analysis_params_derivation() {
+        let cfg = ScenarioConfig::paper_default();
+        let p = cfg.link_params();
+        p.validate().unwrap();
+        assert!((p.r - cfg.rtt().as_secs_f64()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,193 @@
+//! Traffic generators.
+
+use sim_core::{Duration, Instant, SimRng};
+
+/// Inter-arrival pattern.
+#[derive(Clone, Debug)]
+pub enum Pattern {
+    /// Constant bit rate: one SDU every `interval` (deterministic, the
+    /// paper's model of a saturated forwarding node when `interval = t_f`).
+    Cbr {
+        /// Inter-arrival spacing.
+        interval: Duration,
+    },
+    /// Poisson arrivals with the given mean inter-arrival time.
+    Poisson {
+        /// Mean inter-arrival time.
+        mean: Duration,
+    },
+    /// On-off bursts: `burst` SDUs back-to-back every `period`.
+    OnOff {
+        /// SDUs per burst.
+        burst: u64,
+        /// Burst period.
+        period: Duration,
+        /// Spacing inside a burst.
+        spacing: Duration,
+    },
+    /// All SDUs available at t = 0 (the paper's "N I-frames in the
+    /// sending buffer" batch model).
+    Batch,
+}
+
+/// Generates `total` SDU arrival instants.
+pub struct TrafficGen {
+    pattern: Pattern,
+    total: u64,
+    issued: u64,
+    next_at: Instant,
+    in_burst: u64,
+    rng: SimRng,
+}
+
+impl TrafficGen {
+    /// Create a generator issuing `total` SDUs from t = 0.
+    pub fn new(pattern: Pattern, total: u64, rng: SimRng) -> Self {
+        TrafficGen { pattern, total, issued: 0, next_at: Instant::ZERO, in_burst: 0, rng }
+    }
+
+    /// Total SDUs this generator will issue.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// SDUs issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Next arrival `(instant, id)`, or `None` when exhausted. Arrivals
+    /// are non-decreasing in time. (Named like `Iterator::next` on
+    /// purpose; the generator is stateful and RNG-backed, an `Iterator`
+    /// impl would invite accidental cloning of the stream.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(Instant, u64)> {
+        if self.issued >= self.total {
+            return None;
+        }
+        let id = self.issued;
+        let at = self.next_at;
+        self.issued += 1;
+        self.next_at = match &self.pattern {
+            Pattern::Cbr { interval } => at + *interval,
+            Pattern::Poisson { mean } => {
+                at + Duration::from_secs_f64(self.rng.exponential(mean.as_secs_f64()))
+            }
+            Pattern::OnOff { burst, period, spacing } => {
+                self.in_burst += 1;
+                if self.in_burst >= *burst {
+                    self.in_burst = 0;
+                    // Next burst starts one period after this one began.
+                    let burst_start =
+                        at.checked_sub(*spacing * (*burst - 1)).unwrap_or(Instant::ZERO);
+                    burst_start + *period
+                } else {
+                    at + *spacing
+                }
+            }
+            Pattern::Batch => at,
+        };
+        Some((at, id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SeedSplitter;
+
+    fn rng() -> SimRng {
+        SeedSplitter::new(7).stream(42)
+    }
+
+    #[test]
+    fn cbr_spacing() {
+        let mut g =
+            TrafficGen::new(Pattern::Cbr { interval: Duration::from_micros(100) }, 5, rng());
+        let times: Vec<u64> =
+            std::iter::from_fn(|| g.next()).map(|(t, _)| t.as_nanos()).collect();
+        assert_eq!(times, vec![0, 100_000, 200_000, 300_000, 400_000]);
+        assert!(g.next().is_none());
+    }
+
+    #[test]
+    fn batch_all_at_zero() {
+        let mut g = TrafficGen::new(Pattern::Batch, 3, rng());
+        let times: Vec<(Instant, u64)> = std::iter::from_fn(|| g.next()).collect();
+        assert_eq!(
+            times,
+            vec![
+                (Instant::ZERO, 0),
+                (Instant::ZERO, 1),
+                (Instant::ZERO, 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn poisson_mean_interarrival() {
+        let mean = Duration::from_micros(50);
+        let n = 100_000;
+        let mut g = TrafficGen::new(Pattern::Poisson { mean }, n, rng());
+        let mut last = Instant::ZERO;
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        while let Some((t, _)) = g.next() {
+            sum += t.duration_since(last).as_secs_f64();
+            last = t;
+            count += 1;
+        }
+        let measured = sum / (count - 1) as f64;
+        assert!(
+            (measured - 50e-6).abs() / 50e-6 < 0.05,
+            "measured={measured}"
+        );
+    }
+
+    #[test]
+    fn onoff_bursts() {
+        let mut g = TrafficGen::new(
+            Pattern::OnOff {
+                burst: 3,
+                period: Duration::from_millis(1),
+                spacing: Duration::from_micros(10),
+            },
+            7,
+            rng(),
+        );
+        let times: Vec<u64> =
+            std::iter::from_fn(|| g.next()).map(|(t, _)| t.as_nanos()).collect();
+        assert_eq!(
+            times,
+            vec![0, 10_000, 20_000, 1_000_000, 1_010_000, 1_020_000, 2_000_000]
+        );
+    }
+
+    #[test]
+    fn ids_sequential() {
+        let mut g = TrafficGen::new(Pattern::Batch, 4, rng());
+        let ids: Vec<u64> = std::iter::from_fn(|| g.next()).map(|(_, id)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn arrivals_monotone_all_patterns() {
+        for pattern in [
+            Pattern::Cbr { interval: Duration::from_micros(7) },
+            Pattern::Poisson { mean: Duration::from_micros(7) },
+            Pattern::OnOff {
+                burst: 5,
+                period: Duration::from_micros(100),
+                spacing: Duration::from_micros(3),
+            },
+            Pattern::Batch,
+        ] {
+            let mut g = TrafficGen::new(pattern.clone(), 1000, rng());
+            let mut last = Instant::ZERO;
+            while let Some((t, _)) = g.next() {
+                assert!(t >= last, "pattern {pattern:?} went backwards");
+                last = t;
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! HDLC baseline configuration.
+
+use sim_core::Duration;
+
+/// Parameters of the SR-HDLC / GBN-HDLC baselines, mirroring the paper's
+/// §4 analysis model.
+#[derive(Clone, Debug)]
+pub struct HdlcConfig {
+    /// Send window `W`. Must satisfy `W ≤ 2^(seq_bits-1)` (the
+    /// selective-repeat ½-numbering rule; the paper: `W ≈ M/2`,
+    /// `M = 2^l`).
+    pub window: usize,
+    /// Bits in the wire sequence-number field (`l`; `M = 2^l`).
+    pub seq_bits: u32,
+    /// Retransmission timeout `t_out = R + α` (§4: α ≥ R_max − R̄ in a
+    /// high-mobility network).
+    pub t_out: Duration,
+    /// I-frame transmission time `t_f`.
+    pub t_f: Duration,
+    /// Control (supervisory) frame transmission time `t_c`.
+    pub t_c: Duration,
+    /// Deterministic processing time `t_proc`.
+    pub t_proc: Duration,
+}
+
+impl HdlcConfig {
+    /// A configuration matched to [`LamsConfig::paper_default`]
+    /// (same link: R ≈ 26.7 ms, 300 Mbps, 1 kB frames), with
+    /// `α = 10 ms` of mobility slack and a window sized to one
+    /// bandwidth-delay product.
+    ///
+    /// [`LamsConfig::paper_default`]: https://docs.rs/lams-dlc
+    pub fn paper_default() -> Self {
+        HdlcConfig {
+            window: 1024,
+            seq_bits: 11, // M = 2048, W = M/2
+            t_out: Duration::from_micros(26_700 + 10_000),
+            t_f: Duration::from_micros(27),
+            t_c: Duration::from_micros(10),
+            t_proc: Duration::from_micros(10),
+        }
+    }
+
+    /// Wire sequence modulus `M = 2^l`.
+    pub fn modulus(&self) -> u64 {
+        1u64 << self.seq_bits
+    }
+
+    /// Validate invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window == 0 {
+            return Err("window must be positive".into());
+        }
+        if self.seq_bits == 0 || self.seq_bits > 32 {
+            return Err(format!("seq_bits out of range: {}", self.seq_bits));
+        }
+        if (self.window as u64) > self.modulus() / 2 {
+            return Err(format!(
+                "window {} exceeds half the numbering space {} (SR ambiguity)",
+                self.window,
+                self.modulus()
+            ));
+        }
+        if self.t_out.is_zero() || self.t_f.is_zero() {
+            return Err("t_out and t_f must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_validates() {
+        HdlcConfig::paper_default().validate().unwrap();
+    }
+
+    #[test]
+    fn window_half_rule_enforced() {
+        let mut c = HdlcConfig::paper_default();
+        c.window = (c.modulus() / 2 + 1) as usize;
+        assert!(c.validate().is_err());
+        c.window = (c.modulus() / 2) as usize;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_rejected() {
+        let mut c = HdlcConfig::paper_default();
+        c.window = 0;
+        assert!(c.validate().is_err());
+        let mut c = HdlcConfig::paper_default();
+        c.seq_bits = 0;
+        assert!(c.validate().is_err());
+        let mut c = HdlcConfig::paper_default();
+        c.t_out = Duration::ZERO;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! HDLC frame types used by the baselines.
+//!
+//! The experiments run data in one direction, so acknowledgement traffic
+//! is carried by supervisory frames rather than piggybacked `N(R)` fields
+//! (which also keeps the comparison with LAMS-DLC — whose assumption 4
+//! forbids piggybacking — apples-to-apples).
+
+use bytes::Bytes;
+
+/// An HDLC frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HdlcFrame {
+    /// Information frame. `ns` is the logical send sequence number —
+    /// unlike LAMS-DLC, the *same* number is reused for every
+    /// retransmission of the same I-frame (the in-sequence constraint
+    /// requires it, §2.3).
+    Info {
+        /// Send sequence number `N(S)`.
+        ns: u64,
+        /// End-to-end datagram id (opaque payload identity for metrics).
+        packet_id: u64,
+        /// Poll bit: demands an immediate supervisory response.
+        poll: bool,
+        /// User payload.
+        payload: Bytes,
+    },
+    /// Receive Ready: cumulative acknowledgement of everything below
+    /// `nr`; grants further window credit.
+    Rr {
+        /// Receive sequence number `N(R)` — next expected.
+        nr: u64,
+        /// Final bit (set when answering a poll).
+        fin: bool,
+    },
+    /// Selective Reject: retransmit exactly frame `nr` (SR mode).
+    Srej {
+        /// The rejected sequence number.
+        nr: u64,
+    },
+    /// Reject: retransmit from `nr` onward (GBN mode).
+    Rej {
+        /// First sequence number to resend.
+        nr: u64,
+    },
+}
+
+impl HdlcFrame {
+    /// Short label for metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HdlcFrame::Info { .. } => "I",
+            HdlcFrame::Rr { .. } => "RR",
+            HdlcFrame::Srej { .. } => "SREJ",
+            HdlcFrame::Rej { .. } => "REJ",
+        }
+    }
+
+    /// Is this an information frame?
+    pub fn is_info(&self) -> bool {
+        matches!(self, HdlcFrame::Info { .. })
+    }
+}
+
+/// Reception status from the channel (same convention as LAMS-DLC:
+/// headers survive, payload corruption is flagged; fully destroyed frames
+/// simply never arrive and are found by timeout or SREJ).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RxStatus {
+    /// Clean.
+    Ok,
+    /// Residually corrupted (CRC failure).
+    PayloadCorrupted,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds() {
+        let i = HdlcFrame::Info { ns: 0, packet_id: 0, poll: false, payload: Bytes::new() };
+        assert_eq!(i.kind(), "I");
+        assert!(i.is_info());
+        assert_eq!(HdlcFrame::Rr { nr: 0, fin: false }.kind(), "RR");
+        assert_eq!(HdlcFrame::Srej { nr: 0 }.kind(), "SREJ");
+        assert_eq!(HdlcFrame::Rej { nr: 0 }.kind(), "REJ");
+    }
+}

@@ -1,0 +1,461 @@
+//! Go-Back-N HDLC (the REJ-based variant referenced in §1/§2).
+//!
+//! The receiver accepts only the in-sequence frame and discards everything
+//! after a loss; a single REJ rewinds the sender to the missing number.
+//! Included as the second baseline: the paper notes GBN is "often
+//! preferred despite its inferior performance" under strict reliability,
+//! and on long fat links it discards a full link-frame-length of good
+//! frames per error (§2.3).
+
+use crate::config::HdlcConfig;
+use crate::frame::{HdlcFrame, RxStatus};
+use bytes::Bytes;
+use sim_core::Instant;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Counters for the GBN sender.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GbnSenderStats {
+    /// First transmissions.
+    pub new_transmissions: u64,
+    /// Retransmissions (REJ- or timeout-triggered).
+    pub retransmissions: u64,
+    /// Timeout expirations.
+    pub timeouts: u64,
+    /// Frames released by RR.
+    pub released: u64,
+    /// REJ frames processed.
+    pub rejs: u64,
+    /// Corrupted supervisory frames dropped.
+    pub rx_corrupted: u64,
+}
+
+/// The GBN sending endpoint.
+pub struct GbnSender {
+    cfg: HdlcConfig,
+    base: u64,
+    next: u64,
+    /// Next number to (re)send; rewound by REJ/timeout. Invariant:
+    /// `base ≤ cursor ≤ next`.
+    cursor: u64,
+    outstanding: BTreeMap<u64, (u64, Bytes, Instant)>,
+    queue: VecDeque<(u64, Bytes)>,
+    timer: Option<Instant>,
+    next_tx_allowed: Instant,
+    stats: GbnSenderStats,
+}
+
+impl GbnSender {
+    /// Create a sender; call [`GbnSender::start`] when the link is up.
+    pub fn new(cfg: HdlcConfig) -> Self {
+        cfg.validate().expect("invalid HdlcConfig");
+        GbnSender {
+            cfg,
+            base: 0,
+            next: 0,
+            cursor: 0,
+            outstanding: BTreeMap::new(),
+            queue: VecDeque::new(),
+            timer: None,
+            next_tx_allowed: Instant::ZERO,
+            stats: GbnSenderStats::default(),
+        }
+    }
+
+    /// Mark the link active.
+    pub fn start(&mut self, now: Instant) {
+        self.next_tx_allowed = now;
+    }
+
+    /// Accept an SDU.
+    pub fn push(&mut self, packet_id: u64, payload: Bytes) {
+        self.queue.push_back((packet_id, payload));
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> GbnSenderStats {
+        self.stats
+    }
+
+    /// Total sending-buffer occupancy.
+    pub fn buffered(&self) -> usize {
+        self.queue.len() + self.outstanding.len()
+    }
+
+    fn window_open(&self) -> bool {
+        self.next < self.base + self.cfg.window as u64
+    }
+
+    fn has_transmittable(&self) -> bool {
+        self.cursor < self.next || (!self.queue.is_empty() && self.window_open())
+    }
+
+    /// Earliest instant of pending work.
+    pub fn poll_timeout(&self) -> Option<Instant> {
+        let mut t = self.timer;
+        if self.has_transmittable() {
+            t = Some(t.map_or(self.next_tx_allowed, |x| x.min(self.next_tx_allowed)));
+        }
+        t
+    }
+
+    /// Timeout: go back to `base` and resend the whole window.
+    pub fn on_timeout(&mut self, now: Instant) {
+        if let Some(t) = self.timer {
+            if now >= t {
+                self.stats.timeouts += 1;
+                self.cursor = self.base;
+                self.timer = Some(now + self.cfg.t_out);
+            }
+        }
+    }
+
+    /// Produce the next outbound frame.
+    pub fn poll_transmit(&mut self, now: Instant) -> Option<HdlcFrame> {
+        if now < self.next_tx_allowed {
+            return None;
+        }
+        // Resend pass (cursor behind next).
+        if self.cursor < self.next {
+            let ns = self.cursor;
+            self.cursor += 1;
+            let (packet_id, payload, _) = self.outstanding.get(&ns)?.clone();
+            self.stats.retransmissions += 1;
+            self.next_tx_allowed = now + self.cfg.t_f;
+            self.timer = Some(now + self.cfg.t_out);
+            let poll = !self.has_transmittable();
+            return Some(HdlcFrame::Info { ns, packet_id, poll, payload });
+        }
+        if self.window_open() {
+            if let Some((packet_id, payload)) = self.queue.pop_front() {
+                let ns = self.next;
+                self.next += 1;
+                self.cursor = self.next;
+                self.outstanding.insert(ns, (packet_id, payload.clone(), now));
+                self.stats.new_transmissions += 1;
+                self.next_tx_allowed = now + self.cfg.t_f;
+                // Timeout clock runs from the most recent transmission.
+                self.timer = Some(now + self.cfg.t_out);
+                let poll = !self.has_transmittable();
+                return Some(HdlcFrame::Info { ns, packet_id, poll, payload });
+            }
+        }
+        None
+    }
+
+    /// Inject a received supervisory frame.
+    pub fn handle_frame(&mut self, now: Instant, frame: HdlcFrame, status: RxStatus) {
+        if status != RxStatus::Ok {
+            self.stats.rx_corrupted += 1;
+            return;
+        }
+        match frame {
+            HdlcFrame::Rr { nr, .. } => {
+                let acked: Vec<u64> =
+                    self.outstanding.range(..nr).map(|(&s, _)| s).collect();
+                for ns in acked {
+                    self.outstanding.remove(&ns);
+                    self.stats.released += 1;
+                }
+                self.base = self.base.max(nr);
+                self.cursor = self.cursor.max(self.base);
+                self.timer = if self.outstanding.is_empty() {
+                    None
+                } else {
+                    Some(now + self.cfg.t_out)
+                };
+            }
+            HdlcFrame::Rej { nr } => {
+                self.stats.rejs += 1;
+                // Cumulative ack below nr, then go back.
+                let acked: Vec<u64> =
+                    self.outstanding.range(..nr).map(|(&s, _)| s).collect();
+                for ns in acked {
+                    self.outstanding.remove(&ns);
+                    self.stats.released += 1;
+                }
+                self.base = self.base.max(nr);
+                if nr < self.next {
+                    self.cursor = nr;
+                }
+            }
+            HdlcFrame::Srej { .. } | HdlcFrame::Info { .. } => {}
+        }
+    }
+}
+
+/// Counters for the GBN receiver.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GbnReceiverStats {
+    /// In-sequence frames delivered.
+    pub delivered: u64,
+    /// Out-of-sequence or corrupted frames discarded — the §2.3 "waste":
+    /// uncorrupted frames thrown away because an earlier one was lost.
+    pub discarded: u64,
+    /// REJ frames emitted.
+    pub rejs_sent: u64,
+    /// RRs emitted.
+    pub rrs_sent: u64,
+}
+
+/// The GBN receiving endpoint: in-sequence only, no resequencing buffer.
+pub struct GbnReceiver {
+    cfg: HdlcConfig,
+    expected: u64,
+    /// One REJ per go-back episode.
+    rej_outstanding: bool,
+    pending_tx: VecDeque<HdlcFrame>,
+    processing: VecDeque<crate::sr_receiver::SrDelivery>,
+    server_free_at: Instant,
+    stats: GbnReceiverStats,
+}
+
+impl GbnReceiver {
+    /// Create a receiver.
+    pub fn new(cfg: HdlcConfig) -> Self {
+        cfg.validate().expect("invalid HdlcConfig");
+        GbnReceiver {
+            cfg,
+            expected: 0,
+            rej_outstanding: false,
+            pending_tx: VecDeque::new(),
+            processing: VecDeque::new(),
+            server_free_at: Instant::ZERO,
+            stats: GbnReceiverStats::default(),
+        }
+    }
+
+    /// Mark the link active.
+    pub fn start(&mut self, now: Instant) {
+        self.server_free_at = now;
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> GbnReceiverStats {
+        self.stats
+    }
+
+    /// Next expected sequence number.
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+
+    /// Earliest processing completion.
+    pub fn poll_timeout(&self) -> Option<Instant> {
+        self.processing.front().map(|d| d.ready_at)
+    }
+
+    /// No timers; driver symmetry.
+    pub fn on_timeout(&mut self, _now: Instant) {}
+
+    /// Drain outbound supervisory frames.
+    pub fn poll_transmit(&mut self, _now: Instant) -> Option<HdlcFrame> {
+        self.pending_tx.pop_front()
+    }
+
+    /// Pop the next completed delivery.
+    pub fn poll_deliver(&mut self, now: Instant) -> Option<crate::sr_receiver::SrDelivery> {
+        if self.processing.front().is_some_and(|d| d.ready_at <= now) {
+            self.processing.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Inject a frame.
+    pub fn handle_frame(&mut self, now: Instant, frame: HdlcFrame, status: RxStatus) {
+        let HdlcFrame::Info { ns, packet_id, poll, payload } = frame else {
+            return;
+        };
+        let accept = status == RxStatus::Ok && ns == self.expected;
+        if accept {
+            let start = self.server_free_at.max(now);
+            let ready_at = start + self.cfg.t_proc;
+            self.server_free_at = ready_at;
+            self.processing.push_back(crate::sr_receiver::SrDelivery {
+                packet_id,
+                ns,
+                payload,
+                ready_at,
+            });
+            self.stats.delivered += 1;
+            self.expected += 1;
+            self.rej_outstanding = false;
+        } else {
+            self.stats.discarded += 1;
+            // One REJ per episode, only for frames beyond the expected one
+            // (a stale duplicate needs no REJ).
+            if ns >= self.expected && !self.rej_outstanding {
+                self.rej_outstanding = true;
+                self.stats.rejs_sent += 1;
+                self.pending_tx.push_back(HdlcFrame::Rej { nr: self.expected });
+            }
+        }
+        if poll {
+            self.stats.rrs_sent += 1;
+            self.pending_tx.push_back(HdlcFrame::Rr { nr: self.expected, fin: true });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::Duration;
+
+    fn cfg() -> HdlcConfig {
+        let mut c = HdlcConfig::paper_default();
+        c.window = 4;
+        c.seq_bits = 3;
+        c
+    }
+
+    fn info(ns: u64, poll: bool) -> HdlcFrame {
+        HdlcFrame::Info { ns, packet_id: ns, poll, payload: Bytes::from_static(b"p") }
+    }
+
+    fn drain_tx(s: &mut GbnSender, now: &mut Instant) -> Vec<u64> {
+        let mut out = Vec::new();
+        loop {
+            match s.poll_transmit(*now) {
+                Some(HdlcFrame::Info { ns, .. }) => out.push(ns),
+                Some(_) => {}
+                None => match s.poll_timeout() {
+                    Some(t) if t > *now && s.has_transmittable() => *now = t,
+                    _ => break,
+                },
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sender_fills_window() {
+        let mut s = GbnSender::new(cfg());
+        s.start(Instant::ZERO);
+        for i in 0..6 {
+            s.push(i, Bytes::new());
+        }
+        let mut now = Instant::ZERO;
+        assert_eq!(drain_tx(&mut s, &mut now), vec![0, 1, 2, 3]);
+        assert_eq!(s.buffered(), 6);
+    }
+
+    #[test]
+    fn rej_goes_back() {
+        let mut s = GbnSender::new(cfg());
+        s.start(Instant::ZERO);
+        for i in 0..3 {
+            s.push(i, Bytes::new());
+        }
+        let mut now = Instant::ZERO;
+        drain_tx(&mut s, &mut now);
+        s.handle_frame(now, HdlcFrame::Rej { nr: 1 }, RxStatus::Ok);
+        assert_eq!(s.stats().released, 1, "REJ acks below nr");
+        let resent = drain_tx(&mut s, &mut now);
+        assert_eq!(resent, vec![1, 2], "goes back to nr and resends all");
+        assert_eq!(s.stats().retransmissions, 2);
+    }
+
+    #[test]
+    fn timeout_resends_window() {
+        let mut s = GbnSender::new(cfg());
+        s.start(Instant::ZERO);
+        s.push(0, Bytes::new());
+        s.push(1, Bytes::new());
+        let mut now = Instant::ZERO;
+        drain_tx(&mut s, &mut now);
+        let t = s.poll_timeout().unwrap();
+        s.on_timeout(t);
+        let mut t2 = t;
+        assert_eq!(drain_tx(&mut s, &mut t2), vec![0, 1]);
+        assert_eq!(s.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn receiver_accepts_in_order_only() {
+        let mut r = GbnReceiver::new(cfg());
+        r.start(Instant::ZERO);
+        let now = Instant::ZERO;
+        r.handle_frame(now, info(0, false), RxStatus::Ok);
+        r.handle_frame(now, info(2, false), RxStatus::Ok); // 1 lost → discard 2
+        r.handle_frame(now, info(3, false), RxStatus::Ok); // discard 3 too
+        assert_eq!(r.stats().delivered, 1);
+        assert_eq!(r.stats().discarded, 2, "good frames wasted — §2.3");
+        // Single REJ for the episode.
+        let tx: Vec<HdlcFrame> = std::iter::from_fn(|| r.poll_transmit(now)).collect();
+        assert_eq!(tx, vec![HdlcFrame::Rej { nr: 1 }]);
+    }
+
+    #[test]
+    fn rej_episode_resets_after_recovery() {
+        let mut r = GbnReceiver::new(cfg());
+        r.start(Instant::ZERO);
+        let now = Instant::ZERO;
+        r.handle_frame(now, info(1, false), RxStatus::Ok); // REJ 0
+        r.handle_frame(now, info(0, false), RxStatus::Ok); // recovers
+        r.handle_frame(now, info(1, false), RxStatus::Ok); // go-back replay
+        r.handle_frame(now, info(2, false), RxStatus::Ok);
+        r.handle_frame(now, info(4, false), RxStatus::Ok); // new episode → REJ 3
+        let rejs: Vec<HdlcFrame> = std::iter::from_fn(|| r.poll_transmit(now))
+            .filter(|f| matches!(f, HdlcFrame::Rej { .. }))
+            .collect();
+        assert_eq!(rejs, vec![HdlcFrame::Rej { nr: 0 }, HdlcFrame::Rej { nr: 3 }]);
+    }
+
+    #[test]
+    fn corrupted_in_order_frame_discarded_and_rejd() {
+        let mut r = GbnReceiver::new(cfg());
+        r.start(Instant::ZERO);
+        let now = Instant::ZERO;
+        r.handle_frame(now, info(0, false), RxStatus::PayloadCorrupted);
+        assert_eq!(r.stats().delivered, 0);
+        let tx: Vec<HdlcFrame> = std::iter::from_fn(|| r.poll_transmit(now)).collect();
+        assert_eq!(tx, vec![HdlcFrame::Rej { nr: 0 }]);
+    }
+
+    #[test]
+    fn poll_answered_with_rr() {
+        let mut r = GbnReceiver::new(cfg());
+        r.start(Instant::ZERO);
+        let now = Instant::ZERO;
+        r.handle_frame(now, info(0, true), RxStatus::Ok);
+        let tx: Vec<HdlcFrame> = std::iter::from_fn(|| r.poll_transmit(now)).collect();
+        assert_eq!(tx, vec![HdlcFrame::Rr { nr: 1, fin: true }]);
+    }
+
+    #[test]
+    fn end_to_end_gbn_recovery() {
+        // Lose frame 1 once; verify everything is eventually delivered in
+        // order through REJ recovery.
+        let mut s = GbnSender::new(cfg());
+        let mut r = GbnReceiver::new(cfg());
+        let mut now = Instant::ZERO;
+        s.start(now);
+        r.start(now);
+        for i in 0..4 {
+            s.push(i, Bytes::new());
+        }
+        let mut lost_once = false;
+        let mut delivered = Vec::new();
+        for _ in 0..200 {
+            if let Some(f) = s.poll_transmit(now) {
+                let drop = matches!(f, HdlcFrame::Info { ns: 1, .. }) && !lost_once;
+                if drop {
+                    lost_once = true;
+                } else {
+                    r.handle_frame(now, f, RxStatus::Ok);
+                }
+            }
+            while let Some(f) = r.poll_transmit(now) {
+                s.handle_frame(now, f, RxStatus::Ok);
+            }
+            while let Some(d) = r.poll_deliver(now) {
+                delivered.push(d.ns);
+            }
+            s.on_timeout(now);
+            now += Duration::from_micros(50);
+        }
+        assert_eq!(delivered, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+//! # hdlc
+//!
+//! The baseline ARQ protocols the paper compares LAMS-DLC against:
+//!
+//! * [`SrSender`] / [`SrReceiver`] — **selective-repeat HDLC** as modelled
+//!   in §4: SREJ recovery in the transmission period, timeout recovery
+//!   (`t_out = R + α`) in retransmission periods, Poll/Final RR as the
+//!   per-window positive acknowledgement, stable sequence numbers, and
+//!   strict in-sequence delivery through a window-sized resequencing
+//!   buffer;
+//! * [`GbnSender`] / [`GbnReceiver`] — **Go-Back-N** (REJ-based), the
+//!   variant §2 notes is often preferred under strict reliability despite
+//!   discarding every good frame that follows a loss.
+//!
+//! Both are sans-IO state machines driven exactly like
+//! `lams_dlc::{Sender, Receiver}`, so the experiment harness runs all
+//! three protocols over identical channel realisations.
+
+pub mod config;
+pub mod frame;
+pub mod gbn;
+pub mod sr_receiver;
+pub mod sr_sender;
+pub mod wire;
+
+pub use config::HdlcConfig;
+pub use frame::{HdlcFrame, RxStatus};
+pub use gbn::{GbnReceiver, GbnReceiverStats, GbnSender, GbnSenderStats};
+pub use sr_receiver::{SrDelivery, SrReceiver, SrReceiverStats};
+pub use sr_sender::{SrSender, SrSenderEvent, SrSenderStats};

@@ -1,0 +1,490 @@
+//! Selective-repeat HDLC sender.
+//!
+//! Implements the §4 analysis model of SR-HDLC faithfully:
+//!
+//! * a window of `W` I-frames; each I-frame keeps its sequence number
+//!   across retransmissions (the in-sequence constraint demands it —
+//!   §2.3: "each I-frame is identified with one number");
+//! * **window-serial operation**: §4 models the transmission and
+//!   retransmission periods as "repeated every time the window is
+//!   exhausted" and `D_high = m·D_low(W)` — one window must *fully
+//!   resolve* (every frame positively acknowledged) before the next
+//!   opens. This is the property that makes `B_HDLC = ∞` at saturation;
+//! * **transmission-period recovery** by SREJ: a SREJ retransmits exactly
+//!   the rejected frame;
+//! * **retransmission-period recovery** by timeout: if no RR arrives
+//!   within `t_out = R + α`, every unacknowledged frame is resent;
+//! * the last I-frame of a (re)transmission burst carries the **Poll**
+//!   bit — the paper's "RR(p)" — demanding an immediate RR; at most one
+//!   poll is outstanding at a time, the timeout re-arms it.
+
+use crate::config::HdlcConfig;
+use crate::frame::{HdlcFrame, RxStatus};
+use bytes::Bytes;
+use sim_core::Instant;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+#[derive(Clone, Debug)]
+struct Out {
+    packet_id: u64,
+    payload: Bytes,
+    first_sent: Instant,
+}
+
+/// Sender-side notifications.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SrSenderEvent {
+    /// A frame was cumulatively acknowledged by RR; `held_for_ns` spans
+    /// from its *first* transmission (the paper's holding time).
+    Released {
+        /// End-to-end id of the released datagram.
+        packet_id: u64,
+        /// Its (stable) sequence number.
+        ns: u64,
+        /// Sender-buffer holding time in nanoseconds.
+        held_for_ns: u64,
+    },
+}
+
+/// Counters for experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SrSenderStats {
+    /// First transmissions.
+    pub new_transmissions: u64,
+    /// Retransmissions (SREJ- or timeout-triggered).
+    pub retransmissions: u64,
+    /// Timeout expirations (retransmission periods entered).
+    pub timeouts: u64,
+    /// Frames released by RR.
+    pub released: u64,
+    /// SREJ frames processed.
+    pub srejs: u64,
+    /// RR frames processed.
+    pub rrs: u64,
+    /// Corrupted supervisory frames dropped.
+    pub rx_corrupted: u64,
+}
+
+/// The SR-HDLC sending endpoint (sans-IO, same driving contract as
+/// `lams_dlc::Sender`).
+pub struct SrSender {
+    cfg: HdlcConfig,
+    /// Oldest unacknowledged sequence number.
+    base: u64,
+    /// Next fresh sequence number.
+    next: u64,
+    /// New frames transmitted in the current window epoch; the next epoch
+    /// opens only when the current one fully resolves (§4 window-serial
+    /// model).
+    epoch_sent: usize,
+    /// A Poll is in flight and its RR has not yet arrived.
+    poll_outstanding: bool,
+    outstanding: BTreeMap<u64, Out>,
+    queue: VecDeque<(u64, Bytes)>,
+    /// Sequence numbers awaiting retransmission, ascending.
+    retx: BTreeSet<u64>,
+    timer: Option<Instant>,
+    next_tx_allowed: Instant,
+    events: VecDeque<SrSenderEvent>,
+    stats: SrSenderStats,
+}
+
+impl SrSender {
+    /// Create a sender; call [`SrSender::start`] when the link is up.
+    pub fn new(cfg: HdlcConfig) -> Self {
+        cfg.validate().expect("invalid HdlcConfig");
+        SrSender {
+            cfg,
+            base: 0,
+            next: 0,
+            epoch_sent: 0,
+            poll_outstanding: false,
+            outstanding: BTreeMap::new(),
+            queue: VecDeque::new(),
+            retx: BTreeSet::new(),
+            timer: None,
+            next_tx_allowed: Instant::ZERO,
+            events: VecDeque::new(),
+            stats: SrSenderStats::default(),
+        }
+    }
+
+    /// Mark the link active.
+    pub fn start(&mut self, now: Instant) {
+        self.next_tx_allowed = now;
+    }
+
+    /// Accept an SDU from the network layer. The queue is unbounded — the
+    /// paper's point is precisely that it *grows without bound* at
+    /// saturation (`B_HDLC = ∞`); [`SrSender::buffered`] exposes the
+    /// occupancy the experiments plot.
+    pub fn push(&mut self, packet_id: u64, payload: Bytes) {
+        self.queue.push_back((packet_id, payload));
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SrSenderStats {
+        self.stats
+    }
+
+    /// Drain the next notification.
+    pub fn poll_event(&mut self) -> Option<SrSenderEvent> {
+        self.events.pop_front()
+    }
+
+    /// SDUs waiting for a window slot.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Frames in the window awaiting acknowledgement.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Total sending-buffer occupancy (queued + outstanding).
+    pub fn buffered(&self) -> usize {
+        self.queue.len() + self.outstanding.len()
+    }
+
+    /// The current epoch still accepts fresh frames.
+    fn window_open(&self) -> bool {
+        self.epoch_sent < self.cfg.window
+    }
+
+    fn has_transmittable(&self) -> bool {
+        !self.retx.is_empty() || (!self.queue.is_empty() && self.window_open())
+    }
+
+    /// Earliest instant at which the sender has work.
+    pub fn poll_timeout(&self) -> Option<Instant> {
+        let mut t = self.timer;
+        if self.has_transmittable() {
+            t = Some(t.map_or(self.next_tx_allowed, |x| x.min(self.next_tx_allowed)));
+        }
+        t
+    }
+
+    /// Fire the retransmission timer if due: every unacknowledged frame
+    /// re-enters the retransmission set (§4's retransmission period), and
+    /// the stale poll is abandoned so the burst can re-poll.
+    pub fn on_timeout(&mut self, now: Instant) {
+        if let Some(t) = self.timer {
+            if now >= t {
+                self.stats.timeouts += 1;
+                self.poll_outstanding = false;
+                for &ns in self.outstanding.keys() {
+                    self.retx.insert(ns);
+                }
+                self.timer = Some(now + self.cfg.t_out);
+            }
+        }
+    }
+
+    /// Produce the next outbound frame if the line is free.
+    pub fn poll_transmit(&mut self, now: Instant) -> Option<HdlcFrame> {
+        if now < self.next_tx_allowed {
+            return None;
+        }
+        // Retransmissions first (ascending sequence order).
+        if let Some(&ns) = self.retx.iter().next() {
+            self.retx.remove(&ns);
+            let Some(out) = self.outstanding.get(&ns) else {
+                // Acked while queued for retransmission; skip.
+                return self.poll_transmit(now);
+            };
+            self.stats.retransmissions += 1;
+            self.next_tx_allowed = now + self.cfg.t_f;
+            self.timer = Some(now + self.cfg.t_out);
+            let poll = !self.has_transmittable() && !self.poll_outstanding;
+            self.poll_outstanding |= poll;
+            return Some(HdlcFrame::Info {
+                ns,
+                packet_id: out.packet_id,
+                poll,
+                payload: out.payload.clone(),
+            });
+        }
+        // New frames while the window is open.
+        if self.window_open() {
+            if let Some((packet_id, payload)) = self.queue.pop_front() {
+                let ns = self.next;
+                self.next += 1;
+                self.epoch_sent += 1;
+                self.outstanding.insert(
+                    ns,
+                    Out { packet_id, payload: payload.clone(), first_sent: now },
+                );
+                self.stats.new_transmissions += 1;
+                self.next_tx_allowed = now + self.cfg.t_f;
+                // The timeout clock runs from the most recent transmission
+                // (it must never fire while the window is still being
+                // serialised).
+                self.timer = Some(now + self.cfg.t_out);
+                // The paper's RR(p): the frame that exhausts the window
+                // ALWAYS polls (the per-window response of §4); a burst
+                // that ends early polls too, at most one poll in flight.
+                let window_poll = self.epoch_sent == self.cfg.window;
+                let tail_poll = !self.has_transmittable() && !self.poll_outstanding;
+                let poll = window_poll || tail_poll;
+                self.poll_outstanding |= poll;
+                return Some(HdlcFrame::Info { ns, packet_id, poll, payload });
+            }
+        }
+        None
+    }
+
+    /// Inject a received supervisory frame.
+    pub fn handle_frame(&mut self, now: Instant, frame: HdlcFrame, status: RxStatus) {
+        if status != RxStatus::Ok {
+            self.stats.rx_corrupted += 1;
+            return;
+        }
+        match frame {
+            HdlcFrame::Rr { nr, .. } => {
+                self.stats.rrs += 1;
+                self.poll_outstanding = false;
+                // Cumulative acknowledgement below nr.
+                let acked: Vec<u64> =
+                    self.outstanding.range(..nr).map(|(&s, _)| s).collect();
+                for ns in acked {
+                    let out = self.outstanding.remove(&ns).expect("present");
+                    self.retx.remove(&ns);
+                    self.stats.released += 1;
+                    self.events.push_back(SrSenderEvent::Released {
+                        packet_id: out.packet_id,
+                        ns,
+                        held_for_ns: now.duration_since(out.first_sent).as_nanos(),
+                    });
+                }
+                self.base = self.base.max(nr);
+                // RR is the window's positive acknowledgement: the next
+                // window epoch opens only once this one fully resolved
+                // (§4 window-serial model); the timer covers anything
+                // still unresolved.
+                if self.outstanding.is_empty() && self.retx.is_empty() {
+                    self.timer = None;
+                    self.epoch_sent = 0;
+                } else {
+                    self.timer = Some(now + self.cfg.t_out);
+                }
+            }
+            HdlcFrame::Srej { nr } => {
+                self.stats.srejs += 1;
+                if self.outstanding.contains_key(&nr) {
+                    self.retx.insert(nr);
+                }
+            }
+            // REJ belongs to the GBN variant; SR ignores it.
+            HdlcFrame::Rej { .. } => {}
+            HdlcFrame::Info { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::Duration;
+
+    fn cfg() -> HdlcConfig {
+        let mut c = HdlcConfig::paper_default();
+        c.window = 4;
+        c.seq_bits = 3; // M = 8, W = 4
+        c
+    }
+
+    fn started() -> (SrSender, Instant) {
+        let mut s = SrSender::new(cfg());
+        s.start(Instant::ZERO);
+        (s, Instant::ZERO)
+    }
+
+    fn drain(s: &mut SrSender, now: &mut Instant) -> Vec<HdlcFrame> {
+        let mut out = Vec::new();
+        loop {
+            match s.poll_transmit(*now) {
+                Some(f) => out.push(f),
+                None => match s.poll_timeout() {
+                    Some(t) if t > *now && s.has_transmittable() => *now = t,
+                    _ => break,
+                },
+            }
+        }
+        out
+    }
+
+    fn seqs(frames: &[HdlcFrame]) -> Vec<(u64, bool)> {
+        frames
+            .iter()
+            .map(|f| match f {
+                HdlcFrame::Info { ns, poll, .. } => (*ns, *poll),
+                other => panic!("{other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sends_window_then_stalls_with_poll_on_last() {
+        let (mut s, mut now) = started();
+        for i in 0..6 {
+            s.push(i, Bytes::from_static(b"x"));
+        }
+        let frames = drain(&mut s, &mut now);
+        // Window is 4: frames 0..=3 go out, 3 polls, 4 and 5 wait.
+        assert_eq!(seqs(&frames), vec![(0, false), (1, false), (2, false), (3, true)]);
+        assert_eq!(s.queued(), 2);
+        assert_eq!(s.outstanding(), 4);
+    }
+
+    #[test]
+    fn same_seq_reused_on_retransmission() {
+        let (mut s, mut now) = started();
+        s.push(7, Bytes::from_static(b"x"));
+        let f = drain(&mut s, &mut now);
+        assert_eq!(seqs(&f), vec![(0, true)]);
+        // SREJ while the original poll is still outstanding: the
+        // retransmission reuses the number but does not re-poll (the RR
+        // answering the first poll is on its way).
+        s.handle_frame(now, HdlcFrame::Srej { nr: 0 }, RxStatus::Ok);
+        now += Duration::from_micros(100);
+        let f = drain(&mut s, &mut now);
+        assert_eq!(seqs(&f), vec![(0, false)], "HDLC must reuse the number");
+        assert_eq!(s.stats().retransmissions, 1);
+        // A prefix-only RR (nothing new acked) clears the poll; the
+        // timeout then retransmits with a fresh poll — §4's
+        // timeout-recovery retransmission period.
+        s.handle_frame(now, HdlcFrame::Rr { nr: 0, fin: true }, RxStatus::Ok);
+        let t = s.poll_timeout().expect("timer armed");
+        s.on_timeout(t);
+        let mut t2 = t;
+        let f = drain(&mut s, &mut t2);
+        assert_eq!(seqs(&f), vec![(0, true)], "timeout burst must re-poll");
+    }
+
+    #[test]
+    fn rr_releases_cumulatively_and_opens_window() {
+        let (mut s, mut now) = started();
+        for i in 0..5 {
+            s.push(i, Bytes::from_static(b"x"));
+        }
+        drain(&mut s, &mut now); // 0..=3 out
+        now += Duration::from_millis(1);
+        // A partial RR releases the prefix but the window epoch stays
+        // closed until the whole window resolves (§4 window-serial model).
+        s.handle_frame(now, HdlcFrame::Rr { nr: 3, fin: true }, RxStatus::Ok);
+        assert_eq!(s.stats().released, 3);
+        assert_eq!(s.outstanding(), 1);
+        now += Duration::from_micros(100);
+        assert!(s.poll_transmit(now).is_none(), "epoch must stay closed");
+        // Full resolution opens the next epoch: frame 4 flows.
+        s.handle_frame(now, HdlcFrame::Rr { nr: 4, fin: true }, RxStatus::Ok);
+        let f = drain(&mut s, &mut now);
+        assert_eq!(seqs(&f), vec![(4, true)]);
+        let held: Vec<u64> = std::iter::from_fn(|| s.poll_event())
+            .map(|SrSenderEvent::Released { ns, .. }| ns)
+            .collect();
+        assert_eq!(held, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn timeout_retransmits_all_unacked() {
+        let (mut s, mut now) = started();
+        for i in 0..3 {
+            s.push(i, Bytes::from_static(b"x"));
+        }
+        drain(&mut s, &mut now);
+        let t = s.poll_timeout().unwrap();
+        s.on_timeout(t);
+        assert_eq!(s.stats().timeouts, 1);
+        let mut t2 = t;
+        let f = drain(&mut s, &mut t2);
+        assert_eq!(seqs(&f), vec![(0, false), (1, false), (2, true)]);
+        assert_eq!(s.stats().retransmissions, 3);
+    }
+
+    #[test]
+    fn srej_for_acked_frame_ignored() {
+        let (mut s, mut now) = started();
+        s.push(0, Bytes::from_static(b"x"));
+        drain(&mut s, &mut now);
+        s.handle_frame(now, HdlcFrame::Rr { nr: 1, fin: true }, RxStatus::Ok);
+        s.handle_frame(now, HdlcFrame::Srej { nr: 0 }, RxStatus::Ok);
+        now += Duration::from_millis(1);
+        assert!(s.poll_transmit(now).is_none());
+        assert_eq!(s.stats().retransmissions, 0);
+    }
+
+    #[test]
+    fn corrupted_supervisory_dropped() {
+        let (mut s, mut now) = started();
+        s.push(0, Bytes::from_static(b"x"));
+        drain(&mut s, &mut now);
+        s.handle_frame(now, HdlcFrame::Rr { nr: 1, fin: true }, RxStatus::PayloadCorrupted);
+        assert_eq!(s.outstanding(), 1, "corrupted RR must not ack");
+        assert_eq!(s.stats().rx_corrupted, 1);
+    }
+
+    #[test]
+    fn timer_cleared_when_all_acked() {
+        let (mut s, mut now) = started();
+        s.push(0, Bytes::from_static(b"x"));
+        drain(&mut s, &mut now);
+        assert!(s.poll_timeout().is_some());
+        s.handle_frame(now, HdlcFrame::Rr { nr: 1, fin: true }, RxStatus::Ok);
+        assert_eq!(s.poll_timeout(), None);
+    }
+
+    #[test]
+    fn rr_lost_then_timeout_recovers() {
+        // The paper's P_R analysis: a lost RR forces a full retransmission
+        // period even though all frames arrived.
+        let (mut s, mut now) = started();
+        s.push(0, Bytes::from_static(b"x"));
+        drain(&mut s, &mut now);
+        // RR never arrives; timer fires.
+        let t = s.poll_timeout().unwrap();
+        s.on_timeout(t);
+        let mut t2 = t;
+        let f = drain(&mut s, &mut t2);
+        assert_eq!(seqs(&f), vec![(0, true)]);
+    }
+
+    #[test]
+    fn srej_during_retx_queue_dedupes() {
+        // Two SREJs for the same frame (receiver witnessed two corrupted
+        // copies) collapse into one queued retransmission at a time.
+        let (mut s, mut now) = started();
+        s.push(0, Bytes::from_static(b"x"));
+        drain(&mut s, &mut now);
+        s.handle_frame(now, HdlcFrame::Srej { nr: 0 }, RxStatus::Ok);
+        s.handle_frame(now, HdlcFrame::Srej { nr: 0 }, RxStatus::Ok);
+        now += Duration::from_micros(100);
+        let f = drain(&mut s, &mut now);
+        assert_eq!(f.len(), 1, "duplicate SREJ must not double-send: {f:?}");
+    }
+
+    #[test]
+    fn rr_beyond_next_is_harmless() {
+        // A (corrupt-free but semantically stale) RR past everything sent
+        // must not panic or corrupt the window.
+        let (mut s, mut now) = started();
+        s.push(0, Bytes::from_static(b"x"));
+        drain(&mut s, &mut now);
+        s.handle_frame(now, HdlcFrame::Rr { nr: 1000, fin: true }, RxStatus::Ok);
+        assert_eq!(s.outstanding(), 0);
+        s.push(1, Bytes::from_static(b"y"));
+        now += Duration::from_millis(1);
+        assert!(s.poll_transmit(now).is_some(), "sender must keep working");
+    }
+
+    #[test]
+    fn pacing_respects_t_f() {
+        let (mut s, now) = started();
+        s.push(0, Bytes::new());
+        s.push(1, Bytes::new());
+        assert!(s.poll_transmit(now).is_some());
+        assert!(s.poll_transmit(now).is_none());
+        assert!(s.poll_transmit(now + cfg().t_f).is_some());
+    }
+}

@@ -1,0 +1,2 @@
+//! Anchor crate for the workspace-level integration tests in `/tests`
+//! (each `[[test]]` target in this crate's manifest points there).

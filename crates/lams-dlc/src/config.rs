@@ -1,0 +1,229 @@
+//! Protocol configuration.
+
+use sim_core::Duration;
+
+/// Tunable parameters of a LAMS-DLC endpoint pair.
+///
+/// The two central knobs are the **checkpoint interval** `W_cp` (written
+/// `I_cp` in the paper's delay derivations — the same quantity) and the
+/// **cumulation depth** `C_depth`: each checkpoint command carries the
+/// NAKs accumulated over the last `C_depth` intervals, so a single lost
+/// checkpoint costs only one extra interval rather than a round trip, and
+/// a burst error shorter than `C_depth · W_cp` cannot silence error
+/// reporting entirely (§3.3).
+#[derive(Clone, Debug)]
+pub struct LamsConfig {
+    /// Checkpoint interval `W_cp`: receiver-side period between
+    /// Check-Point commands.
+    pub w_cp: Duration,
+    /// Cumulation depth `C_depth`: how many consecutive checkpoints repeat
+    /// each NAK.
+    pub c_depth: u32,
+    /// Deterministic per-frame processing time `t_proc` (paper assumption
+    /// 8: processing a frame is deterministic).
+    pub t_proc: Duration,
+    /// Expected round-trip time `R` of the link (known from orbital
+    /// geometry — paper §3.2 assumes deterministic link behaviour). Used
+    /// to size the resolving period and the failure timer.
+    pub expected_rtt: Duration,
+    /// Transmission time of a control frame `t_c` (serialization at the
+    /// line rate, including the control FEC expansion).
+    pub t_c: Duration,
+    /// Transmission time of an I-frame `t_f`.
+    pub t_f: Duration,
+    /// Flow-control behaviour.
+    pub flow: FlowConfig,
+    /// Safety margin added to computed deadlines to absorb modelling slack
+    /// (processing jitter is zero in this deterministic model, but the
+    /// serialization of queued control frames is not accounted exactly).
+    pub deadline_slack: Duration,
+}
+
+/// Stop-Go flow-control parameters (§3.4): multiplicative decrease while
+/// the receiver keeps signalling Stop, stepwise increase on Go.
+#[derive(Clone, Debug)]
+pub struct FlowConfig {
+    /// Multiplicative factor applied to the sending rate on a sustained
+    /// Stop indication (0 < factor < 1).
+    pub decrease_factor: f64,
+    /// Additive fraction of line rate restored per Go indication.
+    pub increase_step: f64,
+    /// Minimum rate fraction (prevents total starvation, which would also
+    /// starve the error-recovery retransmissions).
+    pub min_rate: f64,
+    /// A Stop must persist this long before a further decrease is applied
+    /// ("if the sender keeps detecting Stop-Go-bit set to 1 during a
+    /// predefined time, the sender repeatedly decreases the sending
+    /// rate").
+    pub sustain: Duration,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            decrease_factor: 0.5,
+            increase_step: 0.1,
+            min_rate: 0.05,
+            sustain: Duration::from_millis(5),
+        }
+    }
+}
+
+impl LamsConfig {
+    /// A configuration representative of the paper's target link: 4,000 km
+    /// (R ≈ 26.7 ms), 300 Mbps, 1 kB I-frames, checkpoint every 5 ms,
+    /// cumulation depth 3.
+    pub fn paper_default() -> Self {
+        LamsConfig {
+            w_cp: Duration::from_millis(5),
+            c_depth: 3,
+            t_proc: Duration::from_micros(10),
+            expected_rtt: Duration::from_micros(26_700),
+            t_c: Duration::from_micros(10),
+            t_f: Duration::from_micros(27), // 1 kB at 300 Mbps
+            flow: FlowConfig::default(),
+            deadline_slack: Duration::from_millis(1),
+        }
+    }
+
+    /// The paper's **resolving period** bound (§3.3):
+    /// `R + W_cp/2 + C_depth · W_cp` — the maximum time from a frame's
+    /// first transmission until the sender knows its fate (plus the
+    /// configured slack).
+    pub fn resolving_period(&self) -> Duration {
+        self.expected_rtt
+            + self.w_cp / 2
+            + self.w_cp * self.c_depth as u64
+            + self.t_c
+            + self.t_proc
+            + self.deadline_slack
+    }
+
+    /// Checkpoint-timer timeout (§3.2): the sender suspects link failure
+    /// after `C_depth · W_cp` without any checkpoint.
+    pub fn checkpoint_timeout(&self) -> Duration {
+        self.w_cp * self.c_depth as u64 + self.deadline_slack
+    }
+
+    /// Failure-timer duration (§3.2): the normally expected response time
+    /// to a Request-NAK plus `C_depth · W_cp`.
+    pub fn failure_timeout(&self) -> Duration {
+        self.expected_rtt
+            + self.t_c
+            + self.t_proc
+            + self.w_cp * self.c_depth as u64
+            + self.deadline_slack
+    }
+
+    /// The bounded numbering size (§3.3): resolving period divided by the
+    /// mean frame time — the number of distinct sequence numbers needed to
+    /// keep every unresolved frame uniquely identified. We double it for
+    /// unambiguous wire-number expansion (same ½-window rule as SR ARQ).
+    pub fn numbering_size(&self) -> u64 {
+        let frames =
+            (self.resolving_period().as_nanos() / self.t_f.as_nanos().max(1)).max(1);
+        2 * (frames + 1)
+    }
+
+    /// Wire sequence-number modulus: the smallest power of two that
+    /// accommodates [`Self::numbering_size`] (power of two so the field
+    /// packs into whole bits on the wire).
+    pub fn seq_modulus(&self) -> u64 {
+        self.numbering_size().next_power_of_two()
+    }
+
+    /// Validate invariants; called by the endpoints at construction.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.c_depth == 0 {
+            return Err("c_depth must be at least 1".into());
+        }
+        if self.w_cp.is_zero() {
+            return Err("w_cp must be positive".into());
+        }
+        if self.t_f.is_zero() {
+            return Err("t_f must be positive".into());
+        }
+        let f = &self.flow;
+        if !(0.0..1.0).contains(&f.decrease_factor) || f.decrease_factor == 0.0 {
+            return Err(format!("decrease_factor out of (0,1): {}", f.decrease_factor));
+        }
+        if f.increase_step <= 0.0 || f.increase_step > 1.0 {
+            return Err(format!("increase_step out of (0,1]: {}", f.increase_step));
+        }
+        if !(0.0..=1.0).contains(&f.min_rate) {
+            return Err(format!("min_rate out of [0,1]: {}", f.min_rate));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_validates() {
+        LamsConfig::paper_default().validate().unwrap();
+    }
+
+    #[test]
+    fn resolving_period_formula() {
+        let c = LamsConfig::paper_default();
+        let expect = c.expected_rtt
+            + c.w_cp / 2
+            + c.w_cp * 3
+            + c.t_c
+            + c.t_proc
+            + c.deadline_slack;
+        assert_eq!(c.resolving_period(), expect);
+    }
+
+    #[test]
+    fn checkpoint_timeout_is_cdepth_wcp() {
+        let c = LamsConfig::paper_default();
+        assert_eq!(c.checkpoint_timeout(), c.w_cp * 3 + c.deadline_slack);
+    }
+
+    #[test]
+    fn numbering_size_bounded_and_sufficient() {
+        let c = LamsConfig::paper_default();
+        let n = c.numbering_size();
+        // Must cover twice the maximum number of in-flight-unresolved
+        // frames: resolving_period / t_f.
+        let in_flight = c.resolving_period().as_nanos() / c.t_f.as_nanos();
+        assert!(n >= 2 * in_flight, "n={n} in_flight={in_flight}");
+        // And stay bounded (the paper's point): far below a 32-bit space.
+        assert!(n < 1 << 20, "n={n}");
+        assert!(c.seq_modulus().is_power_of_two());
+        assert!(c.seq_modulus() >= n);
+    }
+
+    #[test]
+    fn numbering_shrinks_with_shorter_checkpoint_interval() {
+        // §3.4 buffer control: decreasing W_cp decreases the holding time
+        // and hence the numbering requirement.
+        let mut small = LamsConfig::paper_default();
+        small.w_cp = Duration::from_millis(1);
+        let large = LamsConfig::paper_default();
+        assert!(small.numbering_size() < large.numbering_size());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = LamsConfig::paper_default();
+        c.c_depth = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = LamsConfig::paper_default();
+        c.w_cp = Duration::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut c = LamsConfig::paper_default();
+        c.flow.decrease_factor = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = LamsConfig::paper_default();
+        c.flow.increase_step = 0.0;
+        assert!(c.validate().is_err());
+    }
+}

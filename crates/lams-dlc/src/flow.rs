@@ -1,0 +1,167 @@
+//! Sender-side Stop-Go rate controller (§3.4).
+//!
+//! The receiver sets the Stop-Go bit of every checkpoint from its buffer
+//! outlook; the sender reacts:
+//!
+//! * on **Stop** — decrease the sending rate by a predefined factor, and
+//!   keep decreasing while Stop persists beyond the sustain period;
+//! * on **Go** — restore rate stepwise.
+//!
+//! The controller scales the *inter-frame spacing* of new I-frames; per
+//! §3.4 buffer control is a separate mechanism (checkpoint coverage) and
+//! does not gate transmission the way HDLC's RR credit does.
+
+use crate::config::FlowConfig;
+use crate::frame::StopGo;
+use sim_core::Instant;
+
+/// AIMD-style rate controller driven by checkpoint Stop-Go bits.
+#[derive(Clone, Debug)]
+pub struct RateController {
+    cfg: FlowConfig,
+    rate: f64,
+    /// Start of the current uninterrupted Stop episode, if any.
+    stop_since: Option<Instant>,
+    /// Time of the most recent decrease within this episode.
+    last_decrease: Option<Instant>,
+}
+
+impl RateController {
+    /// Full-rate controller.
+    pub fn new(cfg: FlowConfig) -> Self {
+        RateController { cfg, rate: 1.0, stop_since: None, last_decrease: None }
+    }
+
+    /// Current sending-rate fraction in `[min_rate, 1]`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Feed the Stop-Go bit of a received checkpoint. Returns `true` if
+    /// the rate changed.
+    pub fn on_stop_go(&mut self, now: Instant, sg: StopGo) -> bool {
+        let before = self.rate;
+        match sg {
+            StopGo::Stop => {
+                match self.stop_since {
+                    None => {
+                        // First Stop: immediate decrease.
+                        self.stop_since = Some(now);
+                        self.last_decrease = Some(now);
+                        self.rate = (self.rate * self.cfg.decrease_factor)
+                            .max(self.cfg.min_rate);
+                    }
+                    Some(_) => {
+                        // Sustained Stop: decrease again every `sustain`.
+                        let due = self
+                            .last_decrease
+                            .is_none_or(|t| now.duration_since(t) >= self.cfg.sustain);
+                        if due {
+                            self.last_decrease = Some(now);
+                            self.rate = (self.rate * self.cfg.decrease_factor)
+                                .max(self.cfg.min_rate);
+                        }
+                    }
+                }
+            }
+            StopGo::Go => {
+                self.stop_since = None;
+                self.last_decrease = None;
+                self.rate = (self.rate + self.cfg.increase_step).min(1.0);
+            }
+        }
+        self.rate != before
+    }
+
+    /// Inter-frame spacing multiplier: `1 / rate`. A rate of 0.5 doubles
+    /// the spacing between new I-frames.
+    pub fn spacing_multiplier(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::Duration;
+
+    fn ctl() -> RateController {
+        RateController::new(FlowConfig::default())
+    }
+
+    #[test]
+    fn starts_at_full_rate() {
+        assert_eq!(ctl().rate(), 1.0);
+        assert_eq!(ctl().spacing_multiplier(), 1.0);
+    }
+
+    #[test]
+    fn first_stop_halves() {
+        let mut c = ctl();
+        assert!(c.on_stop_go(Instant::ZERO, StopGo::Stop));
+        assert_eq!(c.rate(), 0.5);
+    }
+
+    #[test]
+    fn sustained_stop_keeps_decreasing() {
+        let mut c = ctl();
+        let mut t = Instant::ZERO;
+        c.on_stop_go(t, StopGo::Stop); // 0.5
+        // Within the sustain period: no further decrease.
+        t += Duration::from_millis(1);
+        assert!(!c.on_stop_go(t, StopGo::Stop));
+        assert_eq!(c.rate(), 0.5);
+        // Past the sustain period: decrease again.
+        t += Duration::from_millis(5);
+        assert!(c.on_stop_go(t, StopGo::Stop));
+        assert_eq!(c.rate(), 0.25);
+    }
+
+    #[test]
+    fn rate_floor_respected() {
+        let mut c = ctl();
+        let mut t = Instant::ZERO;
+        for _ in 0..50 {
+            c.on_stop_go(t, StopGo::Stop);
+            t += Duration::from_millis(10);
+        }
+        assert_eq!(c.rate(), FlowConfig::default().min_rate);
+    }
+
+    #[test]
+    fn go_recovers_stepwise() {
+        let mut c = ctl();
+        let mut t = Instant::ZERO;
+        c.on_stop_go(t, StopGo::Stop); // 0.5
+        t += Duration::from_millis(10);
+        assert!(c.on_stop_go(t, StopGo::Go));
+        assert!((c.rate() - 0.6).abs() < 1e-12);
+        // Repeated Go saturates at 1.0.
+        for _ in 0..10 {
+            t += Duration::from_millis(10);
+            c.on_stop_go(t, StopGo::Go);
+        }
+        assert_eq!(c.rate(), 1.0);
+        assert!(!c.on_stop_go(t, StopGo::Go), "no change at ceiling");
+    }
+
+    #[test]
+    fn go_resets_stop_episode() {
+        let mut c = ctl();
+        let mut t = Instant::ZERO;
+        c.on_stop_go(t, StopGo::Stop); // 0.5
+        t += Duration::from_millis(10);
+        c.on_stop_go(t, StopGo::Go); // 0.6
+        t += Duration::from_millis(1);
+        // A fresh Stop decreases immediately (new episode).
+        assert!(c.on_stop_go(t, StopGo::Stop));
+        assert!((c.rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spacing_inverse_of_rate() {
+        let mut c = ctl();
+        c.on_stop_go(Instant::ZERO, StopGo::Stop);
+        assert!((c.spacing_multiplier() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,175 @@
+//! LAMS-DLC frame types (§3.1).
+//!
+//! Two frame classes, as in HDLC: **I-frames** carrying user data with a
+//! send sequence number `N(S)`, and **C-frames** (control). Unlike HDLC,
+//! acknowledgement information is *never* piggybacked on I-frames
+//! (assumption 4: control frames use a stronger FEC grade, which rules out
+//! mixing them with data). Three control commands exist:
+//!
+//! * **Check-Point-NAK** — the periodic checkpoint command, carrying the
+//!   cumulative NAK list and the Stop-Go flow-control bit;
+//! * **Enforced-NAK / Resolving Command** — a checkpoint with the
+//!   Enforced bit set, sent in immediate response to a Request-NAK
+//!   (it is called a Resolving Command when its NAK list is empty);
+//! * **Request-NAK** — sent by the *sender* to probe a suspected link
+//!   failure.
+
+use bytes::Bytes;
+
+/// End-to-end datagram identity, assigned by the network layer at the
+/// source. Survives link-level renumbering; the destination resequencer
+/// orders and deduplicates on it (§2.3: relaxing in-sequence moves
+/// ordering responsibility to the destination node).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PacketId(pub u64);
+
+/// Flow-control indication carried by every checkpoint (§3.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopGo {
+    /// Receiver anticipates no overflow: sender may increase its rate.
+    Go,
+    /// Receiver anticipates receive-buffer overflow: sender must decrease
+    /// its rate.
+    Stop,
+}
+
+/// An information frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InfoFrame {
+    /// Logical send sequence number `N(S)`. Monotonically increasing across
+    /// first transmissions *and* retransmissions (retransmitted I-frames
+    /// receive a fresh number, §3.2); reduced modulo the configured
+    /// numbering size on the wire.
+    pub seq: u64,
+    /// End-to-end datagram id carried opaquely for the destination.
+    pub packet_id: PacketId,
+    /// User payload.
+    pub payload: Bytes,
+}
+
+/// A control frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ControlFrame {
+    /// The periodic checkpoint (Check-Point-NAK), or — with `enforced`
+    /// set — the Enforced-NAK / Resolving Command.
+    CheckPoint(CheckPoint),
+    /// Sender-to-receiver probe demanding an immediate Enforced-NAK.
+    RequestNak {
+        /// Identifies the probe so the matching Enforced-NAK can be
+        /// correlated.
+        probe: u64,
+    },
+}
+
+/// Body of a checkpoint command.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckPoint {
+    /// Monotone checkpoint counter (lets the sender ignore stale or
+    /// reordered checkpoints and measure checkpoint loss).
+    pub index: u64,
+    /// Highest logical sequence number the receiver has accounted for
+    /// (arrived — readable or not — or inferred from a gap). Everything at
+    /// or below this that is not in `naks` has been received error-free:
+    /// the checkpoint's implicit positive acknowledgement that releases
+    /// sender buffer space (§3.2).
+    pub covered: u64,
+    /// Sequence numbers reported erroneous within the last `C_depth`
+    /// checkpoint intervals (cumulative NAK, §3.2). Sorted ascending.
+    pub naks: Vec<u64>,
+    /// The Enforced bit: set when this checkpoint answers a Request-NAK.
+    pub enforced: bool,
+    /// When answering a Request-NAK, echoes the probe id; `None` on
+    /// ordinary periodic checkpoints.
+    pub probe: Option<u64>,
+    /// Flow control indication.
+    pub stop_go: StopGo,
+}
+
+/// Any LAMS-DLC frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Information frame.
+    Info(InfoFrame),
+    /// Control frame.
+    Control(ControlFrame),
+}
+
+/// Reception status attached by the physical layer / FEC decoder.
+///
+/// The simulation's fast path corrupts frames logically rather than
+/// bit-exactly; this enum is how the channel tells the protocol what
+/// survived. Headers carry their own (stronger) protection, so a frame can
+/// be *payload-corrupted but identifiable* — the case the paper's NAK
+/// scheme depends on. A frame whose header is also destroyed is
+/// indistinguishable from silence and is detected by the sequence gap it
+/// leaves (assumption 9: losses are detectable errors).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RxStatus {
+    /// Frame decoded cleanly (CRC passed).
+    Ok,
+    /// Header readable but payload residually corrupted (CRC failed).
+    PayloadCorrupted,
+}
+
+impl Frame {
+    /// Convenience: the frame's kind as a short static label (metrics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Frame::Info(_) => "I",
+            Frame::Control(ControlFrame::CheckPoint(cp)) if cp.enforced => "ENAK",
+            Frame::Control(ControlFrame::CheckPoint(_)) => "CP",
+            Frame::Control(ControlFrame::RequestNak { .. }) => "REQNAK",
+        }
+    }
+
+    /// Is this an information frame?
+    pub fn is_info(&self) -> bool {
+        matches!(self, Frame::Info(_))
+    }
+}
+
+impl CheckPoint {
+    /// A checkpoint with an empty NAK list functions purely as a positive
+    /// acknowledgement / resynchronization point; when also `enforced`,
+    /// the paper calls it a **Resolving Command**.
+    pub fn is_resolving_command(&self) -> bool {
+        self.enforced && self.naks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cp(enforced: bool, naks: Vec<u64>) -> CheckPoint {
+        CheckPoint {
+            index: 1,
+            covered: 10,
+            naks,
+            enforced,
+            probe: None,
+            stop_go: StopGo::Go,
+        }
+    }
+
+    #[test]
+    fn kind_labels() {
+        let i = Frame::Info(InfoFrame {
+            seq: 0,
+            packet_id: PacketId(0),
+            payload: Bytes::new(),
+        });
+        assert_eq!(i.kind(), "I");
+        assert!(i.is_info());
+        assert_eq!(Frame::Control(ControlFrame::CheckPoint(cp(false, vec![]))).kind(), "CP");
+        assert_eq!(Frame::Control(ControlFrame::CheckPoint(cp(true, vec![]))).kind(), "ENAK");
+        assert_eq!(Frame::Control(ControlFrame::RequestNak { probe: 3 }).kind(), "REQNAK");
+    }
+
+    #[test]
+    fn resolving_command_definition() {
+        assert!(cp(true, vec![]).is_resolving_command());
+        assert!(!cp(true, vec![5]).is_resolving_command());
+        assert!(!cp(false, vec![]).is_resolving_command());
+    }
+}

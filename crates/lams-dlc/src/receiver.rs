@@ -1,0 +1,678 @@
+//! The LAMS-DLC receiver state machine (§3.2).
+//!
+//! The receiver:
+//!
+//! * delivers clean I-frames upward **immediately and out of order**
+//!   (after the deterministic processing time `t_proc`) — the receiving
+//!   buffer never holds frames for resequencing, which is what makes its
+//!   size "transparent" (§3.3, §4);
+//! * records erroneous I-frames — payload-corrupted arrivals *and* frames
+//!   inferred lost from sequence gaps (losses are detectable errors,
+//!   assumption 9; gaps work because the sender's wire numbers are
+//!   strictly monotone) — and reports each for `C_depth` consecutive
+//!   checkpoints (the cumulative NAK);
+//! * emits a Check-Point command every `W_cp` for as long as the link is
+//!   active, carrying the cumulative NAK list, the coverage horizon
+//!   (implicit positive acknowledgement) and the Stop-Go bit;
+//! * answers a Request-NAK immediately with an Enforced-NAK covering the
+//!   resolving period (or a Resolving Command if it has nothing to
+//!   report).
+
+use crate::config::LamsConfig;
+use crate::dedup::DedupWindow;
+use crate::events::ReceiverEvent;
+use crate::frame::{
+    CheckPoint, ControlFrame, Frame, InfoFrame, PacketId, RxStatus, StopGo,
+};
+use bytes::Bytes;
+use sim_core::Instant;
+use std::collections::{BTreeSet, VecDeque};
+
+/// A datagram handed to the network layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// End-to-end datagram id (for the destination resequencer).
+    pub packet_id: PacketId,
+    /// Link sequence number it arrived under (diagnostics only — the
+    /// number is not stable across retransmissions).
+    pub seq: u64,
+    /// Payload.
+    pub payload: Bytes,
+    /// When processing completed and the datagram became available.
+    pub ready_at: Instant,
+}
+
+/// Counters exposed for experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReceiverStats {
+    /// Clean I-frames accepted for delivery.
+    pub accepted: u64,
+    /// Payload-corrupted arrivals recorded for NAKing.
+    pub corrupted: u64,
+    /// Frames inferred lost from sequence gaps.
+    pub gaps_inferred: u64,
+    /// Periodic checkpoints emitted.
+    pub checkpoints_sent: u64,
+    /// Enforced-NAKs sent in answer to Request-NAKs.
+    pub enforced_sent: u64,
+    /// Clean frames discarded because the processing queue was full.
+    pub overflow_discards: u64,
+    /// Duplicate wire sequence numbers ignored (should stay 0 on a FIFO
+    /// link).
+    pub stale_seq_dropped: u64,
+    /// Duplicate datagrams suppressed by the link-level dedup window
+    /// (the §3.2 "more recent version"; 0 unless enabled).
+    pub duplicates_suppressed: u64,
+}
+
+/// The LAMS-DLC receiving endpoint.
+pub struct Receiver {
+    cfg: LamsConfig,
+    /// Highest logical sequence number accounted for (arrived or inferred).
+    highest_seen: u64,
+    /// Errors detected during the current (open) checkpoint interval.
+    current_errors: BTreeSet<u64>,
+    /// Error sets of the most recent completed intervals, newest at the
+    /// back; at most `C_depth` kept, so the union over `history` is
+    /// exactly the cumulative NAK content.
+    history: VecDeque<BTreeSet<u64>>,
+    cp_index: u64,
+    next_cp_at: Option<Instant>,
+    /// Deterministic single-server processing queue: (ready_at, delivery).
+    processing: VecDeque<Delivery>,
+    server_free_at: Instant,
+    /// Maximum frames allowed in the processing queue.
+    capacity: usize,
+    /// Occupancy at or above which checkpoints signal Stop.
+    stop_watermark: usize,
+    congested: bool,
+    pending_tx: VecDeque<Frame>,
+    events: VecDeque<ReceiverEvent>,
+    stats: ReceiverStats,
+    /// Optional link-level duplicate suppression (§3.2 extension).
+    dedup: Option<DedupWindow>,
+}
+
+impl Receiver {
+    /// Create a receiver with effectively unbounded processing capacity
+    /// (the paper's transparent-buffer operating point).
+    pub fn new(cfg: LamsConfig) -> Self {
+        Self::with_capacity(cfg, usize::MAX / 2, usize::MAX / 2)
+    }
+
+    /// Create a receiver with a bounded processing queue: `capacity`
+    /// frames total, Stop signalled at `stop_watermark` occupancy. Used by
+    /// the flow-control experiments.
+    pub fn with_capacity(cfg: LamsConfig, capacity: usize, stop_watermark: usize) -> Self {
+        cfg.validate().expect("invalid LamsConfig");
+        assert!(stop_watermark <= capacity);
+        Receiver {
+            cfg,
+            highest_seen: 0,
+            current_errors: BTreeSet::new(),
+            history: VecDeque::new(),
+            cp_index: 0,
+            next_cp_at: None,
+            processing: VecDeque::new(),
+            server_free_at: Instant::ZERO,
+            capacity,
+            stop_watermark,
+            congested: false,
+            pending_tx: VecDeque::new(),
+            events: VecDeque::new(),
+            stats: ReceiverStats::default(),
+            dedup: None,
+        }
+    }
+
+    /// Enable the zero-duplication extension (§3.2's "more recent
+    /// version"): datagrams repeated within one resolving period are
+    /// suppressed at the link level, so the destination sees each id at
+    /// most once even across enforced recovery. Memory is bounded by the
+    /// resolving window.
+    pub fn with_dedup(mut self) -> Self {
+        let horizon = self.cfg.resolving_period();
+        self.dedup = Some(DedupWindow::new(horizon));
+        self
+    }
+
+    /// Mark the link active at `now`: the first checkpoint is scheduled one
+    /// interval later, and checkpoints then flow for as long as the link
+    /// is up (§3: "commands are sent by the receiver so long as the link
+    /// is active").
+    pub fn start(&mut self, now: Instant) {
+        self.next_cp_at = Some(now + self.cfg.w_cp);
+        self.server_free_at = now;
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ReceiverStats {
+        self.stats
+    }
+
+    /// Frames currently in the processing queue.
+    pub fn processing_occupancy(&self) -> usize {
+        self.processing.len()
+    }
+
+    /// Highest sequence number accounted for.
+    pub fn highest_seen(&self) -> u64 {
+        self.highest_seen
+    }
+
+    /// Drain the next protocol notification.
+    pub fn poll_event(&mut self) -> Option<ReceiverEvent> {
+        self.events.pop_front()
+    }
+
+    /// Earliest instant at which the receiver has time-driven work.
+    pub fn poll_timeout(&self) -> Option<Instant> {
+        let cp = self.next_cp_at;
+        let ready = self.processing.front().map(|d| d.ready_at);
+        match (cp, ready) {
+            (None, r) => r,
+            (c, None) => c,
+            (Some(c), Some(r)) => Some(c.min(r)),
+        }
+    }
+
+    /// Fire timers due at `now` (checkpoint emission).
+    pub fn on_timeout(&mut self, now: Instant) {
+        while let Some(at) = self.next_cp_at {
+            if at > now {
+                break;
+            }
+            self.emit_checkpoint(at, false, None);
+            self.next_cp_at = Some(at + self.cfg.w_cp);
+        }
+    }
+
+    /// Drain the next outbound control frame.
+    pub fn poll_transmit(&mut self, _now: Instant) -> Option<Frame> {
+        self.pending_tx.pop_front()
+    }
+
+    /// Pop the next completed delivery whose processing finished by `now`.
+    pub fn poll_deliver(&mut self, now: Instant) -> Option<Delivery> {
+        if self.processing.front().is_some_and(|d| d.ready_at <= now) {
+            let d = self.processing.pop_front().expect("front");
+            self.update_congestion();
+            Some(d)
+        } else {
+            None
+        }
+    }
+
+    /// Inject a frame from the channel.
+    pub fn handle_frame(&mut self, now: Instant, frame: Frame, status: RxStatus) {
+        match frame {
+            Frame::Info(i) => self.handle_info(now, i, status),
+            Frame::Control(ControlFrame::RequestNak { probe }) => {
+                if status == RxStatus::Ok {
+                    self.handle_request_nak(now, probe);
+                }
+                // A corrupted Request-NAK is indistinguishable from noise;
+                // the sender's failure timer covers the retry.
+            }
+            // Checkpoints are sender-bound; ignore at the receiver.
+            Frame::Control(ControlFrame::CheckPoint(_)) => {}
+        }
+    }
+
+    fn handle_info(&mut self, now: Instant, info: InfoFrame, status: RxStatus) {
+        // Gap inference: wire numbers are strictly monotone, so numbers
+        // skipped below this arrival are lost frames (assumption 9).
+        if info.seq <= self.highest_seen && self.highest_seen != 0 {
+            // Duplicate or reordered wire frame — cannot happen on the
+            // FIFO link; drop defensively.
+            self.stats.stale_seq_dropped += 1;
+            return;
+        }
+        let expected = self.highest_seen + 1;
+        for missing in expected..info.seq {
+            self.record_error(missing, false);
+            self.stats.gaps_inferred += 1;
+        }
+        self.highest_seen = info.seq;
+
+        match status {
+            RxStatus::PayloadCorrupted => {
+                self.stats.corrupted += 1;
+                self.record_error(info.seq, true);
+            }
+            RxStatus::Ok => {
+                if let Some(d) = self.dedup.as_mut() {
+                    if !d.accept(now, info.packet_id) {
+                        self.stats.duplicates_suppressed += 1;
+                        self.events.push_back(ReceiverEvent::DuplicateSuppressed {
+                            packet_id: info.packet_id,
+                            seq: info.seq,
+                        });
+                        return;
+                    }
+                }
+                if self.processing.len() >= self.capacity {
+                    // §3.4: the receiver may discard overflow while
+                    // signalling Stop; the discarded frame is NAK'd so the
+                    // sender retransmits it later.
+                    self.stats.overflow_discards += 1;
+                    self.record_error(info.seq, true);
+                    self.events
+                        .push_back(ReceiverEvent::OverflowDiscarded { seq: info.seq });
+                } else {
+                    self.stats.accepted += 1;
+                    let start = self.server_free_at.max(now);
+                    let ready_at = start + self.cfg.t_proc;
+                    self.server_free_at = ready_at;
+                    self.events.push_back(ReceiverEvent::Delivered {
+                        packet_id: info.packet_id,
+                        seq: info.seq,
+                    });
+                    self.processing.push_back(Delivery {
+                        packet_id: info.packet_id,
+                        seq: info.seq,
+                        payload: info.payload,
+                        ready_at,
+                    });
+                    self.update_congestion();
+                }
+            }
+        }
+    }
+
+    fn record_error(&mut self, seq: u64, arrived: bool) {
+        self.current_errors.insert(seq);
+        self.events.push_back(ReceiverEvent::ErrorRecorded { seq, arrived });
+    }
+
+    fn handle_request_nak(&mut self, now: Instant, probe: u64) {
+        // §3.2: "upon receiving a Request-NAK the receiver must respond
+        // immediately with an Enforced-NAK" carrying all erroneous frames
+        // from the resolving period — which the cumulative window spans.
+        self.emit_checkpoint(now, true, Some(probe));
+        self.stats.enforced_sent += 1;
+        self.events.push_back(ReceiverEvent::EnforcedNakSent { probe });
+    }
+
+    fn emit_checkpoint(&mut self, now: Instant, enforced: bool, probe: Option<u64>) {
+        // Close the current interval into history; keep C_depth intervals.
+        let closing = core::mem::take(&mut self.current_errors);
+        self.history.push_back(closing);
+        while self.history.len() > self.cfg.c_depth as usize {
+            self.history.pop_front();
+        }
+        let mut naks: Vec<u64> =
+            self.history.iter().flatten().copied().collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect();
+        naks.sort_unstable();
+        self.cp_index += 1;
+        let stop_go = if self.processing.len() >= self.stop_watermark {
+            StopGo::Stop
+        } else {
+            StopGo::Go
+        };
+        self.stats.checkpoints_sent += 1;
+        let _ = now;
+        self.pending_tx.push_back(Frame::Control(ControlFrame::CheckPoint(
+            CheckPoint {
+                index: self.cp_index,
+                covered: self.highest_seen,
+                naks,
+                enforced,
+                probe,
+                stop_go,
+            },
+        )));
+    }
+
+    fn update_congestion(&mut self) {
+        let now_congested = self.processing.len() >= self.stop_watermark;
+        if now_congested && !self.congested {
+            self.congested = true;
+            self.events.push_back(ReceiverEvent::CongestionOnset);
+        } else if !now_congested && self.congested {
+            self.congested = false;
+            self.events.push_back(ReceiverEvent::CongestionCleared);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::Duration;
+
+    fn cfg() -> LamsConfig {
+        LamsConfig::paper_default()
+    }
+
+    fn started() -> (Receiver, Instant) {
+        let mut r = Receiver::new(cfg());
+        r.start(Instant::ZERO);
+        (r, Instant::ZERO)
+    }
+
+    fn info(seq: u64) -> Frame {
+        Frame::Info(InfoFrame {
+            seq,
+            packet_id: PacketId(1000 + seq),
+            payload: Bytes::from_static(b"data"),
+        })
+    }
+
+    fn next_cp(r: &mut Receiver, at: Instant) -> CheckPoint {
+        r.on_timeout(at);
+        match r.poll_transmit(at) {
+            Some(Frame::Control(ControlFrame::CheckPoint(cp))) => cp,
+            other => panic!("expected checkpoint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoints_flow_periodically_even_when_idle() {
+        let (mut r, now) = started();
+        assert_eq!(r.poll_timeout(), Some(now + cfg().w_cp));
+        for k in 1..=5u64 {
+            let cp = next_cp(&mut r, now + cfg().w_cp * k);
+            assert_eq!(cp.index, k);
+            assert!(cp.naks.is_empty());
+            assert_eq!(cp.covered, 0);
+            assert!(!cp.enforced);
+        }
+        assert_eq!(r.stats().checkpoints_sent, 5);
+    }
+
+    #[test]
+    fn clean_frame_delivered_after_t_proc() {
+        let (mut r, now) = started();
+        r.handle_frame(now, info(1), RxStatus::Ok);
+        assert_eq!(r.processing_occupancy(), 1);
+        assert!(r.poll_deliver(now).is_none(), "not ready before t_proc");
+        let ready = now + cfg().t_proc;
+        let d = r.poll_deliver(ready).expect("delivery");
+        assert_eq!(d.packet_id, PacketId(1001));
+        assert_eq!(d.seq, 1);
+        assert_eq!(r.processing_occupancy(), 0);
+        assert_eq!(r.stats().accepted, 1);
+    }
+
+    #[test]
+    fn out_of_order_numbers_deliver_immediately() {
+        // Wire seq jumps 1 → 3 (2 was lost): 3 is delivered without
+        // waiting — the relaxed in-sequence constraint in action.
+        let (mut r, now) = started();
+        r.handle_frame(now, info(1), RxStatus::Ok);
+        r.handle_frame(now, info(3), RxStatus::Ok);
+        let t = now + cfg().t_proc * 2;
+        let d1 = r.poll_deliver(t).unwrap();
+        let d2 = r.poll_deliver(t).unwrap();
+        assert_eq!((d1.seq, d2.seq), (1, 3));
+        assert_eq!(r.stats().gaps_inferred, 1);
+    }
+
+    #[test]
+    fn corrupted_frame_recorded_and_nacked() {
+        let (mut r, now) = started();
+        r.handle_frame(now, info(1), RxStatus::PayloadCorrupted);
+        let cp = next_cp(&mut r, now + cfg().w_cp);
+        assert_eq!(cp.naks, vec![1]);
+        assert_eq!(cp.covered, 1, "corrupted frame still advances coverage");
+        assert_eq!(r.stats().corrupted, 1);
+    }
+
+    #[test]
+    fn gap_inferred_loss_nacked() {
+        let (mut r, now) = started();
+        r.handle_frame(now, info(5), RxStatus::Ok);
+        let cp = next_cp(&mut r, now + cfg().w_cp);
+        assert_eq!(cp.naks, vec![1, 2, 3, 4]);
+        assert_eq!(cp.covered, 5);
+    }
+
+    #[test]
+    fn cumulative_nak_repeats_for_c_depth_checkpoints() {
+        let (mut r, now) = started();
+        r.handle_frame(now, info(1), RxStatus::PayloadCorrupted);
+        let c_depth = cfg().c_depth as u64;
+        for k in 1..=c_depth {
+            let cp = next_cp(&mut r, now + cfg().w_cp * k);
+            assert_eq!(cp.naks, vec![1], "checkpoint {k} must repeat the NAK");
+        }
+        // After C_depth checkpoints the NAK ages out.
+        let cp = next_cp(&mut r, now + cfg().w_cp * (c_depth + 1));
+        assert!(cp.naks.is_empty(), "NAK did not age out: {:?}", cp.naks);
+    }
+
+    #[test]
+    fn distinct_intervals_carry_disjoint_new_information() {
+        // Errors in different intervals accumulate; the checkpoint's list
+        // is their union over the window.
+        let (mut r, now) = started();
+        r.handle_frame(now, info(1), RxStatus::PayloadCorrupted);
+        let cp1 = next_cp(&mut r, now + cfg().w_cp);
+        assert_eq!(cp1.naks, vec![1]);
+        r.handle_frame(now + cfg().w_cp, info(2), RxStatus::PayloadCorrupted);
+        let cp2 = next_cp(&mut r, now + cfg().w_cp * 2);
+        assert_eq!(cp2.naks, vec![1, 2]);
+    }
+
+    #[test]
+    fn request_nak_answered_immediately_with_enforced() {
+        let (mut r, now) = started();
+        r.handle_frame(now, info(1), RxStatus::PayloadCorrupted);
+        let t = now + Duration::from_micros(100);
+        r.handle_frame(t, Frame::Control(ControlFrame::RequestNak { probe: 7 }), RxStatus::Ok);
+        match r.poll_transmit(t) {
+            Some(Frame::Control(ControlFrame::CheckPoint(cp))) => {
+                assert!(cp.enforced);
+                assert_eq!(cp.probe, Some(7));
+                assert_eq!(cp.naks, vec![1]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(r.stats().enforced_sent, 1);
+        let sent = std::iter::from_fn(|| r.poll_event())
+            .any(|e| matches!(e, ReceiverEvent::EnforcedNakSent { probe: 7 }));
+        assert!(sent);
+    }
+
+    #[test]
+    fn enforced_nak_with_no_errors_is_resolving_command() {
+        let (mut r, now) = started();
+        r.handle_frame(now, Frame::Control(ControlFrame::RequestNak { probe: 1 }), RxStatus::Ok);
+        match r.poll_transmit(now) {
+            Some(Frame::Control(ControlFrame::CheckPoint(cp))) => {
+                assert!(cp.is_resolving_command());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_request_nak_ignored() {
+        let (mut r, now) = started();
+        r.handle_frame(
+            now,
+            Frame::Control(ControlFrame::RequestNak { probe: 1 }),
+            RxStatus::PayloadCorrupted,
+        );
+        assert!(r.poll_transmit(now).is_none());
+        assert_eq!(r.stats().enforced_sent, 0);
+    }
+
+    #[test]
+    fn overflow_discards_and_naks() {
+        let mut r = Receiver::with_capacity(cfg(), 2, 1);
+        r.start(Instant::ZERO);
+        let now = Instant::ZERO;
+        r.handle_frame(now, info(1), RxStatus::Ok);
+        r.handle_frame(now, info(2), RxStatus::Ok);
+        r.handle_frame(now, info(3), RxStatus::Ok); // over capacity
+        assert_eq!(r.stats().overflow_discards, 1);
+        assert_eq!(r.processing_occupancy(), 2);
+        let cp = next_cp(&mut r, now + cfg().w_cp);
+        assert_eq!(cp.naks, vec![3], "discarded frame must be NAK'd");
+        assert_eq!(cp.stop_go, StopGo::Stop);
+    }
+
+    #[test]
+    fn stop_go_tracks_watermark() {
+        let mut r = Receiver::with_capacity(cfg(), 10, 2);
+        r.start(Instant::ZERO);
+        let now = Instant::ZERO;
+        r.handle_frame(now, info(1), RxStatus::Ok);
+        let cp = next_cp(&mut r, now + cfg().w_cp);
+        assert_eq!(cp.stop_go, StopGo::Go);
+        r.handle_frame(now + cfg().w_cp, info(2), RxStatus::Ok);
+        r.handle_frame(now + cfg().w_cp, info(3), RxStatus::Ok);
+        let cp = next_cp(&mut r, now + cfg().w_cp * 2);
+        assert_eq!(cp.stop_go, StopGo::Stop);
+        // Drain the queue; congestion clears.
+        let mut t = now + cfg().w_cp * 2;
+        let mut drained = 0;
+        while drained < 3 {
+            t += cfg().t_proc;
+            if r.poll_deliver(t).is_some() {
+                drained += 1;
+            }
+        }
+        let events: Vec<_> = std::iter::from_fn(|| r.poll_event()).collect();
+        assert!(events.contains(&ReceiverEvent::CongestionOnset));
+        assert!(events.contains(&ReceiverEvent::CongestionCleared));
+        let cp = next_cp(&mut r, t.max(now + cfg().w_cp * 3));
+        assert_eq!(cp.stop_go, StopGo::Go);
+    }
+
+    #[test]
+    fn stale_wire_seq_dropped() {
+        let (mut r, now) = started();
+        r.handle_frame(now, info(5), RxStatus::Ok);
+        r.handle_frame(now, info(3), RxStatus::Ok);
+        assert_eq!(r.stats().stale_seq_dropped, 1);
+        assert_eq!(r.stats().accepted, 1);
+    }
+
+    #[test]
+    fn processing_is_single_server_fifo() {
+        // Two frames arriving together complete t_proc apart.
+        let (mut r, now) = started();
+        r.handle_frame(now, info(1), RxStatus::Ok);
+        r.handle_frame(now, info(2), RxStatus::Ok);
+        let d1 = r.poll_deliver(now + cfg().t_proc).expect("first");
+        assert_eq!(d1.ready_at, now + cfg().t_proc);
+        assert!(r.poll_deliver(now + cfg().t_proc).is_none());
+        let d2 = r.poll_deliver(now + cfg().t_proc * 2).expect("second");
+        assert_eq!(d2.ready_at, now + cfg().t_proc * 2);
+    }
+
+    #[test]
+    fn enforced_nak_while_congested_carries_stop() {
+        // A Request-NAK during congestion must still be answered
+        // immediately, and the Enforced-NAK carries the Stop bit.
+        let mut r = Receiver::with_capacity(cfg(), 4, 1);
+        r.start(Instant::ZERO);
+        let now = Instant::ZERO;
+        for s in 1..=3 {
+            r.handle_frame(now, info(s), RxStatus::Ok);
+        }
+        r.handle_frame(now, Frame::Control(ControlFrame::RequestNak { probe: 9 }), RxStatus::Ok);
+        match r.poll_transmit(now) {
+            Some(Frame::Control(ControlFrame::CheckPoint(cp))) => {
+                assert!(cp.enforced);
+                assert_eq!(cp.stop_go, StopGo::Stop);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_indices_strictly_increase_across_enforced() {
+        // Enforced-NAKs share the checkpoint index sequence, so the
+        // sender's staleness/gap logic stays sound.
+        let (mut r, now) = started();
+        let cp1 = next_cp(&mut r, now + cfg().w_cp);
+        r.handle_frame(
+            now + cfg().w_cp,
+            Frame::Control(ControlFrame::RequestNak { probe: 1 }),
+            RxStatus::Ok,
+        );
+        let enak = match r.poll_transmit(now + cfg().w_cp) {
+            Some(Frame::Control(ControlFrame::CheckPoint(cp))) => cp,
+            other => panic!("{other:?}"),
+        };
+        let cp3 = next_cp(&mut r, now + cfg().w_cp * 2);
+        assert!(cp1.index < enak.index);
+        assert!(enak.index < cp3.index);
+    }
+
+    #[test]
+    fn watermark_equal_capacity_never_stops_until_full() {
+        let mut r = Receiver::with_capacity(cfg(), 2, 2);
+        r.start(Instant::ZERO);
+        let now = Instant::ZERO;
+        r.handle_frame(now, info(1), RxStatus::Ok);
+        let cp = next_cp(&mut r, now + cfg().w_cp);
+        assert_eq!(cp.stop_go, StopGo::Go);
+        r.handle_frame(now + cfg().w_cp, info(2), RxStatus::Ok);
+        let cp = next_cp(&mut r, now + cfg().w_cp * 2);
+        assert_eq!(cp.stop_go, StopGo::Stop);
+    }
+
+    #[test]
+    fn dedup_extension_suppresses_repeats() {
+        let mut r = Receiver::new(cfg()).with_dedup();
+        r.start(Instant::ZERO);
+        let now = Instant::ZERO;
+        // Original under seq 1, duplicate (same packet id) under the
+        // renumbered seq 2 — the enforced-recovery duplication pattern.
+        r.handle_frame(
+            now,
+            Frame::Info(InfoFrame {
+                seq: 1,
+                packet_id: PacketId(500),
+                payload: Bytes::from_static(b"d"),
+            }),
+            RxStatus::Ok,
+        );
+        r.handle_frame(
+            now + Duration::from_millis(3),
+            Frame::Info(InfoFrame {
+                seq: 2,
+                packet_id: PacketId(500),
+                payload: Bytes::from_static(b"d"),
+            }),
+            RxStatus::Ok,
+        );
+        assert_eq!(r.stats().duplicates_suppressed, 1);
+        assert_eq!(r.stats().accepted, 1);
+        let suppressed = std::iter::from_fn(|| r.poll_event()).any(|e| {
+            matches!(
+                e,
+                ReceiverEvent::DuplicateSuppressed { packet_id: PacketId(500), seq: 2 }
+            )
+        });
+        assert!(suppressed);
+        // Coverage still advances past the duplicate's sequence number.
+        assert_eq!(r.highest_seen(), 2);
+        // Exactly one delivery comes out.
+        let t = now + cfg().t_proc * 4;
+        assert!(r.poll_deliver(t).is_some());
+        assert!(r.poll_deliver(t).is_none());
+    }
+
+    #[test]
+    fn missed_checkpoint_ticks_catch_up() {
+        // If the driver calls on_timeout late, every due checkpoint is
+        // still emitted (indices stay contiguous).
+        let (mut r, now) = started();
+        r.on_timeout(now + cfg().w_cp * 3);
+        let mut indices = Vec::new();
+        while let Some(Frame::Control(ControlFrame::CheckPoint(cp))) =
+            r.poll_transmit(now + cfg().w_cp * 3)
+        {
+            indices.push(cp.index);
+        }
+        assert_eq!(indices, vec![1, 2, 3]);
+    }
+}

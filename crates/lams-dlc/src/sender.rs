@@ -1,0 +1,935 @@
+//! The LAMS-DLC sender state machine (§3.2).
+//!
+//! Sans-IO: the owner injects received control frames via
+//! [`Sender::handle_frame`], drains outbound frames via
+//! [`Sender::poll_transmit`], fires timers via [`Sender::on_timeout`] at
+//! the instant returned by [`Sender::poll_timeout`], and drains
+//! notifications via [`Sender::poll_event`].
+//!
+//! ## Operation
+//!
+//! * New SDUs queue in the sending buffer and are transmitted at the line
+//!   rate scaled by the Stop-Go [`RateController`]. Each transmission —
+//!   first or repeat — consumes a **fresh sequence number** (§3.2), so
+//!   wire numbers are strictly monotone and the receiver detects losses by
+//!   gaps.
+//! * A received **Check-Point-NAK** (a) retransmits every NAK'd frame
+//!   still held (already-renumbered seqs are ignored, as the paper
+//!   specifies), (b) releases every outstanding frame at or below the
+//!   checkpoint's `covered` horizon that was not NAK'd — the implicit
+//!   positive acknowledgement — and (c) resets the checkpoint timer.
+//! * If the checkpoint timer (`C_depth · W_cp`) expires, the sender enters
+//!   **enforced recovery**: it emits a Request-NAK, stops sending *new*
+//!   I-frames (checkpoint-recovery retransmissions remain allowed), and
+//!   starts the failure timer. An Enforced-NAK resolves the episode; a
+//!   failure-timer expiry declares the link failed (§3.2).
+//!
+//! ## Zero-loss hardening
+//!
+//! The paper argues frame loss requires `C_depth` *consecutive* checkpoint
+//! losses (probability `P_C^{C_depth} < ε`) and accepts that risk. We close
+//! it exactly: checkpoints carry a monotone index, and when the sender
+//! observes an index jump larger than `C_depth` it treats the implicit
+//! acknowledgement of that checkpoint as unsafe — every frame it would
+//! have released is renumbered and retransmitted instead (possible
+//! duplication, which the destination resequencer absorbs; never loss).
+//! This matches the paper's priority of "zero packet loss capability" and
+//! its note that a newer protocol revision also removes duplication.
+
+use crate::config::LamsConfig;
+use crate::events::SenderEvent;
+use crate::flow::RateController;
+use crate::frame::{CheckPoint, ControlFrame, Frame, InfoFrame, PacketId, RxStatus};
+use bytes::Bytes;
+use sim_core::{Duration, Instant};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Why a queued SDU is awaiting (re)transmission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TxReason {
+    New,
+    /// NAK'd by a checkpoint; carries the superseded sequence number.
+    Nak(u64),
+    /// Resolving deadline passed with no checkpoint accounting for it.
+    ResolveExpired(u64),
+    /// Released unsafely by a checkpoint after an index gap; retransmitted
+    /// defensively (see module docs).
+    Suspect(u64),
+}
+
+#[derive(Clone, Debug)]
+struct QueuedSdu {
+    packet_id: PacketId,
+    payload: Bytes,
+    reason: TxReason,
+}
+
+#[derive(Clone, Debug)]
+struct Outstanding {
+    packet_id: PacketId,
+    payload: Bytes,
+    sent_at: Instant,
+    resolve_deadline: Instant,
+}
+
+/// Sender lifecycle state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SenderState {
+    /// Normal operation.
+    Running,
+    /// Enforced recovery in progress: Request-NAK outstanding, new
+    /// I-frames halted.
+    Enforced,
+    /// Link declared failed; only the network layer can act now.
+    Failed,
+}
+
+/// Counters exposed for experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SenderStats {
+    /// I-frames transmitted for the first time.
+    pub new_transmissions: u64,
+    /// I-frame retransmissions (NAK, resolve-expiry, or suspect).
+    pub retransmissions: u64,
+    /// Frames released by checkpoint coverage.
+    pub released: u64,
+    /// Checkpoints processed.
+    pub checkpoints: u64,
+    /// Corrupted frames discarded on arrival.
+    pub rx_corrupted: u64,
+    /// Request-NAK probes sent.
+    pub request_naks: u64,
+    /// Checkpoint index gaps exceeding `C_depth` (unsafe-release episodes).
+    pub unsafe_gaps: u64,
+    /// Frames defensively retransmitted after an unsafe gap.
+    pub suspect_retransmissions: u64,
+    /// Frames retransmitted because their resolving deadline passed.
+    pub resolve_expiries: u64,
+}
+
+/// The LAMS-DLC sending endpoint.
+pub struct Sender {
+    cfg: LamsConfig,
+    state: SenderState,
+    next_seq: u64,
+    queue: VecDeque<QueuedSdu>,
+    outstanding: BTreeMap<u64, Outstanding>,
+    /// Deadline for the checkpoint timer; `None` until [`Sender::start`].
+    cp_deadline: Option<Instant>,
+    /// Failure deadline while in enforced recovery.
+    failure_deadline: Option<Instant>,
+    last_cp_index: u64,
+    probe_counter: u64,
+    pending_request_nak: Option<u64>,
+    /// When the most recent Request-NAK was handed to the link (rate-limits
+    /// re-probing to one per expected response time).
+    last_probe_at: Option<Instant>,
+    rate: RateController,
+    next_tx_allowed: Instant,
+    events: VecDeque<SenderEvent>,
+    stats: SenderStats,
+    queue_capacity: Option<usize>,
+}
+
+/// Error returned by [`Sender::push`] when the sending buffer is capped
+/// and full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueFull;
+
+impl Sender {
+    /// Create a sender. Call [`Sender::start`] when the link goes active.
+    pub fn new(cfg: LamsConfig) -> Self {
+        cfg.validate().expect("invalid LamsConfig");
+        let flow = cfg.flow.clone();
+        Sender {
+            cfg,
+            state: SenderState::Running,
+            next_seq: 1,
+            queue: VecDeque::new(),
+            outstanding: BTreeMap::new(),
+            cp_deadline: None,
+            failure_deadline: None,
+            last_cp_index: 0,
+            probe_counter: 0,
+            pending_request_nak: None,
+            last_probe_at: None,
+            rate: RateController::new(flow),
+            next_tx_allowed: Instant::ZERO,
+            events: VecDeque::new(),
+            stats: SenderStats::default(),
+            queue_capacity: None,
+        }
+    }
+
+    /// Cap the sending queue (SDUs awaiting first transmission); `push`
+    /// then fails with [`QueueFull`] when the cap is reached.
+    pub fn with_queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = Some(cap);
+        self
+    }
+
+    /// Mark the link active at `now`. Arms the checkpoint timer with an
+    /// initial grace of one RTT plus the normal timeout (the first
+    /// checkpoint cannot arrive before the link round-trips).
+    pub fn start(&mut self, now: Instant) {
+        self.cp_deadline =
+            Some(now + self.cfg.expected_rtt + self.cfg.checkpoint_timeout());
+        self.next_tx_allowed = now;
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> SenderState {
+        self.state
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SenderStats {
+        self.stats
+    }
+
+    /// Protocol configuration.
+    pub fn config(&self) -> &LamsConfig {
+        &self.cfg
+    }
+
+    /// Current sending-rate fraction set by flow control.
+    pub fn rate(&self) -> f64 {
+        self.rate.rate()
+    }
+
+    /// SDUs queued and awaiting (re)transmission.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Frames transmitted and not yet resolved (the paper's sending-buffer
+    /// occupancy: what `B_LAMS` bounds).
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Total sending-buffer occupancy: queued plus outstanding.
+    pub fn buffered(&self) -> usize {
+        self.queue.len() + self.outstanding.len()
+    }
+
+    /// Accept an SDU from the network layer.
+    pub fn push(&mut self, packet_id: PacketId, payload: Bytes) -> Result<(), QueueFull> {
+        if let Some(cap) = self.queue_capacity {
+            if self.queue.len() >= cap {
+                return Err(QueueFull);
+            }
+        }
+        self.queue.push_back(QueuedSdu { packet_id, payload, reason: TxReason::New });
+        Ok(())
+    }
+
+    /// Drain the next protocol notification.
+    pub fn poll_event(&mut self) -> Option<SenderEvent> {
+        self.events.pop_front()
+    }
+
+    /// Earliest instant at which [`Sender::on_timeout`] or
+    /// [`Sender::poll_transmit`] has work to do, if any.
+    pub fn poll_timeout(&self) -> Option<Instant> {
+        if self.state == SenderState::Failed {
+            return None;
+        }
+        let mut t: Option<Instant> = None;
+        let mut consider = |c: Option<Instant>| {
+            t = match (t, c) {
+                (None, c) => c,
+                (Some(a), None) => Some(a),
+                (Some(a), Some(b)) => Some(a.min(b)),
+            };
+        };
+        consider(self.cp_deadline);
+        consider(self.failure_deadline);
+        consider(self.outstanding.values().next().map(|o| o.resolve_deadline));
+        if self.pending_request_nak.is_some() || self.has_transmittable() {
+            consider(Some(self.next_tx_allowed));
+        }
+        t
+    }
+
+    fn has_transmittable(&self) -> bool {
+        self.queue.iter().any(|q| {
+            q.reason != TxReason::New || self.state == SenderState::Running
+        })
+    }
+
+    /// Fire any timers due at `now`.
+    pub fn on_timeout(&mut self, now: Instant) {
+        if self.state == SenderState::Failed {
+            return;
+        }
+        // Resolving-deadline sweep: frames unaccounted past their deadline
+        // are renumbered and retransmitted (safety net for tail losses).
+        while let Some((&seq, o)) = self.outstanding.iter().next() {
+            if o.resolve_deadline > now {
+                break;
+            }
+            let o = self.outstanding.remove(&seq).expect("present");
+            self.stats.resolve_expiries += 1;
+            self.queue.push_front(QueuedSdu {
+                packet_id: o.packet_id,
+                payload: o.payload,
+                reason: TxReason::ResolveExpired(seq),
+            });
+        }
+        // Checkpoint timer → enforced recovery.
+        if self.state == SenderState::Running {
+            if let Some(d) = self.cp_deadline {
+                if now >= d {
+                    self.enter_enforced(now);
+                }
+            }
+        }
+        // Failure timer → link declared failed.
+        if self.state == SenderState::Enforced {
+            if let Some(d) = self.failure_deadline {
+                if now >= d {
+                    self.state = SenderState::Failed;
+                    self.failure_deadline = None;
+                    self.cp_deadline = None;
+                    self.pending_request_nak = None;
+                    self.events.push_back(SenderEvent::LinkFailed { at: now });
+                }
+            }
+        }
+    }
+
+    fn enter_enforced(&mut self, now: Instant) {
+        self.probe_counter += 1;
+        let probe = self.probe_counter;
+        self.state = SenderState::Enforced;
+        self.pending_request_nak = Some(probe);
+        self.cp_deadline = None;
+        self.failure_deadline = Some(now + self.cfg.failure_timeout());
+        // Nothing can resolve while the link is suspect: extend every
+        // outstanding frame's resolving deadline past the recovery window
+        // so the expiry safety-net doesn't duplicate frames the enforced
+        // recovery is about to account for.
+        let extended = now + self.cfg.failure_timeout() + self.cfg.resolving_period();
+        for o in self.outstanding.values_mut() {
+            o.resolve_deadline = o.resolve_deadline.max(extended);
+        }
+        self.events
+            .push_back(SenderEvent::EnforcedRecoveryStarted { probe, at: now });
+    }
+
+    /// Produce the next outbound frame, if transmission is currently
+    /// allowed. Control frames (Request-NAK) take priority and are not
+    /// rate-limited; retransmissions precede new I-frames; new I-frames
+    /// require [`SenderState::Running`] and are paced by flow control.
+    pub fn poll_transmit(&mut self, now: Instant) -> Option<Frame> {
+        if self.state == SenderState::Failed {
+            return None;
+        }
+        if let Some(probe) = self.pending_request_nak.take() {
+            self.stats.request_naks += 1;
+            self.last_probe_at = Some(now);
+            return Some(Frame::Control(ControlFrame::RequestNak { probe }));
+        }
+        if now < self.next_tx_allowed {
+            return None;
+        }
+        // Retransmissions are queued at the front (push_front in the NAK
+        // and expiry paths), so a FIFO pop naturally prioritises them.
+        let idx = self.queue.iter().position(|q| {
+            q.reason != TxReason::New || self.state == SenderState::Running
+        })?;
+        let sdu = self.queue.remove(idx).expect("indexed");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match sdu.reason {
+            TxReason::New => self.stats.new_transmissions += 1,
+            TxReason::Nak(old) => {
+                self.stats.retransmissions += 1;
+                self.events.push_back(SenderEvent::Renumbered {
+                    packet_id: sdu.packet_id,
+                    old_seq: old,
+                    new_seq: seq,
+                });
+            }
+            TxReason::ResolveExpired(old) => {
+                self.stats.retransmissions += 1;
+                self.events.push_back(SenderEvent::ResolvingExpired {
+                    packet_id: sdu.packet_id,
+                    old_seq: old,
+                    new_seq: seq,
+                });
+            }
+            TxReason::Suspect(_) => {
+                self.stats.retransmissions += 1;
+                self.stats.suspect_retransmissions += 1;
+            }
+        }
+        self.outstanding.insert(
+            seq,
+            Outstanding {
+                packet_id: sdu.packet_id,
+                payload: sdu.payload.clone(),
+                sent_at: now,
+                resolve_deadline: now + self.cfg.resolving_period(),
+            },
+        );
+        // Pace the next I-frame by the flow-controlled spacing.
+        let spacing = self.cfg.t_f.mul_f64(self.rate.spacing_multiplier());
+        self.next_tx_allowed = now + spacing;
+        Some(Frame::Info(InfoFrame {
+            seq,
+            packet_id: sdu.packet_id,
+            payload: sdu.payload,
+        }))
+    }
+
+    /// Inject a frame received from the peer. Only control frames are
+    /// meaningful to the sender; corrupted frames are dropped (the control
+    /// FEC grade makes this rare).
+    pub fn handle_frame(&mut self, now: Instant, frame: Frame, status: RxStatus) {
+        if self.state == SenderState::Failed {
+            return;
+        }
+        if status != RxStatus::Ok {
+            self.stats.rx_corrupted += 1;
+            return;
+        }
+        match frame {
+            Frame::Control(ControlFrame::CheckPoint(cp)) => {
+                self.handle_checkpoint(now, cp)
+            }
+            // A Request-NAK addressed to a sender endpoint is a peer
+            // protocol error in this unidirectional pairing; ignore.
+            Frame::Control(ControlFrame::RequestNak { .. }) => {}
+            Frame::Info(_) => {}
+        }
+    }
+
+    fn handle_checkpoint(&mut self, now: Instant, cp: CheckPoint) {
+        // The channel is FIFO, so a smaller index is a duplicate; drop it.
+        if cp.index <= self.last_cp_index {
+            return;
+        }
+        let gap = cp.index - self.last_cp_index;
+        let first_contact = self.last_cp_index == 0;
+        self.last_cp_index = cp.index;
+        self.stats.checkpoints += 1;
+
+        // Any checkpoint proves the link alive: re-arm the checkpoint
+        // timer. Enforced state is left only by an enforced checkpoint.
+        if self.state == SenderState::Running {
+            self.cp_deadline = Some(now + self.cfg.checkpoint_timeout());
+        } else if self.state == SenderState::Enforced && !cp.enforced {
+            // An ordinary checkpoint while enforced means the link is
+            // alive but the Request-NAK (or its Enforced-NAK) was lost:
+            // re-probe — at most once per expected response time — and
+            // restart the failure timer. Declaring failure while the
+            // receiver demonstrably responds would be wrong — the paper's
+            // failure timer covers total silence.
+            let response_window = self.cfg.expected_rtt + self.cfg.deadline_slack;
+            let probe_stale = self
+                .last_probe_at
+                .is_none_or(|t| now.duration_since(t) >= response_window);
+            if self.pending_request_nak.is_none() && probe_stale {
+                self.probe_counter += 1;
+                self.pending_request_nak = Some(self.probe_counter);
+            }
+            self.failure_deadline = Some(now + self.cfg.failure_timeout());
+        }
+        if cp.enforced && self.state == SenderState::Enforced {
+            self.state = SenderState::Running;
+            self.failure_deadline = None;
+            self.pending_request_nak = None;
+            self.cp_deadline = Some(now + self.cfg.checkpoint_timeout());
+            self.events.push_back(SenderEvent::EnforcedRecoveryResolved {
+                probe: cp.probe.unwrap_or(self.probe_counter),
+            });
+        }
+
+        // Checkpoint recovery: retransmit NAK'd frames still held. A NAK
+        // for a sequence number no longer outstanding means that frame was
+        // already renumbered and retransmitted — ignored, per §3.2.
+        for &nak in &cp.naks {
+            if let Some(o) = self.outstanding.remove(&nak) {
+                self.queue.push_front(QueuedSdu {
+                    packet_id: o.packet_id,
+                    payload: o.payload,
+                    reason: TxReason::Nak(nak),
+                });
+            }
+        }
+
+        // Implicit positive acknowledgement: outstanding frames at or
+        // below the covered horizon and not NAK'd have arrived clean.
+        //
+        // Exception (zero-loss hardening, see module docs): if more than
+        // C_depth checkpoint indices were missed, NAK information may have
+        // been lost with them; the frames this checkpoint would release
+        // are retransmitted defensively instead. The first checkpoint of a
+        // connection is always safe: the receiver's cumulative window
+        // reaches back to link start until C_depth intervals have elapsed,
+        // and indices count from 1.
+        let unsafe_release = !first_contact && gap > self.cfg.c_depth as u64
+            || first_contact && cp.index > self.cfg.c_depth as u64;
+        if unsafe_release {
+            self.stats.unsafe_gaps += 1;
+        }
+        let releasable: Vec<u64> = self
+            .outstanding
+            .range(..=cp.covered)
+            .map(|(&s, _)| s)
+            .collect();
+        for seq in releasable {
+            let o = self.outstanding.remove(&seq).expect("present");
+            if unsafe_release {
+                self.queue.push_front(QueuedSdu {
+                    packet_id: o.packet_id,
+                    payload: o.payload,
+                    reason: TxReason::Suspect(seq),
+                });
+            } else {
+                self.stats.released += 1;
+                self.events.push_back(SenderEvent::Released {
+                    packet_id: o.packet_id,
+                    seq,
+                    held_for_ns: now.duration_since(o.sent_at).as_nanos(),
+                });
+            }
+        }
+
+        // Flow control.
+        if self.rate.on_stop_go(now, cp.stop_go) {
+            self.events.push_back(SenderEvent::RateChanged { rate: self.rate.rate() });
+        }
+    }
+
+    /// The resolving period currently configured (`R + W_cp/2 +
+    /// C_depth·W_cp` plus slack) — exposed for tests and experiments.
+    pub fn resolving_period(&self) -> Duration {
+        self.cfg.resolving_period()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::StopGo;
+
+    fn cfg() -> LamsConfig {
+        LamsConfig::paper_default()
+    }
+
+    fn mk_cp(index: u64, covered: u64, naks: Vec<u64>) -> Frame {
+        Frame::Control(ControlFrame::CheckPoint(CheckPoint {
+            index,
+            covered,
+            naks,
+            enforced: false,
+            probe: None,
+            stop_go: StopGo::Go,
+        }))
+    }
+
+    fn started_sender() -> (Sender, Instant) {
+        let mut s = Sender::new(cfg());
+        let now = Instant::ZERO;
+        s.start(now);
+        (s, now)
+    }
+
+    fn push_n(s: &mut Sender, n: u64) {
+        for i in 0..n {
+            s.push(PacketId(i), Bytes::from_static(b"payload")).unwrap();
+        }
+    }
+
+    /// Transmit as many frames as the sender will emit at `now`.
+    fn drain_tx(s: &mut Sender, now: &mut Instant) -> Vec<Frame> {
+        let mut out = Vec::new();
+        loop {
+            match s.poll_transmit(*now) {
+                Some(f) => out.push(f),
+                None => {
+                    // Advance past pacing if more work remains.
+                    match s.poll_timeout() {
+                        Some(t) if t > *now && s.queued() > 0 => *now = t,
+                        _ => break,
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn transmits_with_monotone_fresh_seqs() {
+        let (mut s, mut now) = started_sender();
+        push_n(&mut s, 5);
+        let frames = drain_tx(&mut s, &mut now);
+        let seqs: Vec<u64> = frames
+            .iter()
+            .map(|f| match f {
+                Frame::Info(i) => i.seq,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4, 5]);
+        assert_eq!(s.outstanding(), 5);
+        assert_eq!(s.stats().new_transmissions, 5);
+    }
+
+    #[test]
+    fn pacing_enforces_frame_spacing() {
+        let (mut s, now) = started_sender();
+        push_n(&mut s, 2);
+        assert!(s.poll_transmit(now).is_some());
+        // Immediately after, pacing blocks.
+        assert!(s.poll_transmit(now).is_none());
+        let next = s.poll_timeout().unwrap();
+        assert_eq!(next, now + cfg().t_f);
+        assert!(s.poll_transmit(next).is_some());
+    }
+
+    #[test]
+    fn checkpoint_releases_covered_frames() {
+        let (mut s, mut now) = started_sender();
+        push_n(&mut s, 3);
+        drain_tx(&mut s, &mut now);
+        s.handle_frame(now, mk_cp(1, 2, vec![]), RxStatus::Ok);
+        // Frames 1 and 2 released; 3 still outstanding.
+        assert_eq!(s.outstanding(), 1);
+        assert_eq!(s.stats().released, 2);
+        let mut released = Vec::new();
+        while let Some(e) = s.poll_event() {
+            if let SenderEvent::Released { seq, .. } = e {
+                released.push(seq);
+            }
+        }
+        assert_eq!(released, vec![1, 2]);
+    }
+
+    #[test]
+    fn nak_renumbers_and_retransmits() {
+        let (mut s, mut now) = started_sender();
+        push_n(&mut s, 3);
+        drain_tx(&mut s, &mut now);
+        // NAK frame 2; frames 1 and 3 covered.
+        s.handle_frame(now, mk_cp(1, 3, vec![2]), RxStatus::Ok);
+        assert_eq!(s.stats().released, 2);
+        assert_eq!(s.outstanding(), 0);
+        assert_eq!(s.queued(), 1);
+        now += Duration::from_micros(100);
+        let f = s.poll_transmit(now).expect("retransmission");
+        match f {
+            Frame::Info(i) => {
+                assert_eq!(i.seq, 4, "retransmission gets a fresh number");
+                assert_eq!(i.packet_id, PacketId(1));
+            }
+            other => panic!("{other:?}"),
+        }
+        let renumbered = std::iter::from_fn(|| s.poll_event())
+            .find_map(|e| match e {
+                SenderEvent::Renumbered { old_seq, new_seq, .. } => {
+                    Some((old_seq, new_seq))
+                }
+                _ => None,
+            })
+            .expect("renumber event");
+        assert_eq!(renumbered, (2, 4));
+        assert_eq!(s.stats().retransmissions, 1);
+    }
+
+    #[test]
+    fn duplicate_nak_for_renumbered_frame_ignored() {
+        let (mut s, mut now) = started_sender();
+        push_n(&mut s, 2);
+        drain_tx(&mut s, &mut now);
+        s.handle_frame(now, mk_cp(1, 2, vec![1]), RxStatus::Ok);
+        let _ = drain_tx(&mut s, &mut now); // retransmit as seq 3
+        let retx_before = s.stats().retransmissions;
+        // Cumulative NAK repeats seq 1 in the next checkpoint: ignored.
+        s.handle_frame(now, mk_cp(2, 2, vec![1]), RxStatus::Ok);
+        assert_eq!(s.stats().retransmissions, retx_before);
+        assert_eq!(s.queued(), 0);
+    }
+
+    #[test]
+    fn stale_checkpoint_dropped() {
+        let (mut s, mut now) = started_sender();
+        push_n(&mut s, 1);
+        drain_tx(&mut s, &mut now);
+        s.handle_frame(now, mk_cp(5, 0, vec![]), RxStatus::Ok);
+        let n = s.stats().checkpoints;
+        s.handle_frame(now, mk_cp(5, 1, vec![]), RxStatus::Ok);
+        s.handle_frame(now, mk_cp(4, 1, vec![]), RxStatus::Ok);
+        assert_eq!(s.stats().checkpoints, n);
+        assert_eq!(s.outstanding(), 1, "stale checkpoint must not release");
+    }
+
+    #[test]
+    fn corrupted_control_frame_dropped() {
+        let (mut s, mut now) = started_sender();
+        push_n(&mut s, 1);
+        drain_tx(&mut s, &mut now);
+        s.handle_frame(now, mk_cp(1, 1, vec![]), RxStatus::PayloadCorrupted);
+        assert_eq!(s.outstanding(), 1);
+        assert_eq!(s.stats().rx_corrupted, 1);
+        assert_eq!(s.stats().checkpoints, 0);
+    }
+
+    #[test]
+    fn checkpoint_timeout_enters_enforced_recovery() {
+        let (mut s, now) = started_sender();
+        // Receive one checkpoint to arm the normal timer.
+        s.handle_frame(now, mk_cp(1, 0, vec![]), RxStatus::Ok);
+        let deadline = s.poll_timeout().unwrap();
+        assert_eq!(deadline, now + cfg().checkpoint_timeout());
+        s.on_timeout(deadline);
+        assert_eq!(s.state(), SenderState::Enforced);
+        // The Request-NAK goes out ahead of any data.
+        match s.poll_transmit(deadline) {
+            Some(Frame::Control(ControlFrame::RequestNak { probe })) => {
+                assert_eq!(probe, 1)
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            s.poll_event(),
+            Some(SenderEvent::EnforcedRecoveryStarted { probe: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn enforced_state_blocks_new_but_allows_retransmissions() {
+        let (mut s, mut now) = started_sender();
+        push_n(&mut s, 2);
+        drain_tx(&mut s, &mut now);
+        s.handle_frame(now, mk_cp(1, 0, vec![]), RxStatus::Ok);
+        let deadline = now + cfg().checkpoint_timeout();
+        s.on_timeout(deadline);
+        assert_eq!(s.state(), SenderState::Enforced);
+        let _ = s.poll_transmit(deadline); // Request-NAK
+        // Queue a new SDU: must not transmit while enforced.
+        s.push(PacketId(99), Bytes::from_static(b"new")).unwrap();
+        now = deadline + Duration::from_millis(1);
+        assert!(s.poll_transmit(now).is_none());
+        // But a NAK-triggered retransmission flows (ordinary checkpoint in
+        // enforced state performs checkpoint recovery without resuming).
+        // The probe is NOT re-armed yet: the first Request-NAK's response
+        // window has not elapsed.
+        s.handle_frame(now, mk_cp(2, 2, vec![1]), RxStatus::Ok);
+        assert_eq!(s.state(), SenderState::Enforced);
+        now += Duration::from_micros(50);
+        match s.poll_transmit(now) {
+            Some(Frame::Info(i)) => assert_eq!(i.packet_id, PacketId(0)),
+            other => panic!("{other:?}"),
+        }
+        // Once the response window has passed, a further ordinary
+        // checkpoint re-arms the probe (the first one evidently got lost).
+        now = now + cfg().expected_rtt + Duration::from_millis(2);
+        s.handle_frame(now, mk_cp(3, 2, vec![]), RxStatus::Ok);
+        match s.poll_transmit(now) {
+            Some(Frame::Control(ControlFrame::RequestNak { probe })) => {
+                assert_eq!(probe, 2, "lost probe must be retried")
+            }
+            other => panic!("{other:?}"),
+        }
+        // Still no new frames.
+        now += Duration::from_millis(1);
+        assert!(s.poll_transmit(now).is_none());
+    }
+
+    #[test]
+    fn enforced_nak_resolves_recovery() {
+        let (mut s, now) = started_sender();
+        s.handle_frame(now, mk_cp(1, 0, vec![]), RxStatus::Ok);
+        let deadline = now + cfg().checkpoint_timeout();
+        s.on_timeout(deadline);
+        let _ = s.poll_transmit(deadline);
+        let enak = Frame::Control(ControlFrame::CheckPoint(CheckPoint {
+            index: 2,
+            covered: 0,
+            naks: vec![],
+            enforced: true,
+            probe: Some(1),
+            stop_go: StopGo::Go,
+        }));
+        let t = deadline + Duration::from_millis(10);
+        s.handle_frame(t, enak, RxStatus::Ok);
+        assert_eq!(s.state(), SenderState::Running);
+        let resolved = std::iter::from_fn(|| s.poll_event())
+            .any(|e| matches!(e, SenderEvent::EnforcedRecoveryResolved { probe: 1 }));
+        assert!(resolved);
+    }
+
+    #[test]
+    fn failure_timer_declares_link_failed() {
+        let (mut s, now) = started_sender();
+        s.handle_frame(now, mk_cp(1, 0, vec![]), RxStatus::Ok);
+        let d1 = now + cfg().checkpoint_timeout();
+        s.on_timeout(d1);
+        let _ = s.poll_transmit(d1);
+        let d2 = s.poll_timeout().unwrap();
+        assert_eq!(d2, d1 + cfg().failure_timeout());
+        s.on_timeout(d2);
+        assert_eq!(s.state(), SenderState::Failed);
+        let failed = std::iter::from_fn(|| s.poll_event())
+            .any(|e| matches!(e, SenderEvent::LinkFailed { .. }));
+        assert!(failed);
+        // A failed sender is inert.
+        assert!(s.poll_transmit(d2).is_none());
+        assert!(s.poll_timeout().is_none());
+    }
+
+    #[test]
+    fn resolve_expiry_retransmits_tail_loss() {
+        let (mut s, mut now) = started_sender();
+        push_n(&mut s, 1);
+        drain_tx(&mut s, &mut now);
+        // Keep checkpoints flowing (empty ones that never cover seq 1 —
+        // the tail frame vanished entirely).
+        let rp = s.resolving_period();
+        let mut idx = 0;
+        let mut t = now;
+        while t < now + rp {
+            idx += 1;
+            s.handle_frame(t, mk_cp(idx, 0, vec![]), RxStatus::Ok);
+            t += cfg().w_cp;
+        }
+        s.on_timeout(t);
+        assert_eq!(s.stats().resolve_expiries, 1);
+        let f = s.poll_transmit(t + Duration::from_millis(1)).expect("retx");
+        match f {
+            Frame::Info(i) => assert_eq!(i.packet_id, PacketId(0)),
+            other => panic!("{other:?}"),
+        }
+        let seen = std::iter::from_fn(|| s.poll_event())
+            .any(|e| matches!(e, SenderEvent::ResolvingExpired { old_seq: 1, .. }));
+        assert!(seen);
+    }
+
+    #[test]
+    fn unsafe_index_gap_retransmits_instead_of_releasing() {
+        let (mut s, mut now) = started_sender();
+        push_n(&mut s, 2);
+        drain_tx(&mut s, &mut now);
+        s.handle_frame(now, mk_cp(1, 0, vec![]), RxStatus::Ok);
+        // Jump from index 1 to index 1 + c_depth + 1: more than C_depth
+        // checkpoints lost → coverage is unsafe.
+        let jump = 1 + cfg().c_depth as u64 + 1;
+        now += Duration::from_millis(1);
+        s.handle_frame(now, mk_cp(jump, 2, vec![]), RxStatus::Ok);
+        assert_eq!(s.stats().unsafe_gaps, 1);
+        assert_eq!(s.stats().released, 0, "must not release across the gap");
+        assert_eq!(s.queued(), 2, "both frames requeued defensively");
+        let frames = drain_tx(&mut s, &mut now);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(s.stats().suspect_retransmissions, 2);
+    }
+
+    #[test]
+    fn small_index_gap_is_safe() {
+        let (mut s, mut now) = started_sender();
+        push_n(&mut s, 1);
+        drain_tx(&mut s, &mut now);
+        s.handle_frame(now, mk_cp(1, 0, vec![]), RxStatus::Ok);
+        now += Duration::from_millis(1);
+        // Gap of exactly c_depth (indices 2..c_depth missed) is still safe.
+        s.handle_frame(now, mk_cp(1 + cfg().c_depth as u64, 1, vec![]), RxStatus::Ok);
+        assert_eq!(s.stats().released, 1);
+        assert_eq!(s.stats().unsafe_gaps, 0);
+    }
+
+    #[test]
+    fn stop_go_feedback_changes_rate() {
+        let (mut s, now) = started_sender();
+        let cp = Frame::Control(ControlFrame::CheckPoint(CheckPoint {
+            index: 1,
+            covered: 0,
+            naks: vec![],
+            enforced: false,
+            probe: None,
+            stop_go: StopGo::Stop,
+        }));
+        s.handle_frame(now, cp, RxStatus::Ok);
+        assert!((s.rate() - 0.5).abs() < 1e-12);
+        let changed = std::iter::from_fn(|| s.poll_event())
+            .any(|e| matches!(e, SenderEvent::RateChanged { .. }));
+        assert!(changed);
+    }
+
+    #[test]
+    fn queue_capacity_enforced() {
+        let mut s = Sender::new(cfg()).with_queue_capacity(2);
+        s.start(Instant::ZERO);
+        assert!(s.push(PacketId(0), Bytes::new()).is_ok());
+        assert!(s.push(PacketId(1), Bytes::new()).is_ok());
+        assert_eq!(s.push(PacketId(2), Bytes::new()), Err(QueueFull));
+    }
+
+    #[test]
+    fn flow_control_stretches_pacing() {
+        // After a Stop, the inter-frame spacing doubles (rate 0.5).
+        let (mut s, now) = started_sender();
+        push_n(&mut s, 3);
+        let f1 = s.poll_transmit(now).expect("first frame");
+        assert!(f1.is_info());
+        let stop = Frame::Control(ControlFrame::CheckPoint(CheckPoint {
+            index: 1,
+            covered: 0,
+            naks: vec![],
+            enforced: false,
+            probe: None,
+            stop_go: StopGo::Stop,
+        }));
+        s.handle_frame(now, stop, RxStatus::Ok);
+        assert!((s.rate() - 0.5).abs() < 1e-12);
+        // The frame sent after the Stop is spaced 2·t_f from its own
+        // transmission time.
+        let t1 = now + cfg().t_f; // pre-Stop spacing still applies once
+        let f2 = s.poll_transmit(t1).expect("second frame");
+        assert!(f2.is_info());
+        assert!(s.poll_transmit(t1 + cfg().t_f).is_none(), "half rate");
+        assert!(s.poll_transmit(t1 + cfg().t_f * 2).is_some());
+    }
+
+    #[test]
+    fn released_event_reports_holding_time() {
+        let (mut s, mut now) = started_sender();
+        push_n(&mut s, 1);
+        drain_tx(&mut s, &mut now);
+        let sent_at = now;
+        let later = sent_at + Duration::from_millis(20);
+        s.handle_frame(later, mk_cp(1, 1, vec![]), RxStatus::Ok);
+        let held = std::iter::from_fn(|| s.poll_event())
+            .find_map(|e| match e {
+                SenderEvent::Released { held_for_ns, .. } => Some(held_for_ns),
+                _ => None,
+            })
+            .expect("released");
+        assert_eq!(held, 20_000_000);
+    }
+
+    #[test]
+    fn failed_sender_rejects_everything_quietly() {
+        let (mut s, now) = started_sender();
+        s.handle_frame(now, mk_cp(1, 0, vec![]), RxStatus::Ok);
+        let d1 = now + cfg().checkpoint_timeout();
+        s.on_timeout(d1);
+        let _ = s.poll_transmit(d1);
+        s.on_timeout(d1 + cfg().failure_timeout());
+        assert_eq!(s.state(), SenderState::Failed);
+        // Late frames and checkpoints are ignored without panicking.
+        s.handle_frame(d1 + Duration::from_secs(1), mk_cp(99, 50, vec![1]), RxStatus::Ok);
+        assert_eq!(s.state(), SenderState::Failed);
+        assert!(s.poll_transmit(d1 + Duration::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn initial_grace_exceeds_plain_timeout() {
+        let (s, now) = started_sender();
+        let d = s.poll_timeout().unwrap();
+        assert_eq!(d, now + cfg().expected_rtt + cfg().checkpoint_timeout());
+    }
+}

@@ -1,0 +1,37 @@
+//! Physical constants used by the orbital geometry model.
+
+/// Mean Earth radius, km.
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Earth's gravitational parameter μ = GM, km³/s².
+#[allow(clippy::inconsistent_digit_grouping)]
+pub const MU_EARTH: f64 = 398_600.4418;
+
+/// Speed of light in vacuum, km/s (laser links travel through free space,
+/// so no refractive correction applies — paper §1).
+pub const C_KM_S: f64 = 299_792.458;
+
+/// Minimum grazing altitude for an inter-satellite line of sight, km.
+/// Links whose chord dips below this above the Earth's surface are
+/// considered blocked (atmospheric attenuation ruins a laser link well
+/// above 0 km altitude).
+pub const GRAZING_ALTITUDE_KM: f64 = 80.0;
+
+/// One-way propagation delay in seconds for a range in km.
+pub fn propagation_delay_s(range_km: f64) -> f64 {
+    range_km / C_KM_S
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propagation_delay_matches_paper_ranges() {
+        // Paper §2.1: 2,000–10,000 km links ⇒ ~6.7–33.4 ms one way.
+        let d1 = propagation_delay_s(2000.0);
+        let d2 = propagation_delay_s(10_000.0);
+        assert!((d1 - 6.67e-3).abs() < 1e-4, "d1={d1}");
+        assert!((d2 - 33.4e-3).abs() < 2e-4, "d2={d2}");
+    }
+}

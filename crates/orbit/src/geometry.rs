@@ -1,0 +1,149 @@
+//! Minimal 3-vector algebra and line-of-sight tests.
+
+use crate::constants::{EARTH_RADIUS_KM, GRAZING_ALTITUDE_KM};
+
+/// A Cartesian vector in the Earth-centered inertial frame, km.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component, km.
+    pub x: f64,
+    /// Y component, km.
+    pub y: f64,
+    /// Z component, km.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Construct from components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Dot product.
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Vector difference `self - o` (also available via the `-`
+    /// operator).
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+
+    /// Distance between two points.
+    pub fn distance(self, o: Vec3) -> f64 {
+        self.sub(o).norm()
+    }
+
+    /// Scale by a factor.
+    pub fn scale(self, k: f64) -> Vec3 {
+        Vec3::new(self.x * k, self.y * k, self.z * k)
+    }
+}
+
+impl core::ops::Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+/// Closest approach of the segment `a`–`b` to the origin (Earth's center).
+///
+/// Used for line-of-sight: if the chord between two satellites passes
+/// closer to the center than `EARTH_RADIUS_KM + GRAZING_ALTITUDE_KM`, the
+/// Earth (or its atmosphere) blocks the laser path.
+pub fn segment_min_distance_to_origin(a: Vec3, b: Vec3) -> f64 {
+    let ab = b.sub(a);
+    let len2 = ab.dot(ab);
+    if len2 == 0.0 {
+        return a.norm();
+    }
+    // Parameter of the perpendicular foot, clamped to the segment.
+    let t = (-a.dot(ab) / len2).clamp(0.0, 1.0);
+    a.sub(ab.scale(-t)).norm().min(a.norm()).min(b.norm())
+}
+
+/// True if two satellites at `a` and `b` have an unobstructed line of
+/// sight above the grazing altitude.
+pub fn has_line_of_sight(a: Vec3, b: Vec3) -> bool {
+    segment_min_distance_to_origin(a, b) > EARTH_RADIUS_KM + GRAZING_ALTITUDE_KM
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_basics() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.dot(Vec3::new(1.0, 0.0, 0.0)), 3.0);
+        assert_eq!(v.sub(Vec3::new(3.0, 4.0, 0.0)), Vec3::default());
+        assert_eq!(v.scale(2.0), Vec3::new(6.0, 8.0, 0.0));
+        assert_eq!(Vec3::new(0.0, 0.0, 1.0).distance(Vec3::new(0.0, 0.0, 4.0)), 3.0);
+    }
+
+    #[test]
+    fn closest_approach_perpendicular() {
+        // Segment from (-10, 5, 0) to (10, 5, 0): closest point (0, 5, 0).
+        let d = segment_min_distance_to_origin(
+            Vec3::new(-10.0, 5.0, 0.0),
+            Vec3::new(10.0, 5.0, 0.0),
+        );
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closest_approach_endpoint() {
+        // Foot of perpendicular outside the segment: nearest is endpoint a.
+        let d = segment_min_distance_to_origin(
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(10.0, 0.0, 0.0),
+        );
+        assert!((d - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let p = Vec3::new(0.0, 7.0, 0.0);
+        assert_eq!(segment_min_distance_to_origin(p, p), 7.0);
+    }
+
+    #[test]
+    fn los_blocked_through_earth() {
+        // Antipodal satellites at 1000 km altitude: chord passes through
+        // the Earth's center.
+        let r = EARTH_RADIUS_KM + 1000.0;
+        let a = Vec3::new(r, 0.0, 0.0);
+        let b = Vec3::new(-r, 0.0, 0.0);
+        assert!(!has_line_of_sight(a, b));
+    }
+
+    #[test]
+    fn los_clear_for_neighbors() {
+        // Satellites 30° apart in the same 1000 km orbit see each other.
+        let r = EARTH_RADIUS_KM + 1000.0;
+        let th = 30f64.to_radians();
+        let a = Vec3::new(r, 0.0, 0.0);
+        let b = Vec3::new(r * th.cos(), r * th.sin(), 0.0);
+        assert!(has_line_of_sight(a, b));
+    }
+
+    #[test]
+    fn los_grazing_limit() {
+        // 120° apart at 1000 km altitude: chord midpoint altitude is
+        // r/2 - R_e = -2685 km → blocked.
+        let r = EARTH_RADIUS_KM + 1000.0;
+        let th = 120f64.to_radians();
+        let a = Vec3::new(r, 0.0, 0.0);
+        let b = Vec3::new(r * th.cos(), r * th.sin(), 0.0);
+        assert!(!has_line_of_sight(a, b));
+    }
+}

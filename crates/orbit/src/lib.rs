@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+//! # orbit
+//!
+//! LEO constellation geometry for the LAMS network environment (paper
+//! §2.1): circular-orbit propagation, inter-satellite ranges and line of
+//! sight, visibility windows (the paper's "link lifetime"), and the timing
+//! profile — `R`, `var(R_t)`, `α`, `t_out` — that the protocols and the
+//! closed-form analysis consume.
+//!
+//! The model is deliberately two-body/circular: the paper's analysis
+//! assumes deterministic link behaviour ("the subnet nodes know the precise
+//! distances and variance of the link"), and circular two-body propagation
+//! is exact under that assumption.
+
+pub mod constants;
+pub mod geometry;
+pub mod link_profile;
+pub mod orbit;
+pub mod visibility;
+
+pub use constants::{propagation_delay_s, C_KM_S, EARTH_RADIUS_KM, GRAZING_ALTITUDE_KM};
+pub use geometry::{has_line_of_sight, Vec3};
+pub use link_profile::LinkProfile;
+pub use orbit::Satellite;
+pub use visibility::{feasible, visibility_windows, LinkConstraints, Window};

@@ -1,0 +1,207 @@
+//! Link profiles: the timing parameters a DLC derives from orbital
+//! geometry.
+//!
+//! §4 of the paper sets the HDLC timeout from the link's range statistics:
+//! `t_out = R + α` where `R` is the mean round-trip time over the link
+//! lifetime, `R = (R_min + R_max)/2`, and `α ≥ R_max − R` so the timeout
+//! covers the worst-case range. High mobility makes `var(R_t)` large,
+//! which is exactly the α-penalty LAMS-DLC avoids by not using timeouts on
+//! the data path. [`LinkProfile`] computes these quantities for a
+//! visibility window, plus the retargeting overhead that consumes the
+//! start of every window (paper §1: "a large retargeting overhead which
+//! occupies a significant portion of the link lifetime").
+
+use crate::constants::propagation_delay_s;
+use crate::orbit::Satellite;
+use crate::visibility::Window;
+
+/// Timing profile of one link over one visibility window.
+#[derive(Clone, Debug)]
+pub struct LinkProfile {
+    /// The visibility window this profile covers.
+    pub window: Window,
+    /// Retargeting overhead at window start, seconds (pointing, acquisition,
+    /// spatial tracking lock).
+    pub retarget_s: f64,
+    /// Minimum range over the usable window, km.
+    pub range_min_km: f64,
+    /// Maximum range over the usable window, km.
+    pub range_max_km: f64,
+    /// Time-averaged range, km.
+    pub range_mean_km: f64,
+    /// Variance of the range over the window, km².
+    pub range_var_km2: f64,
+    samples: Vec<(f64, f64)>, // (t_s, range_km)
+}
+
+impl LinkProfile {
+    /// Build a profile by sampling the pair's range every `step_s` over the
+    /// window. `retarget_s` is the acquisition overhead charged at the
+    /// start.
+    pub fn build(
+        a: &Satellite,
+        b: &Satellite,
+        window: Window,
+        step_s: f64,
+        retarget_s: f64,
+    ) -> Self {
+        assert!(step_s > 0.0);
+        assert!(retarget_s >= 0.0);
+        let mut samples = Vec::new();
+        let mut t = window.start_s;
+        while t <= window.end_s {
+            samples.push((t, a.range_to(b, t)));
+            t += step_s;
+        }
+        if samples.last().is_none_or(|&(lt, _)| lt < window.end_s) {
+            samples.push((window.end_s, a.range_to(b, window.end_s)));
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().map(|&(_, r)| r).sum::<f64>() / n;
+        let var = samples.iter().map(|&(_, r)| (r - mean) * (r - mean)).sum::<f64>() / n;
+        let min = samples.iter().map(|&(_, r)| r).fold(f64::INFINITY, f64::min);
+        let max = samples.iter().map(|&(_, r)| r).fold(0.0f64, f64::max);
+        LinkProfile {
+            window,
+            retarget_s,
+            range_min_km: min,
+            range_max_km: max,
+            range_mean_km: mean,
+            range_var_km2: var,
+            samples,
+        }
+    }
+
+    /// Usable data-transfer time: window length minus retargeting.
+    pub fn usable_s(&self) -> f64 {
+        (self.window.duration_s() - self.retarget_s).max(0.0)
+    }
+
+    /// Range at time `t_s` by linear interpolation of the samples; clamps
+    /// to the window.
+    pub fn range_at(&self, t_s: f64) -> f64 {
+        let s = &self.samples;
+        if t_s <= s[0].0 {
+            return s[0].1;
+        }
+        if t_s >= s[s.len() - 1].0 {
+            return s[s.len() - 1].1;
+        }
+        let idx = s.partition_point(|&(t, _)| t <= t_s);
+        let (t0, r0) = s[idx - 1];
+        let (t1, r1) = s[idx];
+        let f = (t_s - t0) / (t1 - t0);
+        r0 + f * (r1 - r0)
+    }
+
+    /// One-way propagation delay at time `t_s`, seconds.
+    pub fn one_way_delay_s(&self, t_s: f64) -> f64 {
+        propagation_delay_s(self.range_at(t_s))
+    }
+
+    /// The paper's mean round-trip estimate: `R = (R_min + R_max) / 2`
+    /// expressed as a one-way mean range, converted to round-trip seconds.
+    pub fn mean_rtt_s(&self) -> f64 {
+        2.0 * propagation_delay_s(0.5 * (self.range_min_km + self.range_max_km))
+    }
+
+    /// The paper's timeout slack: `α ≥ R_max − R` (in round-trip seconds).
+    /// Returns the minimal admissible α.
+    pub fn alpha_s(&self) -> f64 {
+        let r_mid = 0.5 * (self.range_min_km + self.range_max_km);
+        2.0 * propagation_delay_s(self.range_max_km - r_mid)
+    }
+
+    /// The HDLC timeout `t_out = R + α` in seconds.
+    pub fn t_out_s(&self) -> f64 {
+        self.mean_rtt_s() + self.alpha_s()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::visibility::{visibility_windows, LinkConstraints};
+
+    fn profiled_pair() -> LinkProfile {
+        let a = Satellite::new(1000.0, 80.0, 0.0, 0.0);
+        let b = Satellite::new(1000.0, 80.0, 90.0, 0.0);
+        let windows = visibility_windows(
+            &a,
+            &b,
+            2.0 * a.period_s(),
+            5.0,
+            &LinkConstraints::default(),
+        );
+        assert!(!windows.is_empty());
+        LinkProfile::build(&a, &b, windows[0], 5.0, 30.0)
+    }
+
+    #[test]
+    fn profile_statistics_consistent() {
+        let p = profiled_pair();
+        assert!(p.range_min_km <= p.range_mean_km);
+        assert!(p.range_mean_km <= p.range_max_km);
+        assert!(p.range_var_km2 >= 0.0);
+        assert!(p.range_max_km <= 10_000.0 + 1.0, "constraint violated");
+    }
+
+    #[test]
+    fn usable_time_subtracts_retarget() {
+        let p = profiled_pair();
+        assert!((p.usable_s() - (p.window.duration_s() - 30.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_matches_samples() {
+        let p = profiled_pair();
+        let t = p.window.start_s;
+        assert!((p.range_at(t) - p.samples[0].1).abs() < 1e-9);
+        // Midpoints lie between neighbours.
+        let (t0, r0) = p.samples[0];
+        let (t1, r1) = p.samples[1];
+        let mid = p.range_at(0.5 * (t0 + t1));
+        let (lo, hi) = if r0 < r1 { (r0, r1) } else { (r1, r0) };
+        assert!(mid >= lo - 1e-9 && mid <= hi + 1e-9);
+    }
+
+    #[test]
+    fn clamping_outside_window() {
+        let p = profiled_pair();
+        assert_eq!(p.range_at(p.window.start_s - 100.0), p.samples[0].1);
+        assert_eq!(
+            p.range_at(p.window.end_s + 100.0),
+            p.samples[p.samples.len() - 1].1
+        );
+    }
+
+    #[test]
+    fn timeout_exceeds_worst_case_rtt() {
+        // t_out = R + α must be at least the RTT at maximum range.
+        let p = profiled_pair();
+        let worst_rtt = 2.0 * propagation_delay_s(p.range_max_km);
+        assert!(
+            p.t_out_s() >= worst_rtt - 1e-12,
+            "t_out={} worst={}",
+            p.t_out_s(),
+            worst_rtt
+        );
+    }
+
+    #[test]
+    fn alpha_grows_with_range_spread() {
+        let p = profiled_pair();
+        let spread = p.range_max_km - p.range_min_km;
+        assert!(spread > 0.0);
+        assert!((p.alpha_s() - propagation_delay_s(spread)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_in_paper_band() {
+        // §2.1: LEO propagation delays in the 10–100 ms band (round trip at
+        // thousands of km).
+        let p = profiled_pair();
+        let d = p.one_way_delay_s(p.window.start_s + p.window.duration_s() / 2.0);
+        assert!(d > 1e-3 && d < 50e-3, "delay {d}");
+    }
+}

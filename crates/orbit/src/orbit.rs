@@ -1,0 +1,203 @@
+//! Circular-orbit propagation.
+//!
+//! The LAMS concept (paper §2.1) is a constellation of satellites in low
+//! circular orbits. Two-body circular propagation is exact for this model
+//! (deterministic, as the paper's analysis assumes: "the subnet nodes know
+//! the precise distances and variance of the link").
+
+use crate::constants::{EARTH_RADIUS_KM, MU_EARTH};
+use crate::geometry::Vec3;
+
+/// A satellite on a circular orbit, parameterised by classical elements.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Satellite {
+    /// Orbit altitude above the mean Earth surface, km.
+    pub altitude_km: f64,
+    /// Inclination, radians.
+    pub inclination: f64,
+    /// Right ascension of the ascending node (RAAN), radians.
+    pub raan: f64,
+    /// Argument of latitude at t = 0 (phase along the orbit), radians.
+    pub phase0: f64,
+}
+
+impl Satellite {
+    /// Create a satellite. Altitude must be positive.
+    pub fn new(altitude_km: f64, inclination_deg: f64, raan_deg: f64, phase0_deg: f64) -> Self {
+        assert!(altitude_km > 0.0, "altitude must be positive");
+        Satellite {
+            altitude_km,
+            inclination: inclination_deg.to_radians(),
+            raan: raan_deg.to_radians(),
+            phase0: phase0_deg.to_radians(),
+        }
+    }
+
+    /// Orbit radius from the Earth's center, km.
+    pub fn radius_km(&self) -> f64 {
+        EARTH_RADIUS_KM + self.altitude_km
+    }
+
+    /// Orbital period, seconds: `2π √(a³/μ)`.
+    pub fn period_s(&self) -> f64 {
+        let a = self.radius_km();
+        2.0 * core::f64::consts::PI * (a * a * a / MU_EARTH).sqrt()
+    }
+
+    /// Mean motion (angular rate), rad/s.
+    pub fn mean_motion(&self) -> f64 {
+        2.0 * core::f64::consts::PI / self.period_s()
+    }
+
+    /// ECI position at time `t_s` seconds after epoch.
+    ///
+    /// The orbit plane is built by rotating the equatorial circle by the
+    /// inclination about the x-axis, then by the RAAN about the z-axis.
+    pub fn position_at(&self, t_s: f64) -> Vec3 {
+        let r = self.radius_km();
+        let u = self.phase0 + self.mean_motion() * t_s; // argument of latitude
+        let (su, cu) = u.sin_cos();
+        let (si, ci) = self.inclination.sin_cos();
+        let (so, co) = self.raan.sin_cos();
+        // Position in the orbital plane, then rotate.
+        let x_orb = r * cu;
+        let y_orb = r * su;
+        Vec3::new(
+            x_orb * co - y_orb * ci * so,
+            x_orb * so + y_orb * ci * co,
+            y_orb * si,
+        )
+    }
+
+    /// Range to another satellite at time `t_s`, km.
+    pub fn range_to(&self, other: &Satellite, t_s: f64) -> f64 {
+        self.position_at(t_s).distance(other.position_at(t_s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leo_period_is_about_105_minutes() {
+        // 1000 km circular orbit: T ≈ 105 min.
+        let sat = Satellite::new(1000.0, 0.0, 0.0, 0.0);
+        let t_min = sat.period_s() / 60.0;
+        assert!((t_min - 105.1).abs() < 1.0, "T={t_min} min");
+    }
+
+    #[test]
+    fn position_stays_on_sphere() {
+        let sat = Satellite::new(800.0, 53.0, 120.0, 45.0);
+        let r = sat.radius_km();
+        for k in 0..100 {
+            let p = sat.position_at(k as f64 * 61.7);
+            assert!((p.norm() - r).abs() < 1e-6, "off sphere at step {k}");
+        }
+    }
+
+    #[test]
+    fn period_returns_to_start() {
+        let sat = Satellite::new(1000.0, 45.0, 10.0, 0.0);
+        let p0 = sat.position_at(0.0);
+        let p1 = sat.position_at(sat.period_s());
+        assert!(p0.distance(p1) < 1e-6);
+    }
+
+    #[test]
+    fn equatorial_orbit_stays_in_plane() {
+        let sat = Satellite::new(1000.0, 0.0, 0.0, 0.0);
+        for k in 0..50 {
+            assert!(sat.position_at(k as f64 * 100.0).z.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn polar_orbit_reaches_poles() {
+        let sat = Satellite::new(1000.0, 90.0, 0.0, 0.0);
+        // A quarter period after crossing the ascending node the satellite
+        // is over a pole.
+        let p = sat.position_at(sat.period_s() / 4.0);
+        assert!((p.z - sat.radius_km()).abs() < 1e-3, "z={}", p.z);
+    }
+
+    #[test]
+    fn in_plane_separation_constant() {
+        // Two satellites in the same plane with a fixed phase offset keep
+        // constant range (rigid rotation).
+        let a = Satellite::new(1000.0, 53.0, 30.0, 0.0);
+        let b = Satellite::new(1000.0, 53.0, 30.0, 20.0);
+        let r0 = a.range_to(&b, 0.0);
+        for k in 1..60 {
+            let r = a.range_to(&b, k as f64 * 97.3);
+            assert!((r - r0).abs() < 1e-6, "range drifted at step {k}");
+        }
+        // Chord for 20° at radius 7371: 2 r sin(10°) ≈ 2560 km.
+        let expect = 2.0 * a.radius_km() * (10f64.to_radians()).sin();
+        assert!((r0 - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn cross_plane_range_varies() {
+        // Satellites in different planes: range oscillates over a period.
+        let a = Satellite::new(1000.0, 53.0, 0.0, 0.0);
+        let b = Satellite::new(1000.0, 53.0, 60.0, 0.0);
+        let ranges: Vec<f64> =
+            (0..200).map(|k| a.range_to(&b, k as f64 * 40.0)).collect();
+        let min = ranges.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ranges.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min > 1000.0, "min={min} max={max}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_altitude() {
+        let _ = Satellite::new(0.0, 0.0, 0.0, 0.0);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_position_on_sphere(
+                alt in 300.0f64..2000.0,
+                inc in 0.0f64..180.0,
+                raan in 0.0f64..360.0,
+                phase in 0.0f64..360.0,
+                t in 0.0f64..20_000.0,
+            ) {
+                let sat = Satellite::new(alt, inc, raan, phase);
+                let r = sat.position_at(t).norm();
+                prop_assert!((r - sat.radius_km()).abs() < 1e-6);
+            }
+
+            #[test]
+            fn prop_range_symmetric(
+                alt in 300.0f64..2000.0,
+                raan_b in 0.0f64..360.0,
+                phase_b in 0.0f64..360.0,
+                t in 0.0f64..20_000.0,
+            ) {
+                let a = Satellite::new(alt, 60.0, 0.0, 0.0);
+                let b = Satellite::new(alt, 60.0, raan_b, phase_b);
+                prop_assert!((a.range_to(&b, t) - b.range_to(&a, t)).abs() < 1e-9);
+            }
+
+            #[test]
+            fn prop_range_bounded_by_diameter(
+                alt_a in 300.0f64..2000.0,
+                alt_b in 300.0f64..2000.0,
+                raan_b in 0.0f64..360.0,
+                t in 0.0f64..20_000.0,
+            ) {
+                let a = Satellite::new(alt_a, 45.0, 0.0, 0.0);
+                let b = Satellite::new(alt_b, 45.0, raan_b, 90.0);
+                let max = a.radius_km() + b.radius_km();
+                prop_assert!(a.range_to(&b, t) <= max + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Visibility windows: when can two satellites hold a laser link?
+//!
+//! A link is *feasible* at time `t` when the pair has line of sight above
+//! the grazing altitude and the range is within the terminal's maximum
+//! (laser SWAP constraints bound transmit power and hence range — paper
+//! §2.1 property 3: 2,000–10,000 km). The contiguous feasible intervals are
+//! the paper's "link lifetimes", on the order of minutes for
+//! cross-plane LEO pairs.
+
+use crate::geometry::has_line_of_sight;
+use crate::orbit::Satellite;
+
+/// A contiguous interval during which a link is feasible, seconds after
+/// epoch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Window {
+    /// Start of feasibility.
+    pub start_s: f64,
+    /// End of feasibility (exclusive).
+    pub end_s: f64,
+}
+
+impl Window {
+    /// Window length in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// Link feasibility constraints.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkConstraints {
+    /// Maximum terminal range, km.
+    pub max_range_km: f64,
+}
+
+impl Default for LinkConstraints {
+    fn default() -> Self {
+        // Paper §2.1: links up to 10,000 km.
+        LinkConstraints { max_range_km: 10_000.0 }
+    }
+}
+
+/// True if a link between `a` and `b` is feasible at `t_s`.
+pub fn feasible(a: &Satellite, b: &Satellite, t_s: f64, c: &LinkConstraints) -> bool {
+    let pa = a.position_at(t_s);
+    let pb = b.position_at(t_s);
+    pa.distance(pb) <= c.max_range_km && has_line_of_sight(pa, pb)
+}
+
+/// Scan `[0, horizon_s]` with the given step and return the feasible
+/// windows. Boundaries are refined by bisection to ~1 ms accuracy.
+pub fn visibility_windows(
+    a: &Satellite,
+    b: &Satellite,
+    horizon_s: f64,
+    step_s: f64,
+    c: &LinkConstraints,
+) -> Vec<Window> {
+    assert!(step_s > 0.0 && horizon_s > 0.0);
+    let mut windows = Vec::new();
+    let mut t = 0.0;
+    let mut was = feasible(a, b, 0.0, c);
+    let mut start = if was { Some(0.0) } else { None };
+    while t < horizon_s {
+        let next = (t + step_s).min(horizon_s);
+        let is = feasible(a, b, next, c);
+        if is != was {
+            let boundary = bisect(a, b, t, next, was, c);
+            if is {
+                start = Some(boundary);
+            } else if let Some(s) = start.take() {
+                windows.push(Window { start_s: s, end_s: boundary });
+            }
+            was = is;
+        }
+        t = next;
+    }
+    if let Some(s) = start {
+        windows.push(Window { start_s: s, end_s: horizon_s });
+    }
+    windows
+}
+
+/// Refine the feasibility transition within `(lo, hi)`; `lo_state` is the
+/// feasibility at `lo`.
+fn bisect(
+    a: &Satellite,
+    b: &Satellite,
+    mut lo: f64,
+    mut hi: f64,
+    lo_state: bool,
+    c: &LinkConstraints,
+) -> f64 {
+    for _ in 0..40 {
+        if hi - lo < 1e-3 {
+            break;
+        }
+        let mid = 0.5 * (lo + hi);
+        if feasible(a, b, mid, c) == lo_state {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn same_plane_pair(sep_deg: f64) -> (Satellite, Satellite) {
+        (
+            Satellite::new(1000.0, 53.0, 0.0, 0.0),
+            Satellite::new(1000.0, 53.0, 0.0, sep_deg),
+        )
+    }
+
+    #[test]
+    fn close_same_plane_pair_always_visible() {
+        let (a, b) = same_plane_pair(20.0);
+        let windows =
+            visibility_windows(&a, &b, 7000.0, 10.0, &LinkConstraints::default());
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].start_s, 0.0);
+        assert_eq!(windows[0].end_s, 7000.0);
+    }
+
+    #[test]
+    fn antipodal_same_plane_pair_never_visible() {
+        let (a, b) = same_plane_pair(180.0);
+        let windows =
+            visibility_windows(&a, &b, 7000.0, 10.0, &LinkConstraints::default());
+        assert!(windows.is_empty());
+    }
+
+    #[test]
+    fn cross_plane_pair_has_finite_windows() {
+        // Different RAAN, phased so the pair crosses in and out of view:
+        // link lifetime is finite — the paper's defining LAMS property.
+        let a = Satellite::new(1000.0, 80.0, 0.0, 0.0);
+        let b = Satellite::new(1000.0, 80.0, 90.0, 0.0);
+        let horizon = 2.0 * a.period_s();
+        let windows = visibility_windows(&a, &b, horizon, 5.0, &LinkConstraints::default());
+        assert!(!windows.is_empty(), "expected at least one window");
+        // At least one window must be a proper sub-interval.
+        assert!(
+            windows.iter().any(|w| w.start_s > 0.0 || w.end_s < horizon),
+            "windows: {windows:?}"
+        );
+        for w in &windows {
+            assert!(w.duration_s() > 0.0);
+        }
+    }
+
+    #[test]
+    fn range_constraint_restricts_windows() {
+        let a = Satellite::new(1000.0, 80.0, 0.0, 0.0);
+        let b = Satellite::new(1000.0, 80.0, 90.0, 0.0);
+        let horizon = 2.0 * a.period_s();
+        let loose = LinkConstraints { max_range_km: 12_000.0 };
+        let tight = LinkConstraints { max_range_km: 4_000.0 };
+        let total = |ws: &[Window]| ws.iter().map(Window::duration_s).sum::<f64>();
+        let w_loose = visibility_windows(&a, &b, horizon, 5.0, &loose);
+        let w_tight = visibility_windows(&a, &b, horizon, 5.0, &tight);
+        assert!(
+            total(&w_tight) < total(&w_loose),
+            "tight {:.0}s !< loose {:.0}s",
+            total(&w_tight),
+            total(&w_loose)
+        );
+    }
+
+    #[test]
+    fn window_boundaries_are_transitions() {
+        let a = Satellite::new(1000.0, 80.0, 0.0, 0.0);
+        let b = Satellite::new(1000.0, 80.0, 90.0, 0.0);
+        let c = LinkConstraints::default();
+        let windows = visibility_windows(&a, &b, 2.0 * a.period_s(), 5.0, &c);
+        for w in &windows {
+            if w.start_s > 0.0 {
+                assert!(feasible(&a, &b, w.start_s + 0.5, &c));
+                assert!(!feasible(&a, &b, w.start_s - 0.5, &c));
+            }
+        }
+    }
+}

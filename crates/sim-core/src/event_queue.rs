@@ -1,0 +1,249 @@
+//! The discrete-event scheduler.
+//!
+//! A classic calendar of `(Instant, payload)` pairs backed by a binary heap.
+//! Ties are broken by insertion order (FIFO among simultaneous events) so
+//! that runs are deterministic regardless of heap internals — a requirement
+//! for reproducible experiments and for paper assumption 8 (deterministic
+//! model).
+
+use crate::time::Instant;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle returned by [`EventQueue::schedule`]; can be used to cancel.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: Instant,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event (and among
+        // equals, the first inserted) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// ```
+/// use sim_core::{EventQueue, Instant};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Instant::from_millis(2), "later");
+/// q.schedule(Instant::from_millis(1), "sooner");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t, e), (Instant::from_millis(1), "sooner"));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<EventId>,
+    now: Instant,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            now: Instant::ZERO,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the most recently
+    /// popped event (t = 0 before the first pop).
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `payload` to fire at `at`.
+    ///
+    /// Scheduling in the past is a logic error and panics: the simulated
+    /// clock must never run backwards.
+    pub fn schedule(&mut self, at: Instant, payload: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: at={at:?} now={:?}",
+            self.now
+        );
+        let id = EventId(self.next_seq);
+        self.heap.push(Entry { at, seq: self.next_seq, id, payload });
+        self.next_seq += 1;
+        id
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an already-fired or
+    /// unknown id is a no-op. Returns whether the id was pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // Lazy deletion: mark and skip at pop time. Guard against marking
+        // ids that were never issued or have already fired.
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        if self.heap.iter().any(|e| e.id == id) {
+            self.cancelled.insert(id)
+        } else {
+            false
+        }
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<Instant> {
+        self.drop_cancelled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Instant, E)> {
+        self.drop_cancelled();
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "event queue time went backwards");
+        self.now = entry.at;
+        Some((entry.at, entry.payload))
+    }
+
+    fn drop_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.id) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_nanos(30), 3);
+        q.schedule(Instant::from_nanos(10), 1);
+        q.schedule(Instant::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        let t = Instant::from_millis(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_nanos(5), ());
+        q.schedule(Instant::from_nanos(5), ());
+        q.schedule(Instant::from_nanos(9), ());
+        let mut last = Instant::ZERO;
+        while let Some((t, ())) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            assert_eq!(q.now(), t);
+        }
+        assert_eq!(last, Instant::from_nanos(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_nanos(10), ());
+        q.pop();
+        q.schedule(Instant::from_nanos(5), ());
+    }
+
+    #[test]
+    fn cancel_pending_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Instant::from_nanos(1), "a");
+        q.schedule(Instant::from_nanos(2), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_fired_event_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Instant::from_nanos(1), "a");
+        q.pop();
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Instant::from_nanos(1), "a");
+        q.schedule(Instant::from_nanos(7), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(Instant::from_nanos(7)));
+    }
+
+    #[test]
+    fn reschedule_pattern() {
+        // A periodic timer: pop, then reschedule relative to now.
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_millis(1), ());
+        let mut fired = 0;
+        while fired < 5 {
+            let (t, ()) = q.pop().unwrap();
+            fired += 1;
+            if fired < 5 {
+                q.schedule(t + Duration::from_millis(1), ());
+            }
+        }
+        assert_eq!(q.now(), Instant::from_millis(5));
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+//! # sim-core
+//!
+//! Deterministic discrete-event simulation substrate for the LAMS-DLC
+//! reproduction.
+//!
+//! The crate provides four things and nothing protocol-specific:
+//!
+//! * [`Instant`] / [`Duration`] — nanosecond virtual time;
+//! * [`EventQueue`] — a deterministic calendar queue (FIFO among
+//!   simultaneous events);
+//! * [`SimRng`] / [`SeedSplitter`] — per-component seeded RNG streams, so
+//!   protocols under comparison see *identical* channel error sequences
+//!   (common random numbers);
+//! * [`stats`] — streaming summaries, histograms, time-weighted averages
+//!   and traces for experiment output.
+//!
+//! Everything downstream (channel models, the LAMS-DLC and HDLC state
+//! machines, the experiment harness) is built on these primitives. The
+//! design follows the sans-IO idiom: protocol code never owns a clock or a
+//! socket; the simulator advances time and hands `now` in.
+
+pub mod event_queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event_queue::{EventId, EventQueue};
+pub use rng::{SeedSplitter, SimRng};
+pub use time::{Duration, Instant};

@@ -1,0 +1,211 @@
+//! Deterministic random-number generation for simulations.
+//!
+//! Every stochastic component (channel error process, traffic arrivals,
+//! failure injection) owns a [`SimRng`] derived from the scenario's master
+//! seed via a stream id. Splitting by stream keeps components statistically
+//! independent while guaranteeing that adding draws to one component never
+//! perturbs another — essential when comparing protocols on *identical*
+//! error sequences (common random numbers).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// A seeded PRNG stream for one simulation component.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+/// Derives independent [`SimRng`] streams from one master seed.
+#[derive(Clone, Copy, Debug)]
+pub struct SeedSplitter {
+    master: u64,
+}
+
+impl SeedSplitter {
+    /// Create a splitter from the scenario master seed.
+    pub fn new(master: u64) -> Self {
+        SeedSplitter { master }
+    }
+
+    /// Derive the RNG for the component identified by `stream`.
+    ///
+    /// Uses SplitMix64 over `master ^ f(stream)` so that nearby stream ids
+    /// yield well-separated seeds.
+    pub fn stream(&self, stream: u64) -> SimRng {
+        SimRng::from_seed(splitmix64(self.master ^ splitmix64(stream ^ 0x9e37_79b9_7f4a_7c15)))
+    }
+}
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Construct directly from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        SimRng { inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// A Bernoulli trial: true with probability `p` (clamped to [0, 1]).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.random::<f64>() < p
+        }
+    }
+
+    /// Uniform float in [0, 1).
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform integer in [0, n). Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.inner.random_range(0..n)
+    }
+
+    /// Exponentially distributed value with the given mean (for Poisson
+    /// inter-arrival times). Returns 0 for non-positive means.
+    #[inline]
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        // Inverse-CDF; 1 - u avoids ln(0).
+        let u: f64 = self.inner.random();
+        -mean * (1.0 - u).ln()
+    }
+
+    /// Geometric number of failures before the first success, success
+    /// probability `p` in (0, 1]. Used for sampling "bits until next error"
+    /// in the fast channel path.
+    #[inline]
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0, "geometric: p out of range: {p}");
+        if p >= 1.0 {
+            return 0;
+        }
+        let u: f64 = self.inner.random();
+        // floor(ln(1-u) / ln(1-p)); both logs negative.
+        let k = f64::floor(f64::ln(1.0 - u) / f64::ln(1.0 - p));
+        if k.is_finite() && k >= 0.0 {
+            k as u64
+        } else {
+            0
+        }
+    }
+
+    /// Raw 64 random bits.
+    #[inline]
+    pub fn bits(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a = SeedSplitter::new(42);
+        let b = SeedSplitter::new(42);
+        let mut ra = a.stream(7);
+        let mut rb = b.stream(7);
+        for _ in 0..100 {
+            assert_eq!(ra.bits(), rb.bits());
+        }
+    }
+
+    #[test]
+    fn different_streams_diverge() {
+        let s = SeedSplitter::new(42);
+        let mut r1 = s.stream(1);
+        let mut r2 = s.stream(2);
+        let same = (0..64).filter(|_| r1.bits() == r2.bits()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn different_masters_diverge() {
+        let mut r1 = SeedSplitter::new(1).stream(0);
+        let mut r2 = SeedSplitter::new(2).stream(0);
+        assert_ne!(
+            (0..8).map(|_| r1.bits()).collect::<Vec<_>>(),
+            (0..8).map(|_| r2.bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::from_seed(0);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn chance_frequency_close_to_p() {
+        let mut r = SimRng::from_seed(123);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.chance(0.3)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq={freq}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = SimRng::from_seed(9);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(2.5)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.5).abs() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn exponential_nonpositive_mean_is_zero() {
+        let mut r = SimRng::from_seed(9);
+        assert_eq!(r.exponential(0.0), 0.0);
+        assert_eq!(r.exponential(-3.0), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean() {
+        // E[failures before success] = (1-p)/p.
+        let p = 0.01;
+        let mut r = SimRng::from_seed(77);
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| r.geometric(p)).sum();
+        let mean = sum as f64 / n as f64;
+        let expect = (1.0 - p) / p;
+        assert!((mean - expect).abs() / expect < 0.05, "mean={mean} expect={expect}");
+    }
+
+    #[test]
+    fn geometric_p_one() {
+        let mut r = SimRng::from_seed(5);
+        assert_eq!(r.geometric(1.0), 0);
+    }
+
+    #[test]
+    fn below_bounds() {
+        let mut r = SimRng::from_seed(3);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+        assert_eq!(r.below(1), 0);
+    }
+}

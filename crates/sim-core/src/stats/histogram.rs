@@ -1,0 +1,220 @@
+//! Fixed-width histogram with percentile queries.
+
+use core::fmt;
+
+/// A histogram of `f64` observations with uniform bins over `[lo, hi)`,
+/// plus explicit underflow/overflow counters.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create a histogram covering `[lo, hi)` with `bins` uniform bins.
+    ///
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "Histogram: lo ({lo}) must be < hi ({hi})");
+        assert!(bins > 0, "Histogram: need at least one bin");
+        Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0, count: 0 }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations recorded, including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Count in bin `i`.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The `[lo, hi)` range of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Approximate quantile `q` in [0, 1] by linear interpolation within the
+    /// containing bin. Underflow mass maps to `lo`, overflow to `hi`.
+    /// Returns `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = self.underflow as f64;
+        if target <= cum {
+            return Some(self.lo);
+        }
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = cum + c as f64;
+            if target <= next && c > 0 {
+                let (blo, bhi) = self.bin_range(i);
+                let frac = (target - cum) / c as f64;
+                return Some(blo + frac * (bhi - blo));
+            }
+            cum = next;
+        }
+        Some(self.hi)
+    }
+
+    /// Median (quantile 0.5).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "histogram [{}, {}) n={} under={} over={}",
+            self.lo, self.hi, self.count, self.underflow, self.overflow
+        )?;
+        let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        for (i, &c) in self.bins.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let (blo, bhi) = self.bin_range(i);
+            let bar = "#".repeat((c * 40 / peak) as usize);
+            writeln!(f, "  [{blo:>12.6}, {bhi:>12.6}) {c:>8} {bar}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(-1.0);
+        h.record(0.0);
+        h.record(5.5);
+        h.record(9.999);
+        h.record(10.0);
+        h.record(42.0);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(5), 1);
+        assert_eq!(h.bin_count(9), 1);
+    }
+
+    #[test]
+    fn bin_ranges() {
+        let h = Histogram::new(0.0, 100.0, 4);
+        assert_eq!(h.bin_range(0), (0.0, 25.0));
+        assert_eq!(h.bin_range(3), (75.0, 100.0));
+    }
+
+    #[test]
+    fn quantiles_uniform() {
+        let mut h = Histogram::new(0.0, 1.0, 100);
+        for i in 0..10_000 {
+            h.record(i as f64 / 10_000.0);
+        }
+        let med = h.median().unwrap();
+        assert!((med - 0.5).abs() < 0.02, "median={med}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p99 - 0.99).abs() < 0.02, "p99={p99}");
+    }
+
+    #[test]
+    fn quantile_empty() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_all_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(5.0);
+        h.record(6.0);
+        assert_eq!(h.quantile(0.5), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_range_panics() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_quantiles_monotone(
+                xs in proptest::collection::vec(0.0f64..100.0, 1..500),
+            ) {
+                let mut h = Histogram::new(0.0, 100.0, 50);
+                for &x in &xs {
+                    h.record(x);
+                }
+                let mut last = f64::NEG_INFINITY;
+                for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+                    let v = h.quantile(q).unwrap();
+                    prop_assert!(v >= last - 1e-9, "q={} fell: {} < {}", q, v, last);
+                    last = v;
+                }
+            }
+
+            #[test]
+            fn prop_counts_conserved(
+                xs in proptest::collection::vec(-50.0f64..150.0, 0..300),
+            ) {
+                let mut h = Histogram::new(0.0, 100.0, 10);
+                for &x in &xs {
+                    h.record(x);
+                }
+                let binned: u64 = (0..h.num_bins()).map(|i| h.bin_count(i)).sum();
+                prop_assert_eq!(
+                    binned + h.underflow() + h.overflow(),
+                    xs.len() as u64
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Sampled time-series traces for plot-style experiment output.
+
+use crate::time::Instant;
+use core::fmt;
+
+/// A named `(t, value)` trace.
+///
+/// Experiments emit these for quantities whose evolution over time *is* the
+/// result (buffer occupancy, send rate under flow control). The harness
+/// prints them as aligned columns that can be piped into any plotting tool.
+#[derive(Clone, Debug)]
+pub struct Series {
+    name: String,
+    points: Vec<(Instant, f64)>,
+}
+
+impl Series {
+    /// Create an empty series with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series { name: name.into(), points: Vec::new() }
+    }
+
+    /// Append one sample. Samples should be pushed in time order; this is
+    /// asserted in debug builds.
+    pub fn push(&mut self, t: Instant, v: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(lt, _)| t >= lt),
+            "Series::push: out-of-order sample"
+        );
+        self.points.push((t, v));
+    }
+
+    /// Series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Samples, in time order.
+    pub fn points(&self) -> &[(Instant, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Largest sampled value, `None` if empty.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, v)| v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) => a.max(v),
+            })
+        })
+    }
+
+    /// Final sampled value, `None` if empty.
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Downsample to at most `max_points` samples by uniform decimation
+    /// (keeps first and last). Useful for printing long traces.
+    pub fn decimate(&self, max_points: usize) -> Series {
+        if self.points.len() <= max_points || max_points < 2 {
+            return self.clone();
+        }
+        let mut out = Series::new(self.name.clone());
+        let n = self.points.len();
+        for i in 0..max_points {
+            let idx = i * (n - 1) / (max_points - 1);
+            let (t, v) = self.points[idx];
+            out.push(t, v);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# series: {} ({} points)", self.name, self.points.len())?;
+        for &(t, v) in &self.points {
+            writeln!(f, "{:>16.9} {:>16.6}", t.as_secs_f64(), v)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut s = Series::new("queue");
+        assert!(s.is_empty());
+        s.push(Instant::from_secs(1), 2.0);
+        s.push(Instant::from_secs(2), 5.0);
+        s.push(Instant::from_secs(3), 1.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.max_value(), Some(5.0));
+        assert_eq!(s.last_value(), Some(1.0));
+        assert_eq!(s.name(), "queue");
+    }
+
+    #[test]
+    fn decimate_keeps_endpoints() {
+        let mut s = Series::new("x");
+        for i in 0..1000 {
+            s.push(Instant::from_millis(i), i as f64);
+        }
+        let d = s.decimate(10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.points()[0].1, 0.0);
+        assert_eq!(d.points()[9].1, 999.0);
+    }
+
+    #[test]
+    fn decimate_short_series_unchanged() {
+        let mut s = Series::new("x");
+        s.push(Instant::ZERO, 1.0);
+        let d = s.decimate(10);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn empty_series_maxes() {
+        let s = Series::new("e");
+        assert_eq!(s.max_value(), None);
+        assert_eq!(s.last_value(), None);
+    }
+}

@@ -1,0 +1,122 @@
+//! Time-weighted average of a step function.
+
+use crate::time::Instant;
+
+/// Tracks a piecewise-constant quantity (queue length, buffer occupancy,
+/// sending rate) and computes its time-weighted mean and peak.
+///
+/// Call [`TimeWeighted::set`] whenever the value changes; the previous value
+/// is weighted by the time it was held.
+#[derive(Clone, Debug)]
+pub struct TimeWeighted {
+    start: Instant,
+    last_t: Instant,
+    last_v: f64,
+    weighted_sum: f64,
+    peak: f64,
+    started: bool,
+}
+
+impl TimeWeighted {
+    /// Start tracking at `t0` with initial value `v0`.
+    pub fn new(t0: Instant, v0: f64) -> Self {
+        TimeWeighted {
+            start: t0,
+            last_t: t0,
+            last_v: v0,
+            weighted_sum: 0.0,
+            peak: v0,
+            started: true,
+        }
+    }
+
+    /// Record that the value changed to `v` at time `t`.
+    ///
+    /// `t` must not precede the previous update.
+    pub fn set(&mut self, t: Instant, v: f64) {
+        debug_assert!(t >= self.last_t, "TimeWeighted::set: time went backwards");
+        let dt = t.duration_since(self.last_t).as_secs_f64();
+        self.weighted_sum += self.last_v * dt;
+        self.last_t = t;
+        self.last_v = v;
+        self.peak = self.peak.max(v);
+    }
+
+    /// Adjust the current value by `delta` at time `t` (convenience for
+    /// enqueue/dequeue counting).
+    pub fn add(&mut self, t: Instant, delta: f64) {
+        let v = self.last_v + delta;
+        self.set(t, v);
+    }
+
+    /// Current (most recently set) value.
+    pub fn current(&self) -> f64 {
+        self.last_v
+    }
+
+    /// Largest value observed.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-weighted mean over `[t0, t]`. Returns the current value if no
+    /// time has elapsed.
+    pub fn mean_at(&self, t: Instant) -> f64 {
+        debug_assert!(t >= self.last_t);
+        let total = t.duration_since(self.start).as_secs_f64();
+        if total <= 0.0 {
+            return self.last_v;
+        }
+        let tail = t.duration_since(self.last_t).as_secs_f64();
+        (self.weighted_sum + self.last_v * tail) / total
+    }
+
+    /// Whether the tracker has been initialised.
+    pub fn is_started(&self) -> bool {
+        self.started
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn constant_value() {
+        let t0 = Instant::ZERO;
+        let tw = TimeWeighted::new(t0, 3.0);
+        assert_eq!(tw.mean_at(t0 + Duration::from_secs(10)), 3.0);
+        assert_eq!(tw.peak(), 3.0);
+    }
+
+    #[test]
+    fn step_function_mean() {
+        let t0 = Instant::ZERO;
+        let mut tw = TimeWeighted::new(t0, 0.0);
+        tw.set(Instant::from_secs(1), 10.0); // 0 for 1s
+        tw.set(Instant::from_secs(3), 0.0); // 10 for 2s
+        // mean over [0,4] = (0*1 + 10*2 + 0*1)/4 = 5
+        assert!((tw.mean_at(Instant::from_secs(4)) - 5.0).abs() < 1e-12);
+        assert_eq!(tw.peak(), 10.0);
+        assert_eq!(tw.current(), 0.0);
+    }
+
+    #[test]
+    fn add_delta() {
+        let mut tw = TimeWeighted::new(Instant::ZERO, 0.0);
+        tw.add(Instant::from_secs(1), 2.0);
+        tw.add(Instant::from_secs(2), 3.0);
+        tw.add(Instant::from_secs(3), -5.0);
+        assert_eq!(tw.current(), 0.0);
+        assert_eq!(tw.peak(), 5.0);
+        // mean over [0,3]: 0*1 + 2*1 + 5*1 = 7/3
+        assert!((tw.mean_at(Instant::from_secs(3)) - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_with_zero_elapsed() {
+        let tw = TimeWeighted::new(Instant::from_secs(5), 9.0);
+        assert_eq!(tw.mean_at(Instant::from_secs(5)), 9.0);
+    }
+}

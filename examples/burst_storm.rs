@@ -1,0 +1,49 @@
+//! Burst storm: beam-mispointing bursts (Gilbert–Elliott) hammering the
+//! link, comparing all three protocols. Demonstrates the §3.3 claim: the
+//! cumulative NAK survives bursts shorter than `C_depth · W_cp` without
+//! resynchronisation, while timeout-based recovery stalls.
+//!
+//! Run with: `cargo run --release --example burst_storm`
+
+use harness::{run_gbn, run_lams, run_sr, BurstCfg, ScenarioConfig};
+use sim_core::Duration;
+
+fn main() {
+    let n = 20_000u64;
+    println!("burst storm: {} x 1 kB over 4,000 km, bursts of increasing length\n", n);
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>14} {:>12}",
+        "burst(ms)", "lams eff", "sr eff", "gbn eff", "lams req-naks", "lams lost"
+    );
+    for burst_ms in [2u64, 10, 30] {
+        let mut cfg = ScenarioConfig::paper_default();
+        cfg.n_packets = n;
+        cfg.deadline = Duration::from_secs(600);
+        cfg.burst = Some(BurstCfg {
+            mean_good: Duration::from_millis(100),
+            mean_bad: Duration::from_millis(burst_ms),
+            ber_good: 1e-7,
+            ber_bad: 1e-3,
+            ctrl_ber_good: 1e-8,
+            ctrl_ber_bad: 1e-3,
+        });
+        let lams = run_lams(&cfg);
+        let sr = run_sr(&cfg);
+        let gbn = run_gbn(&cfg);
+        println!(
+            "{:>10} {:>12.3} {:>12.3} {:>12.3} {:>14} {:>12}",
+            burst_ms,
+            lams.efficiency(),
+            sr.efficiency(),
+            gbn.efficiency(),
+            lams.extra("request_naks").unwrap_or(0.0) as u64,
+            lams.lost,
+        );
+        assert_eq!(lams.lost, 0, "LAMS must not lose frames under bursts");
+    }
+    println!(
+        "\nC_depth * W_cp = 15 ms: bursts under that bound leave the\n\
+         cumulative NAK stream intact (few/no Request-NAKs); longer bursts\n\
+         trigger enforced recovery but still lose nothing."
+    );
+}

@@ -1,0 +1,45 @@
+//! Stop-Go flow control (§3.4): a receiver that processes at half the
+//! line rate forces the sender to throttle. The rate trace shows the
+//! multiplicative-decrease / stepwise-increase dynamics; overflow
+//! discards occur at the receiver but nothing is lost end-to-end.
+//!
+//! Run with: `cargo run --release --example flow_control`
+
+use harness::{run_lams, Pattern, ScenarioConfig};
+use sim_core::Duration;
+
+fn main() {
+    let mut cfg = ScenarioConfig::paper_default();
+    let t_f = cfg.t_f();
+    cfg.pattern = Pattern::Cbr { interval: t_f }; // offered load = line rate
+    cfg.n_packets = (1.0 / t_f.as_secs_f64()) as u64; // ~1 s of traffic
+    cfg.t_proc = Duration::from_nanos(t_f.as_nanos() * 2); // slow receiver
+    cfg.rx_capacity = Some((64, 24)); // small queue, Stop at 24
+    cfg.sample_every = Duration::from_millis(2);
+    cfg.deadline = Duration::from_secs(60);
+
+    let report = run_lams(&cfg);
+
+    println!("offered load      : line rate (1 SDU per t_f = {:.1} µs)", t_f.as_micros_f64());
+    println!("receiver service  : one SDU per {:.1} µs (half speed)", 2.0 * t_f.as_micros_f64());
+    println!("delivered         : {}/{}", report.delivered_unique, report.offered);
+    println!("lost              : {}", report.lost);
+    println!("overflow discards : {}", report.extra("overflow_discards").unwrap_or(0.0));
+    println!("elapsed           : {:.1} ms", report.elapsed_s() * 1e3);
+
+    println!("\nsend-rate trace (flow-control fraction of line rate):");
+    let decimated = report.rate.decimate(30);
+    for &(t, v) in decimated.points() {
+        let bar = "#".repeat((v * 40.0) as usize);
+        println!("  {:>9.3} ms  {v:>5.2}  {bar}", t.as_secs_f64() * 1e3);
+    }
+
+    assert_eq!(report.lost, 0, "congestion must not translate into loss");
+    let min_rate = report
+        .rate
+        .points()
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::INFINITY, f64::min);
+    println!("\nminimum rate reached: {min_rate:.2} (Stop-Go engaged)");
+}

@@ -1,0 +1,102 @@
+//! Quickstart: run LAMS-DLC over a noisy 4,000 km laser link.
+//!
+//! Shows both API levels:
+//!  1. the raw sans-IO state machines (`lams_dlc::{Sender, Receiver}`)
+//!     driven by hand for a handful of frames;
+//!  2. the scenario harness running thousands of frames over a stochastic
+//!     channel and reporting throughput/delay/buffer statistics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bytes::Bytes;
+use harness::{run_lams, ScenarioConfig};
+use lams_dlc::{LamsConfig, PacketId, Receiver, RxStatus, Sender};
+use sim_core::{Duration, Instant};
+
+fn main() {
+    raw_state_machines();
+    scenario_run();
+}
+
+/// Drive the protocol objects directly: push three datagrams, carry the
+/// frames across an imaginary link, watch the checkpoint acknowledge
+/// them.
+fn raw_state_machines() {
+    println!("== raw state machines ==");
+    let cfg = LamsConfig::paper_default();
+    let mut tx = Sender::new(cfg.clone());
+    let mut rx = Receiver::new(cfg.clone());
+    let mut now = Instant::ZERO;
+    tx.start(now);
+    rx.start(now);
+
+    for i in 0..3u64 {
+        tx.push(PacketId(i), Bytes::from(format!("datagram-{i}"))).unwrap();
+    }
+
+    // Transmit all three I-frames (pacing advances the clock by t_f).
+    let one_way = cfg.expected_rtt / 2;
+    let mut arrivals = Vec::new();
+    while let Some(frame) = {
+        // advance past pacing if needed
+        if let Some(t) = tx.poll_timeout() {
+            now = now.max(t);
+        }
+        tx.poll_transmit(now)
+    } {
+        println!("t={now} sender emits {}", frame.kind());
+        arrivals.push((now + one_way, frame));
+        if tx.queued() == 0 {
+            break;
+        }
+    }
+    for (at, frame) in arrivals {
+        now = now.max(at);
+        rx.handle_frame(now, frame, RxStatus::Ok);
+    }
+    // Deliveries pop after t_proc, out of order is allowed (none here).
+    now += cfg.t_proc * 4;
+    while let Some(d) = rx.poll_deliver(now) {
+        println!(
+            "t={now} receiver delivers packet {} (seq {}): {:?}",
+            d.packet_id.0,
+            d.seq,
+            std::str::from_utf8(&d.payload).unwrap()
+        );
+    }
+    // The periodic checkpoint acknowledges and releases sender buffers.
+    rx.on_timeout(now.max(Instant::ZERO + cfg.w_cp));
+    now = now.max(Instant::ZERO + cfg.w_cp) + one_way;
+    if let Some(cp) = rx.poll_transmit(now) {
+        println!("t={now} receiver emits {}", cp.kind());
+        tx.handle_frame(now, cp, RxStatus::Ok);
+    }
+    while let Some(ev) = tx.poll_event() {
+        println!("sender event: {ev:?}");
+    }
+    println!("sender buffer now holds {} frames\n", tx.buffered());
+}
+
+/// Run a full scenario: 10,000 × 1 kB datagrams over a 4,000 km, 300 Mbps
+/// link with residual BER 1e-6 (data) / 1e-7 (control).
+fn scenario_run() {
+    println!("== scenario harness ==");
+    let mut cfg = ScenarioConfig::paper_default();
+    cfg.n_packets = 10_000;
+    cfg.deadline = Duration::from_secs(120);
+    let report = run_lams(&cfg);
+    println!("delivered      : {}/{}", report.delivered_unique, report.offered);
+    println!("lost           : {}", report.lost);
+    println!("duplicates     : {}", report.duplicates);
+    println!("retransmissions: {}", report.retransmissions);
+    println!("elapsed        : {:.3} ms", report.elapsed_s() * 1e3);
+    println!("efficiency     : {:.3}", report.efficiency());
+    println!("mean delay     : {:.3} ms", report.delay.mean() * 1e3);
+    println!("mean holding   : {:.3} ms", report.holding.mean() * 1e3);
+    println!(
+        "tx buffer      : mean {:.1} / peak {:.0} frames",
+        report.tx_buffer_tw.mean_at(report.finished_at),
+        report.tx_buffer_tw.peak()
+    );
+    assert_eq!(report.lost, 0, "LAMS-DLC guarantees zero packet loss");
+}

@@ -1,0 +1,44 @@
+//! Store-and-forward relay chain: datagrams crossing several LAMS links
+//! (paper §2.2 assumption 3). Demonstrates the end-to-end payoff of
+//! relaxing the in-sequence constraint: intermediate LAMS-DLC nodes
+//! forward out-of-order immediately; SR-HDLC nodes must resequence at
+//! every hop, compounding delay.
+//!
+//! Run with: `cargo run --release --example relay_chain`
+
+use harness::{run_relay_lams, run_relay_sr, RelayConfig, ScenarioConfig};
+use sim_core::Duration;
+
+fn main() {
+    println!("relaying 6,000 x 1 kB datagrams over chains of noisy links");
+    println!("(4,000 km per hop, residual BER 1e-5)\n");
+    println!(
+        "{:>5} {:>18} {:>18} {:>12} {:>12}",
+        "hops", "lams e2e mean(ms)", "sr e2e mean(ms)", "lams lost", "sr lost"
+    );
+    for hops in [1usize, 2, 3, 4] {
+        let mut base = ScenarioConfig::paper_default();
+        base.n_packets = 6_000;
+        base.data_residual_ber = 1e-5;
+        base.ctrl_residual_ber = 1e-6;
+        base.deadline = Duration::from_secs(300);
+        let cfg = RelayConfig { hops, base };
+        let lams = run_relay_lams(&cfg);
+        let sr = run_relay_sr(&cfg);
+        println!(
+            "{:>5} {:>18.3} {:>18.3} {:>12} {:>12}",
+            hops,
+            lams.e2e_delay.mean() * 1e3,
+            sr.e2e_delay.mean() * 1e3,
+            lams.lost,
+            sr.lost,
+        );
+        assert_eq!(lams.lost, 0);
+        assert_eq!(sr.lost, 0);
+    }
+    println!(
+        "\neach extra hop costs LAMS one propagation + processing delay;\n\
+         SR additionally pays per-hop resequencing and window-resolution\n\
+         stalls, so the gap widens with the chain."
+    );
+}

@@ -1,0 +1,147 @@
+//! Analysis ↔ simulation cross-validation: every closed-form quantity of
+//! §4 checked against the discrete-event implementation at a size where
+//! the law of large numbers makes the comparison meaningful.
+
+use analysis::buffer::b_lams;
+use analysis::delivery::{d_low_hdlc, d_low_lams};
+use analysis::holding::h_frame_lams;
+use analysis::periods::{s_bar_hdlc, s_bar_lams};
+use analysis::throughput::{efficiency_hdlc, efficiency_lams};
+use harness::{run_lams, run_sr, Pattern, ScenarioConfig};
+use sim_core::Duration;
+
+fn cfg(n: u64) -> ScenarioConfig {
+    let mut c = ScenarioConfig::paper_default();
+    c.n_packets = n;
+    c.deadline = Duration::from_secs(600);
+    c
+}
+
+#[test]
+fn retransmission_count_matches_s_bar() {
+    // E[transmissions per delivered frame] = s̄.
+    let mut c = cfg(30_000);
+    c.data_residual_ber = 1e-5;
+    c.ctrl_residual_ber = 1e-6;
+    let p = c.link_params();
+    let lams = run_lams(&c);
+    let per_frame = lams.transmissions as f64 / lams.delivered_unique as f64;
+    let expect = s_bar_lams(&p);
+    assert!(
+        (per_frame - expect).abs() / expect < 0.03,
+        "lams: {per_frame} vs s̄ {expect}"
+    );
+    let sr = run_sr(&c);
+    let per_frame_sr = sr.transmissions as f64 / sr.delivered_unique as f64;
+    let expect_sr = s_bar_hdlc(&p);
+    // HDLC timeouts resend whole batches, so allow more slack upward.
+    assert!(
+        per_frame_sr > expect_sr * 0.9 && per_frame_sr < expect_sr * 1.6,
+        "sr: {per_frame_sr} vs s̄ {expect_sr}"
+    );
+}
+
+#[test]
+fn low_traffic_delivery_times_converge() {
+    // Error-light regime where the paper's tail term is exact.
+    let mut c = cfg(800);
+    c.data_residual_ber = 1e-9;
+    c.ctrl_residual_ber = 1e-10;
+    let p = c.link_params();
+    let mut lams_t = 0.0;
+    let mut sr_t = 0.0;
+    let seeds = 5;
+    for s in 1..=seeds {
+        c.seed = s;
+        lams_t += run_lams(&c).elapsed_s();
+        sr_t += run_sr(&c).elapsed_s();
+    }
+    lams_t /= seeds as f64;
+    sr_t /= seeds as f64;
+    let lams_a = d_low_lams(&p, 800);
+    let sr_a = d_low_hdlc(&p, 800);
+    assert!((lams_t - lams_a).abs() / lams_a < 0.12, "lams sim {lams_t} vs {lams_a}");
+    assert!((sr_t - sr_a).abs() / sr_a < 0.12, "sr sim {sr_t} vs {sr_a}");
+}
+
+#[test]
+fn high_traffic_efficiency_converges() {
+    let c = cfg(50_000);
+    let p = c.link_params();
+    let lams = run_lams(&c);
+    let a = efficiency_lams(&p, 50_000);
+    assert!(
+        (lams.efficiency() - a).abs() / a < 0.12,
+        "lams sim {} vs analytic {a}",
+        lams.efficiency()
+    );
+    let sr = run_sr(&c);
+    let ah = efficiency_hdlc(&p, 50_000);
+    assert!(
+        (sr.efficiency() - ah).abs() / ah < 0.2,
+        "sr sim {} vs analytic {ah}",
+        sr.efficiency()
+    );
+}
+
+#[test]
+fn mean_holding_time_converges() {
+    let mut c = cfg(30_000);
+    c.data_residual_ber = 1e-6;
+    let p = c.link_params();
+    let r = run_lams(&c);
+    let a = h_frame_lams(&p);
+    let s = r.holding.mean();
+    assert!((s - a).abs() / a < 0.12, "sim {s} vs analytic {a}");
+}
+
+#[test]
+fn transparent_buffer_bound_holds_at_saturation() {
+    // Under CBR at the line rate the LAMS sending buffer's steady state
+    // stays within a small factor of the analytic B_LAMS.
+    let mut c = cfg(0);
+    let t_f = c.t_f();
+    c.pattern = Pattern::Cbr { interval: t_f };
+    c.n_packets = (1.0 / t_f.as_secs_f64()) as u64; // 1 s of load
+    c.deadline = Duration::from_secs(1);
+    let p = c.link_params();
+    let r = run_lams(&c);
+    let bound = b_lams(&p);
+    // Steady state: use the trace's final value (transients decayed).
+    let steady = r.tx_buffer.last_value().unwrap_or(0.0);
+    assert!(
+        steady < 2.0 * bound,
+        "steady occupancy {steady} vs transparent size {bound}"
+    );
+    assert!(
+        steady > 0.2 * bound,
+        "suspiciously empty buffer {steady} vs bound {bound} (measurement bug?)"
+    );
+}
+
+#[test]
+fn checkpoint_loss_defers_by_one_interval() {
+    // §3.3: a lost checkpoint costs LAMS one W_cp of extra holding, not a
+    // round trip. Compare holding at clean vs lossy control channels: the
+    // increment should be ≈ (n̄_cp − 1)·W_cp ≪ RTT.
+    let mut clean = cfg(20_000);
+    clean.data_residual_ber = 1e-6;
+    clean.ctrl_residual_ber = 0.0;
+    let mut lossy = cfg(20_000);
+    lossy.data_residual_ber = 1e-6;
+    lossy.ctrl_residual_ber = 3e-4; // P_C ≈ 9%
+    let h_clean = run_lams(&clean).holding.mean();
+    let h_lossy = run_lams(&lossy).holding.mean();
+    let increment = h_lossy - h_clean;
+    let w_cp = clean.w_cp.as_secs_f64();
+    let rtt = clean.rtt().as_secs_f64();
+    assert!(increment > 0.0, "control loss must cost something");
+    assert!(
+        increment < rtt / 2.0,
+        "increment {increment}s should be ≪ RTT {rtt}s (got more than half)"
+    );
+    assert!(
+        increment < 3.0 * w_cp,
+        "increment {increment}s should be on the order of W_cp {w_cp}s"
+    );
+}

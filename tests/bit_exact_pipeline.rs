@@ -1,0 +1,186 @@
+//! Bit-exact integration of the full physical pipeline: LAMS wire format
+//! → CRC → convolutional code + interleaver → bit-level channel →
+//! Viterbi → CRC verdict. This is the path the fast simulation abstracts
+//! into `RxStatus`; here we verify the abstraction is sound.
+
+use bytes::Bytes;
+use fec::{
+    BitBuf, ErrorProcess, GilbertElliott, LinkCodec, UniformBer,
+};
+use lams_dlc::{wire, Frame, InfoFrame, PacketId};
+use sim_core::{Duration, Instant, SeedSplitter, SimRng};
+
+const MODULUS: u64 = 1 << 16;
+
+fn frame(seq: u64, payload: &[u8]) -> Frame {
+    Frame::Info(InfoFrame {
+        seq,
+        packet_id: PacketId(seq),
+        payload: Bytes::copy_from_slice(payload),
+    })
+}
+
+/// Push one frame through wire-encode → FEC → channel → FEC-decode →
+/// wire-decode; returns `Some(frame)` if it survived cleanly, `None` if
+/// the CRC (or decode) rejected it.
+fn through_channel(
+    f: &Frame,
+    codec: &LinkCodec,
+    chan: &mut dyn ErrorProcess,
+    at: Instant,
+) -> Option<Frame> {
+    let bytes = wire::encode(f, MODULUS);
+    let info_bits = BitBuf::from_bytes(&bytes);
+    let mut coded = codec.encode(&info_bits);
+    chan.corrupt(at, Duration::from_nanos(3), &mut coded);
+    match codec.decode(&coded, info_bits.len()) {
+        fec::DecodeOutcome::Bits(bits) => {
+            let decoded_bytes = bits.to_bytes_exact();
+            wire::decode(&decoded_bytes, f_seq(f), MODULUS).ok()
+        }
+        fec::DecodeOutcome::Malformed => None,
+    }
+}
+
+fn f_seq(f: &Frame) -> u64 {
+    match f {
+        Frame::Info(i) => i.seq,
+        _ => 0,
+    }
+}
+
+fn rng(stream: u64) -> SimRng {
+    SeedSplitter::new(0xB17).stream(stream)
+}
+
+#[test]
+fn clean_channel_full_pipeline_roundtrip() {
+    let codec = LinkCodec::iframe_default();
+    let mut chan = fec::Lossless;
+    for seq in [1u64, 100, 65_535, 70_000] {
+        let f = frame(seq, b"payload through the whole stack");
+        let out = through_channel(&f, &codec, &mut chan, Instant::ZERO)
+            .expect("clean channel must round-trip");
+        assert_eq!(out, f);
+    }
+}
+
+#[test]
+fn light_noise_is_fully_corrected_by_fec() {
+    // At raw BER 1e-3 the K=7 code + interleaver corrects essentially
+    // everything: the residual frame error rate must be far below the raw
+    // frame error rate (1 − (1−1e-3)^n ≈ 1).
+    let codec = LinkCodec::iframe_default();
+    let mut chan = UniformBer::new(1e-3, rng(1));
+    let n = 200;
+    let mut survived = 0;
+    for k in 0..n {
+        let f = frame(k + 1, &[0x5A; 256]);
+        if let Some(out) = through_channel(
+            &f,
+            &codec,
+            &mut chan,
+            Instant::from_micros(k * 100),
+        ) {
+            assert_eq!(out, f, "silent corruption!");
+            survived += 1;
+        }
+    }
+    assert!(
+        survived as f64 / n as f64 > 0.95,
+        "residual FER too high: {}/{n}",
+        n - survived
+    );
+}
+
+#[test]
+fn heavy_noise_is_detected_never_silently_accepted() {
+    // At raw BER 3e-2 the decoder fails often — but the CRC must catch
+    // every miscorrection: a decode that passes the CRC must equal the
+    // original frame (assumption 9: no undetected errors).
+    let codec = LinkCodec::iframe_default();
+    let mut chan = UniformBer::new(3e-2, rng(2));
+    let n = 150;
+    let mut rejected = 0;
+    for k in 0..n {
+        let f = frame(k + 1, &[0xC3; 128]);
+        match through_channel(&f, &codec, &mut chan, Instant::from_micros(k * 100)) {
+            Some(out) => assert_eq!(out, f, "undetected corruption at frame {k}"),
+            None => rejected += 1,
+        }
+    }
+    assert!(rejected > 0, "expected some rejections at this noise level");
+}
+
+#[test]
+fn interleaver_rescues_bursts_end_to_end() {
+    // A Gilbert–Elliott channel whose bursts are shorter than the
+    // interleaver span: end-to-end survival should stay high even though
+    // burst-local BER is catastrophic.
+    let codec = LinkCodec::iframe_default();
+    let mut chan = GilbertElliott::new(
+        Duration::from_micros(500),
+        Duration::from_nanos(60), // ~20-bit bursts at 3 ns/bit
+        1e-5,
+        0.5,
+        rng(3),
+    );
+    let n = 100;
+    let mut survived = 0;
+    for k in 0..n {
+        let f = frame(k + 1, &[0x11; 256]);
+        if let Some(out) =
+            through_channel(&f, &codec, &mut chan, Instant::from_micros(k * 50))
+        {
+            assert_eq!(out, f);
+            survived += 1;
+        }
+    }
+    assert!(
+        survived as f64 / n as f64 > 0.9,
+        "short bursts should be absorbed: {survived}/{n}"
+    );
+}
+
+#[test]
+fn control_frames_roundtrip_bit_exact() {
+    let codec = LinkCodec::iframe_default();
+    let mut chan = fec::Lossless;
+    let cp = Frame::Control(lams_dlc::ControlFrame::CheckPoint(lams_dlc::CheckPoint {
+        index: 12,
+        covered: 900,
+        naks: vec![880, 881, 890],
+        enforced: true,
+        probe: Some(4),
+        stop_go: lams_dlc::StopGo::Stop,
+    }));
+    let bytes = wire::encode(&cp, MODULUS);
+    let bits = BitBuf::from_bytes(&bytes);
+    let mut coded = codec.encode(&bits);
+    chan.corrupt(Instant::ZERO, Duration::from_nanos(3), &mut coded);
+    let fec::DecodeOutcome::Bits(out_bits) = codec.decode(&coded, bits.len()) else {
+        panic!("malformed");
+    };
+    let decoded = wire::decode(&out_bits.to_bytes_exact(), 900, MODULUS).unwrap();
+    assert_eq!(decoded, cp);
+}
+
+#[test]
+fn hdlc_wire_through_fec_pipeline() {
+    // The baseline's frames run the same physical stack.
+    let codec = LinkCodec::iframe_default();
+    let f = hdlc::HdlcFrame::Info {
+        ns: 42,
+        packet_id: 7,
+        poll: true,
+        payload: Bytes::from_static(b"hdlc over fec"),
+    };
+    let bytes = hdlc::wire::encode(&f, 2048);
+    let bits = BitBuf::from_bytes(&bytes);
+    let coded = codec.encode(&bits);
+    let fec::DecodeOutcome::Bits(out) = codec.decode(&coded, bits.len()) else {
+        panic!("malformed");
+    };
+    let decoded = hdlc::wire::decode(&out.to_bytes_exact(), 42, 2048).unwrap();
+    assert_eq!(decoded, f);
+}

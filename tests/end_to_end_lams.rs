@@ -1,0 +1,162 @@
+//! End-to-end LAMS-DLC integration: the full protocol over the simulated
+//! link across operating conditions, checking the §2/§3 service
+//! guarantees — zero loss, duplicates confined to enforced recovery,
+//! in-order release at the destination resequencer.
+
+use harness::{run_lams, Outage, Pattern, ScenarioConfig};
+use sim_core::{Duration, Instant};
+
+fn base(n: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_default();
+    cfg.n_packets = n;
+    cfg.deadline = Duration::from_secs(120);
+    cfg
+}
+
+#[test]
+fn zero_loss_across_ber_sweep() {
+    for (i, ber) in [1e-8f64, 1e-7, 1e-6, 1e-5, 5e-5].into_iter().enumerate() {
+        let mut cfg = base(3_000);
+        cfg.seed = 100 + i as u64;
+        cfg.data_residual_ber = ber;
+        cfg.ctrl_residual_ber = ber / 10.0;
+        let r = run_lams(&cfg);
+        assert_eq!(r.lost, 0, "ber={ber}: lost frames");
+        assert!(!r.deadline_hit, "ber={ber}: did not converge");
+        assert_eq!(r.delivered_unique, 3_000);
+    }
+}
+
+#[test]
+fn zero_loss_under_heavy_control_loss() {
+    // The cumulative NAK's raison d'être: even with badly degraded
+    // checkpoints nothing is lost (the unsafe-gap hardening covers the
+    // C_depth-consecutive-loss corner).
+    let mut cfg = base(2_000);
+    cfg.data_residual_ber = 1e-5;
+    cfg.ctrl_residual_ber = 1e-3; // ~27% of checkpoints corrupted
+    cfg.deadline = Duration::from_secs(300);
+    let r = run_lams(&cfg);
+    assert_eq!(r.lost, 0);
+    assert!(!r.link_failed, "control loss alone must not look like failure");
+}
+
+#[test]
+fn all_traffic_patterns_complete() {
+    let t_f = ScenarioConfig::paper_default().t_f();
+    let patterns: Vec<Pattern> = vec![
+        Pattern::Batch,
+        Pattern::Cbr { interval: t_f * 2 },
+        Pattern::Poisson { mean: t_f * 2 },
+        Pattern::OnOff {
+            burst: 64,
+            period: Duration::from_millis(10),
+            spacing: t_f,
+        },
+    ];
+    for (i, p) in patterns.into_iter().enumerate() {
+        let mut cfg = base(2_000);
+        cfg.seed = 200 + i as u64;
+        cfg.pattern = p;
+        cfg.data_residual_ber = 1e-6;
+        let r = run_lams(&cfg);
+        assert_eq!(r.lost, 0, "pattern {i}");
+        assert_eq!(r.delivered_unique, 2_000, "pattern {i}");
+    }
+}
+
+#[test]
+fn holding_time_respects_resolving_bound() {
+    // §3.3: no frame's (per-transmission) holding time may exceed the
+    // resolving period — the bound that makes the numbering finite.
+    let mut cfg = base(5_000);
+    cfg.data_residual_ber = 1e-5;
+    let bound = cfg.lams_config().resolving_period().as_secs_f64();
+    let r = run_lams(&cfg);
+    let max_holding = r.holding.max().unwrap_or(0.0);
+    assert!(
+        max_holding <= bound * 1.05,
+        "max holding {max_holding}s exceeds resolving period {bound}s"
+    );
+}
+
+#[test]
+fn out_of_order_delivery_happens_and_resequencer_fixes_it() {
+    // With non-trivial BER, retransmitted frames must arrive after later
+    // ones (out-of-order link delivery — the relaxed constraint), yet the
+    // destination releases strictly in order.
+    let mut cfg = base(5_000);
+    cfg.data_residual_ber = 1e-5;
+    let r = run_lams(&cfg);
+    assert!(r.reseq_peak > 0, "expected reordering at this BER");
+    // In-order release means e2e delay ≥ link delay for every percentile
+    // that exists; spot-check the means.
+    assert!(r.e2e_delay.mean() >= r.delay.mean());
+    assert_eq!(r.lost, 0);
+}
+
+#[test]
+fn repeated_outages_recover() {
+    let mut cfg = base(4_000);
+    cfg.data_residual_ber = 1e-7;
+    cfg.ctrl_residual_ber = 1e-8;
+    for k in 0..3 {
+        cfg.outages.push(Outage {
+            from: Instant::from_millis(20 + 60 * k),
+            until: Instant::from_millis(40 + 60 * k), // 20 ms each
+        });
+    }
+    let r = run_lams(&cfg);
+    assert_eq!(r.lost, 0, "repeated recoverable outages must not lose");
+    assert!(!r.link_failed);
+    assert_eq!(r.delivered_unique, 4_000);
+}
+
+#[test]
+fn efficiency_close_to_ceiling_on_clean_link() {
+    let mut cfg = base(20_000);
+    cfg.data_residual_ber = 0.0;
+    cfg.ctrl_residual_ber = 0.0;
+    let r = run_lams(&cfg);
+    assert!(r.efficiency() > 0.95, "clean-link efficiency {}", r.efficiency());
+    assert_eq!(r.retransmissions, 0);
+}
+
+#[test]
+fn duplicates_only_under_unsafe_conditions() {
+    // On a uniformly noisy (but outage-free) channel the protocol should
+    // deliver exactly once: duplication is reserved for enforced-recovery
+    // or unsafe-gap corners.
+    let mut cfg = base(5_000);
+    cfg.data_residual_ber = 1e-5;
+    cfg.ctrl_residual_ber = 1e-6;
+    let r = run_lams(&cfg);
+    assert_eq!(r.duplicates, 0, "no duplicates expected without outages");
+}
+
+#[test]
+fn small_payloads_and_large_payloads() {
+    for (payload, seed) in [(64usize, 1u64), (4096, 2)] {
+        let mut cfg = base(2_000);
+        cfg.payload_bytes = payload;
+        cfg.seed = seed;
+        cfg.data_residual_ber = 1e-6;
+        let r = run_lams(&cfg);
+        assert_eq!(r.lost, 0, "payload {payload}");
+        assert_eq!(r.delivered_unique, 2_000, "payload {payload}");
+    }
+}
+
+#[test]
+fn rate_control_only_engages_under_congestion() {
+    let mut cfg = base(3_000);
+    cfg.data_residual_ber = 1e-6;
+    let r = run_lams(&cfg);
+    let min_rate = r
+        .rate
+        .points()
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::INFINITY, f64::min);
+    assert_eq!(min_rate, 1.0, "flow control engaged without congestion");
+}

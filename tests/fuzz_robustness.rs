@@ -1,0 +1,167 @@
+//! Robustness fuzzing: decoders must reject, never panic, on arbitrary
+//! or corrupted input; core data structures keep their invariants under
+//! random operation sequences.
+
+use fec::{BitBuf, LinkCodec, Viterbi, CCSDS_K7};
+use proptest::prelude::*;
+
+proptest! {
+    // -------------------------------------------------------- wire decode
+
+    #[test]
+    fn lams_wire_decode_never_panics(
+        bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..600),
+        reference in proptest::num::u64::ANY,
+    ) {
+        // Any byte soup: Ok or Err, never panic.
+        let _ = lams_dlc::wire::decode(&bytes, reference % (1 << 40), 1 << 16);
+    }
+
+    #[test]
+    fn hdlc_wire_decode_never_panics(
+        bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..600),
+        reference in proptest::num::u64::ANY,
+    ) {
+        let _ = hdlc::wire::decode(&bytes, reference % (1 << 40), 2048);
+    }
+
+    #[test]
+    fn lams_wire_truncation_never_accepts(
+        payload in proptest::collection::vec(proptest::num::u8::ANY, 1..200),
+        cut_fraction in 0.05f64..0.95,
+    ) {
+        let f = lams_dlc::Frame::Info(lams_dlc::InfoFrame {
+            seq: 77,
+            packet_id: lams_dlc::PacketId(3),
+            payload: bytes::Bytes::from(payload),
+        });
+        let enc = lams_dlc::wire::encode(&f, 1 << 16);
+        let cut = ((enc.len() as f64 * cut_fraction) as usize).max(1).min(enc.len() - 1);
+        prop_assert!(lams_dlc::wire::decode(&enc[..cut], 77, 1 << 16).is_err());
+    }
+
+    // -------------------------------------------------------- FEC pipeline
+
+    #[test]
+    fn viterbi_corrects_any_two_flips(
+        data in proptest::collection::vec(proptest::num::u8::ANY, 1..24),
+        i in proptest::num::usize::ANY,
+        j in proptest::num::usize::ANY,
+    ) {
+        let input = BitBuf::from_bytes(&data);
+        let enc = CCSDS_K7.encode(&input);
+        let mut corrupted = enc.clone();
+        let a = i % corrupted.len();
+        let b = j % corrupted.len();
+        corrupted.toggle(a);
+        if b != a {
+            corrupted.toggle(b);
+        }
+        let v = Viterbi::new(CCSDS_K7);
+        let dec = v.decode(&corrupted).expect("decodable");
+        prop_assert_eq!(dec, input, "flips at ({}, {})", a, b);
+    }
+
+    #[test]
+    fn codec_roundtrip_any_length(
+        data in proptest::collection::vec(proptest::num::u8::ANY, 1..128),
+    ) {
+        let codec = LinkCodec::iframe_default();
+        let input = BitBuf::from_bytes(&data);
+        let coded = codec.encode(&input);
+        match codec.decode(&coded, input.len()) {
+            fec::DecodeOutcome::Bits(b) => prop_assert_eq!(b, input),
+            other => prop_assert!(false, "clean decode failed: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn codec_never_panics_on_garbage(
+        bits in proptest::collection::vec(proptest::bool::ANY, 0..2048),
+        claimed_len in 0usize..512,
+    ) {
+        let codec = LinkCodec::iframe_default();
+        let garbage = BitBuf::from_bits(&bits);
+        let _ = codec.decode(&garbage, claimed_len);
+    }
+
+    // ----------------------------------------------------------- sim-core
+
+    #[test]
+    fn event_queue_total_order(
+        times in proptest::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let mut q = sim_core::EventQueue::new();
+        // Schedule in arbitrary order (as given).
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(sim_core::Instant::from_nanos(t), i);
+        }
+        let mut last_t = sim_core::Instant::ZERO;
+        let mut popped = 0;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut last_time = None;
+        while let Some((t, idx)) = q.pop() {
+            prop_assert!(t >= last_t, "time went backwards");
+            // FIFO among equal timestamps: indices increase.
+            if last_time == Some(t) {
+                prop_assert!(
+                    seen_at_time.last().is_none_or(|&p| p < idx),
+                    "FIFO violated at {:?}", t
+                );
+                seen_at_time.push(idx);
+            } else {
+                seen_at_time.clear();
+                seen_at_time.push(idx);
+                last_time = Some(t);
+            }
+            last_t = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    #[test]
+    fn dedup_window_never_double_accepts(
+        offers in proptest::collection::vec((0u64..50, 0u64..1000), 1..300),
+    ) {
+        // Offers of (id, time-in-ms, sorted) — an id accepted twice within
+        // the horizon would be a duplication bug.
+        let horizon = sim_core::Duration::from_millis(100);
+        let mut w = lams_dlc::DedupWindow::new(horizon);
+        let mut sorted = offers.clone();
+        sorted.sort_by_key(|&(_, t)| t);
+        let mut accepted: Vec<(u64, u64)> = Vec::new();
+        for (id, t_ms) in sorted {
+            let now = sim_core::Instant::from_millis(t_ms);
+            if w.accept(now, lams_dlc::PacketId(id)) {
+                // No prior accept of the same id within the horizon.
+                let dup = accepted.iter().any(|&(aid, at)| {
+                    aid == id && t_ms.saturating_sub(at) <= 100
+                });
+                prop_assert!(!dup, "id {} double-accepted at {}ms", id, t_ms);
+                accepted.push((id, t_ms));
+            }
+        }
+    }
+}
+
+#[test]
+fn wire_bitflip_storm_rejected_or_exact() {
+    // Deterministic sweep: every single-bit flip of an encoded frame is
+    // either rejected (CRC) or — impossible for CRC-protected frames —
+    // decoded to something different. Assert rejection.
+    let f = lams_dlc::Frame::Info(lams_dlc::InfoFrame {
+        seq: 1234,
+        packet_id: lams_dlc::PacketId(5),
+        payload: bytes::Bytes::from_static(b"bitflip storm target payload"),
+    });
+    let enc = lams_dlc::wire::encode(&f, 1 << 16);
+    for bit in 0..enc.len() * 8 {
+        let mut bad = enc.clone();
+        bad[bit / 8] ^= 0x80 >> (bit % 8);
+        assert!(
+            lams_dlc::wire::decode(&bad, 1234, 1 << 16).is_err(),
+            "flip {bit} accepted"
+        );
+    }
+}

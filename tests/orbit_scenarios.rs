@@ -1,0 +1,103 @@
+//! Orbital-geometry integration: protocols running over real LEO pass
+//! profiles with time-varying delay and finite link lifetimes.
+
+use harness::{run_lams, run_sr, ScenarioConfig};
+use orbit::{
+    visibility_windows, LinkConstraints, LinkProfile, Satellite,
+};
+use sim_core::Duration;
+
+fn cross_plane_profile() -> LinkProfile {
+    let a = Satellite::new(1000.0, 80.0, 0.0, 0.0);
+    let b = Satellite::new(1000.0, 80.0, 90.0, 0.0);
+    let windows = visibility_windows(
+        &a,
+        &b,
+        2.0 * a.period_s(),
+        5.0,
+        &LinkConstraints::default(),
+    );
+    let w = windows
+        .iter()
+        .copied()
+        .max_by(|x, y| x.duration_s().total_cmp(&y.duration_s()))
+        .expect("no visibility window");
+    LinkProfile::build(&a, &b, w, 5.0, 30.0)
+}
+
+#[test]
+fn pass_profile_is_in_paper_envelope() {
+    let p = cross_plane_profile();
+    // §2.1: links 2,000–10,000 km, delays 10–100 ms RTT.
+    assert!(p.range_max_km <= 10_000.0 + 1.0);
+    assert!(p.range_min_km >= 500.0);
+    let rtt = p.mean_rtt_s();
+    assert!(rtt > 5e-3 && rtt < 100e-3, "rtt={rtt}");
+    // Link lifetime of minutes — the defining LAMS property.
+    assert!(p.window.duration_s() > 120.0, "lifetime {}", p.window.duration_s());
+    assert!(p.usable_s() < p.window.duration_s());
+}
+
+#[test]
+fn transfer_over_varying_delay_is_lossless() {
+    let profile = cross_plane_profile();
+    let mut cfg = ScenarioConfig::paper_default();
+    cfg.alpha = Duration::from_secs_f64(2.0 * profile.alpha_s());
+    cfg.profile = Some((profile, 0.0));
+    cfg.n_packets = 10_000;
+    cfg.data_residual_ber = 1e-6;
+    cfg.deadline = Duration::from_secs(120);
+    let lams = run_lams(&cfg);
+    assert_eq!(lams.lost, 0);
+    assert!(!lams.link_failed, "delay variation must not look like failure");
+    let sr = run_sr(&cfg);
+    assert_eq!(sr.lost, 0);
+    assert!(
+        lams.efficiency() > sr.efficiency(),
+        "lams {} !> sr {}",
+        lams.efficiency(),
+        sr.efficiency()
+    );
+}
+
+#[test]
+fn start_offset_changes_delay_but_not_reliability() {
+    let profile = cross_plane_profile();
+    let usable = profile.usable_s();
+    for (i, frac) in [0.1f64, 0.5, 0.9].into_iter().enumerate() {
+        let mut cfg = ScenarioConfig::paper_default();
+        cfg.alpha = Duration::from_secs_f64(2.0 * profile.alpha_s());
+        cfg.profile = Some((profile.clone(), frac * usable));
+        cfg.n_packets = 3_000;
+        cfg.seed = 40 + i as u64;
+        cfg.deadline = Duration::from_secs(60);
+        let r = run_lams(&cfg);
+        assert_eq!(r.lost, 0, "offset {frac}");
+        assert_eq!(r.delivered_unique, 3_000, "offset {frac}");
+    }
+}
+
+#[test]
+fn same_plane_pair_behaves_like_fixed_link() {
+    // Same-plane neighbours keep constant range: the profile-driven run
+    // should match a fixed-distance run closely.
+    let a = Satellite::new(1000.0, 53.0, 10.0, 0.0);
+    let b = Satellite::new(1000.0, 53.0, 10.0, 25.0);
+    let windows = visibility_windows(&a, &b, 7000.0, 10.0, &LinkConstraints::default());
+    assert_eq!(windows.len(), 1, "in-plane neighbours always see each other");
+    let profile = LinkProfile::build(&a, &b, windows[0], 10.0, 0.0);
+    assert!(profile.range_var_km2 < 1.0, "range should be constant");
+
+    let mut moving = ScenarioConfig::paper_default();
+    moving.profile = Some((profile.clone(), 0.0));
+    moving.n_packets = 5_000;
+    let mut fixed = ScenarioConfig::paper_default();
+    fixed.distance_km = profile.range_mean_km;
+    fixed.n_packets = 5_000;
+    let rm = run_lams(&moving);
+    let rf = run_lams(&fixed);
+    assert_eq!(rm.lost, 0);
+    let dm = rm.elapsed_s();
+    let df = rf.elapsed_s();
+    assert!((dm - df).abs() / df < 0.05, "moving {dm} vs fixed {df}");
+}

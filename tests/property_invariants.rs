@@ -1,0 +1,101 @@
+//! Property-based invariants over randomised small scenarios: whatever
+//! the (valid) parameters, LAMS-DLC must deliver everything exactly once
+//! in order, deterministically.
+
+use harness::{run_lams, ScenarioConfig};
+use proptest::prelude::*;
+use sim_core::Duration;
+
+fn scenario(
+    seed: u64,
+    n: u64,
+    ber_exp: f64,
+    ctrl_exp: f64,
+    w_cp_ms: u64,
+    c_depth: u32,
+    distance_km: f64,
+) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_default();
+    cfg.seed = seed;
+    cfg.n_packets = n;
+    cfg.data_residual_ber = 10f64.powf(ber_exp);
+    cfg.ctrl_residual_ber = 10f64.powf(ctrl_exp);
+    cfg.w_cp = Duration::from_millis(w_cp_ms);
+    cfg.c_depth = c_depth;
+    cfg.distance_km = distance_km;
+    cfg.deadline = Duration::from_secs(120);
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn prop_zero_loss_exactly_once_in_order(
+        seed in 1u64..10_000,
+        n in 100u64..800,
+        ber_exp in -8.0f64..-4.5,
+        ctrl_exp in -9.0f64..-5.0,
+        w_cp_ms in 1u64..12,
+        c_depth in 2u32..6,
+        distance_km in 2_000.0f64..10_000.0,
+    ) {
+        let cfg = scenario(seed, n, ber_exp, ctrl_exp, w_cp_ms, c_depth, distance_km);
+        let r = run_lams(&cfg);
+        prop_assert_eq!(r.lost, 0, "lost frames");
+        prop_assert_eq!(r.delivered_unique, n, "incomplete delivery");
+        prop_assert_eq!(r.duplicates, 0, "duplicates without outages");
+        prop_assert!(!r.link_failed, "spurious link failure");
+        prop_assert!(!r.deadline_hit, "did not converge");
+    }
+
+    #[test]
+    fn prop_deterministic_replay(
+        seed in 1u64..10_000,
+        n in 100u64..400,
+        ber_exp in -7.0f64..-4.5,
+    ) {
+        let cfg = scenario(seed, n, ber_exp, ber_exp - 1.0, 5, 3, 4_000.0);
+        let a = run_lams(&cfg);
+        let b = run_lams(&cfg);
+        prop_assert_eq!(a.finished_at, b.finished_at);
+        prop_assert_eq!(a.transmissions, b.transmissions);
+        prop_assert_eq!(a.retransmissions, b.retransmissions);
+        prop_assert_eq!(a.duplicates, b.duplicates);
+    }
+
+    #[test]
+    fn prop_holding_below_resolving_bound(
+        seed in 1u64..10_000,
+        ber_exp in -7.0f64..-4.5,
+        w_cp_ms in 1u64..12,
+        c_depth in 2u32..6,
+    ) {
+        let cfg = scenario(seed, 500, ber_exp, ber_exp - 1.0, w_cp_ms, c_depth, 4_000.0);
+        let bound = cfg.lams_config().resolving_period().as_secs_f64();
+        let r = run_lams(&cfg);
+        if let Some(max_h) = r.holding.max() {
+            prop_assert!(
+                max_h <= bound * 1.05,
+                "holding {} exceeds resolving period {}",
+                max_h,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn prop_efficiency_sane(
+        seed in 1u64..10_000,
+        n in 500u64..2_000,
+        ber_exp in -8.0f64..-5.0,
+    ) {
+        let cfg = scenario(seed, n, ber_exp, ber_exp - 1.0, 5, 3, 4_000.0);
+        let r = run_lams(&cfg);
+        let e = r.efficiency();
+        prop_assert!(e > 0.0 && e <= 1.0 + 1e-9, "efficiency {}", e);
+    }
+}

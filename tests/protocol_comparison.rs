@@ -1,0 +1,134 @@
+//! Cross-protocol comparison over identical channel realisations
+//! (common random numbers): the paper's §4 claims as end-to-end
+//! observables.
+
+use harness::{run_gbn, run_lams, run_sr, ScenarioConfig};
+use sim_core::Duration;
+
+fn cfg(n: u64, ber: f64) -> ScenarioConfig {
+    let mut c = ScenarioConfig::paper_default();
+    c.n_packets = n;
+    c.data_residual_ber = ber;
+    c.ctrl_residual_ber = ber / 10.0;
+    c.deadline = Duration::from_secs(300);
+    c
+}
+
+#[test]
+fn all_protocols_are_reliable() {
+    let c = cfg(3_000, 1e-5);
+    for r in [run_lams(&c), run_sr(&c), run_gbn(&c)] {
+        assert_eq!(r.lost, 0, "{}: lost frames", r.protocol);
+        assert_eq!(r.delivered_unique, 3_000, "{}", r.protocol);
+    }
+}
+
+#[test]
+fn saturation_ranking_matches_paper() {
+    // η_LAMS > η_SR > η_GBN at the paper's operating point: LAMS avoids
+    // the window stall; GBN additionally wastes every good frame behind a
+    // loss.
+    let c = cfg(20_000, 1e-6);
+    let lams = run_lams(&c);
+    let sr = run_sr(&c);
+    let gbn = run_gbn(&c);
+    assert!(
+        lams.efficiency() > sr.efficiency(),
+        "lams {} !> sr {}",
+        lams.efficiency(),
+        sr.efficiency()
+    );
+    assert!(
+        sr.efficiency() >= gbn.efficiency() * 0.95,
+        "sr {} should be at least on par with gbn {}",
+        sr.efficiency(),
+        gbn.efficiency()
+    );
+}
+
+#[test]
+fn gbn_discards_good_frames_sr_does_not() {
+    // §2.3: a GBN receiver throws away every uncorrupted frame that
+    // follows a loss; SR buffers them.
+    let c = cfg(10_000, 1e-5);
+    let sr = run_sr(&c);
+    let gbn = run_gbn(&c);
+    let discarded = gbn.rx_extras.iter().find(|(k, _)| *k == "discarded").unwrap().1;
+    assert!(
+        discarded > 100.0,
+        "expected heavy GBN discards at this BER: {discarded}"
+    );
+    assert!(gbn.retransmissions > sr.retransmissions);
+}
+
+#[test]
+fn lams_retransmits_fewer_frames_per_delivery() {
+    // P_R^LAMS = P_F vs P_R^HDLC = P_F + P_C − P_F·P_C: with a noisy
+    // control channel the HDLC retransmission count must exceed LAMS's.
+    let mut c = cfg(10_000, 1e-5);
+    c.ctrl_residual_ber = 1e-4; // hostile acknowledgement path
+    let lams = run_lams(&c);
+    let sr = run_sr(&c);
+    assert_eq!(lams.lost, 0);
+    assert_eq!(sr.lost, 0);
+    assert!(
+        lams.retransmission_ratio() < sr.retransmission_ratio(),
+        "lams {} !< sr {}",
+        lams.retransmission_ratio(),
+        sr.retransmission_ratio()
+    );
+}
+
+#[test]
+fn sr_receiver_buffers_up_to_window_lams_does_not_hold() {
+    // §4: the SR receiving buffer must hold out-of-order frames (up to
+    // the window); LAMS's receiving occupancy is processing-only.
+    let c = cfg(10_000, 1e-5);
+    let sr = run_sr(&c);
+    let peak = sr
+        .rx_extras
+        .iter()
+        .find(|(k, _)| *k == "peak_reseq_buffer")
+        .unwrap()
+        .1;
+    assert!(peak > 10.0, "SR resequencing buffer should fill: {peak}");
+    let lams = run_lams(&c);
+    let lams_rx_peak = lams
+        .rx_buffer
+        .max_value()
+        .unwrap_or(0.0);
+    assert!(
+        lams_rx_peak < peak,
+        "LAMS receive occupancy {lams_rx_peak} should stay below SR's {peak}"
+    );
+}
+
+#[test]
+fn identical_seed_identical_channel_for_all_protocols() {
+    // The common-random-numbers design: two runs of the same protocol are
+    // bit-identical, and different protocols see the same error process.
+    let c = cfg(2_000, 1e-5);
+    let a = run_lams(&c);
+    let b = run_lams(&c);
+    assert_eq!(a.finished_at, b.finished_at);
+    assert_eq!(a.retransmissions, b.retransmissions);
+    let s1 = run_sr(&c);
+    let s2 = run_sr(&c);
+    assert_eq!(s1.finished_at, s2.finished_at);
+}
+
+#[test]
+fn long_link_amplifies_lams_advantage() {
+    // §4's distance claim as a sim observable.
+    let mut near = cfg(10_000, 1e-6);
+    near.distance_km = 2_000.0;
+    let mut far = cfg(10_000, 1e-6);
+    far.distance_km = 10_000.0;
+    let ratio_near =
+        run_lams(&near).efficiency() / run_sr(&near).efficiency();
+    let ratio_far = run_lams(&far).efficiency() / run_sr(&far).efficiency();
+    assert!(
+        ratio_far > ratio_near,
+        "near ratio {ratio_near}, far ratio {ratio_far}"
+    );
+}
