@@ -35,9 +35,7 @@ pub fn d_retrn_lams(p: &LinkParams) -> f64 {
 /// `D_low = (n + s̄ − 1)·t_f + s̄·(R + t_c + t_proc) + s̄·(n̄_cp − ½)·I_cp`.
 pub fn d_low_lams(p: &LinkParams, n: u64) -> f64 {
     let s = s_bar_lams(p);
-    (n as f64 + s - 1.0) * p.t_f
-        + s * (p.r + p.t_c + p.t_proc)
-        + s * (n_bar_cp(p) - 0.5) * p.i_cp
+    (n as f64 + s - 1.0) * p.t_f + s * (p.r + p.t_c + p.t_proc) + s * (n_bar_cp(p) - 0.5) * p.i_cp
 }
 
 /// The paper's `≈` version of [`d_low_lams`], keeping only the dominant
@@ -134,7 +132,10 @@ mod tests {
         let p = params();
         let exact = d_low_lams(&p, 1000);
         let approx = d_low_lams_approx(&p, 1000);
-        assert!((exact - approx).abs() / exact < 0.01, "exact={exact} approx={approx}");
+        assert!(
+            (exact - approx).abs() / exact < 0.01,
+            "exact={exact} approx={approx}"
+        );
     }
 
     #[test]

@@ -6,9 +6,7 @@ use analysis::delivery::{d_low_hdlc, d_low_lams};
 use analysis::holding::{h_frame_hdlc, h_frame_lams};
 use analysis::numbering::{hdlc_numbering_size, lams_numbering_size};
 use analysis::periods::{s_bar_hdlc, s_bar_lams};
-use analysis::throughput::{
-    d_high_hdlc, d_high_lams, efficiency_hdlc, efficiency_lams, n_total,
-};
+use analysis::throughput::{d_high_hdlc, d_high_lams, efficiency_hdlc, efficiency_lams, n_total};
 use analysis::LinkParams;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -58,7 +56,12 @@ fn throughput_curves(c: &mut Criterion) {
         })
     });
     c.bench_function("analysis/d_high_100k", |b| {
-        b.iter(|| (d_high_lams(black_box(&p), 100_000), d_high_hdlc(black_box(&p), 100_000)))
+        b.iter(|| {
+            (
+                d_high_lams(black_box(&p), 100_000),
+                d_high_hdlc(black_box(&p), 100_000),
+            )
+        })
     });
 }
 

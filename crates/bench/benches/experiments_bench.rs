@@ -73,7 +73,6 @@ fn e17(c: &mut Criterion) {
 }
 
 criterion_group!(
-    benches, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13, e14, e15,
-    e16, e17
+    benches, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13, e14, e15, e16, e17
 );
 criterion_main!(benches);

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use fec::{
-    BitBuf, BlockInterleaver, Crc16Ccitt, Crc32, ErrorProcess, GilbertElliott,
-    LinkCodec, UniformBer, Viterbi, CCSDS_K7,
+    BitBuf, BlockInterleaver, Crc16Ccitt, Crc32, ErrorProcess, GilbertElliott, LinkCodec,
+    UniformBer, Viterbi, CCSDS_K7,
 };
 use sim_core::{Duration, Instant, SeedSplitter};
 use std::hint::black_box;
@@ -40,7 +40,9 @@ fn interleave_benches(c: &mut Criterion) {
     let il = BlockInterleaver::new(32, 16);
     let data = BitBuf::from_bytes(&vec![0x5Au8; 256]); // 2048 bits
     g.throughput(Throughput::Elements(2048));
-    g.bench_function("interleave_2kbit", |b| b.iter(|| il.interleave(black_box(&data))));
+    g.bench_function("interleave_2kbit", |b| {
+        b.iter(|| il.interleave(black_box(&data)))
+    });
     let inter = il.interleave(&data);
     g.bench_function("deinterleave_2kbit", |b| {
         b.iter(|| il.deinterleave(black_box(&inter)))

@@ -5,8 +5,7 @@
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use lams_dlc::{
-    CheckPoint, ControlFrame, Frame, LamsConfig, PacketId, Receiver, Resequencer,
-    RxStatus, Sender,
+    CheckPoint, ControlFrame, Frame, LamsConfig, PacketId, Receiver, Resequencer, RxStatus, Sender,
 };
 use sim_core::{Duration, Instant};
 use std::hint::black_box;
@@ -116,7 +115,10 @@ fn hdlc_sender_cycle(c: &mut Criterion) {
                 }
                 s.handle_frame(
                     now + Duration::from_millis(30),
-                    hdlc::HdlcFrame::Rr { nr: CYCLE, fin: true },
+                    hdlc::HdlcFrame::Rr {
+                        nr: CYCLE,
+                        fin: true,
+                    },
                     hdlc::RxStatus::Ok,
                 );
                 while black_box(s.poll_event()).is_some() {}

@@ -19,7 +19,10 @@ impl BitBuf {
 
     /// Empty buffer with capacity for `bits` bits.
     pub fn with_capacity(bits: usize) -> Self {
-        BitBuf { bytes: Vec::with_capacity(bits.div_ceil(8)), len: 0 }
+        BitBuf {
+            bytes: Vec::with_capacity(bits.div_ceil(8)),
+            len: 0,
+        }
     }
 
     /// Build from a `bool` slice.
@@ -33,7 +36,10 @@ impl BitBuf {
 
     /// Build from bytes; every bit of every byte is included, MSB first.
     pub fn from_bytes(bytes: &[u8]) -> Self {
-        BitBuf { bytes: bytes.to_vec(), len: bytes.len() * 8 }
+        BitBuf {
+            bytes: bytes.to_vec(),
+            len: bytes.len() * 8,
+        }
     }
 
     /// Number of bits.
@@ -61,13 +67,21 @@ impl BitBuf {
 
     /// Read bit `i`. Panics if out of range.
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "BitBuf::get: index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "BitBuf::get: index {i} out of range (len {})",
+            self.len
+        );
         (self.bytes[i / 8] >> (7 - i % 8)) & 1 == 1
     }
 
     /// Write bit `i`. Panics if out of range.
     pub fn set(&mut self, i: usize, bit: bool) {
-        assert!(i < self.len, "BitBuf::set: index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "BitBuf::set: index {i} out of range (len {})",
+            self.len
+        );
         let mask = 0x80 >> (i % 8);
         if bit {
             self.bytes[i / 8] |= mask;

@@ -132,7 +132,10 @@ impl GilbertElliott {
         ber_bad: f64,
         mut rng: SimRng,
     ) -> Self {
-        assert!(!mean_good.is_zero() && !mean_bad.is_zero(), "sojourn means must be positive");
+        assert!(
+            !mean_good.is_zero() && !mean_bad.is_zero(),
+            "sojourn means must be positive"
+        );
         assert!((0.0..=1.0).contains(&ber_good) && (0.0..=1.0).contains(&ber_bad));
         let first = Duration::from_secs_f64(rng.exponential(mean_good.as_secs_f64()));
         GilbertElliott {
@@ -332,14 +335,16 @@ mod tests {
         let frame = Duration::from_micros(100);
         for k in 0..20_000u64 {
             let t = Instant::from_nanos(k * 100_000);
-            errors_per_window
-                .push(ge.frame_error(t, frame, 1000) as u32);
+            errors_per_window.push(ge.frame_error(t, frame, 1000) as u32);
         }
         // Burstiness: errors should be far more clustered than i.i.d.
         // Compare the count of adjacent error pairs against independence.
         let total: u32 = errors_per_window.iter().sum();
         let p = total as f64 / errors_per_window.len() as f64;
-        let adjacent = errors_per_window.windows(2).filter(|w| w[0] == 1 && w[1] == 1).count();
+        let adjacent = errors_per_window
+            .windows(2)
+            .filter(|w| w[0] == 1 && w[1] == 1)
+            .count();
         let expected_iid = p * p * errors_per_window.len() as f64;
         assert!(
             adjacent as f64 > 3.0 * expected_iid,
@@ -363,7 +368,10 @@ mod tests {
         ge.corrupt(Instant::ZERO, Duration::from_nanos(100), &mut buf);
         let rate = buf.hamming_distance(&clean) as f64 / n_bits as f64;
         let expect = 0.0255;
-        assert!((rate - expect).abs() / expect < 0.25, "rate={rate} expect={expect}");
+        assert!(
+            (rate - expect).abs() / expect < 0.25,
+            "rate={rate} expect={expect}"
+        );
     }
 
     #[test]

@@ -39,13 +39,21 @@ pub struct FecGrade {
 
 impl FecGrade {
     /// The I-frame grade: rate-1/2 K=7 code, residual floor 1e-7.
-    pub const IFRAME: FecGrade =
-        FecGrade { order: 3.0, coeff: 2.0e3, rate: 0.5, floor: 1.0e-7 };
+    pub const IFRAME: FecGrade = FecGrade {
+        order: 3.0,
+        coeff: 2.0e3,
+        rate: 0.5,
+        floor: 1.0e-7,
+    };
 
     /// The control-frame grade: stronger (lower-rate, deeper) coding, one
     /// extra order of error suppression and a 1e-9 floor.
-    pub const CFRAME: FecGrade =
-        FecGrade { order: 4.0, coeff: 2.0e4, rate: 0.25, floor: 1.0e-9 };
+    pub const CFRAME: FecGrade = FecGrade {
+        order: 4.0,
+        coeff: 2.0e4,
+        rate: 0.25,
+        floor: 1.0e-9,
+    };
 
     /// Residual BER seen by the ARQ layer for a raw channel BER.
     pub fn residual_ber(&self, raw_ber: f64) -> f64 {

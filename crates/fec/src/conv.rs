@@ -21,7 +21,11 @@ pub struct ConvCode {
 }
 
 /// The standard K=7 (171, 133) code used throughout this workspace.
-pub const CCSDS_K7: ConvCode = ConvCode { constraint: 7, g1: 0o171, g2: 0o133 };
+pub const CCSDS_K7: ConvCode = ConvCode {
+    constraint: 7,
+    g1: 0o171,
+    g2: 0o133,
+};
 
 impl ConvCode {
     /// Number of trellis states, `2^(K-1)`.

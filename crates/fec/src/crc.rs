@@ -26,7 +26,11 @@ const fn make_table_16() -> [u16; 256] {
         let mut crc = i as u16;
         let mut b = 0;
         while b < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ 0x8408 } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0x8408
+            } else {
+                crc >> 1
+            };
             b += 1;
         }
         table[i] = crc;
@@ -43,7 +47,11 @@ const fn make_table_32() -> [u32; 256] {
         let mut crc = i as u32;
         let mut b = 0;
         while b < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
             b += 1;
         }
         table[i] = crc;

@@ -21,7 +21,10 @@ impl BlockInterleaver {
     /// Create an interleaver with the given geometry. A burst of up to
     /// `rows` channel bits is spread to single errors `cols` apart.
     pub fn new(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "interleaver dimensions must be positive");
+        assert!(
+            rows > 0 && cols > 0,
+            "interleaver dimensions must be positive"
+        );
         BlockInterleaver { rows, cols }
     }
 
@@ -103,8 +106,12 @@ mod tests {
             let mut unit = BitBuf::from_bits(&[false; 16]);
             unit.set(i, true);
             let out = il.interleave(&unit);
-            let pos: Vec<usize> =
-                out.iter().enumerate().filter(|&(_, b)| b).map(|(j, _)| j).collect();
+            let pos: Vec<usize> = out
+                .iter()
+                .enumerate()
+                .filter(|&(_, b)| b)
+                .map(|(j, _)| j)
+                .collect();
             assert_eq!(pos.len(), 1, "input bit {i} mapped to {pos:?}");
             assert!(!seen[pos[0]], "collision at output {}", pos[0]);
             seen[pos[0]] = true;
@@ -126,8 +133,12 @@ mod tests {
         let deinter = il.deinterleave(&inter);
         // ...lands as isolated errors at least `cols - 1` apart (the
         // spacing drops by one where the burst crosses a column boundary).
-        let errs: Vec<usize> =
-            deinter.iter().enumerate().filter(|&(_, b)| b).map(|(i, _)| i).collect();
+        let errs: Vec<usize> = deinter
+            .iter()
+            .enumerate()
+            .filter(|&(_, b)| b)
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(errs.len(), rows);
         for w in errs.windows(2) {
             assert!(w[1] - w[0] >= cols - 1, "errors too close: {:?}", w);
@@ -141,10 +152,11 @@ mod tests {
         // tests) but is corrected with interleaving.
         let il = BlockInterleaver::new(32, 16);
         let v = Viterbi::new(CCSDS_K7);
-        let input = BitBuf::from_bytes(&[0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0xF0,
-                                         0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88,
-                                         0x99, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF, 0x00,
-                                         0x13, 0x57, 0x9B, 0xDF, 0x24, 0x68, 0xAC, 0xE0]);
+        let input = BitBuf::from_bytes(&[
+            0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0xF0, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66,
+            0x77, 0x88, 0x99, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF, 0x00, 0x13, 0x57, 0x9B, 0xDF,
+            0x24, 0x68, 0xAC, 0xE0,
+        ]);
         let enc = CCSDS_K7.encode(&input);
         let mut channel = il.interleave(&enc);
         for i in 100..130 {

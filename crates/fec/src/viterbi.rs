@@ -52,8 +52,7 @@ impl Viterbi {
         metric[0] = 0; // encoder starts in state 0
         let mut next_metric = vec![INF; n_states];
         // survivors[t][s] = (previous state, input bit) best path into s at t+1.
-        let mut survivors: Vec<Vec<(u32, bool)>> =
-            vec![vec![(0, false); n_states]; n_sym];
+        let mut survivors: Vec<Vec<(u32, bool)>> = vec![vec![(0, false); n_states]; n_sym];
 
         for (t, surv) in survivors.iter_mut().enumerate() {
             let r1 = received.get(2 * t) as u8;
@@ -64,9 +63,7 @@ impl Viterbi {
                 if m >= INF {
                     continue;
                 }
-                for (input, &(next, sym)) in
-                    self.transitions[state].iter().enumerate()
-                {
+                for (input, &(next, sym)) in self.transitions[state].iter().enumerate() {
                     let branch = (sym ^ r_sym).count_ones();
                     let cand = m + branch;
                     if cand < next_metric[next as usize] {

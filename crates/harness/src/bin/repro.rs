@@ -1,32 +1,74 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro              # run every experiment at full size
-//! repro e1 e5        # run a subset
-//! repro --quick all  # CI-sized workloads
-//! repro --list       # show the experiment index
+//! repro                      # run every experiment at full size
+//! repro e1 e5                # run a subset
+//! repro --quick all          # CI-sized workloads
+//! repro --list               # show the experiment index
+//! repro --json report.json   # also write machine-readable results
+//! repro --trace run.jsonl    # also write a protocol event trace (JSONL)
 //! ```
+//!
+//! `--json` writes one JSON document:
+//!
+//! ```text
+//! {
+//!   "schema": "lams-dlc.repro/1",
+//!   "quick": bool,
+//!   "experiments": [
+//!     { "id", "title", "tables", "traces", "notes",   // ExperimentOutput
+//!       "perf": {"scheduled", "popped", "cancelled", "peak_depth",
+//!                "horizon_s", "wall_secs", "events_per_sec",
+//!                "runs"} | null }                      // merged over runs
+//!   ]
+//! }
+//! ```
+//!
+//! `--trace` installs a global JSONL sink for the duration: every
+//! simulation run appends [`telemetry::TraceRecord`]s (one JSON object
+//! per line: `{"t", "node", "event", ...}`) to the given path.
 
 use harness::experiments;
+use harness::metrics;
+use telemetry::Json;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let list = args.iter().any(|a| a == "--list" || a == "-l");
+    let json_path = flag_value(&args, "--json");
+    let trace_path = flag_value(&args, "--trace");
+    let mut skip_next = false;
     let ids: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with('-') && *a != "all")
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--json" || *a == "--trace" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with('-') && *a != "all"
+        })
         .cloned()
         .collect();
 
     if list {
         println!("experiment index (paper artifact → id):");
         for (id, title) in [
-            ("e1", "Retransmission probability & mean periods (P_R, s-bar)"),
+            (
+                "e1",
+                "Retransmission probability & mean periods (P_R, s-bar)",
+            ),
             ("e2", "Throughput efficiency vs offered traffic N"),
             ("e3", "Throughput efficiency vs residual BER"),
             ("e4", "Throughput efficiency vs link distance"),
-            ("e5", "Transparent buffer size (B_LAMS finite, B_HDLC = inf)"),
+            (
+                "e5",
+                "Transparent buffer size (B_LAMS finite, B_HDLC = inf)",
+            ),
             ("e6", "Sender holding time H_frame vs W_cp"),
             ("e7", "Low-traffic delivery time D_low(N)"),
             ("e8", "Burst-error resilience (Gilbert-Elliott)"),
@@ -45,16 +87,81 @@ fn main() {
         return;
     }
 
+    if let Some(path) = &trace_path {
+        match telemetry::JsonlSink::create(std::path::Path::new(path)) {
+            Ok(sink) => {
+                telemetry::install_global(std::rc::Rc::new(std::cell::RefCell::new(sink)));
+            }
+            Err(e) => {
+                eprintln!("cannot create trace file {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     let run_ids: Vec<&str> = if ids.is_empty() {
         experiments::ALL.to_vec()
     } else {
         ids.iter().map(|s| s.as_str()).collect()
     };
 
+    let mut results: Vec<Json> = Vec::new();
     for id in run_ids {
+        metrics::perf_take(); // clear any carry-over before the experiment
         match experiments::run_by_id(id, quick) {
-            Some(out) => print!("{}", out.render()),
+            Some(out) => {
+                print!("{}", out.render());
+                if json_path.is_some() {
+                    let mut doc = out.to_json();
+                    let perf = match metrics::perf_take() {
+                        Some((profile, wall, runs)) => {
+                            let mut p = metrics::perf_json(&profile, wall);
+                            if let Json::Obj(members) = &mut p {
+                                members.push(("runs".into(), runs.into()));
+                            }
+                            p
+                        }
+                        None => Json::Null,
+                    };
+                    if let Json::Obj(members) = &mut doc {
+                        members.push(("perf".into(), perf));
+                    }
+                    results.push(doc);
+                }
+            }
             None => eprintln!("unknown experiment id: {id} (try --list)"),
+        }
+    }
+
+    if let Some(path) = &json_path {
+        let doc = Json::obj([
+            ("schema", Json::from("lams-dlc.repro/1")),
+            ("quick", Json::from(quick)),
+            ("experiments", Json::from(results)),
+        ]);
+        if let Err(e) = std::fs::write(path, doc.render_pretty() + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = &trace_path {
+        if let Some(sink) = telemetry::uninstall_global() {
+            sink.borrow_mut().flush();
+            eprintln!("wrote {path} ({} trace records)", sink.borrow().len());
+        }
+    }
+}
+
+/// Value of `--flag <value>` in `args`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with('-') => Some(v.clone()),
+        _ => {
+            eprintln!("{flag} requires a path argument");
+            std::process::exit(1);
         }
     }
 }

@@ -14,13 +14,13 @@
 //! stream cost? (Answer, measured in E15: a fraction of a percent at the
 //! paper's parameters — checkpoints are ~40 bytes every `W_cp`.)
 
-
 use crate::metrics::{Collector, RunReport};
 use crate::node::{LamsRx, LamsTx, RxEndpoint, SrRx, SrTx, TxEndpoint};
 use crate::scenario::ScenarioConfig;
 use crate::traffic::TrafficGen;
 use bytes::Bytes;
-use sim_core::{EventQueue, Instant, SeedSplitter};
+use sim_core::{EventQueue, Instant, RunTimer, SeedSplitter};
+use telemetry::TraceEvent;
 
 enum Ev<F> {
     /// SDU arriving at node A (0) or B (1).
@@ -53,6 +53,8 @@ where
 {
     // Node 0 = A, node 1 = B. txs[i] sends data FROM node i; rxs[i]
     // receives data AT node i. chan[i] carries node i's transmissions.
+    let timer = RunTimer::start();
+    let trace = telemetry::global_handle("channel");
     let mut txs: Vec<T> = (0..2).map(&mk_tx).collect();
     let mut rxs: Vec<R> = (0..2).map(&mk_rx).collect();
     let (chan_a, chan_b) = cfg.build_channels();
@@ -149,10 +151,14 @@ where
                 } else {
                     break;
                 };
-                if let crate::link::Fate::Arrives { at, clean } =
-                    chans[i].transmit(now, meta.bytes, meta.is_info)
-                {
-                    q.schedule(at, Ev::Arrive(1 - i, frame, clean));
+                match chans[i].transmit(now, meta.bytes, meta.is_info) {
+                    crate::link::Fate::Arrives { at, clean } => {
+                        q.schedule(at, Ev::Arrive(1 - i, frame, clean));
+                    }
+                    crate::link::Fate::Lost => {
+                        let dir = if i == 0 { "fwd" } else { "rev" };
+                        trace.emit(now, || TraceEvent::ChannelDrop { dir });
+                    }
                 }
             }
         }
@@ -166,9 +172,8 @@ where
             cols[i].on_holding(&holding);
         }
 
-        let done = (0..2).all(|i| {
-            cols[i].delivered_unique() >= cfg.n_packets && txs[i].buffered() == 0
-        });
+        let done =
+            (0..2).all(|i| cols[i].delivered_unique() >= cfg.n_packets && txs[i].buffered() == 0);
         if done || txs.iter().any(|t| t.is_failed()) {
             finished_at = now;
             break;
@@ -192,7 +197,8 @@ where
                 Some(t)
             } else {
                 (0..2)
-                    .filter_map(|i| (!chans[i].idle(now)).then(|| chans[i].free_at()))
+                    .filter(|&i| !chans[i].idle(now))
+                    .map(|i| chans[i].free_at())
                     .min()
             };
             if let Some(t) = t {
@@ -221,8 +227,18 @@ where
             rxs[1 - i].extra_stats(),
         )
     };
-    let a_to_b = finish(it.next().expect("col a"), 0, &txs, &rxs);
-    let b_to_a = finish(it.next().expect("col b"), 1, &txs, &rxs);
+    // Both directions ran on the one event queue; each report carries
+    // the whole run's perf block.
+    let profile = q.profile();
+    let wall = timer.elapsed_secs();
+    crate::metrics::perf_absorb(&profile, wall);
+    let stamp = |mut r: RunReport| {
+        r.queue = profile;
+        r.wall_secs = wall;
+        r
+    };
+    let a_to_b = stamp(finish(it.next().expect("col a"), 0, &txs, &rxs));
+    let b_to_a = stamp(finish(it.next().expect("col b"), 1, &txs, &rxs));
     DuplexReport { a_to_b, b_to_a }
 }
 
@@ -231,8 +247,19 @@ pub fn run_duplex_lams(cfg: &ScenarioConfig) -> DuplexReport {
     let lcfg = cfg.lams_config();
     run_duplex(
         cfg,
-        |_| LamsTx::new(lams_dlc::Sender::new(lcfg.clone())),
-        |_| LamsRx { inner: lams_dlc::Receiver::new(lcfg.clone()) },
+        |i| {
+            let node = if i == 0 { "a.tx" } else { "b.tx" };
+            LamsTx::new(
+                lams_dlc::Sender::new(lcfg.clone()).with_trace(telemetry::global_handle(node)),
+            )
+        },
+        |i| {
+            let node = if i == 0 { "a.rx" } else { "b.rx" };
+            LamsRx {
+                inner: lams_dlc::Receiver::new(lcfg.clone())
+                    .with_trace(telemetry::global_handle(node)),
+            }
+        },
         "lams-duplex",
     )
 }
@@ -242,8 +269,17 @@ pub fn run_duplex_sr(cfg: &ScenarioConfig) -> DuplexReport {
     let hcfg = cfg.hdlc_config();
     run_duplex(
         cfg,
-        |_| SrTx::new(hdlc::SrSender::new(hcfg.clone())),
-        |_| SrRx { inner: hdlc::SrReceiver::new(hcfg.clone()) },
+        |i| {
+            let node = if i == 0 { "a.tx" } else { "b.tx" };
+            SrTx::new(hdlc::SrSender::new(hcfg.clone()).with_trace(telemetry::global_handle(node)))
+        },
+        |i| {
+            let node = if i == 0 { "a.rx" } else { "b.rx" };
+            SrRx {
+                inner: hdlc::SrReceiver::new(hcfg.clone())
+                    .with_trace(telemetry::global_handle(node)),
+            }
+        },
         "sr-duplex",
     )
 }
@@ -295,8 +331,7 @@ mod tests {
         let c = cfg(5_000, 1e-6);
         let duplex = run_duplex_lams(&c);
         let uni = crate::scenario::run_lams(&c);
-        let loss_frac =
-            1.0 - duplex.a_to_b.efficiency() / uni.efficiency();
+        let loss_frac = 1.0 - duplex.a_to_b.efficiency() / uni.efficiency();
         assert!(
             loss_frac < 0.05,
             "duplex cost too high: {:.1}% (duplex {}, uni {})",

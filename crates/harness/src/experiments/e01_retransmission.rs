@@ -77,7 +77,10 @@ mod tests {
         for row in 0..t.len() {
             let p_r_l = t.value(row, 3).unwrap();
             let p_r_h = t.value(row, 4).unwrap();
-            assert!(p_r_l <= p_r_h + 1e-15, "row {row}: LAMS P_R must not exceed HDLC");
+            assert!(
+                p_r_l <= p_r_h + 1e-15,
+                "row {row}: LAMS P_R must not exceed HDLC"
+            );
             let s_l = t.value(row, 5).unwrap();
             let sim_l = t.value(row, 7).unwrap();
             // Simulated retransmissions per frame track s̄ − 1 loosely

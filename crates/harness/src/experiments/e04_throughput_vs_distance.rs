@@ -77,7 +77,10 @@ mod tests {
             let hdlc = t.value(row, 5).unwrap();
             assert!(lams > hdlc, "row {row}");
             let ratio = lams / hdlc;
-            assert!(ratio >= last_ratio * 0.95, "ratio must not shrink: row {row}");
+            assert!(
+                ratio >= last_ratio * 0.95,
+                "ratio must not shrink: row {row}"
+            );
             last_ratio = ratio;
         }
         // Simulated LAMS efficiency tracks the analytic value loosely

@@ -47,7 +47,10 @@ pub fn run(quick: bool) -> ExperimentOutput {
 
     let mut growth = Table::new(
         "SR-HDLC buffer growth (no transparent size exists)",
-        &["analytic_growth_frames_per_s", "simulated_growth_frames_per_s"],
+        &[
+            "analytic_growth_frames_per_s",
+            "simulated_growth_frames_per_s",
+        ],
     );
     let sim_growth = linear_growth(&sr.tx_buffer);
     growth.row(vec![b_hdlc_growth_rate(&p).into(), sim_growth.into()]);
@@ -57,11 +60,9 @@ pub fn run(quick: bool) -> ExperimentOutput {
         title: "Transparent buffer size: B_LAMS finite, B_HDLC = ∞ (paper §4)".into(),
         tables: vec![table, growth],
         traces: vec![lams.tx_buffer.clone(), sr.tx_buffer.clone()],
-        notes: vec![
-            "expected shape: the LAMS trace plateaus at ≈ B_LAMS; the \
+        notes: vec!["expected shape: the LAMS trace plateaus at ≈ B_LAMS; the \
              SR-HDLC trace climbs linearly for the whole run"
-                .into(),
-        ],
+            .into()],
     }
 }
 

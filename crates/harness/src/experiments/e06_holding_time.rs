@@ -41,8 +41,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     }
     ExperimentOutput {
         id: "E6",
-        title: "Holding time H_frame vs W_cp (paper §4 recursion; §3.4 buffer control)"
-            .into(),
+        title: "Holding time H_frame vs W_cp (paper §4 recursion; §3.4 buffer control)".into(),
         tables: vec![table],
         traces: vec![],
         notes: vec![

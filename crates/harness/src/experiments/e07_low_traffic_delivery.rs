@@ -21,7 +21,11 @@ pub const RESIDUAL_BER: f64 = 1e-8;
 
 /// Run E7.
 pub fn run(quick: bool) -> ExperimentOutput {
-    let seeds: &[u64] = if quick { &[1, 2, 3] } else { &[1, 2, 3, 4, 5, 6, 7, 8] };
+    let seeds: &[u64] = if quick {
+        &[1, 2, 3]
+    } else {
+        &[1, 2, 3, 4, 5, 6, 7, 8]
+    };
     let mut table = Table::new(
         "low-traffic delivery time D_low(N), ms (residual BER 1e-8)",
         &[
@@ -55,8 +59,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     }
     ExperimentOutput {
         id: "E7",
-        title: "Low-traffic delivery time D_low(N) — analysis vs simulation (paper §4)"
-            .into(),
+        title: "Low-traffic delivery time D_low(N) — analysis vs simulation (paper §4)".into(),
         tables: vec![table],
         traces: vec![],
         notes: vec![

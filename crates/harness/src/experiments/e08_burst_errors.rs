@@ -87,8 +87,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     }
     ExperimentOutput {
         id: "E8",
-        title: "Burst-error resilience: cumulative NAK vs timeout recovery (paper §3.3)"
-            .into(),
+        title: "Burst-error resilience: cumulative NAK vs timeout recovery (paper §3.3)".into(),
         tables: vec![table],
         traces: vec![],
         notes: vec![

@@ -100,7 +100,11 @@ mod tests {
         // checkpoint timeout + failure timeout of the outage start, far
         // under a second).
         let last = t.len() - 1;
-        assert_eq!(t.value(last, 5).unwrap(), 1.0, "permanent outage not detected");
+        assert_eq!(
+            t.value(last, 5).unwrap(),
+            1.0,
+            "permanent outage not detected"
+        );
         assert!(t.value(last, 6).unwrap() < 500.0, "detection too slow");
     }
 }

@@ -93,7 +93,11 @@ mod tests {
         let out = run(true);
         let t = &out.tables[0];
         // Zero loss despite overflow discards.
-        assert_eq!(t.value(0, 2).unwrap(), 0.0, "congestion must not lose frames");
+        assert_eq!(
+            t.value(0, 2).unwrap(),
+            0.0,
+            "congestion must not lose frames"
+        );
         // The controller actually engaged.
         let min_rate = t.value(0, 4).unwrap();
         assert!(min_rate < 1.0, "rate never decreased: {min_rate}");

@@ -62,13 +62,11 @@ pub fn run(quick: bool) -> ExperimentOutput {
         title: "Design-knob ablation: W_cp × C_depth".into(),
         tables: vec![table],
         traces: vec![],
-        notes: vec![
-            "expected shape: holding time scales with W_cp; zero loss \
+        notes: vec!["expected shape: holding time scales with W_cp; zero loss \
              everywhere (the unsafe-gap hardening covers even C_depth = 1 \
              under heavy control loss); failure-detection latency grows \
              with C_depth · W_cp — the knob's cost"
-                .into(),
-        ],
+            .into()],
     }
 }
 

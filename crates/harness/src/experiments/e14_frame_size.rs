@@ -21,11 +21,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let ber = 1e-5;
     let mut table = Table::new(
         "steady-state user-payload goodput vs frame size (residual BER 1e-5)",
-        &[
-            "payload_bytes",
-            "analytic_goodput",
-            "sim_goodput",
-        ],
+        &["payload_bytes", "analytic_goodput", "sim_goodput"],
     );
     // Keep the byte volume constant so every row does the same work.
     let total_bytes: u64 = if quick { 4 << 20 } else { 32 << 20 };
@@ -44,8 +40,8 @@ pub fn run(quick: bool) -> ExperimentOutput {
         // tail, which the frame-size tradeoff is not about.
         let payload_bits = payload as f64 * 8.0;
         let payload_fraction = payload_bits / (payload_bits + OVERHEAD_BITS);
-        let sim_goodput = payload_fraction * r.delivered_unique as f64
-            / r.transmissions.max(1) as f64;
+        let sim_goodput =
+            payload_fraction * r.delivered_unique as f64 / r.transmissions.max(1) as f64;
         table.row(vec![
             (payload as u64).into(),
             goodput_fraction(payload_bits, OVERHEAD_BITS, ber).into(),
@@ -62,8 +58,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     }
     ExperimentOutput {
         id: "E14",
-        title: "Optimal frame length (§1 NBDT thread; renumbering frees the size)"
-            .into(),
+        title: "Optimal frame length (§1 NBDT thread; renumbering frees the size)".into(),
         tables: vec![table, optima],
         traces: vec![],
         notes: vec![

@@ -32,8 +32,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
 
     let uni_lams = run_lams(&cfg);
     let dup_lams = run_duplex_lams(&cfg);
-    let overhead_lams =
-        (1.0 - dup_lams.a_to_b.efficiency() / uni_lams.efficiency()) * 100.0;
+    let overhead_lams = (1.0 - dup_lams.a_to_b.efficiency() / uni_lams.efficiency()) * 100.0;
     table.row(vec![
         "lams".into(),
         uni_lams.efficiency().into(),

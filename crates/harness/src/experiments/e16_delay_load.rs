@@ -65,9 +65,12 @@ fn sweep_table(title: &str, rate_bps: f64, n: u64) -> Table {
         cfg.data_residual_ber = 1e-7;
         cfg.ctrl_residual_ber = 1e-8;
         let t_f = cfg.t_f().as_secs_f64();
-        cfg.pattern = Pattern::Cbr { interval: Duration::ZERO }; // replaced below
-        cfg.pattern =
-            Pattern::Poisson { mean: Duration::from_secs_f64(t_f / rho) };
+        cfg.pattern = Pattern::Cbr {
+            interval: Duration::ZERO,
+        }; // replaced below
+        cfg.pattern = Pattern::Poisson {
+            mean: Duration::from_secs_f64(t_f / rho),
+        };
         cfg.deadline = Duration::from_secs(300);
         let r = run_lams(&cfg);
         let analytic = t_f * rho / (2.0 * (1.0 - rho))

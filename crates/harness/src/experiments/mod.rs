@@ -28,6 +28,7 @@ pub mod e17_gbn;
 
 use crate::report::Table;
 use sim_core::stats::Series;
+use telemetry::Json;
 
 /// The product of one experiment.
 pub struct ExperimentOutput {
@@ -65,12 +66,45 @@ impl ExperimentOutput {
         }
         out
     }
+
+    /// Machine-readable form:
+    /// `{"id", "title", "tables": [...], "traces": [...], "notes": [str]}`
+    /// (tables per [`Table::to_json`], traces per
+    /// [`crate::report::series_json`], decimated to ≤ 512 points).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::from(self.id)),
+            ("title", Json::from(self.title.as_str())),
+            (
+                "tables",
+                Json::from(self.tables.iter().map(Table::to_json).collect::<Vec<_>>()),
+            ),
+            (
+                "traces",
+                Json::from(
+                    self.traces
+                        .iter()
+                        .map(|s| crate::report::series_json(s, 512))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+            (
+                "notes",
+                Json::from(
+                    self.notes
+                        .iter()
+                        .map(|n| Json::from(n.as_str()))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+    }
 }
 
 /// All experiment ids in order.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
-    "e13", "e14", "e15", "e16", "e17",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16", "e17",
 ];
 
 /// Run one experiment by id ("e1".."e12"), or `None` if unknown.

@@ -31,8 +31,8 @@ pub mod traffic;
 
 pub use duplex::{run_duplex, run_duplex_lams, run_duplex_sr, DuplexReport};
 pub use link::{Channel, DelayModel, ErrorModel, Fate, Outage};
+pub use metrics::{Collector, RunReport};
 pub use passes::{run_multi_pass, run_multi_pass_limited, MultiPassReport, PassSummary};
 pub use relay::{run_relay, run_relay_lams, run_relay_sr, RelayConfig};
-pub use metrics::{Collector, RunReport};
 pub use scenario::{run, run_gbn, run_lams, run_sr, BurstCfg, ScenarioConfig};
 pub use traffic::{Pattern, TrafficGen};

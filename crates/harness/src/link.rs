@@ -30,7 +30,10 @@ impl DelayModel {
     pub fn delay_at(&self, now: Instant) -> Duration {
         match self {
             DelayModel::Fixed(d) => *d,
-            DelayModel::Profile { profile, t0_offset_s } => {
+            DelayModel::Profile {
+                profile,
+                t0_offset_s,
+            } => {
                 let t = profile.window.start_s + t0_offset_s + now.as_secs_f64();
                 Duration::from_secs_f64(profile.one_way_delay_s(t))
             }
@@ -141,7 +144,11 @@ impl Channel {
     /// Serialization time of a frame of `bytes` payload in class
     /// `is_info` (FEC expansion included).
     pub fn tx_time(&self, bytes: usize, is_info: bool) -> Duration {
-        let grade = if is_info { self.grade_info } else { self.grade_ctrl };
+        let grade = if is_info {
+            self.grade_info
+        } else {
+            self.grade_ctrl
+        };
         let channel_bits = grade.channel_bits(bytes as u64 * 8);
         Duration::from_secs_f64(channel_bits as f64 / self.rate_bps)
     }
@@ -160,7 +167,10 @@ impl Channel {
         let errored = self.error.frame_error(now, dur, bits);
         let arrival = (self.busy_until + self.delay.delay_at(now)).max(self.last_arrival);
         self.last_arrival = arrival;
-        Fate::Arrives { at: arrival, clean: !errored }
+        Fate::Arrives {
+            at: arrival,
+            clean: !errored,
+        }
     }
 }
 
@@ -217,7 +227,9 @@ mod tests {
         let mut dirty = 0;
         for _ in 0..n {
             now = c.free_at().max(now);
-            if let Fate::Arrives { clean: false, .. } = c.transmit(now, (bits / 8) as usize, true) { dirty += 1 }
+            if let Fate::Arrives { clean: false, .. } = c.transmit(now, (bits / 8) as usize, true) {
+                dirty += 1
+            }
             now = c.free_at();
         }
         let freq = dirty as f64 / n as f64;
@@ -257,7 +269,10 @@ mod tests {
         let profile = orbit::LinkProfile::build(&a, &b, windows[0], 5.0, 0.0);
         let mut c = Channel::new(
             300e6,
-            DelayModel::Profile { profile, t0_offset_s: 0.0 },
+            DelayModel::Profile {
+                profile,
+                t0_offset_s: 0.0,
+            },
             ErrorModel::Clean,
         );
         let mut now = Instant::ZERO;

@@ -1,8 +1,9 @@
 //! Run-level measurement collection.
 
 use sim_core::stats::{Histogram, Series, Summary, TimeWeighted};
-use sim_core::{Duration, Instant};
+use sim_core::{Duration, Instant, QueueProfile};
 use std::collections::HashMap;
+use telemetry::{Json, Registry, Trace, TraceEvent};
 
 /// Everything measured over one scenario run.
 pub struct RunReport {
@@ -53,19 +54,27 @@ pub struct RunReport {
     /// Peak resequencer occupancy.
     pub reseq_peak: usize,
     /// Protocol-specific sender counters.
-    pub tx_extras: Vec<(&'static str, f64)>,
+    pub tx_extras: Registry,
     /// Protocol-specific receiver counters.
-    pub rx_extras: Vec<(&'static str, f64)>,
+    pub rx_extras: Registry,
+    /// Run-level accounting counters maintained by the [`Collector`]
+    /// (e.g. `collector_unmatched`: deliveries whose push instant was
+    /// never recorded, so no delay sample could be taken).
+    pub counters: Registry,
+    /// Event-queue profiling snapshot of the run's scheduler.
+    pub queue: QueueProfile,
+    /// Wall-clock seconds the run took (for simulated-events/sec).
+    pub wall_secs: f64,
 }
 
 impl RunReport {
-    /// Look up a protocol-specific counter by name (sender first).
+    /// Look up a protocol-specific counter by name (sender first, then
+    /// receiver, then the collector's run counters).
     pub fn extra(&self, name: &str) -> Option<f64> {
         self.tx_extras
-            .iter()
-            .chain(&self.rx_extras)
-            .find(|(n, _)| *n == name)
-            .map(|&(_, v)| v)
+            .get(name)
+            .or_else(|| self.rx_extras.get(name))
+            .or_else(|| self.counters.get(name))
     }
 }
 
@@ -99,6 +108,119 @@ impl RunReport {
             self.retransmissions as f64 / self.delivered_unique as f64
         }
     }
+
+    /// Machine-readable form of the whole report. Schema (all times in
+    /// seconds, all counters numbers):
+    ///
+    /// ```text
+    /// {
+    ///   "protocol": str,
+    ///   "offered" | "delivered_unique" | "duplicates" | "lost": n,
+    ///   "deadline_hit" | "link_failed": bool,
+    ///   "elapsed_s" | "throughput_fps" | "efficiency"
+    ///     | "retransmission_ratio" | "t_f_channel_s": n,
+    ///   "transmissions" | "retransmissions": n,
+    ///   "delay" | "e2e_delay" | "holding":
+    ///     {"count", "mean", "std_dev", "min", "max"},
+    ///   "e2e_delay_quantiles": {"p50", "p90", "p99"},   // null if empty
+    ///   "tx_buffer": {"mean_tw", "peak"},
+    ///   "reseq_peak": n,
+    ///   "tx_extras" | "rx_extras" | "counters": {name: n, ...},
+    ///   "perf": {"scheduled", "popped", "cancelled", "peak_depth",
+    ///            "horizon_s", "wall_secs", "events_per_sec"}
+    /// }
+    /// ```
+    pub fn to_json(&self) -> Json {
+        let q = |p: f64| Json::from(self.e2e_delay_hist.quantile(p));
+        Json::obj([
+            ("protocol", Json::from(self.protocol.as_str())),
+            ("offered", self.offered.into()),
+            ("delivered_unique", self.delivered_unique.into()),
+            ("duplicates", self.duplicates.into()),
+            ("lost", self.lost.into()),
+            ("deadline_hit", self.deadline_hit.into()),
+            ("link_failed", self.link_failed.into()),
+            ("elapsed_s", self.elapsed_s().into()),
+            ("throughput_fps", self.throughput_fps().into()),
+            ("efficiency", self.efficiency().into()),
+            ("retransmission_ratio", self.retransmission_ratio().into()),
+            ("t_f_channel_s", self.t_f_channel.into()),
+            ("transmissions", self.transmissions.into()),
+            ("retransmissions", self.retransmissions.into()),
+            ("delay", summary_json(&self.delay)),
+            ("e2e_delay", summary_json(&self.e2e_delay)),
+            (
+                "e2e_delay_quantiles",
+                Json::obj([("p50", q(0.5)), ("p90", q(0.9)), ("p99", q(0.99))]),
+            ),
+            ("holding", summary_json(&self.holding)),
+            (
+                "tx_buffer",
+                Json::obj([
+                    (
+                        "mean_tw",
+                        self.tx_buffer_tw.mean_at(self.finished_at).into(),
+                    ),
+                    ("peak", self.tx_buffer_tw.peak().into()),
+                ]),
+            ),
+            ("reseq_peak", (self.reseq_peak as u64).into()),
+            ("tx_extras", self.tx_extras.to_json()),
+            ("rx_extras", self.rx_extras.to_json()),
+            ("counters", self.counters.to_json()),
+            ("perf", perf_json(&self.queue, self.wall_secs)),
+        ])
+    }
+}
+
+/// JSON view of a [`Summary`] (`count`/`mean`/`std_dev`/`min`/`max`).
+pub fn summary_json(s: &Summary) -> Json {
+    Json::obj([
+        ("count", s.count().into()),
+        ("mean", s.mean().into()),
+        ("std_dev", s.std_dev().into()),
+        ("min", s.min().into()),
+        ("max", s.max().into()),
+    ])
+}
+
+/// JSON view of a queue profile plus the wall clock that drove it.
+pub fn perf_json(q: &QueueProfile, wall_secs: f64) -> Json {
+    Json::obj([
+        ("scheduled", q.scheduled.into()),
+        ("popped", q.popped.into()),
+        ("cancelled", q.cancelled.into()),
+        ("peak_depth", (q.peak_depth as u64).into()),
+        ("horizon_s", q.horizon.as_secs_f64().into()),
+        ("wall_secs", wall_secs.into()),
+        ("events_per_sec", q.events_per_sec(wall_secs).into()),
+    ])
+}
+
+thread_local! {
+    /// Per-thread perf accumulator: (merged queue profile, wall seconds,
+    /// number of runs folded in). Run loops feed it; `perf_take` drains
+    /// it — the repro binary uses this for per-experiment perf blocks.
+    static PERF_ACC: std::cell::RefCell<Option<(QueueProfile, f64, u64)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Fold one run's scheduler profile and wall clock into the thread's perf
+/// accumulator.
+pub fn perf_absorb(queue: &QueueProfile, wall_secs: f64) {
+    PERF_ACC.with(|acc| {
+        let mut acc = acc.borrow_mut();
+        let (p, w, n) = acc.get_or_insert((QueueProfile::default(), 0.0, 0));
+        p.absorb(queue);
+        *w += wall_secs;
+        *n += 1;
+    });
+}
+
+/// Drain the thread's perf accumulator: `(merged profile, total wall
+/// seconds, runs)` since the last call, or `None` if nothing ran.
+pub fn perf_take() -> Option<(QueueProfile, f64, u64)> {
+    PERF_ACC.with(|acc| acc.borrow_mut().take())
 }
 
 /// Accumulates measurements during a run.
@@ -125,7 +247,15 @@ pub struct Collector {
     /// Rate trace.
     pub rate: Series,
     duplicates: u64,
+    counters: Registry,
+    trace: Trace,
+    /// Next power-of-two sender-buffer level that will emit a rising
+    /// watermark trace record.
+    tx_watermark: usize,
 }
+
+/// Lowest sender-buffer watermark level traced (powers of two upward).
+const TX_WATERMARK_BASE: usize = 64;
 
 impl Collector {
     /// Fresh collector starting at t = 0.
@@ -144,6 +274,9 @@ impl Collector {
             reseq_buffer: Series::new("resequencer_frames"),
             rate: Series::new("send_rate_fraction"),
             duplicates: 0,
+            counters: Registry::new(),
+            trace: telemetry::global_handle("collector"),
+            tx_watermark: TX_WATERMARK_BASE,
         }
     }
 
@@ -161,16 +294,24 @@ impl Collector {
             return;
         }
         self.delivered.insert(id, now);
-        if let Some(p) = pushed {
-            self.delay.record(now.duration_since(p).as_secs_f64());
+        match pushed {
+            Some(p) => self.delay.record(now.duration_since(p).as_secs_f64()),
+            // A delivery with no matching push: the delay sample is
+            // unrecordable. Count it so runs where accounting went wrong
+            // are visible instead of silently under-sampled.
+            None => self.counters.inc("collector_unmatched"),
         }
-        let released =
-            self.resequencer.offer(lams_dlc::PacketId(id), bytes::Bytes::new());
+        let released = self
+            .resequencer
+            .offer(lams_dlc::PacketId(id), bytes::Bytes::new());
         for (rid, _) in released {
-            if let Some(p) = self.push_times.get(&rid.0) {
-                let d = now.duration_since(*p).as_secs_f64();
-                self.e2e_delay.record(d);
-                self.e2e_delay_hist.record(d);
+            match self.push_times.get(&rid.0) {
+                Some(p) => {
+                    let d = now.duration_since(*p).as_secs_f64();
+                    self.e2e_delay.record(d);
+                    self.e2e_delay_hist.record(d);
+                }
+                None => self.counters.inc("collector_unmatched"),
             }
         }
     }
@@ -187,8 +328,32 @@ impl Collector {
         self.tx_buffer.push(now, tx_buf as f64);
         self.tx_buffer_tw.set(now, tx_buf as f64);
         self.rx_buffer.push(now, rx_buf as f64);
-        self.reseq_buffer.push(now, self.resequencer.buffered() as f64);
+        self.reseq_buffer
+            .push(now, self.resequencer.buffered() as f64);
         self.rate.push(now, rate);
+        // Trace power-of-two watermark crossings of the sender buffer:
+        // one rising record per level filled, one falling once it drains
+        // below a quarter of that level (hysteresis against flapping).
+        if self.trace.enabled() {
+            while tx_buf >= self.tx_watermark {
+                let level = self.tx_watermark as u64;
+                self.trace.emit(now, || TraceEvent::BufferWatermark {
+                    buffer: "tx",
+                    level,
+                    rising: true,
+                });
+                self.tx_watermark *= 2;
+            }
+            while self.tx_watermark > TX_WATERMARK_BASE && tx_buf < self.tx_watermark / 4 {
+                self.tx_watermark /= 2;
+                let level = self.tx_watermark as u64;
+                self.trace.emit(now, || TraceEvent::BufferWatermark {
+                    buffer: "tx",
+                    level,
+                    rising: false,
+                });
+            }
+        }
     }
 
     /// Unique deliveries so far.
@@ -206,7 +371,13 @@ impl Collector {
         self.resequencer.stats().released
     }
 
-    /// Finalize into a report.
+    /// Deliveries dropped from delay accounting (no matching push).
+    pub fn unmatched(&self) -> u64 {
+        self.counters.get("collector_unmatched").unwrap_or(0.0) as u64
+    }
+
+    /// Finalize into a report. The queue/wall perf fields start zeroed;
+    /// the run loop stamps them afterwards (it owns the event queue).
     #[allow(clippy::too_many_arguments)]
     pub fn finish(
         self,
@@ -218,8 +389,8 @@ impl Collector {
         transmissions: u64,
         retransmissions: u64,
         t_f_channel: Duration,
-        tx_extras: Vec<(&'static str, f64)>,
-        rx_extras: Vec<(&'static str, f64)>,
+        tx_extras: Registry,
+        rx_extras: Registry,
     ) -> RunReport {
         let delivered_unique = self.delivered.len() as u64;
         let reseq_peak = self.resequencer.stats().peak_buffered;
@@ -227,7 +398,7 @@ impl Collector {
             protocol: protocol.to_string(),
             offered,
             delivered_unique,
-            duplicates: self.duplicates(),
+            duplicates: self.duplicates,
             lost: offered - delivered_unique,
             finished_at,
             deadline_hit,
@@ -247,6 +418,9 @@ impl Collector {
             reseq_peak,
             tx_extras,
             rx_extras,
+            counters: self.counters,
+            queue: QueueProfile::default(),
+            wall_secs: 0.0,
         }
     }
 }
@@ -273,9 +447,35 @@ mod tests {
         assert_eq!(c.duplicates(), 1);
         assert_eq!(c.released_in_order(), 2);
         assert_eq!(c.delay.count(), 2);
+        assert_eq!(c.unmatched(), 0);
         // e2e delays recorded at release time: both released at 12 ms.
         assert_eq!(c.e2e_delay.count(), 2);
         assert!(c.e2e_delay.min().unwrap() >= 0.012 - 1e-12);
+    }
+
+    #[test]
+    fn unmatched_delivery_counted_not_sampled() {
+        let mut c = Collector::new();
+        // id 0 was never pushed: the delivery must not panic, must not
+        // produce a delay sample, and must be counted.
+        c.on_deliver(Instant::from_millis(5), 0);
+        assert_eq!(c.delivered_unique(), 1);
+        assert_eq!(c.delay.count(), 0);
+        // Counted twice: once at delivery, once at in-order release.
+        assert_eq!(c.unmatched(), 2);
+        let r = c.finish(
+            "x",
+            1,
+            Instant::from_millis(5),
+            false,
+            false,
+            1,
+            0,
+            Duration::ZERO,
+            Registry::new(),
+            Registry::new(),
+        );
+        assert_eq!(r.extra("collector_unmatched"), Some(2.0));
     }
 
     #[test]
@@ -292,8 +492,8 @@ mod tests {
             3,
             2,
             Duration::from_micros(50),
-            vec![("request_naks", 1.0)],
-            vec![],
+            Registry::from_iter([("request_naks", 1.0)]),
+            Registry::new(),
         );
         assert_eq!(r.delivered_unique, 1);
         assert_eq!(r.lost, 0);
@@ -315,11 +515,57 @@ mod tests {
             0,
             0,
             Duration::ZERO,
-            vec![],
-            vec![],
+            Registry::new(),
+            Registry::new(),
         );
         assert_eq!(r.throughput_fps(), 0.0);
         assert_eq!(r.retransmission_ratio(), 0.0);
         assert_eq!(r.extra("anything"), None);
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let mut c = Collector::new();
+        c.on_push(Instant::ZERO, 0);
+        c.on_push(Instant::ZERO, 1);
+        c.on_deliver(Instant::from_millis(2), 0);
+        c.on_deliver(Instant::from_millis(3), 1);
+        let mut r = c.finish(
+            "lams",
+            2,
+            Instant::from_millis(3),
+            false,
+            false,
+            2,
+            0,
+            Duration::from_micros(50),
+            Registry::from_iter([("request_naks", 4.0)]),
+            Registry::from_iter([("checkpoints_sent", 9.0)]),
+        );
+        r.wall_secs = 0.5;
+        let rendered = r.to_json().render();
+        let back = Json::parse(&rendered).expect("report JSON must parse");
+        assert_eq!(back.get("protocol").and_then(Json::as_str), Some("lams"));
+        assert_eq!(
+            back.get("delivered_unique").and_then(Json::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(back.get("lost").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(
+            back.get("tx_extras")
+                .and_then(|e| e.get("request_naks"))
+                .and_then(Json::as_f64),
+            Some(4.0)
+        );
+        assert_eq!(
+            back.get("delay")
+                .and_then(|d| d.get("count"))
+                .and_then(Json::as_f64),
+            Some(2.0)
+        );
+        let perf = back.get("perf").expect("perf block");
+        assert_eq!(perf.get("wall_secs").and_then(Json::as_f64), Some(0.5));
+        // Round-trip is idempotent.
+        assert_eq!(Json::parse(&back.render()).unwrap(), back);
     }
 }

@@ -7,6 +7,7 @@
 
 use bytes::Bytes;
 use sim_core::Instant;
+use telemetry::Registry;
 
 /// Size/class metadata the link needs to serialise a frame.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,8 +57,8 @@ pub trait TxEndpoint {
     /// Retransmissions so far.
     fn retransmissions(&self) -> u64;
     /// Protocol-specific counters for experiment reports.
-    fn extra_stats(&self) -> Vec<(&'static str, f64)> {
-        Vec::new()
+    fn extra_stats(&self) -> Registry {
+        Registry::new()
     }
 }
 
@@ -83,8 +84,8 @@ pub trait RxEndpoint {
     /// Size/class of a frame.
     fn meta(frame: &Self::Frame) -> FrameMeta;
     /// Protocol-specific counters for experiment reports.
-    fn extra_stats(&self) -> Vec<(&'static str, f64)> {
-        Vec::new()
+    fn extra_stats(&self) -> Registry {
+        Registry::new()
     }
 }
 
@@ -100,7 +101,10 @@ pub struct LamsTx {
 impl LamsTx {
     /// Wrap a configured sender.
     pub fn new(inner: lams_dlc::Sender) -> Self {
-        LamsTx { inner, holding: Vec::new() }
+        LamsTx {
+            inner,
+            holding: Vec::new(),
+        }
     }
 }
 
@@ -145,7 +149,10 @@ impl TxEndpoint for LamsTx {
     }
 
     fn meta(frame: &Self::Frame) -> FrameMeta {
-        FrameMeta { bytes: lams_dlc::wire::encoded_len(frame), is_info: frame.is_info() }
+        FrameMeta {
+            bytes: lams_dlc::wire::encoded_len(frame),
+            is_info: frame.is_info(),
+        }
     }
 
     fn drain_holding(&mut self, out: &mut Vec<f64>) {
@@ -170,15 +177,15 @@ impl TxEndpoint for LamsTx {
         self.inner.stats().retransmissions
     }
 
-    fn extra_stats(&self) -> Vec<(&'static str, f64)> {
+    fn extra_stats(&self) -> Registry {
         let s = self.inner.stats();
-        vec![
+        Registry::from_iter([
             ("request_naks", s.request_naks as f64),
             ("unsafe_gaps", s.unsafe_gaps as f64),
             ("resolve_expiries", s.resolve_expiries as f64),
             ("suspect_retransmissions", s.suspect_retransmissions as f64),
             ("checkpoints_received", s.checkpoints as f64),
-        ]
+        ])
     }
 }
 
@@ -217,7 +224,9 @@ impl RxEndpoint for LamsRx {
     }
 
     fn poll_deliver(&mut self, now: Instant) -> Option<(u64, usize)> {
-        self.inner.poll_deliver(now).map(|d| (d.packet_id.0, d.payload.len()))
+        self.inner
+            .poll_deliver(now)
+            .map(|d| (d.packet_id.0, d.payload.len()))
     }
 
     fn occupancy(&self) -> usize {
@@ -225,18 +234,21 @@ impl RxEndpoint for LamsRx {
     }
 
     fn meta(frame: &Self::Frame) -> FrameMeta {
-        FrameMeta { bytes: lams_dlc::wire::encoded_len(frame), is_info: frame.is_info() }
+        FrameMeta {
+            bytes: lams_dlc::wire::encoded_len(frame),
+            is_info: frame.is_info(),
+        }
     }
 
-    fn extra_stats(&self) -> Vec<(&'static str, f64)> {
+    fn extra_stats(&self) -> Registry {
         let s = self.inner.stats();
-        vec![
+        Registry::from_iter([
             ("overflow_discards", s.overflow_discards as f64),
             ("enforced_naks_sent", s.enforced_sent as f64),
             ("checkpoints_sent", s.checkpoints_sent as f64),
             ("gaps_inferred", s.gaps_inferred as f64),
             ("corrupted_arrivals", s.corrupted as f64),
-        ]
+        ])
     }
 }
 
@@ -252,7 +264,10 @@ pub struct SrTx {
 impl SrTx {
     /// Wrap a configured sender.
     pub fn new(inner: hdlc::SrSender) -> Self {
-        SrTx { inner, holding: Vec::new() }
+        SrTx {
+            inner,
+            holding: Vec::new(),
+        }
     }
 }
 
@@ -273,8 +288,11 @@ impl TxEndpoint for SrTx {
     }
 
     fn handle_frame(&mut self, now: Instant, frame: Self::Frame, ok: bool) {
-        let status =
-            if ok { hdlc::RxStatus::Ok } else { hdlc::RxStatus::PayloadCorrupted };
+        let status = if ok {
+            hdlc::RxStatus::Ok
+        } else {
+            hdlc::RxStatus::PayloadCorrupted
+        };
         self.inner.handle_frame(now, frame, status);
     }
 
@@ -291,12 +309,14 @@ impl TxEndpoint for SrTx {
     }
 
     fn meta(frame: &Self::Frame) -> FrameMeta {
-        FrameMeta { bytes: hdlc::wire::encoded_len(frame), is_info: frame.is_info() }
+        FrameMeta {
+            bytes: hdlc::wire::encoded_len(frame),
+            is_info: frame.is_info(),
+        }
     }
 
     fn drain_holding(&mut self, out: &mut Vec<f64>) {
-        while let Some(hdlc::SrSenderEvent::Released { held_for_ns, .. }) =
-            self.inner.poll_event()
+        while let Some(hdlc::SrSenderEvent::Released { held_for_ns, .. }) = self.inner.poll_event()
         {
             self.holding.push(held_for_ns as f64 / 1e9);
         }
@@ -312,13 +332,13 @@ impl TxEndpoint for SrTx {
         self.inner.stats().retransmissions
     }
 
-    fn extra_stats(&self) -> Vec<(&'static str, f64)> {
+    fn extra_stats(&self) -> Registry {
         let s = self.inner.stats();
-        vec![
+        Registry::from_iter([
             ("timeouts", s.timeouts as f64),
             ("srejs_processed", s.srejs as f64),
             ("rrs_processed", s.rrs as f64),
-        ]
+        ])
     }
 }
 
@@ -336,8 +356,11 @@ impl RxEndpoint for SrRx {
     }
 
     fn handle_frame(&mut self, now: Instant, frame: Self::Frame, ok: bool) {
-        let status =
-            if ok { hdlc::RxStatus::Ok } else { hdlc::RxStatus::PayloadCorrupted };
+        let status = if ok {
+            hdlc::RxStatus::Ok
+        } else {
+            hdlc::RxStatus::PayloadCorrupted
+        };
         self.inner.handle_frame(now, frame, status);
     }
 
@@ -354,7 +377,9 @@ impl RxEndpoint for SrRx {
     }
 
     fn poll_deliver(&mut self, now: Instant) -> Option<(u64, usize)> {
-        self.inner.poll_deliver(now).map(|d| (d.packet_id, d.payload.len()))
+        self.inner
+            .poll_deliver(now)
+            .map(|d| (d.packet_id, d.payload.len()))
     }
 
     fn occupancy(&self) -> usize {
@@ -362,16 +387,19 @@ impl RxEndpoint for SrRx {
     }
 
     fn meta(frame: &Self::Frame) -> FrameMeta {
-        FrameMeta { bytes: hdlc::wire::encoded_len(frame), is_info: frame.is_info() }
+        FrameMeta {
+            bytes: hdlc::wire::encoded_len(frame),
+            is_info: frame.is_info(),
+        }
     }
 
-    fn extra_stats(&self) -> Vec<(&'static str, f64)> {
+    fn extra_stats(&self) -> Registry {
         let s = self.inner.stats();
-        vec![
+        Registry::from_iter([
             ("srejs_sent", s.srejs_sent as f64),
             ("peak_reseq_buffer", s.peak_buffered as f64),
             ("duplicates_dropped", s.duplicates as f64),
-        ]
+        ])
     }
 }
 
@@ -400,8 +428,11 @@ impl TxEndpoint for GbnTx {
     }
 
     fn handle_frame(&mut self, now: Instant, frame: Self::Frame, ok: bool) {
-        let status =
-            if ok { hdlc::RxStatus::Ok } else { hdlc::RxStatus::PayloadCorrupted };
+        let status = if ok {
+            hdlc::RxStatus::Ok
+        } else {
+            hdlc::RxStatus::PayloadCorrupted
+        };
         self.inner.handle_frame(now, frame, status);
     }
 
@@ -418,7 +449,10 @@ impl TxEndpoint for GbnTx {
     }
 
     fn meta(frame: &Self::Frame) -> FrameMeta {
-        FrameMeta { bytes: hdlc::wire::encoded_len(frame), is_info: frame.is_info() }
+        FrameMeta {
+            bytes: hdlc::wire::encoded_len(frame),
+            is_info: frame.is_info(),
+        }
     }
 
     fn drain_holding(&mut self, _out: &mut Vec<f64>) {}
@@ -432,9 +466,12 @@ impl TxEndpoint for GbnTx {
         self.inner.stats().retransmissions
     }
 
-    fn extra_stats(&self) -> Vec<(&'static str, f64)> {
+    fn extra_stats(&self) -> Registry {
         let s = self.inner.stats();
-        vec![("timeouts", s.timeouts as f64), ("rejs_processed", s.rejs as f64)]
+        Registry::from_iter([
+            ("timeouts", s.timeouts as f64),
+            ("rejs_processed", s.rejs as f64),
+        ])
     }
 }
 
@@ -452,8 +489,11 @@ impl RxEndpoint for GbnRx {
     }
 
     fn handle_frame(&mut self, now: Instant, frame: Self::Frame, ok: bool) {
-        let status =
-            if ok { hdlc::RxStatus::Ok } else { hdlc::RxStatus::PayloadCorrupted };
+        let status = if ok {
+            hdlc::RxStatus::Ok
+        } else {
+            hdlc::RxStatus::PayloadCorrupted
+        };
         self.inner.handle_frame(now, frame, status);
     }
 
@@ -470,7 +510,9 @@ impl RxEndpoint for GbnRx {
     }
 
     fn poll_deliver(&mut self, now: Instant) -> Option<(u64, usize)> {
-        self.inner.poll_deliver(now).map(|d| (d.packet_id, d.payload.len()))
+        self.inner
+            .poll_deliver(now)
+            .map(|d| (d.packet_id, d.payload.len()))
     }
 
     fn occupancy(&self) -> usize {
@@ -478,14 +520,17 @@ impl RxEndpoint for GbnRx {
     }
 
     fn meta(frame: &Self::Frame) -> FrameMeta {
-        FrameMeta { bytes: hdlc::wire::encoded_len(frame), is_info: frame.is_info() }
+        FrameMeta {
+            bytes: hdlc::wire::encoded_len(frame),
+            is_info: frame.is_info(),
+        }
     }
 
-    fn extra_stats(&self) -> Vec<(&'static str, f64)> {
+    fn extra_stats(&self) -> Registry {
         let s = self.inner.stats();
-        vec![
+        Registry::from_iter([
             ("discarded", s.discarded as f64),
             ("rejs_sent", s.rejs_sent as f64),
-        ]
+        ])
     }
 }

@@ -107,7 +107,11 @@ pub fn run_multi_pass_limited(
         remaining -= delivered.min(remaining);
         total_time_s = w.start_s
             + retarget_s
-            + if exhausted { usable } else { report.elapsed_s() };
+            + if exhausted {
+                usable
+            } else {
+                report.elapsed_s()
+            };
         if remaining == 0 {
             break;
         }
@@ -159,8 +163,15 @@ mod tests {
         let horizon = 4.0 * a.period_s();
         let total = 6_000; // ≈ 1.7 pass-loads at the 30 s cap below
         let r = super::run_multi_pass_limited(&a, &b, total, &cfg, 30.0, horizon, Some(30.0));
-        assert!(r.passes.len() >= 2, "expected multiple passes: {:?}", r.passes.len());
-        assert!(r.passes[0].window_exhausted, "first pass must fill its window");
+        assert!(
+            r.passes.len() >= 2,
+            "expected multiple passes: {:?}",
+            r.passes.len()
+        );
+        assert!(
+            r.passes[0].window_exhausted,
+            "first pass must fill its window"
+        );
         assert!(r.total_delivered > 0);
         // Deliveries are cumulative and never exceed the offer.
         let sum: u64 = r.passes.iter().map(|p| p.delivered).sum();

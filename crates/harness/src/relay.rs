@@ -22,7 +22,8 @@ use crate::node::{LamsRx, LamsTx, RxEndpoint, SrRx, SrTx, TxEndpoint};
 use crate::scenario::ScenarioConfig;
 use crate::traffic::TrafficGen;
 use bytes::Bytes;
-use sim_core::{EventQueue, Instant, SeedSplitter};
+use sim_core::{EventQueue, Instant, RunTimer, SeedSplitter};
+use telemetry::TraceEvent;
 
 /// Relay chain configuration: `hops` identical links, each drawn from the
 /// base scenario (distance, rate, error model, protocol knobs).
@@ -59,6 +60,8 @@ where
     assert!(cfg.hops >= 1, "need at least one link");
     let h = cfg.hops;
     let base = &cfg.base;
+    let timer = RunTimer::start();
+    let trace = telemetry::global_handle("channel");
     let mut txs: Vec<T> = (0..h).map(&mk_tx).collect();
     let mut rxs: Vec<R> = (0..h).map(&mk_rx).collect();
     // Independent channels per hop (fresh RNG streams per link).
@@ -117,8 +120,7 @@ where
                 Ev::Sample => {
                     // Report the source node's buffer; intermediate hops
                     // contribute to rx occupancy (worst hop).
-                    let worst_rx =
-                        rxs.iter().map(|r| r.occupancy()).max().unwrap_or(0);
+                    let worst_rx = rxs.iter().map(|r| r.occupancy()).max().unwrap_or(0);
                     col.sample(now, txs[0].buffered(), worst_rx, txs[0].rate());
                     if now + base.sample_every <= deadline {
                         q.schedule(now + base.sample_every, Ev::Sample);
@@ -144,21 +146,31 @@ where
         }
         for i in 0..h {
             while fwd[i].idle(now) {
-                let Some(f) = txs[i].poll_transmit(now) else { break };
+                let Some(f) = txs[i].poll_transmit(now) else {
+                    break;
+                };
                 let meta = T::meta(&f);
-                if let crate::link::Fate::Arrives { at, clean } =
-                    fwd[i].transmit(now, meta.bytes, meta.is_info)
-                {
-                    q.schedule(at, Ev::ArriveFwd(i, f, clean));
+                match fwd[i].transmit(now, meta.bytes, meta.is_info) {
+                    crate::link::Fate::Arrives { at, clean } => {
+                        q.schedule(at, Ev::ArriveFwd(i, f, clean));
+                    }
+                    crate::link::Fate::Lost => {
+                        trace.emit(now, || TraceEvent::ChannelDrop { dir: "fwd" });
+                    }
                 }
             }
             while rev[i].idle(now) {
-                let Some(f) = rxs[i].poll_transmit(now) else { break };
+                let Some(f) = rxs[i].poll_transmit(now) else {
+                    break;
+                };
                 let meta = R::meta(&f);
-                if let crate::link::Fate::Arrives { at, clean } =
-                    rev[i].transmit(now, meta.bytes, meta.is_info)
-                {
-                    q.schedule(at, Ev::ArriveRev(i, f, clean));
+                match rev[i].transmit(now, meta.bytes, meta.is_info) {
+                    crate::link::Fate::Arrives { at, clean } => {
+                        q.schedule(at, Ev::ArriveRev(i, f, clean));
+                    }
+                    crate::link::Fate::Lost => {
+                        trace.emit(now, || TraceEvent::ChannelDrop { dir: "rev" });
+                    }
                 }
             }
             // Store-and-forward: deliveries at node i+1 feed the next
@@ -175,9 +187,7 @@ where
         txs[0].drain_holding(&mut holding);
         col.on_holding(&holding);
 
-        if col.delivered_unique() >= base.n_packets
-            && txs.iter().all(|t| t.buffered() == 0)
-        {
+        if col.delivered_unique() >= base.n_packets && txs.iter().all(|t| t.buffered() == 0) {
             finished_at = now;
             break;
         }
@@ -234,7 +244,7 @@ where
     let failed = txs.iter().any(|t| t.is_failed());
     let transmissions: u64 = txs.iter().map(|t| t.transmissions()).sum();
     let retransmissions: u64 = txs.iter().map(|t| t.retransmissions()).sum();
-    col.finish(
+    let mut report = col.finish(
         protocol,
         gen.issued(),
         finished_at,
@@ -245,7 +255,11 @@ where
         base.t_f(),
         txs[0].extra_stats(),
         rxs[h - 1].extra_stats(),
-    )
+    );
+    report.queue = q.profile();
+    report.wall_secs = timer.elapsed_secs();
+    crate::metrics::perf_absorb(&report.queue, report.wall_secs);
+    report
 }
 
 /// Relay chain under LAMS-DLC at every hop.
@@ -254,7 +268,9 @@ pub fn run_relay_lams(cfg: &RelayConfig) -> RunReport {
     run_relay(
         cfg,
         |_| LamsTx::new(lams_dlc::Sender::new(lcfg.clone())),
-        |_| LamsRx { inner: lams_dlc::Receiver::new(lcfg.clone()) },
+        |_| LamsRx {
+            inner: lams_dlc::Receiver::new(lcfg.clone()),
+        },
         "lams-relay",
     )
 }
@@ -265,7 +281,9 @@ pub fn run_relay_sr(cfg: &RelayConfig) -> RunReport {
     run_relay(
         cfg,
         |_| SrTx::new(hdlc::SrSender::new(hcfg.clone())),
-        |_| SrRx { inner: hdlc::SrReceiver::new(hcfg.clone()) },
+        |_| SrRx {
+            inner: hdlc::SrReceiver::new(hcfg.clone()),
+        },
         "sr-relay",
     )
 }
@@ -293,7 +311,12 @@ mod tests {
         // Same protocol, same seed-derived... the relay uses shifted seeds,
         // so compare statistically: within 10%.
         let d = (relayed.elapsed_s() - direct.elapsed_s()).abs() / direct.elapsed_s();
-        assert!(d < 0.1, "relay {} vs direct {}", relayed.elapsed_s(), direct.elapsed_s());
+        assert!(
+            d < 0.1,
+            "relay {} vs direct {}",
+            relayed.elapsed_s(),
+            direct.elapsed_s()
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use sim_core::stats::Series;
 use std::fmt::Write as _;
+use telemetry::Json;
 
 /// A rectangular table with named columns.
 #[derive(Clone, Debug)]
@@ -48,6 +49,15 @@ impl From<u64> for Cell {
 }
 
 impl Cell {
+    /// Machine-readable form: text → string, numbers → number.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Cell::Text(s) => Json::from(s.as_str()),
+            Cell::Num(v) => Json::from(*v),
+            Cell::Int(v) => Json::from(*v),
+        }
+    }
+
     fn render(&self) -> String {
         match self {
             Cell::Text(s) => s.clone(),
@@ -108,10 +118,35 @@ impl Table {
         }
     }
 
+    /// Machine-readable form:
+    /// `{"title", "columns": [str], "rows": [[cell, ...], ...]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("title", Json::from(self.title.as_str())),
+            (
+                "columns",
+                Json::from(
+                    self.columns
+                        .iter()
+                        .map(|c| Json::from(c.as_str()))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+            (
+                "rows",
+                Json::from(
+                    self.rows
+                        .iter()
+                        .map(|r| Json::from(r.iter().map(Cell::to_json).collect::<Vec<_>>()))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+    }
+
     /// Render to an aligned text block.
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> =
-            self.columns.iter().map(|c| c.len()).collect();
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
         let rendered: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -134,7 +169,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
         );
         for row in rendered {
             let line: Vec<String> = row
@@ -148,12 +187,37 @@ impl Table {
     }
 }
 
+/// Machine-readable form of a series, decimated to at most `max_points`:
+/// `{"name", "points_total", "points": [[t_seconds, value], ...]}`.
+pub fn series_json(series: &Series, max_points: usize) -> Json {
+    let d = series.decimate(max_points);
+    Json::obj([
+        ("name", Json::from(d.name())),
+        ("points_total", Json::from(series.len() as u64)),
+        (
+            "points",
+            Json::from(
+                d.points()
+                    .iter()
+                    .map(|&(t, v)| Json::from(vec![Json::from(t.as_secs_f64()), Json::from(v)]))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ])
+}
+
 /// Render a series as a two-column block under a heading, decimated to a
 /// printable number of points.
 pub fn render_series(series: &Series, max_points: usize) -> String {
     let d = series.decimate(max_points);
     let mut out = String::new();
-    let _ = writeln!(out, "## trace: {} ({} of {} points)", d.name(), d.len(), series.len());
+    let _ = writeln!(
+        out,
+        "## trace: {} ({} of {} points)",
+        d.name(),
+        d.len(),
+        series.len()
+    );
     let _ = writeln!(out, "{:>16}  {:>16}", "t_seconds", "value");
     for &(t, v) in d.points() {
         let _ = writeln!(out, "{:>16.9}  {:>16.6}", t.as_secs_f64(), v);

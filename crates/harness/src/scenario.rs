@@ -8,14 +8,13 @@
 
 use crate::link::{Channel, DelayModel, ErrorModel, Outage};
 use crate::metrics::{Collector, RunReport};
-use crate::node::{
-    GbnRx, GbnTx, LamsRx, LamsTx, RxEndpoint, SrRx, SrTx, TxEndpoint,
-};
+use crate::node::{GbnRx, GbnTx, LamsRx, LamsTx, RxEndpoint, SrRx, SrTx, TxEndpoint};
 use crate::traffic::{Pattern, TrafficGen};
 use bytes::Bytes;
 use fec::GilbertElliott;
 use orbit::propagation_delay_s;
-use sim_core::{Duration, EventQueue, Instant, SeedSplitter};
+use sim_core::{Duration, EventQueue, Instant, RunTimer, SeedSplitter};
+use telemetry::TraceEvent;
 
 /// Gilbert–Elliott burst-error configuration (residual BERs per state).
 #[derive(Clone, Debug)]
@@ -113,9 +112,7 @@ impl ScenarioConfig {
     /// One-way propagation delay of the fixed-delay model.
     pub fn one_way_delay(&self) -> Duration {
         match &self.profile {
-            Some((p, off)) => {
-                Duration::from_secs_f64(p.one_way_delay_s(p.window.start_s + off))
-            }
+            Some((p, off)) => Duration::from_secs_f64(p.one_way_delay_s(p.window.start_s + off)),
             None => Duration::from_secs_f64(propagation_delay_s(self.distance_km)),
         }
     }
@@ -127,9 +124,10 @@ impl ScenarioConfig {
 
     fn delay_model(&self) -> DelayModel {
         match &self.profile {
-            Some((p, off)) => {
-                DelayModel::Profile { profile: p.clone(), t0_offset_s: *off }
-            }
+            Some((p, off)) => DelayModel::Profile {
+                profile: p.clone(),
+                t0_offset_s: *off,
+            },
             None => DelayModel::Fixed(self.one_way_delay()),
         }
     }
@@ -245,6 +243,8 @@ where
     T: TxEndpoint,
     R: RxEndpoint<Frame = T::Frame>,
 {
+    let timer = RunTimer::start();
+    let trace = telemetry::global_handle("channel");
     let (mut fwd, mut rev) = cfg.channels();
     let mut gen = TrafficGen::new(
         cfg.pattern.clone(),
@@ -314,23 +314,31 @@ where
         tx.on_timeout(now);
         rx.on_timeout(now);
         while fwd.idle(now) {
-            let Some(f) = tx.poll_transmit(now) else { break };
+            let Some(f) = tx.poll_transmit(now) else {
+                break;
+            };
             let meta = T::meta(&f);
             match fwd.transmit(now, meta.bytes, meta.is_info) {
                 crate::link::Fate::Arrives { at, clean } => {
                     q.schedule(at, Ev::ArriveFwd(f, clean));
                 }
-                crate::link::Fate::Lost => {}
+                crate::link::Fate::Lost => {
+                    trace.emit(now, || TraceEvent::ChannelDrop { dir: "fwd" });
+                }
             }
         }
         while rev.idle(now) {
-            let Some(f) = rx.poll_transmit(now) else { break };
+            let Some(f) = rx.poll_transmit(now) else {
+                break;
+            };
             let meta = R::meta(&f);
             match rev.transmit(now, meta.bytes, meta.is_info) {
                 crate::link::Fate::Arrives { at, clean } => {
                     q.schedule(at, Ev::ArriveRev(f, clean));
                 }
-                crate::link::Fate::Lost => {}
+                crate::link::Fate::Lost => {
+                    trace.emit(now, || TraceEvent::ChannelDrop { dir: "rev" });
+                }
             }
         }
         while let Some((id, _len)) = rx.poll_deliver(now) {
@@ -395,7 +403,7 @@ where
         finished_at = now;
     }
 
-    col.finish(
+    let mut report = col.finish(
         protocol,
         gen.issued(),
         finished_at,
@@ -406,18 +414,24 @@ where
         t_f_channel,
         tx.extra_stats(),
         rx.extra_stats(),
-    )
+    );
+    report.queue = q.profile();
+    report.wall_secs = timer.elapsed_secs();
+    crate::metrics::perf_absorb(&report.queue, report.wall_secs);
+    report
 }
 
 /// Run the scenario under LAMS-DLC.
 pub fn run_lams(cfg: &ScenarioConfig) -> RunReport {
     let lcfg = cfg.lams_config();
-    let tx = LamsTx::new(lams_dlc::Sender::new(lcfg.clone()));
+    let tx =
+        LamsTx::new(lams_dlc::Sender::new(lcfg.clone()).with_trace(telemetry::global_handle("tx")));
     let rx = LamsRx {
         inner: match cfg.rx_capacity {
             Some((cap, mark)) => lams_dlc::Receiver::with_capacity(lcfg, cap, mark),
             None => lams_dlc::Receiver::new(lcfg),
-        },
+        }
+        .with_trace(telemetry::global_handle("rx")),
     };
     run(cfg, tx, rx, "lams")
 }
@@ -425,16 +439,23 @@ pub fn run_lams(cfg: &ScenarioConfig) -> RunReport {
 /// Run the scenario under SR-HDLC.
 pub fn run_sr(cfg: &ScenarioConfig) -> RunReport {
     let hcfg = cfg.hdlc_config();
-    let tx = SrTx::new(hdlc::SrSender::new(hcfg.clone()));
-    let rx = SrRx { inner: hdlc::SrReceiver::new(hcfg) };
+    let tx =
+        SrTx::new(hdlc::SrSender::new(hcfg.clone()).with_trace(telemetry::global_handle("tx")));
+    let rx = SrRx {
+        inner: hdlc::SrReceiver::new(hcfg).with_trace(telemetry::global_handle("rx")),
+    };
     run(cfg, tx, rx, "sr-hdlc")
 }
 
 /// Run the scenario under GBN-HDLC.
 pub fn run_gbn(cfg: &ScenarioConfig) -> RunReport {
     let hcfg = cfg.hdlc_config();
-    let tx = GbnTx { inner: hdlc::GbnSender::new(hcfg.clone()) };
-    let rx = GbnRx { inner: hdlc::GbnReceiver::new(hcfg) };
+    let tx = GbnTx {
+        inner: hdlc::GbnSender::new(hcfg.clone()).with_trace(telemetry::global_handle("tx")),
+    };
+    let rx = GbnRx {
+        inner: hdlc::GbnReceiver::new(hcfg).with_trace(telemetry::global_handle("rx")),
+    };
     run(cfg, tx, rx, "gbn-hdlc")
 }
 

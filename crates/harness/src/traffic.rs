@@ -43,7 +43,14 @@ pub struct TrafficGen {
 impl TrafficGen {
     /// Create a generator issuing `total` SDUs from t = 0.
     pub fn new(pattern: Pattern, total: u64, rng: SimRng) -> Self {
-        TrafficGen { pattern, total, issued: 0, next_at: Instant::ZERO, in_burst: 0, rng }
+        TrafficGen {
+            pattern,
+            total,
+            issued: 0,
+            next_at: Instant::ZERO,
+            in_burst: 0,
+            rng,
+        }
     }
 
     /// Total SDUs this generator will issue.
@@ -73,13 +80,18 @@ impl TrafficGen {
             Pattern::Poisson { mean } => {
                 at + Duration::from_secs_f64(self.rng.exponential(mean.as_secs_f64()))
             }
-            Pattern::OnOff { burst, period, spacing } => {
+            Pattern::OnOff {
+                burst,
+                period,
+                spacing,
+            } => {
                 self.in_burst += 1;
                 if self.in_burst >= *burst {
                     self.in_burst = 0;
                     // Next burst starts one period after this one began.
-                    let burst_start =
-                        at.checked_sub(*spacing * (*burst - 1)).unwrap_or(Instant::ZERO);
+                    let burst_start = at
+                        .checked_sub(*spacing * (*burst - 1))
+                        .unwrap_or(Instant::ZERO);
                     burst_start + *period
                 } else {
                     at + *spacing
@@ -102,10 +114,16 @@ mod tests {
 
     #[test]
     fn cbr_spacing() {
-        let mut g =
-            TrafficGen::new(Pattern::Cbr { interval: Duration::from_micros(100) }, 5, rng());
-        let times: Vec<u64> =
-            std::iter::from_fn(|| g.next()).map(|(t, _)| t.as_nanos()).collect();
+        let mut g = TrafficGen::new(
+            Pattern::Cbr {
+                interval: Duration::from_micros(100),
+            },
+            5,
+            rng(),
+        );
+        let times: Vec<u64> = std::iter::from_fn(|| g.next())
+            .map(|(t, _)| t.as_nanos())
+            .collect();
         assert_eq!(times, vec![0, 100_000, 200_000, 300_000, 400_000]);
         assert!(g.next().is_none());
     }
@@ -116,11 +134,7 @@ mod tests {
         let times: Vec<(Instant, u64)> = std::iter::from_fn(|| g.next()).collect();
         assert_eq!(
             times,
-            vec![
-                (Instant::ZERO, 0),
-                (Instant::ZERO, 1),
-                (Instant::ZERO, 2)
-            ]
+            vec![(Instant::ZERO, 0), (Instant::ZERO, 1), (Instant::ZERO, 2)]
         );
     }
 
@@ -155,8 +169,9 @@ mod tests {
             7,
             rng(),
         );
-        let times: Vec<u64> =
-            std::iter::from_fn(|| g.next()).map(|(t, _)| t.as_nanos()).collect();
+        let times: Vec<u64> = std::iter::from_fn(|| g.next())
+            .map(|(t, _)| t.as_nanos())
+            .collect();
         assert_eq!(
             times,
             vec![0, 10_000, 20_000, 1_000_000, 1_010_000, 1_020_000, 2_000_000]
@@ -173,8 +188,12 @@ mod tests {
     #[test]
     fn arrivals_monotone_all_patterns() {
         for pattern in [
-            Pattern::Cbr { interval: Duration::from_micros(7) },
-            Pattern::Poisson { mean: Duration::from_micros(7) },
+            Pattern::Cbr {
+                interval: Duration::from_micros(7),
+            },
+            Pattern::Poisson {
+                mean: Duration::from_micros(7),
+            },
             Pattern::OnOff {
                 burst: 5,
                 period: Duration::from_micros(100),

@@ -78,7 +78,12 @@ mod tests {
 
     #[test]
     fn kinds() {
-        let i = HdlcFrame::Info { ns: 0, packet_id: 0, poll: false, payload: Bytes::new() };
+        let i = HdlcFrame::Info {
+            ns: 0,
+            packet_id: 0,
+            poll: false,
+            payload: Bytes::new(),
+        };
         assert_eq!(i.kind(), "I");
         assert!(i.is_info());
         assert_eq!(HdlcFrame::Rr { nr: 0, fin: false }.kind(), "RR");

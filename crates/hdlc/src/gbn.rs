@@ -12,6 +12,7 @@ use crate::frame::{HdlcFrame, RxStatus};
 use bytes::Bytes;
 use sim_core::Instant;
 use std::collections::{BTreeMap, VecDeque};
+use telemetry::{Trace, TraceEvent};
 
 /// Counters for the GBN sender.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -43,6 +44,7 @@ pub struct GbnSender {
     timer: Option<Instant>,
     next_tx_allowed: Instant,
     stats: GbnSenderStats,
+    trace: Trace,
 }
 
 impl GbnSender {
@@ -59,7 +61,14 @@ impl GbnSender {
             timer: None,
             next_tx_allowed: Instant::ZERO,
             stats: GbnSenderStats::default(),
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Attach a telemetry trace handle; disabled by default.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Mark the link active.
@@ -104,6 +113,10 @@ impl GbnSender {
         if let Some(t) = self.timer {
             if now >= t {
                 self.stats.timeouts += 1;
+                self.trace.emit(now, || TraceEvent::Control {
+                    kind: "timeout",
+                    seq: self.base,
+                });
                 self.cursor = self.base;
                 self.timer = Some(now + self.cfg.t_out);
             }
@@ -121,23 +134,44 @@ impl GbnSender {
             self.cursor += 1;
             let (packet_id, payload, _) = self.outstanding.get(&ns)?.clone();
             self.stats.retransmissions += 1;
+            self.trace.emit(now, || TraceEvent::IFrameTx {
+                seq: ns,
+                retx: true,
+                len: payload.len() as u64,
+            });
             self.next_tx_allowed = now + self.cfg.t_f;
             self.timer = Some(now + self.cfg.t_out);
             let poll = !self.has_transmittable();
-            return Some(HdlcFrame::Info { ns, packet_id, poll, payload });
+            return Some(HdlcFrame::Info {
+                ns,
+                packet_id,
+                poll,
+                payload,
+            });
         }
         if self.window_open() {
             if let Some((packet_id, payload)) = self.queue.pop_front() {
                 let ns = self.next;
                 self.next += 1;
                 self.cursor = self.next;
-                self.outstanding.insert(ns, (packet_id, payload.clone(), now));
+                self.outstanding
+                    .insert(ns, (packet_id, payload.clone(), now));
                 self.stats.new_transmissions += 1;
+                self.trace.emit(now, || TraceEvent::IFrameTx {
+                    seq: ns,
+                    retx: false,
+                    len: payload.len() as u64,
+                });
                 self.next_tx_allowed = now + self.cfg.t_f;
                 // Timeout clock runs from the most recent transmission.
                 self.timer = Some(now + self.cfg.t_out);
                 let poll = !self.has_transmittable();
-                return Some(HdlcFrame::Info { ns, packet_id, poll, payload });
+                return Some(HdlcFrame::Info {
+                    ns,
+                    packet_id,
+                    poll,
+                    payload,
+                });
             }
         }
         None
@@ -151,8 +185,7 @@ impl GbnSender {
         }
         match frame {
             HdlcFrame::Rr { nr, .. } => {
-                let acked: Vec<u64> =
-                    self.outstanding.range(..nr).map(|(&s, _)| s).collect();
+                let acked: Vec<u64> = self.outstanding.range(..nr).map(|(&s, _)| s).collect();
                 for ns in acked {
                     self.outstanding.remove(&ns);
                     self.stats.released += 1;
@@ -167,9 +200,12 @@ impl GbnSender {
             }
             HdlcFrame::Rej { nr } => {
                 self.stats.rejs += 1;
+                self.trace.emit(now, || TraceEvent::Control {
+                    kind: "rej",
+                    seq: nr,
+                });
                 // Cumulative ack below nr, then go back.
-                let acked: Vec<u64> =
-                    self.outstanding.range(..nr).map(|(&s, _)| s).collect();
+                let acked: Vec<u64> = self.outstanding.range(..nr).map(|(&s, _)| s).collect();
                 for ns in acked {
                     self.outstanding.remove(&ns);
                     self.stats.released += 1;
@@ -208,6 +244,7 @@ pub struct GbnReceiver {
     processing: VecDeque<crate::sr_receiver::SrDelivery>,
     server_free_at: Instant,
     stats: GbnReceiverStats,
+    trace: Trace,
 }
 
 impl GbnReceiver {
@@ -222,7 +259,14 @@ impl GbnReceiver {
             processing: VecDeque::new(),
             server_free_at: Instant::ZERO,
             stats: GbnReceiverStats::default(),
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Attach a telemetry trace handle; disabled by default.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Mark the link active.
@@ -264,9 +308,20 @@ impl GbnReceiver {
 
     /// Inject a frame.
     pub fn handle_frame(&mut self, now: Instant, frame: HdlcFrame, status: RxStatus) {
-        let HdlcFrame::Info { ns, packet_id, poll, payload } = frame else {
+        let HdlcFrame::Info {
+            ns,
+            packet_id,
+            poll,
+            payload,
+        } = frame
+        else {
             return;
         };
+        self.trace.emit(now, || TraceEvent::IFrameRx {
+            seq: ns,
+            clean: status == RxStatus::Ok,
+            len: payload.len() as u64,
+        });
         let accept = status == RxStatus::Ok && ns == self.expected;
         if accept {
             let start = self.server_free_at.max(now);
@@ -288,12 +343,24 @@ impl GbnReceiver {
             if ns >= self.expected && !self.rej_outstanding {
                 self.rej_outstanding = true;
                 self.stats.rejs_sent += 1;
-                self.pending_tx.push_back(HdlcFrame::Rej { nr: self.expected });
+                self.trace.emit(now, || TraceEvent::Control {
+                    kind: "rej",
+                    seq: self.expected,
+                });
+                self.pending_tx
+                    .push_back(HdlcFrame::Rej { nr: self.expected });
             }
         }
         if poll {
             self.stats.rrs_sent += 1;
-            self.pending_tx.push_back(HdlcFrame::Rr { nr: self.expected, fin: true });
+            self.trace.emit(now, || TraceEvent::Control {
+                kind: "rr",
+                seq: self.expected,
+            });
+            self.pending_tx.push_back(HdlcFrame::Rr {
+                nr: self.expected,
+                fin: true,
+            });
         }
     }
 }
@@ -311,7 +378,12 @@ mod tests {
     }
 
     fn info(ns: u64, poll: bool) -> HdlcFrame {
-        HdlcFrame::Info { ns, packet_id: ns, poll, payload: Bytes::from_static(b"p") }
+        HdlcFrame::Info {
+            ns,
+            packet_id: ns,
+            poll,
+            payload: Bytes::from_static(b"p"),
+        }
     }
 
     fn drain_tx(s: &mut GbnSender, now: &mut Instant) -> Vec<u64> {
@@ -400,7 +472,10 @@ mod tests {
         let rejs: Vec<HdlcFrame> = std::iter::from_fn(|| r.poll_transmit(now))
             .filter(|f| matches!(f, HdlcFrame::Rej { .. }))
             .collect();
-        assert_eq!(rejs, vec![HdlcFrame::Rej { nr: 0 }, HdlcFrame::Rej { nr: 3 }]);
+        assert_eq!(
+            rejs,
+            vec![HdlcFrame::Rej { nr: 0 }, HdlcFrame::Rej { nr: 3 }]
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::frame::{HdlcFrame, RxStatus};
 use bytes::Bytes;
 use sim_core::Instant;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use telemetry::{Trace, TraceEvent};
 
 /// A datagram delivered upward, in sequence.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -66,6 +67,7 @@ pub struct SrReceiver {
     processing: VecDeque<SrDelivery>,
     server_free_at: Instant,
     stats: SrReceiverStats,
+    trace: Trace,
 }
 
 impl SrReceiver {
@@ -82,7 +84,14 @@ impl SrReceiver {
             processing: VecDeque::new(),
             server_free_at: Instant::ZERO,
             stats: SrReceiverStats::default(),
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Attach a trace sink (builder-style).
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Mark the link active.
@@ -129,9 +138,20 @@ impl SrReceiver {
 
     /// Inject a frame from the channel.
     pub fn handle_frame(&mut self, now: Instant, frame: HdlcFrame, status: RxStatus) {
-        let HdlcFrame::Info { ns, packet_id, poll, payload } = frame else {
+        let HdlcFrame::Info {
+            ns,
+            packet_id,
+            poll,
+            payload,
+        } = frame
+        else {
             return; // supervisory frames are sender-bound
         };
+        self.trace.emit(now, || TraceEvent::IFrameRx {
+            seq: ns,
+            clean: status == RxStatus::Ok,
+            len: payload.len() as u64,
+        });
         // Gap inference on first transmissions: numbers above the highest
         // seen that get skipped were transmitted (in order) and lost.
         if self.highest_seen.is_none_or(|h| ns > h) {
@@ -143,6 +163,7 @@ impl SrReceiver {
                 {
                     self.stats.gaps_inferred += 1;
                     self.stats.srejs_sent += 1;
+                    self.trace.emit(now, || TraceEvent::Nak { seq: missing });
                     self.pending_tx.push_back(HdlcFrame::Srej { nr: missing });
                 }
             }
@@ -160,6 +181,7 @@ impl SrReceiver {
                 if ns >= self.expected && !self.buffer.contains_key(&ns) {
                     self.srej_sent.insert(ns);
                     self.stats.srejs_sent += 1;
+                    self.trace.emit(now, || TraceEvent::Nak { seq: ns });
                     self.pending_tx.push_back(HdlcFrame::Srej { nr: ns });
                 }
             }
@@ -177,8 +199,7 @@ impl SrReceiver {
                     self.advance(now);
                     // Peak measures frames *held* for resequencing after
                     // any in-order prefix has drained.
-                    self.stats.peak_buffered =
-                        self.stats.peak_buffered.max(self.buffer.len());
+                    self.stats.peak_buffered = self.stats.peak_buffered.max(self.buffer.len());
                 }
             }
         }
@@ -186,7 +207,14 @@ impl SrReceiver {
         // A Poll demands an immediate RR — the paper's per-period response.
         if poll {
             self.stats.rrs_sent += 1;
-            self.pending_tx.push_back(HdlcFrame::Rr { nr: self.expected, fin: true });
+            self.trace.emit(now, || TraceEvent::Control {
+                kind: "rr",
+                seq: self.expected,
+            });
+            self.pending_tx.push_back(HdlcFrame::Rr {
+                nr: self.expected,
+                fin: true,
+            });
         }
     }
 
@@ -215,7 +243,14 @@ impl SrReceiver {
         }
         if was_buffered && delivered_any && self.buffer.is_empty() {
             self.stats.rrs_sent += 1;
-            self.pending_tx.push_back(HdlcFrame::Rr { nr: self.expected, fin: false });
+            self.trace.emit(now, || TraceEvent::Control {
+                kind: "rr",
+                seq: self.expected,
+            });
+            self.pending_tx.push_back(HdlcFrame::Rr {
+                nr: self.expected,
+                fin: false,
+            });
         }
     }
 }
@@ -238,7 +273,12 @@ mod tests {
     }
 
     fn info(ns: u64, poll: bool) -> HdlcFrame {
-        HdlcFrame::Info { ns, packet_id: 100 + ns, poll, payload: Bytes::from_static(b"d") }
+        HdlcFrame::Info {
+            ns,
+            packet_id: 100 + ns,
+            poll,
+            payload: Bytes::from_static(b"d"),
+        }
     }
 
     fn tx_all(r: &mut SrReceiver, now: Instant) -> Vec<HdlcFrame> {
@@ -271,8 +311,9 @@ mod tests {
         assert_eq!(r.buffered(), 2);
         r.handle_frame(t, info(1, false), RxStatus::Ok);
         let t2 = t + cfg().t_proc * 10;
-        let delivered: Vec<u64> =
-            std::iter::from_fn(|| r.poll_deliver(t2)).map(|d| d.ns).collect();
+        let delivered: Vec<u64> = std::iter::from_fn(|| r.poll_deliver(t2))
+            .map(|d| d.ns)
+            .collect();
         assert_eq!(delivered, vec![1, 2, 3]);
         assert_eq!(r.stats().peak_buffered, 2);
     }
@@ -345,7 +386,10 @@ mod tests {
         r.handle_frame(now, info(2, true), RxStatus::Ok);
         let tx = tx_all(&mut r, now);
         assert!(tx.contains(&HdlcFrame::Srej { nr: 1 }));
-        assert!(tx.contains(&HdlcFrame::Rr { nr: 1, fin: true }), "tx: {tx:?}");
+        assert!(
+            tx.contains(&HdlcFrame::Rr { nr: 1, fin: true }),
+            "tx: {tx:?}"
+        );
     }
 
     #[test]
@@ -366,8 +410,8 @@ mod tests {
         r.handle_frame(now, info(1, false), RxStatus::Ok); // SREJ 0
         tx_all(&mut r, now);
         r.handle_frame(now, info(0, false), RxStatus::Ok); // gap fills
-        // If 0 somehow goes missing again (not possible on FIFO, but the
-        // state must not leak): a fresh corrupted copy would re-SREJ.
+                                                           // If 0 somehow goes missing again (not possible on FIFO, but the
+                                                           // state must not leak): a fresh corrupted copy would re-SREJ.
         assert_eq!(r.stats().srejs_sent, 1);
         assert_eq!(r.expected(), 2);
     }

@@ -23,6 +23,7 @@ use crate::frame::{HdlcFrame, RxStatus};
 use bytes::Bytes;
 use sim_core::Instant;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use telemetry::{Trace, TraceEvent};
 
 #[derive(Clone, Debug)]
 struct Out {
@@ -87,6 +88,7 @@ pub struct SrSender {
     next_tx_allowed: Instant,
     events: VecDeque<SrSenderEvent>,
     stats: SrSenderStats,
+    trace: Trace,
 }
 
 impl SrSender {
@@ -106,7 +108,14 @@ impl SrSender {
             next_tx_allowed: Instant::ZERO,
             events: VecDeque::new(),
             stats: SrSenderStats::default(),
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Attach a trace sink (builder-style).
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Mark the link active.
@@ -172,6 +181,10 @@ impl SrSender {
         if let Some(t) = self.timer {
             if now >= t {
                 self.stats.timeouts += 1;
+                self.trace.emit(now, || TraceEvent::Control {
+                    kind: "timeout",
+                    seq: self.base,
+                });
                 self.poll_outstanding = false;
                 for &ns in self.outstanding.keys() {
                     self.retx.insert(ns);
@@ -194,6 +207,11 @@ impl SrSender {
                 return self.poll_transmit(now);
             };
             self.stats.retransmissions += 1;
+            self.trace.emit(now, || TraceEvent::IFrameTx {
+                seq: ns,
+                retx: true,
+                len: out.payload.len() as u64,
+            });
             self.next_tx_allowed = now + self.cfg.t_f;
             self.timer = Some(now + self.cfg.t_out);
             let poll = !self.has_transmittable() && !self.poll_outstanding;
@@ -213,9 +231,18 @@ impl SrSender {
                 self.epoch_sent += 1;
                 self.outstanding.insert(
                     ns,
-                    Out { packet_id, payload: payload.clone(), first_sent: now },
+                    Out {
+                        packet_id,
+                        payload: payload.clone(),
+                        first_sent: now,
+                    },
                 );
                 self.stats.new_transmissions += 1;
+                self.trace.emit(now, || TraceEvent::IFrameTx {
+                    seq: ns,
+                    retx: false,
+                    len: payload.len() as u64,
+                });
                 self.next_tx_allowed = now + self.cfg.t_f;
                 // The timeout clock runs from the most recent transmission
                 // (it must never fire while the window is still being
@@ -228,7 +255,12 @@ impl SrSender {
                 let tail_poll = !self.has_transmittable() && !self.poll_outstanding;
                 let poll = window_poll || tail_poll;
                 self.poll_outstanding |= poll;
-                return Some(HdlcFrame::Info { ns, packet_id, poll, payload });
+                return Some(HdlcFrame::Info {
+                    ns,
+                    packet_id,
+                    poll,
+                    payload,
+                });
             }
         }
         None
@@ -243,10 +275,13 @@ impl SrSender {
         match frame {
             HdlcFrame::Rr { nr, .. } => {
                 self.stats.rrs += 1;
+                self.trace.emit(now, || TraceEvent::Control {
+                    kind: "rr",
+                    seq: nr,
+                });
                 self.poll_outstanding = false;
                 // Cumulative acknowledgement below nr.
-                let acked: Vec<u64> =
-                    self.outstanding.range(..nr).map(|(&s, _)| s).collect();
+                let acked: Vec<u64> = self.outstanding.range(..nr).map(|(&s, _)| s).collect();
                 for ns in acked {
                     let out = self.outstanding.remove(&ns).expect("present");
                     self.retx.remove(&ns);
@@ -271,6 +306,10 @@ impl SrSender {
             }
             HdlcFrame::Srej { nr } => {
                 self.stats.srejs += 1;
+                self.trace.emit(now, || TraceEvent::Control {
+                    kind: "srej",
+                    seq: nr,
+                });
                 if self.outstanding.contains_key(&nr) {
                     self.retx.insert(nr);
                 }
@@ -332,7 +371,10 @@ mod tests {
         }
         let frames = drain(&mut s, &mut now);
         // Window is 4: frames 0..=3 go out, 3 polls, 4 and 5 wait.
-        assert_eq!(seqs(&frames), vec![(0, false), (1, false), (2, false), (3, true)]);
+        assert_eq!(
+            seqs(&frames),
+            vec![(0, false), (1, false), (2, false), (3, true)]
+        );
         assert_eq!(s.queued(), 2);
         assert_eq!(s.outstanding(), 4);
     }
@@ -420,7 +462,11 @@ mod tests {
         let (mut s, mut now) = started();
         s.push(0, Bytes::from_static(b"x"));
         drain(&mut s, &mut now);
-        s.handle_frame(now, HdlcFrame::Rr { nr: 1, fin: true }, RxStatus::PayloadCorrupted);
+        s.handle_frame(
+            now,
+            HdlcFrame::Rr { nr: 1, fin: true },
+            RxStatus::PayloadCorrupted,
+        );
         assert_eq!(s.outstanding(), 1, "corrupted RR must not ack");
         assert_eq!(s.stats().rx_corrupted, 1);
     }
@@ -471,7 +517,14 @@ mod tests {
         let (mut s, mut now) = started();
         s.push(0, Bytes::from_static(b"x"));
         drain(&mut s, &mut now);
-        s.handle_frame(now, HdlcFrame::Rr { nr: 1000, fin: true }, RxStatus::Ok);
+        s.handle_frame(
+            now,
+            HdlcFrame::Rr {
+                nr: 1000,
+                fin: true,
+            },
+            RxStatus::Ok,
+        );
         assert_eq!(s.outstanding(), 0);
         s.push(1, Bytes::from_static(b"y"));
         now += Duration::from_millis(1);

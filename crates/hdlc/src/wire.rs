@@ -54,7 +54,12 @@ fn expand(wire: u32, reference: u64, modulus: u64) -> u64 {
 /// Serialize a frame; `modulus = 2^seq_bits`.
 pub fn encode(frame: &HdlcFrame, modulus: u64) -> Vec<u8> {
     match frame {
-        HdlcFrame::Info { ns, packet_id, poll, payload } => {
+        HdlcFrame::Info {
+            ns,
+            packet_id,
+            poll,
+            payload,
+        } => {
             let mut out = Vec::with_capacity(2 + 4 + 8 + 2 + payload.len() + 4);
             out.push(TYPE_INFO);
             out.push(*poll as u8);
@@ -123,7 +128,10 @@ pub fn decode(buf: &[u8], reference: u64, modulus: u64) -> Result<HdlcFrame, Wir
                 modulus,
             );
             Ok(match ty {
-                TYPE_RR => HdlcFrame::Rr { nr, fin: ctl & 1 != 0 },
+                TYPE_RR => HdlcFrame::Rr {
+                    nr,
+                    fin: ctl & 1 != 0,
+                },
                 TYPE_SREJ => HdlcFrame::Srej { nr },
                 _ => HdlcFrame::Rej { nr },
             })
@@ -167,8 +175,14 @@ mod tests {
     #[test]
     fn supervisory_roundtrips() {
         for f in [
-            HdlcFrame::Rr { nr: 1000, fin: true },
-            HdlcFrame::Rr { nr: 1000, fin: false },
+            HdlcFrame::Rr {
+                nr: 1000,
+                fin: true,
+            },
+            HdlcFrame::Rr {
+                nr: 1000,
+                fin: false,
+            },
             HdlcFrame::Srej { nr: 999 },
             HdlcFrame::Rej { nr: 1001 },
         ] {
@@ -190,7 +204,10 @@ mod tests {
     #[test]
     fn unknown_and_truncated() {
         assert_eq!(decode(&[], 0, M), Err(WireError::Truncated));
-        assert_eq!(decode(&[0xEE, 0, 0], 0, M), Err(WireError::UnknownType(0xEE)));
+        assert_eq!(
+            decode(&[0xEE, 0, 0], 0, M),
+            Err(WireError::UnknownType(0xEE))
+        );
     }
 
     proptest! {

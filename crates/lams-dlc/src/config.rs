@@ -120,8 +120,7 @@ impl LamsConfig {
     /// keep every unresolved frame uniquely identified. We double it for
     /// unambiguous wire-number expansion (same ½-window rule as SR ARQ).
     pub fn numbering_size(&self) -> u64 {
-        let frames =
-            (self.resolving_period().as_nanos() / self.t_f.as_nanos().max(1)).max(1);
+        let frames = (self.resolving_period().as_nanos() / self.t_f.as_nanos().max(1)).max(1);
         2 * (frames + 1)
     }
 
@@ -145,7 +144,10 @@ impl LamsConfig {
         }
         let f = &self.flow;
         if !(0.0..1.0).contains(&f.decrease_factor) || f.decrease_factor == 0.0 {
-            return Err(format!("decrease_factor out of (0,1): {}", f.decrease_factor));
+            return Err(format!(
+                "decrease_factor out of (0,1): {}",
+                f.decrease_factor
+            ));
         }
         if f.increase_step <= 0.0 || f.increase_step > 1.0 {
             return Err(format!("increase_step out of (0,1]: {}", f.increase_step));
@@ -169,12 +171,7 @@ mod tests {
     #[test]
     fn resolving_period_formula() {
         let c = LamsConfig::paper_default();
-        let expect = c.expected_rtt
-            + c.w_cp / 2
-            + c.w_cp * 3
-            + c.t_c
-            + c.t_proc
-            + c.deadline_slack;
+        let expect = c.expected_rtt + c.w_cp / 2 + c.w_cp * 3 + c.t_c + c.t_proc + c.deadline_slack;
         assert_eq!(c.resolving_period(), expect);
     }
 

@@ -29,7 +29,12 @@ pub struct RateController {
 impl RateController {
     /// Full-rate controller.
     pub fn new(cfg: FlowConfig) -> Self {
-        RateController { cfg, rate: 1.0, stop_since: None, last_decrease: None }
+        RateController {
+            cfg,
+            rate: 1.0,
+            stop_since: None,
+            last_decrease: None,
+        }
     }
 
     /// Current sending-rate fraction in `[min_rate, 1]`.
@@ -48,8 +53,7 @@ impl RateController {
                         // First Stop: immediate decrease.
                         self.stop_since = Some(now);
                         self.last_decrease = Some(now);
-                        self.rate = (self.rate * self.cfg.decrease_factor)
-                            .max(self.cfg.min_rate);
+                        self.rate = (self.rate * self.cfg.decrease_factor).max(self.cfg.min_rate);
                     }
                     Some(_) => {
                         // Sustained Stop: decrease again every `sustain`.
@@ -58,8 +62,8 @@ impl RateController {
                             .is_none_or(|t| now.duration_since(t) >= self.cfg.sustain);
                         if due {
                             self.last_decrease = Some(now);
-                            self.rate = (self.rate * self.cfg.decrease_factor)
-                                .max(self.cfg.min_rate);
+                            self.rate =
+                                (self.rate * self.cfg.decrease_factor).max(self.cfg.min_rate);
                         }
                     }
                 }
@@ -107,7 +111,7 @@ mod tests {
         let mut c = ctl();
         let mut t = Instant::ZERO;
         c.on_stop_go(t, StopGo::Stop); // 0.5
-        // Within the sustain period: no further decrease.
+                                       // Within the sustain period: no further decrease.
         t += Duration::from_millis(1);
         assert!(!c.on_stop_go(t, StopGo::Stop));
         assert_eq!(c.rate(), 0.5);

@@ -161,9 +161,18 @@ mod tests {
         });
         assert_eq!(i.kind(), "I");
         assert!(i.is_info());
-        assert_eq!(Frame::Control(ControlFrame::CheckPoint(cp(false, vec![]))).kind(), "CP");
-        assert_eq!(Frame::Control(ControlFrame::CheckPoint(cp(true, vec![]))).kind(), "ENAK");
-        assert_eq!(Frame::Control(ControlFrame::RequestNak { probe: 3 }).kind(), "REQNAK");
+        assert_eq!(
+            Frame::Control(ControlFrame::CheckPoint(cp(false, vec![]))).kind(),
+            "CP"
+        );
+        assert_eq!(
+            Frame::Control(ControlFrame::CheckPoint(cp(true, vec![]))).kind(),
+            "ENAK"
+        );
+        assert_eq!(
+            Frame::Control(ControlFrame::RequestNak { probe: 3 }).kind(),
+            "REQNAK"
+        );
     }
 
     #[test]

@@ -21,12 +21,11 @@
 use crate::config::LamsConfig;
 use crate::dedup::DedupWindow;
 use crate::events::ReceiverEvent;
-use crate::frame::{
-    CheckPoint, ControlFrame, Frame, InfoFrame, PacketId, RxStatus, StopGo,
-};
+use crate::frame::{CheckPoint, ControlFrame, Frame, InfoFrame, PacketId, RxStatus, StopGo};
 use bytes::Bytes;
 use sim_core::Instant;
 use std::collections::{BTreeSet, VecDeque};
+use telemetry::{Trace, TraceEvent};
 
 /// A datagram handed to the network layer.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -91,6 +90,7 @@ pub struct Receiver {
     stats: ReceiverStats,
     /// Optional link-level duplicate suppression (§3.2 extension).
     dedup: Option<DedupWindow>,
+    trace: Trace,
 }
 
 impl Receiver {
@@ -122,7 +122,14 @@ impl Receiver {
             events: VecDeque::new(),
             stats: ReceiverStats::default(),
             dedup: None,
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Attach a telemetry trace handle; disabled by default.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Enable the zero-duplication extension (§3.2's "more recent
@@ -196,7 +203,7 @@ impl Receiver {
     pub fn poll_deliver(&mut self, now: Instant) -> Option<Delivery> {
         if self.processing.front().is_some_and(|d| d.ready_at <= now) {
             let d = self.processing.pop_front().expect("front");
-            self.update_congestion();
+            self.update_congestion(now);
             Some(d)
         } else {
             None
@@ -220,6 +227,11 @@ impl Receiver {
     }
 
     fn handle_info(&mut self, now: Instant, info: InfoFrame, status: RxStatus) {
+        self.trace.emit(now, || TraceEvent::IFrameRx {
+            seq: info.seq,
+            clean: status == RxStatus::Ok,
+            len: info.payload.len() as u64,
+        });
         // Gap inference: wire numbers are strictly monotone, so numbers
         // skipped below this arrival are lost frames (assumption 9).
         if info.seq <= self.highest_seen && self.highest_seen != 0 {
@@ -230,7 +242,7 @@ impl Receiver {
         }
         let expected = self.highest_seen + 1;
         for missing in expected..info.seq {
-            self.record_error(missing, false);
+            self.record_error(now, missing, false);
             self.stats.gaps_inferred += 1;
         }
         self.highest_seen = info.seq;
@@ -238,7 +250,7 @@ impl Receiver {
         match status {
             RxStatus::PayloadCorrupted => {
                 self.stats.corrupted += 1;
-                self.record_error(info.seq, true);
+                self.record_error(now, info.seq, true);
             }
             RxStatus::Ok => {
                 if let Some(d) = self.dedup.as_mut() {
@@ -256,7 +268,7 @@ impl Receiver {
                     // signalling Stop; the discarded frame is NAK'd so the
                     // sender retransmits it later.
                     self.stats.overflow_discards += 1;
-                    self.record_error(info.seq, true);
+                    self.record_error(now, info.seq, true);
                     self.events
                         .push_back(ReceiverEvent::OverflowDiscarded { seq: info.seq });
                 } else {
@@ -274,15 +286,17 @@ impl Receiver {
                         payload: info.payload,
                         ready_at,
                     });
-                    self.update_congestion();
+                    self.update_congestion(now);
                 }
             }
         }
     }
 
-    fn record_error(&mut self, seq: u64, arrived: bool) {
+    fn record_error(&mut self, now: Instant, seq: u64, arrived: bool) {
         self.current_errors.insert(seq);
-        self.events.push_back(ReceiverEvent::ErrorRecorded { seq, arrived });
+        self.events
+            .push_back(ReceiverEvent::ErrorRecorded { seq, arrived });
+        self.trace.emit(now, || TraceEvent::Nak { seq });
     }
 
     fn handle_request_nak(&mut self, now: Instant, probe: u64) {
@@ -291,7 +305,8 @@ impl Receiver {
         // from the resolving period — which the cumulative window spans.
         self.emit_checkpoint(now, true, Some(probe));
         self.stats.enforced_sent += 1;
-        self.events.push_back(ReceiverEvent::EnforcedNakSent { probe });
+        self.events
+            .push_back(ReceiverEvent::EnforcedNakSent { probe });
     }
 
     fn emit_checkpoint(&mut self, now: Instant, enforced: bool, probe: Option<u64>) {
@@ -301,10 +316,14 @@ impl Receiver {
         while self.history.len() > self.cfg.c_depth as usize {
             self.history.pop_front();
         }
-        let mut naks: Vec<u64> =
-            self.history.iter().flatten().copied().collect::<BTreeSet<_>>()
-                .into_iter()
-                .collect();
+        let mut naks: Vec<u64> = self
+            .history
+            .iter()
+            .flatten()
+            .copied()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
         naks.sort_unstable();
         self.cp_index += 1;
         let stop_go = if self.processing.len() >= self.stop_watermark {
@@ -313,27 +332,42 @@ impl Receiver {
             StopGo::Go
         };
         self.stats.checkpoints_sent += 1;
-        let _ = now;
-        self.pending_tx.push_back(Frame::Control(ControlFrame::CheckPoint(
-            CheckPoint {
+        self.trace.emit(now, || TraceEvent::CheckpointEmitted {
+            index: self.cp_index,
+            covered: self.highest_seen,
+            naks: naks.len() as u64,
+            enforced,
+            stop: stop_go == StopGo::Stop,
+        });
+        self.pending_tx
+            .push_back(Frame::Control(ControlFrame::CheckPoint(CheckPoint {
                 index: self.cp_index,
                 covered: self.highest_seen,
                 naks,
                 enforced,
                 probe,
                 stop_go,
-            },
-        )));
+            })));
     }
 
-    fn update_congestion(&mut self) {
+    fn update_congestion(&mut self, now: Instant) {
         let now_congested = self.processing.len() >= self.stop_watermark;
         if now_congested && !self.congested {
             self.congested = true;
             self.events.push_back(ReceiverEvent::CongestionOnset);
+            self.trace.emit(now, || TraceEvent::BufferWatermark {
+                buffer: "rx",
+                level: self.processing.len() as u64,
+                rising: true,
+            });
         } else if !now_congested && self.congested {
             self.congested = false;
             self.events.push_back(ReceiverEvent::CongestionCleared);
+            self.trace.emit(now, || TraceEvent::BufferWatermark {
+                buffer: "rx",
+                level: self.processing.len() as u64,
+                rising: false,
+            });
         }
     }
 }
@@ -462,7 +496,11 @@ mod tests {
         let (mut r, now) = started();
         r.handle_frame(now, info(1), RxStatus::PayloadCorrupted);
         let t = now + Duration::from_micros(100);
-        r.handle_frame(t, Frame::Control(ControlFrame::RequestNak { probe: 7 }), RxStatus::Ok);
+        r.handle_frame(
+            t,
+            Frame::Control(ControlFrame::RequestNak { probe: 7 }),
+            RxStatus::Ok,
+        );
         match r.poll_transmit(t) {
             Some(Frame::Control(ControlFrame::CheckPoint(cp))) => {
                 assert!(cp.enforced);
@@ -480,7 +518,11 @@ mod tests {
     #[test]
     fn enforced_nak_with_no_errors_is_resolving_command() {
         let (mut r, now) = started();
-        r.handle_frame(now, Frame::Control(ControlFrame::RequestNak { probe: 1 }), RxStatus::Ok);
+        r.handle_frame(
+            now,
+            Frame::Control(ControlFrame::RequestNak { probe: 1 }),
+            RxStatus::Ok,
+        );
         match r.poll_transmit(now) {
             Some(Frame::Control(ControlFrame::CheckPoint(cp))) => {
                 assert!(cp.is_resolving_command());
@@ -576,7 +618,11 @@ mod tests {
         for s in 1..=3 {
             r.handle_frame(now, info(s), RxStatus::Ok);
         }
-        r.handle_frame(now, Frame::Control(ControlFrame::RequestNak { probe: 9 }), RxStatus::Ok);
+        r.handle_frame(
+            now,
+            Frame::Control(ControlFrame::RequestNak { probe: 9 }),
+            RxStatus::Ok,
+        );
         match r.poll_transmit(now) {
             Some(Frame::Control(ControlFrame::CheckPoint(cp))) => {
                 assert!(cp.enforced);
@@ -649,7 +695,10 @@ mod tests {
         let suppressed = std::iter::from_fn(|| r.poll_event()).any(|e| {
             matches!(
                 e,
-                ReceiverEvent::DuplicateSuppressed { packet_id: PacketId(500), seq: 2 }
+                ReceiverEvent::DuplicateSuppressed {
+                    packet_id: PacketId(500),
+                    seq: 2
+                }
             )
         });
         assert!(suppressed);

@@ -36,7 +36,11 @@ pub struct Resequencer {
 impl Resequencer {
     /// Expect ids starting at `first` (usually 0).
     pub fn new(first: u64) -> Self {
-        Resequencer { next: first, buffer: BTreeMap::new(), stats: ResequencerStats::default() }
+        Resequencer {
+            next: first,
+            buffer: BTreeMap::new(),
+            stats: ResequencerStats::default(),
+        }
     }
 
     /// Offer a datagram; returns every datagram that becomes releasable in

@@ -43,6 +43,7 @@ use crate::frame::{CheckPoint, ControlFrame, Frame, InfoFrame, PacketId, RxStatu
 use bytes::Bytes;
 use sim_core::{Duration, Instant};
 use std::collections::{BTreeMap, VecDeque};
+use telemetry::{Trace, TraceEvent};
 
 /// Why a queued SDU is awaiting (re)transmission.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -129,6 +130,7 @@ pub struct Sender {
     events: VecDeque<SenderEvent>,
     stats: SenderStats,
     queue_capacity: Option<usize>,
+    trace: Trace,
 }
 
 /// Error returned by [`Sender::push`] when the sending buffer is capped
@@ -158,6 +160,7 @@ impl Sender {
             events: VecDeque::new(),
             stats: SenderStats::default(),
             queue_capacity: None,
+            trace: Trace::disabled(),
         }
     }
 
@@ -168,12 +171,17 @@ impl Sender {
         self
     }
 
+    /// Attach a telemetry trace handle; disabled by default.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Mark the link active at `now`. Arms the checkpoint timer with an
     /// initial grace of one RTT plus the normal timeout (the first
     /// checkpoint cannot arrive before the link round-trips).
     pub fn start(&mut self, now: Instant) {
-        self.cp_deadline =
-            Some(now + self.cfg.expected_rtt + self.cfg.checkpoint_timeout());
+        self.cp_deadline = Some(now + self.cfg.expected_rtt + self.cfg.checkpoint_timeout());
         self.next_tx_allowed = now;
     }
 
@@ -220,7 +228,11 @@ impl Sender {
                 return Err(QueueFull);
             }
         }
-        self.queue.push_back(QueuedSdu { packet_id, payload, reason: TxReason::New });
+        self.queue.push_back(QueuedSdu {
+            packet_id,
+            payload,
+            reason: TxReason::New,
+        });
         Ok(())
     }
 
@@ -253,9 +265,9 @@ impl Sender {
     }
 
     fn has_transmittable(&self) -> bool {
-        self.queue.iter().any(|q| {
-            q.reason != TxReason::New || self.state == SenderState::Running
-        })
+        self.queue
+            .iter()
+            .any(|q| q.reason != TxReason::New || self.state == SenderState::Running)
     }
 
     /// Fire any timers due at `now`.
@@ -294,6 +306,7 @@ impl Sender {
                     self.cp_deadline = None;
                     self.pending_request_nak = None;
                     self.events.push_back(SenderEvent::LinkFailed { at: now });
+                    self.trace.emit(now, || TraceEvent::LinkFailed);
                 }
             }
         }
@@ -316,6 +329,10 @@ impl Sender {
         }
         self.events
             .push_back(SenderEvent::EnforcedRecoveryStarted { probe, at: now });
+        self.trace
+            .emit(now, || TraceEvent::EnforcedRecoveryStarted {
+                outstanding: self.outstanding.len() as u64,
+            });
     }
 
     /// Produce the next outbound frame, if transmission is currently
@@ -336,9 +353,10 @@ impl Sender {
         }
         // Retransmissions are queued at the front (push_front in the NAK
         // and expiry paths), so a FIFO pop naturally prioritises them.
-        let idx = self.queue.iter().position(|q| {
-            q.reason != TxReason::New || self.state == SenderState::Running
-        })?;
+        let idx = self
+            .queue
+            .iter()
+            .position(|q| q.reason != TxReason::New || self.state == SenderState::Running)?;
         let sdu = self.queue.remove(idx).expect("indexed");
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -351,6 +369,10 @@ impl Sender {
                     old_seq: old,
                     new_seq: seq,
                 });
+                self.trace.emit(now, || TraceEvent::Renumbered {
+                    old_seq: old,
+                    new_seq: seq,
+                });
             }
             TxReason::ResolveExpired(old) => {
                 self.stats.retransmissions += 1;
@@ -359,12 +381,25 @@ impl Sender {
                     old_seq: old,
                     new_seq: seq,
                 });
+                self.trace.emit(now, || TraceEvent::Renumbered {
+                    old_seq: old,
+                    new_seq: seq,
+                });
             }
-            TxReason::Suspect(_) => {
+            TxReason::Suspect(old) => {
                 self.stats.retransmissions += 1;
                 self.stats.suspect_retransmissions += 1;
+                self.trace.emit(now, || TraceEvent::Renumbered {
+                    old_seq: old,
+                    new_seq: seq,
+                });
             }
         }
+        self.trace.emit(now, || TraceEvent::IFrameTx {
+            seq,
+            retx: sdu.reason != TxReason::New,
+            len: sdu.payload.len() as u64,
+        });
         self.outstanding.insert(
             seq,
             Outstanding {
@@ -396,9 +431,7 @@ impl Sender {
             return;
         }
         match frame {
-            Frame::Control(ControlFrame::CheckPoint(cp)) => {
-                self.handle_checkpoint(now, cp)
-            }
+            Frame::Control(ControlFrame::CheckPoint(cp)) => self.handle_checkpoint(now, cp),
             // A Request-NAK addressed to a sender endpoint is a peer
             // protocol error in this unidirectional pairing; ignore.
             Frame::Control(ControlFrame::RequestNak { .. }) => {}
@@ -413,8 +446,20 @@ impl Sender {
         }
         let gap = cp.index - self.last_cp_index;
         let first_contact = self.last_cp_index == 0;
+        if self.trace.enabled() && !first_contact && gap > 1 {
+            // Intermediate indices never arrived: surface each inferred
+            // loss (capped so a pathological gap can't flood the trace).
+            for lost in (self.last_cp_index + 1..cp.index).take(32) {
+                self.trace
+                    .emit(now, || TraceEvent::CheckpointLost { index: lost });
+            }
+        }
         self.last_cp_index = cp.index;
         self.stats.checkpoints += 1;
+        self.trace.emit(now, || TraceEvent::CheckpointReceived {
+            index: cp.index,
+            naks: cp.naks.len() as u64,
+        });
 
         // Any checkpoint proves the link alive: re-arm the checkpoint
         // timer. Enforced state is left only by an enforced checkpoint.
@@ -442,9 +487,12 @@ impl Sender {
             self.failure_deadline = None;
             self.pending_request_nak = None;
             self.cp_deadline = Some(now + self.cfg.checkpoint_timeout());
-            self.events.push_back(SenderEvent::EnforcedRecoveryResolved {
-                probe: cp.probe.unwrap_or(self.probe_counter),
-            });
+            self.events
+                .push_back(SenderEvent::EnforcedRecoveryResolved {
+                    probe: cp.probe.unwrap_or(self.probe_counter),
+                });
+            self.trace
+                .emit(now, || TraceEvent::EnforcedRecoveryResolved);
         }
 
         // Checkpoint recovery: retransmit NAK'd frames still held. A NAK
@@ -500,7 +548,12 @@ impl Sender {
 
         // Flow control.
         if self.rate.on_stop_go(now, cp.stop_go) {
-            self.events.push_back(SenderEvent::RateChanged { rate: self.rate.rate() });
+            self.events.push_back(SenderEvent::RateChanged {
+                rate: self.rate.rate(),
+            });
+            self.trace.emit(now, || TraceEvent::StopGo {
+                stop: cp.stop_go == crate::frame::StopGo::Stop,
+            });
         }
     }
 
@@ -630,9 +683,9 @@ mod tests {
         }
         let renumbered = std::iter::from_fn(|| s.poll_event())
             .find_map(|e| match e {
-                SenderEvent::Renumbered { old_seq, new_seq, .. } => {
-                    Some((old_seq, new_seq))
-                }
+                SenderEvent::Renumbered {
+                    old_seq, new_seq, ..
+                } => Some((old_seq, new_seq)),
                 _ => None,
             })
             .expect("renumber event");
@@ -710,7 +763,7 @@ mod tests {
         s.on_timeout(deadline);
         assert_eq!(s.state(), SenderState::Enforced);
         let _ = s.poll_transmit(deadline); // Request-NAK
-        // Queue a new SDU: must not transmit while enforced.
+                                           // Queue a new SDU: must not transmit while enforced.
         s.push(PacketId(99), Bytes::from_static(b"new")).unwrap();
         now = deadline + Duration::from_millis(1);
         assert!(s.poll_transmit(now).is_none());
@@ -836,7 +889,11 @@ mod tests {
         s.handle_frame(now, mk_cp(1, 0, vec![]), RxStatus::Ok);
         now += Duration::from_millis(1);
         // Gap of exactly c_depth (indices 2..c_depth missed) is still safe.
-        s.handle_frame(now, mk_cp(1 + cfg().c_depth as u64, 1, vec![]), RxStatus::Ok);
+        s.handle_frame(
+            now,
+            mk_cp(1 + cfg().c_depth as u64, 1, vec![]),
+            RxStatus::Ok,
+        );
         assert_eq!(s.stats().released, 1);
         assert_eq!(s.stats().unsafe_gaps, 0);
     }
@@ -921,7 +978,11 @@ mod tests {
         s.on_timeout(d1 + cfg().failure_timeout());
         assert_eq!(s.state(), SenderState::Failed);
         // Late frames and checkpoints are ignored without panicking.
-        s.handle_frame(d1 + Duration::from_secs(1), mk_cp(99, 50, vec![1]), RxStatus::Ok);
+        s.handle_frame(
+            d1 + Duration::from_secs(1),
+            mk_cp(99, 50, vec![1]),
+            RxStatus::Ok,
+        );
         assert_eq!(s.state(), SenderState::Failed);
         assert!(s.poll_transmit(d1 + Duration::from_secs(1)).is_none());
     }

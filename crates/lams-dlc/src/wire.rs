@@ -91,7 +91,11 @@ pub fn encode(frame: &Frame, modulus: u64) -> Vec<u8> {
             out.push(flags);
             out.extend_from_slice(&cp.index.to_le_bytes());
             out.extend_from_slice(&seq::compress(cp.covered, modulus).to_le_bytes());
-            let n: u16 = cp.naks.len().try_into().expect("too many NAKs for u16 count");
+            let n: u16 = cp
+                .naks
+                .len()
+                .try_into()
+                .expect("too many NAKs for u16 count");
             out.extend_from_slice(&n.to_le_bytes());
             for &nak in &cp.naks {
                 out.extend_from_slice(&seq::compress(nak, modulus).to_le_bytes());
@@ -180,7 +184,11 @@ pub fn decode(buf: &[u8], reference: u64, modulus: u64) -> Result<Frame, WireErr
                 naks,
                 enforced: flags & FLAG_ENFORCED != 0,
                 probe,
-                stop_go: if flags & FLAG_STOP != 0 { StopGo::Stop } else { StopGo::Go },
+                stop_go: if flags & FLAG_STOP != 0 {
+                    StopGo::Stop
+                } else {
+                    StopGo::Go
+                },
             })))
         }
         TYPE_REQUEST_NAK => {
@@ -287,7 +295,10 @@ mod tests {
             probe: None,
             stop_go: StopGo::Go,
         };
-        let with_naks = CheckPoint { naks: vec![1, 2, 3, 4], ..base.clone() };
+        let with_naks = CheckPoint {
+            naks: vec![1, 2, 3, 4],
+            ..base.clone()
+        };
         let l0 = encoded_len(&Frame::Control(ControlFrame::CheckPoint(base)));
         let l4 = encoded_len(&Frame::Control(ControlFrame::CheckPoint(with_naks)));
         assert_eq!(l4 - l0, 16);
@@ -325,7 +336,10 @@ mod tests {
 
     #[test]
     fn unknown_type() {
-        assert_eq!(decode(&[0x7F, 0, 0], 0, M), Err(WireError::UnknownType(0x7F)));
+        assert_eq!(
+            decode(&[0x7F, 0, 0], 0, M),
+            Err(WireError::UnknownType(0x7F))
+        );
     }
 
     proptest! {

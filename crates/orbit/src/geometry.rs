@@ -87,26 +87,24 @@ mod tests {
         assert_eq!(v.dot(Vec3::new(1.0, 0.0, 0.0)), 3.0);
         assert_eq!(v.sub(Vec3::new(3.0, 4.0, 0.0)), Vec3::default());
         assert_eq!(v.scale(2.0), Vec3::new(6.0, 8.0, 0.0));
-        assert_eq!(Vec3::new(0.0, 0.0, 1.0).distance(Vec3::new(0.0, 0.0, 4.0)), 3.0);
+        assert_eq!(
+            Vec3::new(0.0, 0.0, 1.0).distance(Vec3::new(0.0, 0.0, 4.0)),
+            3.0
+        );
     }
 
     #[test]
     fn closest_approach_perpendicular() {
         // Segment from (-10, 5, 0) to (10, 5, 0): closest point (0, 5, 0).
-        let d = segment_min_distance_to_origin(
-            Vec3::new(-10.0, 5.0, 0.0),
-            Vec3::new(10.0, 5.0, 0.0),
-        );
+        let d =
+            segment_min_distance_to_origin(Vec3::new(-10.0, 5.0, 0.0), Vec3::new(10.0, 5.0, 0.0));
         assert!((d - 5.0).abs() < 1e-12);
     }
 
     #[test]
     fn closest_approach_endpoint() {
         // Foot of perpendicular outside the segment: nearest is endpoint a.
-        let d = segment_min_distance_to_origin(
-            Vec3::new(2.0, 0.0, 0.0),
-            Vec3::new(10.0, 0.0, 0.0),
-        );
+        let d = segment_min_distance_to_origin(Vec3::new(2.0, 0.0, 0.0), Vec3::new(10.0, 0.0, 0.0));
         assert!((d - 2.0).abs() < 1e-12);
     }
 

@@ -58,8 +58,15 @@ impl LinkProfile {
         }
         let n = samples.len() as f64;
         let mean = samples.iter().map(|&(_, r)| r).sum::<f64>() / n;
-        let var = samples.iter().map(|&(_, r)| (r - mean) * (r - mean)).sum::<f64>() / n;
-        let min = samples.iter().map(|&(_, r)| r).fold(f64::INFINITY, f64::min);
+        let var = samples
+            .iter()
+            .map(|&(_, r)| (r - mean) * (r - mean))
+            .sum::<f64>()
+            / n;
+        let min = samples
+            .iter()
+            .map(|&(_, r)| r)
+            .fold(f64::INFINITY, f64::min);
         let max = samples.iter().map(|&(_, r)| r).fold(0.0f64, f64::max);
         LinkProfile {
             window,
@@ -126,13 +133,8 @@ mod tests {
     fn profiled_pair() -> LinkProfile {
         let a = Satellite::new(1000.0, 80.0, 0.0, 0.0);
         let b = Satellite::new(1000.0, 80.0, 90.0, 0.0);
-        let windows = visibility_windows(
-            &a,
-            &b,
-            2.0 * a.period_s(),
-            5.0,
-            &LinkConstraints::default(),
-        );
+        let windows =
+            visibility_windows(&a, &b, 2.0 * a.period_s(), 5.0, &LinkConstraints::default());
         assert!(!windows.is_empty());
         LinkProfile::build(&a, &b, windows[0], 5.0, 30.0)
     }

@@ -143,8 +143,7 @@ mod tests {
         // Satellites in different planes: range oscillates over a period.
         let a = Satellite::new(1000.0, 53.0, 0.0, 0.0);
         let b = Satellite::new(1000.0, 53.0, 60.0, 0.0);
-        let ranges: Vec<f64> =
-            (0..200).map(|k| a.range_to(&b, k as f64 * 40.0)).collect();
+        let ranges: Vec<f64> = (0..200).map(|k| a.range_to(&b, k as f64 * 40.0)).collect();
         let min = ranges.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = ranges.iter().cloned().fold(0.0, f64::max);
         assert!(max - min > 1000.0, "min={min} max={max}");

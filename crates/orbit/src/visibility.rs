@@ -37,7 +37,9 @@ pub struct LinkConstraints {
 impl Default for LinkConstraints {
     fn default() -> Self {
         // Paper §2.1: links up to 10,000 km.
-        LinkConstraints { max_range_km: 10_000.0 }
+        LinkConstraints {
+            max_range_km: 10_000.0,
+        }
     }
 }
 
@@ -70,14 +72,20 @@ pub fn visibility_windows(
             if is {
                 start = Some(boundary);
             } else if let Some(s) = start.take() {
-                windows.push(Window { start_s: s, end_s: boundary });
+                windows.push(Window {
+                    start_s: s,
+                    end_s: boundary,
+                });
             }
             was = is;
         }
         t = next;
     }
     if let Some(s) = start {
-        windows.push(Window { start_s: s, end_s: horizon_s });
+        windows.push(Window {
+            start_s: s,
+            end_s: horizon_s,
+        });
     }
     windows
 }
@@ -120,8 +128,7 @@ mod tests {
     #[test]
     fn close_same_plane_pair_always_visible() {
         let (a, b) = same_plane_pair(20.0);
-        let windows =
-            visibility_windows(&a, &b, 7000.0, 10.0, &LinkConstraints::default());
+        let windows = visibility_windows(&a, &b, 7000.0, 10.0, &LinkConstraints::default());
         assert_eq!(windows.len(), 1);
         assert_eq!(windows[0].start_s, 0.0);
         assert_eq!(windows[0].end_s, 7000.0);
@@ -130,8 +137,7 @@ mod tests {
     #[test]
     fn antipodal_same_plane_pair_never_visible() {
         let (a, b) = same_plane_pair(180.0);
-        let windows =
-            visibility_windows(&a, &b, 7000.0, 10.0, &LinkConstraints::default());
+        let windows = visibility_windows(&a, &b, 7000.0, 10.0, &LinkConstraints::default());
         assert!(windows.is_empty());
     }
 
@@ -159,8 +165,12 @@ mod tests {
         let a = Satellite::new(1000.0, 80.0, 0.0, 0.0);
         let b = Satellite::new(1000.0, 80.0, 90.0, 0.0);
         let horizon = 2.0 * a.period_s();
-        let loose = LinkConstraints { max_range_km: 12_000.0 };
-        let tight = LinkConstraints { max_range_km: 4_000.0 };
+        let loose = LinkConstraints {
+            max_range_km: 12_000.0,
+        };
+        let tight = LinkConstraints {
+            max_range_km: 4_000.0,
+        };
         let total = |ws: &[Window]| ws.iter().map(Window::duration_s).sum::<f64>();
         let w_loose = visibility_windows(&a, &b, horizon, 5.0, &loose);
         let w_tight = visibility_windows(&a, &b, horizon, 5.0, &tight);

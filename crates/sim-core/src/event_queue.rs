@@ -61,6 +61,78 @@ pub struct EventQueue<E> {
     next_seq: u64,
     cancelled: std::collections::HashSet<EventId>,
     now: Instant,
+    stats: QueueStats,
+}
+
+/// Lifetime counters maintained by [`EventQueue`]; cheap enough to be
+/// always-on (a handful of integer updates per operation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct QueueStats {
+    scheduled: u64,
+    popped: u64,
+    cancelled: u64,
+    peak_depth: usize,
+}
+
+/// A profiling snapshot of an [`EventQueue`], taken with
+/// [`EventQueue::profile`] — typically once, after a run drains the
+/// queue — and reported in machine-readable run output.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct QueueProfile {
+    /// Events ever scheduled.
+    pub scheduled: u64,
+    /// Events popped (fired).
+    pub popped: u64,
+    /// Events cancelled before firing.
+    pub cancelled: u64,
+    /// Maximum number of pending events at any point.
+    pub peak_depth: usize,
+    /// Simulated time reached (timestamp of the last pop).
+    pub horizon: Instant,
+}
+
+impl QueueProfile {
+    /// Simulated events processed per wall-clock second.
+    pub fn events_per_sec(&self, wall_secs: f64) -> f64 {
+        if wall_secs > 0.0 {
+            self.popped as f64 / wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fold another profile into this one (summing counters, taking the
+    /// max of peaks and horizons) — used when one run drives several
+    /// queues.
+    pub fn absorb(&mut self, other: &QueueProfile) {
+        self.scheduled += other.scheduled;
+        self.popped += other.popped;
+        self.cancelled += other.cancelled;
+        self.peak_depth = self.peak_depth.max(other.peak_depth);
+        self.horizon = self.horizon.max(other.horizon);
+    }
+}
+
+/// Wall-clock stopwatch for computing simulated-events/sec alongside a
+/// [`QueueProfile`]. Separate from simulated time on purpose: nothing
+/// inside the simulation may observe it.
+#[derive(Clone, Copy, Debug)]
+pub struct RunTimer {
+    started: std::time::Instant,
+}
+
+impl RunTimer {
+    /// Start timing now.
+    pub fn start() -> Self {
+        RunTimer {
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Wall-clock seconds since `start`.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -77,6 +149,18 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             cancelled: std::collections::HashSet::new(),
             now: Instant::ZERO,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Snapshot the queue's lifetime profiling counters.
+    pub fn profile(&self) -> QueueProfile {
+        QueueProfile {
+            scheduled: self.stats.scheduled,
+            popped: self.stats.popped,
+            cancelled: self.stats.cancelled,
+            peak_depth: self.stats.peak_depth,
+            horizon: self.now,
         }
     }
 
@@ -107,8 +191,16 @@ impl<E> EventQueue<E> {
             self.now
         );
         let id = EventId(self.next_seq);
-        self.heap.push(Entry { at, seq: self.next_seq, id, payload });
+        self.heap.push(Entry {
+            at,
+            seq: self.next_seq,
+            id,
+            payload,
+        });
         self.next_seq += 1;
+        self.stats.scheduled += 1;
+        let depth = self.heap.len() - self.cancelled.len();
+        self.stats.peak_depth = self.stats.peak_depth.max(depth);
         id
     }
 
@@ -121,7 +213,11 @@ impl<E> EventQueue<E> {
             return false;
         }
         if self.heap.iter().any(|e| e.id == id) {
-            self.cancelled.insert(id)
+            let newly = self.cancelled.insert(id);
+            if newly {
+                self.stats.cancelled += 1;
+            }
+            newly
         } else {
             false
         }
@@ -139,6 +235,7 @@ impl<E> EventQueue<E> {
         let entry = self.heap.pop()?;
         debug_assert!(entry.at >= self.now, "event queue time went backwards");
         self.now = entry.at;
+        self.stats.popped += 1;
         Some((entry.at, entry.payload))
     }
 
@@ -229,6 +326,48 @@ mod tests {
         q.schedule(Instant::from_nanos(7), "b");
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(Instant::from_nanos(7)));
+    }
+
+    #[test]
+    fn profile_counts_operations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Instant::from_nanos(1), "a");
+        q.schedule(Instant::from_nanos(2), "b");
+        q.schedule(Instant::from_nanos(3), "c");
+        q.cancel(a);
+        q.cancel(a); // double-cancel must not double-count
+        while q.pop().is_some() {}
+        let p = q.profile();
+        assert_eq!(p.scheduled, 3);
+        assert_eq!(p.cancelled, 1);
+        assert_eq!(p.popped, 2);
+        assert_eq!(p.peak_depth, 3);
+        assert_eq!(p.horizon, Instant::from_nanos(3));
+    }
+
+    #[test]
+    fn profile_absorb_merges() {
+        let mut a = QueueProfile {
+            scheduled: 5,
+            popped: 4,
+            cancelled: 1,
+            peak_depth: 3,
+            horizon: Instant::from_millis(2),
+        };
+        let b = QueueProfile {
+            scheduled: 2,
+            popped: 2,
+            cancelled: 0,
+            peak_depth: 7,
+            horizon: Instant::from_millis(1),
+        };
+        a.absorb(&b);
+        assert_eq!(a.scheduled, 7);
+        assert_eq!(a.popped, 6);
+        assert_eq!(a.peak_depth, 7);
+        assert_eq!(a.horizon, Instant::from_millis(2));
+        assert!(a.events_per_sec(2.0) == 3.0);
+        assert!(a.events_per_sec(0.0) == 0.0);
     }
 
     #[test]

@@ -27,6 +27,6 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event_queue::{EventId, EventQueue};
+pub use event_queue::{EventId, EventQueue, QueueProfile, RunTimer};
 pub use rng::{SeedSplitter, SimRng};
 pub use time::{Duration, Instant};

@@ -33,7 +33,9 @@ impl SeedSplitter {
     /// Uses SplitMix64 over `master ^ f(stream)` so that nearby stream ids
     /// yield well-separated seeds.
     pub fn stream(&self, stream: u64) -> SimRng {
-        SimRng::from_seed(splitmix64(self.master ^ splitmix64(stream ^ 0x9e37_79b9_7f4a_7c15)))
+        SimRng::from_seed(splitmix64(
+            self.master ^ splitmix64(stream ^ 0x9e37_79b9_7f4a_7c15),
+        ))
     }
 }
 
@@ -48,7 +50,9 @@ fn splitmix64(mut z: u64) -> u64 {
 impl SimRng {
     /// Construct directly from a 64-bit seed.
     pub fn from_seed(seed: u64) -> Self {
-        SimRng { inner: SmallRng::seed_from_u64(seed) }
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// A Bernoulli trial: true with probability `p` (clamped to [0, 1]).
@@ -191,7 +195,10 @@ mod tests {
         let sum: u64 = (0..n).map(|_| r.geometric(p)).sum();
         let mean = sum as f64 / n as f64;
         let expect = (1.0 - p) / p;
-        assert!((mean - expect).abs() / expect < 0.05, "mean={mean} expect={expect}");
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "mean={mean} expect={expect}"
+        );
     }
 
     #[test]

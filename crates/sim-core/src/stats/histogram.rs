@@ -21,7 +21,14 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(lo < hi, "Histogram: lo ({lo}) must be < hi ({hi})");
         assert!(bins > 0, "Histogram: need at least one bin");
-        Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0, count: 0 }
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
     }
 
     /// Record one observation.
@@ -172,6 +179,55 @@ mod tests {
         h.record(5.0);
         h.record(6.0);
         assert_eq!(h.quantile(0.5), Some(1.0));
+    }
+
+    #[test]
+    fn quantile_all_underflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-3.0);
+        h.record(-0.1);
+        // The entire mass sits below lo; every quantile maps to lo.
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.quantile(0.5), Some(0.0));
+        assert_eq!(h.quantile(1.0), Some(0.0));
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.record(i as f64 / 10.0);
+        }
+        // q = 0 lands at the lower edge of the first occupied bin;
+        // q = 1 at the upper edge of the last occupied one.
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.quantile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn quantile_out_of_range_saturates() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.record(i as f64 / 10.0);
+        }
+        // Out-of-range q clamps to [0, 1] — same answers as the ends.
+        assert_eq!(h.quantile(-0.5), h.quantile(0.0));
+        assert_eq!(h.quantile(1.5), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NEG_INFINITY), h.quantile(0.0));
+        assert_eq!(h.quantile(f64::INFINITY), h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_single_observation() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(5.5);
+        // q = 0 saturates to lo (zero mass target); positive quantiles
+        // interpolate inside the one occupied bin [5, 6).
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        for q in [0.25, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!((5.0..=6.0).contains(&v), "q={q} gave {v}");
+        }
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub struct Series {
 impl Series {
     /// Create an empty series with a display name.
     pub fn new(name: impl Into<String>) -> Self {
-        Series { name: name.into(), points: Vec::new() }
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Append one sample. Samples should be pushed in time order; this is

@@ -17,7 +17,13 @@ pub struct Summary {
 impl Summary {
     /// Empty summary.
     pub fn new() -> Self {
-        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Record one observation.
@@ -43,8 +49,7 @@ impl Summary {
         let n = (self.n + other.n) as f64;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n;
-        let m2 =
-            self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
         self.mean = mean;
         self.m2 = m2;
         self.n += other.n;

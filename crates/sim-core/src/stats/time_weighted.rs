@@ -96,7 +96,7 @@ mod tests {
         let mut tw = TimeWeighted::new(t0, 0.0);
         tw.set(Instant::from_secs(1), 10.0); // 0 for 1s
         tw.set(Instant::from_secs(3), 0.0); // 10 for 2s
-        // mean over [0,4] = (0*1 + 10*2 + 0*1)/4 = 5
+                                            // mean over [0,4] = (0*1 + 10*2 + 0*1)/4 = 5
         assert!((tw.mean_at(Instant::from_secs(4)) - 5.0).abs() < 1e-12);
         assert_eq!(tw.peak(), 10.0);
         assert_eq!(tw.current(), 0.0);

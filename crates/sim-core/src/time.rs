@@ -45,19 +45,25 @@ impl Instant {
     /// Construct from microseconds since t = 0.
     #[inline]
     pub const fn from_micros(micros: u64) -> Self {
-        Instant { nanos: micros * 1_000 }
+        Instant {
+            nanos: micros * 1_000,
+        }
     }
 
     /// Construct from milliseconds since t = 0.
     #[inline]
     pub const fn from_millis(millis: u64) -> Self {
-        Instant { nanos: millis * 1_000_000 }
+        Instant {
+            nanos: millis * 1_000_000,
+        }
     }
 
     /// Construct from whole seconds since t = 0.
     #[inline]
     pub const fn from_secs(secs: u64) -> Self {
-        Instant { nanos: secs * 1_000_000_000 }
+        Instant {
+            nanos: secs * 1_000_000_000,
+        }
     }
 
     /// Nanoseconds since t = 0.
@@ -81,13 +87,17 @@ impl Instant {
             self >= earlier,
             "duration_since: earlier ({earlier:?}) is after self ({self:?})"
         );
-        Duration { nanos: self.nanos.saturating_sub(earlier.nanos) }
+        Duration {
+            nanos: self.nanos.saturating_sub(earlier.nanos),
+        }
     }
 
     /// `self + d`, saturating at [`Instant::MAX`].
     #[inline]
     pub fn saturating_add(self, d: Duration) -> Instant {
-        Instant { nanos: self.nanos.saturating_add(d.nanos) }
+        Instant {
+            nanos: self.nanos.saturating_add(d.nanos),
+        }
     }
 
     /// Checked subtraction of a duration.
@@ -112,19 +122,25 @@ impl Duration {
     /// Construct from microseconds.
     #[inline]
     pub const fn from_micros(micros: u64) -> Self {
-        Duration { nanos: micros * 1_000 }
+        Duration {
+            nanos: micros * 1_000,
+        }
     }
 
     /// Construct from milliseconds.
     #[inline]
     pub const fn from_millis(millis: u64) -> Self {
-        Duration { nanos: millis * 1_000_000 }
+        Duration {
+            nanos: millis * 1_000_000,
+        }
     }
 
     /// Construct from whole seconds.
     #[inline]
     pub const fn from_secs(secs: u64) -> Self {
-        Duration { nanos: secs * 1_000_000_000 }
+        Duration {
+            nanos: secs * 1_000_000_000,
+        }
     }
 
     /// Construct from fractional seconds, rounding to the nearest
@@ -134,7 +150,9 @@ impl Duration {
             secs.is_finite() && secs >= 0.0,
             "Duration::from_secs_f64: invalid seconds {secs}"
         );
-        Duration { nanos: (secs * 1e9).round() as u64 }
+        Duration {
+            nanos: (secs * 1e9).round() as u64,
+        }
     }
 
     /// Nanoseconds in this duration.
@@ -170,13 +188,17 @@ impl Duration {
     /// Saturating addition.
     #[inline]
     pub fn saturating_add(self, other: Duration) -> Duration {
-        Duration { nanos: self.nanos.saturating_add(other.nanos) }
+        Duration {
+            nanos: self.nanos.saturating_add(other.nanos),
+        }
     }
 
     /// Saturating subtraction.
     #[inline]
     pub fn saturating_sub(self, other: Duration) -> Duration {
-        Duration { nanos: self.nanos.saturating_sub(other.nanos) }
+        Duration {
+            nanos: self.nanos.saturating_sub(other.nanos),
+        }
     }
 
     /// Checked multiplication by an integer factor.
@@ -192,7 +214,9 @@ impl Duration {
             factor.is_finite() && factor >= 0.0,
             "Duration::mul_f64: invalid factor {factor}"
         );
-        Duration { nanos: (self.nanos as f64 * factor).round() as u64 }
+        Duration {
+            nanos: (self.nanos as f64 * factor).round() as u64,
+        }
     }
 }
 
@@ -200,7 +224,9 @@ impl Add<Duration> for Instant {
     type Output = Instant;
     #[inline]
     fn add(self, rhs: Duration) -> Instant {
-        Instant { nanos: self.nanos.checked_add(rhs.nanos).expect("Instant overflow") }
+        Instant {
+            nanos: self.nanos.checked_add(rhs.nanos).expect("Instant overflow"),
+        }
     }
 }
 
@@ -215,7 +241,12 @@ impl Sub<Duration> for Instant {
     type Output = Instant;
     #[inline]
     fn sub(self, rhs: Duration) -> Instant {
-        Instant { nanos: self.nanos.checked_sub(rhs.nanos).expect("Instant underflow") }
+        Instant {
+            nanos: self
+                .nanos
+                .checked_sub(rhs.nanos)
+                .expect("Instant underflow"),
+        }
     }
 }
 
@@ -231,7 +262,12 @@ impl Add for Duration {
     type Output = Duration;
     #[inline]
     fn add(self, rhs: Duration) -> Duration {
-        Duration { nanos: self.nanos.checked_add(rhs.nanos).expect("Duration overflow") }
+        Duration {
+            nanos: self
+                .nanos
+                .checked_add(rhs.nanos)
+                .expect("Duration overflow"),
+        }
     }
 }
 
@@ -246,7 +282,12 @@ impl Sub for Duration {
     type Output = Duration;
     #[inline]
     fn sub(self, rhs: Duration) -> Duration {
-        Duration { nanos: self.nanos.checked_sub(rhs.nanos).expect("Duration underflow") }
+        Duration {
+            nanos: self
+                .nanos
+                .checked_sub(rhs.nanos)
+                .expect("Duration underflow"),
+        }
     }
 }
 
@@ -261,7 +302,9 @@ impl Mul<u64> for Duration {
     type Output = Duration;
     #[inline]
     fn mul(self, rhs: u64) -> Duration {
-        Duration { nanos: self.nanos.checked_mul(rhs).expect("Duration overflow") }
+        Duration {
+            nanos: self.nanos.checked_mul(rhs).expect("Duration overflow"),
+        }
     }
 }
 
@@ -269,7 +312,9 @@ impl Div<u64> for Duration {
     type Output = Duration;
     #[inline]
     fn div(self, rhs: u64) -> Duration {
-        Duration { nanos: self.nanos / rhs }
+        Duration {
+            nanos: self.nanos / rhs,
+        }
     }
 }
 
@@ -360,7 +405,10 @@ mod tests {
 
     #[test]
     fn saturating_ops() {
-        assert_eq!(Instant::MAX.saturating_add(Duration::from_secs(1)), Instant::MAX);
+        assert_eq!(
+            Instant::MAX.saturating_add(Duration::from_secs(1)),
+            Instant::MAX
+        );
         assert_eq!(
             Duration::from_nanos(5).saturating_sub(Duration::from_nanos(9)),
             Duration::ZERO
@@ -372,7 +420,10 @@ mod tests {
     fn ordering() {
         assert!(Instant::from_nanos(1) < Instant::from_nanos(2));
         assert!(Duration::from_millis(1) < Duration::from_secs(1));
-        assert_eq!(Instant::ZERO.max(Instant::from_nanos(4)), Instant::from_nanos(4));
+        assert_eq!(
+            Instant::ZERO.max(Instant::from_nanos(4)),
+            Instant::from_nanos(4)
+        );
     }
 
     #[test]

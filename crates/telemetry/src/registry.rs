@@ -1,0 +1,167 @@
+//! Insertion-ordered counter/gauge registry.
+//!
+//! Endpoints publish their protocol-specific metrics (`request_naks`,
+//! `timeouts`, ...) into a [`Registry`] instead of hand-building
+//! `Vec<(&'static str, f64)>` snapshots. Names are `&'static str` by
+//! design: the set of metrics is fixed at compile time, and static
+//! names keep the registry allocation-light and typo-resistant at the
+//! call site (one shared constant per metric).
+//!
+//! A linear scan over a `Vec` beats a map here — registries hold a
+//! handful of entries and are snapshotted once per run.
+
+use crate::json::Json;
+
+/// A named collection of `f64` counters and gauges.
+///
+/// Counters and gauges share one namespace; the distinction is purely
+/// in how they're updated (`inc`/`add` versus `set`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Registry {
+    entries: Vec<(&'static str, f64)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn slot(&mut self, name: &'static str) -> &mut f64 {
+        if let Some(i) = self.entries.iter().position(|(n, _)| *n == name) {
+            &mut self.entries[i].1
+        } else {
+            self.entries.push((name, 0.0));
+            &mut self.entries.last_mut().expect("just pushed").1
+        }
+    }
+
+    /// Increment a counter by 1.
+    pub fn inc(&mut self, name: &'static str) {
+        *self.slot(name) += 1.0;
+    }
+
+    /// Add `delta` to a counter.
+    pub fn add(&mut self, name: &'static str, delta: f64) {
+        *self.slot(name) += delta;
+    }
+
+    /// Set a gauge to `value` (creating it if absent).
+    pub fn set(&mut self, name: &'static str, value: f64) {
+        *self.slot(name) = value;
+    }
+
+    /// Set a gauge to the max of its current value and `value`.
+    pub fn set_max(&mut self, name: &'static str, value: f64) {
+        let slot = self.slot(name);
+        if value > *slot {
+            *slot = value;
+        }
+    }
+
+    /// Current value, or `None` when the name was never touched.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Number of distinct metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no metric has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries in insertion order.
+    pub fn entries(&self) -> &[(&'static str, f64)] {
+        &self.entries
+    }
+
+    /// Fold another registry into this one (summing shared names).
+    /// Gauges merged this way become sums; merge before setting gauges
+    /// or keep gauge-bearing registries separate.
+    pub fn absorb(&mut self, other: &Registry) {
+        for (name, v) in &other.entries {
+            *self.slot(name) += v;
+        }
+    }
+
+    /// Render as a JSON object `{name: value, ...}` in insertion order.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.entries
+                .iter()
+                .map(|(n, v)| ((*n).to_string(), Json::Num(*v)))
+                .collect(),
+        )
+    }
+}
+
+impl FromIterator<(&'static str, f64)> for Registry {
+    fn from_iter<I: IntoIterator<Item = (&'static str, f64)>>(iter: I) -> Self {
+        let mut reg = Registry::new();
+        for (name, v) in iter {
+            reg.add(name, v);
+        }
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = Registry::new();
+        r.inc("naks");
+        r.inc("naks");
+        r.add("naks", 3.0);
+        assert_eq!(r.get("naks"), Some(5.0));
+        assert_eq!(r.get("absent"), None);
+    }
+
+    #[test]
+    fn gauges_set_and_max() {
+        let mut r = Registry::new();
+        r.set("depth", 4.0);
+        r.set_max("depth", 2.0);
+        assert_eq!(r.get("depth"), Some(4.0));
+        r.set_max("depth", 9.0);
+        assert_eq!(r.get("depth"), Some(9.0));
+    }
+
+    #[test]
+    fn insertion_order_preserved() {
+        let mut r = Registry::new();
+        r.inc("b");
+        r.inc("a");
+        r.inc("b");
+        let names: Vec<&str> = r.entries().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn absorb_sums() {
+        let mut a = Registry::new();
+        a.inc("x");
+        let mut b = Registry::new();
+        b.add("x", 2.0);
+        b.inc("y");
+        a.absorb(&b);
+        assert_eq!(a.get("x"), Some(3.0));
+        assert_eq!(a.get("y"), Some(1.0));
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut r = Registry::new();
+        r.add("k", 2.5);
+        assert_eq!(r.to_json().render(), r#"{"k":2.5}"#);
+    }
+}

@@ -1,0 +1,538 @@
+//! Sim-time-stamped protocol event tracing.
+//!
+//! Protocol and harness code holds a cheap [`Trace`] handle and calls
+//! [`Trace::emit`] with a closure building the event. When tracing is
+//! disabled the closure is never run, so the cost of an instrumented
+//! site is a single branch on an `Option` — no allocation, no
+//! formatting.
+//!
+//! Record construction is decoupled from persistence through the
+//! [`TraceSink`] trait: [`RingSink`] keeps the last N records in memory
+//! (for tests and post-mortem inspection), [`JsonlSink`] streams one
+//! JSON object per line to a writer (the `repro --trace <path>` flag).
+
+use crate::json::Json;
+use sim_core::time::Instant;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::{self, BufWriter, Write};
+use std::rc::Rc;
+
+/// One protocol event, the payload of a [`TraceRecord`].
+///
+/// Field vocabulary: `seq` is a wire sequence number, `index` a
+/// checkpoint index, `len` a payload length in bytes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// An I-frame left the sender (first transmission or retransmission).
+    IFrameTx {
+        /// Wire sequence number.
+        seq: u64,
+        /// True for a retransmission.
+        retx: bool,
+        /// Payload length in bytes.
+        len: u64,
+    },
+    /// An I-frame arrived at the receiver.
+    IFrameRx {
+        /// Wire sequence number.
+        seq: u64,
+        /// False when the frame arrived corrupted.
+        clean: bool,
+        /// Payload length in bytes.
+        len: u64,
+    },
+    /// The receiver emitted a checkpoint frame.
+    CheckpointEmitted {
+        /// Checkpoint index (cyclic counter on the wire).
+        index: u64,
+        /// Highest in-sequence frame covered.
+        covered: u64,
+        /// NAKs carried in this checkpoint.
+        naks: u64,
+        /// True when this checkpoint carries a Request-NAK reply.
+        enforced: bool,
+        /// True when the checkpoint signals Stop (flow control).
+        stop: bool,
+    },
+    /// The sender received a checkpoint frame.
+    CheckpointReceived {
+        /// Checkpoint index.
+        index: u64,
+        /// NAKs carried.
+        naks: u64,
+    },
+    /// The sender inferred a lost checkpoint from an index gap.
+    CheckpointLost {
+        /// Index of the missing checkpoint.
+        index: u64,
+    },
+    /// The receiver recorded a NAK for a missing or corrupted frame.
+    Nak {
+        /// Wire sequence number being NAK'd.
+        seq: u64,
+    },
+    /// A NAK'd frame was renumbered with a fresh wire sequence number.
+    Renumbered {
+        /// Sequence number the NAK referred to.
+        old_seq: u64,
+        /// Fresh sequence number assigned for retransmission.
+        new_seq: u64,
+    },
+    /// The sender entered enforced recovery (sent a Request-NAK probe).
+    EnforcedRecoveryStarted {
+        /// Frames outstanding when recovery began.
+        outstanding: u64,
+    },
+    /// Enforced recovery resolved (Enforced-NAK received or state cleared).
+    EnforcedRecoveryResolved,
+    /// Flow-control state observed by the sender changed.
+    StopGo {
+        /// True = Stop (halt new transmissions), false = Go.
+        stop: bool,
+    },
+    /// A buffer crossed a watermark.
+    BufferWatermark {
+        /// Which buffer (`"tx"`, `"rx"`, `"reseq"`, ...).
+        buffer: &'static str,
+        /// Occupancy at the crossing.
+        level: u64,
+        /// True when crossing upward (filling), false when draining.
+        rising: bool,
+    },
+    /// A frame was dropped by the channel model.
+    ChannelDrop {
+        /// Direction: `"fwd"` (data) or `"rev"` (control).
+        dir: &'static str,
+    },
+    /// A baseline (HDLC) control frame was sent or processed.
+    Control {
+        /// Frame kind (`"rej"`, `"srej"`, `"rr"`, `"timeout"`).
+        kind: &'static str,
+        /// Related sequence number (0 when not applicable).
+        seq: u64,
+    },
+    /// The sender's failure timer declared the link dead.
+    LinkFailed,
+}
+
+impl TraceEvent {
+    /// Stable machine-readable event name (the JSONL `event` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::IFrameTx { .. } => "iframe_tx",
+            TraceEvent::IFrameRx { .. } => "iframe_rx",
+            TraceEvent::CheckpointEmitted { .. } => "checkpoint_emitted",
+            TraceEvent::CheckpointReceived { .. } => "checkpoint_received",
+            TraceEvent::CheckpointLost { .. } => "checkpoint_lost",
+            TraceEvent::Nak { .. } => "nak",
+            TraceEvent::Renumbered { .. } => "renumbered",
+            TraceEvent::EnforcedRecoveryStarted { .. } => "enforced_recovery_started",
+            TraceEvent::EnforcedRecoveryResolved => "enforced_recovery_resolved",
+            TraceEvent::StopGo { .. } => "stop_go",
+            TraceEvent::BufferWatermark { .. } => "buffer_watermark",
+            TraceEvent::ChannelDrop { .. } => "channel_drop",
+            TraceEvent::Control { .. } => "control",
+            TraceEvent::LinkFailed => "link_failed",
+        }
+    }
+
+    /// Event-specific JSON members (everything except `t`/`node`/`event`).
+    pub fn fields(&self) -> Vec<(&'static str, Json)> {
+        match *self {
+            TraceEvent::IFrameTx { seq, retx, len } => {
+                vec![
+                    ("seq", seq.into()),
+                    ("retx", retx.into()),
+                    ("len", len.into()),
+                ]
+            }
+            TraceEvent::IFrameRx { seq, clean, len } => {
+                vec![
+                    ("seq", seq.into()),
+                    ("clean", clean.into()),
+                    ("len", len.into()),
+                ]
+            }
+            TraceEvent::CheckpointEmitted {
+                index,
+                covered,
+                naks,
+                enforced,
+                stop,
+            } => vec![
+                ("index", index.into()),
+                ("covered", covered.into()),
+                ("naks", naks.into()),
+                ("enforced", enforced.into()),
+                ("stop", stop.into()),
+            ],
+            TraceEvent::CheckpointReceived { index, naks } => {
+                vec![("index", index.into()), ("naks", naks.into())]
+            }
+            TraceEvent::CheckpointLost { index } => vec![("index", index.into())],
+            TraceEvent::Nak { seq } => vec![("seq", seq.into())],
+            TraceEvent::Renumbered { old_seq, new_seq } => {
+                vec![("old_seq", old_seq.into()), ("new_seq", new_seq.into())]
+            }
+            TraceEvent::EnforcedRecoveryStarted { outstanding } => {
+                vec![("outstanding", outstanding.into())]
+            }
+            TraceEvent::EnforcedRecoveryResolved => vec![],
+            TraceEvent::StopGo { stop } => vec![("stop", stop.into())],
+            TraceEvent::BufferWatermark {
+                buffer,
+                level,
+                rising,
+            } => vec![
+                ("buffer", buffer.into()),
+                ("level", level.into()),
+                ("rising", rising.into()),
+            ],
+            TraceEvent::ChannelDrop { dir } => vec![("dir", dir.into())],
+            TraceEvent::Control { kind, seq } => {
+                vec![("kind", kind.into()), ("seq", seq.into())]
+            }
+            TraceEvent::LinkFailed => vec![],
+        }
+    }
+}
+
+/// One trace record: when, where, what.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Simulated time of the event.
+    pub t: Instant,
+    /// Which node emitted it (`"tx"`, `"rx"`, `"node0"`, ...).
+    pub node: &'static str,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// Render as one JSON object: `{"t": secs, "node": .., "event": .., ...}`.
+    pub fn to_json(&self) -> Json {
+        let mut members: Vec<(String, Json)> = vec![
+            ("t".into(), Json::Num(self.t.as_secs_f64())),
+            ("node".into(), self.node.into()),
+            ("event".into(), self.event.kind().into()),
+        ];
+        for (k, v) in self.event.fields() {
+            members.push((k.into(), v));
+        }
+        Json::Obj(members)
+    }
+}
+
+/// Destination for trace records.
+pub trait TraceSink {
+    /// Accept one record. Sinks must not panic on I/O trouble; they
+    /// degrade to dropping records and report via [`TraceSink::dropped`].
+    fn record(&mut self, rec: &TraceRecord);
+
+    /// Records accepted so far.
+    fn len(&self) -> u64;
+
+    /// True when no record has been accepted.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records dropped (ring eviction, write failures).
+    fn dropped(&self) -> u64 {
+        0
+    }
+
+    /// Flush any buffered output.
+    fn flush(&mut self) {}
+}
+
+/// Bounded in-memory sink keeping the most recent `capacity` records.
+pub struct RingSink {
+    buf: VecDeque<TraceRecord>,
+    capacity: usize,
+    seen: u64,
+}
+
+impl RingSink {
+    /// Sink retaining at most `capacity` records (oldest evicted first).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            seen: 0,
+        }
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf.iter()
+    }
+
+    /// Count of retained records matching a predicate.
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.buf.iter().filter(|r| r.event.kind() == kind).count()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(rec.clone());
+        self.seen += 1;
+    }
+
+    fn len(&self) -> u64 {
+        self.seen
+    }
+
+    fn dropped(&self) -> u64 {
+        self.seen - self.buf.len() as u64
+    }
+}
+
+/// Streaming sink writing one JSON object per line.
+pub struct JsonlSink<W: Write> {
+    out: W,
+    written: u64,
+    failed: u64,
+}
+
+impl JsonlSink<BufWriter<std::fs::File>> {
+    /// Create (truncate) a JSONL trace file at `path`.
+    pub fn create(path: &std::path::Path) -> io::Result<Self> {
+        Ok(JsonlSink::to_writer(BufWriter::new(std::fs::File::create(
+            path,
+        )?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap an arbitrary writer.
+    pub fn to_writer(out: W) -> Self {
+        JsonlSink {
+            out,
+            written: 0,
+            failed: 0,
+        }
+    }
+
+    /// Consume the sink, flushing and returning the writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, rec: &TraceRecord) {
+        let line = rec.to_json().render();
+        match writeln!(self.out, "{line}") {
+            Ok(()) => self.written += 1,
+            Err(_) => self.failed += 1,
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.written
+    }
+
+    fn dropped(&self) -> u64 {
+        self.failed
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Shared, dynamically-dispatched sink handle.
+pub type SharedSink = Rc<RefCell<dyn TraceSink>>;
+
+/// Cheap per-node tracing handle carried by protocol state machines.
+///
+/// Disabled handles (the default) skip event construction entirely:
+/// `emit` checks one `Option` and returns.
+#[derive(Clone, Default)]
+pub struct Trace {
+    sink: Option<SharedSink>,
+    node: &'static str,
+}
+
+impl Trace {
+    /// A disabled handle — every `emit` is a no-op.
+    pub fn disabled() -> Self {
+        Trace {
+            sink: None,
+            node: "",
+        }
+    }
+
+    /// A handle feeding `sink`, labelling records with `node`.
+    pub fn to_sink(sink: SharedSink, node: &'static str) -> Self {
+        Trace {
+            sink: Some(sink),
+            node,
+        }
+    }
+
+    /// This handle with a different node label, sharing the same sink.
+    pub fn labelled(&self, node: &'static str) -> Self {
+        Trace {
+            sink: self.sink.clone(),
+            node,
+        }
+    }
+
+    /// True when records will actually be recorded.
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emit one event at simulated time `now`. The closure runs only
+    /// when a sink is attached.
+    #[inline]
+    pub fn emit(&self, now: Instant, build: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = &self.sink {
+            let rec = TraceRecord {
+                t: now,
+                node: self.node,
+                event: build(),
+            };
+            sink.borrow_mut().record(&rec);
+        }
+    }
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trace")
+            .field("node", &self.node)
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+thread_local! {
+    static GLOBAL_SINK: RefCell<Option<SharedSink>> = const { RefCell::new(None) };
+}
+
+/// Install a process-wide (per-thread) sink. Subsequent
+/// [`global_handle`] calls feed it. Returns the previously installed
+/// sink, if any.
+pub fn install_global(sink: SharedSink) -> Option<SharedSink> {
+    GLOBAL_SINK.with(|g| g.borrow_mut().replace(sink))
+}
+
+/// Remove the global sink, returning it for flushing/inspection.
+pub fn uninstall_global() -> Option<SharedSink> {
+    GLOBAL_SINK.with(|g| g.borrow_mut().take())
+}
+
+/// A handle feeding the installed global sink (disabled when none).
+pub fn global_handle(node: &'static str) -> Trace {
+    GLOBAL_SINK.with(|g| match &*g.borrow() {
+        Some(sink) => Trace::to_sink(sink.clone(), node),
+        None => Trace::disabled(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t_ns: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            t: Instant::from_nanos(t_ns),
+            node: "tx",
+            event,
+        }
+    }
+
+    #[test]
+    fn disabled_trace_never_builds() {
+        let trace = Trace::disabled();
+        trace.emit(Instant::ZERO, || panic!("must not be called"));
+    }
+
+    #[test]
+    fn ring_sink_bounds_and_counts() {
+        let mut ring = RingSink::new(3);
+        for i in 0..5 {
+            ring.record(&rec(i, TraceEvent::Nak { seq: i }));
+        }
+        assert_eq!(ring.len(), 5);
+        assert_eq!(ring.dropped(), 2);
+        let seqs: Vec<u64> = ring
+            .records()
+            .map(|r| match r.event {
+                TraceEvent::Nak { seq } => seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(ring.count_kind("nak"), 3);
+    }
+
+    #[test]
+    fn trace_feeds_shared_sink() {
+        let ring: SharedSink = Rc::new(RefCell::new(RingSink::new(16)));
+        let trace = Trace::to_sink(ring.clone(), "rx");
+        trace.emit(Instant::from_millis(5), || TraceEvent::StopGo {
+            stop: true,
+        });
+        trace
+            .labelled("rx2")
+            .emit(Instant::from_millis(6), || TraceEvent::LinkFailed);
+        assert_eq!(ring.borrow().len(), 2);
+    }
+
+    #[test]
+    fn jsonl_lines_parse_back() {
+        let mut sink = JsonlSink::to_writer(Vec::new());
+        sink.record(&rec(
+            1_500_000_000,
+            TraceEvent::CheckpointEmitted {
+                index: 7,
+                covered: 41,
+                naks: 2,
+                enforced: false,
+                stop: true,
+            },
+        ));
+        sink.record(&rec(
+            2_000_000_000,
+            TraceEvent::Renumbered {
+                old_seq: 9,
+                new_seq: 33,
+            },
+        ));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(
+            first.get("event").and_then(Json::as_str),
+            Some("checkpoint_emitted")
+        );
+        assert_eq!(first.get("t").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(first.get("naks").and_then(Json::as_f64), Some(2.0));
+        let second = Json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("new_seq").and_then(Json::as_f64), Some(33.0));
+    }
+
+    #[test]
+    fn global_sink_install_and_remove() {
+        assert!(!global_handle("x").enabled());
+        let ring: SharedSink = Rc::new(RefCell::new(RingSink::new(4)));
+        assert!(install_global(ring).is_none());
+        let h = global_handle("x");
+        assert!(h.enabled());
+        h.emit(Instant::ZERO, || TraceEvent::LinkFailed);
+        let back = uninstall_global().unwrap();
+        assert_eq!(back.borrow().len(), 1);
+        assert!(!global_handle("x").enabled());
+    }
+}

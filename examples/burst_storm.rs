@@ -10,7 +10,10 @@ use sim_core::Duration;
 
 fn main() {
     let n = 20_000u64;
-    println!("burst storm: {} x 1 kB over 4,000 km, bursts of increasing length\n", n);
+    println!(
+        "burst storm: {} x 1 kB over 4,000 km, bursts of increasing length\n",
+        n
+    );
     println!(
         "{:>10} {:>12} {:>12} {:>12} {:>14} {:>12}",
         "burst(ms)", "lams eff", "sr eff", "gbn eff", "lams req-naks", "lams lost"

@@ -15,9 +15,18 @@ fn main() {
     let base = ScenarioConfig::paper_default();
     let lcfg = base.lams_config();
     println!("protocol timers at these settings:");
-    println!("  checkpoint timeout (C_depth*W_cp): {}", lcfg.checkpoint_timeout());
-    println!("  failure timeout                  : {}", lcfg.failure_timeout());
-    println!("  resolving period                 : {}", lcfg.resolving_period());
+    println!(
+        "  checkpoint timeout (C_depth*W_cp): {}",
+        lcfg.checkpoint_timeout()
+    );
+    println!(
+        "  failure timeout                  : {}",
+        lcfg.failure_timeout()
+    );
+    println!(
+        "  resolving period                 : {}",
+        lcfg.resolving_period()
+    );
     println!();
     println!(
         "{:>12} {:>11} {:>7} {:>11} {:>13} {:>8}",
@@ -52,7 +61,10 @@ fn main() {
         );
         if recoverable {
             assert_eq!(r.lost, 0, "recoverable outage must not lose frames");
-            assert!(!r.link_failed, "recoverable outage must not declare failure");
+            assert!(
+                !r.link_failed,
+                "recoverable outage must not declare failure"
+            );
         } else {
             assert!(r.link_failed, "unrecoverable outage must be detected");
         }

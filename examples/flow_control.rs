@@ -20,11 +20,23 @@ fn main() {
 
     let report = run_lams(&cfg);
 
-    println!("offered load      : line rate (1 SDU per t_f = {:.1} µs)", t_f.as_micros_f64());
-    println!("receiver service  : one SDU per {:.1} µs (half speed)", 2.0 * t_f.as_micros_f64());
-    println!("delivered         : {}/{}", report.delivered_unique, report.offered);
+    println!(
+        "offered load      : line rate (1 SDU per t_f = {:.1} µs)",
+        t_f.as_micros_f64()
+    );
+    println!(
+        "receiver service  : one SDU per {:.1} µs (half speed)",
+        2.0 * t_f.as_micros_f64()
+    );
+    println!(
+        "delivered         : {}/{}",
+        report.delivered_unique, report.offered
+    );
     println!("lost              : {}", report.lost);
-    println!("overflow discards : {}", report.extra("overflow_discards").unwrap_or(0.0));
+    println!(
+        "overflow discards : {}",
+        report.extra("overflow_discards").unwrap_or(0.0)
+    );
     println!("elapsed           : {:.1} ms", report.elapsed_s() * 1e3);
 
     println!("\nsend-rate trace (flow-control fraction of line rate):");

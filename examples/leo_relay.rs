@@ -37,10 +37,19 @@ fn main() {
     let retarget_s = 30.0; // pointing + acquisition overhead (§1)
     let profile = LinkProfile::build(&a, &b, window, 5.0, retarget_s);
     println!("\nlink profile for the chosen window:");
-    println!("  range: {:.0}–{:.0} km (mean {:.0})", profile.range_min_km, profile.range_max_km, profile.range_mean_km);
+    println!(
+        "  range: {:.0}–{:.0} km (mean {:.0})",
+        profile.range_min_km, profile.range_max_km, profile.range_mean_km
+    );
     println!("  mean RTT: {:.2} ms", profile.mean_rtt_s() * 1e3);
-    println!("  α (timeout slack from range spread): {:.2} ms", profile.alpha_s() * 1e3);
-    println!("  usable after {retarget_s:.0}s retargeting: {:.1} min", profile.usable_s() / 60.0);
+    println!(
+        "  α (timeout slack from range spread): {:.2} ms",
+        profile.alpha_s() * 1e3
+    );
+    println!(
+        "  usable after {retarget_s:.0}s retargeting: {:.1} min",
+        profile.usable_s() / 60.0
+    );
 
     // Bulk transfer across the pass under both protocols.
     let mut cfg = ScenarioConfig::paper_default();
@@ -55,7 +64,10 @@ fn main() {
     cfg.ctrl_residual_ber = 1e-7;
     cfg.deadline = Duration::from_secs_f64(profile.usable_s().min(120.0));
 
-    println!("\nbulk transfer of {} × 1 kB datagrams during the pass:", cfg.n_packets);
+    println!(
+        "\nbulk transfer of {} × 1 kB datagrams during the pass:",
+        cfg.n_packets
+    );
     for (name, report) in [("LAMS-DLC", run_lams(&cfg)), ("SR-HDLC", run_sr(&cfg))] {
         println!(
             "  {name:9}: {}/{} delivered in {:8.1} ms  (efficiency {:.3}, {} retx, lost {})",

@@ -31,7 +31,8 @@ fn raw_state_machines() {
     rx.start(now);
 
     for i in 0..3u64 {
-        tx.push(PacketId(i), Bytes::from(format!("datagram-{i}"))).unwrap();
+        tx.push(PacketId(i), Bytes::from(format!("datagram-{i}")))
+            .unwrap();
     }
 
     // Transmit all three I-frames (pacing advances the clock by t_f).
@@ -85,7 +86,10 @@ fn scenario_run() {
     cfg.n_packets = 10_000;
     cfg.deadline = Duration::from_secs(120);
     let report = run_lams(&cfg);
-    println!("delivered      : {}/{}", report.delivered_unique, report.offered);
+    println!(
+        "delivered      : {}/{}",
+        report.delivered_unique, report.offered
+    );
     println!("lost           : {}", report.lost);
     println!("duplicates     : {}", report.duplicates);
     println!("retransmissions: {}", report.retransmissions);

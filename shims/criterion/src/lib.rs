@@ -1,0 +1,362 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the benchmark-harness subset it uses: `Criterion`,
+//! `benchmark_group` with `throughput`/`sample_size`, `bench_function`,
+//! `bench_with_input`, `Bencher::{iter, iter_batched}` and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model, much simpler than real criterion: each benchmark
+//! is warmed up briefly, then timed over `sample_size` samples of an
+//! adaptively-chosen iteration count (~2 ms per sample). The median
+//! per-iteration time is reported, with throughput when configured.
+//! There is no statistical regression analysis and no HTML report —
+//! the numbers are for relative comparison between runs on one machine.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped between setup calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup is cheap relative to the routine; one setup per iteration.
+    SmallInput,
+    /// Large inputs; also one setup per iteration in this shim.
+    LargeInput,
+    /// One setup per iteration (identical here, kept for API parity).
+    PerIteration,
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compound id `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id from the parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; owns the timing loop.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` repeatedly, recording per-sample wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and size the batch so one sample lasts ~2 ms.
+        let iters = calibrate(|| {
+            std::hint::black_box(routine());
+        });
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    /// Time `routine` on fresh values from `setup`, excluding setup cost
+    /// (setup runs outside the timed region; one input per call).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let iters = {
+            let input = setup();
+            let mut slot = Some(input);
+            calibrate(|| {
+                if let Some(i) = slot.take() {
+                    std::hint::black_box(routine(i));
+                }
+                slot = Some(setup());
+            })
+        };
+        for _ in 0..self.sample_count {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+}
+
+/// Pick an iteration count so one timed sample takes roughly 2 ms.
+fn calibrate<F: FnMut()>(mut f: F) -> u64 {
+    let target = Duration::from_millis(2);
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let took = start.elapsed();
+        if took >= target || iters >= 1 << 20 {
+            return iters.max(1);
+        }
+        // Grow geometrically toward the target, overshooting a little.
+        let scale = (target.as_secs_f64() / took.as_secs_f64().max(1e-9)).min(64.0);
+        iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
+    }
+}
+
+/// A named set of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one named benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(
+            &full,
+            self.sample_size,
+            self.throughput,
+            self.criterion,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_bench(
+            &full,
+            self.sample_size,
+            self.throughput,
+            self.criterion,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (kept for API parity; reporting happens per-bench).
+    pub fn finish(&mut self) {}
+}
+
+fn run_bench<F>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    criterion: &mut Criterion,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher<'_>),
+{
+    if let Some(filter) = &criterion.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut samples = Vec::with_capacity(sample_size);
+    let mut bencher = Bencher {
+        samples: &mut samples,
+        sample_count: sample_size,
+    };
+    f(&mut bencher);
+    samples.sort();
+    let median = samples.get(samples.len() / 2).copied().unwrap_or_default();
+    let lo = samples.first().copied().unwrap_or_default();
+    let hi = samples.last().copied().unwrap_or_default();
+    let rate = throughput.map(|t| {
+        let per_sec = |units: u64| units as f64 / median.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => format!("{} elem/s", human_rate(per_sec(n))),
+            Throughput::Bytes(n) => format!("{}B/s", human_rate(per_sec(n))),
+        }
+    });
+    println!(
+        "{name:<48} time: [{} {} {}]{}",
+        human_time(lo),
+        human_time(median),
+        human_time(hi),
+        rate.map(|r| format!("  thrpt: {r}")).unwrap_or_default()
+    );
+}
+
+fn human_time(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2} G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2} M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2} K", r / 1e3)
+    } else {
+        format!("{r:.1} ")
+    }
+}
+
+/// Benchmark driver; one per process, created by [`criterion_main!`].
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Accept `cargo bench` pass-through args: a bare positional arg
+        // filters benchmark names; harness flags like --bench are ignored.
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 60,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let name = id.into();
+        run_bench(&name, 60, None, self, |b| f(b));
+        self
+    }
+
+    /// Final reporting hook (per-bench output already printed).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Bundle benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples() {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_count: 3,
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(samples.len(), 3);
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_count: 2,
+        };
+        b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(samples.len(), 2);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+        assert_eq!(BenchmarkId::new("f", 7).id, "f/7");
+    }
+
+    #[test]
+    fn calibrate_returns_positive() {
+        assert!(
+            calibrate(|| {
+                std::hint::black_box(1 + 1);
+            }) >= 1
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! Offline stand-in for the `rand` crate (0.10-era API subset).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small surface it uses: `rngs::SmallRng`,
+//! `SeedableRng::seed_from_u64`, and the `Rng`/`RngExt` methods
+//! `random::<T>()`, `random_range(..)` and `next_u64()`. The generator is
+//! xoshiro256++ seeded via SplitMix64 — the same construction the real
+//! `SmallRng` documents on 64-bit targets — so quality is adequate for
+//! simulation (not cryptography).
+
+/// Core RNG trait: a source of 64 random bits.
+pub trait Rng {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill a byte slice with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+/// Convenience sampling methods layered over [`Rng`].
+pub trait RngExt: Rng + Sized {
+    /// Sample a value of `T` from its standard distribution
+    /// (uniform bits for integers, uniform `[0, 1)` for floats).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a range. Half-open (`lo..hi`) and inclusive
+    /// (`lo..=hi`) ranges are both accepted; panics on an empty range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<T: Rng + Sized> RngExt for T {}
+
+/// Construction of an RNG from seed material.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types sampleable from the standard distribution.
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u8 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+impl Standard for u16 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for usize {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Standard for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Integer types uniform-sampleable over a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "random_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Modulo bias is < span/2^64 — irrelevant at simulation scale.
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "random_range: empty range");
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+/// Range forms accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+macro_rules! impl_inclusive_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "random_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_inclusive_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v: u64 = r.random_range(5u64..10);
+            assert!((5..10).contains(&v));
+            let w: i32 = r.random_range(-3i32..=3);
+            assert!((-3..=3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn uniformity_rough() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[r.random_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts={counts:?}");
+        }
+    }
+}

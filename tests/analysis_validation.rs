@@ -60,7 +60,10 @@ fn low_traffic_delivery_times_converge() {
     sr_t /= seeds as f64;
     let lams_a = d_low_lams(&p, 800);
     let sr_a = d_low_hdlc(&p, 800);
-    assert!((lams_t - lams_a).abs() / lams_a < 0.12, "lams sim {lams_t} vs {lams_a}");
+    assert!(
+        (lams_t - lams_a).abs() / lams_a < 0.12,
+        "lams sim {lams_t} vs {lams_a}"
+    );
     assert!((sr_t - sr_a).abs() / sr_a < 0.12, "sr sim {sr_t} vs {sr_a}");
 }
 

@@ -4,9 +4,7 @@
 //! into `RxStatus`; here we verify the abstraction is sound.
 
 use bytes::Bytes;
-use fec::{
-    BitBuf, ErrorProcess, GilbertElliott, LinkCodec, UniformBer,
-};
+use fec::{BitBuf, ErrorProcess, GilbertElliott, LinkCodec, UniformBer};
 use lams_dlc::{wire, Frame, InfoFrame, PacketId};
 use sim_core::{Duration, Instant, SeedSplitter, SimRng};
 
@@ -76,12 +74,7 @@ fn light_noise_is_fully_corrected_by_fec() {
     let mut survived = 0;
     for k in 0..n {
         let f = frame(k + 1, &[0x5A; 256]);
-        if let Some(out) = through_channel(
-            &f,
-            &codec,
-            &mut chan,
-            Instant::from_micros(k * 100),
-        ) {
+        if let Some(out) = through_channel(&f, &codec, &mut chan, Instant::from_micros(k * 100)) {
             assert_eq!(out, f, "silent corruption!");
             survived += 1;
         }
@@ -129,9 +122,7 @@ fn interleaver_rescues_bursts_end_to_end() {
     let mut survived = 0;
     for k in 0..n {
         let f = frame(k + 1, &[0x11; 256]);
-        if let Some(out) =
-            through_channel(&f, &codec, &mut chan, Instant::from_micros(k * 50))
-        {
+        if let Some(out) = through_channel(&f, &codec, &mut chan, Instant::from_micros(k * 50)) {
             assert_eq!(out, f);
             survived += 1;
         }

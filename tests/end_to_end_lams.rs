@@ -38,7 +38,10 @@ fn zero_loss_under_heavy_control_loss() {
     cfg.deadline = Duration::from_secs(300);
     let r = run_lams(&cfg);
     assert_eq!(r.lost, 0);
-    assert!(!r.link_failed, "control loss alone must not look like failure");
+    assert!(
+        !r.link_failed,
+        "control loss alone must not look like failure"
+    );
 }
 
 #[test]
@@ -118,7 +121,11 @@ fn efficiency_close_to_ceiling_on_clean_link() {
     cfg.data_residual_ber = 0.0;
     cfg.ctrl_residual_ber = 0.0;
     let r = run_lams(&cfg);
-    assert!(r.efficiency() > 0.95, "clean-link efficiency {}", r.efficiency());
+    assert!(
+        r.efficiency() > 0.95,
+        "clean-link efficiency {}",
+        r.efficiency()
+    );
     assert_eq!(r.retransmissions, 0);
 }
 

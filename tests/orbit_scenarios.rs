@@ -2,21 +2,13 @@
 //! profiles with time-varying delay and finite link lifetimes.
 
 use harness::{run_lams, run_sr, ScenarioConfig};
-use orbit::{
-    visibility_windows, LinkConstraints, LinkProfile, Satellite,
-};
+use orbit::{visibility_windows, LinkConstraints, LinkProfile, Satellite};
 use sim_core::Duration;
 
 fn cross_plane_profile() -> LinkProfile {
     let a = Satellite::new(1000.0, 80.0, 0.0, 0.0);
     let b = Satellite::new(1000.0, 80.0, 90.0, 0.0);
-    let windows = visibility_windows(
-        &a,
-        &b,
-        2.0 * a.period_s(),
-        5.0,
-        &LinkConstraints::default(),
-    );
+    let windows = visibility_windows(&a, &b, 2.0 * a.period_s(), 5.0, &LinkConstraints::default());
     let w = windows
         .iter()
         .copied()
@@ -34,7 +26,11 @@ fn pass_profile_is_in_paper_envelope() {
     let rtt = p.mean_rtt_s();
     assert!(rtt > 5e-3 && rtt < 100e-3, "rtt={rtt}");
     // Link lifetime of minutes — the defining LAMS property.
-    assert!(p.window.duration_s() > 120.0, "lifetime {}", p.window.duration_s());
+    assert!(
+        p.window.duration_s() > 120.0,
+        "lifetime {}",
+        p.window.duration_s()
+    );
     assert!(p.usable_s() < p.window.duration_s());
 }
 
@@ -49,7 +45,10 @@ fn transfer_over_varying_delay_is_lossless() {
     cfg.deadline = Duration::from_secs(120);
     let lams = run_lams(&cfg);
     assert_eq!(lams.lost, 0);
-    assert!(!lams.link_failed, "delay variation must not look like failure");
+    assert!(
+        !lams.link_failed,
+        "delay variation must not look like failure"
+    );
     let sr = run_sr(&cfg);
     assert_eq!(sr.lost, 0);
     assert!(
@@ -84,7 +83,11 @@ fn same_plane_pair_behaves_like_fixed_link() {
     let a = Satellite::new(1000.0, 53.0, 10.0, 0.0);
     let b = Satellite::new(1000.0, 53.0, 10.0, 25.0);
     let windows = visibility_windows(&a, &b, 7000.0, 10.0, &LinkConstraints::default());
-    assert_eq!(windows.len(), 1, "in-plane neighbours always see each other");
+    assert_eq!(
+        windows.len(),
+        1,
+        "in-plane neighbours always see each other"
+    );
     let profile = LinkProfile::build(&a, &b, windows[0], 10.0, 0.0);
     assert!(profile.range_var_km2 < 1.0, "range should be constant");
 

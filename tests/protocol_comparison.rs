@@ -53,7 +53,7 @@ fn gbn_discards_good_frames_sr_does_not() {
     let c = cfg(10_000, 1e-5);
     let sr = run_sr(&c);
     let gbn = run_gbn(&c);
-    let discarded = gbn.rx_extras.iter().find(|(k, _)| *k == "discarded").unwrap().1;
+    let discarded = gbn.rx_extras.get("discarded").unwrap();
     assert!(
         discarded > 100.0,
         "expected heavy GBN discards at this BER: {discarded}"
@@ -85,18 +85,10 @@ fn sr_receiver_buffers_up_to_window_lams_does_not_hold() {
     // the window); LAMS's receiving occupancy is processing-only.
     let c = cfg(10_000, 1e-5);
     let sr = run_sr(&c);
-    let peak = sr
-        .rx_extras
-        .iter()
-        .find(|(k, _)| *k == "peak_reseq_buffer")
-        .unwrap()
-        .1;
+    let peak = sr.rx_extras.get("peak_reseq_buffer").unwrap();
     assert!(peak > 10.0, "SR resequencing buffer should fill: {peak}");
     let lams = run_lams(&c);
-    let lams_rx_peak = lams
-        .rx_buffer
-        .max_value()
-        .unwrap_or(0.0);
+    let lams_rx_peak = lams.rx_buffer.max_value().unwrap_or(0.0);
     assert!(
         lams_rx_peak < peak,
         "LAMS receive occupancy {lams_rx_peak} should stay below SR's {peak}"
@@ -124,8 +116,7 @@ fn long_link_amplifies_lams_advantage() {
     near.distance_km = 2_000.0;
     let mut far = cfg(10_000, 1e-6);
     far.distance_km = 10_000.0;
-    let ratio_near =
-        run_lams(&near).efficiency() / run_sr(&near).efficiency();
+    let ratio_near = run_lams(&near).efficiency() / run_sr(&near).efficiency();
     let ratio_far = run_lams(&far).efficiency() / run_sr(&far).efficiency();
     assert!(
         ratio_far > ratio_near,
