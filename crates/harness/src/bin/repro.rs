@@ -7,6 +7,7 @@
 //! repro --list               # show the experiment index
 //! repro --json report.json   # also write machine-readable results
 //! repro --trace run.jsonl    # also write a protocol event trace (JSONL)
+//! repro --workers 4          # fan experiments out across 4 threads
 //! ```
 //!
 //! `--json` writes one JSON document:
@@ -26,68 +27,38 @@
 //!
 //! `--trace` installs a global JSONL sink for the duration: every
 //! simulation run appends [`telemetry::TraceRecord`]s (one JSON object
-//! per line: `{"t", "node", "event", ...}`) to the given path.
+//! per line: `{"t", "node", "event", ...}`) to the given path. With
+//! `--workers > 1` the records are buffered per experiment and written
+//! in experiment order, so the trace file is identical to a serial run.
+//!
+//! Results, the JSON document, and the trace stream are merged in
+//! experiment order regardless of `--workers`, so output at any worker
+//! count is byte-identical apart from measured wall-clock seconds.
 
-use harness::experiments;
-use harness::metrics;
-use telemetry::Json;
+use harness::runner::{self, CliArgs};
+use harness::{experiments, parallel};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
-    let list = args.iter().any(|a| a == "--list" || a == "-l");
-    let json_path = flag_value(&args, "--json");
-    let trace_path = flag_value(&args, "--trace");
-    let mut skip_next = false;
-    let ids: Vec<String> = args
-        .iter()
-        .filter(|a| {
-            if skip_next {
-                skip_next = false;
-                return false;
-            }
-            if *a == "--json" || *a == "--trace" {
-                skip_next = true;
-                return false;
-            }
-            !a.starts_with('-') && *a != "all"
-        })
-        .cloned()
-        .collect();
+    let cli: CliArgs = match runner::parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{}", runner::USAGE);
+            std::process::exit(2);
+        }
+    };
 
-    if list {
+    if cli.list {
         println!("experiment index (paper artifact → id):");
-        for (id, title) in [
-            (
-                "e1",
-                "Retransmission probability & mean periods (P_R, s-bar)",
-            ),
-            ("e2", "Throughput efficiency vs offered traffic N"),
-            ("e3", "Throughput efficiency vs residual BER"),
-            ("e4", "Throughput efficiency vs link distance"),
-            (
-                "e5",
-                "Transparent buffer size (B_LAMS finite, B_HDLC = inf)",
-            ),
-            ("e6", "Sender holding time H_frame vs W_cp"),
-            ("e7", "Low-traffic delivery time D_low(N)"),
-            ("e8", "Burst-error resilience (Gilbert-Elliott)"),
-            ("e9", "Enforced recovery & failure detection"),
-            ("e10", "Bounded numbering size"),
-            ("e11", "Stop-Go flow control"),
-            ("e12", "W_cp x C_depth ablation"),
-            ("e13", "Store-and-forward relay chain (end-to-end)"),
-            ("e14", "Optimal frame length"),
-            ("e15", "Full-duplex operation (no-piggyback cost)"),
-            ("e16", "Delay vs offered load (throughput/delay tradeoff)"),
-            ("e17", "Go-Back-N baseline collapse"),
-        ] {
+        for (id, title) in runner::INDEX {
             println!("  {id:>4}  {title}");
         }
         return;
     }
 
-    if let Some(path) = &trace_path {
+    parallel::set_workers(cli.workers);
+
+    if let Some(path) = &cli.trace {
         match telemetry::JsonlSink::create(std::path::Path::new(path)) {
             Ok(sink) => {
                 telemetry::install_global(std::rc::Rc::new(std::cell::RefCell::new(sink)));
@@ -99,46 +70,26 @@ fn main() {
         }
     }
 
-    let run_ids: Vec<&str> = if ids.is_empty() {
-        experiments::ALL.to_vec()
+    let ids: Vec<String> = if cli.ids.is_empty() {
+        experiments::ALL.iter().map(|s| s.to_string()).collect()
     } else {
-        ids.iter().map(|s| s.as_str()).collect()
+        cli.ids.clone()
     };
+    let runs = runner::run_experiments(&ids, cli.quick);
 
-    let mut results: Vec<Json> = Vec::new();
-    for id in run_ids {
-        metrics::perf_take(); // clear any carry-over before the experiment
-        match experiments::run_by_id(id, quick) {
-            Some(out) => {
-                print!("{}", out.render());
-                if json_path.is_some() {
-                    let mut doc = out.to_json();
-                    let perf = match metrics::perf_take() {
-                        Some((profile, wall, runs)) => {
-                            let mut p = metrics::perf_json(&profile, wall);
-                            if let Json::Obj(members) = &mut p {
-                                members.push(("runs".into(), runs.into()));
-                            }
-                            p
-                        }
-                        None => Json::Null,
-                    };
-                    if let Json::Obj(members) = &mut doc {
-                        members.push(("perf".into(), perf));
-                    }
-                    results.push(doc);
-                }
+    let mut unknown = false;
+    for run in &runs {
+        match &run.output {
+            Some(out) => print!("{}", out.render()),
+            None => {
+                eprintln!("unknown experiment id: {} (try --list)", run.id);
+                unknown = true;
             }
-            None => eprintln!("unknown experiment id: {id} (try --list)"),
         }
     }
 
-    if let Some(path) = &json_path {
-        let doc = Json::obj([
-            ("schema", Json::from("lams-dlc.repro/1")),
-            ("quick", Json::from(quick)),
-            ("experiments", Json::from(results)),
-        ]);
+    if let Some(path) = &cli.json {
+        let doc = runner::report_json(&runs, cli.quick);
         if let Err(e) = std::fs::write(path, doc.render_pretty() + "\n") {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
@@ -146,22 +97,14 @@ fn main() {
         eprintln!("wrote {path}");
     }
 
-    if let Some(path) = &trace_path {
+    if let Some(path) = &cli.trace {
         if let Some(sink) = telemetry::uninstall_global() {
             sink.borrow_mut().flush();
             eprintln!("wrote {path} ({} trace records)", sink.borrow().len());
         }
     }
-}
 
-/// Value of `--flag <value>` in `args`, if present.
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    let i = args.iter().position(|a| a == flag)?;
-    match args.get(i + 1) {
-        Some(v) if !v.starts_with('-') => Some(v.clone()),
-        _ => {
-            eprintln!("{flag} requires a path argument");
-            std::process::exit(1);
-        }
+    if unknown {
+        std::process::exit(2);
     }
 }

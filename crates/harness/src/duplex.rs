@@ -18,18 +18,8 @@ use crate::metrics::{Collector, RunReport};
 use crate::node::{LamsRx, LamsTx, RxEndpoint, SrRx, SrTx, TxEndpoint};
 use crate::scenario::ScenarioConfig;
 use crate::traffic::TrafficGen;
-use bytes::Bytes;
-use sim_core::{EventQueue, Instant, RunTimer, SeedSplitter};
-use telemetry::TraceEvent;
-
-enum Ev<F> {
-    /// SDU arriving at node A (0) or B (1).
-    Push(usize, u64),
-    /// Frame arriving at node A (0) or B (1).
-    Arrive(usize, F, bool),
-    Sample,
-    Wake,
-}
+use netsim::{NodeRole, SimBuilder};
+use sim_core::SeedSplitter;
 
 /// Reports for the two directions: `a_to_b` and `b_to_a`.
 pub struct DuplexReport {
@@ -52,168 +42,58 @@ where
     R: RxEndpoint<Frame = T::Frame>,
 {
     // Node 0 = A, node 1 = B. txs[i] sends data FROM node i; rxs[i]
-    // receives data AT node i. chan[i] carries node i's transmissions.
-    let timer = RunTimer::start();
-    let trace = telemetry::global_handle("channel");
-    let mut txs: Vec<T> = (0..2).map(&mk_tx).collect();
-    let mut rxs: Vec<R> = (0..2).map(&mk_rx).collect();
+    // receives data AT node i. Link i carries node i's transmissions,
+    // with the receiver registered first so its control frames win the
+    // shared transmitter (checkpoint priority over I-frames). Both
+    // endpoints listen on the incoming link — each ignores frames that
+    // are not its own.
+    let mut gens = (0..2).map(|i| {
+        TrafficGen::new(
+            cfg.pattern.clone(),
+            cfg.n_packets,
+            SeedSplitter::new(cfg.seed).stream(2 + i as u64),
+        )
+    });
     let (chan_a, chan_b) = cfg.build_channels();
-    let mut chans = [chan_a, chan_b];
-    let mut gens: Vec<TrafficGen> = (0..2)
-        .map(|i| {
-            TrafficGen::new(
-                cfg.pattern.clone(),
-                cfg.n_packets,
-                SeedSplitter::new(cfg.seed).stream(2 + i as u64),
-            )
-        })
-        .collect();
-    let mut cols = [Collector::new(), Collector::new()];
-    let mut q: EventQueue<Ev<T::Frame>> = EventQueue::new();
-    let deadline = Instant::ZERO + cfg.deadline;
-    let payload = Bytes::from(vec![0u8; cfg.payload_bytes]);
 
-    for i in 0..2 {
-        txs[i].start(Instant::ZERO);
-        rxs[i].start(Instant::ZERO);
-        if let Some((at, id)) = gens[i].next() {
-            q.schedule(at, Ev::Push(i, id));
-        }
-    }
-    q.schedule(Instant::ZERO, Ev::Sample);
-    q.schedule(Instant::ZERO, Ev::Wake);
+    let mut b = SimBuilder::new(cfg.payload_bytes, cfg.deadline, cfg.sample_every);
+    let na = b.node(NodeRole::Duplex);
+    let nb = b.node(NodeRole::Duplex);
+    let la = b.link(na, nb, chan_a, "fwd");
+    let lb = b.link(nb, na, chan_b, "rev");
+    let ra = b.rx(na, la, mk_rx(0));
+    let ta = b.tx(na, la, mk_tx(0));
+    let rb = b.rx(nb, lb, mk_rx(1));
+    let tb = b.tx(nb, lb, mk_tx(1));
+    b.listen(la, rb);
+    b.listen(la, tb);
+    b.listen(lb, ra);
+    b.listen(lb, ta);
+    let c0 = b.collector(Collector::new());
+    let c1 = b.collector(Collector::new());
+    b.source(gens.next().expect("gen a"), ta, c0);
+    b.source(gens.next().expect("gen b"), tb, c1);
+    b.deliver(ra, c1);
+    b.deliver(rb, c0);
+    b.sample(c0, ta, vec![ra]);
+    b.sample(c1, tb, vec![rb]);
+    b.holding(c0, ta);
+    b.holding(c1, tb);
 
-    let mut next_wake = Instant::MAX;
-    let mut holding = Vec::new();
-    let mut finished_at = Instant::ZERO;
-    let mut deadline_hit = false;
-
-    while let Some((now, first_ev)) = q.pop() {
-        if now > deadline {
-            deadline_hit = true;
-            finished_at = deadline;
-            break;
-        }
-        let mut ev = first_ev;
-        loop {
-            match ev {
-                Ev::Push(i, id) => {
-                    cols[i].on_push(now, id);
-                    txs[i].push(id, payload.clone());
-                    if let Some((at, nid)) = gens[i].next() {
-                        q.schedule(at.max(now), Ev::Push(i, nid));
-                    }
-                }
-                Ev::Arrive(i, f, clean) => {
-                    // A frame arriving at node i may belong to either the
-                    // data plane (for rxs[i]) or the control plane (for
-                    // txs[i]); the endpoints ignore frames that are not
-                    // theirs, so offer to both.
-                    rxs[i].handle_frame(now, f.clone(), clean);
-                    txs[i].handle_frame(now, f, clean);
-                }
-                Ev::Sample => {
-                    for i in 0..2 {
-                        cols[i].sample(now, txs[i].buffered(), rxs[i].occupancy(), txs[i].rate());
-                    }
-                    if now + cfg.sample_every <= deadline {
-                        q.schedule(now + cfg.sample_every, Ev::Sample);
-                    }
-                }
-                Ev::Wake => {
-                    if next_wake <= now {
-                        next_wake = Instant::MAX;
-                    }
-                }
-            }
-            if q.peek_time() == Some(now) {
-                ev = q.pop().expect("peeked").1;
-            } else {
-                break;
-            }
-        }
-
-        for i in 0..2 {
-            txs[i].on_timeout(now);
-            rxs[i].on_timeout(now);
-        }
-        // Node i's transmitter serves its receiver's control frames
-        // first (priority), then its sender's I-frames; everything lands
-        // at the peer 1 − i.
-        for i in 0..2 {
-            while chans[i].idle(now) {
-                let (frame, meta) = if let Some(f) = rxs[i].poll_transmit(now) {
-                    let m = R::meta(&f);
-                    (f, m)
-                } else if let Some(f) = txs[i].poll_transmit(now) {
-                    let m = T::meta(&f);
-                    (f, m)
-                } else {
-                    break;
-                };
-                match chans[i].transmit(now, meta.bytes, meta.is_info) {
-                    crate::link::Fate::Arrives { at, clean } => {
-                        q.schedule(at, Ev::Arrive(1 - i, frame, clean));
-                    }
-                    crate::link::Fate::Lost => {
-                        let dir = if i == 0 { "fwd" } else { "rev" };
-                        trace.emit(now, || TraceEvent::ChannelDrop { dir });
-                    }
-                }
-            }
-        }
-        for i in 0..2 {
-            // Data sent FROM node 1-i is delivered AT node i.
-            while let Some((id, _len)) = rxs[i].poll_deliver(now) {
-                cols[1 - i].on_deliver(now, id);
-            }
-            holding.clear();
-            txs[i].drain_holding(&mut holding);
-            cols[i].on_holding(&holding);
-        }
-
-        let done =
-            (0..2).all(|i| cols[i].delivered_unique() >= cfg.n_packets && txs[i].buffered() == 0);
-        if done || txs.iter().any(|t| t.is_failed()) {
-            finished_at = now;
-            break;
-        }
-
-        let mut want: Option<Instant> = None;
-        let mut consider = |c: Option<Instant>| {
-            if let Some(t) = c {
-                want = Some(want.map_or(t, |w| w.min(t)));
-            }
-        };
-        for i in 0..2 {
-            consider(txs[i].poll_timeout());
-            consider(rxs[i].poll_timeout());
-            if !chans[i].idle(now) {
-                consider(Some(chans[i].free_at()));
-            }
-        }
-        if let Some(t) = want {
-            let t = if t > now {
-                Some(t)
-            } else {
-                (0..2)
-                    .filter(|&i| !chans[i].idle(now))
-                    .map(|i| chans[i].free_at())
-                    .min()
-            };
-            if let Some(t) = t {
-                debug_assert!(t > now);
-                if t < next_wake {
-                    next_wake = t;
-                    q.schedule(t, Ev::Wake);
-                }
-            }
-        }
-        finished_at = now;
-    }
-
-    let mut it = cols.into_iter();
-    let finish = |col: Collector, i: usize, txs: &[T], rxs: &[R]| {
+    let netsim::Outcome {
+        txs,
+        rxs,
+        collectors,
+        finished_at,
+        deadline_hit,
+        queue,
+        wall_secs,
+        ..
+    } = b.build().expect("duplex wiring is valid").run();
+    // Both directions ran on the one event queue; each report carries
+    // the whole run's perf block.
+    crate::metrics::perf_absorb(&queue, wall_secs);
+    let finish = |col: Collector, i: usize| {
         col.finish(
             protocol,
             cfg.n_packets,
@@ -227,18 +107,14 @@ where
             rxs[1 - i].extra_stats(),
         )
     };
-    // Both directions ran on the one event queue; each report carries
-    // the whole run's perf block.
-    let profile = q.profile();
-    let wall = timer.elapsed_secs();
-    crate::metrics::perf_absorb(&profile, wall);
     let stamp = |mut r: RunReport| {
-        r.queue = profile;
-        r.wall_secs = wall;
+        r.queue = queue;
+        r.wall_secs = wall_secs;
         r
     };
-    let a_to_b = stamp(finish(it.next().expect("col a"), 0, &txs, &rxs));
-    let b_to_a = stamp(finish(it.next().expect("col b"), 1, &txs, &rxs));
+    let mut it = collectors.into_iter();
+    let a_to_b = stamp(finish(it.next().expect("col a"), 0));
+    let b_to_a = stamp(finish(it.next().expect("col b"), 1));
     DuplexReport { a_to_b, b_to_a }
 }
 

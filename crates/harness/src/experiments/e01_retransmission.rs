@@ -6,6 +6,7 @@
 //! is `s̄ − 1`.
 
 use crate::experiments::ExperimentOutput;
+use crate::parallel;
 use crate::report::Table;
 use crate::scenario::{run_lams, run_sr, ScenarioConfig};
 use analysis::periods::{p_r_hdlc, p_r_lams, s_bar_hdlc, s_bar_lams};
@@ -31,14 +32,14 @@ pub fn run(quick: bool) -> ExperimentOutput {
         ],
     );
     let mut notes = Vec::new();
-    for &ber in BERS {
+    let runs = parallel::map(BERS.to_vec(), |ber| {
         let mut cfg = ScenarioConfig::paper_default();
         cfg.n_packets = n;
         cfg.data_residual_ber = ber;
         cfg.ctrl_residual_ber = ber / 10.0;
-        let p = cfg.link_params();
-        let lams = run_lams(&cfg);
-        let sr = run_sr(&cfg);
+        (cfg.link_params(), run_lams(&cfg), run_sr(&cfg))
+    });
+    for (&ber, (p, lams, sr)) in BERS.iter().zip(runs) {
         table.row(vec![
             ber.into(),
             p.p_f.into(),

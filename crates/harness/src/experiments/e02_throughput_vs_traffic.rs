@@ -2,6 +2,7 @@
 //! figure: `η_LAMS` grows with `N`, `η_HDLC` is window-bound).
 
 use crate::experiments::ExperimentOutput;
+use crate::parallel;
 use crate::report::Table;
 use crate::scenario::{run_lams, run_sr, ScenarioConfig};
 use analysis::throughput::{efficiency_hdlc, efficiency_lams};
@@ -31,12 +32,12 @@ pub fn run(quick: bool) -> ExperimentOutput {
             "ratio_sim",
         ],
     );
-    for n in sweep(quick) {
+    let runs = parallel::map(sweep(quick), |n| {
         let mut cfg = ScenarioConfig::paper_default();
         cfg.n_packets = n;
-        let p = cfg.link_params();
-        let lams = run_lams(&cfg);
-        let sr = run_sr(&cfg);
+        (n, cfg.link_params(), run_lams(&cfg), run_sr(&cfg))
+    });
+    for (n, p, lams, sr) in runs {
         let ratio = lams.efficiency() / sr.efficiency().max(1e-12);
         table.row(vec![
             n.into(),

@@ -2,6 +2,7 @@
 //! operating band 1e-7…1e-5, extended one decade each way).
 
 use crate::experiments::ExperimentOutput;
+use crate::parallel;
 use crate::report::Table;
 use crate::scenario::{run_lams, run_sr, ScenarioConfig};
 use analysis::throughput::{efficiency_hdlc, efficiency_lams};
@@ -22,14 +23,14 @@ pub fn run(quick: bool) -> ExperimentOutput {
             "eta_hdlc_sim",
         ],
     );
-    for &ber in BERS {
+    let runs = parallel::map(BERS.to_vec(), |ber| {
         let mut cfg = ScenarioConfig::paper_default();
         cfg.n_packets = n;
         cfg.data_residual_ber = ber;
         cfg.ctrl_residual_ber = ber / 10.0;
-        let p = cfg.link_params();
-        let lams = run_lams(&cfg);
-        let sr = run_sr(&cfg);
+        (cfg.link_params(), run_lams(&cfg), run_sr(&cfg))
+    });
+    for (&ber, (p, lams, sr)) in BERS.iter().zip(runs) {
         table.row(vec![
             ber.into(),
             efficiency_lams(&p, n).into(),

@@ -4,6 +4,7 @@
 //! with geometry).
 
 use crate::experiments::ExperimentOutput;
+use crate::parallel;
 use crate::report::Table;
 use crate::scenario::{run_lams, run_sr, ScenarioConfig};
 use analysis::throughput::{efficiency_hdlc, efficiency_lams};
@@ -26,19 +27,20 @@ pub fn run(quick: bool) -> ExperimentOutput {
             "eta_hdlc_sim",
         ],
     );
-    for &d in DISTANCES {
+    let runs = parallel::map(DISTANCES.to_vec(), |d| {
         let mut cfg = ScenarioConfig::paper_default();
         cfg.n_packets = n;
         cfg.distance_km = d;
         // α scales with distance: the range spread over a pass grows with
         // the geometry (§4: α ≥ R_max − R̄).
         cfg.alpha = Duration::from_secs_f64(2.5e-3 * d / 1000.0);
-        let p = cfg.link_params();
-        let lams = run_lams(&cfg);
-        let sr = run_sr(&cfg);
+        let rtt = cfg.rtt();
+        (rtt, cfg.link_params(), run_lams(&cfg), run_sr(&cfg))
+    });
+    for (&d, (rtt, p, lams, sr)) in DISTANCES.iter().zip(runs) {
         table.row(vec![
             d.into(),
-            (cfg.rtt().as_secs_f64() * 1e3).into(),
+            (rtt.as_secs_f64() * 1e3).into(),
             efficiency_lams(&p, n).into(),
             efficiency_hdlc(&p, n).into(),
             lams.efficiency().into(),

@@ -3,6 +3,7 @@
 //! shorter `W_cp` shrinks the holding time).
 
 use crate::experiments::ExperimentOutput;
+use crate::parallel;
 use crate::report::Table;
 use crate::scenario::{run_lams, ScenarioConfig};
 use analysis::holding::h_frame_lams;
@@ -24,13 +25,14 @@ pub fn run(quick: bool) -> ExperimentOutput {
             "resolving_bound_ms",
         ],
     );
-    for &ms in W_CP_MS {
+    let runs = parallel::map(W_CP_MS.to_vec(), |ms| {
         let mut cfg = ScenarioConfig::paper_default();
         cfg.n_packets = n;
         cfg.w_cp = Duration::from_millis(ms);
-        let p = cfg.link_params();
-        let r = run_lams(&cfg);
         let bound = cfg.lams_config().resolving_period().as_secs_f64();
+        (cfg.link_params(), run_lams(&cfg), bound)
+    });
+    for (&ms, (p, r, bound)) in W_CP_MS.iter().zip(runs) {
         table.row(vec![
             ms.into(),
             (h_frame_lams(&p) * 1e3).into(),

@@ -5,6 +5,7 @@
 //! buffer and no more arrive until it completes.
 
 use crate::experiments::ExperimentOutput;
+use crate::parallel;
 use crate::report::Table;
 use crate::scenario::{run_lams, run_sr, ScenarioConfig};
 use analysis::delivery::{d_low_hdlc, d_low_lams};
@@ -36,7 +37,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
             "hdlc_sim",
         ],
     );
-    for &n in BATCHES {
+    let runs = parallel::map(BATCHES.to_vec(), |n| {
         let mut lams_sum = 0.0;
         let mut sr_sum = 0.0;
         let mut cfg = ScenarioConfig::paper_default();
@@ -48,7 +49,9 @@ pub fn run(quick: bool) -> ExperimentOutput {
             lams_sum += run_lams(&cfg).elapsed_s();
             sr_sum += run_sr(&cfg).elapsed_s();
         }
-        let p = cfg.link_params();
+        (cfg.link_params(), lams_sum, sr_sum)
+    });
+    for (&n, (p, lams_sum, sr_sum)) in BATCHES.iter().zip(runs) {
         table.row(vec![
             n.into(),
             (d_low_lams(&p, n) * 1e3).into(),

@@ -7,6 +7,7 @@
 //! length across the protection boundary `C_depth · W_cp = 15 ms`.
 
 use crate::experiments::ExperimentOutput;
+use crate::parallel;
 use crate::report::Table;
 use crate::scenario::{run_lams, run_sr, BurstCfg, ScenarioConfig};
 use sim_core::Duration;
@@ -32,7 +33,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
             "hdlc_timeouts",
         ],
     );
-    for &ms in BURST_MS {
+    let runs = parallel::map(BURST_MS.to_vec(), |ms| {
         let mut eta_l = 0.0;
         let mut eta_h = 0.0;
         let mut reqnaks = 0.0;
@@ -73,6 +74,11 @@ pub fn run(quick: bool) -> ExperimentOutput {
             failures += u64::from(lams.link_failed);
             timeouts += sr.extra("timeouts").unwrap_or(0.0);
         }
+        (eta_l, eta_h, reqnaks, dups, silent_loss, failures, timeouts)
+    });
+    for (&ms, (eta_l, eta_h, reqnaks, dups, silent_loss, failures, timeouts)) in
+        BURST_MS.iter().zip(runs)
+    {
         let k = seeds.len() as f64;
         table.row(vec![
             ms.into(),

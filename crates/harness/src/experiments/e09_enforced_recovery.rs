@@ -6,6 +6,7 @@
 
 use crate::experiments::ExperimentOutput;
 use crate::link::Outage;
+use crate::parallel;
 use crate::report::Table;
 use crate::scenario::{run_lams, ScenarioConfig};
 use sim_core::{Duration, Instant};
@@ -31,7 +32,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
             "elapsed_ms",
         ],
     );
-    for &ms in OUTAGES_MS {
+    let runs = parallel::map(OUTAGES_MS.to_vec(), |ms| {
         let mut cfg = ScenarioConfig::paper_default();
         cfg.n_packets = n;
         cfg.data_residual_ber = 1e-7;
@@ -41,7 +42,9 @@ pub fn run(quick: bool) -> ExperimentOutput {
             until: Instant::from_millis(20 + ms),
         });
         cfg.deadline = Duration::from_secs(120);
-        let r = run_lams(&cfg);
+        run_lams(&cfg)
+    });
+    for (&ms, r) in OUTAGES_MS.iter().zip(runs) {
         table.row(vec![
             ms.into(),
             r.delivered_unique.into(),

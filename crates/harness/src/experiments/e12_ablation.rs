@@ -8,6 +8,7 @@
 //! but delays failure detection (`C_depth · W_cp`).
 
 use crate::experiments::ExperimentOutput;
+use crate::parallel;
 use crate::report::Table;
 use crate::scenario::{run_lams, ScenarioConfig};
 use sim_core::Duration;
@@ -32,30 +33,33 @@ pub fn run(quick: bool) -> ExperimentOutput {
             "failure_detect_bound_ms",
         ],
     );
-    for &ms in W_CP_MS {
-        for &depth in C_DEPTH {
-            let mut cfg = ScenarioConfig::paper_default();
-            cfg.n_packets = n;
-            cfg.w_cp = Duration::from_millis(ms);
-            cfg.c_depth = depth;
-            // Hostile control channel: the knob under test is NAK
-            // redundancy, so make NAK loss non-negligible.
-            cfg.data_residual_ber = 1e-5;
-            cfg.ctrl_residual_ber = 1e-4;
-            cfg.deadline = Duration::from_secs(600);
-            let r = run_lams(&cfg);
-            let detect =
-                cfg.lams_config().checkpoint_timeout() + cfg.lams_config().failure_timeout();
-            table.row(vec![
-                ms.into(),
-                u64::from(depth).into(),
-                r.efficiency().into(),
-                (r.holding.mean() * 1e3).into(),
-                r.lost.into(),
-                r.extra("request_naks").unwrap_or(0.0).into(),
-                (detect.as_secs_f64() * 1e3).into(),
-            ]);
-        }
+    let grid: Vec<(u64, u32)> = W_CP_MS
+        .iter()
+        .flat_map(|&ms| C_DEPTH.iter().map(move |&depth| (ms, depth)))
+        .collect();
+    let runs = parallel::map(grid.clone(), |(ms, depth)| {
+        let mut cfg = ScenarioConfig::paper_default();
+        cfg.n_packets = n;
+        cfg.w_cp = Duration::from_millis(ms);
+        cfg.c_depth = depth;
+        // Hostile control channel: the knob under test is NAK
+        // redundancy, so make NAK loss non-negligible.
+        cfg.data_residual_ber = 1e-5;
+        cfg.ctrl_residual_ber = 1e-4;
+        cfg.deadline = Duration::from_secs(600);
+        let detect = cfg.lams_config().checkpoint_timeout() + cfg.lams_config().failure_timeout();
+        (run_lams(&cfg), detect)
+    });
+    for ((ms, depth), (r, detect)) in grid.into_iter().zip(runs) {
+        table.row(vec![
+            ms.into(),
+            u64::from(depth).into(),
+            r.efficiency().into(),
+            (r.holding.mean() * 1e3).into(),
+            r.lost.into(),
+            r.extra("request_naks").unwrap_or(0.0).into(),
+            (detect.as_secs_f64() * 1e3).into(),
+        ]);
     }
     ExperimentOutput {
         id: "E12",

@@ -4,6 +4,7 @@
 //! at the destination; SR-HDLC pays the in-order holding at *every* hop.
 
 use crate::experiments::ExperimentOutput;
+use crate::parallel;
 use crate::relay::{run_relay_lams, run_relay_sr, RelayConfig};
 use crate::report::Table;
 use crate::scenario::ScenarioConfig;
@@ -30,15 +31,16 @@ pub fn run(quick: bool) -> ExperimentOutput {
             "sr_lost",
         ],
     );
-    for &h in hops {
+    let runs = parallel::map(hops.to_vec(), |h| {
         let mut base = ScenarioConfig::paper_default();
         base.n_packets = n;
         base.data_residual_ber = 1e-5;
         base.ctrl_residual_ber = 1e-6;
         base.deadline = Duration::from_secs(300);
         let cfg = RelayConfig { hops: h, base };
-        let lams = run_relay_lams(&cfg);
-        let sr = run_relay_sr(&cfg);
+        (run_relay_lams(&cfg), run_relay_sr(&cfg))
+    });
+    for (&h, (lams, sr)) in hops.iter().zip(runs) {
         table.row(vec![
             (h as u64).into(),
             (lams.e2e_delay.mean() * 1e3).into(),

@@ -4,6 +4,7 @@
 //! numbering) leaves the frame size free to be tuned.
 
 use crate::experiments::ExperimentOutput;
+use crate::parallel;
 use crate::report::Table;
 use crate::scenario::{run_lams, ScenarioConfig};
 use analysis::framesize::{goodput_fraction, optimal_payload_bits};
@@ -25,14 +26,16 @@ pub fn run(quick: bool) -> ExperimentOutput {
     );
     // Keep the byte volume constant so every row does the same work.
     let total_bytes: u64 = if quick { 4 << 20 } else { 32 << 20 };
-    for &payload in PAYLOADS {
+    let runs = parallel::map(PAYLOADS.to_vec(), |payload| {
         let mut cfg = ScenarioConfig::paper_default();
         cfg.payload_bytes = payload;
         cfg.n_packets = (total_bytes / payload as u64).max(300);
         cfg.data_residual_ber = ber;
         cfg.ctrl_residual_ber = ber / 10.0;
         cfg.deadline = Duration::from_secs(600);
-        let r = run_lams(&cfg);
+        run_lams(&cfg)
+    });
+    for (&payload, r) in PAYLOADS.iter().zip(runs) {
         // Steady-state goodput fraction — exactly the quantity g(L)
         // models: the payload share of a slot times the fraction of
         // transmissions that are first transmissions (1/s̄). Measuring a

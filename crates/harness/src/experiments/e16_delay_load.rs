@@ -14,6 +14,7 @@
 //! M/D/1 prediction against the simulated protocol.
 
 use crate::experiments::ExperimentOutput;
+use crate::parallel;
 use crate::report::Table;
 use crate::scenario::{run_lams, ScenarioConfig};
 use crate::traffic::Pattern;
@@ -58,7 +59,7 @@ fn sweep_table(title: &str, rate_bps: f64, n: u64) -> Table {
             "achieved_throughput_frac",
         ],
     );
-    for &rho in LOADS {
+    let runs = parallel::map(LOADS.to_vec(), |rho| {
         let mut cfg = ScenarioConfig::paper_default();
         cfg.rate_bps = rate_bps;
         cfg.n_packets = n;
@@ -72,11 +73,13 @@ fn sweep_table(title: &str, rate_bps: f64, n: u64) -> Table {
             mean: Duration::from_secs_f64(t_f / rho),
         };
         cfg.deadline = Duration::from_secs(300);
-        let r = run_lams(&cfg);
         let analytic = t_f * rho / (2.0 * (1.0 - rho))
             + t_f
             + cfg.rtt().as_secs_f64() / 2.0
             + cfg.t_proc.as_secs_f64();
+        (run_lams(&cfg), t_f, analytic)
+    });
+    for (&rho, (r, t_f, analytic)) in LOADS.iter().zip(runs) {
         // Normalise out the finite-run tail: the run's clock includes the
         // final drain (~R + W_cp after the last arrival), which is not
         // steady-state throughput.

@@ -4,6 +4,7 @@
 //! protocols. Quantifies §2.3's discard waste.
 
 use crate::experiments::ExperimentOutput;
+use crate::parallel;
 use crate::report::Table;
 use crate::scenario::{run_gbn, run_lams, run_sr, ScenarioConfig};
 use analysis::gbn::efficiency_gbn;
@@ -27,16 +28,20 @@ pub fn run(quick: bool) -> ExperimentOutput {
             "gbn_discards",
         ],
     );
-    for &ber in BERS {
+    let runs = parallel::map(BERS.to_vec(), |ber| {
         let mut cfg = ScenarioConfig::paper_default();
         cfg.n_packets = n;
         cfg.data_residual_ber = ber;
         cfg.ctrl_residual_ber = ber / 10.0;
         cfg.deadline = Duration::from_secs(600);
-        let p = cfg.link_params();
-        let gbn = run_gbn(&cfg);
-        let sr = run_sr(&cfg);
-        let lams = run_lams(&cfg);
+        (
+            cfg.link_params(),
+            run_gbn(&cfg),
+            run_sr(&cfg),
+            run_lams(&cfg),
+        )
+    });
+    for (&ber, (p, gbn, sr, lams)) in BERS.iter().zip(runs) {
         table.row(vec![
             ber.into(),
             efficiency_gbn(&p).into(),

@@ -5,34 +5,41 @@
 //!
 //! Discrete-event experiment harness for the LAMS-DLC reproduction.
 //!
-//! * [`node`] — one sans-IO driving contract ([`node::TxEndpoint`] /
-//!   [`node::RxEndpoint`]) with adapters for LAMS-DLC, SR-HDLC and
-//!   GBN-HDLC;
-//! * [`link`] — the full-duplex channel: serialization, fixed or orbital
-//!   propagation delay, uniform/burst error processes, outage injection;
-//! * [`traffic`] — CBR / Poisson / on-off / batch generators;
-//! * [`scenario`] — configuration and the generic run loop (common random
+//! * [`node`] — adapters binding LAMS-DLC, SR-HDLC and GBN-HDLC to the
+//!   netsim crate's sans-IO [`node::TxEndpoint`] / [`node::RxEndpoint`]
+//!   contract;
+//! * [`link`] / [`traffic`] — re-exports of the netsim channel model
+//!   and SDU generators (kept at their historical harness paths);
+//! * [`scenario`] / [`duplex`] / [`relay`] — thin topology builders over
+//!   the netsim engine: 2 nodes/1 link each way, 2 duplex nodes/2
+//!   links, and an N+1-node store-and-forward chain (common random
 //!   numbers across protocols);
 //! * [`metrics`] — per-run measurement collection and [`metrics::RunReport`];
-//! * [`experiments`] — the E1–E12 suite regenerating every table and
+//! * [`parallel`] / [`runner`] — the experiment runner: worker-thread
+//!   fan-out with deterministic merging, CLI parsing, JSON reports;
+//! * [`experiments`] — the E1–E17 suite regenerating every table and
 //!   figure of the paper (see DESIGN.md for the index);
 //! * [`report`] — plain-text table/series rendering.
 
 pub mod duplex;
 pub mod experiments;
-pub mod link;
 pub mod metrics;
 pub mod node;
+pub mod parallel;
 pub mod passes;
 pub mod relay;
 pub mod report;
+pub mod runner;
 pub mod scenario;
-pub mod traffic;
+
+pub use netsim::{link, traffic};
 
 pub use duplex::{run_duplex, run_duplex_lams, run_duplex_sr, DuplexReport};
-pub use link::{Channel, DelayModel, ErrorModel, Fate, Outage};
 pub use metrics::{Collector, RunReport};
+pub use netsim::link::{Channel, DelayModel, ErrorModel, Fate, Outage};
+pub use netsim::traffic::{Pattern, TrafficGen};
 pub use passes::{run_multi_pass, run_multi_pass_limited, MultiPassReport, PassSummary};
 pub use relay::{run_relay, run_relay_lams, run_relay_sr, RelayConfig};
-pub use scenario::{run, run_gbn, run_lams, run_sr, BurstCfg, ScenarioConfig};
-pub use traffic::{Pattern, TrafficGen};
+pub use scenario::{
+    run, run_gbn, run_in, run_lams, run_lams_in, run_sr, BurstCfg, ScenarioConfig, ScenarioQueue,
+};

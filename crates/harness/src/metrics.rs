@@ -208,12 +208,19 @@ thread_local! {
 /// Fold one run's scheduler profile and wall clock into the thread's perf
 /// accumulator.
 pub fn perf_absorb(queue: &QueueProfile, wall_secs: f64) {
+    perf_merge(queue, wall_secs, 1);
+}
+
+/// Fold an already-merged profile covering `runs` runs into the thread's
+/// perf accumulator — used when replaying a worker thread's drained
+/// accumulator into the orchestrating thread's.
+pub fn perf_merge(queue: &QueueProfile, wall_secs: f64, runs: u64) {
     PERF_ACC.with(|acc| {
         let mut acc = acc.borrow_mut();
         let (p, w, n) = acc.get_or_insert((QueueProfile::default(), 0.0, 0));
         p.absorb(queue);
         *w += wall_secs;
-        *n += 1;
+        *n += runs;
     });
 }
 
@@ -428,6 +435,30 @@ impl Collector {
 impl Default for Collector {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+// The netsim engine drives collectors through this trait; delegate to
+// the inherent methods so direct (non-engine) users keep working.
+impl netsim::Collect for Collector {
+    fn on_push(&mut self, now: Instant, id: u64) {
+        Collector::on_push(self, now, id);
+    }
+
+    fn on_deliver(&mut self, now: Instant, id: u64) {
+        Collector::on_deliver(self, now, id);
+    }
+
+    fn on_holding(&mut self, samples: &[f64]) {
+        Collector::on_holding(self, samples);
+    }
+
+    fn sample(&mut self, now: Instant, tx_buffered: usize, rx_occupancy: usize, rate: f64) {
+        Collector::sample(self, now, tx_buffered, rx_occupancy, rate);
+    }
+
+    fn delivered_unique(&self) -> u64 {
+        Collector::delivered_unique(self)
     }
 }
 

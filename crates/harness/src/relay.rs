@@ -16,14 +16,12 @@
 //!   resequencing delay is paid *per hop*, and a loss near the source
 //!   stalls the pipeline of every downstream link.
 
-use crate::link::Channel;
 use crate::metrics::RunReport;
 use crate::node::{LamsRx, LamsTx, RxEndpoint, SrRx, SrTx, TxEndpoint};
 use crate::scenario::ScenarioConfig;
 use crate::traffic::TrafficGen;
-use bytes::Bytes;
-use sim_core::{EventQueue, Instant, RunTimer, SeedSplitter};
-use telemetry::TraceEvent;
+use netsim::{NodeRole, SimBuilder};
+use sim_core::SeedSplitter;
 
 /// Relay chain configuration: `hops` identical links, each drawn from the
 /// base scenario (distance, rate, error model, protocol knobs).
@@ -33,16 +31,6 @@ pub struct RelayConfig {
     pub hops: usize,
     /// Per-link scenario parameters.
     pub base: ScenarioConfig,
-}
-
-enum Ev<F> {
-    Push(u64),
-    /// Frame arriving at the downstream node of link `hop`.
-    ArriveFwd(usize, F, bool),
-    /// Control frame arriving back at the upstream node of link `hop`.
-    ArriveRev(usize, F, bool),
-    Sample,
-    Wake,
 }
 
 /// Drive a relay chain where every hop runs the same protocol.
@@ -60,204 +48,76 @@ where
     assert!(cfg.hops >= 1, "need at least one link");
     let h = cfg.hops;
     let base = &cfg.base;
-    let timer = RunTimer::start();
-    let trace = telemetry::global_handle("channel");
-    let mut txs: Vec<T> = (0..h).map(&mk_tx).collect();
-    let mut rxs: Vec<R> = (0..h).map(&mk_rx).collect();
-    // Independent channels per hop (fresh RNG streams per link).
-    let mut fwd: Vec<Channel> = Vec::with_capacity(h);
-    let mut rev: Vec<Channel> = Vec::with_capacity(h);
-    for i in 0..h {
-        let mut c = base.clone();
-        c.seed = base.seed.wrapping_add(1000 * (i as u64 + 1));
-        let (f, r) = c.build_channels();
-        fwd.push(f);
-        rev.push(r);
-    }
-    let mut gen = TrafficGen::new(
+    let gen = TrafficGen::new(
         base.pattern.clone(),
         base.n_packets,
         SeedSplitter::new(base.seed).stream(2),
     );
-    let mut col = crate::metrics::Collector::new();
-    let mut q: EventQueue<Ev<T::Frame>> = EventQueue::new();
-    let deadline = Instant::ZERO + base.deadline;
-    let payload = Bytes::from(vec![0u8; base.payload_bytes]);
 
+    // hops + 1 nodes: source, h − 1 relays, sink. Per hop, a forward
+    // link (data) and a reverse link (control), with independent
+    // channels per hop (fresh RNG streams per link via shifted seeds).
+    // Each hop's receiver drains right after its reverse link pumps, so
+    // forwarded frames reach the next hop's sender before that link's
+    // pump pass — store-and-forward within the same instant.
+    let mut b = SimBuilder::new(base.payload_bytes, base.deadline, base.sample_every);
+    let mut nodes = Vec::with_capacity(h + 1);
+    for n in 0..=h {
+        nodes.push(b.node(match n {
+            0 => NodeRole::Source,
+            n if n == h => NodeRole::Sink,
+            _ => NodeRole::Relay,
+        }));
+    }
+    let mut txs = Vec::with_capacity(h);
+    let mut rxs = Vec::with_capacity(h);
     for i in 0..h {
-        txs[i].start(Instant::ZERO);
-        rxs[i].start(Instant::ZERO);
+        let mut c = base.clone();
+        c.seed = base.seed.wrapping_add(1000 * (i as u64 + 1));
+        let (f, r) = c.build_channels();
+        let lf = b.link(nodes[i], nodes[i + 1], f, "fwd");
+        let lr = b.link(nodes[i + 1], nodes[i], r, "rev");
+        let t = b.tx(nodes[i], lf, mk_tx(i));
+        let rx = b.rx(nodes[i + 1], lr, mk_rx(i));
+        b.listen(lf, rx);
+        b.listen(lr, t);
+        b.drain_after(rx, lr);
+        txs.push(t);
+        rxs.push(rx);
     }
-    if let Some((at, id)) = gen.next() {
-        q.schedule(at, Ev::Push(id));
+    let c = b.collector(crate::metrics::Collector::new());
+    b.source(gen, txs[0], c);
+    for i in 0..h {
+        if i + 1 < h {
+            b.forward(rxs[i], txs[i + 1]);
+        } else {
+            b.deliver(rxs[i], c);
+        }
     }
-    q.schedule(Instant::ZERO, Ev::Sample);
-    q.schedule(Instant::ZERO, Ev::Wake);
+    // Report the source node's buffer; intermediate hops contribute to
+    // rx occupancy (worst hop).
+    b.sample(c, txs[0], rxs.clone());
+    b.holding(c, txs[0]);
 
-    let mut next_wake = Instant::MAX;
-    let mut holding = Vec::new();
-    let mut finished_at = Instant::ZERO;
-    let mut deadline_hit = false;
-
-    'outer: while let Some((now, first_ev)) = q.pop() {
-        if now > deadline {
-            deadline_hit = true;
-            finished_at = deadline;
-            break;
-        }
-        let mut ev = first_ev;
-        loop {
-            match ev {
-                Ev::Push(id) => {
-                    col.on_push(now, id);
-                    txs[0].push(id, payload.clone());
-                    if let Some((at, nid)) = gen.next() {
-                        q.schedule(at.max(now), Ev::Push(nid));
-                    }
-                }
-                Ev::ArriveFwd(i, f, clean) => rxs[i].handle_frame(now, f, clean),
-                Ev::ArriveRev(i, f, clean) => txs[i].handle_frame(now, f, clean),
-                Ev::Sample => {
-                    // Report the source node's buffer; intermediate hops
-                    // contribute to rx occupancy (worst hop).
-                    let worst_rx = rxs.iter().map(|r| r.occupancy()).max().unwrap_or(0);
-                    col.sample(now, txs[0].buffered(), worst_rx, txs[0].rate());
-                    if now + base.sample_every <= deadline {
-                        q.schedule(now + base.sample_every, Ev::Sample);
-                    }
-                }
-                Ev::Wake => {
-                    if next_wake <= now {
-                        next_wake = Instant::MAX;
-                    }
-                }
-            }
-            if q.peek_time() == Some(now) {
-                ev = q.pop().expect("peeked").1;
-            } else {
-                break;
-            }
-        }
-
-        // Pump every node: timers, transmissions, store-and-forward.
-        for i in 0..h {
-            txs[i].on_timeout(now);
-            rxs[i].on_timeout(now);
-        }
-        for i in 0..h {
-            while fwd[i].idle(now) {
-                let Some(f) = txs[i].poll_transmit(now) else {
-                    break;
-                };
-                let meta = T::meta(&f);
-                match fwd[i].transmit(now, meta.bytes, meta.is_info) {
-                    crate::link::Fate::Arrives { at, clean } => {
-                        q.schedule(at, Ev::ArriveFwd(i, f, clean));
-                    }
-                    crate::link::Fate::Lost => {
-                        trace.emit(now, || TraceEvent::ChannelDrop { dir: "fwd" });
-                    }
-                }
-            }
-            while rev[i].idle(now) {
-                let Some(f) = rxs[i].poll_transmit(now) else {
-                    break;
-                };
-                let meta = R::meta(&f);
-                match rev[i].transmit(now, meta.bytes, meta.is_info) {
-                    crate::link::Fate::Arrives { at, clean } => {
-                        q.schedule(at, Ev::ArriveRev(i, f, clean));
-                    }
-                    crate::link::Fate::Lost => {
-                        trace.emit(now, || TraceEvent::ChannelDrop { dir: "rev" });
-                    }
-                }
-            }
-            // Store-and-forward: deliveries at node i+1 feed the next
-            // link's sender; the final hop's deliveries are the result.
-            while let Some((id, _len)) = rxs[i].poll_deliver(now) {
-                if i + 1 < h {
-                    txs[i + 1].push(id, payload.clone());
-                } else {
-                    col.on_deliver(now, id);
-                }
-            }
-        }
-        holding.clear();
-        txs[0].drain_holding(&mut holding);
-        col.on_holding(&holding);
-
-        if col.delivered_unique() >= base.n_packets && txs.iter().all(|t| t.buffered() == 0) {
-            finished_at = now;
-            break;
-        }
-        for t in &txs {
-            if t.is_failed() {
-                finished_at = now;
-                break 'outer;
-            }
-        }
-
-        let mut want: Option<Instant> = None;
-        let mut consider = |c: Option<Instant>| {
-            if let Some(t) = c {
-                want = Some(want.map_or(t, |w| w.min(t)));
-            }
-        };
-        for i in 0..h {
-            consider(txs[i].poll_timeout());
-            consider(rxs[i].poll_timeout());
-            if !fwd[i].idle(now) {
-                consider(Some(fwd[i].free_at()));
-            }
-            if !rev[i].idle(now) {
-                consider(Some(rev[i].free_at()));
-            }
-        }
-        if let Some(t) = want {
-            let t = if t > now {
-                Some(t)
-            } else {
-                // Blocked on a busy transmitter: wake at the earliest
-                // channel-free instant (strictly future).
-                (0..h)
-                    .flat_map(|i| {
-                        [
-                            (!fwd[i].idle(now)).then(|| fwd[i].free_at()),
-                            (!rev[i].idle(now)).then(|| rev[i].free_at()),
-                        ]
-                    })
-                    .flatten()
-                    .min()
-            };
-            if let Some(t) = t {
-                debug_assert!(t > now);
-                if t < next_wake {
-                    next_wake = t;
-                    q.schedule(t, Ev::Wake);
-                }
-            }
-        }
-        finished_at = now;
-    }
-
-    let failed = txs.iter().any(|t| t.is_failed());
-    let transmissions: u64 = txs.iter().map(|t| t.transmissions()).sum();
-    let retransmissions: u64 = txs.iter().map(|t| t.retransmissions()).sum();
+    let out = b.build().expect("relay wiring is valid").run();
+    let failed = out.txs.iter().any(|t| t.is_failed());
+    let transmissions: u64 = out.txs.iter().map(|t| t.transmissions()).sum();
+    let retransmissions: u64 = out.txs.iter().map(|t| t.retransmissions()).sum();
+    let col = out.collectors.into_iter().next().expect("one collector");
     let mut report = col.finish(
         protocol,
-        gen.issued(),
-        finished_at,
-        deadline_hit,
+        out.issued[0],
+        out.finished_at,
+        out.deadline_hit,
         failed,
         transmissions,
         retransmissions,
         base.t_f(),
-        txs[0].extra_stats(),
-        rxs[h - 1].extra_stats(),
+        out.txs[0].extra_stats(),
+        out.rxs[h - 1].extra_stats(),
     );
-    report.queue = q.profile();
-    report.wall_secs = timer.elapsed_secs();
+    report.queue = out.queue;
+    report.wall_secs = out.wall_secs;
     crate::metrics::perf_absorb(&report.queue, report.wall_secs);
     report
 }

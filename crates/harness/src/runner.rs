@@ -1,0 +1,251 @@
+//! The experiment runner behind the `repro` binary: CLI parsing,
+//! parallel experiment fan-out, and machine-readable report assembly.
+//!
+//! Splitting this out of `main` makes every piece unit-testable: bad
+//! flags are rejected with a usage message (exit code 2 in the binary),
+//! experiments fan out across [`crate::parallel::map`] workers and merge
+//! deterministically in experiment order, and the `lams-dlc.repro/1`
+//! JSON document is built the same way at any worker count.
+
+use crate::experiments::{self, ExperimentOutput};
+use crate::metrics;
+use crate::parallel;
+use sim_core::QueueProfile;
+use telemetry::Json;
+
+/// Usage text printed on `--help`-worthy mistakes.
+pub const USAGE: &str = "\
+usage: repro [OPTIONS] [EXPERIMENT_ID...]
+
+  repro                      # run every experiment at full size
+  repro e1 e5                # run a subset
+  repro --quick all          # CI-sized workloads
+  repro --list               # show the experiment index
+  repro --json report.json   # also write machine-readable results
+  repro --trace run.jsonl    # also write a protocol event trace (JSONL)
+  repro --workers 4          # run experiments on 4 worker threads (0 = auto)
+
+options:
+  -q, --quick            shrink workloads for CI
+  -l, --list             print the experiment index and exit
+      --json <path>      write the lams-dlc.repro/1 JSON document
+      --trace <path>     write a JSONL protocol event trace
+      --workers <n>      worker threads for the experiment fan-out (default 1)
+";
+
+/// The experiment index: `(id, title)` in run order.
+pub const INDEX: &[(&str, &str)] = &[
+    (
+        "e1",
+        "Retransmission probability & mean periods (P_R, s-bar)",
+    ),
+    ("e2", "Throughput efficiency vs offered traffic N"),
+    ("e3", "Throughput efficiency vs residual BER"),
+    ("e4", "Throughput efficiency vs link distance"),
+    (
+        "e5",
+        "Transparent buffer size (B_LAMS finite, B_HDLC = inf)",
+    ),
+    ("e6", "Sender holding time H_frame vs W_cp"),
+    ("e7", "Low-traffic delivery time D_low(N)"),
+    ("e8", "Burst-error resilience (Gilbert-Elliott)"),
+    ("e9", "Enforced recovery & failure detection"),
+    ("e10", "Bounded numbering size"),
+    ("e11", "Stop-Go flow control"),
+    ("e12", "W_cp x C_depth ablation"),
+    ("e13", "Store-and-forward relay chain (end-to-end)"),
+    ("e14", "Optimal frame length"),
+    ("e15", "Full-duplex operation (no-piggyback cost)"),
+    ("e16", "Delay vs offered load (throughput/delay tradeoff)"),
+    ("e17", "Go-Back-N baseline collapse"),
+];
+
+/// Parsed `repro` command line.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CliArgs {
+    /// Shrink workloads for CI.
+    pub quick: bool,
+    /// Print the experiment index and exit.
+    pub list: bool,
+    /// Path for the JSON report, if requested.
+    pub json: Option<String>,
+    /// Path for the JSONL trace, if requested.
+    pub trace: Option<String>,
+    /// Worker threads for the experiment fan-out (0 = auto).
+    pub workers: usize,
+    /// Explicit experiment ids (empty = all).
+    pub ids: Vec<String>,
+}
+
+/// Parse a `repro` argument list. Unknown flags and flags missing their
+/// value are errors (the binary prints the message plus [`USAGE`] and
+/// exits non-zero).
+pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
+    let mut cli = CliArgs {
+        workers: 1,
+        ..CliArgs::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
+            match it.next() {
+                Some(v) if !v.starts_with('-') => Ok(v.clone()),
+                _ => Err(format!("{flag} requires a value")),
+            }
+        };
+        match arg.as_str() {
+            "--quick" | "-q" => cli.quick = true,
+            "--list" | "-l" => cli.list = true,
+            "--json" => cli.json = Some(value("--json", &mut it)?),
+            "--trace" => cli.trace = Some(value("--trace", &mut it)?),
+            "--workers" => {
+                let v = value("--workers", &mut it)?;
+                cli.workers = v
+                    .parse()
+                    .map_err(|_| format!("--workers expects a number, got {v:?}"))?;
+            }
+            "all" => {}
+            flag if flag.starts_with('-') => return Err(format!("unknown flag: {flag}")),
+            id => cli.ids.push(id.to_string()),
+        }
+    }
+    Ok(cli)
+}
+
+/// One experiment's outcome: rendered output plus the merged perf
+/// accumulator of every simulation it ran.
+pub struct ExperimentRun {
+    /// The experiment id as requested.
+    pub id: String,
+    /// The output, or `None` for an unknown id.
+    pub output: Option<ExperimentOutput>,
+    /// `(merged queue profile, wall seconds, runs)` — `None` when the
+    /// experiment ran no simulations (or the id was unknown).
+    pub perf: Option<(QueueProfile, f64, u64)>,
+}
+
+/// Run `ids` through the experiment suite on the configured worker
+/// pool, returning results in request order. Each experiment drains its
+/// own thread's perf accumulator, so per-experiment perf blocks are
+/// identical at any worker count.
+pub fn run_experiments(ids: &[String], quick: bool) -> Vec<ExperimentRun> {
+    parallel::map(ids.to_vec(), |id| {
+        metrics::perf_take(); // clear any carry-over before the experiment
+        let output = experiments::run_by_id(&id, quick);
+        ExperimentRun {
+            id,
+            perf: metrics::perf_take(),
+            output,
+        }
+    })
+}
+
+/// Build the `lams-dlc.repro/1` JSON document over completed runs
+/// (unknown ids are skipped; the binary reports them separately).
+pub fn report_json(runs: &[ExperimentRun], quick: bool) -> Json {
+    let results: Vec<Json> = runs
+        .iter()
+        .filter_map(|run| {
+            let out = run.output.as_ref()?;
+            let mut doc = out.to_json();
+            let perf = match &run.perf {
+                Some((profile, wall, runs)) => {
+                    let mut p = metrics::perf_json(profile, *wall);
+                    if let Json::Obj(members) = &mut p {
+                        members.push(("runs".into(), (*runs).into()));
+                    }
+                    p
+                }
+                None => Json::Null,
+            };
+            if let Json::Obj(members) = &mut doc {
+                members.push(("perf".into(), perf));
+            }
+            Some(doc)
+        })
+        .collect();
+    Json::obj([
+        ("schema", Json::from("lams-dlc.repro/1")),
+        ("quick", Json::from(quick)),
+        ("experiments", Json::from(results)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let cli = parse_args(&args(&[
+            "--quick",
+            "--json",
+            "r.json",
+            "--trace",
+            "t.jsonl",
+            "--workers",
+            "4",
+            "e1",
+            "e13",
+        ]))
+        .expect("valid");
+        assert!(cli.quick);
+        assert!(!cli.list);
+        assert_eq!(cli.json.as_deref(), Some("r.json"));
+        assert_eq!(cli.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(cli.workers, 4);
+        assert_eq!(cli.ids, vec!["e1", "e13"]);
+    }
+
+    #[test]
+    fn all_keyword_and_defaults() {
+        let cli = parse_args(&args(&["all"])).expect("valid");
+        assert!(cli.ids.is_empty());
+        assert_eq!(cli.workers, 1);
+        assert!(cli.json.is_none());
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        let err = parse_args(&args(&["--frobnicate"])).unwrap_err();
+        assert!(err.contains("--frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_flag_values() {
+        for flags in [&["--json"][..], &["--trace"], &["--workers"]] {
+            let err = parse_args(&args(flags)).unwrap_err();
+            assert!(err.contains("requires a value"), "{err}");
+        }
+        // A following flag is not a value.
+        let err = parse_args(&args(&["--json", "--quick"])).unwrap_err();
+        assert!(err.contains("--json"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_numeric_workers() {
+        let err = parse_args(&args(&["--workers", "many"])).unwrap_err();
+        assert!(err.contains("--workers"), "{err}");
+    }
+
+    #[test]
+    fn index_covers_every_experiment() {
+        let ids: Vec<&str> = INDEX.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, experiments::ALL);
+    }
+
+    #[test]
+    fn unknown_id_reported_without_output() {
+        let runs = run_experiments(&args(&["e999"]), true);
+        assert_eq!(runs.len(), 1);
+        assert!(runs[0].output.is_none());
+        // An unknown id contributes nothing to the JSON document.
+        let doc = report_json(&runs, true);
+        let experiments = doc.get("experiments").expect("array");
+        assert_eq!(format!("{experiments:?}").matches("\"id\"").count(), 0);
+    }
+}

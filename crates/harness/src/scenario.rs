@@ -1,20 +1,21 @@
-//! Scenario construction and the discrete-event run loop.
+//! Scenario construction: the point-to-point topology builder.
 //!
 //! A scenario wires one sending endpoint and one receiving endpoint over
-//! a full-duplex [`Channel`] pair, feeds SDUs from a [`TrafficGen`], and
-//! collects a [`RunReport`]. The loop is generic over the endpoint
-//! traits, so LAMS-DLC, SR-HDLC and GBN-HDLC all run over **identical**
-//! channel error realisations for a given seed (common random numbers).
+//! a full-duplex [`Channel`] pair (two nodes, one link each way), feeds
+//! SDUs from a [`TrafficGen`], and collects a [`RunReport`]. The event
+//! loop itself lives in the `netsim` crate and is generic over the
+//! endpoint traits, so LAMS-DLC, SR-HDLC and GBN-HDLC all run over
+//! **identical** channel error realisations for a given seed (common
+//! random numbers).
 
 use crate::link::{Channel, DelayModel, ErrorModel, Outage};
-use crate::metrics::{Collector, RunReport};
+use crate::metrics::RunReport;
 use crate::node::{GbnRx, GbnTx, LamsRx, LamsTx, RxEndpoint, SrRx, SrTx, TxEndpoint};
 use crate::traffic::{Pattern, TrafficGen};
-use bytes::Bytes;
 use fec::GilbertElliott;
+use netsim::{NodeRole, SimBuilder, SimEvent};
 use orbit::propagation_delay_s;
-use sim_core::{Duration, EventQueue, Instant, RunTimer, SeedSplitter};
-use telemetry::TraceEvent;
+use sim_core::{Duration, EventQueue, SeedSplitter};
 
 /// Gilbert–Elliott burst-error configuration (residual BERs per state).
 #[derive(Clone, Debug)]
@@ -228,186 +229,67 @@ impl ScenarioConfig {
     }
 }
 
-enum Ev<F> {
-    Push(u64),
-    ArriveFwd(F, bool),
-    ArriveRev(F, bool),
-    Sample,
-    Wake,
-}
+/// Event queue driving a scenario run — exposed so callers iterating
+/// many runs (multi-pass, sweeps) can reuse one queue's allocation via
+/// [`run_in`] / [`run_lams_in`].
+pub type ScenarioQueue<F> = EventQueue<SimEvent<F>>;
 
 /// Drive one scenario with the given endpoints. `protocol` labels the
 /// report.
-pub fn run<T, R>(cfg: &ScenarioConfig, mut tx: T, mut rx: R, protocol: &str) -> RunReport
+pub fn run<T, R>(cfg: &ScenarioConfig, tx: T, rx: R, protocol: &str) -> RunReport
 where
     T: TxEndpoint,
     R: RxEndpoint<Frame = T::Frame>,
 {
-    let timer = RunTimer::start();
-    let trace = telemetry::global_handle("channel");
-    let (mut fwd, mut rev) = cfg.channels();
-    let mut gen = TrafficGen::new(
+    run_in(cfg, tx, rx, protocol, &mut EventQueue::new())
+}
+
+/// [`run`], reusing `q`'s allocation (the queue is reset first).
+pub fn run_in<T, R>(
+    cfg: &ScenarioConfig,
+    tx: T,
+    rx: R,
+    protocol: &str,
+    q: &mut ScenarioQueue<T::Frame>,
+) -> RunReport
+where
+    T: TxEndpoint,
+    R: RxEndpoint<Frame = T::Frame>,
+{
+    // Two nodes, one directed link each way: the source's sender owns
+    // the forward link; the sink's receiver answers on the reverse.
+    let (fwd, rev) = cfg.build_channels();
+    let gen = TrafficGen::new(
         cfg.pattern.clone(),
         cfg.n_packets,
         SeedSplitter::new(cfg.seed).stream(2),
     );
-    let mut col = Collector::new();
-    let mut q: EventQueue<Ev<T::Frame>> = EventQueue::new();
-    let deadline = Instant::ZERO + cfg.deadline;
-    let payload = Bytes::from(vec![0u8; cfg.payload_bytes]);
     let t_f_channel = cfg.t_f();
 
-    tx.start(Instant::ZERO);
-    rx.start(Instant::ZERO);
-    if let Some((at, id)) = gen.next() {
-        q.schedule(at, Ev::Push(id));
-    }
-    q.schedule(Instant::ZERO, Ev::Sample);
-    q.schedule(Instant::ZERO, Ev::Wake);
+    let mut b = SimBuilder::new(cfg.payload_bytes, cfg.deadline, cfg.sample_every);
+    let a = b.node(NodeRole::Source);
+    let z = b.node(NodeRole::Sink);
+    let lf = b.link(a, z, fwd, "fwd");
+    let lr = b.link(z, a, rev, "rev");
+    let t = b.tx(a, lf, tx);
+    let r = b.rx(z, lr, rx);
+    b.listen(lf, r);
+    b.listen(lr, t);
+    let c = b.collector(crate::metrics::Collector::new());
+    b.source(gen, t, c);
+    b.deliver(r, c);
+    b.sample(c, t, vec![r]);
+    b.holding(c, t);
 
-    let mut next_wake = Instant::MAX;
-    let mut holding_buf = Vec::new();
-    let mut finished_at = Instant::ZERO;
-    let mut deadline_hit = false;
-
-    while let Some((now, first_ev)) = q.pop() {
-        if now > deadline {
-            deadline_hit = true;
-            finished_at = deadline;
-            break;
-        }
-        // Drain every event scheduled for this same instant before
-        // pumping: simultaneous SDU arrivals (a batch) must all be in the
-        // sending buffer before any transmission decision is taken.
-        let mut ev = first_ev;
-        loop {
-            match ev {
-                Ev::Push(id) => {
-                    col.on_push(now, id);
-                    tx.push(id, payload.clone());
-                    if let Some((at, nid)) = gen.next() {
-                        q.schedule(at.max(now), Ev::Push(nid));
-                    }
-                }
-                Ev::ArriveFwd(f, clean) => rx.handle_frame(now, f, clean),
-                Ev::ArriveRev(f, clean) => tx.handle_frame(now, f, clean),
-                Ev::Sample => {
-                    col.sample(now, tx.buffered(), rx.occupancy(), tx.rate());
-                    if now + cfg.sample_every <= deadline {
-                        q.schedule(now + cfg.sample_every, Ev::Sample);
-                    }
-                }
-                Ev::Wake => {
-                    if next_wake <= now {
-                        next_wake = Instant::MAX;
-                    }
-                }
-            }
-            if q.peek_time() == Some(now) {
-                ev = q.pop().expect("peeked").1;
-            } else {
-                break;
-            }
-        }
-
-        // Pump: timers, transmissions, deliveries.
-        tx.on_timeout(now);
-        rx.on_timeout(now);
-        while fwd.idle(now) {
-            let Some(f) = tx.poll_transmit(now) else {
-                break;
-            };
-            let meta = T::meta(&f);
-            match fwd.transmit(now, meta.bytes, meta.is_info) {
-                crate::link::Fate::Arrives { at, clean } => {
-                    q.schedule(at, Ev::ArriveFwd(f, clean));
-                }
-                crate::link::Fate::Lost => {
-                    trace.emit(now, || TraceEvent::ChannelDrop { dir: "fwd" });
-                }
-            }
-        }
-        while rev.idle(now) {
-            let Some(f) = rx.poll_transmit(now) else {
-                break;
-            };
-            let meta = R::meta(&f);
-            match rev.transmit(now, meta.bytes, meta.is_info) {
-                crate::link::Fate::Arrives { at, clean } => {
-                    q.schedule(at, Ev::ArriveRev(f, clean));
-                }
-                crate::link::Fate::Lost => {
-                    trace.emit(now, || TraceEvent::ChannelDrop { dir: "rev" });
-                }
-            }
-        }
-        while let Some((id, _len)) = rx.poll_deliver(now) {
-            col.on_deliver(now, id);
-        }
-        holding_buf.clear();
-        tx.drain_holding(&mut holding_buf);
-        col.on_holding(&holding_buf);
-
-        // "Safe delivery" (§4): the run completes when every SDU has been
-        // delivered AND the sender has drained (every frame positively
-        // acknowledged) — the same event the analytic D_low clocks.
-        if col.delivered_unique() >= cfg.n_packets && tx.buffered() == 0 {
-            finished_at = now;
-            break;
-        }
-        if tx.is_failed() {
-            finished_at = now;
-            break;
-        }
-
-        // Re-arm the wake-up at the earliest pending protocol instant.
-        let mut want: Option<Instant> = None;
-        let mut consider = |c: Option<Instant>| {
-            if let Some(t) = c {
-                want = Some(want.map_or(t, |w| w.min(t)));
-            }
-        };
-        consider(tx.poll_timeout());
-        consider(rx.poll_timeout());
-        // Channel-busy stall: re-poll when the transmitter frees up.
-        if !fwd.idle(now) {
-            consider(Some(fwd.free_at()));
-        }
-        if !rev.idle(now) {
-            consider(Some(rev.free_at()));
-        }
-        if let Some(t) = want {
-            // A want at or before `now` means the protocol is blocked on a
-            // busy transmitter (the pump already did everything else
-            // possible at `now`): waking again at `now` would spin without
-            // advancing time, so defer to the earliest channel-free
-            // instant — which is strictly in the future when busy.
-            let t = if t > now {
-                Some(t)
-            } else {
-                let f1 = (!fwd.idle(now)).then(|| fwd.free_at());
-                let f2 = (!rev.idle(now)).then(|| rev.free_at());
-                match (f1, f2) {
-                    (Some(a), Some(b)) => Some(a.min(b)),
-                    (a, b) => a.or(b),
-                }
-            };
-            if let Some(t) = t {
-                debug_assert!(t > now, "wake must advance time");
-                if t < next_wake {
-                    next_wake = t;
-                    q.schedule(t, Ev::Wake);
-                }
-            }
-        }
-        finished_at = now;
-    }
-
+    let out = b.build().expect("point-to-point wiring is valid").run_in(q);
+    let tx = &out.txs[0];
+    let rx = &out.rxs[0];
+    let col = out.collectors.into_iter().next().expect("one collector");
     let mut report = col.finish(
         protocol,
-        gen.issued(),
-        finished_at,
-        deadline_hit,
+        out.issued[0],
+        out.finished_at,
+        out.deadline_hit,
         tx.is_failed(),
         tx.transmissions(),
         tx.retransmissions(),
@@ -415,14 +297,19 @@ where
         tx.extra_stats(),
         rx.extra_stats(),
     );
-    report.queue = q.profile();
-    report.wall_secs = timer.elapsed_secs();
+    report.queue = out.queue;
+    report.wall_secs = out.wall_secs;
     crate::metrics::perf_absorb(&report.queue, report.wall_secs);
     report
 }
 
 /// Run the scenario under LAMS-DLC.
 pub fn run_lams(cfg: &ScenarioConfig) -> RunReport {
+    run_lams_in(cfg, &mut EventQueue::new())
+}
+
+/// [`run_lams`], reusing `q`'s allocation across runs.
+pub fn run_lams_in(cfg: &ScenarioConfig, q: &mut ScenarioQueue<lams_dlc::Frame>) -> RunReport {
     let lcfg = cfg.lams_config();
     let tx =
         LamsTx::new(lams_dlc::Sender::new(lcfg.clone()).with_trace(telemetry::global_handle("tx")));
@@ -433,7 +320,7 @@ pub fn run_lams(cfg: &ScenarioConfig) -> RunReport {
         }
         .with_trace(telemetry::global_handle("rx")),
     };
-    run(cfg, tx, rx, "lams")
+    run_in(cfg, tx, rx, "lams", q)
 }
 
 /// Run the scenario under SR-HDLC.
@@ -462,6 +349,7 @@ pub fn run_gbn(cfg: &ScenarioConfig) -> RunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sim_core::Instant;
 
     fn small(n: u64) -> ScenarioConfig {
         let mut c = ScenarioConfig::paper_default();

@@ -1,0 +1,985 @@
+//! The one generic event loop, and the builder that wires a topology
+//! into it.
+//!
+//! Every simulation is four event kinds on one deterministic queue:
+//!
+//! * **Push** — a traffic source hands an SDU to its sender;
+//! * **Arrive** — a frame reaches the far end of a link;
+//! * **Sample** — the periodic occupancy sampling tick;
+//! * **Wake** — re-poll at the earliest pending protocol instant.
+//!
+//! After draining every event scheduled for the current instant, the
+//! loop pumps: endpoint timers fire, each link's transmitter serves its
+//! senders in priority order while idle, receivers drain deliveries at
+//! their configured point in the link order (store-and-forward relays
+//! must forward into the *next* link's sender before that link is
+//! pumped), holding samples flow to collectors, and the completion /
+//! failure / wake checks run. The pump order and event insertion order
+//! are exactly those of the original hand-rolled point-to-point,
+//! duplex and relay loops, so a given seed reproduces their numbers
+//! bit-for-bit.
+
+use crate::collect::Collect;
+use crate::endpoint::{RxEndpoint, TxEndpoint};
+use crate::link::{Channel, Fate};
+use crate::topology::{
+    ColId, EndpointId, LinkId, LinkSpec, NodeId, NodeRole, RxId, Topology, TopologyError, TxId,
+};
+use crate::traffic::TrafficGen;
+use bytes::Bytes;
+use sim_core::{Duration, EventQueue, Instant, QueueProfile, RunTimer};
+use telemetry::TraceEvent;
+
+/// One event on the engine's queue, generic over the protocol frame.
+pub enum SimEvent<F> {
+    /// SDU `id` arrives at the source with this index.
+    Push {
+        /// Index of the traffic source (registration order).
+        source: usize,
+        /// SDU id.
+        id: u64,
+    },
+    /// A frame reaches the receiving end of link `link`.
+    Arrive {
+        /// The link the frame travelled.
+        link: usize,
+        /// The frame itself.
+        frame: F,
+        /// True if it survived the channel uncorrupted.
+        clean: bool,
+    },
+    /// Periodic occupancy sampling tick.
+    Sample,
+    /// Re-poll endpoints at a previously requested instant.
+    Wake,
+}
+
+/// Where a receiver's completed deliveries go.
+enum Delivery {
+    /// Terminal: credit the collector (the flow's destination).
+    Collect(ColId),
+    /// Store-and-forward: push into a co-located sender.
+    Forward(TxId),
+}
+
+/// A traffic source: a generator feeding one sender, accounted by one
+/// collector.
+struct SourceSpec {
+    gen: TrafficGen,
+    tx: TxId,
+    col: ColId,
+}
+
+/// One collector's periodic sampling subjects.
+struct SamplerSpec {
+    col: ColId,
+    tx: TxId,
+    /// Receivers whose worst (max) occupancy is sampled.
+    rxs: Vec<RxId>,
+}
+
+/// Builder wiring endpoints, links, sources and collectors into a
+/// [`Sim`]. Registration order is semantic: links pump in creation
+/// order, a link's senders are served in registration order (first
+/// registered wins the transmitter), and arrivals are offered to
+/// listeners in registration order (all but the last get a clone).
+pub struct SimBuilder<T, R, C> {
+    topo: Topology,
+    channels: Vec<Channel>,
+    link_senders: Vec<Vec<EndpointId>>,
+    link_listeners: Vec<Vec<EndpointId>>,
+    txs: Vec<T>,
+    tx_node: Vec<NodeId>,
+    tx_link: Vec<LinkId>,
+    rxs: Vec<R>,
+    rx_node: Vec<NodeId>,
+    rx_link: Vec<LinkId>,
+    rx_delivery: Vec<Option<Delivery>>,
+    rx_drain_after: Vec<Option<LinkId>>,
+    collectors: Vec<C>,
+    sources: Vec<SourceSpec>,
+    samplers: Vec<SamplerSpec>,
+    holdings: Vec<(ColId, TxId)>,
+    payload_bytes: usize,
+    deadline: Duration,
+    sample_every: Duration,
+}
+
+impl<T, R, C> SimBuilder<T, R, C>
+where
+    T: TxEndpoint,
+    R: RxEndpoint<Frame = T::Frame>,
+    C: Collect,
+{
+    /// Start a build: SDU payload size, give-up time, sampling period.
+    pub fn new(payload_bytes: usize, deadline: Duration, sample_every: Duration) -> Self {
+        SimBuilder {
+            topo: Topology::default(),
+            channels: Vec::new(),
+            link_senders: Vec::new(),
+            link_listeners: Vec::new(),
+            txs: Vec::new(),
+            tx_node: Vec::new(),
+            tx_link: Vec::new(),
+            rxs: Vec::new(),
+            rx_node: Vec::new(),
+            rx_link: Vec::new(),
+            rx_delivery: Vec::new(),
+            rx_drain_after: Vec::new(),
+            collectors: Vec::new(),
+            sources: Vec::new(),
+            samplers: Vec::new(),
+            holdings: Vec::new(),
+            payload_bytes,
+            deadline,
+            sample_every,
+        }
+    }
+
+    /// Add a node with the given role.
+    pub fn node(&mut self, role: NodeRole) -> NodeId {
+        self.topo.roles.push(role);
+        NodeId(self.topo.roles.len() - 1)
+    }
+
+    /// Add a directed link `from → to` carried by `channel`. Links pump
+    /// in creation order; `dir` labels channel-drop trace records.
+    pub fn link(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        channel: Channel,
+        dir: &'static str,
+    ) -> LinkId {
+        self.topo.links.push(LinkSpec { from, to, dir });
+        self.channels.push(channel);
+        self.link_senders.push(Vec::new());
+        self.link_listeners.push(Vec::new());
+        LinkId(self.topo.links.len() - 1)
+    }
+
+    /// Host a sending endpoint at `node`, transmitting on `link`.
+    /// Registration order on a link is its transmitter priority.
+    pub fn tx(&mut self, node: NodeId, link: LinkId, endpoint: T) -> TxId {
+        let id = TxId(self.txs.len());
+        self.txs.push(endpoint);
+        self.tx_node.push(node);
+        self.tx_link.push(link);
+        if let Some(senders) = self.link_senders.get_mut(link.0) {
+            senders.push(EndpointId::Tx(id));
+        }
+        id
+    }
+
+    /// Host a receiving endpoint at `node`, transmitting its control
+    /// frames on `link`. Registration order on a link is its
+    /// transmitter priority (register the receiver first for
+    /// control-frame priority, as full-duplex nodes do).
+    pub fn rx(&mut self, node: NodeId, link: LinkId, endpoint: R) -> RxId {
+        let id = RxId(self.rxs.len());
+        self.rxs.push(endpoint);
+        self.rx_node.push(node);
+        self.rx_link.push(link);
+        if let Some(senders) = self.link_senders.get_mut(link.0) {
+            senders.push(EndpointId::Rx(id));
+        }
+        id
+    }
+
+    /// Deliver `link`'s arrivals to `endpoint`. Listeners are offered
+    /// frames in registration order; all but the last receive a clone.
+    pub fn listen(&mut self, link: LinkId, endpoint: impl Into<EndpointId>) {
+        if let Some(listeners) = self.link_listeners.get_mut(link.0) {
+            listeners.push(endpoint.into());
+        }
+    }
+
+    /// Register a collector.
+    pub fn collector(&mut self, collector: C) -> ColId {
+        self.collectors.push(collector);
+        ColId(self.collectors.len() - 1)
+    }
+
+    /// Feed `gen`'s SDUs into `tx`, accounted by `col`. Sources push
+    /// their first SDU in registration order at t = 0.
+    pub fn source(&mut self, gen: TrafficGen, tx: TxId, col: ColId) {
+        self.sources.push(SourceSpec { gen, tx, col });
+    }
+
+    /// Terminal receiver: `rx`'s deliveries credit `col`.
+    pub fn deliver(&mut self, rx: RxId, col: ColId) {
+        if let Some(slot) = self.rx_delivery.get_mut(rx.0) {
+            *slot = Some(Delivery::Collect(col));
+        } else {
+            self.rx_delivery.resize_with(rx.0 + 1, || None);
+            self.rx_delivery[rx.0] = Some(Delivery::Collect(col));
+        }
+    }
+
+    /// Store-and-forward receiver: `rx`'s deliveries push into `tx`.
+    pub fn forward(&mut self, rx: RxId, tx: TxId) {
+        if self.rx_delivery.len() <= rx.0 {
+            self.rx_delivery.resize_with(rx.0 + 1, || None);
+        }
+        self.rx_delivery[rx.0] = Some(Delivery::Forward(tx));
+    }
+
+    /// Drain `rx`'s deliveries right after `link` is pumped (default:
+    /// after the last link). A relay must drain hop `i`'s receiver
+    /// before hop `i + 1`'s link pumps, so forwarded frames catch the
+    /// same pump pass.
+    pub fn drain_after(&mut self, rx: RxId, link: LinkId) {
+        if self.rx_drain_after.len() <= rx.0 {
+            self.rx_drain_after.resize_with(rx.0 + 1, || None);
+        }
+        self.rx_drain_after[rx.0] = Some(link);
+    }
+
+    /// Sample `tx`'s buffer and the worst occupancy among `rxs` into
+    /// `col` on every sampling tick, in registration order.
+    pub fn sample(&mut self, col: ColId, tx: TxId, rxs: Vec<RxId>) {
+        self.samplers.push(SamplerSpec { col, tx, rxs });
+    }
+
+    /// Drain `tx`'s holding-time samples into `col` each pump pass.
+    pub fn holding(&mut self, col: ColId, tx: TxId) {
+        self.holdings.push((col, tx));
+    }
+
+    /// Validate the wiring against the topology and produce a runnable
+    /// [`Sim`].
+    pub fn build(mut self) -> Result<Sim<T, R, C>, TopologyError> {
+        let mut errors = Vec::new();
+        let nodes = self.topo.nodes();
+        let links = self.topo.link_count();
+        if links == 0 {
+            errors.push("no links".to_string());
+        }
+        for (i, l) in self.topo.links.iter().enumerate() {
+            if l.from.0 >= nodes || l.to.0 >= nodes {
+                errors.push(format!("link {i} references an unknown node"));
+            } else if l.from == l.to {
+                errors.push(format!("link {i} is a self-loop"));
+            }
+        }
+        for (i, link) in self.tx_link.iter().enumerate() {
+            match self.topo.links.get(link.0) {
+                Some(spec) if spec.from == self.tx_node[i] => {}
+                Some(_) => errors.push(format!("tx {i} transmits on a link it does not originate")),
+                None => errors.push(format!("tx {i} transmits on an unknown link")),
+            }
+        }
+        for (i, link) in self.rx_link.iter().enumerate() {
+            match self.topo.links.get(link.0) {
+                Some(spec) if spec.from == self.rx_node[i] => {}
+                Some(_) => errors.push(format!("rx {i} transmits on a link it does not originate")),
+                None => errors.push(format!("rx {i} transmits on an unknown link")),
+            }
+        }
+        for (li, listeners) in self.link_listeners.iter().enumerate() {
+            let to = self.topo.links[li].to;
+            for ep in listeners {
+                let host = match *ep {
+                    EndpointId::Tx(t) => self.tx_node.get(t.0).copied(),
+                    EndpointId::Rx(r) => self.rx_node.get(r.0).copied(),
+                };
+                if host != Some(to) {
+                    errors.push(format!(
+                        "link {li} listener {ep:?} is not hosted at its far end"
+                    ));
+                }
+            }
+        }
+        self.rx_delivery.resize_with(self.rxs.len(), || None);
+        self.rx_drain_after.resize_with(self.rxs.len(), || None);
+        let mut deliveries = Vec::with_capacity(self.rxs.len());
+        for (i, d) in self.rx_delivery.drain(..).enumerate() {
+            match d {
+                Some(Delivery::Forward(t)) => {
+                    if t.0 >= self.txs.len() {
+                        errors.push(format!("rx {i} forwards into an unknown tx"));
+                    } else if self.tx_node[t.0] != self.rx_node[i] {
+                        errors.push(format!("rx {i} forwards into a tx at a different node"));
+                    }
+                    deliveries.push(Delivery::Forward(t));
+                }
+                Some(Delivery::Collect(c)) => {
+                    if c.0 >= self.collectors.len() {
+                        errors.push(format!("rx {i} delivers to an unknown collector"));
+                    }
+                    deliveries.push(Delivery::Collect(c));
+                }
+                None => {
+                    errors.push(format!("rx {i} has no delivery target"));
+                    deliveries.push(Delivery::Collect(ColId(0)));
+                }
+            }
+        }
+        for (i, s) in self.sources.iter().enumerate() {
+            if s.tx.0 >= self.txs.len() {
+                errors.push(format!("source {i} feeds an unknown tx"));
+            }
+            if s.col.0 >= self.collectors.len() {
+                errors.push(format!("source {i} uses an unknown collector"));
+            }
+        }
+        for (i, s) in self.samplers.iter().enumerate() {
+            if s.col.0 >= self.collectors.len() || s.tx.0 >= self.txs.len() {
+                errors.push(format!("sampler {i} references unknown ids"));
+            }
+            if s.rxs.iter().any(|r| r.0 >= self.rxs.len()) {
+                errors.push(format!("sampler {i} references an unknown rx"));
+            }
+        }
+        for (i, (c, t)) in self.holdings.iter().enumerate() {
+            if c.0 >= self.collectors.len() || t.0 >= self.txs.len() {
+                errors.push(format!("holding {i} references unknown ids"));
+            }
+        }
+        // Role consistency: the wiring must exhibit each node's role.
+        for (n, role) in self.topo.roles.iter().enumerate() {
+            let node = NodeId(n);
+            let sourced_tx = |node| {
+                self.sources
+                    .iter()
+                    .any(|s| self.tx_node.get(s.tx.0) == Some(&node))
+            };
+            let delivering_rx = |node| {
+                self.rx_node.iter().enumerate().any(|(i, h)| {
+                    *h == node && matches!(deliveries.get(i), Some(Delivery::Collect(_)))
+                })
+            };
+            let forwarding_rx = |node| {
+                self.rx_node.iter().enumerate().any(|(i, h)| {
+                    *h == node && matches!(deliveries.get(i), Some(Delivery::Forward(_)))
+                })
+            };
+            let ok = match role {
+                NodeRole::Source => sourced_tx(node),
+                NodeRole::Sink => delivering_rx(node),
+                NodeRole::Relay => forwarding_rx(node),
+                NodeRole::Duplex => sourced_tx(node) && delivering_rx(node),
+            };
+            if !ok {
+                errors.push(format!("node {n} does not exhibit its {role:?} role"));
+            }
+        }
+        if !errors.is_empty() {
+            return Err(TopologyError(errors));
+        }
+        // Per-link drain lists: receivers with no explicit point drain
+        // after the last link (the classic end-of-pump position).
+        let mut drains: Vec<Vec<RxId>> = vec![Vec::new(); links];
+        let last = LinkId(links - 1);
+        for (i, after) in self.rx_drain_after.iter().enumerate() {
+            let li = after.unwrap_or(last);
+            drains[li.0.min(links - 1)].push(RxId(i));
+        }
+        Ok(Sim {
+            topo: self.topo,
+            channels: self.channels,
+            link_senders: self.link_senders,
+            link_listeners: self.link_listeners,
+            txs: self.txs,
+            rxs: self.rxs,
+            deliveries,
+            drains,
+            collectors: self.collectors,
+            sources: self.sources,
+            samplers: self.samplers,
+            holdings: self.holdings,
+            payload_bytes: self.payload_bytes,
+            deadline: self.deadline,
+            sample_every: self.sample_every,
+        })
+    }
+}
+
+/// Everything a finished run hands back to its topology builder, which
+/// owns report assembly (offered counts, extra stats, perf stamping).
+pub struct Outcome<T, R, C> {
+    /// The senders, in registration order.
+    pub txs: Vec<T>,
+    /// The receivers, in registration order.
+    pub rxs: Vec<R>,
+    /// The collectors, in registration order.
+    pub collectors: Vec<C>,
+    /// SDUs issued per source, in registration order.
+    pub issued: Vec<u64>,
+    /// SDUs each source would issue in total, in registration order.
+    pub targets: Vec<u64>,
+    /// Instant the run completed (or the deadline).
+    pub finished_at: Instant,
+    /// True if the deadline fired before completion.
+    pub deadline_hit: bool,
+    /// The event queue's profiling snapshot for this run.
+    pub queue: QueueProfile,
+    /// Wall-clock seconds the run took.
+    pub wall_secs: f64,
+}
+
+/// A validated, runnable simulation. Consume with [`Sim::run`] (fresh
+/// queue) or [`Sim::run_in`] (reuse a queue's allocation across runs).
+pub struct Sim<T, R, C> {
+    topo: Topology,
+    channels: Vec<Channel>,
+    link_senders: Vec<Vec<EndpointId>>,
+    link_listeners: Vec<Vec<EndpointId>>,
+    txs: Vec<T>,
+    rxs: Vec<R>,
+    deliveries: Vec<Delivery>,
+    drains: Vec<Vec<RxId>>,
+    collectors: Vec<C>,
+    sources: Vec<SourceSpec>,
+    samplers: Vec<SamplerSpec>,
+    holdings: Vec<(ColId, TxId)>,
+    payload_bytes: usize,
+    deadline: Duration,
+    sample_every: Duration,
+}
+
+impl<T, R, C> Sim<T, R, C>
+where
+    T: TxEndpoint,
+    R: RxEndpoint<Frame = T::Frame>,
+    C: Collect,
+{
+    /// The validated topology this simulation runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Run to completion on a fresh event queue.
+    pub fn run(self) -> Outcome<T, R, C> {
+        let mut q = EventQueue::new();
+        self.run_in(&mut q)
+    }
+
+    /// Run to completion, reusing `q`'s allocation (it is reset first).
+    /// The returned profile covers this run only.
+    pub fn run_in(self, q: &mut EventQueue<SimEvent<T::Frame>>) -> Outcome<T, R, C> {
+        q.reset();
+        let timer = RunTimer::start();
+        let trace = telemetry::global_handle("channel");
+        let Sim {
+            topo,
+            mut channels,
+            link_senders,
+            link_listeners,
+            mut txs,
+            mut rxs,
+            deliveries,
+            drains,
+            mut collectors,
+            mut sources,
+            samplers,
+            holdings,
+            payload_bytes,
+            deadline,
+            sample_every,
+            ..
+        } = self;
+        let deadline = Instant::ZERO + deadline;
+        let payload = Bytes::from(vec![0u8; payload_bytes]);
+
+        for t in txs.iter_mut() {
+            t.start(Instant::ZERO);
+        }
+        for r in rxs.iter_mut() {
+            r.start(Instant::ZERO);
+        }
+        for (s, src) in sources.iter_mut().enumerate() {
+            if let Some((at, id)) = src.gen.next() {
+                q.schedule(at, SimEvent::Push { source: s, id });
+            }
+        }
+        q.schedule(Instant::ZERO, SimEvent::Sample);
+        q.schedule(Instant::ZERO, SimEvent::Wake);
+
+        let mut next_wake = Instant::MAX;
+        let mut holding_buf: Vec<f64> = Vec::new();
+        let mut finished_at = Instant::ZERO;
+        let mut deadline_hit = false;
+
+        while let Some((now, first_ev)) = q.pop() {
+            if now > deadline {
+                deadline_hit = true;
+                finished_at = deadline;
+                break;
+            }
+            // Drain every event scheduled for this same instant before
+            // pumping: simultaneous SDU arrivals (a batch) must all be
+            // in the sending buffer before any transmission decision.
+            let mut ev = first_ev;
+            loop {
+                match ev {
+                    SimEvent::Push { source, id } => {
+                        let src = &mut sources[source];
+                        collectors[src.col.0].on_push(now, id);
+                        txs[src.tx.0].push(id, payload.clone());
+                        if let Some((at, nid)) = src.gen.next() {
+                            q.schedule(at.max(now), SimEvent::Push { source, id: nid });
+                        }
+                    }
+                    SimEvent::Arrive { link, frame, clean } => {
+                        let listeners = &link_listeners[link];
+                        let last = listeners.len().saturating_sub(1);
+                        let mut frame = Some(frame);
+                        for (k, ep) in listeners.iter().enumerate() {
+                            let f = if k == last {
+                                frame.take().expect("frame consumed once")
+                            } else {
+                                frame.as_ref().expect("frame present").clone()
+                            };
+                            match *ep {
+                                EndpointId::Tx(t) => txs[t.0].handle_frame(now, f, clean),
+                                EndpointId::Rx(r) => rxs[r.0].handle_frame(now, f, clean),
+                            }
+                        }
+                    }
+                    SimEvent::Sample => {
+                        for s in &samplers {
+                            let worst_rx = s
+                                .rxs
+                                .iter()
+                                .map(|r| rxs[r.0].occupancy())
+                                .max()
+                                .unwrap_or(0);
+                            collectors[s.col.0].sample(
+                                now,
+                                txs[s.tx.0].buffered(),
+                                worst_rx,
+                                txs[s.tx.0].rate(),
+                            );
+                        }
+                        if now + sample_every <= deadline {
+                            q.schedule(now + sample_every, SimEvent::Sample);
+                        }
+                    }
+                    SimEvent::Wake => {
+                        if next_wake <= now {
+                            next_wake = Instant::MAX;
+                        }
+                    }
+                }
+                if q.peek_time() == Some(now) {
+                    ev = q.pop().expect("peeked").1;
+                } else {
+                    break;
+                }
+            }
+
+            // Pump: timers, transmissions, deliveries.
+            for t in txs.iter_mut() {
+                t.on_timeout(now);
+            }
+            for r in rxs.iter_mut() {
+                r.on_timeout(now);
+            }
+            for li in 0..channels.len() {
+                // Serve the link's senders in priority order while the
+                // transmitter is idle (re-checking priority after each
+                // frame: a control frame freed mid-pump still wins).
+                while channels[li].idle(now) {
+                    let mut next = None;
+                    for ep in &link_senders[li] {
+                        next = match *ep {
+                            EndpointId::Tx(t) => {
+                                txs[t.0].poll_transmit(now).map(|f| (T::meta(&f), f))
+                            }
+                            EndpointId::Rx(r) => {
+                                rxs[r.0].poll_transmit(now).map(|f| (R::meta(&f), f))
+                            }
+                        };
+                        if next.is_some() {
+                            break;
+                        }
+                    }
+                    let Some((meta, frame)) = next else {
+                        break;
+                    };
+                    match channels[li].transmit(now, meta.bytes, meta.is_info) {
+                        Fate::Arrives { at, clean } => {
+                            q.schedule(
+                                at,
+                                SimEvent::Arrive {
+                                    link: li,
+                                    frame,
+                                    clean,
+                                },
+                            );
+                        }
+                        Fate::Lost => {
+                            let dir = topo.links[li].dir;
+                            trace.emit(now, || TraceEvent::ChannelDrop { dir });
+                        }
+                    }
+                }
+                for r in &drains[li] {
+                    while let Some((id, _len)) = rxs[r.0].poll_deliver(now) {
+                        match deliveries[r.0] {
+                            Delivery::Collect(c) => collectors[c.0].on_deliver(now, id),
+                            Delivery::Forward(t) => {
+                                txs[t.0].push(id, payload.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            for (col, t) in &holdings {
+                holding_buf.clear();
+                txs[t.0].drain_holding(&mut holding_buf);
+                collectors[col.0].on_holding(&holding_buf);
+            }
+
+            // "Safe delivery" (§4): the run completes when every flow
+            // delivered its offer AND every sender has drained (each
+            // frame positively acknowledged).
+            let done = sources
+                .iter()
+                .all(|s| collectors[s.col.0].delivered_unique() >= s.gen.total())
+                && txs.iter().all(|t| t.buffered() == 0);
+            if done || txs.iter().any(|t| t.is_failed()) {
+                finished_at = now;
+                break;
+            }
+
+            // Re-arm the wake-up at the earliest pending protocol
+            // instant.
+            let mut want: Option<Instant> = None;
+            let mut consider = |c: Option<Instant>| {
+                if let Some(t) = c {
+                    want = Some(want.map_or(t, |w| w.min(t)));
+                }
+            };
+            for t in &txs {
+                consider(t.poll_timeout());
+            }
+            for r in &rxs {
+                consider(r.poll_timeout());
+            }
+            for c in &channels {
+                if !c.idle(now) {
+                    consider(Some(c.free_at()));
+                }
+            }
+            if let Some(t) = want {
+                // A want at or before `now` means the protocol is
+                // blocked on a busy transmitter (the pump already did
+                // everything else possible at `now`): waking again at
+                // `now` would spin without advancing time, so defer to
+                // the earliest channel-free instant — strictly in the
+                // future when busy.
+                let t = if t > now {
+                    Some(t)
+                } else {
+                    channels
+                        .iter()
+                        .filter(|c| !c.idle(now))
+                        .map(|c| c.free_at())
+                        .min()
+                };
+                if let Some(t) = t {
+                    debug_assert!(t > now, "wake must advance time");
+                    if t < next_wake {
+                        next_wake = t;
+                        q.schedule(t, SimEvent::Wake);
+                    }
+                }
+            }
+            finished_at = now;
+        }
+
+        Outcome {
+            issued: sources.iter().map(|s| s.gen.issued()).collect(),
+            targets: sources.iter().map(|s| s.gen.total()).collect(),
+            txs,
+            rxs,
+            collectors,
+            finished_at,
+            deadline_hit,
+            queue: q.profile(),
+            wall_secs: timer.elapsed_secs(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::FrameMeta;
+    use crate::link::{DelayModel, ErrorModel};
+    use crate::traffic::Pattern;
+    use sim_core::SeedSplitter;
+    use std::collections::VecDeque;
+
+    /// A toy stop-and-wait-free protocol: the sender emits each SDU
+    /// once as a `u64` frame; the receiver delivers it and never talks
+    /// back. Enough to exercise push/arrive/deliver/done plumbing.
+    struct EchoTx {
+        queue: VecDeque<u64>,
+        sent: u64,
+    }
+
+    impl TxEndpoint for EchoTx {
+        type Frame = u64;
+
+        fn start(&mut self, _now: Instant) {}
+        fn push(&mut self, id: u64, _payload: Bytes) -> bool {
+            self.queue.push_back(id);
+            true
+        }
+        fn poll_transmit(&mut self, _now: Instant) -> Option<u64> {
+            let f = self.queue.pop_front();
+            if f.is_some() {
+                self.sent += 1;
+            }
+            f
+        }
+        fn handle_frame(&mut self, _now: Instant, _frame: u64, _ok: bool) {}
+        fn on_timeout(&mut self, _now: Instant) {}
+        fn poll_timeout(&self) -> Option<Instant> {
+            None
+        }
+        fn buffered(&self) -> usize {
+            self.queue.len()
+        }
+        fn meta(_frame: &u64) -> FrameMeta {
+            FrameMeta {
+                bytes: 64,
+                is_info: true,
+            }
+        }
+        fn drain_holding(&mut self, _out: &mut Vec<f64>) {}
+        fn transmissions(&self) -> u64 {
+            self.sent
+        }
+        fn retransmissions(&self) -> u64 {
+            0
+        }
+    }
+
+    struct EchoRx {
+        pending: VecDeque<u64>,
+    }
+
+    impl RxEndpoint for EchoRx {
+        type Frame = u64;
+
+        fn start(&mut self, _now: Instant) {}
+        fn handle_frame(&mut self, _now: Instant, frame: u64, ok: bool) {
+            if ok {
+                self.pending.push_back(frame);
+            }
+        }
+        fn on_timeout(&mut self, _now: Instant) {}
+        fn poll_timeout(&self) -> Option<Instant> {
+            None
+        }
+        fn poll_transmit(&mut self, _now: Instant) -> Option<u64> {
+            None
+        }
+        fn poll_deliver(&mut self, _now: Instant) -> Option<(u64, usize)> {
+            self.pending.pop_front().map(|id| (id, 64))
+        }
+        fn occupancy(&self) -> usize {
+            self.pending.len()
+        }
+        fn meta(_frame: &u64) -> FrameMeta {
+            FrameMeta {
+                bytes: 64,
+                is_info: true,
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct CountCollector {
+        pushed: u64,
+        delivered: u64,
+        samples: u64,
+    }
+
+    impl Collect for CountCollector {
+        fn on_push(&mut self, _now: Instant, _id: u64) {
+            self.pushed += 1;
+        }
+        fn on_deliver(&mut self, _now: Instant, _id: u64) {
+            self.delivered += 1;
+        }
+        fn on_holding(&mut self, _samples: &[f64]) {}
+        fn sample(&mut self, _now: Instant, _tx: usize, _rx: usize, _rate: f64) {
+            self.samples += 1;
+        }
+        fn delivered_unique(&self) -> u64 {
+            self.delivered
+        }
+    }
+
+    fn clean_channel() -> Channel {
+        Channel::new(
+            1e6,
+            DelayModel::Fixed(Duration::from_millis(1)),
+            ErrorModel::Clean,
+        )
+    }
+
+    fn p2p(n: u64) -> SimBuilder<EchoTx, EchoRx, CountCollector> {
+        let mut b = SimBuilder::new(64, Duration::from_secs(60), Duration::from_millis(5));
+        let a = b.node(NodeRole::Source);
+        let z = b.node(NodeRole::Sink);
+        let lf = b.link(a, z, clean_channel(), "fwd");
+        let lr = b.link(z, a, clean_channel(), "rev");
+        let t = b.tx(
+            a,
+            lf,
+            EchoTx {
+                queue: VecDeque::new(),
+                sent: 0,
+            },
+        );
+        let r = b.rx(
+            z,
+            lr,
+            EchoRx {
+                pending: VecDeque::new(),
+            },
+        );
+        b.listen(lf, r);
+        b.listen(lr, t);
+        let c = b.collector(CountCollector::default());
+        b.source(
+            TrafficGen::new(Pattern::Batch, n, SeedSplitter::new(1).stream(2)),
+            t,
+            c,
+        );
+        b.deliver(r, c);
+        b.sample(c, t, vec![r]);
+        b.holding(c, t);
+        b
+    }
+
+    #[test]
+    fn point_to_point_delivers_everything() {
+        let out = p2p(10).build().expect("valid").run();
+        assert_eq!(out.collectors[0].delivered, 10);
+        assert_eq!(out.collectors[0].pushed, 10);
+        assert_eq!(out.issued, vec![10]);
+        assert_eq!(out.targets, vec![10]);
+        assert!(!out.deadline_hit);
+        assert!(out.finished_at > Instant::ZERO);
+        assert!(out.queue.popped > 0);
+    }
+
+    #[test]
+    fn queue_reuse_is_equivalent_to_fresh() {
+        let fresh = p2p(25).build().expect("valid").run();
+        let mut q = EventQueue::new();
+        // Dirty the queue, then reuse it: reset must make it pristine.
+        q.schedule(Instant::from_millis(3), SimEvent::Wake);
+        q.pop();
+        let reused = p2p(25).build().expect("valid").run_in(&mut q);
+        assert_eq!(fresh.finished_at, reused.finished_at);
+        assert_eq!(fresh.queue.scheduled, reused.queue.scheduled);
+        assert_eq!(fresh.queue.popped, reused.queue.popped);
+    }
+
+    #[test]
+    fn build_rejects_unwired_receiver() {
+        let mut b: SimBuilder<EchoTx, EchoRx, CountCollector> =
+            SimBuilder::new(64, Duration::from_secs(1), Duration::from_millis(5));
+        let a = b.node(NodeRole::Source);
+        let z = b.node(NodeRole::Sink);
+        let lf = b.link(a, z, clean_channel(), "fwd");
+        let lr = b.link(z, a, clean_channel(), "rev");
+        let t = b.tx(
+            a,
+            lf,
+            EchoTx {
+                queue: VecDeque::new(),
+                sent: 0,
+            },
+        );
+        let r = b.rx(
+            z,
+            lr,
+            EchoRx {
+                pending: VecDeque::new(),
+            },
+        );
+        b.listen(lf, r);
+        let c = b.collector(CountCollector::default());
+        b.source(
+            TrafficGen::new(Pattern::Batch, 1, SeedSplitter::new(1).stream(2)),
+            t,
+            c,
+        );
+        // No deliver()/forward() for r: must be rejected.
+        let err = b.build().err().expect("unwired rx must not build");
+        assert!(err.to_string().contains("no delivery target"), "{err}");
+    }
+
+    #[test]
+    fn build_rejects_role_mismatch_and_bad_links() {
+        let mut b: SimBuilder<EchoTx, EchoRx, CountCollector> =
+            SimBuilder::new(64, Duration::from_secs(1), Duration::from_millis(5));
+        let a = b.node(NodeRole::Source);
+        // Self-loop link, and a Source node with no source feeding it.
+        b.link(a, a, clean_channel(), "fwd");
+        let err = b.build().err().expect("must not build");
+        let msg = err.to_string();
+        assert!(msg.contains("self-loop"), "{msg}");
+        assert!(msg.contains("Source"), "{msg}");
+    }
+
+    #[test]
+    fn relay_forwarding_chain_delivers() {
+        // 3 nodes, 2 hops: source → relay → sink, with per-hop drain
+        // points so forwarded frames catch the next link's pump pass.
+        let mut b: SimBuilder<EchoTx, EchoRx, CountCollector> =
+            SimBuilder::new(64, Duration::from_secs(60), Duration::from_millis(5));
+        let n0 = b.node(NodeRole::Source);
+        let n1 = b.node(NodeRole::Relay);
+        let n2 = b.node(NodeRole::Sink);
+        let mut txs = Vec::new();
+        let mut rxs = Vec::new();
+        for (from, to) in [(n0, n1), (n1, n2)] {
+            let lf = b.link(from, to, clean_channel(), "fwd");
+            let lr = b.link(to, from, clean_channel(), "rev");
+            let t = b.tx(
+                from,
+                lf,
+                EchoTx {
+                    queue: VecDeque::new(),
+                    sent: 0,
+                },
+            );
+            let r = b.rx(
+                to,
+                lr,
+                EchoRx {
+                    pending: VecDeque::new(),
+                },
+            );
+            b.listen(lf, r);
+            b.listen(lr, t);
+            b.drain_after(r, lr);
+            txs.push(t);
+            rxs.push(r);
+        }
+        let c = b.collector(CountCollector::default());
+        b.source(
+            TrafficGen::new(Pattern::Batch, 7, SeedSplitter::new(1).stream(2)),
+            txs[0],
+            c,
+        );
+        b.forward(rxs[0], txs[1]);
+        b.deliver(rxs[1], c);
+        b.sample(c, txs[0], rxs.clone());
+        b.holding(c, txs[0]);
+        let out = b.build().expect("valid relay").run();
+        assert_eq!(out.collectors[0].delivered, 7);
+        assert_eq!(out.txs[0].sent, 7);
+        assert_eq!(out.txs[1].sent, 7, "relay must forward every frame");
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+//! # netsim
+//!
+//! Topology-generic discrete-event network simulation engine.
+//!
+//! One event loop drives an arbitrary directed-link topology of
+//! protocol endpoints. The harness crate's point-to-point, full-duplex
+//! and store-and-forward relay runners are all thin topology builders
+//! over this engine, which guarantees they share *identical* event
+//! scheduling, channel realisations and pump semantics:
+//!
+//! * [`endpoint`] — the sans-IO driving contract ([`TxEndpoint`] /
+//!   [`RxEndpoint`]) every protocol adapter implements;
+//! * [`link`] — the directional channel model: serialization, fixed or
+//!   orbital propagation delay, uniform/burst error processes, outages;
+//! * [`traffic`] — CBR / Poisson / on-off / batch SDU generators;
+//! * [`topology`] — nodes with [`NodeRole`]s, directed links, and the
+//!   id types wiring endpoints to them;
+//! * [`collect`] — the [`Collect`] measurement trait the engine feeds;
+//! * [`engine`] — [`SimBuilder`] / [`Sim`]: the single generic event
+//!   loop (push / arrive / sample / wake), common to every topology.
+//!
+//! Determinism: all randomness flows through per-stream
+//! [`sim_core::SeedSplitter`] RNGs owned by channels and traffic
+//! generators (common random numbers), and the event queue breaks
+//! timestamp ties by insertion order — a run is a pure function of its
+//! configuration and seed.
+
+pub mod collect;
+pub mod endpoint;
+pub mod engine;
+pub mod link;
+pub mod topology;
+pub mod traffic;
+
+pub use collect::Collect;
+pub use endpoint::{FrameMeta, RxEndpoint, TxEndpoint};
+pub use engine::{Outcome, Sim, SimBuilder, SimEvent};
+pub use link::{Channel, DelayModel, ErrorModel, Fate, Outage};
+pub use topology::{
+    ColId, EndpointId, LinkId, LinkSpec, NodeId, NodeRole, RxId, Topology, TopologyError, TxId,
+};
+pub use traffic::{Pattern, TrafficGen};

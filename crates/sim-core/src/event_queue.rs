@@ -153,6 +153,17 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Return the queue to its just-constructed state — clock at t = 0,
+    /// no pending events, fresh counters — while keeping the heap's
+    /// allocation. Lets a driver reuse one queue across many runs.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+        self.next_seq = 0;
+        self.now = Instant::ZERO;
+        self.stats = QueueStats::default();
+    }
+
     /// Snapshot the queue's lifetime profiling counters.
     pub fn profile(&self) -> QueueProfile {
         QueueProfile {
@@ -368,6 +379,27 @@ mod tests {
         assert_eq!(a.horizon, Instant::from_millis(2));
         assert!(a.events_per_sec(2.0) == 3.0);
         assert!(a.events_per_sec(0.0) == 0.0);
+    }
+
+    #[test]
+    fn reset_restores_pristine_state() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Instant::from_nanos(1), "a");
+        q.schedule(Instant::from_nanos(2), "b");
+        q.cancel(a);
+        q.pop();
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), Instant::ZERO);
+        assert_eq!(q.profile(), QueueProfile::default());
+        // Post-reset behaviour matches a fresh queue, including seq-based
+        // FIFO tie-breaking starting over from zero.
+        q.schedule(Instant::from_nanos(1), "x");
+        q.schedule(Instant::from_nanos(1), "y");
+        assert_eq!(q.pop().unwrap().1, "x");
+        assert_eq!(q.pop().unwrap().1, "y");
+        let p = q.profile();
+        assert_eq!((p.scheduled, p.popped), (2, 2));
     }
 
     #[test]

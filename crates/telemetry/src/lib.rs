@@ -26,6 +26,6 @@ pub mod trace;
 pub use json::Json;
 pub use registry::Registry;
 pub use trace::{
-    global_handle, install_global, uninstall_global, JsonlSink, RingSink, Trace, TraceEvent,
-    TraceRecord, TraceSink,
+    global_handle, global_sink, install_global, uninstall_global, BufferSink, JsonlSink, RingSink,
+    SharedSink, Trace, TraceEvent, TraceRecord, TraceSink,
 };

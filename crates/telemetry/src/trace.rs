@@ -293,6 +293,41 @@ impl TraceSink for RingSink {
     }
 }
 
+/// Unbounded in-memory sink that surrenders its records on demand.
+///
+/// Built for worker threads: install a `BufferSink` as the worker's
+/// global sink, run simulations, then [`BufferSink::take`] the records
+/// and replay them into the orchestrating thread's sink in
+/// deterministic order. ([`TraceRecord`] is `Send`; sinks are not.)
+#[derive(Default)]
+pub struct BufferSink {
+    buf: Vec<TraceRecord>,
+    seen: u64,
+}
+
+impl BufferSink {
+    /// An empty buffer sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Remove and return all buffered records, oldest first.
+    pub fn take(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.buf)
+    }
+}
+
+impl TraceSink for BufferSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.buf.push(rec.clone());
+        self.seen += 1;
+    }
+
+    fn len(&self) -> u64 {
+        self.seen
+    }
+}
+
 /// Streaming sink writing one JSON object per line.
 pub struct JsonlSink<W: Write> {
     out: W,
@@ -431,6 +466,13 @@ pub fn uninstall_global() -> Option<SharedSink> {
     GLOBAL_SINK.with(|g| g.borrow_mut().take())
 }
 
+/// A clone of the currently installed global sink, if any. Lets an
+/// orchestrator check whether tracing is live (and later replay worker
+/// records into it) without disturbing the installation.
+pub fn global_sink() -> Option<SharedSink> {
+    GLOBAL_SINK.with(|g| g.borrow().clone())
+}
+
 /// A handle feeding the installed global sink (disabled when none).
 pub fn global_handle(node: &'static str) -> Trace {
     GLOBAL_SINK.with(|g| match &*g.borrow() {
@@ -521,6 +563,34 @@ mod tests {
         assert_eq!(first.get("naks").and_then(Json::as_f64), Some(2.0));
         let second = Json::parse(lines[1]).unwrap();
         assert_eq!(second.get("new_seq").and_then(Json::as_f64), Some(33.0));
+    }
+
+    #[test]
+    fn buffer_sink_takes_in_order() {
+        let mut sink = BufferSink::new();
+        for i in 0..4 {
+            sink.record(&rec(i, TraceEvent::Nak { seq: i }));
+        }
+        assert_eq!(sink.len(), 4);
+        let records = sink.take();
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0].t, Instant::from_nanos(0));
+        assert_eq!(records[3].t, Instant::from_nanos(3));
+        // `take` drains the buffer but `len` still reports lifetime count.
+        assert!(sink.take().is_empty());
+        assert_eq!(sink.len(), 4);
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn global_sink_clone_matches_installed() {
+        assert!(global_sink().is_none());
+        let ring: SharedSink = Rc::new(RefCell::new(RingSink::new(4)));
+        install_global(ring.clone());
+        let observed = global_sink().expect("sink installed");
+        assert!(Rc::ptr_eq(&observed, &ring));
+        uninstall_global();
+        assert!(global_sink().is_none());
     }
 
     #[test]

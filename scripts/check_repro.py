@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Validate `repro --json` output and its worker-count determinism.
+
+Usage:
+    check_repro.py report.json [report_parallel.json]
+
+With one argument: validate the `lams-dlc.repro/1` schema (top-level
+fields, per-experiment structure, perf blocks).
+
+With two arguments: additionally require the two documents to be
+identical once every `perf` block (the only wall-clock-bearing field)
+is nulled out — the parallel runner must be a pure speed knob.
+"""
+
+import json
+import sys
+
+EXPECTED_IDS = [f"E{i}" for i in range(1, 18)]
+
+
+def fail(msg):
+    print(f"check_repro: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def validate(doc, path):
+    if doc.get("schema") != "lams-dlc.repro/1":
+        fail(f"{path}: schema is {doc.get('schema')!r}, want 'lams-dlc.repro/1'")
+    if not isinstance(doc.get("quick"), bool):
+        fail(f"{path}: 'quick' must be a bool")
+    exps = doc.get("experiments")
+    if not isinstance(exps, list) or not exps:
+        fail(f"{path}: 'experiments' must be a non-empty array")
+    ids = []
+    for e in exps:
+        for key in ("id", "title", "tables", "notes"):
+            if key not in e:
+                fail(f"{path}: experiment missing '{key}': {e.get('id', '?')}")
+        ids.append(e["id"])
+        perf = e.get("perf")
+        if perf is None:
+            continue  # an experiment with no simulations (analysis-only)
+        for key in ("scheduled", "popped", "peak_depth", "wall_secs",
+                    "events_per_sec", "runs"):
+            if key not in perf:
+                fail(f"{path}: {e['id']} perf block missing '{key}'")
+        if perf["popped"] <= 0:
+            fail(f"{path}: {e['id']} perf block popped no events")
+    if ids != EXPECTED_IDS:
+        fail(f"{path}: experiment ids {ids} != {EXPECTED_IDS}")
+    return doc
+
+
+def strip_perf(node):
+    if isinstance(node, dict):
+        return {k: (None if k == "perf" else strip_perf(v))
+                for k, v in node.items()}
+    if isinstance(node, list):
+        return [strip_perf(v) for v in node]
+    return node
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    a = validate(load(sys.argv[1]), sys.argv[1])
+    if len(sys.argv) == 3:
+        b = validate(load(sys.argv[2]), sys.argv[2])
+        if strip_perf(a) != strip_perf(b):
+            fail("reports differ beyond perf blocks: the parallel runner "
+                 "changed simulation results")
+        print("check_repro: OK (schema valid, worker counts agree)")
+    else:
+        print("check_repro: OK (schema valid)")
+
+
+if __name__ == "__main__":
+    main()
