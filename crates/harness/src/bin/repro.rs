@@ -7,6 +7,7 @@
 //! repro --list               # show the experiment index
 //! repro --json report.json   # also write machine-readable results
 //! repro --trace run.jsonl    # also write a protocol event trace (JSONL)
+//! repro --metrics m.jsonl    # also write windowed time-series metrics
 //! repro --workers 4          # fan experiments out across 4 threads
 //! ```
 //!
@@ -20,7 +21,12 @@
 //!     { "id", "title", "tables", "traces", "notes",   // ExperimentOutput
 //!       "perf": {"scheduled", "popped", "cancelled", "peak_depth",
 //!                "horizon_s", "wall_secs", "events_per_sec",
-//!                "runs"} | null }                      // merged over runs
+//!                "runs"} | null,                       // merged over runs
+//!       "metrics": {"runs", "frames", "delivered", "naks",
+//!                   "retransmissions", "max_tx_outstanding",
+//!                   "audit_findings",
+//!                   "delivery_latency": {"count", "p50_s", "p99_s"}}
+//!                | null }                              // live monitor
 //!   ]
 //! }
 //! ```
@@ -31,9 +37,19 @@
 //! `--workers > 1` the records are buffered per experiment and written
 //! in experiment order, so the trace file is identical to a serial run.
 //!
-//! Results, the JSON document, and the trace stream are merged in
-//! experiment order regardless of `--workers`, so output at any worker
-//! count is byte-identical apart from measured wall-clock seconds.
+//! `--metrics` writes the live monitor's fixed-interval windowed series
+//! (one JSON object per window per link per run: throughput, NAK rate,
+//! retransmissions, occupancy high-water marks) in experiment order.
+//!
+//! Every experiment additionally runs under a live protocol auditor
+//! ([`monitor::Monitor`]) checking the LAMS-DLC invariants as events
+//! arrive; any violation is printed to stderr and fails the process
+//! with exit code 1.
+//!
+//! Results, the JSON document, the trace stream, and the metric series
+//! are merged in experiment order regardless of `--workers`, so output
+//! at any worker count is byte-identical apart from measured wall-clock
+//! seconds.
 
 use harness::runner::{self, CliArgs};
 use harness::{experiments, parallel};
@@ -54,6 +70,11 @@ fn main() {
             println!("  {id:>4}  {title}");
         }
         return;
+    }
+
+    if let Err(msg) = runner::validate_paths(&cli) {
+        eprintln!("error: {msg}\n\n{}", runner::USAGE);
+        std::process::exit(2);
     }
 
     parallel::set_workers(cli.workers);
@@ -88,6 +109,42 @@ fn main() {
         }
     }
 
+    // The live auditor's verdicts: any invariant violation fails the
+    // whole reproduction loudly.
+    let mut violations = 0u64;
+    for run in &runs {
+        if run.audit.total_findings == 0 {
+            continue;
+        }
+        violations += run.audit.total_findings;
+        eprintln!(
+            "AUDIT FAILURE in {}: {} invariant violation(s)",
+            run.id, run.audit.total_findings
+        );
+        for f in &run.audit.findings {
+            eprintln!("  {f}");
+        }
+        let suppressed = run.audit.total_findings - run.audit.findings.len() as u64;
+        if suppressed > 0 {
+            eprintln!("  ... and {suppressed} more");
+        }
+    }
+
+    if let Some(path) = &cli.metrics {
+        let mut buf = String::new();
+        for run in &runs {
+            for line in &run.audit.window_lines {
+                buf.push_str(&line.render());
+                buf.push('\n');
+            }
+        }
+        if let Err(e) = std::fs::write(path, buf) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+
     if let Some(path) = &cli.json {
         let doc = runner::report_json(&runs, cli.quick);
         if let Err(e) = std::fs::write(path, doc.render_pretty() + "\n") {
@@ -106,5 +163,9 @@ fn main() {
 
     if unknown {
         std::process::exit(2);
+    }
+    if violations > 0 {
+        eprintln!("protocol audit failed: {violations} invariant violation(s)");
+        std::process::exit(1);
     }
 }

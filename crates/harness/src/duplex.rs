@@ -124,13 +124,16 @@ pub fn run_duplex_lams(cfg: &ScenarioConfig) -> DuplexReport {
     run_duplex(
         cfg,
         |i| {
-            let node = if i == 0 { "a.tx" } else { "b.tx" };
+            // Trace labels are per *flow*, not per node: mk_tx(0) sends
+            // the A→B data, and its peer receiver is mk_rx(1) at node B —
+            // sharing the "a2b" prefix lets trace consumers pair them.
+            let node = if i == 0 { "a2b.tx" } else { "b2a.tx" };
             LamsTx::new(
                 lams_dlc::Sender::new(lcfg.clone()).with_trace(telemetry::global_handle(node)),
             )
         },
         |i| {
-            let node = if i == 0 { "a.rx" } else { "b.rx" };
+            let node = if i == 0 { "b2a.rx" } else { "a2b.rx" };
             LamsRx {
                 inner: lams_dlc::Receiver::new(lcfg.clone())
                     .with_trace(telemetry::global_handle(node)),
@@ -146,11 +149,11 @@ pub fn run_duplex_sr(cfg: &ScenarioConfig) -> DuplexReport {
     run_duplex(
         cfg,
         |i| {
-            let node = if i == 0 { "a.tx" } else { "b.tx" };
+            let node = if i == 0 { "a2b.tx" } else { "b2a.tx" };
             SrTx::new(hdlc::SrSender::new(hcfg.clone()).with_trace(telemetry::global_handle(node)))
         },
         |i| {
-            let node = if i == 0 { "a.rx" } else { "b.rx" };
+            let node = if i == 0 { "b2a.rx" } else { "a2b.rx" };
             SrRx {
                 inner: hdlc::SrReceiver::new(hcfg.clone())
                     .with_trace(telemetry::global_handle(node)),

@@ -63,7 +63,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
             let sr = run_sr(&cfg);
             eta_l += lams.efficiency();
             eta_h += sr.efficiency();
-            reqnaks += lams.extra("request_naks").unwrap_or(0.0);
+            reqnaks += lams.extra("lams.sender.request_naks").unwrap_or(0.0);
             dups += lams.duplicates;
             // Loss is tolerable only when the failure was *declared*: a
             // burst long enough to exhaust the failure timer is an
@@ -72,7 +72,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
                 silent_loss += lams.lost;
             }
             failures += u64::from(lams.link_failed);
-            timeouts += sr.extra("timeouts").unwrap_or(0.0);
+            timeouts += sr.extra("hdlc.sr_sender.timeouts").unwrap_or(0.0);
         }
         (eta_l, eta_h, reqnaks, dups, silent_loss, failures, timeouts)
     });

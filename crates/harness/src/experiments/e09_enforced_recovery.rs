@@ -27,7 +27,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
             "delivered",
             "lost",
             "duplicates",
-            "request_naks",
+            "lams.sender.request_naks",
             "link_failed",
             "elapsed_ms",
         ],
@@ -50,7 +50,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
             r.delivered_unique.into(),
             r.lost.into(),
             r.duplicates.into(),
-            r.extra("request_naks").unwrap_or(0.0).into(),
+            r.extra("lams.sender.request_naks").unwrap_or(0.0).into(),
             u64::from(r.link_failed).into(),
             (r.elapsed_s() * 1e3).into(),
         ]);

@@ -38,7 +38,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
             "receiver",
             "delivered",
             "lost",
-            "overflow_discards",
+            "lams.receiver.overflow_discards",
             "min_rate",
             "final_rate",
             "elapsed_ms",
@@ -54,7 +54,10 @@ pub fn run(quick: bool) -> ExperimentOutput {
         "capacity 64 (Stop at 24)".into(),
         throttled.delivered_unique.into(),
         throttled.lost.into(),
-        throttled.extra("overflow_discards").unwrap_or(0.0).into(),
+        throttled
+            .extra("lams.receiver.overflow_discards")
+            .unwrap_or(0.0)
+            .into(),
         min_rate.into(),
         throttled.rate.last_value().unwrap_or(1.0).into(),
         (throttled.elapsed_s() * 1e3).into(),
@@ -63,7 +66,9 @@ pub fn run(quick: bool) -> ExperimentOutput {
         "unbounded (control)".into(),
         free.delivered_unique.into(),
         free.lost.into(),
-        free.extra("overflow_discards").unwrap_or(0.0).into(),
+        free.extra("lams.receiver.overflow_discards")
+            .unwrap_or(0.0)
+            .into(),
         1.0.into(),
         free.rate.last_value().unwrap_or(1.0).into(),
         (free.elapsed_s() * 1e3).into(),

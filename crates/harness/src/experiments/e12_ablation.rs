@@ -29,7 +29,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
             "efficiency",
             "holding_ms",
             "lost",
-            "request_naks",
+            "lams.sender.request_naks",
             "failure_detect_bound_ms",
         ],
     );
@@ -57,7 +57,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
             r.efficiency().into(),
             (r.holding.mean() * 1e3).into(),
             r.lost.into(),
-            r.extra("request_naks").unwrap_or(0.0).into(),
+            r.extra("lams.sender.request_naks").unwrap_or(0.0).into(),
             (detect.as_secs_f64() * 1e3).into(),
         ]);
     }

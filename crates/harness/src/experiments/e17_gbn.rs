@@ -48,7 +48,9 @@ pub fn run(quick: bool) -> ExperimentOutput {
             gbn.efficiency().into(),
             sr.efficiency().into(),
             lams.efficiency().into(),
-            gbn.extra("discarded").unwrap_or(0.0).into(),
+            gbn.extra("hdlc.gbn_receiver.discarded")
+                .unwrap_or(0.0)
+                .into(),
         ]);
     }
     let mut analytic = Table::new(

@@ -58,7 +58,7 @@ pub struct RunReport {
     /// Protocol-specific receiver counters.
     pub rx_extras: Registry,
     /// Run-level accounting counters maintained by the [`Collector`]
-    /// (e.g. `collector_unmatched`: deliveries whose push instant was
+    /// (e.g. `harness.collector.unmatched`: deliveries whose push instant was
     /// never recorded, so no delay sample could be taken).
     pub counters: Registry,
     /// Event-queue profiling snapshot of the run's scheduler.
@@ -306,7 +306,7 @@ impl Collector {
             // A delivery with no matching push: the delay sample is
             // unrecordable. Count it so runs where accounting went wrong
             // are visible instead of silently under-sampled.
-            None => self.counters.inc("collector_unmatched"),
+            None => self.counters.inc("harness.collector.unmatched"),
         }
         let released = self
             .resequencer
@@ -318,7 +318,7 @@ impl Collector {
                     self.e2e_delay.record(d);
                     self.e2e_delay_hist.record(d);
                 }
-                None => self.counters.inc("collector_unmatched"),
+                None => self.counters.inc("harness.collector.unmatched"),
             }
         }
     }
@@ -380,7 +380,9 @@ impl Collector {
 
     /// Deliveries dropped from delay accounting (no matching push).
     pub fn unmatched(&self) -> u64 {
-        self.counters.get("collector_unmatched").unwrap_or(0.0) as u64
+        self.counters
+            .get("harness.collector.unmatched")
+            .unwrap_or(0.0) as u64
     }
 
     /// Finalize into a report. The queue/wall perf fields start zeroed;
@@ -506,7 +508,7 @@ mod tests {
             Registry::new(),
             Registry::new(),
         );
-        assert_eq!(r.extra("collector_unmatched"), Some(2.0));
+        assert_eq!(r.extra("harness.collector.unmatched"), Some(2.0));
     }
 
     #[test]
@@ -523,7 +525,7 @@ mod tests {
             3,
             2,
             Duration::from_micros(50),
-            Registry::from_iter([("request_naks", 1.0)]),
+            Registry::from_iter([("lams.sender.request_naks", 1.0)]),
             Registry::new(),
         );
         assert_eq!(r.delivered_unique, 1);
@@ -531,7 +533,7 @@ mod tests {
         assert!((r.throughput_fps() - 1000.0).abs() < 1e-6);
         assert!((r.efficiency() - 0.05).abs() < 1e-9);
         assert_eq!(r.retransmission_ratio(), 2.0);
-        assert_eq!(r.extra("request_naks"), Some(1.0));
+        assert_eq!(r.extra("lams.sender.request_naks"), Some(1.0));
     }
 
     #[test]
@@ -570,8 +572,8 @@ mod tests {
             2,
             0,
             Duration::from_micros(50),
-            Registry::from_iter([("request_naks", 4.0)]),
-            Registry::from_iter([("checkpoints_sent", 9.0)]),
+            Registry::from_iter([("lams.sender.request_naks", 4.0)]),
+            Registry::from_iter([("lams.receiver.checkpoints_sent", 9.0)]),
         );
         r.wall_secs = 0.5;
         let rendered = r.to_json().render();
@@ -584,7 +586,7 @@ mod tests {
         assert_eq!(back.get("lost").and_then(Json::as_f64), Some(0.0));
         assert_eq!(
             back.get("tx_extras")
-                .and_then(|e| e.get("request_naks"))
+                .and_then(|e| e.get("lams.sender.request_naks"))
                 .and_then(Json::as_f64),
             Some(4.0)
         );

@@ -103,11 +103,14 @@ impl TxEndpoint for LamsTx {
     fn extra_stats(&self) -> Registry {
         let s = self.inner.stats();
         Registry::from_iter([
-            ("request_naks", s.request_naks as f64),
-            ("unsafe_gaps", s.unsafe_gaps as f64),
-            ("resolve_expiries", s.resolve_expiries as f64),
-            ("suspect_retransmissions", s.suspect_retransmissions as f64),
-            ("checkpoints_received", s.checkpoints as f64),
+            ("lams.sender.request_naks", s.request_naks as f64),
+            ("lams.sender.unsafe_gaps", s.unsafe_gaps as f64),
+            ("lams.sender.resolve_expiries", s.resolve_expiries as f64),
+            (
+                "lams.sender.suspect_retransmissions",
+                s.suspect_retransmissions as f64,
+            ),
+            ("lams.sender.checkpoints_received", s.checkpoints as f64),
         ])
     }
 }
@@ -166,11 +169,14 @@ impl RxEndpoint for LamsRx {
     fn extra_stats(&self) -> Registry {
         let s = self.inner.stats();
         Registry::from_iter([
-            ("overflow_discards", s.overflow_discards as f64),
-            ("enforced_naks_sent", s.enforced_sent as f64),
-            ("checkpoints_sent", s.checkpoints_sent as f64),
-            ("gaps_inferred", s.gaps_inferred as f64),
-            ("corrupted_arrivals", s.corrupted as f64),
+            (
+                "lams.receiver.overflow_discards",
+                s.overflow_discards as f64,
+            ),
+            ("lams.receiver.enforced_naks_sent", s.enforced_sent as f64),
+            ("lams.receiver.checkpoints_sent", s.checkpoints_sent as f64),
+            ("lams.receiver.gaps_inferred", s.gaps_inferred as f64),
+            ("lams.receiver.corrupted_arrivals", s.corrupted as f64),
         ])
     }
 }
@@ -258,9 +264,9 @@ impl TxEndpoint for SrTx {
     fn extra_stats(&self) -> Registry {
         let s = self.inner.stats();
         Registry::from_iter([
-            ("timeouts", s.timeouts as f64),
-            ("srejs_processed", s.srejs as f64),
-            ("rrs_processed", s.rrs as f64),
+            ("hdlc.sr_sender.timeouts", s.timeouts as f64),
+            ("hdlc.sr_sender.srejs_processed", s.srejs as f64),
+            ("hdlc.sr_sender.rrs_processed", s.rrs as f64),
         ])
     }
 }
@@ -319,9 +325,9 @@ impl RxEndpoint for SrRx {
     fn extra_stats(&self) -> Registry {
         let s = self.inner.stats();
         Registry::from_iter([
-            ("srejs_sent", s.srejs_sent as f64),
-            ("peak_reseq_buffer", s.peak_buffered as f64),
-            ("duplicates_dropped", s.duplicates as f64),
+            ("hdlc.sr_receiver.srejs_sent", s.srejs_sent as f64),
+            ("hdlc.sr_receiver.peak_reseq_buffer", s.peak_buffered as f64),
+            ("hdlc.sr_receiver.duplicates_dropped", s.duplicates as f64),
         ])
     }
 }
@@ -392,8 +398,8 @@ impl TxEndpoint for GbnTx {
     fn extra_stats(&self) -> Registry {
         let s = self.inner.stats();
         Registry::from_iter([
-            ("timeouts", s.timeouts as f64),
-            ("rejs_processed", s.rejs as f64),
+            ("hdlc.gbn_sender.timeouts", s.timeouts as f64),
+            ("hdlc.gbn_sender.rejs_processed", s.rejs as f64),
         ])
     }
 }
@@ -452,8 +458,8 @@ impl RxEndpoint for GbnRx {
     fn extra_stats(&self) -> Registry {
         let s = self.inner.stats();
         Registry::from_iter([
-            ("discarded", s.discarded as f64),
-            ("rejs_sent", s.rejs_sent as f64),
+            ("hdlc.gbn_receiver.discarded", s.discarded as f64),
+            ("hdlc.gbn_receiver.rejs_sent", s.rejs_sent as f64),
         ])
     }
 }

@@ -214,6 +214,38 @@ mod tests {
     }
 
     #[test]
+    fn registry_totals_identical_across_worker_counts() {
+        use crate::scenario::{run_lams, ScenarioConfig};
+        use std::collections::BTreeMap;
+
+        // Three error-prone runs whose counter registries merge into one
+        // total; every worker count must produce the same sums.
+        let totals = |n: usize| -> BTreeMap<&'static str, f64> {
+            with_workers(n, || {
+                let reports = map(vec![1e-5f64; 3], |ber| {
+                    let mut cfg = ScenarioConfig::paper_default();
+                    cfg.n_packets = 150;
+                    cfg.deadline = sim_core::Duration::from_secs(60);
+                    cfg.data_residual_ber = ber;
+                    run_lams(&cfg)
+                });
+                let mut merged = BTreeMap::new();
+                for r in &reports {
+                    for reg in [&r.tx_extras, &r.rx_extras, &r.counters] {
+                        for &(name, value) in reg.entries() {
+                            *merged.entry(name).or_insert(0.0) += value;
+                        }
+                    }
+                }
+                merged
+            })
+        };
+        let serial = totals(1);
+        assert!(!serial.is_empty());
+        assert_eq!(serial, totals(3));
+    }
+
+    #[test]
     fn auto_width_resolves_to_at_least_one() {
         with_workers(1, || {
             set_workers(0);

@@ -122,14 +122,32 @@ where
     report
 }
 
+/// Per-hop trace labels: hop `i`'s sender/receiver pair shares the
+/// `hop<i>` prefix so trace consumers can pair the two sides of each
+/// link. Chains longer than the table fall back to untraced endpoints
+/// (trace labels are `&'static str` by design).
+const HOP_TX: [&str; 8] = [
+    "hop0.tx", "hop1.tx", "hop2.tx", "hop3.tx", "hop4.tx", "hop5.tx", "hop6.tx", "hop7.tx",
+];
+const HOP_RX: [&str; 8] = [
+    "hop0.rx", "hop1.rx", "hop2.rx", "hop3.rx", "hop4.rx", "hop5.rx", "hop6.rx", "hop7.rx",
+];
+
+fn hop_trace(labels: &[&'static str; 8], i: usize) -> telemetry::trace::Trace {
+    labels
+        .get(i)
+        .map(|l| telemetry::global_handle(l))
+        .unwrap_or_else(telemetry::trace::Trace::disabled)
+}
+
 /// Relay chain under LAMS-DLC at every hop.
 pub fn run_relay_lams(cfg: &RelayConfig) -> RunReport {
     let lcfg = cfg.base.lams_config();
     run_relay(
         cfg,
-        |_| LamsTx::new(lams_dlc::Sender::new(lcfg.clone())),
-        |_| LamsRx {
-            inner: lams_dlc::Receiver::new(lcfg.clone()),
+        |i| LamsTx::new(lams_dlc::Sender::new(lcfg.clone()).with_trace(hop_trace(&HOP_TX, i))),
+        |i| LamsRx {
+            inner: lams_dlc::Receiver::new(lcfg.clone()).with_trace(hop_trace(&HOP_RX, i)),
         },
         "lams-relay",
     )
@@ -140,9 +158,9 @@ pub fn run_relay_sr(cfg: &RelayConfig) -> RunReport {
     let hcfg = cfg.base.hdlc_config();
     run_relay(
         cfg,
-        |_| SrTx::new(hdlc::SrSender::new(hcfg.clone())),
-        |_| SrRx {
-            inner: hdlc::SrReceiver::new(hcfg.clone()),
+        |i| SrTx::new(hdlc::SrSender::new(hcfg.clone()).with_trace(hop_trace(&HOP_TX, i))),
+        |i| SrRx {
+            inner: hdlc::SrReceiver::new(hcfg.clone()).with_trace(hop_trace(&HOP_RX, i)),
         },
         "sr-relay",
     )

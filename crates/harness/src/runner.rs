@@ -23,6 +23,7 @@ usage: repro [OPTIONS] [EXPERIMENT_ID...]
   repro --list               # show the experiment index
   repro --json report.json   # also write machine-readable results
   repro --trace run.jsonl    # also write a protocol event trace (JSONL)
+  repro --metrics m.jsonl    # also write windowed time-series metrics (JSONL)
   repro --workers 4          # run experiments on 4 worker threads (0 = auto)
 
 options:
@@ -30,7 +31,11 @@ options:
   -l, --list             print the experiment index and exit
       --json <path>      write the lams-dlc.repro/1 JSON document
       --trace <path>     write a JSONL protocol event trace
+      --metrics <path>   write windowed per-link metric series (JSONL)
       --workers <n>      worker threads for the experiment fan-out (default 1)
+
+Every run is audited live against the LAMS-DLC protocol invariants;
+violations are printed to stderr and fail the run (exit 1).
 ";
 
 /// The experiment index: `(id, title)` in run order.
@@ -71,6 +76,8 @@ pub struct CliArgs {
     pub json: Option<String>,
     /// Path for the JSONL trace, if requested.
     pub trace: Option<String>,
+    /// Path for the windowed metrics JSONL, if requested.
+    pub metrics: Option<String>,
     /// Worker threads for the experiment fan-out (0 = auto).
     pub workers: usize,
     /// Explicit experiment ids (empty = all).
@@ -98,6 +105,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--list" | "-l" => cli.list = true,
             "--json" => cli.json = Some(value("--json", &mut it)?),
             "--trace" => cli.trace = Some(value("--trace", &mut it)?),
+            "--metrics" => cli.metrics = Some(value("--metrics", &mut it)?),
             "--workers" => {
                 let v = value("--workers", &mut it)?;
                 cli.workers = v
@@ -112,6 +120,32 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     Ok(cli)
 }
 
+/// Fail early when an output path points into a directory that does not
+/// exist: a typo'd `--json`/`--trace`/`--metrics` destination should be
+/// a usage error before any experiment runs, not an I/O error after
+/// minutes of simulation.
+pub fn validate_paths(cli: &CliArgs) -> Result<(), String> {
+    let targets = [
+        ("--json", &cli.json),
+        ("--trace", &cli.trace),
+        ("--metrics", &cli.metrics),
+    ];
+    for (flag, path) in targets {
+        let Some(path) = path else { continue };
+        let parent = std::path::Path::new(path)
+            .parent()
+            .filter(|d| !d.as_os_str().is_empty())
+            .unwrap_or_else(|| std::path::Path::new("."));
+        if !parent.is_dir() {
+            return Err(format!(
+                "{flag} {path}: directory {} does not exist",
+                parent.display()
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// One experiment's outcome: rendered output plus the merged perf
 /// accumulator of every simulation it ran.
 pub struct ExperimentRun {
@@ -122,20 +156,64 @@ pub struct ExperimentRun {
     /// `(merged queue profile, wall seconds, runs)` — `None` when the
     /// experiment ran no simulations (or the id was unknown).
     pub perf: Option<(QueueProfile, f64, u64)>,
+    /// The live protocol audit + windowed metrics for this experiment's
+    /// simulation runs.
+    pub audit: monitor::MonitorReport,
+}
+
+/// The `&'static str` form of a known experiment id (trace node labels
+/// and [`telemetry::TraceEvent::ExperimentStarted`] ids are interned).
+fn static_id(id: &str) -> Option<&'static str> {
+    experiments::ALL.iter().copied().find(|s| *s == id)
 }
 
 /// Run `ids` through the experiment suite on the configured worker
 /// pool, returning results in request order. Each experiment drains its
 /// own thread's perf accumulator, so per-experiment perf blocks are
 /// identical at any worker count.
+///
+/// Every experiment runs with a live [`monitor::Monitor`] spliced into
+/// the telemetry stream: the thread's current sink (the serial JSONL
+/// sink, or the per-item buffer a parallel worker installed) is wrapped
+/// in a fan-out that also feeds the monitor, and restored afterwards.
+/// The monitor audits the protocol invariants as events arrive and
+/// accumulates windowed metric series; both come back in
+/// [`ExperimentRun::audit`]. Because one monitor serves exactly one
+/// experiment and reports merge in request order, the audit verdicts
+/// and metric lines are identical at any worker count.
 pub fn run_experiments(ids: &[String], quick: bool) -> Vec<ExperimentRun> {
+    use std::cell::RefCell;
+    use std::rc::Rc;
     parallel::map(ids.to_vec(), |id| {
         metrics::perf_take(); // clear any carry-over before the experiment
+        let mon = Rc::new(RefCell::new(monitor::Monitor::new(
+            monitor::MonitorConfig::default(),
+        )));
+        let prev = telemetry::global_sink();
+        let mut sinks: Vec<telemetry::SharedSink> = Vec::new();
+        sinks.push(mon.clone());
+        sinks.extend(prev.clone());
+        telemetry::install_global(Rc::new(RefCell::new(telemetry::FanoutSink::new(sinks))));
+        if let Some(sid) = static_id(&id) {
+            telemetry::global_handle("runner").emit(sim_core::Instant::ZERO, || {
+                telemetry::TraceEvent::ExperimentStarted { id: sid }
+            });
+        }
         let output = experiments::run_by_id(&id, quick);
+        match prev {
+            Some(p) => {
+                telemetry::install_global(p);
+            }
+            None => {
+                telemetry::uninstall_global();
+            }
+        }
+        let audit = mon.borrow_mut().take_report();
         ExperimentRun {
             id,
             perf: metrics::perf_take(),
             output,
+            audit,
         }
     })
 }
@@ -158,8 +236,14 @@ pub fn report_json(runs: &[ExperimentRun], quick: bool) -> Json {
                 }
                 None => Json::Null,
             };
+            let metrics = run
+                .audit
+                .experiment(&run.id)
+                .map(|e| e.to_json())
+                .unwrap_or(Json::Null);
             if let Json::Obj(members) = &mut doc {
                 members.push(("perf".into(), perf));
+                members.push(("metrics".into(), metrics));
             }
             Some(doc)
         })
@@ -187,6 +271,8 @@ mod tests {
             "r.json",
             "--trace",
             "t.jsonl",
+            "--metrics",
+            "m.jsonl",
             "--workers",
             "4",
             "e1",
@@ -197,6 +283,7 @@ mod tests {
         assert!(!cli.list);
         assert_eq!(cli.json.as_deref(), Some("r.json"));
         assert_eq!(cli.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(cli.metrics.as_deref(), Some("m.jsonl"));
         assert_eq!(cli.workers, 4);
         assert_eq!(cli.ids, vec!["e1", "e13"]);
     }
@@ -217,7 +304,12 @@ mod tests {
 
     #[test]
     fn rejects_missing_flag_values() {
-        for flags in [&["--json"][..], &["--trace"], &["--workers"]] {
+        for flags in [
+            &["--json"][..],
+            &["--trace"],
+            &["--metrics"],
+            &["--workers"],
+        ] {
             let err = parse_args(&args(flags)).unwrap_err();
             assert!(err.contains("requires a value"), "{err}");
         }
@@ -230,6 +322,33 @@ mod tests {
     fn rejects_non_numeric_workers() {
         let err = parse_args(&args(&["--workers", "many"])).unwrap_err();
         assert!(err.contains("--workers"), "{err}");
+    }
+
+    #[test]
+    fn validate_paths_rejects_missing_parent_dirs() {
+        for flag in ["--json", "--trace", "--metrics"] {
+            let mut cli = CliArgs::default();
+            let path = Some("/definitely/not/a/dir/out.jsonl".to_string());
+            match flag {
+                "--json" => cli.json = path,
+                "--trace" => cli.trace = path,
+                _ => cli.metrics = path,
+            }
+            let err = validate_paths(&cli).unwrap_err();
+            assert!(err.contains(flag), "{err}");
+            assert!(err.contains("does not exist"), "{err}");
+        }
+    }
+
+    #[test]
+    fn validate_paths_accepts_bare_and_existing_paths() {
+        let cli = CliArgs {
+            json: Some("report.json".into()), // bare filename → cwd
+            trace: Some("/tmp/t.jsonl".into()),
+            metrics: None,
+            ..CliArgs::default()
+        };
+        assert!(validate_paths(&cli).is_ok());
     }
 
     #[test]

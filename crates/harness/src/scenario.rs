@@ -471,6 +471,26 @@ mod tests {
     }
 
     #[test]
+    fn all_counters_follow_naming_convention() {
+        // Workspace convention: every registered counter is
+        // `crate.component.event` (see telemetry::is_canonical_name).
+        let mut cfg = small(200);
+        cfg.data_residual_ber = 1e-5;
+        cfg.ctrl_residual_ber = 1e-6;
+        for r in [run_lams(&cfg), run_sr(&cfg), run_gbn(&cfg)] {
+            for reg in [&r.tx_extras, &r.rx_extras, &r.counters] {
+                assert!(!reg.is_empty() || std::ptr::eq(reg, &r.counters));
+                assert_eq!(
+                    reg.non_canonical_names(),
+                    Vec::<&str>::new(),
+                    "protocol {}",
+                    r.protocol
+                );
+            }
+        }
+    }
+
+    #[test]
     fn analysis_params_derivation() {
         let cfg = ScenarioConfig::paper_default();
         let p = cfg.link_params();

@@ -1,0 +1,135 @@
+//! End-to-end audit coverage: real simulations stream their telemetry
+//! into a live [`monitor::Monitor`], which must stay silent on healthy
+//! runs and fire on seeded faults injected into the captured stream.
+
+use harness::scenario::{run_lams, ScenarioConfig};
+use monitor::{Invariant, Monitor, MonitorConfig};
+use std::cell::RefCell;
+use std::rc::Rc;
+use telemetry::{BufferSink, SharedSink, TraceEvent, TraceRecord};
+
+fn small(n: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_default();
+    cfg.n_packets = n;
+    cfg.deadline = sim_core::Duration::from_secs(60);
+    cfg
+}
+
+/// Run a LAMS scenario with the given sink installed globally.
+fn run_with_sink(cfg: &ScenarioConfig, sink: SharedSink) {
+    let prev = telemetry::install_global(sink);
+    run_lams(cfg);
+    match prev {
+        Some(p) => {
+            telemetry::install_global(p);
+        }
+        None => {
+            telemetry::uninstall_global();
+        }
+    }
+}
+
+#[test]
+fn live_monitor_passes_clean_and_errored_runs() {
+    for ber in [0.0, 1e-5] {
+        let mut cfg = small(400);
+        cfg.data_residual_ber = ber;
+        let mon = Rc::new(RefCell::new(Monitor::new(MonitorConfig::default())));
+        run_with_sink(&cfg, mon.clone());
+        let mut mon = mon.borrow_mut();
+        assert_eq!(mon.total_findings(), 0, "ber={ber}: {:?}", mon.findings());
+        let report = mon.take_report();
+        let exp = &report.experiments[0];
+        assert_eq!(exp.runs, 1);
+        assert_eq!(exp.delivered, 400);
+        assert!(exp.delivery_quantile(0.99).is_some());
+        assert!(!report.window_lines.is_empty());
+    }
+}
+
+fn captured_run(ber: f64) -> Vec<TraceRecord> {
+    let mut cfg = small(300);
+    cfg.data_residual_ber = ber;
+    let buf = Rc::new(RefCell::new(BufferSink::new()));
+    run_with_sink(&cfg, buf.clone());
+    let records = buf.borrow_mut().take();
+    assert!(!records.is_empty());
+    records
+}
+
+fn audit(records: impl IntoIterator<Item = TraceRecord>) -> Monitor {
+    let mut mon = Monitor::new(MonitorConfig::default());
+    for rec in records {
+        mon.observe(&rec);
+    }
+    mon
+}
+
+#[test]
+fn injected_lost_release_fails_the_audit() {
+    // Drop one frame's buffer_release from an otherwise healthy run:
+    // the no-loss invariant must flag it as never resolved.
+    let records = captured_run(1e-5);
+    let mut dropped = false;
+    let mutated = records.into_iter().filter(|r| {
+        if !dropped && matches!(r.event, TraceEvent::BufferRelease { seq: 17, .. }) {
+            dropped = true;
+            return false;
+        }
+        true
+    });
+    let mon = audit(mutated);
+    assert!(mon.total_findings() > 0, "dropped release must be caught");
+    assert!(mon
+        .findings()
+        .iter()
+        .any(|f| f.invariant == Invariant::NoLoss));
+}
+
+#[test]
+fn injected_early_release_fails_the_audit() {
+    // Shift one release 1 ms before its covering checkpoint: release
+    // must only happen on an implicit ACK, at the checkpoint instant.
+    let records = captured_run(0.0);
+    let mut shifted = false;
+    let mutated = records.into_iter().map(|mut r| {
+        if !shifted && matches!(r.event, TraceEvent::BufferRelease { seq: 5, .. }) {
+            shifted = true;
+            r.t = r.t - sim_core::Duration::from_millis(1);
+        }
+        r
+    });
+    let mon = audit(mutated);
+    assert!(
+        mon.findings()
+            .iter()
+            .any(|f| f.invariant == Invariant::ReleaseOnAck),
+        "{:?}",
+        mon.findings()
+    );
+}
+
+#[test]
+fn injected_duplicate_wire_seq_fails_the_audit() {
+    // Rewrite one transmission's wire seq to repeat its predecessor's:
+    // renumbering guarantees strictly monotone wire numbers.
+    let records = captured_run(0.0);
+    let mut last = None;
+    let mut corrupted = false;
+    let mutated = records.into_iter().map(|mut r| {
+        if let TraceEvent::IFrameTx { seq, .. } = &mut r.event {
+            if !corrupted && *seq == 20 {
+                corrupted = true;
+                *seq = last.unwrap_or(*seq);
+            } else {
+                last = Some(*seq);
+            }
+        }
+        r
+    });
+    let mon = audit(mutated);
+    assert!(mon
+        .findings()
+        .iter()
+        .any(|f| f.invariant == Invariant::MonotoneSeq));
+}

@@ -183,6 +183,17 @@ impl Sender {
     pub fn start(&mut self, now: Instant) {
         self.cp_deadline = Some(now + self.cfg.expected_rtt + self.cfg.checkpoint_timeout());
         self.next_tx_allowed = now;
+        // Announce the timing configuration on the trace stream: this
+        // marks the node as a LAMS sender and gives online auditors the
+        // bounds they check (checkpoint cadence, resolving period).
+        self.trace.emit(now, || TraceEvent::SenderConfig {
+            w_cp_ns: self.cfg.w_cp.as_nanos(),
+            c_depth: self.cfg.c_depth as u64,
+            rtt_ns: self.cfg.expected_rtt.as_nanos(),
+            cp_timeout_ns: self.cfg.checkpoint_timeout().as_nanos(),
+            resolving_ns: self.cfg.resolving_period().as_nanos(),
+            failure_ns: self.cfg.failure_timeout().as_nanos(),
+        });
     }
 
     /// Current lifecycle state.
@@ -458,6 +469,7 @@ impl Sender {
         self.stats.checkpoints += 1;
         self.trace.emit(now, || TraceEvent::CheckpointReceived {
             index: cp.index,
+            covered: cp.covered,
             naks: cp.naks.len() as u64,
         });
 
@@ -538,11 +550,14 @@ impl Sender {
                 });
             } else {
                 self.stats.released += 1;
+                let held_ns = now.duration_since(o.sent_at).as_nanos();
                 self.events.push_back(SenderEvent::Released {
                     packet_id: o.packet_id,
                     seq,
-                    held_for_ns: now.duration_since(o.sent_at).as_nanos(),
+                    held_for_ns: held_ns,
                 });
+                self.trace
+                    .emit(now, || TraceEvent::BufferRelease { seq, held_ns });
             }
         }
 

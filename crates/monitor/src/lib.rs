@@ -1,0 +1,887 @@
+//! Online protocol auditor and time-series metrics over the telemetry
+//! stream.
+//!
+//! A [`Monitor`] is a [`telemetry::TraceSink`]: install it (alone or
+//! inside a [`telemetry::FanoutSink`] next to a JSONL writer) and every
+//! simulation run is audited **live** against the five LAMS-DLC
+//! invariants (paper §3):
+//!
+//! 1. **No-loss delivery** — a buffered frame is released only after a
+//!    clean arrival, and every frame resolves by a clean run end.
+//! 2. **Monotone wire sequence numbers** — renumbering gives every
+//!    (re)transmission a fresh, strictly increasing number.
+//! 3. **Checkpoint cadence** — the receiver emits every `W_cp`; sender
+//!    silence beyond `C_depth·W_cp` (+slack) implies enforced recovery.
+//! 4. **Release on implicit ACK only** — releases happen at the
+//!    covering checkpoint's instant, within its covered horizon.
+//! 5. **Bounded numbering** — frames resolve (release or renumber)
+//!    within the resolving period `R + W_cp/2 + C_depth·W_cp` (+slack),
+//!    restarted by enforced recovery.
+//!
+//! Violations surface as structured [`AuditFinding`]s. Alongside the
+//! audit, the monitor maintains fixed-interval windowed series
+//! (throughput, NAK rate, retransmissions in flight, buffer occupancy
+//! high-water marks) and per-frame lifecycles feeding delivery-latency
+//! histograms — summarized per experiment in [`ExperimentMetrics`].
+//!
+//! The same state machine powers the `trace-tools` binary, which
+//! replays a `--trace` JSONL file offline and reconstructs identical
+//! verdicts, series, and lifecycles.
+//!
+//! Everything is keyed by *link*: trace node labels pair up by prefix
+//! (`"tx"`/`"rx"`, `"a2b.tx"`/`"a2b.rx"`, `"hop3.tx"`/`"hop3.rx"`).
+//! Only links announcing a [`telemetry::TraceEvent::SenderConfig`]
+//! (LAMS-DLC senders) are audited; the HDLC baselines reuse sequence
+//! numbers by design and pass through unaudited.
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod finding;
+pub mod lifecycle;
+pub mod series;
+
+pub use audit::{LinkAuditor, LinkTiming};
+pub use finding::{AuditFinding, Findings, Invariant};
+pub use lifecycle::FrameLifecycle;
+pub use series::{LinkSeries, WindowAcc};
+
+use sim_core::stats::Histogram;
+use sim_core::{Duration, Instant};
+use std::collections::HashMap;
+use telemetry::{Json, TraceEvent, TraceRecord, TraceSink};
+
+/// Which side of a link a node label names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Side {
+    Tx,
+    Rx,
+}
+
+/// Map a trace node label onto `(link key, side)`: the label minus its
+/// `.tx`/`.rx` suffix is the link key; the bare `"tx"`/`"rx"` pair
+/// (point-to-point scenarios) shares the empty key. Labels without a
+/// side suffix (`"channel"`, `"collector"`, ...) belong to no link.
+fn split_node(node: &'static str) -> Option<(&'static str, Side)> {
+    match node {
+        "tx" => Some(("", Side::Tx)),
+        "rx" => Some(("", Side::Rx)),
+        _ => {
+            if let Some(p) = node.strip_suffix(".tx") {
+                Some((p, Side::Tx))
+            } else {
+                node.strip_suffix(".rx").map(|p| (p, Side::Rx))
+            }
+        }
+    }
+}
+
+/// Monitor knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorConfig {
+    /// Width of the fixed-interval metric windows.
+    pub window: Duration,
+    /// Retain completed [`FrameLifecycle`] records (memory-heavy; the
+    /// `trace-tools lifecycle` command turns this on).
+    pub keep_lifecycles: bool,
+    /// Maximum findings kept verbatim; the rest are counted.
+    pub findings_cap: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            window: Duration::from_millis(100),
+            keep_lifecycles: false,
+            findings_cap: 256,
+        }
+    }
+}
+
+/// Per-experiment metric summary built from audited links.
+pub struct ExperimentMetrics {
+    /// Experiment id (`"e1"`, ...; `""` for runs outside the runner).
+    pub id: &'static str,
+    /// Simulation runs observed.
+    pub runs: u64,
+    /// Frame lifecycles completed (sender releases).
+    pub frames: u64,
+    /// Unique clean deliveries.
+    pub delivered: u64,
+    /// NAKs observed.
+    pub naks: u64,
+    /// Retransmissions observed.
+    pub retransmissions: u64,
+    /// Peak unresolved-frame count across runs (sender occupancy HWM).
+    pub max_outstanding: u64,
+    /// Audit findings attributed to this experiment's runs.
+    pub findings: u64,
+    /// Delivery-latency distribution (first send → clean arrival), s.
+    delivery: Histogram,
+}
+
+impl ExperimentMetrics {
+    fn new(id: &'static str) -> Self {
+        ExperimentMetrics {
+            id,
+            runs: 0,
+            frames: 0,
+            delivered: 0,
+            naks: 0,
+            retransmissions: 0,
+            max_outstanding: 0,
+            findings: 0,
+            // [0, 5 s) in 1 ms bins: LAMS delivery latencies are a few
+            // RTTs at worst; the overflow bucket catches the rest.
+            delivery: Histogram::new(0.0, 5.0, 5000),
+        }
+    }
+
+    /// Delivery-latency quantile in seconds (`None` with no samples).
+    pub fn delivery_quantile(&self, q: f64) -> Option<f64> {
+        self.delivery.quantile(q)
+    }
+
+    /// Delivery-latency samples recorded.
+    pub fn delivery_count(&self) -> u64 {
+        self.delivery.count()
+    }
+
+    /// The report's `metrics` block for this experiment.
+    pub fn to_json(&self) -> Json {
+        let q = |p: f64| {
+            self.delivery
+                .quantile(p)
+                .map(Json::Num)
+                .unwrap_or(Json::Null)
+        };
+        Json::obj([
+            ("runs", self.runs.into()),
+            ("frames", self.frames.into()),
+            ("delivered", self.delivered.into()),
+            ("naks", self.naks.into()),
+            ("retransmissions", self.retransmissions.into()),
+            ("max_tx_outstanding", self.max_outstanding.into()),
+            ("audit_findings", self.findings.into()),
+            (
+                "delivery_latency",
+                Json::obj([
+                    ("count", self.delivery.count().into()),
+                    ("p50_s", q(0.5)),
+                    ("p99_s", q(0.99)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Everything a [`Monitor`] accumulated, drained at end of use.
+pub struct MonitorReport {
+    /// Kept findings in arrival order (capped; see `total_findings`).
+    pub findings: Vec<AuditFinding>,
+    /// All findings detected, including capped-out ones.
+    pub total_findings: u64,
+    /// Per-experiment summaries in first-seen order.
+    pub experiments: Vec<ExperimentMetrics>,
+    /// Windowed metric lines (JSONL-ready objects) in run order.
+    pub window_lines: Vec<Json>,
+    /// Completed lifecycles (only with `keep_lifecycles`).
+    pub lifecycles: Vec<FrameLifecycle>,
+    /// Trace records observed.
+    pub records: u64,
+}
+
+impl MonitorReport {
+    /// An empty report (for runs that observed nothing).
+    pub fn empty() -> Self {
+        MonitorReport {
+            findings: Vec::new(),
+            total_findings: 0,
+            experiments: Vec::new(),
+            window_lines: Vec::new(),
+            lifecycles: Vec::new(),
+            records: 0,
+        }
+    }
+
+    /// Fold another report into this one (item-order merge).
+    pub fn absorb(&mut self, mut other: MonitorReport) {
+        self.findings.append(&mut other.findings);
+        self.total_findings += other.total_findings;
+        self.experiments.append(&mut other.experiments);
+        self.window_lines.append(&mut other.window_lines);
+        self.lifecycles.append(&mut other.lifecycles);
+        self.records += other.records;
+    }
+
+    /// The experiment summary for `id`, if any run carried it.
+    pub fn experiment(&self, id: &str) -> Option<&ExperimentMetrics> {
+        self.experiments.iter().find(|e| e.id == id)
+    }
+}
+
+/// The live auditor/metrics engine. Implements [`TraceSink`]; feed it
+/// records through the global sink, a fanout, or [`Monitor::observe`].
+pub struct Monitor {
+    cfg: MonitorConfig,
+    seen: u64,
+    findings: Findings,
+    run_base: u64,
+    experiments: Vec<ExperimentMetrics>,
+    cur_exp: usize,
+    experiment_id: &'static str,
+    run_ordinal: u64,
+    links: HashMap<&'static str, LinkAuditor>,
+    window_lines: Vec<Json>,
+    lifecycles: Vec<FrameLifecycle>,
+}
+
+impl Monitor {
+    /// A monitor with the given configuration.
+    pub fn new(cfg: MonitorConfig) -> Self {
+        Monitor {
+            cfg,
+            seen: 0,
+            findings: Findings::with_cap(cfg.findings_cap),
+            run_base: 0,
+            experiments: Vec::new(),
+            cur_exp: 0,
+            experiment_id: "",
+            run_ordinal: 0,
+            links: HashMap::new(),
+            window_lines: Vec::new(),
+            lifecycles: Vec::new(),
+        }
+    }
+
+    /// Findings detected so far (including capped-out ones).
+    pub fn total_findings(&self) -> u64 {
+        self.findings.total()
+    }
+
+    /// The kept findings so far.
+    pub fn findings(&self) -> &[AuditFinding] {
+        self.findings.list()
+    }
+
+    /// Records observed so far.
+    pub fn records(&self) -> u64 {
+        self.seen
+    }
+
+    fn experiment_slot(&mut self, id: &'static str) -> usize {
+        match self.experiments.iter().position(|e| e.id == id) {
+            Some(i) => i,
+            None => {
+                self.experiments.push(ExperimentMetrics::new(id));
+                self.experiments.len() - 1
+            }
+        }
+    }
+
+    fn begin_run(&mut self) {
+        self.cur_exp = self.experiment_slot(self.experiment_id);
+        self.links.clear();
+        self.run_base = self.findings.total();
+    }
+
+    fn finish_run(&mut self, t: Instant, deadline_hit: bool) {
+        self.cur_exp = self.experiment_slot(self.experiment_id);
+        let mut keys: Vec<&'static str> = self.links.keys().copied().collect();
+        keys.sort_unstable();
+        let run = self.run_ordinal;
+        for key in keys {
+            let la = self.links.get_mut(key).expect("key from map");
+            la.on_run_finished(t, deadline_hit, &mut self.findings);
+            if !la.audited() {
+                continue;
+            }
+            let exp = &mut self.experiments[self.cur_exp];
+            exp.frames += la.tally.frames;
+            exp.delivered += la.tally.delivered;
+            exp.naks += la.tally.naks;
+            exp.retransmissions += la.tally.retransmissions;
+            exp.max_outstanding = exp.max_outstanding.max(la.tally.max_outstanding);
+            for &l in &la.tally.latencies {
+                exp.delivery.record(l);
+            }
+            self.window_lines
+                .extend(la.series.drain_lines(exp.id, run, key));
+            self.lifecycles.append(&mut la.lifecycles);
+        }
+        let exp = &mut self.experiments[self.cur_exp];
+        exp.runs += 1;
+        exp.findings += self.findings.total() - self.run_base;
+        self.run_base = self.findings.total();
+        self.links.clear();
+        self.run_ordinal += 1;
+    }
+
+    /// Process one trace record.
+    pub fn observe(&mut self, rec: &TraceRecord) {
+        self.seen += 1;
+        let t = rec.t;
+        match rec.event {
+            TraceEvent::ExperimentStarted { id } => {
+                self.experiment_id = id;
+                self.cur_exp = self.experiment_slot(id);
+                // Run ordinals restart per experiment, so an offline
+                // replay of a whole-suite trace numbers runs exactly
+                // like the per-experiment live monitors did.
+                self.run_ordinal = 0;
+            }
+            TraceEvent::RunStarted => self.begin_run(),
+            TraceEvent::RunFinished { deadline_hit } => self.finish_run(t, deadline_hit),
+            ref event => {
+                let Some((key, side)) = split_node(rec.node) else {
+                    return;
+                };
+                let (window, keep) = (self.cfg.window, self.cfg.keep_lifecycles);
+                let exp_id = self.experiment_id;
+                let la = self
+                    .links
+                    .entry(key)
+                    .or_insert_with(|| LinkAuditor::new(key, exp_id, window, keep));
+                let out = &mut self.findings;
+                match (side, event) {
+                    (
+                        Side::Tx,
+                        &TraceEvent::SenderConfig {
+                            w_cp_ns,
+                            rtt_ns,
+                            cp_timeout_ns,
+                            resolving_ns,
+                            failure_ns,
+                            ..
+                        },
+                    ) => la.on_sender_config(
+                        t,
+                        rec.node,
+                        LinkTiming {
+                            w_cp: Duration::from_nanos(w_cp_ns),
+                            cp_timeout: Duration::from_nanos(cp_timeout_ns),
+                            rtt: Duration::from_nanos(rtt_ns),
+                            resolving: Duration::from_nanos(resolving_ns),
+                            failure: Duration::from_nanos(failure_ns),
+                        },
+                    ),
+                    (Side::Tx, &TraceEvent::IFrameTx { seq, retx, .. }) => {
+                        la.on_tx(t, rec.node, seq, retx, out)
+                    }
+                    (Side::Tx, &TraceEvent::CheckpointReceived { index, covered, .. }) => {
+                        la.on_cp_rx(t, rec.node, index, covered, out)
+                    }
+                    (Side::Tx, &TraceEvent::Renumbered { old_seq, new_seq }) => {
+                        la.on_renumbered(t, rec.node, old_seq, new_seq, out)
+                    }
+                    (Side::Tx, &TraceEvent::EnforcedRecoveryStarted { .. }) => {
+                        la.on_enforced_start(t)
+                    }
+                    (Side::Tx, &TraceEvent::EnforcedRecoveryResolved) => la.on_enforced_end(t),
+                    (Side::Tx, &TraceEvent::StopGo { stop: true }) => la.on_stop(t),
+                    (Side::Tx, &TraceEvent::BufferRelease { seq, .. }) => {
+                        la.on_release(t, rec.node, seq, out)
+                    }
+                    (Side::Tx, &TraceEvent::LinkFailed) => la.on_link_failed(),
+                    (Side::Rx, &TraceEvent::IFrameRx { seq, clean, .. }) => la.on_rx(t, seq, clean),
+                    (Side::Rx, &TraceEvent::CheckpointEmitted { index, .. }) => {
+                        la.on_cp_emit(t, rec.node, index, out)
+                    }
+                    (Side::Rx, &TraceEvent::Nak { seq }) => la.on_nak(t, seq),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Parse one JSONL trace line and process it.
+    pub fn observe_line(&mut self, line: &str) -> Result<(), String> {
+        let rec = telemetry::parse_line(line)?;
+        self.observe(&rec);
+        Ok(())
+    }
+
+    /// Drain everything accumulated into a report, resetting the
+    /// monitor.
+    pub fn take_report(&mut self) -> MonitorReport {
+        let total_findings = self.findings.total();
+        self.run_base = 0;
+        MonitorReport {
+            findings: self.findings.take(),
+            total_findings,
+            experiments: std::mem::take(&mut self.experiments),
+            window_lines: std::mem::take(&mut self.window_lines),
+            lifecycles: std::mem::take(&mut self.lifecycles),
+            records: std::mem::replace(&mut self.seen, 0),
+        }
+    }
+}
+
+impl TraceSink for Monitor {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.observe(rec);
+    }
+
+    fn len(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    fn rec(t_ns: u64, node: &'static str, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            t: Instant::from_nanos(t_ns),
+            node,
+            event,
+        }
+    }
+
+    fn sender_config() -> TraceEvent {
+        TraceEvent::SenderConfig {
+            w_cp_ns: 5 * MS,
+            c_depth: 3,
+            rtt_ns: 27 * MS,
+            cp_timeout_ns: 16 * MS,
+            resolving_ns: 60 * MS,
+            failure_ns: 60 * MS,
+        }
+    }
+
+    /// A minimal clean run: one frame sent, delivered, covered by a
+    /// checkpoint, released at the checkpoint instant.
+    fn clean_run() -> Vec<TraceRecord> {
+        vec![
+            rec(0, "sim", TraceEvent::RunStarted),
+            rec(0, "tx", sender_config()),
+            rec(
+                MS,
+                "tx",
+                TraceEvent::IFrameTx {
+                    seq: 1,
+                    retx: false,
+                    len: 1024,
+                },
+            ),
+            rec(
+                15 * MS,
+                "rx",
+                TraceEvent::IFrameRx {
+                    seq: 1,
+                    clean: true,
+                    len: 1024,
+                },
+            ),
+            rec(
+                16 * MS,
+                "rx",
+                TraceEvent::CheckpointEmitted {
+                    index: 1,
+                    covered: 1,
+                    naks: 0,
+                    enforced: false,
+                    stop: false,
+                },
+            ),
+            rec(
+                30 * MS,
+                "tx",
+                TraceEvent::CheckpointReceived {
+                    index: 1,
+                    covered: 1,
+                    naks: 0,
+                },
+            ),
+            rec(
+                30 * MS,
+                "tx",
+                TraceEvent::BufferRelease {
+                    seq: 1,
+                    held_ns: 29 * MS,
+                },
+            ),
+            rec(
+                31 * MS,
+                "sim",
+                TraceEvent::RunFinished {
+                    deadline_hit: false,
+                },
+            ),
+        ]
+    }
+
+    fn feed(records: &[TraceRecord]) -> Monitor {
+        let mut m = Monitor::new(MonitorConfig::default());
+        for r in records {
+            m.observe(r);
+        }
+        m
+    }
+
+    #[test]
+    fn clean_run_produces_no_findings_and_full_metrics() {
+        let mut m = feed(&clean_run());
+        assert_eq!(m.total_findings(), 0, "{:?}", m.findings());
+        let report = m.take_report();
+        let exp = &report.experiments[0];
+        assert_eq!(exp.id, "");
+        assert_eq!(exp.runs, 1);
+        assert_eq!(exp.frames, 1);
+        assert_eq!(exp.delivered, 1);
+        assert_eq!(exp.delivery_count(), 1);
+        // Delivery latency 14 ms lands in the right quantile bin.
+        let p50 = exp.delivery_quantile(0.5).expect("one sample");
+        assert!((p50 - 0.014).abs() < 2e-3, "{p50}");
+        assert!(!report.window_lines.is_empty());
+    }
+
+    #[test]
+    fn suppressed_release_is_detected_as_unresolved() {
+        // Fault injection: drop the buffer_release record — the run now
+        // ends with the frame still buffered, violating no-loss.
+        let records: Vec<TraceRecord> = clean_run()
+            .into_iter()
+            .filter(|r| !matches!(r.event, TraceEvent::BufferRelease { .. }))
+            .collect();
+        let m = feed(&records);
+        assert_eq!(m.total_findings(), 1);
+        assert_eq!(m.findings()[0].invariant, Invariant::NoLoss);
+        assert!(m.findings()[0].detail.contains("never resolved"));
+    }
+
+    #[test]
+    fn release_without_delivery_is_a_no_loss_violation() {
+        let records: Vec<TraceRecord> = clean_run()
+            .into_iter()
+            .filter(|r| !matches!(r.event, TraceEvent::IFrameRx { .. }))
+            .collect();
+        let m = feed(&records);
+        assert!(m
+            .findings()
+            .iter()
+            .any(|f| f.invariant == Invariant::NoLoss && f.detail.contains("without a clean")));
+    }
+
+    #[test]
+    fn release_off_the_checkpoint_instant_violates_release_on_ack() {
+        let records: Vec<TraceRecord> = clean_run()
+            .into_iter()
+            .map(|mut r| {
+                if matches!(r.event, TraceEvent::BufferRelease { .. }) {
+                    r.t = Instant::from_nanos(30 * MS + 1);
+                }
+                r
+            })
+            .collect();
+        let m = feed(&records);
+        assert!(m
+            .findings()
+            .iter()
+            .any(|f| f.invariant == Invariant::ReleaseOnAck));
+    }
+
+    #[test]
+    fn non_monotone_wire_seq_is_flagged() {
+        let mut records = clean_run();
+        records.insert(
+            3,
+            rec(
+                2 * MS,
+                "tx",
+                TraceEvent::IFrameTx {
+                    seq: 1,
+                    retx: false,
+                    len: 1024,
+                },
+            ),
+        );
+        let m = feed(&records);
+        assert!(m
+            .findings()
+            .iter()
+            .any(|f| f.invariant == Invariant::MonotoneSeq));
+    }
+
+    #[test]
+    fn checkpoint_emission_gap_beyond_w_cp_is_flagged() {
+        let mut records = clean_run();
+        // A second periodic checkpoint 12 ms after the first (> W_cp).
+        records.insert(
+            6,
+            rec(
+                28 * MS,
+                "rx",
+                TraceEvent::CheckpointEmitted {
+                    index: 2,
+                    covered: 1,
+                    naks: 0,
+                    enforced: false,
+                    stop: false,
+                },
+            ),
+        );
+        let m = feed(&records);
+        assert!(m
+            .findings()
+            .iter()
+            .any(|f| f.invariant == Invariant::CheckpointCadence
+                && f.window == (Instant::from_nanos(16 * MS), Instant::from_nanos(28 * MS))));
+    }
+
+    #[test]
+    fn retransmission_without_renumbering_is_flagged() {
+        let mut records = clean_run();
+        records.insert(
+            3,
+            rec(
+                2 * MS,
+                "tx",
+                TraceEvent::IFrameTx {
+                    seq: 2,
+                    retx: true,
+                    len: 1024,
+                },
+            ),
+        );
+        let m = feed(&records);
+        assert!(m
+            .findings()
+            .iter()
+            .any(|f| f.invariant == Invariant::MonotoneSeq && f.detail.contains("renumbering")));
+    }
+
+    #[test]
+    fn renumbered_chain_keeps_its_lifecycle() {
+        let cfg = MonitorConfig {
+            keep_lifecycles: true,
+            ..MonitorConfig::default()
+        };
+        let mut m = Monitor::new(cfg);
+        // Wider cadence than the default fixture: checkpoints land at
+        // 16 ms and 46 ms, so W_cp must cover the 30 ms gap.
+        let records = vec![
+            rec(0, "sim", TraceEvent::RunStarted),
+            rec(
+                0,
+                "tx",
+                TraceEvent::SenderConfig {
+                    w_cp_ns: 30 * MS,
+                    c_depth: 3,
+                    rtt_ns: 27 * MS,
+                    cp_timeout_ns: 40 * MS,
+                    resolving_ns: 120 * MS,
+                    failure_ns: 120 * MS,
+                },
+            ),
+            rec(
+                MS,
+                "tx",
+                TraceEvent::IFrameTx {
+                    seq: 1,
+                    retx: false,
+                    len: 1024,
+                },
+            ),
+            // Corrupted arrival, NAK, renumber, clean retransmission.
+            rec(
+                15 * MS,
+                "rx",
+                TraceEvent::IFrameRx {
+                    seq: 1,
+                    clean: false,
+                    len: 1024,
+                },
+            ),
+            rec(15 * MS, "rx", TraceEvent::Nak { seq: 1 }),
+            rec(
+                16 * MS,
+                "rx",
+                TraceEvent::CheckpointEmitted {
+                    index: 1,
+                    covered: 1,
+                    naks: 1,
+                    enforced: false,
+                    stop: false,
+                },
+            ),
+            rec(
+                30 * MS,
+                "tx",
+                TraceEvent::CheckpointReceived {
+                    index: 1,
+                    covered: 1,
+                    naks: 1,
+                },
+            ),
+            rec(
+                30 * MS,
+                "tx",
+                TraceEvent::Renumbered {
+                    old_seq: 1,
+                    new_seq: 2,
+                },
+            ),
+            rec(
+                30 * MS,
+                "tx",
+                TraceEvent::IFrameTx {
+                    seq: 2,
+                    retx: true,
+                    len: 1024,
+                },
+            ),
+            rec(
+                44 * MS,
+                "rx",
+                TraceEvent::IFrameRx {
+                    seq: 2,
+                    clean: true,
+                    len: 1024,
+                },
+            ),
+            rec(
+                46 * MS,
+                "rx",
+                TraceEvent::CheckpointEmitted {
+                    index: 2,
+                    covered: 2,
+                    naks: 0,
+                    enforced: false,
+                    stop: false,
+                },
+            ),
+            rec(
+                60 * MS,
+                "tx",
+                TraceEvent::CheckpointReceived {
+                    index: 2,
+                    covered: 2,
+                    naks: 0,
+                },
+            ),
+            rec(
+                60 * MS,
+                "tx",
+                TraceEvent::BufferRelease {
+                    seq: 2,
+                    held_ns: 30 * MS,
+                },
+            ),
+            rec(
+                61 * MS,
+                "sim",
+                TraceEvent::RunFinished {
+                    deadline_hit: false,
+                },
+            ),
+        ];
+        for r in &records {
+            m.observe(r);
+        }
+        assert_eq!(m.total_findings(), 0, "{:?}", m.findings());
+        let report = m.take_report();
+        assert_eq!(report.lifecycles.len(), 1);
+        let lc = &report.lifecycles[0];
+        assert_eq!((lc.first_seq, lc.final_seq), (1, 2));
+        assert_eq!((lc.naks, lc.retransmits), (1, 1));
+        // Latency measured from the FIRST transmission of the chain.
+        assert!((lc.delivery_latency_s().unwrap() - 0.043).abs() < 1e-9);
+        assert_eq!(report.experiments[0].retransmissions, 1);
+    }
+
+    #[test]
+    fn deadline_hit_suppresses_unresolved_findings() {
+        let records: Vec<TraceRecord> = clean_run()
+            .into_iter()
+            .filter(|r| !matches!(r.event, TraceEvent::BufferRelease { .. }))
+            .map(|mut r| {
+                if let TraceEvent::RunFinished { deadline_hit } = &mut r.event {
+                    *deadline_hit = true;
+                }
+                r
+            })
+            .collect();
+        let m = feed(&records);
+        assert_eq!(m.total_findings(), 0, "{:?}", m.findings());
+    }
+
+    #[test]
+    fn experiment_markers_attribute_runs() {
+        let mut records = vec![rec(0, "runner", TraceEvent::ExperimentStarted { id: "e8" })];
+        records.extend(clean_run());
+        let mut m = feed(&records);
+        let report = m.take_report();
+        assert_eq!(report.experiments.len(), 1);
+        assert_eq!(report.experiments[0].id, "e8");
+        assert_eq!(report.experiments[0].runs, 1);
+        assert_eq!(
+            report.window_lines[0]
+                .get("experiment")
+                .and_then(Json::as_str),
+            Some("e8")
+        );
+        assert!(report.experiment("e8").is_some());
+    }
+
+    #[test]
+    fn hdlc_links_without_sender_config_are_not_audited() {
+        let records = vec![
+            rec(0, "sim", TraceEvent::RunStarted),
+            rec(
+                MS,
+                "tx",
+                TraceEvent::IFrameTx {
+                    seq: 5,
+                    retx: false,
+                    len: 1024,
+                },
+            ),
+            // Sequence reuse, no release, no checkpoints: all legal for
+            // an HDLC baseline; the auditor must stay silent.
+            rec(
+                2 * MS,
+                "tx",
+                TraceEvent::IFrameTx {
+                    seq: 5,
+                    retx: true,
+                    len: 1024,
+                },
+            ),
+            rec(
+                3 * MS,
+                "sim",
+                TraceEvent::RunFinished {
+                    deadline_hit: false,
+                },
+            ),
+        ];
+        let m = feed(&records);
+        assert_eq!(m.total_findings(), 0);
+    }
+
+    #[test]
+    fn duplex_and_relay_labels_pair_by_prefix() {
+        assert_eq!(split_node("tx"), Some(("", Side::Tx)));
+        assert_eq!(split_node("rx"), Some(("", Side::Rx)));
+        assert_eq!(split_node("a2b.tx"), Some(("a2b", Side::Tx)));
+        assert_eq!(split_node("a2b.rx"), Some(("a2b", Side::Rx)));
+        assert_eq!(split_node("hop3.rx"), Some(("hop3", Side::Rx)));
+        assert_eq!(split_node("channel"), None);
+        assert_eq!(split_node("collector"), None);
+    }
+
+    #[test]
+    fn observe_line_round_trips_through_jsonl() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        for r in clean_run() {
+            let line = r.to_json().render();
+            m.observe_line(&line).expect("valid line");
+        }
+        assert_eq!(m.total_findings(), 0, "{:?}", m.findings());
+        assert!(m.observe_line("not json").is_err());
+    }
+}

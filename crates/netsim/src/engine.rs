@@ -461,6 +461,12 @@ where
         q.reset();
         let timer = RunTimer::start();
         let trace = telemetry::global_handle("channel");
+        // Structural run markers: observers (the live auditor, offline
+        // trace analysis) reset per-run state at `run_started` and
+        // finalise at `run_finished`, so one JSONL stream can carry any
+        // number of runs back to back.
+        let sim_trace = telemetry::global_handle("sim");
+        sim_trace.emit(Instant::ZERO, || TraceEvent::RunStarted);
         let Sim {
             topo,
             mut channels,
@@ -689,6 +695,8 @@ where
             }
             finished_at = now;
         }
+
+        sim_trace.emit(finished_at, || TraceEvent::RunFinished { deadline_hit });
 
         Outcome {
             issued: sources.iter().map(|s| s.gen.issued()).collect(),

@@ -91,6 +91,16 @@ impl Registry {
         }
     }
 
+    /// Names registered here that violate the workspace
+    /// `crate.component.event` convention (see [`is_canonical_name`]).
+    pub fn non_canonical_names(&self) -> Vec<&'static str> {
+        self.entries
+            .iter()
+            .map(|(n, _)| *n)
+            .filter(|n| !is_canonical_name(n))
+            .collect()
+    }
+
     /// Render as a JSON object `{name: value, ...}` in insertion order.
     pub fn to_json(&self) -> Json {
         Json::Obj(
@@ -100,6 +110,25 @@ impl Registry {
                 .collect(),
         )
     }
+}
+
+/// True when `name` follows the workspace metric naming convention:
+/// `crate.component.event` — exactly three non-empty dot-separated
+/// segments of lowercase ASCII letters, digits, and underscores
+/// (e.g. `lams.sender.request_naks`, `harness.collector.unmatched`).
+pub fn is_canonical_name(name: &str) -> bool {
+    let mut segments = 0;
+    for seg in name.split('.') {
+        segments += 1;
+        let ok = !seg.is_empty()
+            && seg
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_');
+        if !ok {
+            return false;
+        }
+    }
+    segments == 3
 }
 
 impl FromIterator<(&'static str, f64)> for Registry {
@@ -156,6 +185,37 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.get("x"), Some(3.0));
         assert_eq!(a.get("y"), Some(1.0));
+    }
+
+    #[test]
+    fn canonical_name_convention() {
+        for good in [
+            "lams.sender.request_naks",
+            "harness.collector.unmatched",
+            "hdlc.gbn_sender.timeouts",
+            "a1.b2.c_3",
+        ] {
+            assert!(is_canonical_name(good), "{good}");
+        }
+        for bad in [
+            "request_naks",
+            "lams.sender",
+            "lams.sender.request.naks",
+            "Lams.sender.naks",
+            "lams..naks",
+            "lams.sender.naks ",
+            "",
+        ] {
+            assert!(!is_canonical_name(bad), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn non_canonical_names_reported() {
+        let mut r = Registry::new();
+        r.inc("lams.sender.request_naks");
+        r.inc("straggler");
+        assert_eq!(r.non_canonical_names(), vec!["straggler"]);
     }
 
     #[test]

@@ -59,6 +59,8 @@ pub enum TraceEvent {
     CheckpointReceived {
         /// Checkpoint index.
         index: u64,
+        /// Highest in-sequence frame covered (implicit-ACK horizon).
+        covered: u64,
         /// NAKs carried.
         naks: u64,
     },
@@ -114,6 +116,47 @@ pub enum TraceEvent {
     },
     /// The sender's failure timer declared the link dead.
     LinkFailed,
+    /// A simulation run began (emitted by the netsim engine before the
+    /// first event is pumped). Observers reset per-run state here.
+    RunStarted,
+    /// A simulation run ended (the event loop drained or hit its
+    /// deadline).
+    RunFinished {
+        /// True when the run stopped at its deadline with work still
+        /// pending, false when it drained cleanly.
+        deadline_hit: bool,
+    },
+    /// The experiment runner is about to execute one experiment; every
+    /// following record up to the next marker belongs to it.
+    ExperimentStarted {
+        /// Experiment id (`"e1"`, ..., `"e17"`).
+        id: &'static str,
+    },
+    /// A LAMS-DLC sender announced its timing configuration at
+    /// `start()`. Carries everything an online auditor needs to bound
+    /// checkpoint cadence and frame resolution for this node.
+    SenderConfig {
+        /// Checkpoint interval `W_cp` in nanoseconds.
+        w_cp_ns: u64,
+        /// Cumulation depth `C_depth`.
+        c_depth: u64,
+        /// Expected round-trip time `R` in nanoseconds.
+        rtt_ns: u64,
+        /// Checkpoint-timer timeout (`C_depth·W_cp` + slack) in ns.
+        cp_timeout_ns: u64,
+        /// Resolving period (`R + W_cp/2 + C_depth·W_cp` + slack) in ns.
+        resolving_ns: u64,
+        /// Failure-timer duration in nanoseconds.
+        failure_ns: u64,
+    },
+    /// The sender released a buffered frame on implicit positive
+    /// acknowledgement (a checkpoint covered it without NAKing it).
+    BufferRelease {
+        /// Wire sequence number of the released copy.
+        seq: u64,
+        /// Time the frame spent buffered, in nanoseconds.
+        held_ns: u64,
+    },
 }
 
 impl TraceEvent {
@@ -134,6 +177,11 @@ impl TraceEvent {
             TraceEvent::ChannelDrop { .. } => "channel_drop",
             TraceEvent::Control { .. } => "control",
             TraceEvent::LinkFailed => "link_failed",
+            TraceEvent::RunStarted => "run_started",
+            TraceEvent::RunFinished { .. } => "run_finished",
+            TraceEvent::ExperimentStarted { .. } => "experiment_started",
+            TraceEvent::SenderConfig { .. } => "sender_config",
+            TraceEvent::BufferRelease { .. } => "buffer_release",
         }
     }
 
@@ -167,9 +215,15 @@ impl TraceEvent {
                 ("enforced", enforced.into()),
                 ("stop", stop.into()),
             ],
-            TraceEvent::CheckpointReceived { index, naks } => {
-                vec![("index", index.into()), ("naks", naks.into())]
-            }
+            TraceEvent::CheckpointReceived {
+                index,
+                covered,
+                naks,
+            } => vec![
+                ("index", index.into()),
+                ("covered", covered.into()),
+                ("naks", naks.into()),
+            ],
             TraceEvent::CheckpointLost { index } => vec![("index", index.into())],
             TraceEvent::Nak { seq } => vec![("seq", seq.into())],
             TraceEvent::Renumbered { old_seq, new_seq } => {
@@ -194,6 +248,29 @@ impl TraceEvent {
                 vec![("kind", kind.into()), ("seq", seq.into())]
             }
             TraceEvent::LinkFailed => vec![],
+            TraceEvent::RunStarted => vec![],
+            TraceEvent::RunFinished { deadline_hit } => {
+                vec![("deadline_hit", deadline_hit.into())]
+            }
+            TraceEvent::ExperimentStarted { id } => vec![("id", id.into())],
+            TraceEvent::SenderConfig {
+                w_cp_ns,
+                c_depth,
+                rtt_ns,
+                cp_timeout_ns,
+                resolving_ns,
+                failure_ns,
+            } => vec![
+                ("w_cp_ns", w_cp_ns.into()),
+                ("c_depth", c_depth.into()),
+                ("rtt_ns", rtt_ns.into()),
+                ("cp_timeout_ns", cp_timeout_ns.into()),
+                ("resolving_ns", resolving_ns.into()),
+                ("failure_ns", failure_ns.into()),
+            ],
+            TraceEvent::BufferRelease { seq, held_ns } => {
+                vec![("seq", seq.into()), ("held_ns", held_ns.into())]
+            }
         }
     }
 }
@@ -222,6 +299,174 @@ impl TraceRecord {
         }
         Json::Obj(members)
     }
+
+    /// Rebuild a record from the JSON object produced by
+    /// [`TraceRecord::to_json`]. This is the inverse the offline trace
+    /// analyzer relies on: `t` survives the f64 round trip exactly
+    /// (Rust renders the shortest round-trippable decimal), so a
+    /// replayed stream reproduces the live stream bit-for-bit.
+    pub fn from_json(v: &Json) -> Result<TraceRecord, String> {
+        let t = v
+            .get("t")
+            .and_then(Json::as_f64)
+            .ok_or("record missing numeric \"t\"")?;
+        if !(t.is_finite() && t >= 0.0) {
+            return Err(format!("record has invalid time {t}"));
+        }
+        let node = intern(
+            v.get("node")
+                .and_then(Json::as_str)
+                .ok_or("record missing string \"node\"")?,
+        );
+        let kind = v
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or("record missing string \"event\"")?;
+        let num = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Json::as_f64)
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("{kind} record missing numeric {k:?}"))
+        };
+        let flag = |k: &str| -> Result<bool, String> {
+            v.get(k)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("{kind} record missing boolean {k:?}"))
+        };
+        let word = |k: &str| -> Result<&'static str, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(intern)
+                .ok_or_else(|| format!("{kind} record missing string {k:?}"))
+        };
+        let event = match kind {
+            "iframe_tx" => TraceEvent::IFrameTx {
+                seq: num("seq")?,
+                retx: flag("retx")?,
+                len: num("len")?,
+            },
+            "iframe_rx" => TraceEvent::IFrameRx {
+                seq: num("seq")?,
+                clean: flag("clean")?,
+                len: num("len")?,
+            },
+            "checkpoint_emitted" => TraceEvent::CheckpointEmitted {
+                index: num("index")?,
+                covered: num("covered")?,
+                naks: num("naks")?,
+                enforced: flag("enforced")?,
+                stop: flag("stop")?,
+            },
+            "checkpoint_received" => TraceEvent::CheckpointReceived {
+                index: num("index")?,
+                covered: num("covered")?,
+                naks: num("naks")?,
+            },
+            "checkpoint_lost" => TraceEvent::CheckpointLost {
+                index: num("index")?,
+            },
+            "nak" => TraceEvent::Nak { seq: num("seq")? },
+            "renumbered" => TraceEvent::Renumbered {
+                old_seq: num("old_seq")?,
+                new_seq: num("new_seq")?,
+            },
+            "enforced_recovery_started" => TraceEvent::EnforcedRecoveryStarted {
+                outstanding: num("outstanding")?,
+            },
+            "enforced_recovery_resolved" => TraceEvent::EnforcedRecoveryResolved,
+            "stop_go" => TraceEvent::StopGo {
+                stop: flag("stop")?,
+            },
+            "buffer_watermark" => TraceEvent::BufferWatermark {
+                buffer: word("buffer")?,
+                level: num("level")?,
+                rising: flag("rising")?,
+            },
+            "channel_drop" => TraceEvent::ChannelDrop { dir: word("dir")? },
+            "control" => TraceEvent::Control {
+                kind: word("kind")?,
+                seq: num("seq")?,
+            },
+            "link_failed" => TraceEvent::LinkFailed,
+            "run_started" => TraceEvent::RunStarted,
+            "run_finished" => TraceEvent::RunFinished {
+                deadline_hit: flag("deadline_hit")?,
+            },
+            "experiment_started" => TraceEvent::ExperimentStarted { id: word("id")? },
+            "sender_config" => TraceEvent::SenderConfig {
+                w_cp_ns: num("w_cp_ns")?,
+                c_depth: num("c_depth")?,
+                rtt_ns: num("rtt_ns")?,
+                cp_timeout_ns: num("cp_timeout_ns")?,
+                resolving_ns: num("resolving_ns")?,
+                failure_ns: num("failure_ns")?,
+            },
+            "buffer_release" => TraceEvent::BufferRelease {
+                seq: num("seq")?,
+                held_ns: num("held_ns")?,
+            },
+            other => return Err(format!("unknown event kind {other:?}")),
+        };
+        Ok(TraceRecord {
+            // `t` is seconds; nanosecond counts below 2^53 (≈ 104 days
+            // of sim time) round-trip exactly through f64.
+            t: Instant::from_nanos((t * 1e9).round() as u64),
+            node,
+            event,
+        })
+    }
+}
+
+/// Parse one JSONL trace line into a record.
+pub fn parse_line(line: &str) -> Result<TraceRecord, String> {
+    let v = Json::parse(line).map_err(|e| e.to_string())?;
+    TraceRecord::from_json(&v)
+}
+
+/// Labels baked into the emitting code; interning hits these first so
+/// replaying a trace allocates nothing for well-known nodes/tokens.
+const KNOWN_LABELS: &[&str] = &[
+    "tx",
+    "rx",
+    "channel",
+    "collector",
+    "sim",
+    "runner",
+    "a2b.tx",
+    "a2b.rx",
+    "b2a.tx",
+    "b2a.rx",
+    "reseq",
+    "fwd",
+    "rev",
+    "rej",
+    "srej",
+    "rr",
+    "timeout",
+    "req_nak",
+];
+
+thread_local! {
+    static INTERNED: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Map a parsed string onto a `&'static str` label. Known labels are
+/// matched against a static table; novel ones are leaked once per
+/// distinct string (node labels form a small bounded set per trace).
+fn intern(s: &str) -> &'static str {
+    if let Some(k) = KNOWN_LABELS.iter().find(|k| **k == s) {
+        return k;
+    }
+    INTERNED.with(|table| {
+        let mut table = table.borrow_mut();
+        if let Some(k) = table.iter().find(|k| **k == s) {
+            *k
+        } else {
+            let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+            table.push(leaked);
+            leaked
+        }
+    })
 }
 
 /// Destination for trace records.
@@ -383,6 +628,48 @@ impl<W: Write> TraceSink for JsonlSink<W> {
     }
 }
 
+/// Fan-out sink: forwards every record to each child sink in order.
+///
+/// This is how the `repro` binary runs the live auditor alongside a
+/// `--trace` JSONL writer: both subscribe to the same stream, neither
+/// knows about the other. Children are [`SharedSink`]s, so the caller
+/// keeps its own handle to (say) the monitor and inspects it after the
+/// run while the fan-out stays installed as the global sink.
+pub struct FanoutSink {
+    sinks: Vec<SharedSink>,
+    seen: u64,
+}
+
+impl FanoutSink {
+    /// A fan-out over `sinks` (forwarded to in the given order).
+    pub fn new(sinks: Vec<SharedSink>) -> Self {
+        FanoutSink { sinks, seen: 0 }
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        for sink in &self.sinks {
+            sink.borrow_mut().record(rec);
+        }
+        self.seen += 1;
+    }
+
+    fn len(&self) -> u64 {
+        self.seen
+    }
+
+    fn dropped(&self) -> u64 {
+        self.sinks.iter().map(|s| s.borrow().dropped()).sum()
+    }
+
+    fn flush(&mut self) {
+        for sink in &self.sinks {
+            sink.borrow_mut().flush();
+        }
+    }
+}
+
 /// Shared, dynamically-dispatched sink handle.
 pub type SharedSink = Rc<RefCell<dyn TraceSink>>;
 
@@ -519,6 +806,28 @@ mod tests {
     }
 
     #[test]
+    fn buffer_sink_drains_in_insertion_order() {
+        let mut buf = BufferSink::new();
+        for i in 0..100 {
+            buf.record(&rec(i, TraceEvent::Nak { seq: i }));
+        }
+        assert_eq!(buf.len(), 100);
+        let seqs: Vec<u64> = buf
+            .take()
+            .into_iter()
+            .map(|r| match r.event {
+                TraceEvent::Nak { seq } => seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, (0..100).collect::<Vec<_>>(), "oldest first");
+        // Draining empties the buffer but keeps the accepted count (the
+        // parallel runner reads it after replaying records).
+        assert!(buf.take().is_empty());
+        assert_eq!(buf.len(), 100);
+    }
+
+    #[test]
     fn trace_feeds_shared_sink() {
         let ring: SharedSink = Rc::new(RefCell::new(RingSink::new(16)));
         let trace = Trace::to_sink(ring.clone(), "rx");
@@ -580,6 +889,108 @@ mod tests {
         assert!(sink.take().is_empty());
         assert_eq!(sink.len(), 4);
         assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn fanout_forwards_to_all_children() {
+        let a: SharedSink = Rc::new(RefCell::new(RingSink::new(8)));
+        let b: SharedSink = Rc::new(RefCell::new(BufferSink::new()));
+        let mut fan = FanoutSink::new(vec![a.clone(), b.clone()]);
+        fan.record(&rec(1, TraceEvent::Nak { seq: 7 }));
+        fan.record(&rec(2, TraceEvent::LinkFailed));
+        assert_eq!(fan.len(), 2);
+        assert_eq!(a.borrow().len(), 2);
+        assert_eq!(b.borrow().len(), 2);
+        assert_eq!(fan.dropped(), 0);
+    }
+
+    #[test]
+    fn every_event_kind_round_trips_through_jsonl() {
+        let events = vec![
+            TraceEvent::IFrameTx {
+                seq: 3,
+                retx: true,
+                len: 1024,
+            },
+            TraceEvent::IFrameRx {
+                seq: 3,
+                clean: false,
+                len: 1024,
+            },
+            TraceEvent::CheckpointEmitted {
+                index: 7,
+                covered: 41,
+                naks: 2,
+                enforced: true,
+                stop: false,
+            },
+            TraceEvent::CheckpointReceived {
+                index: 7,
+                covered: 41,
+                naks: 2,
+            },
+            TraceEvent::CheckpointLost { index: 8 },
+            TraceEvent::Nak { seq: 9 },
+            TraceEvent::Renumbered {
+                old_seq: 9,
+                new_seq: 33,
+            },
+            TraceEvent::EnforcedRecoveryStarted { outstanding: 4 },
+            TraceEvent::EnforcedRecoveryResolved,
+            TraceEvent::StopGo { stop: true },
+            TraceEvent::BufferWatermark {
+                buffer: "tx",
+                level: 64,
+                rising: true,
+            },
+            TraceEvent::ChannelDrop { dir: "fwd" },
+            TraceEvent::Control {
+                kind: "srej",
+                seq: 5,
+            },
+            TraceEvent::LinkFailed,
+            TraceEvent::RunStarted,
+            TraceEvent::RunFinished { deadline_hit: true },
+            TraceEvent::ExperimentStarted { id: "e8" },
+            TraceEvent::SenderConfig {
+                w_cp_ns: 5_000_000,
+                c_depth: 3,
+                rtt_ns: 26_700_000,
+                cp_timeout_ns: 16_000_000,
+                resolving_ns: 45_210_000,
+                failure_ns: 43_710_000,
+            },
+            TraceEvent::BufferRelease {
+                seq: 12,
+                held_ns: 31_337,
+            },
+        ];
+        for (i, event) in events.into_iter().enumerate() {
+            // Deliberately awkward timestamp: exercises the f64 round trip.
+            let original = rec(1_234_567_891 + i as u64, event);
+            let line = original.to_json().render();
+            let back = parse_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, original, "{line}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_records() {
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line(r#"{"t":1,"node":"tx"}"#).is_err());
+        assert!(parse_line(r#"{"t":1,"node":"tx","event":"martian"}"#).is_err());
+        assert!(parse_line(r#"{"t":-1,"node":"tx","event":"link_failed"}"#).is_err());
+        // Missing event-specific field.
+        assert!(parse_line(r#"{"t":1,"node":"tx","event":"nak"}"#).is_err());
+    }
+
+    #[test]
+    fn intern_reuses_known_and_novel_labels() {
+        assert_eq!(intern("tx"), "tx");
+        let novel = intern("hop3.rx");
+        assert_eq!(novel, "hop3.rx");
+        // A second parse of the same novel label reuses the leak.
+        assert!(std::ptr::eq(novel.as_ptr(), intern("hop3.rx").as_ptr()));
     }
 
     #[test]

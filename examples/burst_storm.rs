@@ -39,7 +39,7 @@ fn main() {
             lams.efficiency(),
             sr.efficiency(),
             gbn.efficiency(),
-            lams.extra("request_naks").unwrap_or(0.0) as u64,
+            lams.extra("lams.sender.request_naks").unwrap_or(0.0) as u64,
             lams.lost,
         );
         assert_eq!(lams.lost, 0, "LAMS must not lose frames under bursts");

@@ -56,7 +56,7 @@ fn main() {
             r.delivered_unique,
             r.lost,
             r.duplicates,
-            r.extra("request_naks").unwrap_or(0.0) as u64,
+            r.extra("lams.sender.request_naks").unwrap_or(0.0) as u64,
             if r.link_failed { "yes" } else { "no" },
         );
         if recoverable {

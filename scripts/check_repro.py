@@ -3,19 +3,28 @@
 
 Usage:
     check_repro.py report.json [report_parallel.json]
+                   [--identical FILE_A FILE_B]...
 
-With one argument: validate the `lams-dlc.repro/1` schema (top-level
-fields, per-experiment structure, perf blocks).
+With one positional argument: validate the `lams-dlc.repro/1` schema
+(top-level fields, per-experiment structure, perf blocks, live-monitor
+metrics blocks).
 
-With two arguments: additionally require the two documents to be
-identical once every `perf` block (the only wall-clock-bearing field)
+With two positional arguments: additionally require the two documents to
+be identical once every `perf` block (the only wall-clock-bearing field)
 is nulled out — the parallel runner must be a pure speed knob.
+
+Each `--identical A B` pair must be byte-identical files; used for the
+`--trace`/`--metrics` JSONL outputs of serial vs parallel runs.
 """
 
 import json
 import sys
 
 EXPECTED_IDS = [f"E{i}" for i in range(1, 18)]
+
+METRICS_KEYS = ("runs", "frames", "delivered", "naks", "retransmissions",
+                "max_tx_outstanding", "audit_findings", "delivery_latency")
+LATENCY_KEYS = ("count", "p50_s", "p99_s")
 
 
 def fail(msg):
@@ -31,6 +40,25 @@ def load(path):
         fail(f"{path}: {e}")
 
 
+def validate_metrics(metrics, exp_id, path):
+    """The live monitor's per-experiment block: present for every LAMS
+    experiment, null only when no audited link ran (analysis-only)."""
+    if metrics is None:
+        return
+    for key in METRICS_KEYS:
+        if key not in metrics:
+            fail(f"{path}: {exp_id} metrics block missing '{key}'")
+    if metrics["audit_findings"] != 0:
+        fail(f"{path}: {exp_id} has {metrics['audit_findings']} "
+             f"protocol audit finding(s)")
+    lat = metrics["delivery_latency"]
+    for key in LATENCY_KEYS:
+        if key not in lat:
+            fail(f"{path}: {exp_id} delivery_latency missing '{key}'")
+    if metrics["frames"] > 0 and lat["count"] == 0:
+        fail(f"{path}: {exp_id} released frames but recorded no latencies")
+
+
 def validate(doc, path):
     if doc.get("schema") != "lams-dlc.repro/1":
         fail(f"{path}: schema is {doc.get('schema')!r}, want 'lams-dlc.repro/1'")
@@ -40,11 +68,17 @@ def validate(doc, path):
     if not isinstance(exps, list) or not exps:
         fail(f"{path}: 'experiments' must be a non-empty array")
     ids = []
+    audited = 0
     for e in exps:
         for key in ("id", "title", "tables", "notes"):
             if key not in e:
                 fail(f"{path}: experiment missing '{key}': {e.get('id', '?')}")
         ids.append(e["id"])
+        if "metrics" not in e:
+            fail(f"{path}: {e['id']} missing 'metrics' block")
+        validate_metrics(e["metrics"], e["id"], path)
+        if e["metrics"] is not None:
+            audited += 1
         perf = e.get("perf")
         if perf is None:
             continue  # an experiment with no simulations (analysis-only)
@@ -56,6 +90,8 @@ def validate(doc, path):
             fail(f"{path}: {e['id']} perf block popped no events")
     if ids != EXPECTED_IDS:
         fail(f"{path}: experiment ids {ids} != {EXPECTED_IDS}")
+    if audited == 0:
+        fail(f"{path}: no experiment carries live-monitor metrics")
     return doc
 
 
@@ -68,19 +104,47 @@ def strip_perf(node):
     return node
 
 
+def check_identical(a, b):
+    try:
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            if fa.read() != fb.read():
+                fail(f"{a} and {b} differ: the parallel runner changed "
+                     f"the serialized stream")
+    except OSError as e:
+        fail(str(e))
+
+
 def main():
-    if len(sys.argv) not in (2, 3):
+    args = sys.argv[1:]
+    positional, pairs = [], []
+    i = 0
+    while i < len(args):
+        if args[i] == "--identical":
+            if len(args) - i < 3:
+                print(__doc__, file=sys.stderr)
+                sys.exit(2)
+            pairs.append((args[i + 1], args[i + 2]))
+            i += 3
+        else:
+            positional.append(args[i])
+            i += 1
+    if len(positional) not in (1, 2):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    a = validate(load(sys.argv[1]), sys.argv[1])
-    if len(sys.argv) == 3:
-        b = validate(load(sys.argv[2]), sys.argv[2])
+    a = validate(load(positional[0]), positional[0])
+    if len(positional) == 2:
+        b = validate(load(positional[1]), positional[1])
         if strip_perf(a) != strip_perf(b):
             fail("reports differ beyond perf blocks: the parallel runner "
                  "changed simulation results")
-        print("check_repro: OK (schema valid, worker counts agree)")
-    else:
-        print("check_repro: OK (schema valid)")
+    for pa, pb in pairs:
+        check_identical(pa, pb)
+    checks = ["schema valid"]
+    if len(positional) == 2:
+        checks.append("worker counts agree")
+    if pairs:
+        checks.append(f"{len(pairs)} stream pair(s) identical")
+    print(f"check_repro: OK ({', '.join(checks)})")
 
 
 if __name__ == "__main__":
