@@ -1,0 +1,55 @@
+//! Criterion view of the hot-path micro-kernels in [`bench`] — the
+//! same workloads `bench_suite` times, under the statistics harness.
+//! Run `cargo bench -p bench --bench core_bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const ITERS: u64 = 10_000;
+
+fn queue_mix(c: &mut Criterion) {
+    c.bench_function("core/event_queue_mix", |b| {
+        b.iter(|| black_box(bench::queue_mix(black_box(ITERS)).ops))
+    });
+}
+
+fn queue_hot(c: &mut Criterion) {
+    c.bench_function("core/event_queue_hot", |b| {
+        b.iter(|| black_box(bench::queue_hot(black_box(ITERS)).ops))
+    });
+}
+
+fn registry_name(c: &mut Criterion) {
+    c.bench_function("core/registry_inc_name", |b| {
+        b.iter(|| black_box(bench::registry_inc_by_name(black_box(ITERS)).ops))
+    });
+}
+
+fn registry_handle(c: &mut Criterion) {
+    c.bench_function("core/registry_inc_handle", |b| {
+        b.iter(|| black_box(bench::registry_inc_by_handle(black_box(ITERS)).ops))
+    });
+}
+
+fn trace_disabled(c: &mut Criterion) {
+    c.bench_function("core/trace_emit_disabled", |b| {
+        b.iter(|| black_box(bench::trace_emit_disabled(black_box(ITERS)).ops))
+    });
+}
+
+fn trace_jsonl(c: &mut Criterion) {
+    c.bench_function("core/trace_emit_jsonl", |b| {
+        b.iter(|| black_box(bench::trace_emit_jsonl(black_box(ITERS)).ops))
+    });
+}
+
+criterion_group!(
+    benches,
+    queue_mix,
+    queue_hot,
+    registry_name,
+    registry_handle,
+    trace_disabled,
+    trace_jsonl
+);
+criterion_main!(benches);

@@ -1,1 +1,334 @@
-//! Benchmark-only crate; see the `benches/` directory. Empty on purpose.
+//! Benchmark kernels shared by the criterion benches (`benches/`) and
+//! the `bench_suite` binary that `scripts/bench.py` drives.
+//!
+//! Two kinds of kernel live here:
+//!
+//! * **Micro-kernels** exercising the simulation core's hot paths in
+//!   isolation: the [`sim_core::EventQueue`] schedule/pop/cancel/
+//!   reschedule mix, [`telemetry::Registry`] counter increments (name
+//!   lookup vs pre-resolved handle), and trace emission (the disabled
+//!   fast path and the full JSONL render+write path).
+//! * **Experiment kernels** running each quick-sized paper experiment
+//!   through [`harness::experiments::run_by_id`] and draining the
+//!   per-thread perf accumulator, so the suite reports the same
+//!   events/sec figure as `repro --quick --json`.
+//!
+//! Every kernel is deterministic (xorshift-derived workloads, fixed
+//! seeds) so that run-to-run variance comes from the machine, not the
+//! workload, and medians over repetitions are meaningful.
+
+use sim_core::{Duration, EventQueue, Instant, QueueProfile};
+
+/// One timed micro-kernel result.
+#[derive(Clone, Debug)]
+pub struct MicroResult {
+    /// Kernel name (stable identifier used in `BENCH_*.json`).
+    pub name: &'static str,
+    /// Iterations executed.
+    pub iters: u64,
+    /// Primitive operations performed (≥ `iters` for mixed kernels).
+    pub ops: u64,
+    /// Wall-clock seconds for the whole kernel.
+    pub wall_secs: f64,
+}
+
+impl MicroResult {
+    /// Nanoseconds per primitive operation.
+    pub fn ns_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            return 0.0;
+        }
+        self.wall_secs * 1e9 / self.ops as f64
+    }
+
+    /// Primitive operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            return 0.0;
+        }
+        self.ops as f64 / self.wall_secs
+    }
+}
+
+/// One quick experiment kernel result: the experiment's merged queue
+/// profile and wall clock, exactly as `repro`'s per-experiment perf
+/// block reports them. `perf` is `None` for analysis-only experiments
+/// that run no simulations.
+#[derive(Clone, Debug)]
+pub struct ExperimentResult {
+    /// Experiment id (`e1`..`e17`).
+    pub id: String,
+    /// `(merged queue profile, wall seconds, simulation runs)`.
+    pub perf: Option<(QueueProfile, f64, u64)>,
+}
+
+/// Small deterministic xorshift64* generator for kernel workloads.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn time<F: FnOnce() -> u64>(name: &'static str, iters: u64, f: F) -> MicroResult {
+    let start = std::time::Instant::now();
+    let ops = f();
+    MicroResult {
+        name,
+        iters,
+        ops,
+        wall_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Schedule/pop/cancel/reschedule mix on [`EventQueue`] — the engine's
+/// event-loop workload shape: per round, two schedules at pseudorandom
+/// future offsets, one reschedule of a pending event to an earlier
+/// time (the wake-dedup pattern), one cancel, and two pops.
+pub fn queue_mix(iters: u64) -> MicroResult {
+    time("event_queue_mix", iters, || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut rng = XorShift::new(0x51AB_517E);
+        let mut pending = Vec::with_capacity(64);
+        let mut now = Instant::ZERO;
+        let mut ops = 0u64;
+        let mut sink = 0u64;
+        for i in 0..iters {
+            for _ in 0..2 {
+                let at = now + Duration::from_nanos(1 + (rng.next() & 0xFFFF));
+                pending.push((at, q.schedule(at, i)));
+                ops += 1;
+            }
+            if pending.len() > 1 {
+                let pick = rng.next() as usize % pending.len();
+                let (at, id) = pending.swap_remove(pick);
+                // Pull the event closer to now, like a wake re-arm.
+                let earlier = now + Duration::from_nanos(1 + (at - now).as_nanos() / 2);
+                if let Some(new_id) = q.reschedule(id, earlier) {
+                    pending.push((earlier, new_id));
+                }
+                ops += 1;
+            }
+            if pending.len() > 8 {
+                let pick = rng.next() as usize % pending.len();
+                let (_, id) = pending.swap_remove(pick);
+                q.cancel(id);
+                ops += 1;
+            }
+            for _ in 0..2 {
+                if let Some((at, v)) = q.pop() {
+                    now = at;
+                    sink = sink.wrapping_add(v);
+                    pending.retain(|&(t, _)| t > now);
+                    ops += 1;
+                }
+            }
+        }
+        std::hint::black_box(sink);
+        ops
+    })
+}
+
+/// Pure schedule+pop churn — the steady-state hot path with no
+/// cancellations, where per-event overhead dominates.
+pub fn queue_hot(iters: u64) -> MicroResult {
+    time("event_queue_hot", iters, || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut rng = XorShift::new(0xC0FF_EE00);
+        let mut now = Instant::ZERO;
+        let mut sink = 0u64;
+        // Keep a standing population of 32 pending events.
+        for i in 0..32 {
+            let at = now + Duration::from_nanos(1 + (rng.next() & 0xFFF));
+            q.schedule(at, i);
+        }
+        for i in 0..iters {
+            let (at, v) = q.pop().expect("queue is never empty");
+            now = at;
+            sink = sink.wrapping_add(v);
+            let at = now + Duration::from_nanos(1 + (rng.next() & 0xFFF));
+            q.schedule(at, i);
+        }
+        std::hint::black_box(sink);
+        iters * 2
+    })
+}
+
+/// Counter increments through name lookup on every call.
+pub fn registry_inc_by_name(iters: u64) -> MicroResult {
+    time("registry_inc_name", iters, || {
+        let mut reg = telemetry::Registry::new();
+        for _ in 0..iters {
+            reg.inc("bench.counter.hits");
+        }
+        std::hint::black_box(reg.get("bench.counter.hits"));
+        iters
+    })
+}
+
+/// Counter increments through a pre-resolved [`telemetry::CounterHandle`]
+/// — the hot-path form used by the harness collector.
+pub fn registry_inc_by_handle(iters: u64) -> MicroResult {
+    time("registry_inc_handle", iters, || {
+        let mut reg = telemetry::Registry::new();
+        let h = reg.handle("bench.counter.hits");
+        for _ in 0..iters {
+            reg.inc_handle(h);
+        }
+        std::hint::black_box(reg.get("bench.counter.hits"));
+        iters
+    })
+}
+
+/// Trace emission with **no** sink installed — the disabled fast path
+/// every simulation pays per protocol event.
+pub fn trace_emit_disabled(iters: u64) -> MicroResult {
+    time("trace_emit_disabled", iters, || {
+        telemetry::uninstall_global();
+        let handle = telemetry::global_handle("bench");
+        for i in 0..iters {
+            handle.emit(Instant::from_nanos(i), || telemetry::TraceEvent::Nak {
+                seq: i,
+            });
+        }
+        iters
+    })
+}
+
+/// Full JSONL trace path: render each record and write it through the
+/// buffered [`telemetry::JsonlSink`] into a discarding writer.
+pub fn trace_emit_jsonl(iters: u64) -> MicroResult {
+    time("trace_emit_jsonl", iters, || {
+        use telemetry::TraceSink;
+        let mut sink = telemetry::JsonlSink::to_writer(std::io::sink());
+        for i in 0..iters {
+            sink.record(&telemetry::TraceRecord {
+                t: Instant::from_nanos(i),
+                node: "bench",
+                event: telemetry::TraceEvent::Nak { seq: i },
+            });
+        }
+        sink.flush();
+        assert_eq!(sink.dropped(), 0);
+        iters
+    })
+}
+
+/// The default micro suite at a common iteration count.
+pub fn run_micro_suite(iters: u64) -> Vec<MicroResult> {
+    vec![
+        queue_mix(iters),
+        queue_hot(iters),
+        registry_inc_by_name(iters),
+        registry_inc_by_handle(iters),
+        trace_emit_disabled(iters),
+        trace_emit_jsonl(iters),
+    ]
+}
+
+/// Run one quick experiment and capture its merged perf block.
+/// Returns `None` for unknown ids.
+///
+/// Goes through [`harness::runner::run_experiments`] — live protocol
+/// monitor included — so the measured events/sec is the **same
+/// quantity** `repro --quick --json` reports, and `BENCH_*.json`
+/// trajectories are comparable against `repro` perf blocks.
+pub fn run_experiment_kernel(id: &str) -> Option<ExperimentResult> {
+    let runs = harness::runner::run_experiments(&[id.to_string()], true);
+    let run = runs.into_iter().next()?;
+    run.output.as_ref()?;
+    assert_eq!(run.audit.total_findings, 0, "{id}: protocol audit failed");
+    Some(ExperimentResult {
+        id: run.id,
+        perf: run.perf,
+    })
+}
+
+/// Run every quick experiment kernel (`e1`..`e17`) in index order.
+pub fn run_experiment_suite() -> Vec<ExperimentResult> {
+    harness::experiments::ALL
+        .iter()
+        .filter_map(|id| run_experiment_kernel(id))
+        .collect()
+}
+
+/// Fold per-experiment perf into the quick-all total: the merged queue
+/// profile, total simulation wall seconds, and total runs.
+pub fn total_perf(experiments: &[ExperimentResult]) -> (QueueProfile, f64, u64) {
+    let mut total = QueueProfile::default();
+    let mut wall = 0.0;
+    let mut runs = 0;
+    for e in experiments {
+        if let Some((q, w, r)) = &e.perf {
+            total.absorb(q);
+            wall += w;
+            runs += r;
+        }
+    }
+    (total, wall, runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_kernels_report_ops() {
+        for r in run_micro_suite(256) {
+            assert!(
+                r.ops >= r.iters,
+                "{}: {} ops < {} iters",
+                r.name,
+                r.ops,
+                r.iters
+            );
+            assert!(r.wall_secs >= 0.0);
+            assert!(r.ns_per_op() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn micro_names_are_unique() {
+        let names: Vec<&str> = run_micro_suite(8).iter().map(|r| r.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+
+    #[test]
+    fn experiment_kernel_captures_perf() {
+        let r = run_experiment_kernel("e1").expect("known id");
+        let (q, wall, runs) = r.perf.expect("e1 runs simulations");
+        assert!(q.popped > 0);
+        assert!(wall > 0.0);
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn unknown_experiment_is_none() {
+        assert!(run_experiment_kernel("e999").is_none());
+    }
+
+    #[test]
+    fn total_absorbs_all_runs() {
+        let a = run_experiment_kernel("e1").expect("known id");
+        let b = run_experiment_kernel("e7").expect("known id");
+        let (total, wall, runs) = total_perf(&[a.clone(), b.clone()]);
+        let (qa, wa, ra) = a.perf.expect("perf");
+        let (qb, wb, rb) = b.perf.expect("perf");
+        assert_eq!(total.popped, qa.popped + qb.popped);
+        assert!((wall - (wa + wb)).abs() < 1e-12);
+        assert_eq!(runs, ra + rb);
+    }
+}

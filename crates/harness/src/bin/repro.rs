@@ -154,15 +154,27 @@ fn main() {
         eprintln!("wrote {path}");
     }
 
+    let mut trace_failed = false;
     if let Some(path) = &cli.trace {
         if let Some(sink) = telemetry::uninstall_global() {
             sink.borrow_mut().flush();
-            eprintln!("wrote {path} ({} trace records)", sink.borrow().len());
+            // A failed write silently truncates the trace file; surface
+            // it and fail instead of reporting a clean run.
+            let lost = sink.borrow().dropped();
+            if lost > 0 {
+                eprintln!("trace write to {path} failed: {lost} record(s) lost");
+                trace_failed = true;
+            } else {
+                eprintln!("wrote {path} ({} trace records)", sink.borrow().len());
+            }
         }
     }
 
     if unknown {
         std::process::exit(2);
+    }
+    if trace_failed {
+        std::process::exit(1);
     }
     if violations > 0 {
         eprintln!("protocol audit failed: {violations} invariant violation(s)");

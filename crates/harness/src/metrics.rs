@@ -2,7 +2,6 @@
 
 use sim_core::stats::{Histogram, Series, Summary, TimeWeighted};
 use sim_core::{Duration, Instant, QueueProfile};
-use std::collections::HashMap;
 use telemetry::{Json, Registry, Trace, TraceEvent};
 
 /// Everything measured over one scenario run.
@@ -231,10 +230,20 @@ pub fn perf_take() -> Option<(QueueProfile, f64, u64)> {
 }
 
 /// Accumulates measurements during a run.
+///
+/// SDU ids are issued sequentially by the traffic generator, so the
+/// per-id bookkeeping is id-indexed (a `Vec` of push instants and a
+/// delivered bitset) rather than hashed — no hashing or probing on the
+/// per-delivery path.
 pub struct Collector {
-    push_times: HashMap<u64, Instant>,
-    delivered: HashMap<u64, Instant>,
+    push_times: Vec<Option<Instant>>,
+    /// One bit per id: set once delivered (duplicates detected here).
+    delivered: Vec<u64>,
+    delivered_count: u64,
     resequencer: lams_dlc::Resequencer,
+    /// Scratch for the resequencer's in-order releases, reused across
+    /// deliveries.
+    reseq_out: Vec<(lams_dlc::PacketId, bytes::Bytes)>,
     /// Delay push → delivery.
     pub delay: Summary,
     /// Delay push → in-order release.
@@ -255,6 +264,8 @@ pub struct Collector {
     pub rate: Series,
     duplicates: u64,
     counters: Registry,
+    /// Pre-resolved `harness.collector.unmatched` slot (per-delivery path).
+    unmatched: telemetry::CounterHandle,
     trace: Trace,
     /// Next power-of-two sender-buffer level that will emit a rising
     /// watermark trace record.
@@ -267,10 +278,17 @@ const TX_WATERMARK_BASE: usize = 64;
 impl Collector {
     /// Fresh collector starting at t = 0.
     pub fn new() -> Self {
+        // Resolve the per-delivery counter once; updates skip the name
+        // scan. The entry exists (at 0) from the start, making the
+        // "accounting went wrong" signal visible in every report.
+        let mut counters = Registry::new();
+        let unmatched = counters.handle("harness.collector.unmatched");
         Collector {
-            push_times: HashMap::new(),
-            delivered: HashMap::new(),
+            push_times: Vec::new(),
+            delivered: Vec::new(),
+            delivered_count: 0,
             resequencer: lams_dlc::Resequencer::new(0),
+            reseq_out: Vec::new(),
             delay: Summary::new(),
             e2e_delay: Summary::new(),
             e2e_delay_hist: Histogram::new(0.0, 2.0, 400),
@@ -281,7 +299,8 @@ impl Collector {
             reseq_buffer: Series::new("resequencer_frames"),
             rate: Series::new("send_rate_fraction"),
             duplicates: 0,
-            counters: Registry::new(),
+            counters,
+            unmatched,
             trace: telemetry::global_handle("collector"),
             tx_watermark: TX_WATERMARK_BASE,
         }
@@ -289,38 +308,54 @@ impl Collector {
 
     /// Record an SDU entering the sender.
     pub fn on_push(&mut self, now: Instant, id: u64) {
-        self.push_times.insert(id, now);
+        let idx = id as usize;
+        if idx >= self.push_times.len() {
+            self.push_times.resize(idx + 1, None);
+        }
+        self.push_times[idx] = Some(now);
+    }
+
+    #[inline]
+    fn push_time(&self, id: u64) -> Option<Instant> {
+        self.push_times.get(id as usize).copied().flatten()
     }
 
     /// Record a receiver delivery; runs the destination resequencer for
     /// dedup + in-order accounting.
     pub fn on_deliver(&mut self, now: Instant, id: u64) {
-        let pushed = self.push_times.get(&id).copied();
-        if self.delivered.contains_key(&id) {
+        let word = (id >> 6) as usize;
+        if word >= self.delivered.len() {
+            self.delivered.resize(word + 1, 0);
+        }
+        let bit = 1u64 << (id & 63);
+        if self.delivered[word] & bit != 0 {
             self.duplicates += 1;
             return;
         }
-        self.delivered.insert(id, now);
-        match pushed {
+        self.delivered[word] |= bit;
+        self.delivered_count += 1;
+        match self.push_time(id) {
             Some(p) => self.delay.record(now.duration_since(p).as_secs_f64()),
             // A delivery with no matching push: the delay sample is
             // unrecordable. Count it so runs where accounting went wrong
             // are visible instead of silently under-sampled.
-            None => self.counters.inc("harness.collector.unmatched"),
+            None => self.counters.inc_handle(self.unmatched),
         }
-        let released = self
-            .resequencer
-            .offer(lams_dlc::PacketId(id), bytes::Bytes::new());
-        for (rid, _) in released {
-            match self.push_times.get(&rid.0) {
+        let mut released = std::mem::take(&mut self.reseq_out);
+        released.clear();
+        self.resequencer
+            .offer_into(lams_dlc::PacketId(id), bytes::Bytes::new(), &mut released);
+        for (rid, _) in &released {
+            match self.push_time(rid.0) {
                 Some(p) => {
-                    let d = now.duration_since(*p).as_secs_f64();
+                    let d = now.duration_since(p).as_secs_f64();
                     self.e2e_delay.record(d);
                     self.e2e_delay_hist.record(d);
                 }
-                None => self.counters.inc("harness.collector.unmatched"),
+                None => self.counters.inc_handle(self.unmatched),
             }
         }
+        self.reseq_out = released;
     }
 
     /// Record a batch of holding-time samples (seconds).
@@ -365,7 +400,7 @@ impl Collector {
 
     /// Unique deliveries so far.
     pub fn delivered_unique(&self) -> u64 {
-        self.delivered.len() as u64
+        self.delivered_count
     }
 
     /// Duplicate deliveries so far.
@@ -401,7 +436,7 @@ impl Collector {
         tx_extras: Registry,
         rx_extras: Registry,
     ) -> RunReport {
-        let delivered_unique = self.delivered.len() as u64;
+        let delivered_unique = self.delivered_count;
         let reseq_peak = self.resequencer.stats().peak_buffered;
         RunReport {
             protocol: protocol.to_string(),

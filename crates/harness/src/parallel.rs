@@ -131,9 +131,7 @@ where
             }
             if let Some(sink) = &caller_sink {
                 let mut sink = sink.borrow_mut();
-                for rec in &r.records {
-                    sink.record(rec);
-                }
+                sink.record_all(&r.records);
             }
             r.out
         })

@@ -46,24 +46,39 @@ impl Resequencer {
     /// Offer a datagram; returns every datagram that becomes releasable in
     /// order (possibly empty if `id` is ahead of the contiguous horizon).
     pub fn offer(&mut self, id: PacketId, payload: Bytes) -> Vec<(PacketId, Bytes)> {
-        let id = id.0;
-        if id < self.next || self.buffer.contains_key(&id) {
-            self.stats.duplicates += 1;
-            return Vec::new();
-        }
-        if id != self.next {
-            self.stats.reordered += 1;
-        }
-        self.buffer.insert(id, payload);
         let mut out = Vec::new();
-        while let Some(payload) = self.buffer.remove(&self.next) {
-            out.push((PacketId(self.next), payload));
+        self.offer_into(id, payload, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Resequencer::offer`]: releasable
+    /// datagrams are appended to `out` (not cleared first). The caller
+    /// keeps one scratch `Vec` across offers instead of receiving a
+    /// fresh one per datagram.
+    pub fn offer_into(&mut self, id: PacketId, payload: Bytes, out: &mut Vec<(PacketId, Bytes)>) {
+        let id = id.0;
+        if id == self.next {
+            // In-order fast path — the overwhelmingly common case on a
+            // FIFO link. The buffer cannot hold `next` (it would have
+            // been drained already), so no duplicate probe is needed and
+            // the datagram releases without a reorder-buffer round trip.
+            out.push((PacketId(id), payload));
             self.stats.released += 1;
             self.next += 1;
+            while let Some(payload) = self.buffer.remove(&self.next) {
+                out.push((PacketId(self.next), payload));
+                self.stats.released += 1;
+                self.next += 1;
+            }
+        } else if id < self.next || self.buffer.contains_key(&id) {
+            self.stats.duplicates += 1;
+            return;
+        } else {
+            self.stats.reordered += 1;
+            self.buffer.insert(id, payload);
         }
         // Peak measures datagrams *held* awaiting order, after any release.
         self.stats.peak_buffered = self.stats.peak_buffered.max(self.buffer.len());
-        out
     }
 
     /// Next id awaited for in-order release.

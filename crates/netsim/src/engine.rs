@@ -500,9 +500,10 @@ where
             }
         }
         q.schedule(Instant::ZERO, SimEvent::Sample);
-        q.schedule(Instant::ZERO, SimEvent::Wake);
-
-        let mut next_wake = Instant::MAX;
+        // Exactly one Wake is ever pending: re-arming an earlier wake
+        // *reschedules* it (O(1) on the slab queue) instead of piling up
+        // stale duplicates that would each buy a no-op pump pass.
+        let mut wake = Some((Instant::ZERO, q.schedule(Instant::ZERO, SimEvent::Wake)));
         let mut holding_buf: Vec<f64> = Vec::new();
         let mut finished_at = Instant::ZERO;
         let mut deadline_hit = false;
@@ -528,18 +529,29 @@ where
                         }
                     }
                     SimEvent::Arrive { link, frame, clean } => {
-                        let listeners = &link_listeners[link];
-                        let last = listeners.len().saturating_sub(1);
-                        let mut frame = Some(frame);
-                        for (k, ep) in listeners.iter().enumerate() {
-                            let f = if k == last {
-                                frame.take().expect("frame consumed once")
-                            } else {
-                                frame.as_ref().expect("frame present").clone()
-                            };
-                            match *ep {
-                                EndpointId::Tx(t) => txs[t.0].handle_frame(now, f, clean),
-                                EndpointId::Rx(r) => rxs[r.0].handle_frame(now, f, clean),
+                        // Single listener — the common wiring — moves the
+                        // frame straight through; only genuine fan-out
+                        // (duplex links feeding both co-located endpoints)
+                        // pays a clone, and only for the non-final copies.
+                        match link_listeners[link].as_slice() {
+                            [ep] => match *ep {
+                                EndpointId::Tx(t) => txs[t.0].handle_frame(now, frame, clean),
+                                EndpointId::Rx(r) => rxs[r.0].handle_frame(now, frame, clean),
+                            },
+                            listeners => {
+                                let last = listeners.len().saturating_sub(1);
+                                let mut frame = Some(frame);
+                                for (k, ep) in listeners.iter().enumerate() {
+                                    let f = if k == last {
+                                        frame.take().expect("frame consumed once")
+                                    } else {
+                                        frame.as_ref().expect("frame present").clone()
+                                    };
+                                    match *ep {
+                                        EndpointId::Tx(t) => txs[t.0].handle_frame(now, f, clean),
+                                        EndpointId::Rx(r) => rxs[r.0].handle_frame(now, f, clean),
+                                    }
+                                }
                             }
                         }
                     }
@@ -563,15 +575,14 @@ where
                         }
                     }
                     SimEvent::Wake => {
-                        if next_wake <= now {
-                            next_wake = Instant::MAX;
+                        if wake.is_some_and(|(t, _)| t <= now) {
+                            wake = None;
                         }
                     }
                 }
-                if q.peek_time() == Some(now) {
-                    ev = q.pop().expect("peeked").1;
-                } else {
-                    break;
+                match q.pop_at(now) {
+                    Some(next) => ev = next,
+                    None => break,
                 }
             }
 
@@ -687,9 +698,15 @@ where
                 };
                 if let Some(t) = t {
                     debug_assert!(t > now, "wake must advance time");
-                    if t < next_wake {
-                        next_wake = t;
-                        q.schedule(t, SimEvent::Wake);
+                    match wake {
+                        Some((at, id)) if t < at => {
+                            let id = q.reschedule(id, t).expect("tracked wake is pending");
+                            wake = Some((t, id));
+                        }
+                        None => {
+                            wake = Some((t, q.schedule(t, SimEvent::Wake)));
+                        }
+                        Some(_) => {}
                     }
                 }
             }

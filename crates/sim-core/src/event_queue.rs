@@ -5,36 +5,54 @@
 //! that runs are deterministic regardless of heap internals — a requirement
 //! for reproducible experiments and for paper assumption 8 (deterministic
 //! model).
+//!
+//! ## Hot-path layout
+//!
+//! Payloads live in a slab and the heap orders small fixed-size
+//! `(at, seq, slot)` entries, so sift operations move 24 bytes no matter
+//! how large the event type is. Liveness is a bit per issued sequence
+//! number: [`EventQueue::cancel`] clears one bit (O(1), no heap scan, no
+//! hashing) and [`EventQueue::pop`] skips dead entries with one bit test
+//! per entry. [`EventQueue::reschedule`] moves a pending event to a new
+//! instant without touching its payload — one operation where callers
+//! previously paid a cancel plus a fresh schedule.
 
 use crate::time::Instant;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// Handle returned by [`EventQueue::schedule`]; can be used to cancel.
+/// Handle returned by [`EventQueue::schedule`]; can be used to cancel or
+/// reschedule the event while it is still pending.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventId(u64);
-
-struct Entry<E> {
-    at: Instant,
+pub struct EventId {
     seq: u64,
-    id: EventId,
-    payload: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
+/// A heap entry: when, tie-break, and where the payload lives. Kept
+/// payload-free (and `Copy`) so heap sifts move 24 bytes regardless of
+/// the event type's size.
+#[derive(Clone, Copy)]
+struct Entry {
+    at: Instant,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<E> Eq for Entry<E> {}
+impl Eq for Entry {}
 
-impl<E> PartialOrd for Entry<E> {
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Entry<E> {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event (and among
         // equals, the first inserted) pops first.
@@ -57,9 +75,16 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!((t, e), (Instant::from_millis(1), "sooner"));
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: BinaryHeap<Entry>,
+    /// Payload slab; heap entries index into it. `None` slots are free.
+    slots: Vec<Option<E>>,
+    free_slots: Vec<u32>,
+    /// One liveness bit per issued sequence number: set while the event
+    /// is pending, cleared on pop/cancel/reschedule.
+    live: Vec<u64>,
+    /// Heap entries whose liveness bit is clear (awaiting lazy removal).
+    dead: usize,
     next_seq: u64,
-    cancelled: std::collections::HashSet<EventId>,
     now: Instant,
     stats: QueueStats,
 }
@@ -79,11 +104,12 @@ struct QueueStats {
 /// queue — and reported in machine-readable run output.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct QueueProfile {
-    /// Events ever scheduled.
+    /// Events ever scheduled (a reschedule counts as a fresh schedule).
     pub scheduled: u64,
     /// Events popped (fired).
     pub popped: u64,
-    /// Events cancelled before firing.
+    /// Events cancelled before firing (a reschedule counts as a cancel
+    /// of the superseded instant).
     pub cancelled: u64,
     /// Maximum number of pending events at any point.
     pub peak_depth: usize,
@@ -146,19 +172,26 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            live: Vec::new(),
+            dead: 0,
             next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
             now: Instant::ZERO,
             stats: QueueStats::default(),
         }
     }
 
     /// Return the queue to its just-constructed state — clock at t = 0,
-    /// no pending events, fresh counters — while keeping the heap's
-    /// allocation. Lets a driver reuse one queue across many runs.
+    /// no pending events, fresh counters — while keeping the heap's,
+    /// slab's and bitmap's allocations. Lets a driver reuse one queue
+    /// across many runs.
     pub fn reset(&mut self) {
         self.heap.clear();
-        self.cancelled.clear();
+        self.slots.clear();
+        self.free_slots.clear();
+        self.live.clear();
+        self.dead = 0;
         self.next_seq = 0;
         self.now = Instant::ZERO;
         self.stats = QueueStats::default();
@@ -183,12 +216,49 @@ impl<E> EventQueue<E> {
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.heap.len() - self.dead
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    #[inline]
+    fn is_live(&self, seq: u64) -> bool {
+        let word = (seq >> 6) as usize;
+        word < self.live.len() && self.live[word] & (1u64 << (seq & 63)) != 0
+    }
+
+    #[inline]
+    fn set_live(&mut self, seq: u64) {
+        let word = (seq >> 6) as usize;
+        if word >= self.live.len() {
+            self.live.resize(word + 1, 0);
+        }
+        self.live[word] |= 1u64 << (seq & 63);
+    }
+
+    #[inline]
+    fn clear_live(&mut self, seq: u64) {
+        let word = (seq >> 6) as usize;
+        if word < self.live.len() {
+            self.live[word] &= !(1u64 << (seq & 63));
+        }
+    }
+
+    #[inline]
+    fn alloc_slot(&mut self, payload: E) -> u32 {
+        match self.free_slots.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(payload);
+                slot
+            }
+            None => {
+                self.slots.push(Some(payload));
+                (self.slots.len() - 1) as u32
+            }
+        }
     }
 
     /// Schedule `payload` to fire at `at`.
@@ -201,62 +271,106 @@ impl<E> EventQueue<E> {
             "scheduling into the past: at={at:?} now={:?}",
             self.now
         );
-        let id = EventId(self.next_seq);
-        self.heap.push(Entry {
-            at,
-            seq: self.next_seq,
-            id,
-            payload,
-        });
+        let seq = self.next_seq;
         self.next_seq += 1;
+        let slot = self.alloc_slot(payload);
+        self.set_live(seq);
+        self.heap.push(Entry { at, seq, slot });
         self.stats.scheduled += 1;
-        let depth = self.heap.len() - self.cancelled.len();
+        let depth = self.heap.len() - self.dead;
         self.stats.peak_depth = self.stats.peak_depth.max(depth);
-        id
+        EventId { seq, slot }
     }
 
-    /// Cancel a previously scheduled event. Cancelling an already-fired or
-    /// unknown id is a no-op. Returns whether the id was pending.
+    /// Cancel a previously scheduled event: clear its liveness bit and
+    /// free its payload slot — O(1), no heap traversal. The heap entry
+    /// is dropped lazily when it surfaces. Cancelling an already-fired
+    /// or unknown id is a no-op. Returns whether the id was pending.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        // Lazy deletion: mark and skip at pop time. Guard against marking
-        // ids that were never issued or have already fired.
-        if id.0 >= self.next_seq {
+        if !self.is_live(id.seq) {
             return false;
         }
-        if self.heap.iter().any(|e| e.id == id) {
-            let newly = self.cancelled.insert(id);
-            if newly {
-                self.stats.cancelled += 1;
-            }
-            newly
-        } else {
-            false
+        self.clear_live(id.seq);
+        self.slots[id.slot as usize] = None;
+        self.free_slots.push(id.slot);
+        self.dead += 1;
+        self.stats.cancelled += 1;
+        true
+    }
+
+    /// Move a pending event to a new instant, keeping its payload — the
+    /// one-operation form of cancel + schedule that timer refreshes
+    /// want. The event is re-sequenced: among events at the new instant
+    /// it fires after those already scheduled there. Returns the
+    /// replacement id, or `None` when `id` already fired or was
+    /// cancelled (the payload is gone; schedule afresh).
+    ///
+    /// Like [`EventQueue::schedule`], rescheduling into the past panics.
+    pub fn reschedule(&mut self, id: EventId, at: Instant) -> Option<EventId> {
+        if !self.is_live(id.seq) {
+            return None;
         }
+        assert!(
+            at >= self.now,
+            "rescheduling into the past: at={at:?} now={:?}",
+            self.now
+        );
+        // The superseded heap entry goes dead in place; the payload slot
+        // transfers to the replacement id untouched.
+        self.clear_live(id.seq);
+        self.dead += 1;
+        self.stats.cancelled += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.set_live(seq);
+        self.heap.push(Entry {
+            at,
+            seq,
+            slot: id.slot,
+        });
+        self.stats.scheduled += 1;
+        Some(EventId { seq, slot: id.slot })
     }
 
     /// Timestamp of the next pending event, if any.
     pub fn peek_time(&mut self) -> Option<Instant> {
-        self.drop_cancelled();
+        self.drop_dead();
         self.heap.peek().map(|e| e.at)
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Instant, E)> {
-        self.drop_cancelled();
+        self.drop_dead();
         let entry = self.heap.pop()?;
         debug_assert!(entry.at >= self.now, "event queue time went backwards");
         self.now = entry.at;
         self.stats.popped += 1;
-        Some((entry.at, entry.payload))
+        self.clear_live(entry.seq);
+        let payload = self.slots[entry.slot as usize]
+            .take()
+            .expect("live entry owns its slot");
+        self.free_slots.push(entry.slot);
+        Some((entry.at, payload))
     }
 
-    fn drop_cancelled(&mut self) {
+    /// Pop the next event only if it fires exactly at `at` — the fused
+    /// peek-then-pop the event loop's same-instant drain wants, touching
+    /// the heap top once.
+    pub fn pop_at(&mut self, at: Instant) -> Option<E> {
+        self.drop_dead();
+        if self.heap.peek().map(|e| e.at) != Some(at) {
+            return None;
+        }
+        self.pop().map(|(_, e)| e)
+    }
+
+    fn drop_dead(&mut self) {
         while let Some(top) = self.heap.peek() {
-            if self.cancelled.remove(&top.id) {
-                self.heap.pop();
-            } else {
+            if self.is_live(top.seq) {
                 break;
             }
+            self.heap.pop();
+            self.dead -= 1;
         }
     }
 }
@@ -416,5 +530,74 @@ mod tests {
             }
         }
         assert_eq!(q.now(), Instant::from_millis(5));
+    }
+
+    #[test]
+    fn reschedule_moves_event_keeping_payload() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Instant::from_millis(5), "timer");
+        q.schedule(Instant::from_millis(2), "other");
+        // Refresh the timer earlier than the other event.
+        let a2 = q.reschedule(a, Instant::from_millis(1)).expect("pending");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap(), (Instant::from_millis(1), "timer"));
+        assert_eq!(q.pop().unwrap(), (Instant::from_millis(2), "other"));
+        assert!(q.is_empty());
+        // The superseded id is dead; so is the replacement after firing.
+        assert!(!q.cancel(a));
+        assert!(!q.cancel(a2));
+        // Accounting: 2 schedules + 1 reschedule (counts as both), 2 pops.
+        let p = q.profile();
+        assert_eq!((p.scheduled, p.popped, p.cancelled), (3, 2, 1));
+    }
+
+    #[test]
+    fn reschedule_later_and_ties() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Instant::from_millis(1), "a");
+        q.schedule(Instant::from_millis(2), "b");
+        // Deferring re-sequences: at the tied instant, "a" now fires
+        // after "b" (it re-entered the queue later).
+        q.reschedule(a, Instant::from_millis(2)).expect("pending");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+    }
+
+    #[test]
+    fn reschedule_dead_ids_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Instant::from_millis(1), "a");
+        assert!(q.cancel(a));
+        assert!(q.reschedule(a, Instant::from_millis(2)).is_none());
+        let b = q.schedule(Instant::from_millis(1), "b");
+        q.pop();
+        assert!(q.reschedule(b, Instant::from_millis(2)).is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_at_only_fires_exact_instant() {
+        let mut q = EventQueue::new();
+        let t = Instant::from_millis(3);
+        q.schedule(t, "x");
+        q.schedule(Instant::from_millis(9), "y");
+        assert_eq!(q.pop_at(Instant::from_millis(1)), None);
+        assert_eq!(q.pop_at(t), Some("x"));
+        assert_eq!(q.pop_at(t), None);
+        assert_eq!(q.pop().unwrap().1, "y");
+    }
+
+    #[test]
+    fn slots_recycle_after_pop_and_cancel() {
+        let mut q = EventQueue::new();
+        for round in 0..10 {
+            let base = Instant::from_millis(round * 10 + 1);
+            let a = q.schedule(base, round);
+            q.schedule(base + Duration::from_millis(1), round + 100);
+            q.cancel(a);
+            assert_eq!(q.pop().unwrap().1, round + 100);
+        }
+        // The slab never grew past the peak of two concurrent events.
+        assert!(q.slots.len() <= 2, "slab len {}", q.slots.len());
     }
 }

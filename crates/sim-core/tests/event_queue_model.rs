@@ -1,0 +1,163 @@
+//! Model-based property test for [`sim_core::EventQueue`].
+//!
+//! The queue's slab/bitmap internals are checked against the dumbest
+//! possible reference: a flat `Vec` of `(at, insertion_seq, value)`
+//! entries where pop scans for the minimum `(at, seq)` pair. Random
+//! interleavings of schedule / pop / cancel / reschedule / peek must
+//! keep both structures in lock-step — lengths, pop order (including
+//! FIFO tie-breaks among simultaneous events), peeked timestamps, and
+//! the final drain order.
+
+use proptest::prelude::*;
+use sim_core::{Duration, EventId, EventQueue, Instant};
+
+/// One pending event in the reference model. `seq` mirrors the queue's
+/// insertion order: it advances on every schedule *and* reschedule (a
+/// rescheduled event re-enters the queue at the back of its instant).
+struct ModelEntry {
+    at: Instant,
+    seq: u64,
+    value: u64,
+    id: EventId,
+}
+
+struct Model {
+    entries: Vec<ModelEntry>,
+    next_seq: u64,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model {
+            entries: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn insert(&mut self, at: Instant, value: u64, id: EventId) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push(ModelEntry { at, seq, value, id });
+    }
+
+    /// Index of the entry a correct queue must pop next: minimum `at`,
+    /// ties broken by insertion order.
+    fn next_index(&self) -> Option<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (e.at, e.seq))
+            .map(|(i, _)| i)
+    }
+
+    fn min_at(&self) -> Option<Instant> {
+        self.entries.iter().map(|e| e.at).min()
+    }
+}
+
+/// Apply one scripted operation to both structures and cross-check.
+fn step(
+    q: &mut EventQueue<u64>,
+    model: &mut Model,
+    next_value: &mut u64,
+    (op, dt, pick): (u8, u8, u16),
+) {
+    let now = q.now();
+    match op % 8 {
+        // Schedule at now + dt. dt is intentionally tiny (0..=255 ns)
+        // so simultaneous events — the FIFO tie-break case — are common.
+        0..=2 => {
+            let at = now + Duration::from_nanos(dt as u64);
+            let value = *next_value;
+            *next_value += 1;
+            let id = q.schedule(at, value);
+            model.insert(at, value, id);
+        }
+        // Pop: both sides must agree on (time, payload) or emptiness.
+        3..=4 => match model.next_index() {
+            Some(i) => {
+                let e = model.entries.remove(i);
+                prop_assert_eq!(q.pop(), Some((e.at, e.value)));
+            }
+            None => {
+                prop_assert_eq!(q.pop(), None);
+                prop_assert!(q.is_empty());
+            }
+        },
+        // Cancel a random pending event; a second cancel is a no-op.
+        5 => {
+            if !model.entries.is_empty() {
+                let e = model.entries.remove(pick as usize % model.entries.len());
+                prop_assert!(q.cancel(e.id));
+                prop_assert!(!q.cancel(e.id));
+            }
+        }
+        // Reschedule a random pending event to now + dt: it keeps its
+        // payload but re-enters the queue at the back of its instant.
+        6 => {
+            if !model.entries.is_empty() {
+                let i = pick as usize % model.entries.len();
+                let at = now + Duration::from_nanos(dt as u64);
+                let old_id = model.entries[i].id;
+                let new_id = q.reschedule(old_id, at);
+                prop_assert!(new_id.is_some(), "pending event must reschedule");
+                let e = &mut model.entries[i];
+                e.at = at;
+                e.seq = model.next_seq;
+                e.id = new_id.unwrap();
+                model.next_seq += 1;
+                // The superseded id is dead.
+                prop_assert!(!q.cancel(old_id));
+            }
+        }
+        // Peek must see the model's minimum timestamp.
+        _ => {
+            prop_assert_eq!(q.peek_time(), model.min_at());
+        }
+    }
+    prop_assert_eq!(q.len(), model.entries.len());
+    prop_assert_eq!(q.is_empty(), model.entries.is_empty());
+}
+
+fn run_script(ops: Vec<(u8, u8, u16)>) {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut model = Model::new();
+    let mut next_value = 0u64;
+    for op in ops {
+        step(&mut q, &mut model, &mut next_value, op);
+    }
+    // Drain both completely: the remaining pop order is the model's
+    // (at, seq) order, FIFO among ties.
+    while let Some(i) = model.next_index() {
+        let e = model.entries.remove(i);
+        assert_eq!(q.pop(), Some((e.at, e.value)));
+    }
+    assert_eq!(q.pop(), None);
+    assert!(q.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn queue_matches_reference_model(
+        ops in proptest::collection::vec(
+            (proptest::num::u8::ANY, proptest::num::u8::ANY, proptest::num::u16::ANY),
+            0..200,
+        ),
+    ) {
+        run_script(ops);
+    }
+
+    #[test]
+    fn queue_matches_reference_model_under_heavy_ties(
+        // dt restricted to {0, 1}: almost everything lands on the same
+        // couple of instants, hammering the FIFO tie-break path.
+        ops in proptest::collection::vec(
+            (proptest::num::u8::ANY, 0u8..2, proptest::num::u16::ANY),
+            0..200,
+        ),
+    ) {
+        run_script(ops);
+    }
+}

@@ -76,6 +76,13 @@ impl Json {
         out
     }
 
+    /// Append the compact rendering of this value to `out` — the
+    /// allocation-free form of [`Json::render`] for callers that reuse
+    /// one buffer across many renderings.
+    pub fn render_into(&self, out: &mut String) {
+        self.write(out, None, 0);
+    }
+
     /// Render as indented JSON text (2 spaces per level).
     pub fn render_pretty(&self) -> String {
         let mut out = String::new();
@@ -139,7 +146,7 @@ fn write_seq(
     out.push(close);
 }
 
-fn write_num(out: &mut String, n: f64) {
+pub(crate) fn write_num(out: &mut String, n: f64) {
     use fmt::Write;
     if !n.is_finite() {
         out.push_str("null");
@@ -150,7 +157,7 @@ fn write_num(out: &mut String, n: f64) {
     }
 }
 
-fn write_str(out: &mut String, s: &str) {
+pub(crate) fn write_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

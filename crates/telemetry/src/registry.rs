@@ -21,6 +21,12 @@ pub struct Registry {
     entries: Vec<(&'static str, f64)>,
 }
 
+/// A pre-resolved slot index into the [`Registry`] that issued it (see
+/// [`Registry::handle`]). Only valid for that registry: indices are
+/// registry-local.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterHandle(usize);
+
 impl Registry {
     /// An empty registry.
     pub fn new() -> Self {
@@ -39,6 +45,31 @@ impl Registry {
     /// Increment a counter by 1.
     pub fn inc(&mut self, name: &'static str) {
         *self.slot(name) += 1.0;
+    }
+
+    /// Resolve `name` once into a [`CounterHandle`] for hot call sites:
+    /// the handle updates its slot by index, skipping the name scan the
+    /// string-keyed methods pay on every call. The entry is created
+    /// (at 0.0) if absent, preserving insertion order.
+    pub fn handle(&mut self, name: &'static str) -> CounterHandle {
+        if let Some(i) = self.entries.iter().position(|(n, _)| *n == name) {
+            CounterHandle(i)
+        } else {
+            self.entries.push((name, 0.0));
+            CounterHandle(self.entries.len() - 1)
+        }
+    }
+
+    /// Increment the counter behind a pre-resolved handle by 1.
+    #[inline]
+    pub fn inc_handle(&mut self, h: CounterHandle) {
+        self.entries[h.0].1 += 1.0;
+    }
+
+    /// Add `delta` to the counter behind a pre-resolved handle.
+    #[inline]
+    pub fn add_handle(&mut self, h: CounterHandle, delta: f64) {
+        self.entries[h.0].1 += delta;
     }
 
     /// Add `delta` to a counter.
@@ -153,6 +184,23 @@ mod tests {
         r.add("naks", 3.0);
         assert_eq!(r.get("naks"), Some(5.0));
         assert_eq!(r.get("absent"), None);
+    }
+
+    #[test]
+    fn handles_update_their_slot() {
+        let mut r = Registry::new();
+        r.inc("first");
+        let h = r.handle("hot");
+        assert_eq!(r.get("hot"), Some(0.0));
+        r.inc_handle(h);
+        r.add_handle(h, 2.5);
+        assert_eq!(r.get("hot"), Some(3.5));
+        // Resolving an existing name yields the same slot; insertion
+        // order is untouched.
+        assert_eq!(r.handle("hot"), h);
+        r.inc("first");
+        let names: Vec<&str> = r.entries().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["first", "hot"]);
     }
 
     #[test]

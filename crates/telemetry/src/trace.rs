@@ -300,6 +300,26 @@ impl TraceRecord {
         Json::Obj(members)
     }
 
+    /// Append this record's JSONL line (no trailing newline) to `out` —
+    /// byte-identical to `self.to_json().render()` but without building
+    /// the intermediate [`Json`] AST (no `String` keys, no value tree):
+    /// the hot serialization path of [`JsonlSink`].
+    pub fn render_into(&self, out: &mut String) {
+        out.push_str("{\"t\":");
+        crate::json::write_num(out, self.t.as_secs_f64());
+        out.push_str(",\"node\":");
+        crate::json::write_str(out, self.node);
+        out.push_str(",\"event\":");
+        crate::json::write_str(out, self.event.kind());
+        for (k, v) in self.event.fields() {
+            out.push(',');
+            crate::json::write_str(out, k);
+            out.push(':');
+            v.render_into(out);
+        }
+        out.push('}');
+    }
+
     /// Rebuild a record from the JSON object produced by
     /// [`TraceRecord::to_json`]. This is the inverse the offline trace
     /// analyzer relies on: `t` survives the f64 round trip exactly
@@ -475,6 +495,16 @@ pub trait TraceSink {
     /// degrade to dropping records and report via [`TraceSink::dropped`].
     fn record(&mut self, rec: &TraceRecord);
 
+    /// Accept a batch of records, oldest first. Equivalent to calling
+    /// [`TraceSink::record`] per record, but replayers (the parallel
+    /// runner draining a worker's [`BufferSink`]) pay one virtual
+    /// dispatch per batch instead of one per record.
+    fn record_all(&mut self, recs: &[TraceRecord]) {
+        for rec in recs {
+            self.record(rec);
+        }
+    }
+
     /// Records accepted so far.
     fn len(&self) -> u64;
 
@@ -568,16 +598,35 @@ impl TraceSink for BufferSink {
         self.seen += 1;
     }
 
+    fn record_all(&mut self, recs: &[TraceRecord]) {
+        self.buf.extend_from_slice(recs);
+        self.seen += recs.len() as u64;
+    }
+
     fn len(&self) -> u64 {
         self.seen
     }
 }
 
 /// Streaming sink writing one JSON object per line.
+///
+/// Records are serialized straight into a reusable `String` buffer (no
+/// per-record JSON tree or line allocation) and handed to the writer in
+/// batches. The buffer is drained on [`TraceSink::flush`], when it
+/// exceeds [`JsonlSink::BATCH_BYTES`], on [`JsonlSink::into_inner`],
+/// and on drop — dropping an unflushed sink cannot truncate the file.
+/// Write failures are sticky: the records of a failed batch count as
+/// [`TraceSink::dropped`] and the first error is retained for
+/// [`JsonlSink::error`] (recording itself never panics).
 pub struct JsonlSink<W: Write> {
-    out: W,
+    /// `Some` until `into_inner` steals the writer (drop then no-ops).
+    out: Option<W>,
+    buf: String,
+    /// Records currently serialized in `buf`, not yet handed to `out`.
+    pending: u64,
     written: u64,
     failed: u64,
+    error: Option<io::Error>,
 }
 
 impl JsonlSink<BufWriter<std::fs::File>> {
@@ -590,33 +639,90 @@ impl JsonlSink<BufWriter<std::fs::File>> {
 }
 
 impl<W: Write> JsonlSink<W> {
+    /// Buffered bytes that trigger a write to the underlying writer.
+    pub const BATCH_BYTES: usize = 64 * 1024;
+
     /// Wrap an arbitrary writer.
     pub fn to_writer(out: W) -> Self {
         JsonlSink {
-            out,
+            out: Some(out),
+            buf: String::new(),
+            pending: 0,
             written: 0,
             failed: 0,
+            error: None,
+        }
+    }
+
+    /// The first write error encountered, if any. Buffered records that
+    /// could not be handed to the writer are counted in
+    /// [`TraceSink::dropped`]; this exposes *why*.
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Drain the serialization buffer into the writer and flush it,
+    /// surfacing the first failure (current or sticky from an earlier
+    /// batch) instead of swallowing it.
+    pub fn try_flush(&mut self) -> io::Result<()> {
+        self.write_batch();
+        if let Some(out) = self.out.as_mut() {
+            if let Err(e) = out.flush() {
+                if self.error.is_none() {
+                    self.error = Some(io::Error::new(e.kind(), e.to_string()));
+                }
+                return Err(e);
+            }
+        }
+        match &self.error {
+            Some(e) => Err(io::Error::new(e.kind(), e.to_string())),
+            None => Ok(()),
         }
     }
 
     /// Consume the sink, flushing and returning the writer.
     pub fn into_inner(mut self) -> W {
-        let _ = self.out.flush();
-        self.out
+        self.write_batch();
+        let mut out = self.out.take().expect("writer present until into_inner");
+        let _ = out.flush();
+        out
+    }
+
+    fn write_batch(&mut self) {
+        if self.pending == 0 {
+            self.buf.clear();
+            return;
+        }
+        let res = match self.out.as_mut() {
+            Some(out) => out.write_all(self.buf.as_bytes()),
+            None => Ok(()),
+        };
+        match res {
+            Ok(()) => self.written += self.pending,
+            Err(e) => {
+                self.failed += self.pending;
+                if self.error.is_none() {
+                    self.error = Some(e);
+                }
+            }
+        }
+        self.pending = 0;
+        self.buf.clear();
     }
 }
 
 impl<W: Write> TraceSink for JsonlSink<W> {
     fn record(&mut self, rec: &TraceRecord) {
-        let line = rec.to_json().render();
-        match writeln!(self.out, "{line}") {
-            Ok(()) => self.written += 1,
-            Err(_) => self.failed += 1,
+        rec.render_into(&mut self.buf);
+        self.buf.push('\n');
+        self.pending += 1;
+        if self.buf.len() >= Self::BATCH_BYTES {
+            self.write_batch();
         }
     }
 
     fn len(&self) -> u64 {
-        self.written
+        self.written + self.pending
     }
 
     fn dropped(&self) -> u64 {
@@ -624,7 +730,22 @@ impl<W: Write> TraceSink for JsonlSink<W> {
     }
 
     fn flush(&mut self) {
-        let _ = self.out.flush();
+        self.write_batch();
+        if let Some(out) = self.out.as_mut() {
+            if let Err(e) = out.flush() {
+                if self.error.is_none() {
+                    self.error = Some(e);
+                }
+            }
+        }
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        if self.out.is_some() {
+            self.flush();
+        }
     }
 }
 
@@ -653,6 +774,13 @@ impl TraceSink for FanoutSink {
             sink.borrow_mut().record(rec);
         }
         self.seen += 1;
+    }
+
+    fn record_all(&mut self, recs: &[TraceRecord]) {
+        for sink in &self.sinks {
+            sink.borrow_mut().record_all(recs);
+        }
+        self.seen += recs.len() as u64;
     }
 
     fn len(&self) -> u64 {
@@ -972,6 +1100,145 @@ mod tests {
             let back = parse_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
             assert_eq!(back, original, "{line}");
         }
+    }
+
+    /// A writer that fails every write after the first `ok_writes`.
+    struct FailingWriter {
+        ok_writes: usize,
+        accepted: Vec<u8>,
+    }
+
+    impl Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.ok_writes == 0 {
+                return Err(io::Error::other("disk full"));
+            }
+            self.ok_writes -= 1;
+            self.accepted.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_surfaces_write_errors() {
+        let mut sink = JsonlSink::to_writer(FailingWriter {
+            ok_writes: 0,
+            accepted: Vec::new(),
+        });
+        sink.record(&rec(1, TraceEvent::Nak { seq: 1 }));
+        sink.record(&rec(2, TraceEvent::Nak { seq: 2 }));
+        // Records sit buffered until a batch boundary; the failure
+        // surfaces at flush, counting the lost batch as dropped.
+        assert_eq!(sink.dropped(), 0);
+        let err = sink.try_flush().expect_err("write must fail");
+        assert_eq!(err.to_string(), "disk full");
+        assert_eq!(sink.dropped(), 2);
+        assert_eq!(sink.len(), 0, "failed records are not counted written");
+        assert_eq!(sink.error().expect("sticky error").to_string(), "disk full");
+        // The error stays sticky on subsequent flushes.
+        sink.record(&rec(3, TraceEvent::Nak { seq: 3 }));
+        assert!(sink.try_flush().is_err());
+    }
+
+    #[test]
+    fn jsonl_flushes_on_drop() {
+        let accepted = Rc::new(RefCell::new(Vec::new()));
+
+        struct SharedWriter(Rc<RefCell<Vec<u8>>>);
+        impl Write for SharedWriter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        {
+            let mut sink = JsonlSink::to_writer(SharedWriter(accepted.clone()));
+            sink.record(&rec(1, TraceEvent::LinkFailed));
+            assert!(accepted.borrow().is_empty(), "record is buffered");
+        } // dropped without an explicit flush
+        let text = String::from_utf8(accepted.borrow().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("link_failed"));
+    }
+
+    #[test]
+    fn jsonl_batches_writes() {
+        let mut sink = JsonlSink::to_writer(FailingWriter {
+            ok_writes: usize::MAX,
+            accepted: Vec::new(),
+        });
+        let n = (JsonlSink::<FailingWriter>::BATCH_BYTES / 40) as u64 + 2;
+        for i in 0..n {
+            sink.record(&rec(i, TraceEvent::Nak { seq: i }));
+        }
+        assert_eq!(sink.len(), n);
+        let writer = sink.into_inner();
+        let text = String::from_utf8(writer.accepted).unwrap();
+        assert_eq!(text.lines().count() as u64, n);
+    }
+
+    #[test]
+    fn render_into_matches_ast_rendering() {
+        // The direct serializer must stay byte-identical to the Json-AST
+        // path for every event kind (parse_line and the offline tools
+        // depend on the AST shape; JsonlSink writes the direct form).
+        let events = vec![
+            TraceEvent::IFrameTx {
+                seq: 3,
+                retx: true,
+                len: 1024,
+            },
+            TraceEvent::CheckpointEmitted {
+                index: 7,
+                covered: 41,
+                naks: 2,
+                enforced: true,
+                stop: false,
+            },
+            TraceEvent::EnforcedRecoveryResolved,
+            TraceEvent::BufferWatermark {
+                buffer: "tx",
+                level: 64,
+                rising: true,
+            },
+            TraceEvent::SenderConfig {
+                w_cp_ns: 5_000_000,
+                c_depth: 3,
+                rtt_ns: 26_700_000,
+                cp_timeout_ns: 16_000_000,
+                resolving_ns: 45_210_000,
+                failure_ns: 43_710_000,
+            },
+        ];
+        for (i, event) in events.into_iter().enumerate() {
+            let r = rec(1_234_567_891 + i as u64, event);
+            let mut direct = String::new();
+            r.render_into(&mut direct);
+            assert_eq!(direct, r.to_json().render());
+        }
+    }
+
+    #[test]
+    fn record_all_matches_per_record_dispatch() {
+        let batch: Vec<TraceRecord> = (0..5).map(|i| rec(i, TraceEvent::Nak { seq: i })).collect();
+        let mut buffered = BufferSink::new();
+        buffered.record_all(&batch);
+        assert_eq!(buffered.len(), 5);
+        assert_eq!(buffered.take(), batch);
+
+        let a: SharedSink = Rc::new(RefCell::new(RingSink::new(8)));
+        let mut fan = FanoutSink::new(vec![a.clone()]);
+        fan.record_all(&batch);
+        assert_eq!(fan.len(), 5);
+        assert_eq!(a.borrow().len(), 5);
     }
 
     #[test]

@@ -35,7 +35,9 @@ fn main() {
     println!("lost              : {}", report.lost);
     println!(
         "overflow discards : {}",
-        report.extra("lams.receiver.overflow_discards").unwrap_or(0.0)
+        report
+            .extra("lams.receiver.overflow_discards")
+            .unwrap_or(0.0)
     );
     println!("elapsed           : {:.1} ms", report.elapsed_s() * 1e3);
 

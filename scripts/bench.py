@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Drive the `bench_suite` binary and record the perf trajectory.
+
+Usage:
+    bench.py [--reps N] [--out BENCH_0004.json] [--bin PATH]
+             [--micro-iters N] [--no-build]
+             [--check BASELINE.json] [--tolerance 0.10]
+
+Runs `bench_suite` (building it first unless --no-build) N times
+(default 3), takes per-metric **medians** across the repetitions, and
+writes one `lams-dlc.bench/1` document:
+
+    {
+      "schema": "lams-dlc.bench/1",
+      "reps": N,
+      "quick": true,
+      "micro": [ {"name", "iters", "ops", "wall_secs",
+                  "ns_per_op", "ops_per_sec"} ],
+      "experiments": [ {"id", "runs", "wall_secs", "events_per_sec",
+                        "queue": {...} | null} ],
+      "total": {"runs", "wall_secs", "events_per_sec", "popped"}
+    }
+
+Workloads are deterministic, so counted fields (queue profiles, runs,
+popped) must agree across repetitions — a mismatch fails the driver.
+Only the wall-clock-bearing fields (wall_secs, events_per_sec,
+ns_per_op, ops_per_sec) are medianed.
+
+With --check, compares the fresh quick-all total events/sec against the
+committed baseline document and fails when it regresses by more than
+--tolerance (default 10%). Used by CI as the perf regression gate.
+"""
+
+import argparse
+import json
+import statistics
+import subprocess
+import sys
+from pathlib import Path
+
+SCHEMA = "lams-dlc.bench/1"
+REPO = Path(__file__).resolve().parent.parent
+
+
+def fail(msg):
+    print(f"bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_once(binary, micro_iters):
+    cmd = [str(binary)]
+    if micro_iters is not None:
+        cmd += ["--micro-iters", str(micro_iters)]
+    try:
+        out = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    except FileNotFoundError:
+        fail(f"{binary} not found (build it, or drop --no-build)")
+    except subprocess.CalledProcessError as e:
+        fail(f"{binary} exited {e.returncode}: {e.stderr.strip()}")
+    try:
+        doc = json.loads(out.stdout)
+    except json.JSONDecodeError as e:
+        fail(f"{binary} produced invalid JSON: {e}")
+    if doc.get("schema") != SCHEMA:
+        fail(f"{binary}: schema {doc.get('schema')!r}, want {SCHEMA!r}")
+    return doc
+
+
+def median_micro(reps):
+    """Median the timing fields of each micro kernel across reps."""
+    merged = []
+    for i, first in enumerate(reps[0]["micro"]):
+        rows = [r["micro"][i] for r in reps]
+        names = {row["name"] for row in rows}
+        if names != {first["name"]}:
+            fail(f"micro kernel order differs across reps: {names}")
+        merged.append({
+            "name": first["name"],
+            "iters": first["iters"],
+            "ops": first["ops"],
+            "wall_secs": statistics.median(row["wall_secs"] for row in rows),
+            "ns_per_op": statistics.median(row["ns_per_op"] for row in rows),
+            "ops_per_sec": statistics.median(row["ops_per_sec"] for row in rows),
+        })
+    return merged
+
+
+def median_experiments(reps):
+    """Median wall/events-per-sec per experiment; counted fields must be
+    identical across reps (the workloads are deterministic)."""
+    merged = []
+    for i, first in enumerate(reps[0]["experiments"]):
+        rows = [r["experiments"][i] for r in reps]
+        if {row["id"] for row in rows} != {first["id"]}:
+            fail("experiment order differs across reps")
+        for row in rows:
+            if row["queue"] != first["queue"] or row["runs"] != first["runs"]:
+                fail(f"{first['id']}: counted fields differ across reps — "
+                     f"the workload is not deterministic")
+        entry = {
+            "id": first["id"],
+            "runs": first["runs"],
+            "wall_secs": statistics.median(row["wall_secs"] for row in rows),
+            "events_per_sec": None,
+            "queue": first["queue"],
+        }
+        if first["queue"] is not None:
+            entry["events_per_sec"] = statistics.median(
+                row["events_per_sec"] for row in rows)
+        merged.append(entry)
+    return merged
+
+
+def median_total(reps):
+    totals = [r["total"] for r in reps]
+    first = totals[0]
+    for t in totals:
+        if t["popped"] != first["popped"] or t["runs"] != first["runs"]:
+            fail("quick-all totals differ across reps — the workload is "
+                 "not deterministic")
+    return {
+        "runs": first["runs"],
+        "wall_secs": statistics.median(t["wall_secs"] for t in totals),
+        "events_per_sec": statistics.median(
+            t["events_per_sec"] for t in totals),
+        "popped": first["popped"],
+    }
+
+
+def check_regression(doc, baseline_path, tolerance):
+    try:
+        with open(baseline_path) as f:
+            base = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{baseline_path}: {e}")
+    if base.get("schema") != SCHEMA:
+        fail(f"{baseline_path}: schema {base.get('schema')!r}, want {SCHEMA!r}")
+    want = base["total"]["events_per_sec"]
+    got = doc["total"]["events_per_sec"]
+    if want <= 0:
+        fail(f"{baseline_path}: baseline events_per_sec is {want}")
+    ratio = got / want
+    verdict = (f"quick-all {got / 1e6:.3f}M events/s vs baseline "
+               f"{want / 1e6:.3f}M ({(ratio - 1) * 100:+.1f}%)")
+    if ratio < 1.0 - tolerance:
+        fail(f"{verdict} — regression exceeds {tolerance * 100:.0f}% gate")
+    print(f"bench: OK: {verdict}")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, add_help=True,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--reps", type=int, default=3)
+    ap.add_argument("--out", default=None,
+                    help="output document (default: print to stdout)")
+    ap.add_argument("--bin", default=str(REPO / "target/release/bench_suite"))
+    ap.add_argument("--micro-iters", type=int, default=None)
+    ap.add_argument("--no-build", action="store_true")
+    ap.add_argument("--check", metavar="BASELINE.json", default=None)
+    ap.add_argument("--tolerance", type=float, default=0.10)
+    args = ap.parse_args()
+    if args.reps < 1:
+        fail("--reps must be >= 1")
+
+    if not args.no_build:
+        r = subprocess.run(
+            ["cargo", "build", "--release", "-p", "bench"], cwd=REPO)
+        if r.returncode != 0:
+            fail("cargo build failed")
+
+    reps = []
+    for i in range(args.reps):
+        doc = run_once(args.bin, args.micro_iters)
+        total = doc["total"]
+        eps = total["events_per_sec"]
+        print(f"bench: rep {i + 1}/{args.reps}: quick-all "
+              f"{eps / 1e6:.3f}M events/s over {total['runs']} run(s)",
+              file=sys.stderr)
+        reps.append(doc)
+
+    merged = {
+        "schema": SCHEMA,
+        "reps": args.reps,
+        "quick": True,
+        "micro": median_micro(reps),
+        "experiments": median_experiments(reps),
+        "total": median_total(reps),
+    }
+
+    rendered = json.dumps(merged, indent=2) + "\n"
+    if args.out:
+        Path(args.out).write_text(rendered)
+        print(f"bench: wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(rendered)
+
+    if args.check:
+        check_regression(merged, args.check, args.tolerance)
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,7 @@
 Usage:
     check_repro.py report.json [report_parallel.json]
                    [--identical FILE_A FILE_B]...
+                   [--bench BENCH.json]...
 
 With one positional argument: validate the `lams-dlc.repro/1` schema
 (top-level fields, per-experiment structure, perf blocks, live-monitor
@@ -15,6 +16,11 @@ is nulled out — the parallel runner must be a pure speed knob.
 
 Each `--identical A B` pair must be byte-identical files; used for the
 `--trace`/`--metrics` JSONL outputs of serial vs parallel runs.
+
+Each `--bench FILE` must be a valid `lams-dlc.bench/1` document (as
+written by `bench_suite` or `scripts/bench.py`): micro-kernel rows with
+positive timings, one entry per experiment id with a well-formed queue
+profile, and a quick-all total that actually popped events.
 """
 
 import json
@@ -95,6 +101,62 @@ def validate(doc, path):
     return doc
 
 
+BENCH_EXPECTED_IDS = [f"e{i}" for i in range(1, 18)]
+
+MICRO_KEYS = ("name", "iters", "ops", "wall_secs", "ns_per_op",
+              "ops_per_sec")
+QUEUE_KEYS = ("scheduled", "popped", "cancelled", "peak_depth",
+              "horizon_s")
+
+
+def validate_bench(doc, path):
+    """The `lams-dlc.bench/1` schema from bench_suite / bench.py."""
+    if doc.get("schema") != "lams-dlc.bench/1":
+        fail(f"{path}: schema is {doc.get('schema')!r}, "
+             f"want 'lams-dlc.bench/1'")
+    micro = doc.get("micro")
+    if not isinstance(micro, list) or not micro:
+        fail(f"{path}: 'micro' must be a non-empty array")
+    names = []
+    for m in micro:
+        for key in MICRO_KEYS:
+            if key not in m:
+                fail(f"{path}: micro kernel missing '{key}': "
+                     f"{m.get('name', '?')}")
+        names.append(m["name"])
+        if m["ops"] < m["iters"] or m["wall_secs"] < 0:
+            fail(f"{path}: micro kernel {m['name']} has nonsensical "
+                 f"ops/wall fields")
+    if len(set(names)) != len(names):
+        fail(f"{path}: duplicate micro kernel names: {names}")
+    exps = doc.get("experiments")
+    if not isinstance(exps, list) or not exps:
+        fail(f"{path}: 'experiments' must be a non-empty array")
+    ids = [e.get("id") for e in exps]
+    if ids != BENCH_EXPECTED_IDS:
+        fail(f"{path}: experiment ids {ids} != {BENCH_EXPECTED_IDS}")
+    for e in exps:
+        for key in ("runs", "wall_secs", "events_per_sec", "queue"):
+            if key not in e:
+                fail(f"{path}: {e['id']} missing '{key}'")
+        q = e["queue"]
+        if q is None:
+            continue  # analysis-only experiment, no simulations
+        for key in QUEUE_KEYS:
+            if key not in q:
+                fail(f"{path}: {e['id']} queue profile missing '{key}'")
+        if q["popped"] <= 0 or e["events_per_sec"] <= 0:
+            fail(f"{path}: {e['id']} ran simulations but popped nothing")
+    total = doc.get("total")
+    if not isinstance(total, dict):
+        fail(f"{path}: missing 'total' block")
+    for key in ("runs", "wall_secs", "events_per_sec", "popped"):
+        if key not in total:
+            fail(f"{path}: total block missing '{key}'")
+    if total["popped"] <= 0 or total["events_per_sec"] <= 0:
+        fail(f"{path}: quick-all total popped no events")
+
+
 def strip_perf(node):
     if isinstance(node, dict):
         return {k: (None if k == "perf" else strip_perf(v))
@@ -116,7 +178,7 @@ def check_identical(a, b):
 
 def main():
     args = sys.argv[1:]
-    positional, pairs = [], []
+    positional, pairs, benches = [], [], []
     i = 0
     while i < len(args):
         if args[i] == "--identical":
@@ -125,25 +187,36 @@ def main():
                 sys.exit(2)
             pairs.append((args[i + 1], args[i + 2]))
             i += 3
+        elif args[i] == "--bench":
+            if len(args) - i < 2:
+                print(__doc__, file=sys.stderr)
+                sys.exit(2)
+            benches.append(args[i + 1])
+            i += 2
         else:
             positional.append(args[i])
             i += 1
-    if len(positional) not in (1, 2):
+    if len(positional) not in (1, 2) and not (benches and not positional):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    a = validate(load(positional[0]), positional[0])
-    if len(positional) == 2:
-        b = validate(load(positional[1]), positional[1])
-        if strip_perf(a) != strip_perf(b):
-            fail("reports differ beyond perf blocks: the parallel runner "
-                 "changed simulation results")
+    checks = []
+    if positional:
+        a = validate(load(positional[0]), positional[0])
+        checks.append("schema valid")
+        if len(positional) == 2:
+            b = validate(load(positional[1]), positional[1])
+            if strip_perf(a) != strip_perf(b):
+                fail("reports differ beyond perf blocks: the parallel runner "
+                     "changed simulation results")
+            checks.append("worker counts agree")
     for pa, pb in pairs:
         check_identical(pa, pb)
-    checks = ["schema valid"]
-    if len(positional) == 2:
-        checks.append("worker counts agree")
     if pairs:
         checks.append(f"{len(pairs)} stream pair(s) identical")
+    for path in benches:
+        validate_bench(load(path), path)
+    if benches:
+        checks.append(f"{len(benches)} bench document(s) valid")
     print(f"check_repro: OK ({', '.join(checks)})")
 
 

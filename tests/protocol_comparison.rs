@@ -85,7 +85,10 @@ fn sr_receiver_buffers_up_to_window_lams_does_not_hold() {
     // the window); LAMS's receiving occupancy is processing-only.
     let c = cfg(10_000, 1e-5);
     let sr = run_sr(&c);
-    let peak = sr.rx_extras.get("hdlc.sr_receiver.peak_reseq_buffer").unwrap();
+    let peak = sr
+        .rx_extras
+        .get("hdlc.sr_receiver.peak_reseq_buffer")
+        .unwrap();
     assert!(peak > 10.0, "SR resequencing buffer should fill: {peak}");
     let lams = run_lams(&c);
     let lams_rx_peak = lams.rx_buffer.max_value().unwrap_or(0.0);
