@@ -55,6 +55,29 @@ pub fn p_r_posack_piggyback(p_f: f64) -> f64 {
     2.0 * p_f - p_f * p_f
 }
 
+/// The resolving period (§3.2): the worst-case time from a frame's
+/// transmission until the sender can conclude it is unaccounted for,
+///
+/// ```text
+/// T_resolve = R + W_cp/2 + C_depth·W_cp
+/// ```
+///
+/// — one round trip, a half checkpoint interval of phase uncertainty,
+/// and the full cumulation window the NAK may ride through. Seconds.
+/// This is the analytic bound the latency-attribution layer checks
+/// every observed resolution time against.
+pub fn resolving_period(p: &LinkParams) -> f64 {
+    resolving_period_raw(p.r, p.i_cp, p.c_depth)
+}
+
+/// [`resolving_period`] from raw parameters: round-trip `r`, checkpoint
+/// interval `i_cp` and cumulation depth `c_depth` (seconds in, seconds
+/// out) — usable when no full [`LinkParams`] is on hand, e.g. when
+/// reconstructing the bound from a trace's `sender_config` record.
+pub fn resolving_period_raw(r: f64, i_cp: f64, c_depth: u32) -> f64 {
+    r + i_cp / 2.0 + c_depth as f64 * i_cp
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +118,20 @@ mod tests {
         let mut p = params();
         p.p_f = 0.5;
         assert!((s_bar_lams(&p) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resolving_period_matches_paper_terms() {
+        let p = params();
+        let want = p.r + p.i_cp / 2.0 + p.c_depth as f64 * p.i_cp;
+        assert!((resolving_period(&p) - want).abs() < 1e-15);
+        assert_eq!(
+            resolving_period(&p),
+            resolving_period_raw(p.r, p.i_cp, p.c_depth)
+        );
+        // Paper defaults: R ≈ 26.7 ms, W_cp = 5 ms, C_depth = 3 → ≈ 44.2 ms.
+        let t = resolving_period(&p);
+        assert!(t > 0.044 && t < 0.0445, "t={t}");
     }
 
     #[test]

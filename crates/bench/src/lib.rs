@@ -199,6 +199,7 @@ pub fn trace_emit_disabled(iters: u64) -> MicroResult {
         for i in 0..iters {
             handle.emit(Instant::from_nanos(i), || telemetry::TraceEvent::Nak {
                 seq: i,
+                cp_index: 0,
             });
         }
         iters
@@ -215,7 +216,10 @@ pub fn trace_emit_jsonl(iters: u64) -> MicroResult {
             sink.record(&telemetry::TraceRecord {
                 t: Instant::from_nanos(i),
                 node: "bench",
-                event: telemetry::TraceEvent::Nak { seq: i },
+                event: telemetry::TraceEvent::Nak {
+                    seq: i,
+                    cp_index: 0,
+                },
             });
         }
         sink.flush();

@@ -26,7 +26,16 @@
 //!                   "retransmissions", "max_tx_outstanding",
 //!                   "audit_findings",
 //!                   "delivery_latency": {"count", "p50_s", "p99_s"}}
-//!                | null }                              // live monitor
+//!                | null,                               // live monitor
+//!       "attribution": {"sdus", "clean", "errored", "incomplete",
+//!                       "audit_failures", "latency_total_ns",
+//!                       "max_nak_repeats",
+//!                       "phases": {<phase>: {"count", "total_ns",
+//!                                            "max_ns"}, ...},
+//!                       "reseq_hold": {"count", "total_ns", "max_ns"},
+//!                       "resolution": {"cycles", "max_ns", "bound_ns",
+//!                                      "violations"}}
+//!                | null }           // causal latency attribution
 //!   ]
 //! }
 //! ```
@@ -101,7 +110,14 @@ fn main() {
     let mut unknown = false;
     for run in &runs {
         match &run.output {
-            Some(out) => print!("{}", out.render()),
+            Some(out) => {
+                print!("{}", out.render());
+                // The latency budget: where delivered SDUs spent their
+                // time, per phase, with the analytic-bound verdict.
+                if let Some(exp) = run.audit.experiment(&run.id) {
+                    print!("{}", runner::attribution_table(&run.id, &exp.attribution));
+                }
+            }
             None => {
                 eprintln!("unknown experiment id: {} (try --list)", run.id);
                 unknown = true;

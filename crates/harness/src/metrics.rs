@@ -244,6 +244,10 @@ pub struct Collector {
     /// Scratch for the resequencer's in-order releases, reused across
     /// deliveries.
     reseq_out: Vec<(lams_dlc::PacketId, bytes::Bytes)>,
+    /// When each SDU entered the resequencer (id-indexed, cleared on
+    /// release); only maintained while tracing, to stamp `ReseqHold`
+    /// records for the latency-attribution layer.
+    reseq_arrival: Vec<Option<Instant>>,
     /// Delay push → delivery.
     pub delay: Summary,
     /// Delay push → in-order release.
@@ -289,6 +293,7 @@ impl Collector {
             delivered_count: 0,
             resequencer: lams_dlc::Resequencer::new(0),
             reseq_out: Vec::new(),
+            reseq_arrival: Vec::new(),
             delay: Summary::new(),
             e2e_delay: Summary::new(),
             e2e_delay_hist: Histogram::new(0.0, 2.0, 400),
@@ -341,6 +346,13 @@ impl Collector {
             // are visible instead of silently under-sampled.
             None => self.counters.inc_handle(self.unmatched),
         }
+        if self.trace.enabled() {
+            let idx = id as usize;
+            if idx >= self.reseq_arrival.len() {
+                self.reseq_arrival.resize(idx + 1, None);
+            }
+            self.reseq_arrival[idx] = Some(now);
+        }
         let mut released = std::mem::take(&mut self.reseq_out);
         released.clear();
         self.resequencer
@@ -353,6 +365,18 @@ impl Collector {
                     self.e2e_delay_hist.record(d);
                 }
                 None => self.counters.inc_handle(self.unmatched),
+            }
+            if self.trace.enabled() {
+                if let Some(slot) = self.reseq_arrival.get_mut(rid.0 as usize) {
+                    if let Some(arrived) = slot.take() {
+                        let held_ns = now.duration_since(arrived).as_nanos();
+                        if held_ns > 0 {
+                            let sdu = rid.0;
+                            self.trace
+                                .emit(now, || TraceEvent::ReseqHold { id: sdu, held_ns });
+                        }
+                    }
+                }
             }
         }
         self.reseq_out = released;

@@ -191,8 +191,12 @@ mod tests {
         telemetry::install_global(ring.clone() as SharedSink);
         with_workers(4, || {
             map((0..10u64).collect(), |i| {
-                telemetry::global_handle("worker")
-                    .emit(Instant::from_nanos(i), || TraceEvent::Nak { seq: i });
+                telemetry::global_handle("worker").emit(Instant::from_nanos(i), || {
+                    TraceEvent::Nak {
+                        seq: i,
+                        cp_index: 0,
+                    }
+                });
             })
         });
         telemetry::uninstall_global();
@@ -200,7 +204,7 @@ mod tests {
             .borrow()
             .records()
             .map(|r| match r.event {
-                TraceEvent::Nak { seq } => seq,
+                TraceEvent::Nak { seq, .. } => seq,
                 _ => unreachable!(),
             })
             .collect();

@@ -241,9 +241,17 @@ pub fn report_json(runs: &[ExperimentRun], quick: bool) -> Json {
                 .experiment(&run.id)
                 .map(|e| e.to_json())
                 .unwrap_or(Json::Null);
+            // Integer-only block, so the offline `trace-tools
+            // attribution` replay reproduces it byte-for-byte.
+            let attribution = run
+                .audit
+                .experiment(&run.id)
+                .map(|e| e.attribution.to_json())
+                .unwrap_or(Json::Null);
             if let Json::Obj(members) = &mut doc {
                 members.push(("perf".into(), perf));
                 members.push(("metrics".into(), metrics));
+                members.push(("attribution".into(), attribution));
             }
             Some(doc)
         })
@@ -253,6 +261,77 @@ pub fn report_json(runs: &[ExperimentRun], quick: bool) -> Json {
         ("quick", Json::from(quick)),
         ("experiments", Json::from(results)),
     ])
+}
+
+/// Render one experiment's latency budget as a human-readable table:
+/// where delivered SDUs spent their time, phase by phase, plus the
+/// resolution-vs-analytic-bound verdict. Empty when the experiment
+/// attributed nothing (e.g. HDLC-only baselines).
+pub fn attribution_table(id: &str, a: &monitor::AttributionAgg) -> String {
+    use std::fmt::Write as _;
+    if a.sdus == 0 && a.incomplete == 0 && a.reseq.count == 0 {
+        return String::new();
+    }
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "latency budget [{id}]: {} SDU(s) ({} clean, {} errored, {} incomplete)",
+        a.sdus, a.clean, a.errored, a.incomplete
+    );
+    let _ = writeln!(
+        s,
+        "  {:<14} {:>7} {:>12} {:>10} {:>10} {:>7}",
+        "phase", "sdus", "total ms", "mean ms", "max ms", "share"
+    );
+    let total = a.latency_total_ns.max(1) as f64;
+    for (name, p) in monitor::PHASE_NAMES.iter().zip(a.phases.iter()) {
+        if p.count == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            s,
+            "  {:<14} {:>7} {:>12.3} {:>10.3} {:>10.3} {:>6.1}%",
+            name,
+            p.count,
+            p.total_ns as f64 / 1e6,
+            p.total_ns as f64 / 1e6 / p.count as f64,
+            p.max_ns as f64 / 1e6,
+            100.0 * p.total_ns as f64 / total,
+        );
+    }
+    if a.reseq.count > 0 {
+        let _ = writeln!(
+            s,
+            "  {:<14} {:>7} {:>12.3} {:>10.3} {:>10.3}   (post-delivery)",
+            "reseq_hold",
+            a.reseq.count,
+            a.reseq.total_ns as f64 / 1e6,
+            a.reseq.total_ns as f64 / 1e6 / a.reseq.count as f64,
+            a.reseq.max_ns as f64 / 1e6,
+        );
+    }
+    if a.max_nak_repeats > 0 {
+        let _ = writeln!(s, "  worst NAK cumulation repeats: {}", a.max_nak_repeats);
+    }
+    if a.res_cycles > 0 {
+        let _ = writeln!(
+            s,
+            "  resolution: {} NAK cycle(s), worst {:.3} ms {} analytic bound {:.3} ms ({} violation(s))",
+            a.res_cycles,
+            a.res_max_ns as f64 / 1e6,
+            if a.res_violations == 0 { "<=" } else { ">" },
+            a.res_bound_ns as f64 / 1e6,
+            a.res_violations,
+        );
+    }
+    if a.audit_failures > 0 {
+        let _ = writeln!(
+            s,
+            "  WARNING: {} SDU(s) failed the phase-sum audit",
+            a.audit_failures
+        );
+    }
+    s
 }
 
 #[cfg(test)]
@@ -349,6 +428,40 @@ mod tests {
             ..CliArgs::default()
         };
         assert!(validate_paths(&cli).is_ok());
+    }
+
+    #[test]
+    fn attribution_table_renders_phases_and_bound() {
+        let mut a = monitor::AttributionAgg::default();
+        assert!(
+            attribution_table("e9", &a).is_empty(),
+            "nothing attributed → no table"
+        );
+        a.sdus = 2;
+        a.clean = 1;
+        a.errored = 1;
+        a.latency_total_ns = 40_000_000;
+        a.phases[0].add(30_000_000);
+        a.phases[6].add(10_000_000);
+        a.res_cycles = 1;
+        a.res_max_ns = 15_000_000;
+        a.res_bound_ns = 44_500_000;
+        let t = attribution_table("e9", &a);
+        assert!(t.contains("latency budget [e9]"), "{t}");
+        assert!(t.contains("first_flight"), "{t}");
+        assert!(t.contains("retx_flight"), "{t}");
+        assert!(!t.contains("nak_wait"), "empty phases are omitted: {t}");
+        assert!(t.contains("<= analytic bound 44.500 ms"), "{t}");
+    }
+
+    #[test]
+    fn report_attribution_block_rides_next_to_metrics() {
+        let runs = run_experiments(&args(&["e1"]), true);
+        let doc = report_json(&runs, true);
+        let exps = doc.get("experiments").and_then(Json::as_arr).expect("arr");
+        let attr = exps[0].get("attribution").expect("attribution key");
+        assert!(attr.get("phases").is_some(), "{attr:?}");
+        assert!(attr.get("resolution").is_some(), "{attr:?}");
     }
 
     #[test]

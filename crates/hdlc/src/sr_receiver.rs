@@ -163,7 +163,11 @@ impl SrReceiver {
                 {
                     self.stats.gaps_inferred += 1;
                     self.stats.srejs_sent += 1;
-                    self.trace.emit(now, || TraceEvent::Nak { seq: missing });
+                    // HDLC has no checkpoints; cp_index 0 marks "none".
+                    self.trace.emit(now, || TraceEvent::Nak {
+                        seq: missing,
+                        cp_index: 0,
+                    });
                     self.pending_tx.push_back(HdlcFrame::Srej { nr: missing });
                 }
             }
@@ -181,7 +185,10 @@ impl SrReceiver {
                 if ns >= self.expected && !self.buffer.contains_key(&ns) {
                     self.srej_sent.insert(ns);
                     self.stats.srejs_sent += 1;
-                    self.trace.emit(now, || TraceEvent::Nak { seq: ns });
+                    self.trace.emit(now, || TraceEvent::Nak {
+                        seq: ns,
+                        cp_index: 0,
+                    });
                     self.pending_tx.push_back(HdlcFrame::Srej { nr: ns });
                 }
             }

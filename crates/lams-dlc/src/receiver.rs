@@ -296,7 +296,12 @@ impl Receiver {
         self.current_errors.insert(seq);
         self.events
             .push_back(ReceiverEvent::ErrorRecorded { seq, arrived });
-        self.trace.emit(now, || TraceEvent::Nak { seq });
+        // The open interval closes into checkpoint `cp_index + 1`: that is
+        // the first checkpoint whose cumulative NAK list carries this error.
+        self.trace.emit(now, || TraceEvent::Nak {
+            seq,
+            cp_index: self.cp_index + 1,
+        });
     }
 
     fn handle_request_nak(&mut self, now: Instant, probe: u64) {

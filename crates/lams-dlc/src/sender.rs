@@ -49,13 +49,21 @@ use telemetry::{Trace, TraceEvent};
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum TxReason {
     New,
-    /// NAK'd by a checkpoint; carries the superseded sequence number.
-    Nak(u64),
+    /// NAK'd by a checkpoint; carries the superseded sequence number and
+    /// the index of the checkpoint that triggered the retransmission.
+    Nak {
+        old: u64,
+        cp: u64,
+    },
     /// Resolving deadline passed with no checkpoint accounting for it.
     ResolveExpired(u64),
     /// Released unsafely by a checkpoint after an index gap; retransmitted
-    /// defensively (see module docs).
-    Suspect(u64),
+    /// defensively (see module docs). Carries the superseded sequence
+    /// number and the gapped checkpoint's index.
+    Suspect {
+        old: u64,
+        cp: u64,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -373,7 +381,7 @@ impl Sender {
         self.next_seq += 1;
         match sdu.reason {
             TxReason::New => self.stats.new_transmissions += 1,
-            TxReason::Nak(old) => {
+            TxReason::Nak { old, cp } => {
                 self.stats.retransmissions += 1;
                 self.events.push_back(SenderEvent::Renumbered {
                     packet_id: sdu.packet_id,
@@ -383,6 +391,11 @@ impl Sender {
                 self.trace.emit(now, || TraceEvent::Renumbered {
                     old_seq: old,
                     new_seq: seq,
+                });
+                self.trace.emit(now, || TraceEvent::RetxCause {
+                    seq,
+                    cause: "nak",
+                    cp_index: cp,
                 });
             }
             TxReason::ResolveExpired(old) => {
@@ -396,13 +409,23 @@ impl Sender {
                     old_seq: old,
                     new_seq: seq,
                 });
+                self.trace.emit(now, || TraceEvent::RetxCause {
+                    seq,
+                    cause: "resolve",
+                    cp_index: 0,
+                });
             }
-            TxReason::Suspect(old) => {
+            TxReason::Suspect { old, cp } => {
                 self.stats.retransmissions += 1;
                 self.stats.suspect_retransmissions += 1;
                 self.trace.emit(now, || TraceEvent::Renumbered {
                     old_seq: old,
                     new_seq: seq,
+                });
+                self.trace.emit(now, || TraceEvent::RetxCause {
+                    seq,
+                    cause: "suspect",
+                    cp_index: cp,
                 });
             }
         }
@@ -515,7 +538,10 @@ impl Sender {
                 self.queue.push_front(QueuedSdu {
                     packet_id: o.packet_id,
                     payload: o.payload,
-                    reason: TxReason::Nak(nak),
+                    reason: TxReason::Nak {
+                        old: nak,
+                        cp: cp.index,
+                    },
                 });
             }
         }
@@ -546,7 +572,10 @@ impl Sender {
                 self.queue.push_front(QueuedSdu {
                     packet_id: o.packet_id,
                     payload: o.payload,
-                    reason: TxReason::Suspect(seq),
+                    reason: TxReason::Suspect {
+                        old: seq,
+                        cp: cp.index,
+                    },
                 });
             } else {
                 self.stats.released += 1;
@@ -556,8 +585,11 @@ impl Sender {
                     seq,
                     held_for_ns: held_ns,
                 });
-                self.trace
-                    .emit(now, || TraceEvent::BufferRelease { seq, held_ns });
+                self.trace.emit(now, || TraceEvent::BufferRelease {
+                    seq,
+                    held_ns,
+                    cp_index: cp.index,
+                });
             }
         }
 

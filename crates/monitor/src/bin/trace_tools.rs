@@ -2,10 +2,11 @@
 //! same auditor/metrics engine the live runs use.
 //!
 //! ```text
-//! trace-tools audit     run.trace.jsonl
-//! trace-tools metrics   run.trace.jsonl --window 50 --out series.jsonl
-//! trace-tools lifecycle run.trace.jsonl --limit 20
-//! trace-tools summary   run.trace.jsonl
+//! trace-tools audit       run.trace.jsonl
+//! trace-tools metrics     run.trace.jsonl --window 50 --out series.jsonl
+//! trace-tools lifecycle   run.trace.jsonl --limit 20
+//! trace-tools summary     run.trace.jsonl
+//! trace-tools attribution run.trace.jsonl
 //! ```
 
 use monitor::{Monitor, MonitorConfig};
@@ -24,11 +25,14 @@ same audit verdicts, windowed metrics, and frame lifecycles the live
 monitor produces.
 
 commands:
-  audit       check the five LAMS-DLC invariants; print findings
-              (exit 1 when any are found)
-  metrics     emit windowed metric series as JSONL
-  lifecycle   emit per-frame lifecycle records as JSONL
-  summary     event-kind counts and per-experiment metric summaries
+  audit        check the five LAMS-DLC invariants; print findings
+               (exit 1 when any are found)
+  metrics      emit windowed metric series as JSONL
+  lifecycle    emit per-frame lifecycle records as JSONL
+  summary      event-kind counts and per-experiment metric summaries
+  attribution  per-experiment latency-attribution blocks, one
+               \"<id>\\t<json>\" line each — byte-identical to the live
+               report's \"attribution\" blocks
 
 options:
   --window <ms>   metric window width in milliseconds (default 100)
@@ -91,7 +95,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let command = command.ok_or("missing command")?;
     if !matches!(
         command.as_str(),
-        "audit" | "metrics" | "lifecycle" | "summary"
+        "audit" | "metrics" | "lifecycle" | "summary" | "attribution"
     ) {
         return Err(format!("unknown command: {command}"));
     }
@@ -215,6 +219,29 @@ fn run(args: &Args) -> Result<ExitCode, String> {
             }
             writeln!(w, "audit findings: {}", report.total_findings).map_err(|e| e.to_string())?;
             w.flush().map_err(|e| e.to_string())?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "attribution" => {
+            let mut w = open_out(&args.out)?;
+            let mut n = 0;
+            for exp in &report.experiments {
+                if args.limit.is_some_and(|l| n >= l) {
+                    break;
+                }
+                let id = if exp.id.is_empty() {
+                    "(unlabeled)"
+                } else {
+                    exp.id
+                };
+                writeln!(w, "{id}\t{}", exp.attribution.to_json().render())
+                    .map_err(|e| format!("write failed: {e}"))?;
+                n += 1;
+            }
+            w.flush().map_err(|e| format!("write failed: {e}"))?;
+            eprintln!(
+                "attribution: {n} experiment(s) from {} record(s)",
+                report.records
+            );
             Ok(ExitCode::SUCCESS)
         }
         _ => unreachable!("validated in parse_args"),

@@ -28,6 +28,15 @@ pub enum Invariant {
     /// The event stream itself is inconsistent (release of an unknown
     /// frame, non-monotone checkpoint indices, ...).
     StreamIntegrity,
+    /// An observed NAK resolution cycle (receiver error record →
+    /// sender retransmission decision, Stop-Go and enforced-recovery
+    /// overlap excluded) exceeded the analytic resolving period
+    /// `R + W_cp/2 + C_depth·W_cp`.
+    ResolutionBound,
+    /// A delivered SDU's latency-attribution phases failed to sum to
+    /// its measured delivery latency (internal audit of the
+    /// attribution layer itself).
+    AttributionSum,
 }
 
 impl Invariant {
@@ -40,6 +49,8 @@ impl Invariant {
             Invariant::ReleaseOnAck => "release_on_ack",
             Invariant::NumberingBound => "numbering_bound",
             Invariant::StreamIntegrity => "stream_integrity",
+            Invariant::ResolutionBound => "resolution_bound",
+            Invariant::AttributionSum => "attribution_sum",
         }
     }
 }

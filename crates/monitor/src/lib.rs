@@ -36,11 +36,13 @@
 
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod audit;
 pub mod finding;
 pub mod lifecycle;
 pub mod series;
 
+pub use attribution::{AttributionAgg, LinkAttribution, Phase, PhaseAgg, PHASE_NAMES};
 pub use audit::{LinkAuditor, LinkTiming};
 pub use finding::{AuditFinding, Findings, Invariant};
 pub use lifecycle::FrameLifecycle;
@@ -49,7 +51,7 @@ pub use series::{LinkSeries, WindowAcc};
 use sim_core::stats::Histogram;
 use sim_core::{Duration, Instant};
 use std::collections::HashMap;
-use telemetry::{Json, TraceEvent, TraceRecord, TraceSink};
+use telemetry::{Json, Registry, TraceEvent, TraceRecord, TraceSink};
 
 /// Which side of a link a node label names.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -116,6 +118,9 @@ pub struct ExperimentMetrics {
     pub max_outstanding: u64,
     /// Audit findings attributed to this experiment's runs.
     pub findings: u64,
+    /// Causal latency attribution: per-phase breakdown of delivery
+    /// latency plus the resolution-bound cross-check.
+    pub attribution: AttributionAgg,
     /// Delivery-latency distribution (first send → clean arrival), s.
     delivery: Histogram,
 }
@@ -131,6 +136,7 @@ impl ExperimentMetrics {
             retransmissions: 0,
             max_outstanding: 0,
             findings: 0,
+            attribution: AttributionAgg::default(),
             // [0, 5 s) in 1 ms bins: LAMS delivery latencies are a few
             // RTTs at worst; the overflow bucket catches the rest.
             delivery: Histogram::new(0.0, 5.0, 5000),
@@ -187,6 +193,8 @@ pub struct MonitorReport {
     pub window_lines: Vec<Json>,
     /// Completed lifecycles (only with `keep_lifecycles`).
     pub lifecycles: Vec<FrameLifecycle>,
+    /// Monitor-side counters (`monitor.attribution.incomplete`, ...).
+    pub counters: Registry,
     /// Trace records observed.
     pub records: u64,
 }
@@ -200,6 +208,7 @@ impl MonitorReport {
             experiments: Vec::new(),
             window_lines: Vec::new(),
             lifecycles: Vec::new(),
+            counters: Registry::new(),
             records: 0,
         }
     }
@@ -211,6 +220,7 @@ impl MonitorReport {
         self.experiments.append(&mut other.experiments);
         self.window_lines.append(&mut other.window_lines);
         self.lifecycles.append(&mut other.lifecycles);
+        self.counters.absorb(&other.counters);
         self.records += other.records;
     }
 
@@ -232,6 +242,12 @@ pub struct Monitor {
     experiment_id: &'static str,
     run_ordinal: u64,
     links: HashMap<&'static str, LinkAuditor>,
+    /// Per-link latency attribution, rebuilt each run next to `links`.
+    attrs: HashMap<&'static str, LinkAttribution>,
+    /// Resequencer holds observed during the current run (collector
+    /// records; the collector node belongs to no link).
+    run_reseq: PhaseAgg,
+    counters: Registry,
     window_lines: Vec<Json>,
     lifecycles: Vec<FrameLifecycle>,
 }
@@ -249,6 +265,9 @@ impl Monitor {
             experiment_id: "",
             run_ordinal: 0,
             links: HashMap::new(),
+            attrs: HashMap::new(),
+            run_reseq: PhaseAgg::default(),
+            counters: Registry::new(),
             window_lines: Vec::new(),
             lifecycles: Vec::new(),
         }
@@ -282,6 +301,8 @@ impl Monitor {
     fn begin_run(&mut self) {
         self.cur_exp = self.experiment_slot(self.experiment_id);
         self.links.clear();
+        self.attrs.clear();
+        self.run_reseq = PhaseAgg::default();
         self.run_base = self.findings.total();
     }
 
@@ -309,11 +330,28 @@ impl Monitor {
                 .extend(la.series.drain_lines(exp.id, run, key));
             self.lifecycles.append(&mut la.lifecycles);
         }
+        let mut akeys: Vec<&'static str> = self.attrs.keys().copied().collect();
+        akeys.sort_unstable();
+        for key in akeys {
+            let at = self.attrs.get_mut(key).expect("key from map");
+            at.on_run_finished();
+            if !at.armed() {
+                continue;
+            }
+            if at.agg.incomplete > 0 {
+                self.counters
+                    .add("monitor.attribution.incomplete", at.agg.incomplete as f64);
+            }
+            self.experiments[self.cur_exp].attribution.absorb(&at.agg);
+        }
         let exp = &mut self.experiments[self.cur_exp];
+        exp.attribution.reseq.absorb(&self.run_reseq);
+        self.run_reseq = PhaseAgg::default();
         exp.runs += 1;
         exp.findings += self.findings.total() - self.run_base;
         self.run_base = self.findings.total();
         self.links.clear();
+        self.attrs.clear();
         self.run_ordinal += 1;
     }
 
@@ -332,6 +370,9 @@ impl Monitor {
             }
             TraceEvent::RunStarted => self.begin_run(),
             TraceEvent::RunFinished { deadline_hit } => self.finish_run(t, deadline_hit),
+            // Resequencer holds come from the collector node, which
+            // belongs to no link; they aggregate at experiment level.
+            TraceEvent::ReseqHold { held_ns, .. } => self.run_reseq.add(held_ns),
             ref event => {
                 let Some((key, side)) = split_node(rec.node) else {
                     return;
@@ -387,7 +428,54 @@ impl Monitor {
                     (Side::Rx, &TraceEvent::CheckpointEmitted { index, .. }) => {
                         la.on_cp_emit(t, rec.node, index, out)
                     }
-                    (Side::Rx, &TraceEvent::Nak { seq }) => la.on_nak(t, seq),
+                    (Side::Rx, &TraceEvent::Nak { seq, .. }) => la.on_nak(t, seq),
+                    _ => {}
+                }
+                // Second pass: the latency-attribution layer consumes
+                // the same record with its own per-link state machine.
+                let at = self
+                    .attrs
+                    .entry(key)
+                    .or_insert_with(|| LinkAttribution::new(exp_id));
+                let out = &mut self.findings;
+                match (side, event) {
+                    (
+                        Side::Tx,
+                        &TraceEvent::SenderConfig {
+                            w_cp_ns,
+                            rtt_ns,
+                            c_depth,
+                            ..
+                        },
+                    ) => at.on_sender_config(rec.node, w_cp_ns, rtt_ns, c_depth),
+                    (Side::Tx, &TraceEvent::IFrameTx { seq, retx, .. }) => at.on_tx(t, seq, retx),
+                    (Side::Tx, &TraceEvent::Renumbered { old_seq, new_seq }) => {
+                        at.on_renumbered(old_seq, new_seq)
+                    }
+                    (
+                        Side::Tx,
+                        &TraceEvent::RetxCause {
+                            seq,
+                            cause,
+                            cp_index,
+                        },
+                    ) => at.on_retx_cause(t, seq, cause, cp_index, out),
+                    (Side::Tx, &TraceEvent::CheckpointReceived { index, .. }) => {
+                        at.on_cp_rx(t, index)
+                    }
+                    (Side::Tx, &TraceEvent::StopGo { stop }) => at.on_stop_go(t, stop),
+                    (Side::Tx, &TraceEvent::EnforcedRecoveryStarted { .. }) => {
+                        at.on_enforced_start(t)
+                    }
+                    (Side::Tx, &TraceEvent::EnforcedRecoveryResolved) => at.on_enforced_end(t),
+                    (Side::Tx, &TraceEvent::BufferRelease { seq, .. }) => at.on_release(seq),
+                    (Side::Rx, &TraceEvent::IFrameRx { seq, clean, .. }) => {
+                        at.on_rx(t, seq, clean, out)
+                    }
+                    (Side::Rx, &TraceEvent::CheckpointEmitted { index, .. }) => {
+                        at.on_cp_emit(t, index)
+                    }
+                    (Side::Rx, &TraceEvent::Nak { seq, cp_index }) => at.on_nak(t, seq, cp_index),
                     _ => {}
                 }
             }
@@ -412,6 +500,7 @@ impl Monitor {
             experiments: std::mem::take(&mut self.experiments),
             window_lines: std::mem::take(&mut self.window_lines),
             lifecycles: std::mem::take(&mut self.lifecycles),
+            counters: std::mem::replace(&mut self.counters, Registry::new()),
             records: std::mem::replace(&mut self.seen, 0),
         }
     }
@@ -502,6 +591,7 @@ mod tests {
                 TraceEvent::BufferRelease {
                     seq: 1,
                     held_ns: 29 * MS,
+                    cp_index: 1,
                 },
             ),
             rec(
@@ -696,7 +786,14 @@ mod tests {
                     len: 1024,
                 },
             ),
-            rec(15 * MS, "rx", TraceEvent::Nak { seq: 1 }),
+            rec(
+                15 * MS,
+                "rx",
+                TraceEvent::Nak {
+                    seq: 1,
+                    cp_index: 1,
+                },
+            ),
             rec(
                 16 * MS,
                 "rx",
@@ -723,6 +820,15 @@ mod tests {
                 TraceEvent::Renumbered {
                     old_seq: 1,
                     new_seq: 2,
+                },
+            ),
+            rec(
+                30 * MS,
+                "tx",
+                TraceEvent::RetxCause {
+                    seq: 2,
+                    cause: "nak",
+                    cp_index: 1,
                 },
             ),
             rec(
@@ -769,6 +875,7 @@ mod tests {
                 TraceEvent::BufferRelease {
                     seq: 2,
                     held_ns: 30 * MS,
+                    cp_index: 2,
                 },
             ),
             rec(
@@ -791,6 +898,99 @@ mod tests {
         // Latency measured from the FIRST transmission of the chain.
         assert!((lc.delivery_latency_s().unwrap() - 0.043).abs() < 1e-9);
         assert_eq!(report.experiments[0].retransmissions, 1);
+        // The attribution layer splits the same 43 ms into phases that
+        // partition it exactly.
+        let a = &report.experiments[0].attribution;
+        assert_eq!((a.sdus, a.clean, a.errored), (1, 0, 1));
+        let p = |ph: Phase| a.phases[ph as usize].total_ns;
+        assert_eq!(p(Phase::FirstFlight), 14 * MS);
+        assert_eq!(p(Phase::NakWait), MS);
+        assert_eq!(p(Phase::ControlFlight), 14 * MS);
+        assert_eq!(p(Phase::RetxFlight), 14 * MS);
+        assert_eq!(a.latency_total_ns, 43 * MS);
+        let total: u64 = a.phases.iter().map(|ph| ph.total_ns).sum();
+        assert_eq!(total, a.latency_total_ns);
+        assert_eq!((a.audit_failures, a.incomplete), (0, 0));
+        // Resolution cycle: error recorded at 15 ms, retx decided at
+        // 30 ms — 15 ms, far under R + W_cp/2 + C_depth·W_cp = 132 ms.
+        assert_eq!((a.res_cycles, a.res_max_ns), (1, 15 * MS));
+        assert_eq!(a.res_violations, 0);
+        assert_eq!(a.res_bound_ns, 132 * MS);
+    }
+
+    #[test]
+    fn clean_run_attribution_is_pure_first_flight() {
+        let mut m = feed(&clean_run());
+        let report = m.take_report();
+        let a = &report.experiments[0].attribution;
+        assert_eq!((a.sdus, a.clean, a.errored, a.incomplete), (1, 1, 0, 0));
+        assert_eq!(a.latency_total_ns, 14 * MS);
+        assert_eq!(a.phases[Phase::FirstFlight as usize].total_ns, 14 * MS);
+        let rest: u64 = a.phases[1..].iter().map(|p| p.total_ns).sum();
+        assert_eq!(rest, 0);
+        assert!(a.res_bound_ns > 0, "bound derives from sender_config");
+        assert_eq!(
+            report.counters.get("monitor.attribution.incomplete"),
+            None,
+            "no partial chains in a clean run"
+        );
+    }
+
+    #[test]
+    fn truncated_run_counts_incomplete_attribution() {
+        // Frame still in flight when the run hits its deadline: the
+        // chain stays partial — counted under the incomplete counter,
+        // never folded into the phase sums, and no finding is raised.
+        let records: Vec<TraceRecord> = clean_run()
+            .into_iter()
+            .filter(|r| {
+                !matches!(
+                    r.event,
+                    TraceEvent::IFrameRx { .. } | TraceEvent::BufferRelease { .. }
+                )
+            })
+            .map(|mut r| {
+                if let TraceEvent::RunFinished { deadline_hit } = &mut r.event {
+                    *deadline_hit = true;
+                }
+                r
+            })
+            .collect();
+        let mut m = feed(&records);
+        assert_eq!(m.total_findings(), 0, "{:?}", m.findings());
+        let report = m.take_report();
+        let a = &report.experiments[0].attribution;
+        assert_eq!((a.sdus, a.incomplete), (0, 1));
+        assert_eq!(a.latency_total_ns, 0);
+        let total: u64 = a.phases.iter().map(|p| p.total_ns).sum();
+        assert_eq!(total, 0, "partial chains must not fold into phase sums");
+        assert_eq!(
+            report.counters.get("monitor.attribution.incomplete"),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn reseq_holds_aggregate_at_experiment_level() {
+        let mut records = clean_run();
+        let end = records.len() - 1;
+        records.insert(
+            end,
+            rec(
+                15 * MS,
+                "collector",
+                TraceEvent::ReseqHold {
+                    id: 1,
+                    held_ns: 3 * MS,
+                },
+            ),
+        );
+        let mut m = feed(&records);
+        let report = m.take_report();
+        let a = &report.experiments[0].attribution;
+        assert_eq!(a.reseq.count, 1);
+        assert_eq!(a.reseq.total_ns, 3 * MS);
+        assert_eq!(a.reseq.max_ns, 3 * MS);
     }
 
     #[test]

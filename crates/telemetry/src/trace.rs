@@ -73,6 +73,9 @@ pub enum TraceEvent {
     Nak {
         /// Wire sequence number being NAK'd.
         seq: u64,
+        /// Index of the first checkpoint that will carry this NAK (the
+        /// current interval closes into that checkpoint).
+        cp_index: u64,
     },
     /// A NAK'd frame was renumbered with a fresh wire sequence number.
     Renumbered {
@@ -80,6 +83,19 @@ pub enum TraceEvent {
         old_seq: u64,
         /// Fresh sequence number assigned for retransmission.
         new_seq: u64,
+    },
+    /// Why a retransmission happened: emitted by the sender immediately
+    /// before the retransmitted copy's `IFrameTx`, carrying the causal
+    /// link the latency-attribution layer keys on.
+    RetxCause {
+        /// Fresh wire sequence number of the retransmitted copy.
+        seq: u64,
+        /// Cause class: `"nak"` (checkpoint NAK), `"resolve"` (resolving
+        /// timer expired), `"suspect"` (unsafe-index-gap defensive copy).
+        cause: &'static str,
+        /// Checkpoint index that triggered the retransmission (0 for
+        /// timer-driven causes, which no checkpoint triggered).
+        cp_index: u64,
     },
     /// The sender entered enforced recovery (sent a Request-NAK probe).
     EnforcedRecoveryStarted {
@@ -156,6 +172,17 @@ pub enum TraceEvent {
         seq: u64,
         /// Time the frame spent buffered, in nanoseconds.
         held_ns: u64,
+        /// Index of the covering checkpoint whose implicit ACK released
+        /// the frame.
+        cp_index: u64,
+    },
+    /// The destination resequencer held a delivered SDU before releasing
+    /// it in order (emitted only when the hold was non-zero).
+    ReseqHold {
+        /// End-to-end SDU id.
+        id: u64,
+        /// Time spent held in the resequencer, in nanoseconds.
+        held_ns: u64,
     },
 }
 
@@ -170,6 +197,7 @@ impl TraceEvent {
             TraceEvent::CheckpointLost { .. } => "checkpoint_lost",
             TraceEvent::Nak { .. } => "nak",
             TraceEvent::Renumbered { .. } => "renumbered",
+            TraceEvent::RetxCause { .. } => "retx_cause",
             TraceEvent::EnforcedRecoveryStarted { .. } => "enforced_recovery_started",
             TraceEvent::EnforcedRecoveryResolved => "enforced_recovery_resolved",
             TraceEvent::StopGo { .. } => "stop_go",
@@ -182,6 +210,7 @@ impl TraceEvent {
             TraceEvent::ExperimentStarted { .. } => "experiment_started",
             TraceEvent::SenderConfig { .. } => "sender_config",
             TraceEvent::BufferRelease { .. } => "buffer_release",
+            TraceEvent::ReseqHold { .. } => "reseq_hold",
         }
     }
 
@@ -225,10 +254,21 @@ impl TraceEvent {
                 ("naks", naks.into()),
             ],
             TraceEvent::CheckpointLost { index } => vec![("index", index.into())],
-            TraceEvent::Nak { seq } => vec![("seq", seq.into())],
+            TraceEvent::Nak { seq, cp_index } => {
+                vec![("seq", seq.into()), ("cp_index", cp_index.into())]
+            }
             TraceEvent::Renumbered { old_seq, new_seq } => {
                 vec![("old_seq", old_seq.into()), ("new_seq", new_seq.into())]
             }
+            TraceEvent::RetxCause {
+                seq,
+                cause,
+                cp_index,
+            } => vec![
+                ("seq", seq.into()),
+                ("cause", cause.into()),
+                ("cp_index", cp_index.into()),
+            ],
             TraceEvent::EnforcedRecoveryStarted { outstanding } => {
                 vec![("outstanding", outstanding.into())]
             }
@@ -268,8 +308,17 @@ impl TraceEvent {
                 ("resolving_ns", resolving_ns.into()),
                 ("failure_ns", failure_ns.into()),
             ],
-            TraceEvent::BufferRelease { seq, held_ns } => {
-                vec![("seq", seq.into()), ("held_ns", held_ns.into())]
+            TraceEvent::BufferRelease {
+                seq,
+                held_ns,
+                cp_index,
+            } => vec![
+                ("seq", seq.into()),
+                ("held_ns", held_ns.into()),
+                ("cp_index", cp_index.into()),
+            ],
+            TraceEvent::ReseqHold { id, held_ns } => {
+                vec![("id", id.into()), ("held_ns", held_ns.into())]
             }
         }
     }
@@ -385,10 +434,18 @@ impl TraceRecord {
             "checkpoint_lost" => TraceEvent::CheckpointLost {
                 index: num("index")?,
             },
-            "nak" => TraceEvent::Nak { seq: num("seq")? },
+            "nak" => TraceEvent::Nak {
+                seq: num("seq")?,
+                cp_index: num("cp_index")?,
+            },
             "renumbered" => TraceEvent::Renumbered {
                 old_seq: num("old_seq")?,
                 new_seq: num("new_seq")?,
+            },
+            "retx_cause" => TraceEvent::RetxCause {
+                seq: num("seq")?,
+                cause: word("cause")?,
+                cp_index: num("cp_index")?,
             },
             "enforced_recovery_started" => TraceEvent::EnforcedRecoveryStarted {
                 outstanding: num("outstanding")?,
@@ -423,6 +480,11 @@ impl TraceRecord {
             },
             "buffer_release" => TraceEvent::BufferRelease {
                 seq: num("seq")?,
+                held_ns: num("held_ns")?,
+                cp_index: num("cp_index")?,
+            },
+            "reseq_hold" => TraceEvent::ReseqHold {
+                id: num("id")?,
                 held_ns: num("held_ns")?,
             },
             other => return Err(format!("unknown event kind {other:?}")),
@@ -464,6 +526,9 @@ const KNOWN_LABELS: &[&str] = &[
     "rr",
     "timeout",
     "req_nak",
+    "nak",
+    "resolve",
+    "suspect",
 ];
 
 thread_local! {
@@ -918,14 +983,20 @@ mod tests {
     fn ring_sink_bounds_and_counts() {
         let mut ring = RingSink::new(3);
         for i in 0..5 {
-            ring.record(&rec(i, TraceEvent::Nak { seq: i }));
+            ring.record(&rec(
+                i,
+                TraceEvent::Nak {
+                    seq: i,
+                    cp_index: 0,
+                },
+            ));
         }
         assert_eq!(ring.len(), 5);
         assert_eq!(ring.dropped(), 2);
         let seqs: Vec<u64> = ring
             .records()
             .map(|r| match r.event {
-                TraceEvent::Nak { seq } => seq,
+                TraceEvent::Nak { seq, .. } => seq,
                 _ => unreachable!(),
             })
             .collect();
@@ -937,14 +1008,20 @@ mod tests {
     fn buffer_sink_drains_in_insertion_order() {
         let mut buf = BufferSink::new();
         for i in 0..100 {
-            buf.record(&rec(i, TraceEvent::Nak { seq: i }));
+            buf.record(&rec(
+                i,
+                TraceEvent::Nak {
+                    seq: i,
+                    cp_index: 0,
+                },
+            ));
         }
         assert_eq!(buf.len(), 100);
         let seqs: Vec<u64> = buf
             .take()
             .into_iter()
             .map(|r| match r.event {
-                TraceEvent::Nak { seq } => seq,
+                TraceEvent::Nak { seq, .. } => seq,
                 _ => unreachable!(),
             })
             .collect();
@@ -1006,7 +1083,13 @@ mod tests {
     fn buffer_sink_takes_in_order() {
         let mut sink = BufferSink::new();
         for i in 0..4 {
-            sink.record(&rec(i, TraceEvent::Nak { seq: i }));
+            sink.record(&rec(
+                i,
+                TraceEvent::Nak {
+                    seq: i,
+                    cp_index: 0,
+                },
+            ));
         }
         assert_eq!(sink.len(), 4);
         let records = sink.take();
@@ -1024,7 +1107,13 @@ mod tests {
         let a: SharedSink = Rc::new(RefCell::new(RingSink::new(8)));
         let b: SharedSink = Rc::new(RefCell::new(BufferSink::new()));
         let mut fan = FanoutSink::new(vec![a.clone(), b.clone()]);
-        fan.record(&rec(1, TraceEvent::Nak { seq: 7 }));
+        fan.record(&rec(
+            1,
+            TraceEvent::Nak {
+                seq: 7,
+                cp_index: 2,
+            },
+        ));
         fan.record(&rec(2, TraceEvent::LinkFailed));
         assert_eq!(fan.len(), 2);
         assert_eq!(a.borrow().len(), 2);
@@ -1058,10 +1147,18 @@ mod tests {
                 naks: 2,
             },
             TraceEvent::CheckpointLost { index: 8 },
-            TraceEvent::Nak { seq: 9 },
+            TraceEvent::Nak {
+                seq: 9,
+                cp_index: 4,
+            },
             TraceEvent::Renumbered {
                 old_seq: 9,
                 new_seq: 33,
+            },
+            TraceEvent::RetxCause {
+                seq: 33,
+                cause: "nak",
+                cp_index: 4,
             },
             TraceEvent::EnforcedRecoveryStarted { outstanding: 4 },
             TraceEvent::EnforcedRecoveryResolved,
@@ -1091,6 +1188,11 @@ mod tests {
             TraceEvent::BufferRelease {
                 seq: 12,
                 held_ns: 31_337,
+                cp_index: 5,
+            },
+            TraceEvent::ReseqHold {
+                id: 40,
+                held_ns: 2_500_000,
             },
         ];
         for (i, event) in events.into_iter().enumerate() {
@@ -1129,8 +1231,20 @@ mod tests {
             ok_writes: 0,
             accepted: Vec::new(),
         });
-        sink.record(&rec(1, TraceEvent::Nak { seq: 1 }));
-        sink.record(&rec(2, TraceEvent::Nak { seq: 2 }));
+        sink.record(&rec(
+            1,
+            TraceEvent::Nak {
+                seq: 1,
+                cp_index: 0,
+            },
+        ));
+        sink.record(&rec(
+            2,
+            TraceEvent::Nak {
+                seq: 2,
+                cp_index: 0,
+            },
+        ));
         // Records sit buffered until a batch boundary; the failure
         // surfaces at flush, counting the lost batch as dropped.
         assert_eq!(sink.dropped(), 0);
@@ -1140,7 +1254,13 @@ mod tests {
         assert_eq!(sink.len(), 0, "failed records are not counted written");
         assert_eq!(sink.error().expect("sticky error").to_string(), "disk full");
         // The error stays sticky on subsequent flushes.
-        sink.record(&rec(3, TraceEvent::Nak { seq: 3 }));
+        sink.record(&rec(
+            3,
+            TraceEvent::Nak {
+                seq: 3,
+                cp_index: 0,
+            },
+        ));
         assert!(sink.try_flush().is_err());
     }
 
@@ -1177,7 +1297,13 @@ mod tests {
         });
         let n = (JsonlSink::<FailingWriter>::BATCH_BYTES / 40) as u64 + 2;
         for i in 0..n {
-            sink.record(&rec(i, TraceEvent::Nak { seq: i }));
+            sink.record(&rec(
+                i,
+                TraceEvent::Nak {
+                    seq: i,
+                    cp_index: 0,
+                },
+            ));
         }
         assert_eq!(sink.len(), n);
         let writer = sink.into_inner();
@@ -1204,6 +1330,24 @@ mod tests {
                 stop: false,
             },
             TraceEvent::EnforcedRecoveryResolved,
+            TraceEvent::Nak {
+                seq: 9,
+                cp_index: 3,
+            },
+            TraceEvent::RetxCause {
+                seq: 21,
+                cause: "resolve",
+                cp_index: 0,
+            },
+            TraceEvent::BufferRelease {
+                seq: 12,
+                held_ns: 31_337,
+                cp_index: 5,
+            },
+            TraceEvent::ReseqHold {
+                id: 40,
+                held_ns: 2_500_000,
+            },
             TraceEvent::BufferWatermark {
                 buffer: "tx",
                 level: 64,
@@ -1228,7 +1372,17 @@ mod tests {
 
     #[test]
     fn record_all_matches_per_record_dispatch() {
-        let batch: Vec<TraceRecord> = (0..5).map(|i| rec(i, TraceEvent::Nak { seq: i })).collect();
+        let batch: Vec<TraceRecord> = (0..5)
+            .map(|i| {
+                rec(
+                    i,
+                    TraceEvent::Nak {
+                        seq: i,
+                        cp_index: 0,
+                    },
+                )
+            })
+            .collect();
         let mut buffered = BufferSink::new();
         buffered.record_all(&batch);
         assert_eq!(buffered.len(), 5);

@@ -5,6 +5,7 @@ Usage:
     bench.py [--reps N] [--out BENCH_0004.json] [--bin PATH]
              [--micro-iters N] [--no-build]
              [--check BASELINE.json] [--tolerance 0.10]
+    bench.py --trajectory [--json]
 
 Runs `bench_suite` (building it first unless --no-build) N times
 (default 3), takes per-metric **medians** across the repetitions, and
@@ -29,6 +30,12 @@ ns_per_op, ops_per_sec) are medianed.
 With --check, compares the fresh quick-all total events/sec against the
 committed baseline document and fails when it regresses by more than
 --tolerance (default 10%). Used by CI as the perf regression gate.
+
+With --trajectory, skips benchmarking entirely: reads every committed
+BENCH_*.json in the repo root (one per PR that recorded a baseline,
+numbered BENCH_0004.json, BENCH_0005.json, ...) and prints the
+events-per-second trajectory across PRs as a table — or as JSON with
+--json — so perf drift is visible at a glance.
 """
 
 import argparse
@@ -147,6 +154,55 @@ def check_regression(doc, baseline_path, tolerance):
     print(f"bench: OK: {verdict}")
 
 
+def load_trajectory(root):
+    """Read every committed BENCH_*.json in PR-number order."""
+    docs = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"{path.name}: {e}")
+        if doc.get("schema") != SCHEMA:
+            fail(f"{path.name}: schema {doc.get('schema')!r}, want {SCHEMA!r}")
+        docs.append((path.name, doc))
+    if not docs:
+        fail(f"no BENCH_*.json documents under {root}")
+    return docs
+
+
+def print_trajectory(docs, as_json):
+    """Per-PR events/s trajectory table (or JSON) over the committed
+    baselines, with the delta against the previous baseline."""
+    rows = []
+    prev = None
+    for name, doc in docs:
+        total = doc["total"]
+        eps = total["events_per_sec"]
+        delta = None if prev in (None, 0) else (eps / prev - 1.0) * 100.0
+        rows.append({
+            "baseline": name,
+            "runs": total["runs"],
+            "popped": total["popped"],
+            "wall_secs": total["wall_secs"],
+            "events_per_sec": eps,
+            "delta_pct": delta,
+        })
+        prev = eps
+    if as_json:
+        print(json.dumps({"schema": "lams-dlc.bench-trajectory/1",
+                          "trajectory": rows}, indent=2))
+        return
+    print(f"{'baseline':<20} {'runs':>5} {'popped':>12} "
+          f"{'wall s':>8} {'events/s':>12} {'delta':>8}")
+    for row in rows:
+        delta = ("      --" if row["delta_pct"] is None
+                 else f"{row['delta_pct']:+7.1f}%")
+        print(f"{row['baseline']:<20} {row['runs']:>5} {row['popped']:>12} "
+              f"{row['wall_secs']:>8.3f} {row['events_per_sec']:>12.0f} "
+              f"{delta}")
+
+
 def main():
     ap = argparse.ArgumentParser(
         description=__doc__, add_help=True,
@@ -159,7 +215,15 @@ def main():
     ap.add_argument("--no-build", action="store_true")
     ap.add_argument("--check", metavar="BASELINE.json", default=None)
     ap.add_argument("--tolerance", type=float, default=0.10)
+    ap.add_argument("--trajectory", action="store_true",
+                    help="print the events/s trajectory over committed "
+                         "BENCH_*.json baselines and exit (no benchmarking)")
+    ap.add_argument("--json", action="store_true",
+                    help="with --trajectory, emit JSON instead of a table")
     args = ap.parse_args()
+    if args.trajectory:
+        print_trajectory(load_trajectory(REPO), args.json)
+        return
     if args.reps < 1:
         fail("--reps must be >= 1")
 

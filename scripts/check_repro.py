@@ -5,10 +5,13 @@ Usage:
     check_repro.py report.json [report_parallel.json]
                    [--identical FILE_A FILE_B]...
                    [--bench BENCH.json]...
+                   [--attribution OFFLINE.tsv]...
 
 With one positional argument: validate the `lams-dlc.repro/1` schema
 (top-level fields, per-experiment structure, perf blocks, live-monitor
-metrics blocks).
+metrics blocks, and latency-attribution blocks — phases must partition
+the measured latency exactly, with zero phase-sum audit failures and
+zero resolution-bound violations).
 
 With two positional arguments: additionally require the two documents to
 be identical once every `perf` block (the only wall-clock-bearing field)
@@ -21,6 +24,13 @@ Each `--bench FILE` must be a valid `lams-dlc.bench/1` document (as
 written by `bench_suite` or `scripts/bench.py`): micro-kernel rows with
 positive timings, one entry per experiment id with a well-formed queue
 profile, and a quick-all total that actually popped events.
+
+Each `--attribution FILE` is a `trace-tools attribution` output
+(`<id>\\t<json>` lines from replaying the run's --trace file offline):
+every line must be byte-identical to the corresponding experiment's
+`attribution` block in the report (ids compared case-insensitively),
+and every attributed experiment must appear — the offline replay and
+the live monitor must reconstruct the same causal story.
 """
 
 import json
@@ -31,6 +41,18 @@ EXPECTED_IDS = [f"E{i}" for i in range(1, 18)]
 METRICS_KEYS = ("runs", "frames", "delivered", "naks", "retransmissions",
                 "max_tx_outstanding", "audit_findings", "delivery_latency")
 LATENCY_KEYS = ("count", "p50_s", "p99_s")
+
+# The causal latency-attribution block (monitor::AttributionAgg). The
+# eight phases partition each delivered SDU's sender-to-release latency,
+# so their totals must sum exactly to latency_total_ns — in integer
+# nanoseconds, no tolerance.
+ATTR_KEYS = ("sdus", "clean", "errored", "incomplete", "audit_failures",
+             "latency_total_ns", "max_nak_repeats", "phases", "reseq_hold",
+             "resolution")
+PHASE_NAMES = ("first_flight", "nak_wait", "nak_loss", "control_flight",
+               "stop_go", "retx_wait", "retx_flight", "enforced")
+PHASE_AGG_KEYS = ("count", "total_ns", "max_ns")
+RESOLUTION_KEYS = ("cycles", "max_ns", "bound_ns", "violations")
 
 
 def fail(msg):
@@ -65,6 +87,61 @@ def validate_metrics(metrics, exp_id, path):
         fail(f"{path}: {exp_id} released frames but recorded no latencies")
 
 
+def validate_phase_agg(agg, where, path):
+    for key in PHASE_AGG_KEYS:
+        if not isinstance(agg.get(key), int):
+            fail(f"{path}: {where} field '{key}' must be an integer")
+    if agg["max_ns"] > agg["total_ns"]:
+        fail(f"{path}: {where} max_ns exceeds total_ns")
+    if agg["count"] == 0 and agg["total_ns"] != 0:
+        fail(f"{path}: {where} accumulated time with zero samples")
+
+
+def validate_attribution(attr, exp_id, path):
+    """The latency-attribution block: present for every LAMS experiment,
+    null only when no audited link ran. Phase totals must partition the
+    measured latency exactly, and the protocol's worst resolution cycle
+    must respect the analytic resolving period."""
+    if attr is None:
+        return
+    for key in ATTR_KEYS:
+        if key not in attr:
+            fail(f"{path}: {exp_id} attribution block missing '{key}'")
+    for key in ("sdus", "clean", "errored", "incomplete", "audit_failures",
+                "latency_total_ns", "max_nak_repeats"):
+        if not isinstance(attr[key], int):
+            fail(f"{path}: {exp_id} attribution '{key}' must be an integer")
+    if attr["sdus"] != attr["clean"] + attr["errored"]:
+        fail(f"{path}: {exp_id} attribution sdus != clean + errored")
+    if attr["audit_failures"] != 0:
+        fail(f"{path}: {exp_id} has {attr['audit_failures']} SDU(s) whose "
+             f"phase sums disagree with measured latency")
+    phases = attr["phases"]
+    if tuple(phases) != PHASE_NAMES:
+        fail(f"{path}: {exp_id} attribution phases {tuple(phases)} != "
+             f"{PHASE_NAMES}")
+    for name, agg in phases.items():
+        validate_phase_agg(agg, f"{exp_id} phase '{name}'", path)
+    validate_phase_agg(attr["reseq_hold"], f"{exp_id} reseq_hold", path)
+    total = sum(agg["total_ns"] for agg in phases.values())
+    if total != attr["latency_total_ns"]:
+        fail(f"{path}: {exp_id} phase totals sum to {total} ns but measured "
+             f"latency is {attr['latency_total_ns']} ns — the attribution "
+             f"does not partition the latency")
+    res = attr["resolution"]
+    for key in RESOLUTION_KEYS:
+        if not isinstance(res.get(key), int):
+            fail(f"{path}: {exp_id} resolution field '{key}' must be "
+                 f"an integer")
+    if res["violations"] != 0:
+        fail(f"{path}: {exp_id} has {res['violations']} NAK cycle(s) "
+             f"exceeding the analytic resolving period")
+    if res["cycles"] > 0 and res["max_ns"] > res["bound_ns"]:
+        fail(f"{path}: {exp_id} worst resolution cycle {res['max_ns']} ns "
+             f"exceeds bound {res['bound_ns']} ns yet reported no "
+             f"violations")
+
+
 def validate(doc, path):
     if doc.get("schema") != "lams-dlc.repro/1":
         fail(f"{path}: schema is {doc.get('schema')!r}, want 'lams-dlc.repro/1'")
@@ -83,6 +160,12 @@ def validate(doc, path):
         if "metrics" not in e:
             fail(f"{path}: {e['id']} missing 'metrics' block")
         validate_metrics(e["metrics"], e["id"], path)
+        if "attribution" not in e:
+            fail(f"{path}: {e['id']} missing 'attribution' block")
+        validate_attribution(e["attribution"], e["id"], path)
+        if (e["metrics"] is None) != (e["attribution"] is None):
+            fail(f"{path}: {e['id']} metrics and attribution disagree on "
+                 f"whether an audited link ran")
         if e["metrics"] is not None:
             audited += 1
         perf = e.get("perf")
@@ -166,6 +249,42 @@ def strip_perf(node):
     return node
 
 
+def check_attribution_replay(tsv_path, doc, report_path):
+    """Every `trace-tools attribution` line must be byte-identical to the
+    report's attribution block for that experiment: the offline replay of
+    the trace stream and the live monitor must tell the same story."""
+    # trace-tools labels experiments with the lowercase run ids; the
+    # report uses the paper's uppercase artifact ids.
+    blocks = {e["id"].lower(): e["attribution"]
+              for e in doc["experiments"]
+              if e.get("attribution") is not None}
+    try:
+        with open(tsv_path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(str(e))
+    if not lines:
+        fail(f"{tsv_path}: empty attribution replay")
+    seen = set()
+    for n, line in enumerate(lines, 1):
+        if "\t" not in line:
+            fail(f"{tsv_path}:{n}: not an '<id>\\t<json>' line")
+        exp_id, offline = line.split("\t", 1)
+        key = exp_id.lower()
+        if key not in blocks:
+            fail(f"{tsv_path}:{n}: {exp_id} has no attribution block "
+                 f"in {report_path}")
+        online = json.dumps(blocks[key], separators=(",", ":"))
+        if offline != online:
+            fail(f"{tsv_path}:{n}: offline attribution for {exp_id} is not "
+                 f"byte-identical to the report block\n  offline: "
+                 f"{offline}\n   online: {online}")
+        seen.add(key)
+    missing = sorted(set(blocks) - seen)
+    if missing:
+        fail(f"{tsv_path}: no offline attribution for {', '.join(missing)}")
+
+
 def check_identical(a, b):
     try:
         with open(a, "rb") as fa, open(b, "rb") as fb:
@@ -178,7 +297,7 @@ def check_identical(a, b):
 
 def main():
     args = sys.argv[1:]
-    positional, pairs, benches = [], [], []
+    positional, pairs, benches, replays = [], [], [], []
     i = 0
     while i < len(args):
         if args[i] == "--identical":
@@ -193,10 +312,20 @@ def main():
                 sys.exit(2)
             benches.append(args[i + 1])
             i += 2
+        elif args[i] == "--attribution":
+            if len(args) - i < 2:
+                print(__doc__, file=sys.stderr)
+                sys.exit(2)
+            replays.append(args[i + 1])
+            i += 2
         else:
             positional.append(args[i])
             i += 1
     if len(positional) not in (1, 2) and not (benches and not positional):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    if replays and not positional:
+        # The replay is compared against a report, so one is required.
         print(__doc__, file=sys.stderr)
         sys.exit(2)
     checks = []
@@ -209,6 +338,10 @@ def main():
                 fail("reports differ beyond perf blocks: the parallel runner "
                      "changed simulation results")
             checks.append("worker counts agree")
+        for path in replays:
+            check_attribution_replay(path, a, positional[0])
+        if replays:
+            checks.append(f"{len(replays)} attribution replay(s) match")
     for pa, pb in pairs:
         check_identical(pa, pb)
     if pairs:
