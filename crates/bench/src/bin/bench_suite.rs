@@ -5,6 +5,7 @@
 //! bench_suite --micro-iters 1000   # shrink the micro-kernels (CI smoke)
 //! bench_suite --skip-micro         # experiments only
 //! bench_suite --skip-experiments   # micro-kernels only
+//! bench_suite --skip-profile       # omit the profiled pass
 //! ```
 //!
 //! Prints one `lams-dlc.bench/1` JSON document to stdout:
@@ -18,9 +19,18 @@
 //!   "experiments": [ {"id", "runs", "wall_secs", "events_per_sec",
 //!                     "queue": {"scheduled", "popped", "cancelled",
 //!                               "peak_depth", "horizon_s"}} | perf-less ],
-//!   "total": {"runs", "wall_secs", "events_per_sec", "popped"}
+//!   "total": {"runs", "wall_secs", "events_per_sec", "popped"},
+//!   "profile": {"wall_ns", "counters", "queue_depth", "alloc",
+//!               "spans": [span tree]} | null
 //! }
 //! ```
+//!
+//! The profile block comes from a **separate** pass over the quick
+//! experiments with the span profiler on, after the timed suite: the
+//! events/sec figures above are never measured under profiling
+//! overhead. With the default `alloc-profile` feature this binary runs
+//! under [`profile::alloc::CountingAlloc`], so the block also carries
+//! the pass's allocation event/byte delta.
 //!
 //! One invocation is one repetition; `scripts/bench.py` runs several,
 //! takes medians, and writes the committed `BENCH_*.json` trajectory
@@ -29,8 +39,13 @@
 use sim_core::QueueProfile;
 use telemetry::Json;
 
+#[cfg(feature = "alloc-profile")]
+#[global_allocator]
+static ALLOC: profile::alloc::CountingAlloc = profile::alloc::CountingAlloc;
+
 const USAGE: &str = "\
 usage: bench_suite [--micro-iters N] [--skip-micro] [--skip-experiments]
+                   [--skip-profile]
 ";
 
 const DEFAULT_MICRO_ITERS: u64 = 100_000;
@@ -49,6 +64,7 @@ fn main() {
     let mut micro_iters = DEFAULT_MICRO_ITERS;
     let mut run_micro = true;
     let mut run_experiments = true;
+    let mut run_profile = true;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -66,6 +82,7 @@ fn main() {
             }
             "--skip-micro" => run_micro = false,
             "--skip-experiments" => run_experiments = false,
+            "--skip-profile" => run_profile = false,
             flag => {
                 eprintln!("error: unknown flag: {flag}\n\n{USAGE}");
                 std::process::exit(2);
@@ -120,6 +137,14 @@ fn main() {
         })
         .collect();
 
+    // The profiled pass runs last so its overhead cannot leak into the
+    // timed figures above.
+    let profile_block = if run_profile {
+        bench::run_profiled_suite().to_json()
+    } else {
+        Json::Null
+    };
+
     let doc = Json::obj([
         ("schema", Json::from("lams-dlc.bench/1")),
         ("quick", Json::from(true)),
@@ -134,6 +159,7 @@ fn main() {
                 ("popped", total.popped.into()),
             ]),
         ),
+        ("profile", profile_block),
     ]);
     println!("{}", doc.render_pretty());
 }

@@ -190,6 +190,36 @@ pub fn registry_inc_by_handle(iters: u64) -> MicroResult {
     })
 }
 
+/// Span open/close on a **disabled** [`profile::Prof`] handle — the
+/// cost every instrumented hot path pays when not profiling. Must stay
+/// in the same class as [`trace_emit_disabled`] (one branch).
+pub fn span_disabled(iters: u64) -> MicroResult {
+    time("span_disabled", iters, || {
+        let prof = profile::Prof::disabled();
+        for i in 0..iters {
+            let _g = prof.span("bench.span");
+            std::hint::black_box(i);
+        }
+        iters
+    })
+}
+
+/// Span open/close with a live profiler — the per-span cost a profiled
+/// run pays (clock read, tree walk, refcount round-trip).
+pub fn span_enabled(iters: u64) -> MicroResult {
+    time("span_enabled", iters, || {
+        profile::install();
+        let prof = profile::current();
+        for i in 0..iters {
+            let _g = prof.span("bench.span");
+            std::hint::black_box(i);
+        }
+        let report = profile::take().expect("installed");
+        assert_eq!(report.dropped, 0);
+        iters
+    })
+}
+
 /// Trace emission with **no** sink installed — the disabled fast path
 /// every simulation pays per protocol event.
 pub fn trace_emit_disabled(iters: u64) -> MicroResult {
@@ -235,6 +265,8 @@ pub fn run_micro_suite(iters: u64) -> Vec<MicroResult> {
         queue_hot(iters),
         registry_inc_by_name(iters),
         registry_inc_by_handle(iters),
+        span_disabled(iters),
+        span_enabled(iters),
         trace_emit_disabled(iters),
         trace_emit_jsonl(iters),
     ]
@@ -264,6 +296,36 @@ pub fn run_experiment_suite() -> Vec<ExperimentResult> {
         .iter()
         .filter_map(|id| run_experiment_kernel(id))
         .collect()
+}
+
+/// Run every quick experiment with the span profiler on and fold the
+/// per-experiment self-profiles into one suite-wide breakdown
+/// (call-path-matched tree merge, summed wall clock and counters,
+/// absorbed queue-depth samples, one allocation delta for the pass).
+///
+/// This pass is **separate** from [`run_experiment_suite`]: the timed
+/// suite stays unprofiled so the committed events/sec trajectory is
+/// never perturbed by profiling overhead.
+pub fn run_profiled_suite() -> harness::profile_report::ExperimentProfile {
+    use harness::profile_report::ExperimentProfile;
+    let ids: Vec<String> = harness::experiments::ALL
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let alloc0 = profile::alloc::snapshot();
+    let runs = harness::runner::run_experiments_with(&ids, true, true);
+    let alloc = profile::alloc::snapshot().map(|now| now.since(&alloc0.unwrap_or_default()));
+    let mut agg = ExperimentProfile::default();
+    for run in &runs {
+        let Some(p) = &run.profile else { continue };
+        agg.tree.absorb(&p.tree);
+        agg.wall_ns += p.wall_ns;
+        agg.dropped += p.dropped;
+        agg.truncated += p.truncated;
+        agg.queue_depth.absorb(&p.queue_depth);
+    }
+    agg.alloc = alloc;
+    agg
 }
 
 /// Fold per-experiment perf into the quick-all total: the merged queue
@@ -322,6 +384,47 @@ mod tests {
     #[test]
     fn unknown_experiment_is_none() {
         assert!(run_experiment_kernel("e999").is_none());
+    }
+
+    #[test]
+    fn disabled_span_stays_near_trace_disabled_cost() {
+        // Satellite check for the profiler's disabled fast path: a
+        // disabled span open/close must stay within ~2x of the
+        // trace-emit disabled branch (both are one Option check). A
+        // small absolute floor keeps timer noise at tiny per-op costs
+        // from flaking the ratio.
+        let iters = 2_000_000;
+        // Warm up, then measure; take the best of 3 to shed scheduler
+        // noise in CI.
+        let best = |f: fn(u64) -> MicroResult| {
+            (0..3)
+                .map(|_| f(iters).ns_per_op())
+                .fold(f64::INFINITY, f64::min)
+        };
+        let span = best(span_disabled);
+        let trace = best(trace_emit_disabled);
+        assert!(
+            span <= 2.0 * trace + 2.0,
+            "disabled span {span:.3} ns/op vs disabled trace {trace:.3} ns/op"
+        );
+    }
+
+    #[test]
+    fn profiled_suite_aggregates_across_experiments() {
+        let agg = run_profiled_suite();
+        assert!(agg.wall_ns > 0);
+        assert!(!agg.tree.is_empty());
+        assert_eq!(agg.dropped, 0);
+        // The merged tree keeps call-path identity: one "experiment"
+        // root covering all 17 experiments' runs.
+        let roots: Vec<&str> = agg
+            .tree
+            .roots()
+            .iter()
+            .map(|&r| agg.tree.node(r).name)
+            .collect();
+        assert!(roots.contains(&"experiment"), "{roots:?}");
+        assert!(agg.queue_depth.count > 0, "sample ticks recorded depths");
     }
 
     #[test]

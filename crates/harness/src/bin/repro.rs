@@ -8,6 +8,8 @@
 //! repro --json report.json   # also write machine-readable results
 //! repro --trace run.jsonl    # also write a protocol event trace (JSONL)
 //! repro --metrics m.jsonl    # also write windowed time-series metrics
+//! repro --profile p.json     # self-profile (span trees + table)
+//! repro --profile-folded p.folded  # collapsed stacks for flamegraphs
 //! repro --workers 4          # fan experiments out across 4 threads
 //! ```
 //!
@@ -55,13 +57,26 @@
 //! arrive; any violation is printed to stderr and fails the process
 //! with exit code 1.
 //!
+//! `--profile` turns on the wall-clock span profiler for each
+//! experiment and writes one `lams-dlc.profile/1` document: per
+//! experiment, the call-path span tree (integer-nanosecond totals and
+//! self times), the table-capacity counters, queue-depth samples, and
+//! the allocation delta (null unless the binary installs the counting
+//! allocator — `bench` does, `repro` does not). A human-readable
+//! breakdown is printed after each experiment's tables.
+//! `--profile-folded` writes the same trees as collapsed stacks
+//! (`e1;experiment;sim.run;queue.pop 12345` — self time in ns), ready
+//! for `flamegraph.pl` or any collapsed-stack renderer. Profiling only
+//! reads the wall clock: simulated results are byte-identical with it
+//! on or off.
+//!
 //! Results, the JSON document, the trace stream, and the metric series
 //! are merged in experiment order regardless of `--workers`, so output
 //! at any worker count is byte-identical apart from measured wall-clock
 //! seconds.
 
 use harness::runner::{self, CliArgs};
-use harness::{experiments, parallel};
+use harness::{experiments, parallel, profile_report};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -105,7 +120,7 @@ fn main() {
     } else {
         cli.ids.clone()
     };
-    let runs = runner::run_experiments(&ids, cli.quick);
+    let runs = runner::run_experiments_with(&ids, cli.quick, cli.profiled());
 
     let mut unknown = false;
     for run in &runs {
@@ -116,6 +131,10 @@ fn main() {
                 // time, per phase, with the analytic-bound verdict.
                 if let Some(exp) = run.audit.experiment(&run.id) {
                     print!("{}", runner::attribution_table(&run.id, &exp.attribution));
+                }
+                // Where the CPU nanoseconds went, when profiled.
+                if let Some(p) = &run.profile {
+                    print!("{}", p.table(&run.id));
                 }
             }
             None => {
@@ -164,6 +183,23 @@ fn main() {
     if let Some(path) = &cli.json {
         let doc = runner::report_json(&runs, cli.quick);
         if let Err(e) = std::fs::write(path, doc.render_pretty() + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = &cli.profile {
+        let doc = profile_report::profile_doc(&runs, cli.quick);
+        if let Err(e) = std::fs::write(path, doc.render_pretty() + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = &cli.profile_folded {
+        if let Err(e) = std::fs::write(path, profile_report::folded(&runs)) {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         }

@@ -17,6 +17,8 @@
 //! * [`metrics`] — per-run measurement collection and [`metrics::RunReport`];
 //! * [`parallel`] / [`runner`] — the experiment runner: worker-thread
 //!   fan-out with deterministic merging, CLI parsing, JSON reports;
+//! * [`profile_report`] — rendering for `repro --profile` self-profiles
+//!   (JSON document, human tables, folded flamegraph stacks);
 //! * [`experiments`] — the E1–E17 suite regenerating every table and
 //!   figure of the paper (see DESIGN.md for the index);
 //! * [`report`] — plain-text table/series rendering.
@@ -27,6 +29,7 @@ pub mod metrics;
 pub mod node;
 pub mod parallel;
 pub mod passes;
+pub mod profile_report;
 pub mod relay;
 pub mod report;
 pub mod runner;

@@ -271,6 +271,9 @@ pub struct Collector {
     /// Pre-resolved `harness.collector.unmatched` slot (per-delivery path).
     unmatched: telemetry::CounterHandle,
     trace: Trace,
+    /// Self-profiling handle, resolved once at construction (disabled
+    /// costs one branch per delivery).
+    prof: profile::Prof,
     /// Next power-of-two sender-buffer level that will emit a rising
     /// watermark trace record.
     tx_watermark: usize,
@@ -307,6 +310,7 @@ impl Collector {
             counters,
             unmatched,
             trace: telemetry::global_handle("collector"),
+            prof: profile::current(),
             tx_watermark: TX_WATERMARK_BASE,
         }
     }
@@ -328,6 +332,7 @@ impl Collector {
     /// Record a receiver delivery; runs the destination resequencer for
     /// dedup + in-order accounting.
     pub fn on_deliver(&mut self, now: Instant, id: u64) {
+        let _span = self.prof.span("collector.deliver");
         let word = (id >> 6) as usize;
         if word >= self.delivered.len() {
             self.delivered.resize(word + 1, 0);
@@ -353,6 +358,7 @@ impl Collector {
             }
             self.reseq_arrival[idx] = Some(now);
         }
+        let reseq_span = self.prof.span("collector.reseq");
         let mut released = std::mem::take(&mut self.reseq_out);
         released.clear();
         self.resequencer
@@ -380,6 +386,7 @@ impl Collector {
             }
         }
         self.reseq_out = released;
+        drop(reseq_span);
     }
 
     /// Record a batch of holding-time samples (seconds).

@@ -59,8 +59,20 @@ where
     O: Send,
     F: Fn(I) -> O + Sync,
 {
-    let n_workers = workers().min(items.len());
+    // Self-profiling forces the fan-out inline: span wall-clock times
+    // on concurrent workers would overlap, breaking the tree invariant
+    // that children nest inside their parent (Σ children ≤ parent). A
+    // profiled run keeps its *outer* parallelism — the experiment
+    // runner installs each profiler inside the worker item, where this
+    // thread-local check is false on the orchestrating thread.
+    let prof = profile::current();
+    let n_workers = if prof.enabled() {
+        1
+    } else {
+        workers().min(items.len())
+    };
     if n_workers <= 1 {
+        let _span = prof.into_span("parallel.map");
         return items.into_iter().map(f).collect();
     }
 
@@ -118,6 +130,7 @@ where
 
     // Deterministic merge: replay each item's side channels in item
     // order, exactly as a serial run would have produced them.
+    let _replay_span = profile::span("parallel.replay");
     let caller_sink = telemetry::global_sink();
     results
         .into_iter()

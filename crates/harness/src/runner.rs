@@ -10,6 +10,7 @@
 use crate::experiments::{self, ExperimentOutput};
 use crate::metrics;
 use crate::parallel;
+use crate::profile_report::ExperimentProfile;
 use sim_core::QueueProfile;
 use telemetry::Json;
 
@@ -24,6 +25,7 @@ usage: repro [OPTIONS] [EXPERIMENT_ID...]
   repro --json report.json   # also write machine-readable results
   repro --trace run.jsonl    # also write a protocol event trace (JSONL)
   repro --metrics m.jsonl    # also write windowed time-series metrics (JSONL)
+  repro --profile p.json     # self-profile each experiment (span trees)
   repro --workers 4          # run experiments on 4 worker threads (0 = auto)
 
 options:
@@ -32,7 +34,15 @@ options:
       --json <path>      write the lams-dlc.repro/1 JSON document
       --trace <path>     write a JSONL protocol event trace
       --metrics <path>   write windowed per-link metric series (JSONL)
+      --profile <path>         write the lams-dlc.profile/1 span-tree document
+      --profile-folded <path>  write collapsed stacks for flamegraph tools
       --workers <n>      worker threads for the experiment fan-out (default 1)
+
+Profiling (--profile / --profile-folded) measures wall-clock spans and
+prints a per-experiment breakdown; simulated results are byte-identical
+with profiling on or off. Within a profiled experiment the inner
+simulation fan-out runs serially so span times nest correctly;
+experiments themselves still spread across --workers.
 
 Every run is audited live against the LAMS-DLC protocol invariants;
 violations are printed to stderr and fail the run (exit 1).
@@ -78,10 +88,23 @@ pub struct CliArgs {
     pub trace: Option<String>,
     /// Path for the windowed metrics JSONL, if requested.
     pub metrics: Option<String>,
+    /// Path for the `lams-dlc.profile/1` span-tree document, if
+    /// requested. Either profile flag turns self-profiling on.
+    pub profile: Option<String>,
+    /// Path for the collapsed-stack flamegraph lines, if requested.
+    pub profile_folded: Option<String>,
     /// Worker threads for the experiment fan-out (0 = auto).
     pub workers: usize,
     /// Explicit experiment ids (empty = all).
     pub ids: Vec<String>,
+}
+
+impl CliArgs {
+    /// True when any profile output was requested — turns on
+    /// self-profiling for the run.
+    pub fn profiled(&self) -> bool {
+        self.profile.is_some() || self.profile_folded.is_some()
+    }
 }
 
 /// Parse a `repro` argument list. Unknown flags and flags missing their
@@ -106,6 +129,8 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--json" => cli.json = Some(value("--json", &mut it)?),
             "--trace" => cli.trace = Some(value("--trace", &mut it)?),
             "--metrics" => cli.metrics = Some(value("--metrics", &mut it)?),
+            "--profile" => cli.profile = Some(value("--profile", &mut it)?),
+            "--profile-folded" => cli.profile_folded = Some(value("--profile-folded", &mut it)?),
             "--workers" => {
                 let v = value("--workers", &mut it)?;
                 cli.workers = v
@@ -129,6 +154,8 @@ pub fn validate_paths(cli: &CliArgs) -> Result<(), String> {
         ("--json", &cli.json),
         ("--trace", &cli.trace),
         ("--metrics", &cli.metrics),
+        ("--profile", &cli.profile),
+        ("--profile-folded", &cli.profile_folded),
     ];
     for (flag, path) in targets {
         let Some(path) = path else { continue };
@@ -159,6 +186,8 @@ pub struct ExperimentRun {
     /// The live protocol audit + windowed metrics for this experiment's
     /// simulation runs.
     pub audit: monitor::MonitorReport,
+    /// The wall-clock self-profile, when the run was profiled.
+    pub profile: Option<ExperimentProfile>,
 }
 
 /// The `&'static str` form of a known experiment id (trace node labels
@@ -182,10 +211,32 @@ fn static_id(id: &str) -> Option<&'static str> {
 /// experiment and reports merge in request order, the audit verdicts
 /// and metric lines are identical at any worker count.
 pub fn run_experiments(ids: &[String], quick: bool) -> Vec<ExperimentRun> {
+    run_experiments_with(ids, quick, false)
+}
+
+/// [`run_experiments`] with self-profiling optionally enabled. When
+/// `profiled`, each experiment installs a thread-local span profiler
+/// *before* constructing its monitor (span handles are resolved at
+/// construction), wraps the experiment body in a root `"experiment"`
+/// span, and drains the profiler into [`ExperimentRun::profile`].
+/// Profiling reads only the wall clock, so every simulated output —
+/// fingerprints, audit verdicts, attribution — is byte-identical with
+/// it on or off.
+pub fn run_experiments_with(ids: &[String], quick: bool, profiled: bool) -> Vec<ExperimentRun> {
     use std::cell::RefCell;
     use std::rc::Rc;
-    parallel::map(ids.to_vec(), |id| {
+    parallel::map(ids.to_vec(), move |id| {
         metrics::perf_take(); // clear any carry-over before the experiment
+        let wall = if profiled {
+            profile::install();
+            Some((std::time::Instant::now(), profile::alloc::snapshot()))
+        } else {
+            None
+        };
+        // The tree's root (a no-op guard when unprofiled), held across
+        // monitor construction and report drain so even microsecond
+        // analysis-only experiments meet the span-coverage floor.
+        let root = profile::span("experiment");
         let mon = Rc::new(RefCell::new(monitor::Monitor::new(
             monitor::MonitorConfig::default(),
         )));
@@ -209,11 +260,19 @@ pub fn run_experiments(ids: &[String], quick: bool) -> Vec<ExperimentRun> {
             }
         }
         let audit = mon.borrow_mut().take_report();
+        drop(root);
+        let profile = wall.map(|(t0, alloc0)| {
+            let report = profile::take().unwrap_or_default();
+            let alloc =
+                profile::alloc::snapshot().map(|now| now.since(&alloc0.unwrap_or_default()));
+            ExperimentProfile::from_report(report, t0.elapsed().as_nanos() as u64, alloc)
+        });
         ExperimentRun {
             id,
             perf: metrics::perf_take(),
             output,
             audit,
+            profile,
         }
     })
 }
@@ -248,10 +307,17 @@ pub fn report_json(runs: &[ExperimentRun], quick: bool) -> Json {
                 .experiment(&run.id)
                 .map(|e| e.attribution.to_json())
                 .unwrap_or(Json::Null);
+            // Wall-clock-bearing like perf, so determinism comparisons
+            // strip it the same way (see check_repro.py --identical).
+            let profile = match &run.profile {
+                Some(p) => p.to_json(),
+                None => Json::Null,
+            };
             if let Json::Obj(members) = &mut doc {
                 members.push(("perf".into(), perf));
                 members.push(("metrics".into(), metrics));
                 members.push(("attribution".into(), attribution));
+                members.push(("profile".into(), profile));
             }
             Some(doc)
         })
@@ -382,11 +448,25 @@ mod tests {
     }
 
     #[test]
+    fn parses_profile_flags() {
+        let cli = parse_args(&args(&["--profile", "p.json"])).expect("valid");
+        assert_eq!(cli.profile.as_deref(), Some("p.json"));
+        assert!(cli.profile_folded.is_none());
+        assert!(cli.profiled());
+        let cli = parse_args(&args(&["--profile-folded", "p.folded"])).expect("valid");
+        assert_eq!(cli.profile_folded.as_deref(), Some("p.folded"));
+        assert!(cli.profiled());
+        assert!(!parse_args(&args(&["e1"])).expect("valid").profiled());
+    }
+
+    #[test]
     fn rejects_missing_flag_values() {
         for flags in [
             &["--json"][..],
             &["--trace"],
             &["--metrics"],
+            &["--profile"],
+            &["--profile-folded"],
             &["--workers"],
         ] {
             let err = parse_args(&args(flags)).unwrap_err();
@@ -462,6 +542,35 @@ mod tests {
         let attr = exps[0].get("attribution").expect("attribution key");
         assert!(attr.get("phases").is_some(), "{attr:?}");
         assert!(attr.get("resolution").is_some(), "{attr:?}");
+    }
+
+    #[test]
+    fn profiled_run_records_spans_and_coverage() {
+        let runs = run_experiments_with(&args(&["e1"]), true, true);
+        let p = runs[0].profile.as_ref().expect("profiled");
+        assert!(!p.tree.is_empty(), "spans recorded");
+        assert_eq!(p.dropped, 0, "workspace paths fit the default cap");
+        let roots: Vec<&str> = p
+            .tree
+            .roots()
+            .iter()
+            .map(|&r| p.tree.node(r).name)
+            .collect();
+        assert!(roots.contains(&"experiment"), "{roots:?}");
+        assert!(
+            p.coverage() >= 0.9,
+            "root spans cover ≥90% of the wall clock, got {:.3}",
+            p.coverage()
+        );
+        // The report block rides next to perf; unprofiled runs get null.
+        let doc = report_json(&runs, true);
+        let exp = &doc.get("experiments").and_then(Json::as_arr).expect("arr")[0];
+        assert!(exp.get("profile").and_then(|p| p.get("spans")).is_some());
+        let plain = run_experiments(&args(&["e1"]), true);
+        assert!(plain[0].profile.is_none());
+        let doc = report_json(&plain, true);
+        let exp = &doc.get("experiments").and_then(Json::as_arr).expect("arr")[0];
+        assert_eq!(exp.get("profile"), Some(&Json::Null));
     }
 
     #[test]

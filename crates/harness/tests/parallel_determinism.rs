@@ -1,23 +1,32 @@
 //! The parallel experiment runner must be a pure speed knob: the
 //! `lams-dlc.repro/1` document produced at `--workers N` is byte-identical
-//! to the serial one apart from measured wall-clock (the perf blocks).
+//! to the serial one apart from measured wall-clock (the perf and
+//! profile blocks).
 //!
 //! This is the common-random-numbers guarantee end-to-end: every
 //! simulation derives all randomness from its config's seed, and the
 //! runner merges results, perf accumulators, and trace records in
-//! experiment order regardless of which worker ran what.
+//! experiment order regardless of which worker ran what. Self-profiling
+//! only reads the wall clock, so it rides the same exemption: a
+//! profiled run must produce the same simulated results as an
+//! unprofiled one, at any worker count.
 
 use harness::{parallel, runner};
 use telemetry::Json;
 
-/// Null out every `perf` member (the only fields carrying wall-clock).
+/// The wall-clock-bearing members a determinism comparison must ignore
+/// (mirrors `check_repro.py --identical`'s strip list).
+const WALL_CLOCK_KEYS: &[&str] = &["perf", "profile"];
+
+/// Null out every `perf`/`profile` member (the fields carrying
+/// wall-clock measurements).
 fn strip_perf(json: Json) -> Json {
     match json {
         Json::Obj(members) => Json::Obj(
             members
                 .into_iter()
                 .map(|(k, v)| {
-                    if k == "perf" {
+                    if WALL_CLOCK_KEYS.contains(&k.as_str()) {
                         (k, Json::Null)
                     } else {
                         (k, strip_perf(v))
@@ -30,9 +39,9 @@ fn strip_perf(json: Json) -> Json {
     }
 }
 
-fn report_at(workers: usize, ids: &[String]) -> (Json, Json) {
+fn report_at(workers: usize, ids: &[String], profiled: bool) -> (Json, Json) {
     parallel::set_workers(workers);
-    let runs = runner::run_experiments(ids, true);
+    let runs = runner::run_experiments_with(ids, true, profiled);
     let full = runner::report_json(&runs, true);
     parallel::set_workers(1);
     (strip_perf(full.clone()), full)
@@ -43,8 +52,8 @@ fn worker_count_does_not_change_results() {
     // A cheap, representative subset: a single-flow sweep (e6), an
     // outage sweep (e9), and the relay topology (e13).
     let ids: Vec<String> = ["e6", "e9", "e13"].iter().map(|s| s.to_string()).collect();
-    let (serial, serial_full) = report_at(1, &ids);
-    let (par, _) = report_at(3, &ids);
+    let (serial, serial_full) = report_at(1, &ids, false);
+    let (par, _) = report_at(3, &ids, false);
     assert_eq!(
         serial.render(),
         par.render(),
@@ -56,5 +65,45 @@ fn worker_count_does_not_change_results() {
         serial.render(),
         serial_full.render(),
         "strip_perf found no perf blocks; schema changed?"
+    );
+}
+
+#[test]
+fn profiling_does_not_change_results() {
+    // The same gate a serial-vs-parallel run passes, but for profiling
+    // on vs off: fingerprints, audit verdicts, attribution — everything
+    // but the stripped wall-clock blocks — must be byte-identical.
+    let ids: Vec<String> = ["e6", "e9"].iter().map(|s| s.to_string()).collect();
+    let (plain, _) = report_at(1, &ids, false);
+    let (profiled, profiled_full) = report_at(1, &ids, true);
+    assert_eq!(
+        plain.render(),
+        profiled.render(),
+        "profiling changed simulated results"
+    );
+    // The profiled document genuinely carried a profile block.
+    let exps = profiled_full
+        .get("experiments")
+        .and_then(Json::as_arr)
+        .expect("experiments");
+    assert!(
+        exps.iter()
+            .all(|e| e.get("profile").and_then(|p| p.get("spans")).is_some()),
+        "profiled run reported no span trees"
+    );
+}
+
+#[test]
+fn profiled_run_passes_worker_determinism_gate() {
+    // Profiling forces each experiment's *inner* fan-out serial (span
+    // nesting needs one thread) but the outer experiment fan-out still
+    // parallelizes — and must still merge deterministically.
+    let ids: Vec<String> = ["e6", "e9", "e13"].iter().map(|s| s.to_string()).collect();
+    let (serial, _) = report_at(1, &ids, true);
+    let (par, _) = report_at(3, &ids, true);
+    assert_eq!(
+        serial.render(),
+        par.render(),
+        "profiled parallel run changed results beyond perf/profile blocks"
     );
 }

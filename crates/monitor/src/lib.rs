@@ -250,6 +250,9 @@ pub struct Monitor {
     counters: Registry,
     window_lines: Vec<Json>,
     lifecycles: Vec<FrameLifecycle>,
+    /// Self-profiling handle, resolved at construction (create the
+    /// monitor after `profile::install` to attribute audit time).
+    prof: profile::Prof,
 }
 
 impl Monitor {
@@ -270,6 +273,7 @@ impl Monitor {
             counters: Registry::new(),
             window_lines: Vec::new(),
             lifecycles: Vec::new(),
+            prof: profile::current(),
         }
     }
 
@@ -307,6 +311,7 @@ impl Monitor {
     }
 
     fn finish_run(&mut self, t: Instant, deadline_hit: bool) {
+        let _span = self.prof.span("monitor.rebuild");
         self.cur_exp = self.experiment_slot(self.experiment_id);
         let mut keys: Vec<&'static str> = self.links.keys().copied().collect();
         keys.sort_unstable();
@@ -377,6 +382,7 @@ impl Monitor {
                 let Some((key, side)) = split_node(rec.node) else {
                     return;
                 };
+                let audit_span = self.prof.span("monitor.audit");
                 let (window, keep) = (self.cfg.window, self.cfg.keep_lifecycles);
                 let exp_id = self.experiment_id;
                 let la = self
@@ -431,8 +437,10 @@ impl Monitor {
                     (Side::Rx, &TraceEvent::Nak { seq, .. }) => la.on_nak(t, seq),
                     _ => {}
                 }
+                drop(audit_span);
                 // Second pass: the latency-attribution layer consumes
                 // the same record with its own per-link state machine.
+                let _attr_span = self.prof.span("monitor.attribution");
                 let at = self
                     .attrs
                     .entry(key)

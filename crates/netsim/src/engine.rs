@@ -459,6 +459,12 @@ where
     /// The returned profile covers this run only.
     pub fn run_in(self, q: &mut EventQueue<SimEvent<T::Frame>>) -> Outcome<T, R, C> {
         q.reset();
+        // Self-profiling: resolve this thread's profiler once per run
+        // (disabled = one branch per span) and hand the queue its own
+        // handle so queue operations attribute under the engine spans.
+        let prof = profile::current();
+        q.set_profiler(prof.clone());
+        let _run_span = prof.span("sim.run");
         let timer = RunTimer::start();
         let trace = telemetry::global_handle("channel");
         // Structural run markers: observers (the live auditor, offline
@@ -517,6 +523,7 @@ where
             // Drain every event scheduled for this same instant before
             // pumping: simultaneous SDU arrivals (a batch) must all be
             // in the sending buffer before any transmission decision.
+            let dispatch_span = prof.span("sim.dispatch");
             let mut ev = first_ev;
             loop {
                 match ev {
@@ -556,6 +563,7 @@ where
                         }
                     }
                     SimEvent::Sample => {
+                        prof.sample_queue_depth(q.len() as u64);
                         for s in &samplers {
                             let worst_rx = s
                                 .rxs
@@ -585,18 +593,23 @@ where
                     None => break,
                 }
             }
+            drop(dispatch_span);
 
             // Pump: timers, transmissions, deliveries.
+            let timer_span = prof.span("sim.pump_timers");
             for t in txs.iter_mut() {
                 t.on_timeout(now);
             }
             for r in rxs.iter_mut() {
                 r.on_timeout(now);
             }
+            drop(timer_span);
+            let links_span = prof.span("sim.pump_links");
             for li in 0..channels.len() {
                 // Serve the link's senders in priority order while the
                 // transmitter is idle (re-checking priority after each
                 // frame: a control frame freed mid-pump still wins).
+                let tx_span = prof.span("sim.tx_serve");
                 while channels[li].idle(now) {
                     let mut next = None;
                     for ep in &link_senders[li] {
@@ -632,6 +645,8 @@ where
                         }
                     }
                 }
+                drop(tx_span);
+                let rx_span = prof.span("sim.rx_drain");
                 for r in &drains[li] {
                     while let Some((id, _len)) = rxs[r.0].poll_deliver(now) {
                         match deliveries[r.0] {
@@ -642,7 +657,10 @@ where
                         }
                     }
                 }
+                drop(rx_span);
             }
+            drop(links_span);
+            let collect_span = prof.span("sim.collect");
             for (col, t) in &holdings {
                 holding_buf.clear();
                 txs[t.0].drain_holding(&mut holding_buf);
@@ -656,6 +674,7 @@ where
                 .iter()
                 .all(|s| collectors[s.col.0].delivered_unique() >= s.gen.total())
                 && txs.iter().all(|t| t.buffered() == 0);
+            drop(collect_span);
             if done || txs.iter().any(|t| t.is_failed()) {
                 finished_at = now;
                 break;
@@ -663,6 +682,7 @@ where
 
             // Re-arm the wake-up at the earliest pending protocol
             // instant.
+            let _wake_span = prof.span("sim.wake");
             let mut want: Option<Instant> = None;
             let mut consider = |c: Option<Instant>| {
                 if let Some(t) = c {

@@ -87,6 +87,9 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: Instant,
     stats: QueueStats,
+    /// Wall-clock span handle; disabled (one branch per operation)
+    /// unless a driver opted in via [`EventQueue::set_profiler`].
+    prof: profile::Prof,
 }
 
 /// Lifetime counters maintained by [`EventQueue`]; cheap enough to be
@@ -179,7 +182,17 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: Instant::ZERO,
             stats: QueueStats::default(),
+            prof: profile::Prof::disabled(),
         }
+    }
+
+    /// Attach a self-profiling handle: every queue operation then runs
+    /// under a wall-clock span (`queue.schedule`, `queue.pop`, ...)
+    /// recorded beneath whatever span the caller currently has open.
+    /// The handle survives [`EventQueue::reset`]; pass
+    /// [`profile::Prof::disabled`] to detach.
+    pub fn set_profiler(&mut self, prof: profile::Prof) {
+        self.prof = prof;
     }
 
     /// Return the queue to its just-constructed state — clock at t = 0,
@@ -266,6 +279,7 @@ impl<E> EventQueue<E> {
     /// Scheduling in the past is a logic error and panics: the simulated
     /// clock must never run backwards.
     pub fn schedule(&mut self, at: Instant, payload: E) -> EventId {
+        let _span = self.prof.span("queue.schedule");
         assert!(
             at >= self.now,
             "scheduling into the past: at={at:?} now={:?}",
@@ -287,6 +301,7 @@ impl<E> EventQueue<E> {
     /// is dropped lazily when it surfaces. Cancelling an already-fired
     /// or unknown id is a no-op. Returns whether the id was pending.
     pub fn cancel(&mut self, id: EventId) -> bool {
+        let _span = self.prof.span("queue.cancel");
         if !self.is_live(id.seq) {
             return false;
         }
@@ -307,6 +322,7 @@ impl<E> EventQueue<E> {
     ///
     /// Like [`EventQueue::schedule`], rescheduling into the past panics.
     pub fn reschedule(&mut self, id: EventId, at: Instant) -> Option<EventId> {
+        let _span = self.prof.span("queue.reschedule");
         if !self.is_live(id.seq) {
             return None;
         }
@@ -340,6 +356,7 @@ impl<E> EventQueue<E> {
 
     /// Pop the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Instant, E)> {
+        let _span = self.prof.span("queue.pop");
         self.drop_dead();
         let entry = self.heap.pop()?;
         debug_assert!(entry.at >= self.now, "event queue time went backwards");
@@ -357,6 +374,7 @@ impl<E> EventQueue<E> {
     /// peek-then-pop the event loop's same-instant drain wants, touching
     /// the heap top once.
     pub fn pop_at(&mut self, at: Instant) -> Option<E> {
+        let _span = self.prof.span("queue.pop_at");
         self.drop_dead();
         if self.heap.peek().map(|e| e.at) != Some(at) {
             return None;

@@ -758,6 +758,9 @@ impl<W: Write> JsonlSink<W> {
             self.buf.clear();
             return;
         }
+        // Resolved per batch, not cached: the sink usually outlives the
+        // per-experiment profiler installed around each run.
+        let _span = profile::span("sink.write");
         let res = match self.out.as_mut() {
             Some(out) => out.write_all(self.buf.as_bytes()),
             None => Ok(()),
@@ -778,9 +781,11 @@ impl<W: Write> JsonlSink<W> {
 
 impl<W: Write> TraceSink for JsonlSink<W> {
     fn record(&mut self, rec: &TraceRecord) {
+        let render_span = profile::span("sink.render");
         rec.render_into(&mut self.buf);
         self.buf.push('\n');
         self.pending += 1;
+        drop(render_span);
         if self.buf.len() >= Self::BATCH_BYTES {
             self.write_batch();
         }

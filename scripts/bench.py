@@ -19,13 +19,21 @@ writes one `lams-dlc.bench/1` document:
                   "ns_per_op", "ops_per_sec"} ],
       "experiments": [ {"id", "runs", "wall_secs", "events_per_sec",
                         "queue": {...} | null} ],
-      "total": {"runs", "wall_secs", "events_per_sec", "popped"}
+      "total": {"runs", "wall_secs", "events_per_sec", "popped"},
+      "profile": {"wall_ns", "counters", "queue_depth", "alloc",
+                  "spans": [...]} | null
     }
 
 Workloads are deterministic, so counted fields (queue profiles, runs,
 popped) must agree across repetitions — a mismatch fails the driver.
 Only the wall-clock-bearing fields (wall_secs, events_per_sec,
 ns_per_op, ops_per_sec) are medianed.
+
+The profile block (bench_suite's separate span-profiled pass over the
+quick experiments, plus its allocation delta) is wall-clock-bearing
+throughout, so it is carried verbatim from the first repetition; later
+repetitions run with --skip-profile. The timed suite itself is never
+profiled, so the events/sec gate is unaffected.
 
 With --check, compares the fresh quick-all total events/sec against the
 committed baseline document and fails when it regresses by more than
@@ -54,10 +62,12 @@ def fail(msg):
     sys.exit(1)
 
 
-def run_once(binary, micro_iters):
+def run_once(binary, micro_iters, skip_profile=False):
     cmd = [str(binary)]
     if micro_iters is not None:
         cmd += ["--micro-iters", str(micro_iters)]
+    if skip_profile:
+        cmd += ["--skip-profile"]
     try:
         out = subprocess.run(cmd, capture_output=True, text=True, check=True)
     except FileNotFoundError:
@@ -235,7 +245,7 @@ def main():
 
     reps = []
     for i in range(args.reps):
-        doc = run_once(args.bin, args.micro_iters)
+        doc = run_once(args.bin, args.micro_iters, skip_profile=(i > 0))
         total = doc["total"]
         eps = total["events_per_sec"]
         print(f"bench: rep {i + 1}/{args.reps}: quick-all "
@@ -250,6 +260,8 @@ def main():
         "micro": median_micro(reps),
         "experiments": median_experiments(reps),
         "total": median_total(reps),
+        # Wall-clock-bearing throughout: rep 1's profiled pass, verbatim.
+        "profile": reps[0].get("profile"),
     }
 
     rendered = json.dumps(merged, indent=2) + "\n"

@@ -6,6 +6,7 @@ Usage:
                    [--identical FILE_A FILE_B]...
                    [--bench BENCH.json]...
                    [--attribution OFFLINE.tsv]...
+                   [--profile PROFILE.json]...
 
 With one positional argument: validate the `lams-dlc.repro/1` schema
 (top-level fields, per-experiment structure, perf blocks, live-monitor
@@ -14,8 +15,16 @@ the measured latency exactly, with zero phase-sum audit failures and
 zero resolution-bound violations).
 
 With two positional arguments: additionally require the two documents to
-be identical once every `perf` block (the only wall-clock-bearing field)
-is nulled out — the parallel runner must be a pure speed knob.
+be identical once every `perf` and `profile` block (the wall-clock-
+bearing fields) is nulled out — the parallel runner must be a pure speed
+knob, and self-profiling must never perturb simulated results.
+
+Each `--profile FILE` must be a valid `lams-dlc.profile/1` document (as
+written by `repro --profile`): per experiment, every span node must
+carry integer-nanosecond counters with exact tree consistency (each
+child's total nests inside its parent's, `self_ns` equals
+`total_ns - sum(children.total_ns)` with no rounding) and the top-level
+spans must cover at least 90% of the experiment's measured wall clock.
 
 Each `--identical A B` pair must be byte-identical files; used for the
 `--trace`/`--metrics` JSONL outputs of serial vs parallel runs.
@@ -168,6 +177,10 @@ def validate(doc, path):
                  f"whether an audited link ran")
         if e["metrics"] is not None:
             audited += 1
+        if "profile" not in e:
+            fail(f"{path}: {e['id']} missing 'profile' block")
+        if e["profile"] is not None:
+            validate_profile_block(e["profile"], e["id"], path)
         perf = e.get("perf")
         if perf is None:
             continue  # an experiment with no simulations (analysis-only)
@@ -238,11 +251,112 @@ def validate_bench(doc, path):
             fail(f"{path}: total block missing '{key}'")
     if total["popped"] <= 0 or total["events_per_sec"] <= 0:
         fail(f"{path}: quick-all total popped no events")
+    # The suite-wide profiled pass: optional (older baselines predate
+    # it; --skip-profile omits it), but when present it must be a
+    # consistent span tree covering its own wall clock.
+    if doc.get("profile") is not None:
+        validate_profile_block(doc["profile"], "bench profile", path)
+
+
+# Span-tree validation for the self-profiling output. Shared between
+# the standalone `lams-dlc.profile/1` document (--profile) and the
+# profile blocks embedded in repro reports and bench documents.
+
+SPAN_KEYS = ("name", "count", "total_ns", "self_ns", "children")
+PROFILE_KEYS = ("wall_ns", "counters", "queue_depth", "alloc", "spans")
+PROFILE_COUNTERS = ("profile.spans.dropped", "profile.spans.truncated")
+MIN_SPAN_COVERAGE = 0.90
+
+
+def validate_span(span, where, path):
+    """One span node: integer ns, children nested inside the parent,
+    self time exactly total minus the children's totals."""
+    for key in SPAN_KEYS:
+        if key not in span:
+            fail(f"{path}: {where} span missing '{key}'")
+    name = span["name"]
+    here = f"{where};{name}"
+    for key in ("count", "total_ns", "self_ns"):
+        if not isinstance(span[key], int) or span[key] < 0:
+            fail(f"{path}: {here} '{key}' must be a non-negative integer")
+    if span["count"] == 0:
+        fail(f"{path}: {here} recorded no calls")
+    child_total = 0
+    for child in span["children"]:
+        validate_span(child, here, path)
+        if child["total_ns"] > span["total_ns"]:
+            fail(f"{path}: {here};{child['name']} total "
+                 f"{child['total_ns']} ns exceeds its parent's "
+                 f"{span['total_ns']} ns")
+        child_total += child["total_ns"]
+    if span["self_ns"] != span["total_ns"] - child_total:
+        fail(f"{path}: {here} self_ns {span['self_ns']} != total "
+             f"{span['total_ns']} - children {child_total} — the tree "
+             f"does not partition its wall clock")
+
+
+def validate_profile_block(block, exp_id, path, check_coverage=True):
+    """One experiment's (or the bench suite's) profile block."""
+    for key in PROFILE_KEYS:
+        if key not in block:
+            fail(f"{path}: {exp_id} profile block missing '{key}'")
+    if not isinstance(block["wall_ns"], int) or block["wall_ns"] <= 0:
+        fail(f"{path}: {exp_id} wall_ns must be a positive integer")
+    counters = block["counters"]
+    for name in PROFILE_COUNTERS:
+        if not isinstance(counters.get(name), int) or counters[name] < 0:
+            fail(f"{path}: {exp_id} counter '{name}' must be a "
+                 f"non-negative integer")
+    if counters["profile.spans.dropped"] < counters["profile.spans.truncated"]:
+        fail(f"{path}: {exp_id} dropped < truncated — truncated enters "
+             f"are a subset of dropped ones")
+    depth = block["queue_depth"]
+    for key in ("samples", "sum", "max", "mean"):
+        if key not in depth:
+            fail(f"{path}: {exp_id} queue_depth missing '{key}'")
+    alloc = block["alloc"]
+    if alloc is not None:
+        for key in ("allocs", "bytes"):
+            if not isinstance(alloc.get(key), int) or alloc[key] < 0:
+                fail(f"{path}: {exp_id} alloc '{key}' must be a "
+                     f"non-negative integer")
+    spans = block["spans"]
+    if not isinstance(spans, list) or not spans:
+        fail(f"{path}: {exp_id} recorded no spans")
+    for span in spans:
+        validate_span(span, exp_id, path)
+    if check_coverage:
+        covered = sum(s["total_ns"] for s in spans)
+        if covered < MIN_SPAN_COVERAGE * block["wall_ns"]:
+            fail(f"{path}: {exp_id} top-level spans cover {covered} of "
+                 f"{block['wall_ns']} wall ns "
+                 f"({100 * covered / block['wall_ns']:.1f}%), below the "
+                 f"{100 * MIN_SPAN_COVERAGE:.0f}% floor")
+
+
+def validate_profile(doc, path):
+    """The standalone `lams-dlc.profile/1` document from
+    `repro --profile`."""
+    if doc.get("schema") != "lams-dlc.profile/1":
+        fail(f"{path}: schema is {doc.get('schema')!r}, "
+             f"want 'lams-dlc.profile/1'")
+    exps = doc.get("experiments")
+    if not isinstance(exps, list) or not exps:
+        fail(f"{path}: 'experiments' must be a non-empty array")
+    for e in exps:
+        if "id" not in e:
+            fail(f"{path}: profiled experiment missing 'id'")
+        validate_profile_block(e, e["id"], path)
+
+
+WALL_CLOCK_KEYS = ("perf", "profile")
 
 
 def strip_perf(node):
+    """Null out the wall-clock-bearing blocks (perf, profile) so the
+    rest of the document can be compared for determinism."""
     if isinstance(node, dict):
-        return {k: (None if k == "perf" else strip_perf(v))
+        return {k: (None if k in WALL_CLOCK_KEYS else strip_perf(v))
                 for k, v in node.items()}
     if isinstance(node, list):
         return [strip_perf(v) for v in node]
@@ -297,7 +411,7 @@ def check_identical(a, b):
 
 def main():
     args = sys.argv[1:]
-    positional, pairs, benches, replays = [], [], [], []
+    positional, pairs, benches, replays, profiles = [], [], [], [], []
     i = 0
     while i < len(args):
         if args[i] == "--identical":
@@ -312,6 +426,12 @@ def main():
                 sys.exit(2)
             benches.append(args[i + 1])
             i += 2
+        elif args[i] == "--profile":
+            if len(args) - i < 2:
+                print(__doc__, file=sys.stderr)
+                sys.exit(2)
+            profiles.append(args[i + 1])
+            i += 2
         elif args[i] == "--attribution":
             if len(args) - i < 2:
                 print(__doc__, file=sys.stderr)
@@ -321,7 +441,8 @@ def main():
         else:
             positional.append(args[i])
             i += 1
-    if len(positional) not in (1, 2) and not (benches and not positional):
+    if len(positional) not in (1, 2) and not (
+            (benches or profiles) and not positional):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
     if replays and not positional:
@@ -350,6 +471,10 @@ def main():
         validate_bench(load(path), path)
     if benches:
         checks.append(f"{len(benches)} bench document(s) valid")
+    for path in profiles:
+        validate_profile(load(path), path)
+    if profiles:
+        checks.append(f"{len(profiles)} profile document(s) valid")
     print(f"check_repro: OK ({', '.join(checks)})")
 
 
