@@ -2,10 +2,8 @@
 //! decode, interleaving, the composed codec, and the channel samplers.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use fec::{
-    BitBuf, BlockInterleaver, Crc16Ccitt, Crc32, ErrorProcess, GilbertElliott, LinkCodec,
-    UniformBer, Viterbi, CCSDS_K7,
-};
+use fec::{BitBuf, BlockInterleaver, Crc16Ccitt, Crc32, LinkCodec, Viterbi, CCSDS_K7};
+use netsim::channel::{ErrorProcess, GilbertElliott, UniformBer};
 use sim_core::{Duration, Instant, SeedSplitter};
 use std::hint::black_box;
 

@@ -21,13 +21,14 @@
 //!   isolated errors;
 //! * [`codec`] — the composed [`codec::LinkCodec`] pipeline and the
 //!   analytic [`codec::FecGrade`] residual-BER model used by the fast
-//!   simulation path and the closed-form analysis;
-//! * [`channel`] — stochastic bit-error processes: i.i.d.
-//!   [`channel::UniformBer`] and the continuous-time
-//!   [`channel::GilbertElliott`] burst model.
+//!   simulation path and the closed-form analysis.
+//!
+//! The stochastic bit-error *processes* that drive these codecs in
+//! simulation live in `netsim::channel`: they need the simulator's
+//! clock and seeded RNG streams, while this crate stays host-agnostic
+//! (the protocol crates use its CRCs on real I/O paths too).
 
 pub mod bits;
-pub mod channel;
 pub mod codec;
 pub mod conv;
 pub mod crc;
@@ -35,7 +36,6 @@ pub mod interleave;
 pub mod viterbi;
 
 pub use bits::BitBuf;
-pub use channel::{ErrorProcess, GeState, GilbertElliott, Lossless, UniformBer};
 pub use codec::{DecodeOutcome, FecGrade, LinkCodec};
 pub use conv::{ConvCode, CCSDS_K7};
 pub use crc::{Crc16Ccitt, Crc32};

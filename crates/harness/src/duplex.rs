@@ -15,9 +15,10 @@
 //! paper's parameters — checkpoints are ~40 bytes every `W_cp`.)
 
 use crate::metrics::{Collector, RunReport};
-use crate::node::{LamsRx, LamsTx, RxEndpoint, SrRx, SrTx, TxEndpoint};
+use crate::node::{Driver, RxEndpoint, TxEndpoint};
 use crate::scenario::ScenarioConfig;
 use crate::traffic::TrafficGen;
+use netsim::Machine;
 use netsim::{NodeRole, SimBuilder};
 use sim_core::SeedSplitter;
 
@@ -128,16 +129,15 @@ pub fn run_duplex_lams(cfg: &ScenarioConfig) -> DuplexReport {
             // the A→B data, and its peer receiver is mk_rx(1) at node B —
             // sharing the "a2b" prefix lets trace consumers pair them.
             let node = if i == 0 { "a2b.tx" } else { "b2a.tx" };
-            LamsTx::new(
+            Driver::new(
                 lams_dlc::Sender::new(lcfg.clone()).with_trace(telemetry::global_handle(node)),
             )
         },
         |i| {
             let node = if i == 0 { "b2a.rx" } else { "a2b.rx" };
-            LamsRx {
-                inner: lams_dlc::Receiver::new(lcfg.clone())
-                    .with_trace(telemetry::global_handle(node)),
-            }
+            Driver::new(
+                lams_dlc::Receiver::new(lcfg.clone()).with_trace(telemetry::global_handle(node)),
+            )
         },
         "lams-duplex",
     )
@@ -150,14 +150,15 @@ pub fn run_duplex_sr(cfg: &ScenarioConfig) -> DuplexReport {
         cfg,
         |i| {
             let node = if i == 0 { "a2b.tx" } else { "b2a.tx" };
-            SrTx::new(hdlc::SrSender::new(hcfg.clone()).with_trace(telemetry::global_handle(node)))
+            Driver::new(
+                hdlc::SrSender::new(hcfg.clone()).with_trace(telemetry::global_handle(node)),
+            )
         },
         |i| {
             let node = if i == 0 { "b2a.rx" } else { "a2b.rx" };
-            SrRx {
-                inner: hdlc::SrReceiver::new(hcfg.clone())
-                    .with_trace(telemetry::global_handle(node)),
-            }
+            Driver::new(
+                hdlc::SrReceiver::new(hcfg.clone()).with_trace(telemetry::global_handle(node)),
+            )
         },
         "sr-duplex",
     )

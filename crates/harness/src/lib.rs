@@ -5,9 +5,9 @@
 //!
 //! Discrete-event experiment harness for the LAMS-DLC reproduction.
 //!
-//! * [`node`] — adapters binding LAMS-DLC, SR-HDLC and GBN-HDLC to the
-//!   netsim crate's sans-IO [`node::TxEndpoint`] / [`node::RxEndpoint`]
-//!   contract;
+//! * [`node`] — re-export of netsim's generic [`node::Driver`] and the
+//!   sans-IO [`node::TxEndpoint`] / [`node::RxEndpoint`] contract it
+//!   implements for every protocol machine;
 //! * [`link`] / [`traffic`] — re-exports of the netsim channel model
 //!   and SDU generators (kept at their historical harness paths);
 //! * [`scenario`] / [`duplex`] / [`relay`] — thin topology builders over

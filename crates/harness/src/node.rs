@@ -1,465 +1,13 @@
-//! Endpoint adapters: one driving contract for all three protocols.
+//! Endpoint driving contract — the historical home of the per-protocol
+//! adapters.
 //!
-//! The netsim engine is generic over a [`TxEndpoint`] / [`RxEndpoint`]
-//! pair so LAMS-DLC, SR-HDLC and GBN-HDLC run over byte-for-byte
-//! identical channel realisations (common random numbers — the
-//! comparison the paper's §4 makes analytically). The traits live in
-//! the `netsim` crate; this module provides the protocol adapters.
+//! The six bespoke adapter structs that used to live here (`LamsTx`,
+//! `LamsRx`, `SrTx`, `SrRx`, `GbnTx`, `GbnRx` — ~465 lines of glue) are
+//! gone: the protocol state machines implement the host-agnostic
+//! [`proto_core::Machine`] trait family themselves, and netsim's one
+//! generic [`Driver`] binds any of them to the engine's
+//! [`TxEndpoint`] / [`RxEndpoint`] contract. This module keeps the
+//! harness's historical import paths alive.
 
-use bytes::Bytes;
-use sim_core::Instant;
-use telemetry::Registry;
-
+pub use netsim::driver::Driver;
 pub use netsim::endpoint::{FrameMeta, RxEndpoint, TxEndpoint};
-
-// ------------------------------------------------------------- LAMS-DLC
-
-/// LAMS-DLC sender adapter.
-pub struct LamsTx {
-    /// The wrapped protocol sender.
-    pub inner: lams_dlc::Sender,
-    holding: Vec<f64>,
-}
-
-impl LamsTx {
-    /// Wrap a configured sender.
-    pub fn new(inner: lams_dlc::Sender) -> Self {
-        LamsTx {
-            inner,
-            holding: Vec::new(),
-        }
-    }
-}
-
-impl TxEndpoint for LamsTx {
-    type Frame = lams_dlc::Frame;
-
-    fn start(&mut self, now: Instant) {
-        self.inner.start(now);
-    }
-
-    fn push(&mut self, id: u64, payload: Bytes) -> bool {
-        self.inner.push(lams_dlc::PacketId(id), payload).is_ok()
-    }
-
-    fn poll_transmit(&mut self, now: Instant) -> Option<Self::Frame> {
-        self.inner.poll_transmit(now)
-    }
-
-    fn handle_frame(&mut self, now: Instant, frame: Self::Frame, ok: bool) {
-        let status = if ok {
-            lams_dlc::RxStatus::Ok
-        } else {
-            lams_dlc::RxStatus::PayloadCorrupted
-        };
-        self.inner.handle_frame(now, frame, status);
-    }
-
-    fn on_timeout(&mut self, now: Instant) {
-        self.inner.on_timeout(now);
-    }
-
-    fn poll_timeout(&self) -> Option<Instant> {
-        self.inner.poll_timeout()
-    }
-
-    fn buffered(&self) -> usize {
-        self.inner.buffered()
-    }
-
-    fn is_failed(&self) -> bool {
-        self.inner.state() == lams_dlc::SenderState::Failed
-    }
-
-    fn meta(frame: &Self::Frame) -> FrameMeta {
-        FrameMeta {
-            bytes: lams_dlc::wire::encoded_len(frame),
-            is_info: frame.is_info(),
-        }
-    }
-
-    fn drain_holding(&mut self, out: &mut Vec<f64>) {
-        while let Some(e) = self.inner.poll_event() {
-            if let lams_dlc::SenderEvent::Released { held_for_ns, .. } = e {
-                self.holding.push(held_for_ns as f64 / 1e9);
-            }
-        }
-        out.append(&mut self.holding);
-    }
-
-    fn rate(&self) -> f64 {
-        self.inner.rate()
-    }
-
-    fn transmissions(&self) -> u64 {
-        let s = self.inner.stats();
-        s.new_transmissions + s.retransmissions
-    }
-
-    fn retransmissions(&self) -> u64 {
-        self.inner.stats().retransmissions
-    }
-
-    fn extra_stats(&self) -> Registry {
-        let s = self.inner.stats();
-        Registry::from_iter([
-            ("lams.sender.request_naks", s.request_naks as f64),
-            ("lams.sender.unsafe_gaps", s.unsafe_gaps as f64),
-            ("lams.sender.resolve_expiries", s.resolve_expiries as f64),
-            (
-                "lams.sender.suspect_retransmissions",
-                s.suspect_retransmissions as f64,
-            ),
-            ("lams.sender.checkpoints_received", s.checkpoints as f64),
-        ])
-    }
-}
-
-/// LAMS-DLC receiver adapter.
-pub struct LamsRx {
-    /// The wrapped protocol receiver.
-    pub inner: lams_dlc::Receiver,
-}
-
-impl RxEndpoint for LamsRx {
-    type Frame = lams_dlc::Frame;
-
-    fn start(&mut self, now: Instant) {
-        self.inner.start(now);
-    }
-
-    fn handle_frame(&mut self, now: Instant, frame: Self::Frame, ok: bool) {
-        let status = if ok {
-            lams_dlc::RxStatus::Ok
-        } else {
-            lams_dlc::RxStatus::PayloadCorrupted
-        };
-        self.inner.handle_frame(now, frame, status);
-    }
-
-    fn on_timeout(&mut self, now: Instant) {
-        self.inner.on_timeout(now);
-    }
-
-    fn poll_timeout(&self) -> Option<Instant> {
-        self.inner.poll_timeout()
-    }
-
-    fn poll_transmit(&mut self, now: Instant) -> Option<Self::Frame> {
-        self.inner.poll_transmit(now)
-    }
-
-    fn poll_deliver(&mut self, now: Instant) -> Option<(u64, usize)> {
-        self.inner
-            .poll_deliver(now)
-            .map(|d| (d.packet_id.0, d.payload.len()))
-    }
-
-    fn occupancy(&self) -> usize {
-        self.inner.processing_occupancy()
-    }
-
-    fn meta(frame: &Self::Frame) -> FrameMeta {
-        FrameMeta {
-            bytes: lams_dlc::wire::encoded_len(frame),
-            is_info: frame.is_info(),
-        }
-    }
-
-    fn extra_stats(&self) -> Registry {
-        let s = self.inner.stats();
-        Registry::from_iter([
-            (
-                "lams.receiver.overflow_discards",
-                s.overflow_discards as f64,
-            ),
-            ("lams.receiver.enforced_naks_sent", s.enforced_sent as f64),
-            ("lams.receiver.checkpoints_sent", s.checkpoints_sent as f64),
-            ("lams.receiver.gaps_inferred", s.gaps_inferred as f64),
-            ("lams.receiver.corrupted_arrivals", s.corrupted as f64),
-        ])
-    }
-}
-
-// -------------------------------------------------------------- SR-HDLC
-
-/// SR-HDLC sender adapter.
-pub struct SrTx {
-    /// The wrapped protocol sender.
-    pub inner: hdlc::SrSender,
-    holding: Vec<f64>,
-}
-
-impl SrTx {
-    /// Wrap a configured sender.
-    pub fn new(inner: hdlc::SrSender) -> Self {
-        SrTx {
-            inner,
-            holding: Vec::new(),
-        }
-    }
-}
-
-impl TxEndpoint for SrTx {
-    type Frame = hdlc::HdlcFrame;
-
-    fn start(&mut self, now: Instant) {
-        self.inner.start(now);
-    }
-
-    fn push(&mut self, id: u64, payload: Bytes) -> bool {
-        self.inner.push(id, payload);
-        true
-    }
-
-    fn poll_transmit(&mut self, now: Instant) -> Option<Self::Frame> {
-        self.inner.poll_transmit(now)
-    }
-
-    fn handle_frame(&mut self, now: Instant, frame: Self::Frame, ok: bool) {
-        let status = if ok {
-            hdlc::RxStatus::Ok
-        } else {
-            hdlc::RxStatus::PayloadCorrupted
-        };
-        self.inner.handle_frame(now, frame, status);
-    }
-
-    fn on_timeout(&mut self, now: Instant) {
-        self.inner.on_timeout(now);
-    }
-
-    fn poll_timeout(&self) -> Option<Instant> {
-        self.inner.poll_timeout()
-    }
-
-    fn buffered(&self) -> usize {
-        self.inner.buffered()
-    }
-
-    fn meta(frame: &Self::Frame) -> FrameMeta {
-        FrameMeta {
-            bytes: hdlc::wire::encoded_len(frame),
-            is_info: frame.is_info(),
-        }
-    }
-
-    fn drain_holding(&mut self, out: &mut Vec<f64>) {
-        while let Some(hdlc::SrSenderEvent::Released { held_for_ns, .. }) = self.inner.poll_event()
-        {
-            self.holding.push(held_for_ns as f64 / 1e9);
-        }
-        out.append(&mut self.holding);
-    }
-
-    fn transmissions(&self) -> u64 {
-        let s = self.inner.stats();
-        s.new_transmissions + s.retransmissions
-    }
-
-    fn retransmissions(&self) -> u64 {
-        self.inner.stats().retransmissions
-    }
-
-    fn extra_stats(&self) -> Registry {
-        let s = self.inner.stats();
-        Registry::from_iter([
-            ("hdlc.sr_sender.timeouts", s.timeouts as f64),
-            ("hdlc.sr_sender.srejs_processed", s.srejs as f64),
-            ("hdlc.sr_sender.rrs_processed", s.rrs as f64),
-        ])
-    }
-}
-
-/// SR-HDLC receiver adapter.
-pub struct SrRx {
-    /// The wrapped protocol receiver.
-    pub inner: hdlc::SrReceiver,
-}
-
-impl RxEndpoint for SrRx {
-    type Frame = hdlc::HdlcFrame;
-
-    fn start(&mut self, now: Instant) {
-        self.inner.start(now);
-    }
-
-    fn handle_frame(&mut self, now: Instant, frame: Self::Frame, ok: bool) {
-        let status = if ok {
-            hdlc::RxStatus::Ok
-        } else {
-            hdlc::RxStatus::PayloadCorrupted
-        };
-        self.inner.handle_frame(now, frame, status);
-    }
-
-    fn on_timeout(&mut self, now: Instant) {
-        self.inner.on_timeout(now);
-    }
-
-    fn poll_timeout(&self) -> Option<Instant> {
-        self.inner.poll_timeout()
-    }
-
-    fn poll_transmit(&mut self, now: Instant) -> Option<Self::Frame> {
-        self.inner.poll_transmit(now)
-    }
-
-    fn poll_deliver(&mut self, now: Instant) -> Option<(u64, usize)> {
-        self.inner
-            .poll_deliver(now)
-            .map(|d| (d.packet_id, d.payload.len()))
-    }
-
-    fn occupancy(&self) -> usize {
-        self.inner.buffered()
-    }
-
-    fn meta(frame: &Self::Frame) -> FrameMeta {
-        FrameMeta {
-            bytes: hdlc::wire::encoded_len(frame),
-            is_info: frame.is_info(),
-        }
-    }
-
-    fn extra_stats(&self) -> Registry {
-        let s = self.inner.stats();
-        Registry::from_iter([
-            ("hdlc.sr_receiver.srejs_sent", s.srejs_sent as f64),
-            ("hdlc.sr_receiver.peak_reseq_buffer", s.peak_buffered as f64),
-            ("hdlc.sr_receiver.duplicates_dropped", s.duplicates as f64),
-        ])
-    }
-}
-
-// ------------------------------------------------------------- GBN-HDLC
-
-/// GBN-HDLC sender adapter.
-pub struct GbnTx {
-    /// The wrapped protocol sender.
-    pub inner: hdlc::GbnSender,
-}
-
-impl TxEndpoint for GbnTx {
-    type Frame = hdlc::HdlcFrame;
-
-    fn start(&mut self, now: Instant) {
-        self.inner.start(now);
-    }
-
-    fn push(&mut self, id: u64, payload: Bytes) -> bool {
-        self.inner.push(id, payload);
-        true
-    }
-
-    fn poll_transmit(&mut self, now: Instant) -> Option<Self::Frame> {
-        self.inner.poll_transmit(now)
-    }
-
-    fn handle_frame(&mut self, now: Instant, frame: Self::Frame, ok: bool) {
-        let status = if ok {
-            hdlc::RxStatus::Ok
-        } else {
-            hdlc::RxStatus::PayloadCorrupted
-        };
-        self.inner.handle_frame(now, frame, status);
-    }
-
-    fn on_timeout(&mut self, now: Instant) {
-        self.inner.on_timeout(now);
-    }
-
-    fn poll_timeout(&self) -> Option<Instant> {
-        self.inner.poll_timeout()
-    }
-
-    fn buffered(&self) -> usize {
-        self.inner.buffered()
-    }
-
-    fn meta(frame: &Self::Frame) -> FrameMeta {
-        FrameMeta {
-            bytes: hdlc::wire::encoded_len(frame),
-            is_info: frame.is_info(),
-        }
-    }
-
-    fn drain_holding(&mut self, _out: &mut Vec<f64>) {}
-
-    fn transmissions(&self) -> u64 {
-        let s = self.inner.stats();
-        s.new_transmissions + s.retransmissions
-    }
-
-    fn retransmissions(&self) -> u64 {
-        self.inner.stats().retransmissions
-    }
-
-    fn extra_stats(&self) -> Registry {
-        let s = self.inner.stats();
-        Registry::from_iter([
-            ("hdlc.gbn_sender.timeouts", s.timeouts as f64),
-            ("hdlc.gbn_sender.rejs_processed", s.rejs as f64),
-        ])
-    }
-}
-
-/// GBN-HDLC receiver adapter.
-pub struct GbnRx {
-    /// The wrapped protocol receiver.
-    pub inner: hdlc::GbnReceiver,
-}
-
-impl RxEndpoint for GbnRx {
-    type Frame = hdlc::HdlcFrame;
-
-    fn start(&mut self, now: Instant) {
-        self.inner.start(now);
-    }
-
-    fn handle_frame(&mut self, now: Instant, frame: Self::Frame, ok: bool) {
-        let status = if ok {
-            hdlc::RxStatus::Ok
-        } else {
-            hdlc::RxStatus::PayloadCorrupted
-        };
-        self.inner.handle_frame(now, frame, status);
-    }
-
-    fn on_timeout(&mut self, now: Instant) {
-        self.inner.on_timeout(now);
-    }
-
-    fn poll_timeout(&self) -> Option<Instant> {
-        self.inner.poll_timeout()
-    }
-
-    fn poll_transmit(&mut self, now: Instant) -> Option<Self::Frame> {
-        self.inner.poll_transmit(now)
-    }
-
-    fn poll_deliver(&mut self, now: Instant) -> Option<(u64, usize)> {
-        self.inner
-            .poll_deliver(now)
-            .map(|d| (d.packet_id, d.payload.len()))
-    }
-
-    fn occupancy(&self) -> usize {
-        0 // GBN holds nothing out of order
-    }
-
-    fn meta(frame: &Self::Frame) -> FrameMeta {
-        FrameMeta {
-            bytes: hdlc::wire::encoded_len(frame),
-            is_info: frame.is_info(),
-        }
-    }
-
-    fn extra_stats(&self) -> Registry {
-        let s = self.inner.stats();
-        Registry::from_iter([
-            ("hdlc.gbn_receiver.discarded", s.discarded as f64),
-            ("hdlc.gbn_receiver.rejs_sent", s.rejs_sent as f64),
-        ])
-    }
-}

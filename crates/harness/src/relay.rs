@@ -17,9 +17,10 @@
 //!   stalls the pipeline of every downstream link.
 
 use crate::metrics::RunReport;
-use crate::node::{LamsRx, LamsTx, RxEndpoint, SrRx, SrTx, TxEndpoint};
+use crate::node::{Driver, RxEndpoint, TxEndpoint};
 use crate::scenario::ScenarioConfig;
 use crate::traffic::TrafficGen;
+use netsim::Machine;
 use netsim::{NodeRole, SimBuilder};
 use sim_core::SeedSplitter;
 
@@ -145,10 +146,8 @@ pub fn run_relay_lams(cfg: &RelayConfig) -> RunReport {
     let lcfg = cfg.base.lams_config();
     run_relay(
         cfg,
-        |i| LamsTx::new(lams_dlc::Sender::new(lcfg.clone()).with_trace(hop_trace(&HOP_TX, i))),
-        |i| LamsRx {
-            inner: lams_dlc::Receiver::new(lcfg.clone()).with_trace(hop_trace(&HOP_RX, i)),
-        },
+        |i| Driver::new(lams_dlc::Sender::new(lcfg.clone()).with_trace(hop_trace(&HOP_TX, i))),
+        |i| Driver::new(lams_dlc::Receiver::new(lcfg.clone()).with_trace(hop_trace(&HOP_RX, i))),
         "lams-relay",
     )
 }
@@ -158,10 +157,8 @@ pub fn run_relay_sr(cfg: &RelayConfig) -> RunReport {
     let hcfg = cfg.base.hdlc_config();
     run_relay(
         cfg,
-        |i| SrTx::new(hdlc::SrSender::new(hcfg.clone()).with_trace(hop_trace(&HOP_TX, i))),
-        |i| SrRx {
-            inner: hdlc::SrReceiver::new(hcfg.clone()).with_trace(hop_trace(&HOP_RX, i)),
-        },
+        |i| Driver::new(hdlc::SrSender::new(hcfg.clone()).with_trace(hop_trace(&HOP_TX, i))),
+        |i| Driver::new(hdlc::SrReceiver::new(hcfg.clone()).with_trace(hop_trace(&HOP_RX, i))),
         "sr-relay",
     )
 }

@@ -10,9 +10,10 @@
 
 use crate::link::{Channel, DelayModel, ErrorModel, Outage};
 use crate::metrics::RunReport;
-use crate::node::{GbnRx, GbnTx, LamsRx, LamsTx, RxEndpoint, SrRx, SrTx, TxEndpoint};
+use crate::node::{Driver, RxEndpoint, TxEndpoint};
 use crate::traffic::{Pattern, TrafficGen};
-use fec::GilbertElliott;
+use netsim::channel::GilbertElliott;
+use netsim::Machine;
 use netsim::{NodeRole, SimBuilder, SimEvent};
 use orbit::propagation_delay_s;
 use sim_core::{Duration, EventQueue, SeedSplitter};
@@ -312,14 +313,14 @@ pub fn run_lams(cfg: &ScenarioConfig) -> RunReport {
 pub fn run_lams_in(cfg: &ScenarioConfig, q: &mut ScenarioQueue<lams_dlc::Frame>) -> RunReport {
     let lcfg = cfg.lams_config();
     let tx =
-        LamsTx::new(lams_dlc::Sender::new(lcfg.clone()).with_trace(telemetry::global_handle("tx")));
-    let rx = LamsRx {
-        inner: match cfg.rx_capacity {
+        Driver::new(lams_dlc::Sender::new(lcfg.clone()).with_trace(telemetry::global_handle("tx")));
+    let rx = Driver::new(
+        match cfg.rx_capacity {
             Some((cap, mark)) => lams_dlc::Receiver::with_capacity(lcfg, cap, mark),
             None => lams_dlc::Receiver::new(lcfg),
         }
         .with_trace(telemetry::global_handle("rx")),
-    };
+    );
     run_in(cfg, tx, rx, "lams", q)
 }
 
@@ -327,22 +328,17 @@ pub fn run_lams_in(cfg: &ScenarioConfig, q: &mut ScenarioQueue<lams_dlc::Frame>)
 pub fn run_sr(cfg: &ScenarioConfig) -> RunReport {
     let hcfg = cfg.hdlc_config();
     let tx =
-        SrTx::new(hdlc::SrSender::new(hcfg.clone()).with_trace(telemetry::global_handle("tx")));
-    let rx = SrRx {
-        inner: hdlc::SrReceiver::new(hcfg).with_trace(telemetry::global_handle("rx")),
-    };
+        Driver::new(hdlc::SrSender::new(hcfg.clone()).with_trace(telemetry::global_handle("tx")));
+    let rx = Driver::new(hdlc::SrReceiver::new(hcfg).with_trace(telemetry::global_handle("rx")));
     run(cfg, tx, rx, "sr-hdlc")
 }
 
 /// Run the scenario under GBN-HDLC.
 pub fn run_gbn(cfg: &ScenarioConfig) -> RunReport {
     let hcfg = cfg.hdlc_config();
-    let tx = GbnTx {
-        inner: hdlc::GbnSender::new(hcfg.clone()).with_trace(telemetry::global_handle("tx")),
-    };
-    let rx = GbnRx {
-        inner: hdlc::GbnReceiver::new(hcfg).with_trace(telemetry::global_handle("rx")),
-    };
+    let tx =
+        Driver::new(hdlc::GbnSender::new(hcfg.clone()).with_trace(telemetry::global_handle("tx")));
+    let rx = Driver::new(hdlc::GbnReceiver::new(hcfg).with_trace(telemetry::global_handle("rx")));
     run(cfg, tx, rx, "gbn-hdlc")
 }
 

@@ -1,6 +1,6 @@
 //! HDLC baseline configuration.
 
-use sim_core::Duration;
+use proto_core::Duration;
 
 /// Parameters of the SR-HDLC / GBN-HDLC baselines, mirroring the paper's
 /// §4 analysis model.

@@ -63,13 +63,18 @@ impl HdlcFrame {
 
 /// Reception status from the channel (same convention as LAMS-DLC:
 /// headers survive, payload corruption is flagged; fully destroyed frames
-/// simply never arrive and are found by timeout or SREJ).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum RxStatus {
-    /// Clean.
-    Ok,
-    /// Residually corrupted (CRC failure).
-    PayloadCorrupted,
+/// simply never arrive and are found by timeout or SREJ). Re-exported
+/// from `proto-core`, where every host finds it.
+pub use proto_core::RxStatus;
+
+impl proto_core::WireFrame for HdlcFrame {
+    fn wire_len(&self) -> usize {
+        crate::wire::encoded_len(self)
+    }
+
+    fn is_info(&self) -> bool {
+        HdlcFrame::is_info(self)
+    }
 }
 
 #[cfg(test)]

@@ -10,9 +10,9 @@
 use crate::config::HdlcConfig;
 use crate::frame::{HdlcFrame, RxStatus};
 use bytes::Bytes;
-use sim_core::Instant;
+use proto_core::Instant;
+use proto_core::{Trace, TraceEvent};
 use std::collections::{BTreeMap, VecDeque};
-use telemetry::{Trace, TraceEvent};
 
 /// Counters for the GBN sender.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -63,12 +63,6 @@ impl GbnSender {
             stats: GbnSenderStats::default(),
             trace: Trace::disabled(),
         }
-    }
-
-    /// Attach a telemetry trace handle; disabled by default.
-    pub fn with_trace(mut self, trace: Trace) -> Self {
-        self.trace = trace;
-        self
     }
 
     /// Mark the link active.
@@ -263,12 +257,6 @@ impl GbnReceiver {
         }
     }
 
-    /// Attach a telemetry trace handle; disabled by default.
-    pub fn with_trace(mut self, trace: Trace) -> Self {
-        self.trace = trace;
-        self
-    }
-
     /// Mark the link active.
     pub fn start(&mut self, now: Instant) {
         self.server_free_at = now;
@@ -365,10 +353,117 @@ impl GbnReceiver {
     }
 }
 
+impl proto_core::Machine for GbnSender {
+    type Frame = HdlcFrame;
+    type Event = ();
+
+    fn start(&mut self, now: Instant) {
+        GbnSender::start(self, now);
+    }
+
+    fn handle_frame(&mut self, now: Instant, frame: HdlcFrame, status: RxStatus) {
+        GbnSender::handle_frame(self, now, frame, status);
+    }
+
+    fn poll_transmit(&mut self, now: Instant) -> Option<HdlcFrame> {
+        GbnSender::poll_transmit(self, now)
+    }
+
+    fn poll_timeout(&self) -> Option<Instant> {
+        GbnSender::poll_timeout(self)
+    }
+
+    fn on_timeout(&mut self, now: Instant) {
+        GbnSender::on_timeout(self, now);
+    }
+
+    fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+}
+
+impl proto_core::SenderMachine for GbnSender {
+    fn push(&mut self, id: u64, payload: Bytes) -> bool {
+        GbnSender::push(self, id, payload);
+        true
+    }
+
+    fn buffered(&self) -> usize {
+        GbnSender::buffered(self)
+    }
+
+    fn transmissions(&self) -> u64 {
+        let s = self.stats();
+        s.new_transmissions + s.retransmissions
+    }
+
+    fn retransmissions(&self) -> u64 {
+        self.stats().retransmissions
+    }
+
+    fn stat_pairs(&self) -> Vec<(&'static str, f64)> {
+        let s = self.stats();
+        vec![
+            ("hdlc.gbn_sender.timeouts", s.timeouts as f64),
+            ("hdlc.gbn_sender.rejs_processed", s.rejs as f64),
+        ]
+    }
+}
+
+impl proto_core::Machine for GbnReceiver {
+    type Frame = HdlcFrame;
+    type Event = ();
+
+    fn start(&mut self, now: Instant) {
+        GbnReceiver::start(self, now);
+    }
+
+    fn handle_frame(&mut self, now: Instant, frame: HdlcFrame, status: RxStatus) {
+        GbnReceiver::handle_frame(self, now, frame, status);
+    }
+
+    fn poll_transmit(&mut self, now: Instant) -> Option<HdlcFrame> {
+        GbnReceiver::poll_transmit(self, now)
+    }
+
+    fn poll_timeout(&self) -> Option<Instant> {
+        GbnReceiver::poll_timeout(self)
+    }
+
+    fn on_timeout(&mut self, now: Instant) {
+        GbnReceiver::on_timeout(self, now);
+    }
+
+    fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+}
+
+impl proto_core::ReceiverMachine for GbnReceiver {
+    fn poll_deliver(&mut self, now: Instant) -> Option<proto_core::Delivered> {
+        GbnReceiver::poll_deliver(self, now).map(|d| proto_core::Delivered {
+            id: d.packet_id,
+            payload: d.payload,
+        })
+    }
+
+    fn occupancy(&self) -> usize {
+        0 // GBN holds nothing out of order
+    }
+
+    fn stat_pairs(&self) -> Vec<(&'static str, f64)> {
+        let s = self.stats();
+        vec![
+            ("hdlc.gbn_receiver.discarded", s.discarded as f64),
+            ("hdlc.gbn_receiver.rejs_sent", s.rejs_sent as f64),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sim_core::Duration;
+    use proto_core::Duration;
 
     fn cfg() -> HdlcConfig {
         let mut c = HdlcConfig::paper_default();
@@ -534,3 +629,5 @@ mod tests {
         assert_eq!(delivered, vec![0, 1, 2, 3]);
     }
 }
+
+// ------------------------------------------------------------ sans-IO host contract

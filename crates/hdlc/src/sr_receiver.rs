@@ -13,9 +13,9 @@
 use crate::config::HdlcConfig;
 use crate::frame::{HdlcFrame, RxStatus};
 use bytes::Bytes;
-use sim_core::Instant;
+use proto_core::Instant;
+use proto_core::{Trace, TraceEvent};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use telemetry::{Trace, TraceEvent};
 
 /// A datagram delivered upward, in sequence.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -86,12 +86,6 @@ impl SrReceiver {
             stats: SrReceiverStats::default(),
             trace: Trace::disabled(),
         }
-    }
-
-    /// Attach a trace sink (builder-style).
-    pub fn with_trace(mut self, trace: Trace) -> Self {
-        self.trace = trace;
-        self
     }
 
     /// Mark the link active.
@@ -259,6 +253,57 @@ impl SrReceiver {
                 fin: false,
             });
         }
+    }
+}
+
+impl proto_core::Machine for SrReceiver {
+    type Frame = HdlcFrame;
+    type Event = ();
+
+    fn start(&mut self, now: Instant) {
+        SrReceiver::start(self, now);
+    }
+
+    fn handle_frame(&mut self, now: Instant, frame: HdlcFrame, status: RxStatus) {
+        SrReceiver::handle_frame(self, now, frame, status);
+    }
+
+    fn poll_transmit(&mut self, now: Instant) -> Option<HdlcFrame> {
+        SrReceiver::poll_transmit(self, now)
+    }
+
+    fn poll_timeout(&self) -> Option<Instant> {
+        SrReceiver::poll_timeout(self)
+    }
+
+    fn on_timeout(&mut self, now: Instant) {
+        SrReceiver::on_timeout(self, now);
+    }
+
+    fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+}
+
+impl proto_core::ReceiverMachine for SrReceiver {
+    fn poll_deliver(&mut self, now: Instant) -> Option<proto_core::Delivered> {
+        SrReceiver::poll_deliver(self, now).map(|d| proto_core::Delivered {
+            id: d.packet_id,
+            payload: d.payload,
+        })
+    }
+
+    fn occupancy(&self) -> usize {
+        self.buffered()
+    }
+
+    fn stat_pairs(&self) -> Vec<(&'static str, f64)> {
+        let s = self.stats();
+        vec![
+            ("hdlc.sr_receiver.srejs_sent", s.srejs_sent as f64),
+            ("hdlc.sr_receiver.peak_reseq_buffer", s.peak_buffered as f64),
+            ("hdlc.sr_receiver.duplicates_dropped", s.duplicates as f64),
+        ]
     }
 }
 
@@ -434,3 +479,5 @@ mod tests {
         assert_eq!(r.poll_timeout(), Some(now + cfg().t_proc * 2));
     }
 }
+
+// ------------------------------------------------------------ sans-IO host contract

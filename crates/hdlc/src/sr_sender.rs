@@ -21,9 +21,9 @@
 use crate::config::HdlcConfig;
 use crate::frame::{HdlcFrame, RxStatus};
 use bytes::Bytes;
-use sim_core::Instant;
+use proto_core::Instant;
+use proto_core::{Trace, TraceEvent};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use telemetry::{Trace, TraceEvent};
 
 #[derive(Clone, Debug)]
 struct Out {
@@ -110,12 +110,6 @@ impl SrSender {
             stats: SrSenderStats::default(),
             trace: Trace::disabled(),
         }
-    }
-
-    /// Attach a trace sink (builder-style).
-    pub fn with_trace(mut self, trace: Trace) -> Self {
-        self.trace = trace;
-        self
     }
 
     /// Mark the link active.
@@ -321,10 +315,77 @@ impl SrSender {
     }
 }
 
+impl proto_core::Machine for SrSender {
+    type Frame = HdlcFrame;
+    type Event = SrSenderEvent;
+
+    fn start(&mut self, now: Instant) {
+        SrSender::start(self, now);
+    }
+
+    fn handle_frame(&mut self, now: Instant, frame: HdlcFrame, status: RxStatus) {
+        SrSender::handle_frame(self, now, frame, status);
+    }
+
+    fn poll_transmit(&mut self, now: Instant) -> Option<HdlcFrame> {
+        SrSender::poll_transmit(self, now)
+    }
+
+    fn poll_timeout(&self) -> Option<Instant> {
+        SrSender::poll_timeout(self)
+    }
+
+    fn on_timeout(&mut self, now: Instant) {
+        SrSender::on_timeout(self, now);
+    }
+
+    fn poll_event(&mut self) -> Option<SrSenderEvent> {
+        SrSender::poll_event(self)
+    }
+
+    fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+}
+
+impl proto_core::SenderMachine for SrSender {
+    fn push(&mut self, id: u64, payload: Bytes) -> bool {
+        SrSender::push(self, id, payload);
+        true
+    }
+
+    fn buffered(&self) -> usize {
+        SrSender::buffered(self)
+    }
+
+    fn transmissions(&self) -> u64 {
+        let s = self.stats();
+        s.new_transmissions + s.retransmissions
+    }
+
+    fn retransmissions(&self) -> u64 {
+        self.stats().retransmissions
+    }
+
+    fn released_holding_ns(event: &SrSenderEvent) -> Option<u64> {
+        let SrSenderEvent::Released { held_for_ns, .. } = event;
+        Some(*held_for_ns)
+    }
+
+    fn stat_pairs(&self) -> Vec<(&'static str, f64)> {
+        let s = self.stats();
+        vec![
+            ("hdlc.sr_sender.timeouts", s.timeouts as f64),
+            ("hdlc.sr_sender.srejs_processed", s.srejs as f64),
+            ("hdlc.sr_sender.rrs_processed", s.rrs as f64),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sim_core::Duration;
+    use proto_core::Duration;
 
     fn cfg() -> HdlcConfig {
         let mut c = HdlcConfig::paper_default();
@@ -541,3 +602,5 @@ mod tests {
         assert!(s.poll_transmit(now + cfg().t_f).is_some());
     }
 }
+
+// ------------------------------------------------------------ sans-IO host contract

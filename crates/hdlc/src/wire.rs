@@ -227,5 +227,41 @@ mod tests {
             let f = HdlcFrame::Rr { nr, fin };
             prop_assert_eq!(roundtrip(&f, nr), f);
         }
+
+        #[test]
+        fn prop_reject_roundtrips(nr in 0u64..100_000, selective in proptest::bool::ANY) {
+            let f = if selective {
+                HdlcFrame::Srej { nr }
+            } else {
+                HdlcFrame::Rej { nr }
+            };
+            prop_assert_eq!(roundtrip(&f, nr), f);
+        }
+
+        #[test]
+        fn prop_garbage_never_panics(
+            bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..96),
+            reference in 0u64..1_000_000,
+        ) {
+            // Raw network input must never panic the decoder.
+            let _ = decode(&bytes, reference, M);
+        }
+
+        #[test]
+        fn prop_truncated_never_panics(
+            ns in 0u64..100_000,
+            payload in proptest::collection::vec(proptest::num::u8::ANY, 0..64),
+            cut in proptest::num::u64::ANY,
+        ) {
+            let f = HdlcFrame::Info {
+                ns,
+                packet_id: ns ^ 0x5A5A,
+                poll: false,
+                payload: Bytes::from(payload),
+            };
+            let bytes = encode(&f, M);
+            let cut = (cut as usize) % bytes.len(); // strictly shorter
+            prop_assert!(decode(&bytes[..cut], ns, M).is_err());
+        }
     }
 }

@@ -1,0 +1,31 @@
+//! Loopback smoke test: real UDP, injected drops, in-order delivery,
+//! clean shutdown. This is the CI gate for the sans-IO refactor's
+//! "second host" — the same machines the simulator drives must finish
+//! a lossy transfer over actual sockets.
+
+use lams_dlc_io::{run_loopback, IoConfig};
+use std::time::Duration;
+
+#[test]
+fn lossy_loopback_delivers_everything_in_order() {
+    let cfg = IoConfig {
+        sdus: 200,
+        payload_len: 64,
+        drop_every: 7,
+        timeout: Duration::from_secs(60),
+    };
+    let summary = run_loopback(&cfg).expect("transfer must complete");
+    assert_eq!(summary.delivered, 200, "every SDU delivered");
+    assert!(
+        summary.drops_injected >= 200 / 7,
+        "loss injector must actually fire (injected {})",
+        summary.drops_injected
+    );
+    assert!(
+        summary.retransmissions >= summary.drops_injected,
+        "each dropped frame needs at least one retransmission \
+         (drops {} vs retx {})",
+        summary.drops_injected,
+        summary.retransmissions
+    );
+}

@@ -1,6 +1,6 @@
 //! Protocol configuration.
 
-use sim_core::Duration;
+use proto_core::Duration;
 
 /// Tunable parameters of a LAMS-DLC endpoint pair.
 ///

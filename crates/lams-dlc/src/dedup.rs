@@ -17,7 +17,7 @@
 //! [`PacketId`]s with O(1) amortised insert/query.
 
 use crate::frame::PacketId;
-use sim_core::{Duration, Instant};
+use proto_core::{Duration, Instant};
 use std::collections::{HashSet, VecDeque};
 
 /// A time-windowed set of recently accepted packet ids.

@@ -1,7 +1,7 @@
 //! Events surfaced by the protocol endpoints to the layer above.
 
 use crate::frame::PacketId;
-use sim_core::Instant;
+use proto_core::Instant;
 
 /// Events emitted by the [`crate::sender::Sender`].
 #[derive(Clone, Debug, PartialEq)]

@@ -13,7 +13,7 @@
 
 use crate::config::FlowConfig;
 use crate::frame::StopGo;
-use sim_core::Instant;
+use proto_core::Instant;
 
 /// AIMD-style rate controller driven by checkpoint Stop-Go bits.
 #[derive(Clone, Debug)]
@@ -87,7 +87,7 @@ impl RateController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sim_core::Duration;
+    use proto_core::Duration;
 
     fn ctl() -> RateController {
         RateController::new(FlowConfig::default())

@@ -96,20 +96,14 @@ pub enum Frame {
 
 /// Reception status attached by the physical layer / FEC decoder.
 ///
-/// The simulation's fast path corrupts frames logically rather than
-/// bit-exactly; this enum is how the channel tells the protocol what
-/// survived. Headers carry their own (stronger) protection, so a frame can
-/// be *payload-corrupted but identifiable* — the case the paper's NAK
+/// The type now lives in `proto-core` (every host speaks it); the
+/// re-export keeps the historical `lams_dlc::RxStatus` path. Headers
+/// carry their own (stronger) protection, so a frame can be
+/// *payload-corrupted but identifiable* — the case the paper's NAK
 /// scheme depends on. A frame whose header is also destroyed is
 /// indistinguishable from silence and is detected by the sequence gap it
 /// leaves (assumption 9: losses are detectable errors).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum RxStatus {
-    /// Frame decoded cleanly (CRC passed).
-    Ok,
-    /// Header readable but payload residually corrupted (CRC failed).
-    PayloadCorrupted,
-}
+pub use proto_core::RxStatus;
 
 impl Frame {
     /// Convenience: the frame's kind as a short static label (metrics).
@@ -134,6 +128,16 @@ impl CheckPoint {
     /// the paper calls it a **Resolving Command**.
     pub fn is_resolving_command(&self) -> bool {
         self.enforced && self.naks.is_empty()
+    }
+}
+
+impl proto_core::WireFrame for Frame {
+    fn wire_len(&self) -> usize {
+        crate::wire::encoded_len(self)
+    }
+
+    fn is_info(&self) -> bool {
+        Frame::is_info(self)
     }
 }
 

@@ -42,7 +42,7 @@
 //! ```
 //! use lams_dlc::{LamsConfig, Sender, Receiver, PacketId, RxStatus};
 //! use bytes::Bytes;
-//! use sim_core::Instant;
+//! use proto_core::Instant;
 //!
 //! let cfg = LamsConfig::paper_default();
 //! let mut tx = Sender::new(cfg.clone());

@@ -23,9 +23,9 @@ use crate::dedup::DedupWindow;
 use crate::events::ReceiverEvent;
 use crate::frame::{CheckPoint, ControlFrame, Frame, InfoFrame, PacketId, RxStatus, StopGo};
 use bytes::Bytes;
-use sim_core::Instant;
+use proto_core::Instant;
+use proto_core::{Trace, TraceEvent};
 use std::collections::{BTreeSet, VecDeque};
-use telemetry::{Trace, TraceEvent};
 
 /// A datagram handed to the network layer.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -124,12 +124,6 @@ impl Receiver {
             dedup: None,
             trace: Trace::disabled(),
         }
-    }
-
-    /// Attach a telemetry trace handle; disabled by default.
-    pub fn with_trace(mut self, trace: Trace) -> Self {
-        self.trace = trace;
-        self
     }
 
     /// Enable the zero-duplication extension (§3.2's "more recent
@@ -377,10 +371,70 @@ impl Receiver {
     }
 }
 
+impl proto_core::Machine for Receiver {
+    type Frame = Frame;
+    type Event = ReceiverEvent;
+
+    fn start(&mut self, now: Instant) {
+        Receiver::start(self, now);
+    }
+
+    fn handle_frame(&mut self, now: Instant, frame: Frame, status: RxStatus) {
+        Receiver::handle_frame(self, now, frame, status);
+    }
+
+    fn poll_transmit(&mut self, now: Instant) -> Option<Frame> {
+        Receiver::poll_transmit(self, now)
+    }
+
+    fn poll_timeout(&self) -> Option<Instant> {
+        Receiver::poll_timeout(self)
+    }
+
+    fn on_timeout(&mut self, now: Instant) {
+        Receiver::on_timeout(self, now);
+    }
+
+    fn poll_event(&mut self) -> Option<ReceiverEvent> {
+        Receiver::poll_event(self)
+    }
+
+    fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+}
+
+impl proto_core::ReceiverMachine for Receiver {
+    fn poll_deliver(&mut self, now: Instant) -> Option<proto_core::Delivered> {
+        Receiver::poll_deliver(self, now).map(|d| proto_core::Delivered {
+            id: d.packet_id.0,
+            payload: d.payload,
+        })
+    }
+
+    fn occupancy(&self) -> usize {
+        self.processing_occupancy()
+    }
+
+    fn stat_pairs(&self) -> Vec<(&'static str, f64)> {
+        let s = self.stats();
+        vec![
+            (
+                "lams.receiver.overflow_discards",
+                s.overflow_discards as f64,
+            ),
+            ("lams.receiver.enforced_naks_sent", s.enforced_sent as f64),
+            ("lams.receiver.checkpoints_sent", s.checkpoints_sent as f64),
+            ("lams.receiver.gaps_inferred", s.gaps_inferred as f64),
+            ("lams.receiver.corrupted_arrivals", s.corrupted as f64),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sim_core::Duration;
+    use proto_core::Duration;
 
     fn cfg() -> LamsConfig {
         LamsConfig::paper_default()
@@ -730,3 +784,5 @@ mod tests {
         assert_eq!(indices, vec![1, 2, 3]);
     }
 }
+
+// ------------------------------------------------------------ sans-IO host contract

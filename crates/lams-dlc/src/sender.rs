@@ -41,9 +41,9 @@ use crate::events::SenderEvent;
 use crate::flow::RateController;
 use crate::frame::{CheckPoint, ControlFrame, Frame, InfoFrame, PacketId, RxStatus};
 use bytes::Bytes;
-use sim_core::{Duration, Instant};
+use proto_core::{Duration, Instant};
+use proto_core::{Trace, TraceEvent};
 use std::collections::{BTreeMap, VecDeque};
-use telemetry::{Trace, TraceEvent};
 
 /// Why a queued SDU is awaiting (re)transmission.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -176,12 +176,6 @@ impl Sender {
     /// then fails with [`QueueFull`] when the cap is reached.
     pub fn with_queue_capacity(mut self, cap: usize) -> Self {
         self.queue_capacity = Some(cap);
-        self
-    }
-
-    /// Attach a telemetry trace handle; disabled by default.
-    pub fn with_trace(mut self, trace: Trace) -> Self {
-        self.trace = trace;
         self
     }
 
@@ -608,6 +602,87 @@ impl Sender {
     /// C_depth·W_cp` plus slack) — exposed for tests and experiments.
     pub fn resolving_period(&self) -> Duration {
         self.cfg.resolving_period()
+    }
+}
+
+impl proto_core::Machine for Sender {
+    type Frame = Frame;
+    type Event = SenderEvent;
+
+    fn start(&mut self, now: Instant) {
+        Sender::start(self, now);
+    }
+
+    fn handle_frame(&mut self, now: Instant, frame: Frame, status: RxStatus) {
+        Sender::handle_frame(self, now, frame, status);
+    }
+
+    fn poll_transmit(&mut self, now: Instant) -> Option<Frame> {
+        Sender::poll_transmit(self, now)
+    }
+
+    fn poll_timeout(&self) -> Option<Instant> {
+        Sender::poll_timeout(self)
+    }
+
+    fn on_timeout(&mut self, now: Instant) {
+        Sender::on_timeout(self, now);
+    }
+
+    fn poll_event(&mut self) -> Option<SenderEvent> {
+        Sender::poll_event(self)
+    }
+
+    fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+}
+
+impl proto_core::SenderMachine for Sender {
+    fn push(&mut self, id: u64, payload: Bytes) -> bool {
+        Sender::push(self, PacketId(id), payload).is_ok()
+    }
+
+    fn buffered(&self) -> usize {
+        Sender::buffered(self)
+    }
+
+    fn is_failed(&self) -> bool {
+        self.state() == SenderState::Failed
+    }
+
+    fn rate(&self) -> f64 {
+        Sender::rate(self)
+    }
+
+    fn transmissions(&self) -> u64 {
+        let s = self.stats();
+        s.new_transmissions + s.retransmissions
+    }
+
+    fn retransmissions(&self) -> u64 {
+        self.stats().retransmissions
+    }
+
+    fn released_holding_ns(event: &SenderEvent) -> Option<u64> {
+        match event {
+            SenderEvent::Released { held_for_ns, .. } => Some(*held_for_ns),
+            _ => None,
+        }
+    }
+
+    fn stat_pairs(&self) -> Vec<(&'static str, f64)> {
+        let s = self.stats();
+        vec![
+            ("lams.sender.request_naks", s.request_naks as f64),
+            ("lams.sender.unsafe_gaps", s.unsafe_gaps as f64),
+            ("lams.sender.resolve_expiries", s.resolve_expiries as f64),
+            (
+                "lams.sender.suspect_retransmissions",
+                s.suspect_retransmissions as f64,
+            ),
+            ("lams.sender.checkpoints_received", s.checkpoints as f64),
+        ]
     }
 }
 
@@ -1041,3 +1116,5 @@ mod tests {
         assert_eq!(d, now + cfg().expected_rtt + cfg().checkpoint_timeout());
     }
 }
+
+// ------------------------------------------------------------ sans-IO host contract

@@ -378,5 +378,57 @@ mod tests {
             }));
             prop_assert_eq!(roundtrip(&f, base), f);
         }
+
+        #[test]
+        fn prop_checkpoint_probe_roundtrip(
+            index in proptest::num::u64::ANY,
+            base in 1000u64..1_000_000,
+            probe in proptest::num::u64::ANY,
+            enforced in proptest::bool::ANY,
+        ) {
+            // The probe echo rides an extra trailing field gated by a
+            // flag bit — exercise both the flag and the field.
+            let f = Frame::Control(ControlFrame::CheckPoint(CheckPoint {
+                index,
+                covered: base,
+                naks: vec![base - 1],
+                enforced,
+                probe: Some(probe),
+                stop_go: StopGo::Stop,
+            }));
+            prop_assert_eq!(roundtrip(&f, base), f);
+        }
+
+        #[test]
+        fn prop_request_nak_roundtrip(probe in proptest::num::u64::ANY) {
+            let f = Frame::Control(ControlFrame::RequestNak { probe });
+            prop_assert_eq!(roundtrip(&f, 0), f);
+        }
+
+        #[test]
+        fn prop_garbage_never_panics(
+            bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..128),
+            reference in 0u64..1_000_000_000,
+        ) {
+            // Arbitrary datagrams must produce Ok or Err, never a panic
+            // (hosts feed raw network input straight into decode).
+            let _ = decode(&bytes, reference, M);
+        }
+
+        #[test]
+        fn prop_truncated_never_panics(
+            seq in 0u64..1_000_000,
+            payload in proptest::collection::vec(proptest::num::u8::ANY, 0..64),
+            cut in proptest::num::u64::ANY,
+        ) {
+            let f = Frame::Info(InfoFrame {
+                seq,
+                packet_id: PacketId(seq ^ 0xABCD),
+                payload: Bytes::from(payload),
+            });
+            let bytes = encode(&f, M);
+            let cut = (cut as usize) % bytes.len(); // strictly shorter
+            prop_assert!(decode(&bytes[..cut], seq, M).is_err());
+        }
     }
 }

@@ -1,0 +1,467 @@
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+//! # model-check
+//!
+//! Deterministic adversarial model checking for the sans-IO LAMS-DLC
+//! machines. This crate depends on `proto-core` and `lams-dlc` only —
+//! no simulator, no telemetry: it is the existence proof that the
+//! protocol state machines can be explored as pure functions of
+//! `(time, frame)` inputs.
+//!
+//! Each [`Schedule`] derives, from a single index, a seeded channel
+//! adversary that may **drop**, **duplicate**, **reorder** (extra
+//! delay), or **corrupt** frames in either direction, and may bound the
+//! channel's in-flight **capacity** (overflow behaves as loss). The
+//! explorer advances a virtual clock from event to event — next frame
+//! arrival or next machine deadline — exactly like a host would, and
+//! checks on every step:
+//!
+//! * **exactly-once, in-order delivery** — the resequenced application
+//!   stream is `0, 1, 2, …` with no duplicate and no gap;
+//! * **monotone wire numbering** — every information frame the sender
+//!   emits carries a strictly larger logical sequence number than the
+//!   previous one (renumbering never reuses);
+//! * **bounded numbering** — every frame survives a wire round-trip
+//!   (`wire::encode` → `wire::decode` against the receiver's current
+//!   reference); if the compressed sequence window were ever outrun,
+//!   the decode would disagree with the original frame;
+//! * **progress** — with SDUs undelivered there is always a pending
+//!   arrival or an armed timer, and the whole run finishes within a
+//!   generous step budget.
+//!
+//! A run ends in [`Outcome::Complete`] when every SDU has been
+//! delivered and the sender has released every buffer, or in
+//! [`Outcome::LinkFailed`] when the sender's failure timer fired — the
+//! protocol's *declared* terminal state, acceptable only because the
+//! adversary really was severing the link ([`Schedule::drop_pct`] or
+//! [`Schedule::corrupt_pct`] non-zero).
+
+use bytes::Bytes;
+use lams_dlc::{
+    wire, Frame, LamsConfig, PacketId, Receiver, Resequencer, RxStatus, Sender, SenderState,
+};
+use proto_core::{Duration, Instant};
+
+mod rng;
+pub use rng::Rng;
+
+/// One adversarial channel schedule, fully determined by its fields.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// RNG seed for every per-frame adversary decision.
+    pub seed: u64,
+    /// SDUs to transfer.
+    pub sdus: u64,
+    /// Percent of frames dropped outright.
+    pub drop_pct: u8,
+    /// Percent of frames duplicated (the copy takes a longer path).
+    pub dup_pct: u8,
+    /// Percent of frames given extra delay (causes reordering).
+    pub reorder_pct: u8,
+    /// Percent of frames delivered payload-corrupted: information
+    /// frames take the receiver's NAK path, control frames are dropped
+    /// by the sender's FEC check — the paper's corrupt-feedback case.
+    pub corrupt_pct: u8,
+    /// Channel capacity: frames in flight beyond this are lost
+    /// (`usize::MAX` = unbounded).
+    pub capacity: usize,
+}
+
+impl Schedule {
+    /// Derive the `index`-th schedule of the standard sweep: a
+    /// deterministic spread over loss, duplication, reordering,
+    /// corruption and capacity regimes (including the clean channel).
+    pub fn derive(index: u64) -> Schedule {
+        let mut r = Rng::new(0x9E37_79B9_7F4A_7C15 ^ (index.wrapping_mul(0xA24B_AED4_963E_E407)));
+        let seed = r.next_u64();
+        Schedule {
+            seed,
+            sdus: [20, 50, 100][(r.next_u64() % 3) as usize],
+            drop_pct: [0, 5, 10, 20, 30][(r.next_u64() % 5) as usize],
+            dup_pct: [0, 5, 15][(r.next_u64() % 3) as usize],
+            reorder_pct: [0, 10, 25][(r.next_u64() % 3) as usize],
+            corrupt_pct: [0, 5, 15][(r.next_u64() % 3) as usize],
+            capacity: [8, 32, usize::MAX, usize::MAX][(r.next_u64() % 4) as usize],
+        }
+    }
+
+    fn is_adversarial(&self) -> bool {
+        self.drop_pct > 0 || self.corrupt_pct > 0 || self.capacity != usize::MAX
+    }
+}
+
+/// Terminal state of one schedule run.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// All SDUs delivered exactly once in order; sender drained.
+    Complete {
+        /// Explorer steps taken.
+        steps: u64,
+        /// Virtual time consumed.
+        elapsed: Duration,
+        /// Sender retransmissions performed.
+        retransmissions: u64,
+    },
+    /// The sender's failure timer fired and it declared the link dead —
+    /// legitimate under a severing adversary, an invariant violation
+    /// otherwise (reported as [`Violation`], not as this variant).
+    LinkFailed {
+        /// SDUs that made it through, in order, before the declaration.
+        delivered: u64,
+    },
+}
+
+/// A broken invariant, with enough context to replay the schedule.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The offending schedule (re-run it to reproduce).
+    pub schedule: Schedule,
+    /// What broke.
+    pub what: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} under {:?}", self.what, self.schedule)
+    }
+}
+
+/// A frame in flight, queued for arrival.
+struct InFlight {
+    arrival: Instant,
+    frame: Frame,
+    status: RxStatus,
+    /// Tie-break so equal arrival instants pop in send order.
+    order: u64,
+}
+
+/// One direction of the adversarial channel.
+struct AdversarialLink {
+    in_flight: Vec<InFlight>,
+    base_delay: Duration,
+    next_order: u64,
+}
+
+impl AdversarialLink {
+    fn new(base_delay: Duration) -> Self {
+        AdversarialLink {
+            in_flight: Vec::new(),
+            base_delay,
+            next_order: 0,
+        }
+    }
+
+    /// Apply the adversary's per-frame decisions and enqueue.
+    fn send(&mut self, now: Instant, frame: Frame, sched: &Schedule, rng: &mut Rng) {
+        if self.in_flight.len() >= sched.capacity || rng.chance(sched.drop_pct) {
+            return; // capacity overflow and random loss both look like silence
+        }
+        let status = if rng.chance(sched.corrupt_pct) {
+            RxStatus::PayloadCorrupted
+        } else {
+            RxStatus::Ok
+        };
+        let jitter = if rng.chance(sched.reorder_pct) {
+            Duration::from_micros(rng.below(5_000))
+        } else {
+            Duration::ZERO
+        };
+        let duplicate = rng.chance(sched.dup_pct);
+        let arrival = now + self.base_delay + jitter;
+        self.push(arrival, frame.clone(), status);
+        if duplicate && self.in_flight.len() < sched.capacity {
+            let late = arrival + Duration::from_micros(1_000 + rng.below(10_000));
+            self.push(late, frame, status);
+        }
+    }
+
+    fn push(&mut self, arrival: Instant, frame: Frame, status: RxStatus) {
+        self.in_flight.push(InFlight {
+            arrival,
+            frame,
+            status,
+            order: self.next_order,
+        });
+        self.next_order += 1;
+    }
+
+    fn next_arrival(&self) -> Option<Instant> {
+        self.in_flight.iter().map(|f| f.arrival).min()
+    }
+
+    /// Pop the earliest frame due at or before `now`, if any.
+    fn pop_due(&mut self, now: Instant) -> Option<(Frame, RxStatus)> {
+        let idx = self
+            .in_flight
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.arrival <= now)
+            .min_by_key(|(_, f)| (f.arrival, f.order))
+            .map(|(i, _)| i)?;
+        let f = self.in_flight.swap_remove(idx);
+        Some((f.frame, f.status))
+    }
+}
+
+/// Step budget per schedule: far beyond any legitimate run (a clean
+/// 100-SDU transfer takes a few thousand steps), so hitting it means
+/// livelock.
+const MAX_STEPS: u64 = 500_000;
+
+/// Run one schedule to its terminal state, checking every invariant on
+/// the way.
+pub fn run_schedule(sched: &Schedule) -> Result<Outcome, Violation> {
+    let cfg = LamsConfig::paper_default();
+    let modulus = cfg.seq_modulus();
+    // Nominal one-way delay just under half the configured round trip,
+    // so an unmolested frame meets the paper's deterministic-RTT
+    // assumption while any adversary jitter lands it late.
+    let base_delay = Duration::from_nanos(cfg.expected_rtt.as_nanos() / 2 - 100_000);
+
+    let violation = |what: String| Violation {
+        schedule: sched.clone(),
+        what,
+    };
+
+    let mut rng = Rng::new(sched.seed);
+    let mut sender = Sender::new(cfg.clone());
+    let mut receiver = Receiver::new(cfg);
+    let mut data_link = AdversarialLink::new(base_delay); // sender → receiver
+    let mut feedback_link = AdversarialLink::new(base_delay); // receiver → sender
+
+    let mut now = Instant::ZERO;
+    sender.start(now);
+    receiver.start(now);
+
+    let mut next_id: u64 = 0;
+    let mut expected: u64 = 0;
+    let mut reseq = Resequencer::new(0);
+    let mut last_info_seq: Option<u64> = None;
+    let mut tx_reference: u64 = 0;
+    let mut steps: u64 = 0;
+
+    loop {
+        steps += 1;
+        if steps > MAX_STEPS {
+            return Err(violation(format!(
+                "no termination within {MAX_STEPS} steps (delivered {expected}/{})",
+                sched.sdus
+            )));
+        }
+
+        // Feed the sender.
+        while next_id < sched.sdus {
+            let payload = Bytes::from(vec![(next_id & 0xff) as u8; 32]);
+            match sender.push(PacketId(next_id), payload) {
+                Ok(()) => next_id += 1,
+                Err(_) => break,
+            }
+        }
+
+        // Fire due timers.
+        if sender.poll_timeout().is_some_and(|d| d <= now) {
+            sender.on_timeout(now);
+        }
+        if receiver.poll_timeout().is_some_and(|d| d <= now) {
+            receiver.on_timeout(now);
+        }
+
+        // Sender transmissions → data link, with the monotone-numbering
+        // and wire round-trip checks at the emission point.
+        while let Some(frame) = sender.poll_transmit(now) {
+            if let Frame::Info(ref info) = frame {
+                if let Some(prev) = last_info_seq {
+                    if info.seq <= prev {
+                        return Err(violation(format!(
+                            "wire numbering not monotone: {} after {prev}",
+                            info.seq
+                        )));
+                    }
+                }
+                last_info_seq = Some(info.seq);
+                tx_reference = tx_reference.max(info.seq);
+                let encoded = wire::encode(&frame, modulus);
+                match wire::decode(&encoded, receiver.highest_seen(), modulus) {
+                    Ok(decoded) if decoded == frame => {}
+                    other => {
+                        return Err(violation(format!(
+                            "bounded numbering violated: seq {} does not survive the \
+                             wire against reference {} (decode: {other:?})",
+                            info.seq,
+                            receiver.highest_seen()
+                        )));
+                    }
+                }
+            }
+            data_link.send(now, frame, sched, &mut rng);
+        }
+
+        // Receiver feedback → feedback link, round-tripped against the
+        // sender's reference.
+        while let Some(frame) = receiver.poll_transmit(now) {
+            let encoded = wire::encode(&frame, modulus);
+            match wire::decode(&encoded, tx_reference, modulus) {
+                Ok(decoded) if decoded == frame => {}
+                other => {
+                    return Err(violation(format!(
+                        "feedback frame does not survive the wire against \
+                         reference {tx_reference} (decode: {other:?})"
+                    )));
+                }
+            }
+            feedback_link.send(now, frame, sched, &mut rng);
+        }
+
+        // Arrivals due now.
+        while let Some((frame, status)) = data_link.pop_due(now) {
+            receiver.handle_frame(now, frame, status);
+        }
+        while let Some((frame, status)) = feedback_link.pop_due(now) {
+            sender.handle_frame(now, frame, status);
+        }
+
+        // Application delivery: resequenced, exactly-once, in order.
+        while let Some(d) = receiver.poll_deliver(now) {
+            for (pid, _payload) in reseq.offer(d.packet_id, d.payload) {
+                if pid.0 != expected {
+                    return Err(violation(format!(
+                        "delivery order broken: released {} while expecting {expected}",
+                        pid.0
+                    )));
+                }
+                expected += 1;
+            }
+        }
+        while sender.poll_event().is_some() {}
+        while receiver.poll_event().is_some() {}
+
+        // Terminal states.
+        if expected == sched.sdus && sender.buffered() == 0 {
+            let stats = sender.stats();
+            return Ok(Outcome::Complete {
+                steps,
+                elapsed: now - Instant::ZERO,
+                retransmissions: stats.retransmissions,
+            });
+        }
+        if sender.state() == SenderState::Failed {
+            if sched.is_adversarial() {
+                return Ok(Outcome::LinkFailed {
+                    delivered: expected,
+                });
+            }
+            return Err(violation(
+                "sender declared link failure on a clean channel".into(),
+            ));
+        }
+
+        // Advance the clock to the next event.
+        let mut next: Option<Instant> = None;
+        let mut consider = |c: Option<Instant>| {
+            next = match (next, c) {
+                (None, c) => c,
+                (Some(a), None) => Some(a),
+                (Some(a), Some(b)) => Some(a.min(b)),
+            };
+        };
+        consider(sender.poll_timeout());
+        consider(receiver.poll_timeout());
+        consider(data_link.next_arrival());
+        consider(feedback_link.next_arrival());
+        match next {
+            Some(t) => now = now.max(t),
+            None => {
+                return Err(violation(format!(
+                    "deadlock: no pending event with {} of {} SDUs delivered",
+                    expected, sched.sdus
+                )));
+            }
+        }
+    }
+}
+
+/// Aggregate result of a schedule sweep.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Schedules that delivered everything.
+    pub complete: u64,
+    /// Schedules ending in a (legitimately) declared link failure.
+    pub link_failures: u64,
+    /// Invariant violations found.
+    pub violations: Vec<Violation>,
+    /// Total retransmissions across completed schedules.
+    pub retransmissions: u64,
+}
+
+/// Run the standard sweep: schedules `0..count` via [`Schedule::derive`].
+pub fn run_sweep(count: u64) -> Report {
+    let mut report = Report::default();
+    for index in 0..count {
+        let sched = Schedule::derive(index);
+        match run_schedule(&sched) {
+            Ok(Outcome::Complete {
+                retransmissions, ..
+            }) => {
+                report.complete += 1;
+                report.retransmissions += retransmissions;
+            }
+            Ok(Outcome::LinkFailed { .. }) => report.link_failures += 1,
+            Err(v) => report.violations.push(v),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_channel_completes() {
+        let sched = Schedule {
+            seed: 7,
+            sdus: 50,
+            drop_pct: 0,
+            dup_pct: 0,
+            reorder_pct: 0,
+            corrupt_pct: 0,
+            capacity: usize::MAX,
+        };
+        match run_schedule(&sched).expect("clean channel must hold invariants") {
+            Outcome::Complete {
+                retransmissions, ..
+            } => assert_eq!(retransmissions, 0, "clean channel needs no retransmission"),
+            other => panic!("clean channel did not complete: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lossy_channel_completes_with_retransmissions() {
+        let sched = Schedule {
+            seed: 42,
+            sdus: 50,
+            drop_pct: 20,
+            dup_pct: 10,
+            reorder_pct: 10,
+            corrupt_pct: 10,
+            capacity: usize::MAX,
+        };
+        match run_schedule(&sched).expect("adversary must not break invariants") {
+            Outcome::Complete {
+                retransmissions, ..
+            } => assert!(retransmissions > 0, "20% loss must force retransmission"),
+            Outcome::LinkFailed { .. } => {} // legitimate under this adversary
+        }
+    }
+
+    #[test]
+    fn derived_schedules_are_deterministic() {
+        let a = Schedule::derive(123);
+        let b = Schedule::derive(123);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.sdus, b.sdus);
+        assert_eq!(a.drop_pct, b.drop_pct);
+        assert_eq!(a.capacity, b.capacity);
+    }
+}

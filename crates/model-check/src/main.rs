@@ -1,0 +1,56 @@
+//! Adversarial schedule sweep for the sans-IO LAMS-DLC machines.
+//!
+//! ```text
+//! model-check [--schedules N]
+//! ```
+//!
+//! Runs `N` (default 1000) derived schedules through the pure machines
+//! and reports invariant violations. Exits non-zero if any invariant
+//! broke.
+
+use model_check::run_sweep;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut schedules: u64 = 1000;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--schedules" => match args.next().map(|v| v.parse()) {
+                Some(Ok(n)) => schedules = n,
+                _ => {
+                    eprintln!("--schedules requires an integer value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: model-check [--schedules N]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!("model-check: exploring {schedules} adversarial schedules");
+    let report = run_sweep(schedules);
+    println!(
+        "complete: {} | declared link failures: {} | violations: {} | \
+         retransmissions across completed runs: {}",
+        report.complete,
+        report.link_failures,
+        report.violations.len(),
+        report.retransmissions,
+    );
+    if report.violations.is_empty() {
+        println!("all invariants held");
+        ExitCode::SUCCESS
+    } else {
+        for v in &report.violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

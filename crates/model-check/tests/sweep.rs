@@ -1,0 +1,27 @@
+//! The acceptance sweep: 1000 derived adversarial schedules, zero
+//! invariant violations, and a sanity floor on how many complete.
+
+use model_check::run_sweep;
+
+#[test]
+fn thousand_schedules_zero_violations() {
+    let report = run_sweep(1000);
+    assert!(
+        report.violations.is_empty(),
+        "invariant violations: {:#?}",
+        report.violations
+    );
+    assert_eq!(report.complete + report.link_failures, 1000);
+    // Link failure is only legitimate under a severing adversary, and
+    // even then most schedules should push everything through.
+    assert!(
+        report.complete >= 900,
+        "too few schedules completed: {} (link failures {})",
+        report.complete,
+        report.link_failures
+    );
+    assert!(
+        report.retransmissions > 0,
+        "the sweep must exercise the recovery path"
+    );
+}

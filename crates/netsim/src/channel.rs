@@ -22,7 +22,7 @@
 //! `start` values (frames on one link direction are serialized, so this
 //! holds by construction in the harness).
 
-use crate::bits::BitBuf;
+use fec::BitBuf;
 use sim_core::{Duration, Instant, SimRng};
 
 /// A stochastic bit-error process on one link direction.

@@ -12,7 +12,13 @@
 //! scheduling, channel realisations and pump semantics:
 //!
 //! * [`endpoint`] — the sans-IO driving contract ([`TxEndpoint`] /
-//!   [`RxEndpoint`]) every protocol adapter implements;
+//!   [`RxEndpoint`]) the engine's event loop polls;
+//! * [`driver`] — [`Driver`], the one generic adapter binding any
+//!   [`proto_core::Machine`] to that contract (no per-protocol glue);
+//! * [`channel`] — stochastic bit-error processes (i.i.d.
+//!   [`channel::UniformBer`], continuous-time burst
+//!   [`channel::GilbertElliott`]) — simulator-side substrate, moved out
+//!   of `fec` so the codec crate stays host-agnostic;
 //! * [`link`] — the directional channel model: serialization, fixed or
 //!   orbital propagation delay, uniform/burst error processes, outages;
 //! * [`traffic`] — CBR / Poisson / on-off / batch SDU generators;
@@ -28,17 +34,22 @@
 //! timestamp ties by insertion order — a run is a pure function of its
 //! configuration and seed.
 
+pub mod channel;
 pub mod collect;
+pub mod driver;
 pub mod endpoint;
 pub mod engine;
 pub mod link;
 pub mod topology;
 pub mod traffic;
 
+pub use channel::{ErrorProcess, GeState, GilbertElliott, Lossless, UniformBer};
 pub use collect::Collect;
+pub use driver::Driver;
 pub use endpoint::{FrameMeta, RxEndpoint, TxEndpoint};
 pub use engine::{Outcome, Sim, SimBuilder, SimEvent};
 pub use link::{Channel, DelayModel, ErrorModel, Fate, Outage};
+pub use proto_core::{Machine, ReceiverMachine, SenderMachine};
 pub use topology::{
     ColId, EndpointId, LinkId, LinkSpec, NodeId, NodeRole, RxId, Topology, TopologyError, TxId,
 };

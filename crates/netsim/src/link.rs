@@ -6,7 +6,8 @@
 //! stochastic error process that decides whether the frame arrives clean,
 //! payload-corrupted, or (during an injected outage) not at all.
 
-use fec::{ErrorProcess, FecGrade, GilbertElliott, Lossless, UniformBer};
+use crate::channel::{ErrorProcess, GilbertElliott, Lossless, UniformBer};
+use fec::FecGrade;
 use sim_core::{Duration, Instant, SimRng};
 
 /// Propagation-delay model for one direction.

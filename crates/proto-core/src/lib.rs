@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+//! # proto-core
+//!
+//! Host-agnostic substrate for the LAMS-DLC reproduction's protocol
+//! state machines. This crate sits at the bottom of the workspace's
+//! dependency graph — it knows nothing about the simulator, telemetry
+//! sinks, sockets, or threads — and provides exactly three things:
+//!
+//! * [`Instant`] / [`Duration`] — plain-integer nanosecond time, with no
+//!   clock source attached (re-exported by `sim-core`, so simulator code
+//!   keeps its historical import paths);
+//! * [`TraceEvent`] / [`ProtoTrace`] / [`Trace`] — the protocol event
+//!   vocabulary and the pluggable sink contract hosts implement
+//!   (`telemetry` bridges it onto its timestamped-record sinks);
+//! * [`Machine`] / [`SenderMachine`] / [`ReceiverMachine`] — the sans-IO
+//!   state-machine contract every ARQ engine implements, letting one
+//!   generic driver run any protocol under the simulator, over real UDP
+//!   sockets, or inside the adversarial model checker.
+//!
+//! The layering is enforced in CI: `cargo tree -i sim-core` and
+//! `cargo tree -i telemetry` must never reach `proto-core`, `lams-dlc`
+//! or `hdlc`.
+
+pub mod machine;
+pub mod time;
+pub mod trace;
+
+pub use machine::{Delivered, Machine, ReceiverMachine, RxStatus, SenderMachine, WireFrame};
+pub use time::{Duration, Instant};
+pub use trace::{ProtoTrace, SharedTrace, Trace, TraceEvent};

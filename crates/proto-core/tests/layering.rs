@@ -1,0 +1,67 @@
+//! Dependency-direction assertion: the host-agnostic layer — this
+//! crate, the protocol machines, and the codec substrate they use —
+//! must never (re)grow an edge to the simulator or the telemetry
+//! pipeline. CI enforces the same property on the resolved graph via
+//! `cargo tree -i`; this test catches it at the manifest level so a
+//! plain `cargo test` fails fast too.
+
+use std::path::Path;
+
+/// Crates that must stay below the host layer.
+const PURE: &[&str] = &["proto-core", "lams-dlc", "hdlc", "fec"];
+
+/// Crates that belong to hosts (simulator, telemetry pipeline) and must
+/// not appear anywhere in a pure crate's manifest.
+const HOST_ONLY: &[&str] = &["sim-core", "telemetry", "netsim", "harness", "monitor"];
+
+#[test]
+fn pure_crates_have_no_host_dependencies() {
+    let crates_dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("crates/ directory")
+        .to_path_buf();
+    for name in PURE {
+        let manifest = crates_dir.join(name).join("Cargo.toml");
+        let text = std::fs::read_to_string(&manifest)
+            .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+        // Strip the [package] header (its `description` may mention
+        // other crates in prose); everything after covers the
+        // dependency sections.
+        let deps = text
+            .split_once("[dependencies]")
+            .map(|(_, rest)| rest)
+            .unwrap_or("");
+        for host in HOST_ONLY {
+            assert!(
+                !deps
+                    .lines()
+                    .any(|l| l.trim_start().starts_with(&format!("{host}.workspace"))
+                        || l.trim_start().starts_with(&format!("{host} ="))),
+                "{name}/Cargo.toml declares a dependency on {host}: \
+                 the protocol layer must stay host-agnostic"
+            );
+        }
+    }
+}
+
+#[test]
+fn proto_core_depends_on_bytes_alone() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR")).join("Cargo.toml");
+    let text = std::fs::read_to_string(manifest).expect("own manifest");
+    let deps = text
+        .split_once("[dependencies]")
+        .map(|(_, rest)| rest)
+        .expect("[dependencies] section");
+    let declared: Vec<&str> = deps
+        .lines()
+        .take_while(|l| !l.trim_start().starts_with('['))
+        .filter_map(|l| l.split(['.', ' ', '=']).next())
+        .filter(|s| !s.is_empty() && !s.starts_with('#'))
+        .collect();
+    assert_eq!(
+        declared,
+        vec!["bytes"],
+        "proto-core is the substrate everything else stands on; \
+         it must not accrete dependencies"
+    );
+}

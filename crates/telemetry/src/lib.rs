@@ -26,6 +26,7 @@ pub mod trace;
 pub use json::Json;
 pub use registry::{is_canonical_name, CounterHandle, Registry};
 pub use trace::{
-    global_handle, global_sink, install_global, parse_line, uninstall_global, BufferSink,
-    FanoutSink, JsonlSink, RingSink, SharedSink, Trace, TraceEvent, TraceRecord, TraceSink,
+    global_handle, global_sink, install_global, parse_line, sink_trace, uninstall_global,
+    BufferSink, FanoutSink, JsonlSink, RingSink, SharedSink, Trace, TraceEvent, TraceRecord,
+    TraceSink,
 };

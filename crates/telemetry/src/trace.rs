@@ -12,314 +12,119 @@
 //! JSON object per line to a writer (the `repro --trace <path>` flag).
 
 use crate::json::Json;
-use sim_core::time::Instant;
+use proto_core::time::Instant;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::io::{self, BufWriter, Write};
 use std::rc::Rc;
 
-/// One protocol event, the payload of a [`TraceRecord`].
-///
-/// Field vocabulary: `seq` is a wire sequence number, `index` a
-/// checkpoint index, `len` a payload length in bytes.
-#[derive(Clone, Debug, PartialEq)]
-pub enum TraceEvent {
-    /// An I-frame left the sender (first transmission or retransmission).
-    IFrameTx {
-        /// Wire sequence number.
-        seq: u64,
-        /// True for a retransmission.
-        retx: bool,
-        /// Payload length in bytes.
-        len: u64,
-    },
-    /// An I-frame arrived at the receiver.
-    IFrameRx {
-        /// Wire sequence number.
-        seq: u64,
-        /// False when the frame arrived corrupted.
-        clean: bool,
-        /// Payload length in bytes.
-        len: u64,
-    },
-    /// The receiver emitted a checkpoint frame.
-    CheckpointEmitted {
-        /// Checkpoint index (cyclic counter on the wire).
-        index: u64,
-        /// Highest in-sequence frame covered.
-        covered: u64,
-        /// NAKs carried in this checkpoint.
-        naks: u64,
-        /// True when this checkpoint carries a Request-NAK reply.
-        enforced: bool,
-        /// True when the checkpoint signals Stop (flow control).
-        stop: bool,
-    },
-    /// The sender received a checkpoint frame.
-    CheckpointReceived {
-        /// Checkpoint index.
-        index: u64,
-        /// Highest in-sequence frame covered (implicit-ACK horizon).
-        covered: u64,
-        /// NAKs carried.
-        naks: u64,
-    },
-    /// The sender inferred a lost checkpoint from an index gap.
-    CheckpointLost {
-        /// Index of the missing checkpoint.
-        index: u64,
-    },
-    /// The receiver recorded a NAK for a missing or corrupted frame.
-    Nak {
-        /// Wire sequence number being NAK'd.
-        seq: u64,
-        /// Index of the first checkpoint that will carry this NAK (the
-        /// current interval closes into that checkpoint).
-        cp_index: u64,
-    },
-    /// A NAK'd frame was renumbered with a fresh wire sequence number.
-    Renumbered {
-        /// Sequence number the NAK referred to.
-        old_seq: u64,
-        /// Fresh sequence number assigned for retransmission.
-        new_seq: u64,
-    },
-    /// Why a retransmission happened: emitted by the sender immediately
-    /// before the retransmitted copy's `IFrameTx`, carrying the causal
-    /// link the latency-attribution layer keys on.
-    RetxCause {
-        /// Fresh wire sequence number of the retransmitted copy.
-        seq: u64,
-        /// Cause class: `"nak"` (checkpoint NAK), `"resolve"` (resolving
-        /// timer expired), `"suspect"` (unsafe-index-gap defensive copy).
-        cause: &'static str,
-        /// Checkpoint index that triggered the retransmission (0 for
-        /// timer-driven causes, which no checkpoint triggered).
-        cp_index: u64,
-    },
-    /// The sender entered enforced recovery (sent a Request-NAK probe).
-    EnforcedRecoveryStarted {
-        /// Frames outstanding when recovery began.
-        outstanding: u64,
-    },
-    /// Enforced recovery resolved (Enforced-NAK received or state cleared).
-    EnforcedRecoveryResolved,
-    /// Flow-control state observed by the sender changed.
-    StopGo {
-        /// True = Stop (halt new transmissions), false = Go.
-        stop: bool,
-    },
-    /// A buffer crossed a watermark.
-    BufferWatermark {
-        /// Which buffer (`"tx"`, `"rx"`, `"reseq"`, ...).
-        buffer: &'static str,
-        /// Occupancy at the crossing.
-        level: u64,
-        /// True when crossing upward (filling), false when draining.
-        rising: bool,
-    },
-    /// A frame was dropped by the channel model.
-    ChannelDrop {
-        /// Direction: `"fwd"` (data) or `"rev"` (control).
-        dir: &'static str,
-    },
-    /// A baseline (HDLC) control frame was sent or processed.
-    Control {
-        /// Frame kind (`"rej"`, `"srej"`, `"rr"`, `"timeout"`).
-        kind: &'static str,
-        /// Related sequence number (0 when not applicable).
-        seq: u64,
-    },
-    /// The sender's failure timer declared the link dead.
-    LinkFailed,
-    /// A simulation run began (emitted by the netsim engine before the
-    /// first event is pumped). Observers reset per-run state here.
-    RunStarted,
-    /// A simulation run ended (the event loop drained or hit its
-    /// deadline).
-    RunFinished {
-        /// True when the run stopped at its deadline with work still
-        /// pending, false when it drained cleanly.
-        deadline_hit: bool,
-    },
-    /// The experiment runner is about to execute one experiment; every
-    /// following record up to the next marker belongs to it.
-    ExperimentStarted {
-        /// Experiment id (`"e1"`, ..., `"e17"`).
-        id: &'static str,
-    },
-    /// A LAMS-DLC sender announced its timing configuration at
-    /// `start()`. Carries everything an online auditor needs to bound
-    /// checkpoint cadence and frame resolution for this node.
-    SenderConfig {
-        /// Checkpoint interval `W_cp` in nanoseconds.
-        w_cp_ns: u64,
-        /// Cumulation depth `C_depth`.
-        c_depth: u64,
-        /// Expected round-trip time `R` in nanoseconds.
-        rtt_ns: u64,
-        /// Checkpoint-timer timeout (`C_depth·W_cp` + slack) in ns.
-        cp_timeout_ns: u64,
-        /// Resolving period (`R + W_cp/2 + C_depth·W_cp` + slack) in ns.
-        resolving_ns: u64,
-        /// Failure-timer duration in nanoseconds.
-        failure_ns: u64,
-    },
-    /// The sender released a buffered frame on implicit positive
-    /// acknowledgement (a checkpoint covered it without NAKing it).
-    BufferRelease {
-        /// Wire sequence number of the released copy.
-        seq: u64,
-        /// Time the frame spent buffered, in nanoseconds.
-        held_ns: u64,
-        /// Index of the covering checkpoint whose implicit ACK released
-        /// the frame.
-        cp_index: u64,
-    },
-    /// The destination resequencer held a delivered SDU before releasing
-    /// it in order (emitted only when the hold was non-zero).
-    ReseqHold {
-        /// End-to-end SDU id.
-        id: u64,
-        /// Time spent held in the resequencer, in nanoseconds.
-        held_ns: u64,
-    },
-}
+pub use proto_core::trace::{ProtoTrace, SharedTrace, Trace, TraceEvent};
 
-impl TraceEvent {
-    /// Stable machine-readable event name (the JSONL `event` field).
-    pub fn kind(&self) -> &'static str {
-        match self {
-            TraceEvent::IFrameTx { .. } => "iframe_tx",
-            TraceEvent::IFrameRx { .. } => "iframe_rx",
-            TraceEvent::CheckpointEmitted { .. } => "checkpoint_emitted",
-            TraceEvent::CheckpointReceived { .. } => "checkpoint_received",
-            TraceEvent::CheckpointLost { .. } => "checkpoint_lost",
-            TraceEvent::Nak { .. } => "nak",
-            TraceEvent::Renumbered { .. } => "renumbered",
-            TraceEvent::RetxCause { .. } => "retx_cause",
-            TraceEvent::EnforcedRecoveryStarted { .. } => "enforced_recovery_started",
-            TraceEvent::EnforcedRecoveryResolved => "enforced_recovery_resolved",
-            TraceEvent::StopGo { .. } => "stop_go",
-            TraceEvent::BufferWatermark { .. } => "buffer_watermark",
-            TraceEvent::ChannelDrop { .. } => "channel_drop",
-            TraceEvent::Control { .. } => "control",
-            TraceEvent::LinkFailed => "link_failed",
-            TraceEvent::RunStarted => "run_started",
-            TraceEvent::RunFinished { .. } => "run_finished",
-            TraceEvent::ExperimentStarted { .. } => "experiment_started",
-            TraceEvent::SenderConfig { .. } => "sender_config",
-            TraceEvent::BufferRelease { .. } => "buffer_release",
-            TraceEvent::ReseqHold { .. } => "reseq_hold",
+/// Event-specific JSON members (everything except `t`/`node`/`event`).
+fn event_fields(event: &TraceEvent) -> Vec<(&'static str, Json)> {
+    match *event {
+        TraceEvent::IFrameTx { seq, retx, len } => {
+            vec![
+                ("seq", seq.into()),
+                ("retx", retx.into()),
+                ("len", len.into()),
+            ]
         }
-    }
-
-    /// Event-specific JSON members (everything except `t`/`node`/`event`).
-    pub fn fields(&self) -> Vec<(&'static str, Json)> {
-        match *self {
-            TraceEvent::IFrameTx { seq, retx, len } => {
-                vec![
-                    ("seq", seq.into()),
-                    ("retx", retx.into()),
-                    ("len", len.into()),
-                ]
-            }
-            TraceEvent::IFrameRx { seq, clean, len } => {
-                vec![
-                    ("seq", seq.into()),
-                    ("clean", clean.into()),
-                    ("len", len.into()),
-                ]
-            }
-            TraceEvent::CheckpointEmitted {
-                index,
-                covered,
-                naks,
-                enforced,
-                stop,
-            } => vec![
-                ("index", index.into()),
-                ("covered", covered.into()),
-                ("naks", naks.into()),
-                ("enforced", enforced.into()),
-                ("stop", stop.into()),
-            ],
-            TraceEvent::CheckpointReceived {
-                index,
-                covered,
-                naks,
-            } => vec![
-                ("index", index.into()),
-                ("covered", covered.into()),
-                ("naks", naks.into()),
-            ],
-            TraceEvent::CheckpointLost { index } => vec![("index", index.into())],
-            TraceEvent::Nak { seq, cp_index } => {
-                vec![("seq", seq.into()), ("cp_index", cp_index.into())]
-            }
-            TraceEvent::Renumbered { old_seq, new_seq } => {
-                vec![("old_seq", old_seq.into()), ("new_seq", new_seq.into())]
-            }
-            TraceEvent::RetxCause {
-                seq,
-                cause,
-                cp_index,
-            } => vec![
+        TraceEvent::IFrameRx { seq, clean, len } => {
+            vec![
                 ("seq", seq.into()),
-                ("cause", cause.into()),
-                ("cp_index", cp_index.into()),
-            ],
-            TraceEvent::EnforcedRecoveryStarted { outstanding } => {
-                vec![("outstanding", outstanding.into())]
-            }
-            TraceEvent::EnforcedRecoveryResolved => vec![],
-            TraceEvent::StopGo { stop } => vec![("stop", stop.into())],
-            TraceEvent::BufferWatermark {
-                buffer,
-                level,
-                rising,
-            } => vec![
-                ("buffer", buffer.into()),
-                ("level", level.into()),
-                ("rising", rising.into()),
-            ],
-            TraceEvent::ChannelDrop { dir } => vec![("dir", dir.into())],
-            TraceEvent::Control { kind, seq } => {
-                vec![("kind", kind.into()), ("seq", seq.into())]
-            }
-            TraceEvent::LinkFailed => vec![],
-            TraceEvent::RunStarted => vec![],
-            TraceEvent::RunFinished { deadline_hit } => {
-                vec![("deadline_hit", deadline_hit.into())]
-            }
-            TraceEvent::ExperimentStarted { id } => vec![("id", id.into())],
-            TraceEvent::SenderConfig {
-                w_cp_ns,
-                c_depth,
-                rtt_ns,
-                cp_timeout_ns,
-                resolving_ns,
-                failure_ns,
-            } => vec![
-                ("w_cp_ns", w_cp_ns.into()),
-                ("c_depth", c_depth.into()),
-                ("rtt_ns", rtt_ns.into()),
-                ("cp_timeout_ns", cp_timeout_ns.into()),
-                ("resolving_ns", resolving_ns.into()),
-                ("failure_ns", failure_ns.into()),
-            ],
-            TraceEvent::BufferRelease {
-                seq,
-                held_ns,
-                cp_index,
-            } => vec![
-                ("seq", seq.into()),
-                ("held_ns", held_ns.into()),
-                ("cp_index", cp_index.into()),
-            ],
-            TraceEvent::ReseqHold { id, held_ns } => {
-                vec![("id", id.into()), ("held_ns", held_ns.into())]
-            }
+                ("clean", clean.into()),
+                ("len", len.into()),
+            ]
+        }
+        TraceEvent::CheckpointEmitted {
+            index,
+            covered,
+            naks,
+            enforced,
+            stop,
+        } => vec![
+            ("index", index.into()),
+            ("covered", covered.into()),
+            ("naks", naks.into()),
+            ("enforced", enforced.into()),
+            ("stop", stop.into()),
+        ],
+        TraceEvent::CheckpointReceived {
+            index,
+            covered,
+            naks,
+        } => vec![
+            ("index", index.into()),
+            ("covered", covered.into()),
+            ("naks", naks.into()),
+        ],
+        TraceEvent::CheckpointLost { index } => vec![("index", index.into())],
+        TraceEvent::Nak { seq, cp_index } => {
+            vec![("seq", seq.into()), ("cp_index", cp_index.into())]
+        }
+        TraceEvent::Renumbered { old_seq, new_seq } => {
+            vec![("old_seq", old_seq.into()), ("new_seq", new_seq.into())]
+        }
+        TraceEvent::RetxCause {
+            seq,
+            cause,
+            cp_index,
+        } => vec![
+            ("seq", seq.into()),
+            ("cause", cause.into()),
+            ("cp_index", cp_index.into()),
+        ],
+        TraceEvent::EnforcedRecoveryStarted { outstanding } => {
+            vec![("outstanding", outstanding.into())]
+        }
+        TraceEvent::EnforcedRecoveryResolved => vec![],
+        TraceEvent::StopGo { stop } => vec![("stop", stop.into())],
+        TraceEvent::BufferWatermark {
+            buffer,
+            level,
+            rising,
+        } => vec![
+            ("buffer", buffer.into()),
+            ("level", level.into()),
+            ("rising", rising.into()),
+        ],
+        TraceEvent::ChannelDrop { dir } => vec![("dir", dir.into())],
+        TraceEvent::Control { kind, seq } => {
+            vec![("kind", kind.into()), ("seq", seq.into())]
+        }
+        TraceEvent::LinkFailed => vec![],
+        TraceEvent::RunStarted => vec![],
+        TraceEvent::RunFinished { deadline_hit } => {
+            vec![("deadline_hit", deadline_hit.into())]
+        }
+        TraceEvent::ExperimentStarted { id } => vec![("id", id.into())],
+        TraceEvent::SenderConfig {
+            w_cp_ns,
+            c_depth,
+            rtt_ns,
+            cp_timeout_ns,
+            resolving_ns,
+            failure_ns,
+        } => vec![
+            ("w_cp_ns", w_cp_ns.into()),
+            ("c_depth", c_depth.into()),
+            ("rtt_ns", rtt_ns.into()),
+            ("cp_timeout_ns", cp_timeout_ns.into()),
+            ("resolving_ns", resolving_ns.into()),
+            ("failure_ns", failure_ns.into()),
+        ],
+        TraceEvent::BufferRelease {
+            seq,
+            held_ns,
+            cp_index,
+        } => vec![
+            ("seq", seq.into()),
+            ("held_ns", held_ns.into()),
+            ("cp_index", cp_index.into()),
+        ],
+        TraceEvent::ReseqHold { id, held_ns } => {
+            vec![("id", id.into()), ("held_ns", held_ns.into())]
         }
     }
 }
@@ -343,7 +148,7 @@ impl TraceRecord {
             ("node".into(), self.node.into()),
             ("event".into(), self.event.kind().into()),
         ];
-        for (k, v) in self.event.fields() {
+        for (k, v) in event_fields(&self.event) {
             members.push((k.into(), v));
         }
         Json::Obj(members)
@@ -360,7 +165,7 @@ impl TraceRecord {
         crate::json::write_str(out, self.node);
         out.push_str(",\"event\":");
         crate::json::write_str(out, self.event.kind());
-        for (k, v) in self.event.fields() {
+        for (k, v) in event_fields(&self.event) {
             out.push(',');
             crate::json::write_str(out, k);
             out.push(':');
@@ -871,68 +676,26 @@ impl TraceSink for FanoutSink {
 /// Shared, dynamically-dispatched sink handle.
 pub type SharedSink = Rc<RefCell<dyn TraceSink>>;
 
-/// Cheap per-node tracing handle carried by protocol state machines.
-///
-/// Disabled handles (the default) skip event construction entirely:
-/// `emit` checks one `Option` and returns.
-#[derive(Clone, Default)]
-pub struct Trace {
-    sink: Option<SharedSink>,
-    node: &'static str,
+/// A [`SharedSink`] viewed through the host-agnostic [`ProtoTrace`]
+/// contract: events arriving from protocol machines are stamped into
+/// [`TraceRecord`]s and forwarded to the wrapped record sink.
+struct SinkBridge {
+    sink: SharedSink,
 }
 
-impl Trace {
-    /// A disabled handle — every `emit` is a no-op.
-    pub fn disabled() -> Self {
-        Trace {
-            sink: None,
-            node: "",
-        }
-    }
-
-    /// A handle feeding `sink`, labelling records with `node`.
-    pub fn to_sink(sink: SharedSink, node: &'static str) -> Self {
-        Trace {
-            sink: Some(sink),
-            node,
-        }
-    }
-
-    /// This handle with a different node label, sharing the same sink.
-    pub fn labelled(&self, node: &'static str) -> Self {
-        Trace {
-            sink: self.sink.clone(),
-            node,
-        }
-    }
-
-    /// True when records will actually be recorded.
-    pub fn enabled(&self) -> bool {
-        self.sink.is_some()
-    }
-
-    /// Emit one event at simulated time `now`. The closure runs only
-    /// when a sink is attached.
-    #[inline]
-    pub fn emit(&self, now: Instant, build: impl FnOnce() -> TraceEvent) {
-        if let Some(sink) = &self.sink {
-            let rec = TraceRecord {
-                t: now,
-                node: self.node,
-                event: build(),
-            };
-            sink.borrow_mut().record(&rec);
-        }
+impl ProtoTrace for SinkBridge {
+    fn record(&mut self, t: Instant, node: &'static str, event: TraceEvent) {
+        self.sink
+            .borrow_mut()
+            .record(&TraceRecord { t, node, event });
     }
 }
 
-impl std::fmt::Debug for Trace {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Trace")
-            .field("node", &self.node)
-            .field("enabled", &self.enabled())
-            .finish()
-    }
+/// A [`Trace`] handle feeding a record sink, labelling records with
+/// `node`. This is the telemetry-side constructor for the
+/// [`proto_core::trace::Trace`] handle protocol machines carry.
+pub fn sink_trace(sink: SharedSink, node: &'static str) -> Trace {
+    Trace::to_sink(Rc::new(RefCell::new(SinkBridge { sink })), node)
 }
 
 thread_local! {
@@ -961,7 +724,7 @@ pub fn global_sink() -> Option<SharedSink> {
 /// A handle feeding the installed global sink (disabled when none).
 pub fn global_handle(node: &'static str) -> Trace {
     GLOBAL_SINK.with(|g| match &*g.borrow() {
-        Some(sink) => Trace::to_sink(sink.clone(), node),
+        Some(sink) => sink_trace(sink.clone(), node),
         None => Trace::disabled(),
     })
 }
@@ -1040,7 +803,7 @@ mod tests {
     #[test]
     fn trace_feeds_shared_sink() {
         let ring: SharedSink = Rc::new(RefCell::new(RingSink::new(16)));
-        let trace = Trace::to_sink(ring.clone(), "rx");
+        let trace = sink_trace(ring.clone(), "rx");
         trace.emit(Instant::from_millis(5), || TraceEvent::StopGo {
             stop: true,
         });

@@ -4,8 +4,9 @@
 //! into `RxStatus`; here we verify the abstraction is sound.
 
 use bytes::Bytes;
-use fec::{BitBuf, ErrorProcess, GilbertElliott, LinkCodec, UniformBer};
+use fec::{BitBuf, LinkCodec};
 use lams_dlc::{wire, Frame, InfoFrame, PacketId};
+use netsim::channel::{ErrorProcess, GilbertElliott, UniformBer};
 use sim_core::{Duration, Instant, SeedSplitter, SimRng};
 
 const MODULUS: u64 = 1 << 16;
@@ -54,7 +55,7 @@ fn rng(stream: u64) -> SimRng {
 #[test]
 fn clean_channel_full_pipeline_roundtrip() {
     let codec = LinkCodec::iframe_default();
-    let mut chan = fec::Lossless;
+    let mut chan = netsim::channel::Lossless;
     for seq in [1u64, 100, 65_535, 70_000] {
         let f = frame(seq, b"payload through the whole stack");
         let out = through_channel(&f, &codec, &mut chan, Instant::ZERO)
@@ -136,7 +137,7 @@ fn interleaver_rescues_bursts_end_to_end() {
 #[test]
 fn control_frames_roundtrip_bit_exact() {
     let codec = LinkCodec::iframe_default();
-    let mut chan = fec::Lossless;
+    let mut chan = netsim::channel::Lossless;
     let cp = Frame::Control(lams_dlc::ControlFrame::CheckPoint(lams_dlc::CheckPoint {
         index: 12,
         covered: 900,
