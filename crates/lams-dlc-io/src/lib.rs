@@ -7,14 +7,32 @@
 //! that `lams_dlc::{Sender, Receiver}` run unchanged outside the
 //! discrete-event simulator. The [`run_loopback`] transfer drives one
 //! sender/receiver pair over a pair of connected loopback UDP sockets,
-//! using the byte-level [`lams_dlc::wire`] codec for framing and the
-//! wall clock (mapped onto [`proto_core::Instant`]) for time.
+//! using the byte-level [`lams_dlc::wire`] codec for framing and a
+//! [`proto_core::Clock`] for time — the wall clock in production, a
+//! [`proto_core::ManualClock`] in deterministic tests.
 //!
 //! The host is deliberately dumb: it moves datagrams, fires the
 //! machines' timers when their `poll_timeout` deadlines pass, and
-//! injects a deterministic loss pattern (every `drop_every`-th
-//! information frame is discarded before the socket send) so the ARQ
-//! recovery path is exercised on real I/O, not just under simulation.
+//! injects deterministic adversity (every `drop_every`-th information
+//! frame discarded before the socket send, every `corrupt_every`-th
+//! arriving information frame handed over as payload-corrupted) so the
+//! ARQ recovery paths are exercised on real I/O, not just under
+//! simulation.
+//!
+//! ## Observability
+//!
+//! The host feeds the *same* telemetry pipeline the simulator uses:
+//! both machines trace into a [`telemetry::FanoutSink`] carrying a live
+//! [`monitor::Monitor`] (the five-invariant auditor plus windowed
+//! metric series) and, optionally, a JSONL trace file that
+//! `trace-tools audit` replays offline to the byte-identical verdict.
+//! The stream opens with a `trace_header` declaring its
+//! [`proto_core::ClockDomain`], so consumers know whether cadences are
+//! exact (sim) or jitter-bearing (wall). On a configurable cadence the
+//! host renders a machine-readable `lams-dlc.live/1` stats document
+//! (counters, audit verdict, windowed series, delivery-latency
+//! quantiles) to a file or stdout, and always appends one final
+//! document after the run's end-of-run audit.
 //!
 //! The machines hold `Rc`-based trace handles and are therefore not
 //! `Send`; both endpoints run on one thread, which a single-link UDP
@@ -24,10 +42,19 @@ use bytes::Bytes;
 use lams_dlc::{
     wire, Frame, LamsConfig, PacketId, Receiver, Resequencer, RxStatus, Sender, SenderState,
 };
-use proto_core::Instant;
-use std::io::ErrorKind;
+use monitor::{LiveSnapshot, Monitor, MonitorConfig};
+use proto_core::Machine as _;
+use proto_core::{Clock, Duration, WallClock};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::{BufWriter, ErrorKind, Write};
 use std::net::UdpSocket;
-use std::time::{Duration as WallDuration, Instant as WallInstant};
+use std::path::PathBuf;
+use std::rc::Rc;
+use telemetry::{sink_trace, FanoutSink, Json, JsonlSink, Registry, SharedSink, TraceEvent};
+
+/// Schema id of the live stats documents this host emits.
+pub const LIVE_SCHEMA: &str = "lams-dlc.live/1";
 
 /// Parameters of one loopback transfer.
 #[derive(Clone, Debug)]
@@ -40,10 +67,28 @@ pub struct IoConfig {
     /// the socket (counting both first transmissions and
     /// retransmissions). `0` disables loss injection.
     pub drop_every: u64,
+    /// Treat every `corrupt_every`-th *arriving* information frame as
+    /// payload-corrupted (CRC failure), exercising the NAK path without
+    /// touching bytes on the wire. `0` disables corruption injection.
+    pub corrupt_every: u64,
     /// Wall-clock budget for the whole transfer; exceeding it is an
     /// error (the machines should finish a loopback run in well under a
     /// second).
-    pub timeout: WallDuration,
+    pub timeout: std::time::Duration,
+    /// Where to write periodic `lams-dlc.live/1` stats documents:
+    /// `Some("-")` for stdout, `Some(path)` for a JSONL file, `None`
+    /// for no stats. A final document (`"final":true`) is always
+    /// appended after the end-of-run audit.
+    pub stats: Option<String>,
+    /// Cadence of the periodic stats documents.
+    pub stats_interval: std::time::Duration,
+    /// Write the full telemetry trace (JSONL [`telemetry::TraceRecord`]
+    /// lines) here for offline `trace-tools` replay.
+    pub trace: Option<PathBuf>,
+    /// Receiver resequencing capacity override as
+    /// `(capacity, stop_watermark)` — `None` for unbounded. Small
+    /// capacities force Stop-Go flow control on a loopback link.
+    pub rx_capacity: Option<(usize, usize)>,
 }
 
 impl Default for IoConfig {
@@ -52,7 +97,12 @@ impl Default for IoConfig {
             sdus: 200,
             payload_len: 64,
             drop_every: 7,
-            timeout: WallDuration::from_secs(30),
+            corrupt_every: 0,
+            timeout: std::time::Duration::from_secs(30),
+            stats: None,
+            stats_interval: std::time::Duration::from_millis(250),
+            trace: None,
+            rx_capacity: None,
         }
     }
 }
@@ -65,6 +115,8 @@ pub struct IoSummary {
     pub delivered: u64,
     /// Information frames discarded by the loss injector.
     pub drops_injected: u64,
+    /// Arriving information frames marked corrupted by the injector.
+    pub corruptions_injected: u64,
     /// Datagrams actually written to the data-direction socket.
     pub datagrams_sent: u64,
     /// Feedback datagrams written by the receiver side.
@@ -72,8 +124,15 @@ pub struct IoSummary {
     /// Sender retransmissions (should be ≥ `drops_injected` when loss
     /// injection is on — every dropped frame needs at least one).
     pub retransmissions: u64,
-    /// Wall-clock duration of the transfer.
-    pub wall: WallDuration,
+    /// Audit findings from the live monitor (0 on a healthy run).
+    pub audit_findings: u64,
+    /// Trace records the live monitor observed.
+    pub audit_records: u64,
+    /// Host counters (`io.inject.drops`, `io.tx.datagrams`, ...).
+    pub counters: Registry,
+    /// Wall-clock duration of the transfer (virtual under a manual
+    /// clock).
+    pub wall: std::time::Duration,
 }
 
 /// A [`LamsConfig`] suited to a loopback link: the paper's checkpoint
@@ -94,36 +153,382 @@ fn io_err(what: &str, e: std::io::Error) -> String {
     format!("{what}: {e}")
 }
 
-/// Run one sender→receiver transfer over real loopback UDP.
+/// The datagram medium a transfer runs over: a data direction
+/// (sender → receiver) and a feedback direction (receiver → sender).
+/// Receives are non-blocking (`Ok(None)` when nothing is pending).
+pub trait Transport {
+    /// Send one data-direction datagram.
+    fn send_data(&mut self, datagram: &[u8]) -> Result<(), String>;
+    /// Receive one data-direction datagram, if pending.
+    fn recv_data(&mut self, buf: &mut [u8]) -> Result<Option<usize>, String>;
+    /// Send one feedback-direction datagram.
+    fn send_feedback(&mut self, datagram: &[u8]) -> Result<(), String>;
+    /// Receive one feedback-direction datagram, if pending.
+    fn recv_feedback(&mut self, buf: &mut [u8]) -> Result<Option<usize>, String>;
+}
+
+/// Two connected non-blocking UDP sockets on ephemeral loopback ports:
+/// `a` is the sender's network interface, `b` the receiver's.
+pub struct UdpTransport {
+    a: UdpSocket,
+    b: UdpSocket,
+}
+
+impl UdpTransport {
+    /// Bind and cross-connect the loopback socket pair.
+    pub fn new() -> Result<Self, String> {
+        let a = UdpSocket::bind(("127.0.0.1", 0)).map_err(|e| io_err("bind a", e))?;
+        let b = UdpSocket::bind(("127.0.0.1", 0)).map_err(|e| io_err("bind b", e))?;
+        a.connect(b.local_addr().map_err(|e| io_err("addr b", e))?)
+            .map_err(|e| io_err("connect a", e))?;
+        b.connect(a.local_addr().map_err(|e| io_err("addr a", e))?)
+            .map_err(|e| io_err("connect b", e))?;
+        a.set_nonblocking(true)
+            .map_err(|e| io_err("nonblock a", e))?;
+        b.set_nonblocking(true)
+            .map_err(|e| io_err("nonblock b", e))?;
+        Ok(UdpTransport { a, b })
+    }
+}
+
+fn udp_recv(socket: &UdpSocket, buf: &mut [u8], what: &str) -> Result<Option<usize>, String> {
+    match socket.recv(buf) {
+        Ok(n) => Ok(Some(n)),
+        Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
+        Err(e) => Err(io_err(what, e)),
+    }
+}
+
+impl Transport for UdpTransport {
+    fn send_data(&mut self, datagram: &[u8]) -> Result<(), String> {
+        self.a
+            .send(datagram)
+            .map(|_| ())
+            .map_err(|e| io_err("send data", e))
+    }
+
+    fn recv_data(&mut self, buf: &mut [u8]) -> Result<Option<usize>, String> {
+        udp_recv(&self.b, buf, "recv data")
+    }
+
+    fn send_feedback(&mut self, datagram: &[u8]) -> Result<(), String> {
+        self.b
+            .send(datagram)
+            .map(|_| ())
+            .map_err(|e| io_err("send feedback", e))
+    }
+
+    fn recv_feedback(&mut self, buf: &mut [u8]) -> Result<Option<usize>, String> {
+        udp_recv(&self.a, buf, "recv feedback")
+    }
+}
+
+/// In-memory lossless transport: two FIFO datagram queues. Paired with
+/// a [`proto_core::ManualClock`] it makes the whole host loop
+/// deterministic — tests replay transfers to byte-identical traces
+/// with no sockets and no real waiting.
+#[derive(Debug, Default)]
+pub struct MemTransport {
+    fwd: VecDeque<Vec<u8>>,
+    rev: VecDeque<Vec<u8>>,
+}
+
+impl MemTransport {
+    /// An empty in-memory transport.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn mem_recv(queue: &mut VecDeque<Vec<u8>>, buf: &mut [u8]) -> Result<Option<usize>, String> {
+    match queue.pop_front() {
+        Some(d) if d.len() <= buf.len() => {
+            buf[..d.len()].copy_from_slice(&d);
+            Ok(Some(d.len()))
+        }
+        Some(d) => Err(format!("datagram of {} bytes exceeds buffer", d.len())),
+        None => Ok(None),
+    }
+}
+
+impl Transport for MemTransport {
+    fn send_data(&mut self, datagram: &[u8]) -> Result<(), String> {
+        self.fwd.push_back(datagram.to_vec());
+        Ok(())
+    }
+
+    fn recv_data(&mut self, buf: &mut [u8]) -> Result<Option<usize>, String> {
+        mem_recv(&mut self.fwd, buf)
+    }
+
+    fn send_feedback(&mut self, datagram: &[u8]) -> Result<(), String> {
+        self.rev.push_back(datagram.to_vec());
+        Ok(())
+    }
+
+    fn recv_feedback(&mut self, buf: &mut [u8]) -> Result<Option<usize>, String> {
+        mem_recv(&mut self.rev, buf)
+    }
+}
+
+/// Where the periodic stats documents go.
+enum StatsOut {
+    Stdout,
+    File(BufWriter<std::fs::File>),
+}
+
+impl StatsOut {
+    fn open(target: &str) -> Result<StatsOut, String> {
+        if target == "-" {
+            Ok(StatsOut::Stdout)
+        } else {
+            let f = std::fs::File::create(target)
+                .map_err(|e| io_err(&format!("create {target}"), e))?;
+            Ok(StatsOut::File(BufWriter::new(f)))
+        }
+    }
+
+    /// Write one document line and flush, so `tail -f` and pipes see
+    /// each snapshot as it happens.
+    fn write_doc(&mut self, doc: &Json) -> Result<(), String> {
+        let line = doc.render();
+        match self {
+            StatsOut::Stdout => {
+                let mut out = std::io::stdout().lock();
+                writeln!(out, "{line}").and_then(|()| out.flush())
+            }
+            StatsOut::File(w) => writeln!(w, "{line}").and_then(|()| w.flush()),
+        }
+        .map_err(|e| io_err("write stats", e))
+    }
+}
+
+/// The numbers a stats document carries, sourced either from a mid-run
+/// [`LiveSnapshot`] or from the folded end-of-run report.
+struct StatsNums {
+    findings: u64,
+    records: u64,
+    frames: u64,
+    delivered: u64,
+    naks: u64,
+    retransmissions: u64,
+    max_outstanding: u64,
+    lat_count: u64,
+    p50_s: Option<f64>,
+    p99_s: Option<f64>,
+    series: Vec<Json>,
+}
+
+impl StatsNums {
+    fn from_snapshot(snap: LiveSnapshot) -> StatsNums {
+        StatsNums {
+            findings: snap.findings,
+            records: snap.records,
+            frames: snap.frames,
+            delivered: snap.delivered,
+            naks: snap.naks,
+            retransmissions: snap.retransmissions,
+            max_outstanding: snap.max_outstanding,
+            lat_count: snap.delivery_count(),
+            p50_s: snap.delivery_quantile(0.5),
+            p99_s: snap.delivery_quantile(0.99),
+            series: snap.series,
+        }
+    }
+
+    fn from_report(report: &monitor::MonitorReport) -> StatsNums {
+        let mut n = StatsNums {
+            findings: report.total_findings,
+            records: report.records,
+            frames: 0,
+            delivered: 0,
+            naks: 0,
+            retransmissions: 0,
+            max_outstanding: 0,
+            lat_count: 0,
+            p50_s: None,
+            p99_s: None,
+            series: report.window_lines.clone(),
+        };
+        for exp in &report.experiments {
+            n.frames += exp.frames;
+            n.delivered += exp.delivered;
+            n.naks += exp.naks;
+            n.retransmissions += exp.retransmissions;
+            n.max_outstanding = n.max_outstanding.max(exp.max_outstanding);
+            n.lat_count += exp.delivery_count();
+            // One experiment per host run; last one wins is exact here.
+            n.p50_s = exp.delivery_quantile(0.5).or(n.p50_s);
+            n.p99_s = exp.delivery_quantile(0.99).or(n.p99_s);
+        }
+        n
+    }
+}
+
+/// Internal host state shared by the injection and stats paths.
+struct HostCounters {
+    registry: Registry,
+    drops: u64,
+    corruptions: u64,
+    datagrams: u64,
+    feedback: u64,
+}
+
+impl HostCounters {
+    fn new() -> Self {
+        let mut registry = Registry::new();
+        // Register up front so a clean run still reports zeros.
+        for name in [
+            "io.inject.drops",
+            "io.inject.corruptions",
+            "io.tx.datagrams",
+            "io.rx.feedback",
+        ] {
+            registry.handle(name);
+        }
+        HostCounters {
+            registry,
+            drops: 0,
+            corruptions: 0,
+            datagrams: 0,
+            feedback: 0,
+        }
+    }
+
+    fn counters_json(&self) -> Json {
+        Json::obj([
+            ("io.inject.drops", self.drops.into()),
+            ("io.inject.corruptions", self.corruptions.into()),
+            ("io.tx.datagrams", self.datagrams.into()),
+            ("io.rx.feedback", self.feedback.into()),
+        ])
+    }
+}
+
+/// Render one `lams-dlc.live/1` document.
+fn stats_doc(
+    domain: &'static str,
+    is_final: bool,
+    elapsed_s: f64,
+    sdus: u64,
+    delivered_in_order: u64,
+    counters: &HostCounters,
+    nums: &StatsNums,
+) -> Json {
+    let opt = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+    Json::obj([
+        ("schema", LIVE_SCHEMA.into()),
+        ("clock_domain", domain.into()),
+        ("final", Json::Bool(is_final)),
+        ("elapsed_s", Json::Num(elapsed_s)),
+        ("counters", counters.counters_json()),
+        (
+            "progress",
+            Json::obj([
+                ("sdus", sdus.into()),
+                ("delivered", delivered_in_order.into()),
+            ]),
+        ),
+        (
+            "audit",
+            Json::obj([
+                ("findings", nums.findings.into()),
+                ("records", nums.records.into()),
+            ]),
+        ),
+        (
+            "link",
+            Json::obj([
+                ("frames", nums.frames.into()),
+                ("delivered", nums.delivered.into()),
+                ("naks", nums.naks.into()),
+                ("retransmissions", nums.retransmissions.into()),
+                ("max_outstanding", nums.max_outstanding.into()),
+            ]),
+        ),
+        (
+            "delivery_latency",
+            Json::obj([
+                ("count", nums.lat_count.into()),
+                ("p50_s", opt(nums.p50_s)),
+                ("p99_s", opt(nums.p99_s)),
+            ]),
+        ),
+        ("series", Json::Arr(nums.series.clone())),
+    ])
+}
+
+/// Run one sender→receiver transfer over real loopback UDP on the wall
+/// clock. See [`run_transfer`] for the clock- and transport-generic
+/// engine.
+pub fn run_loopback(cfg: &IoConfig) -> Result<IoSummary, String> {
+    let clock = WallClock::new();
+    let mut link = UdpTransport::new()?;
+    run_transfer(cfg, &clock, &mut link)
+}
+
+/// Run one sender→receiver transfer over `link`, timed by `clock`.
+///
+/// The whole observability pipeline — live audit, counters, stats
+/// documents, optional JSONL trace — runs identically under a
+/// [`WallClock`] with [`UdpTransport`] (production) and under a
+/// [`proto_core::ManualClock`] with [`MemTransport`] (deterministic
+/// tests).
 ///
 /// Returns an error if the transfer does not complete within
-/// [`IoConfig::timeout`], if delivery order is ever violated, or if the
-/// sender declares link failure.
-pub fn run_loopback(cfg: &IoConfig) -> Result<IoSummary, String> {
-    // Two connected UDP sockets on ephemeral loopback ports: `a` is the
-    // sender's network interface, `b` the receiver's.
-    let a = UdpSocket::bind(("127.0.0.1", 0)).map_err(|e| io_err("bind a", e))?;
-    let b = UdpSocket::bind(("127.0.0.1", 0)).map_err(|e| io_err("bind b", e))?;
-    a.connect(b.local_addr().map_err(|e| io_err("addr b", e))?)
-        .map_err(|e| io_err("connect a", e))?;
-    b.connect(a.local_addr().map_err(|e| io_err("addr a", e))?)
-        .map_err(|e| io_err("connect b", e))?;
-    a.set_nonblocking(true)
-        .map_err(|e| io_err("nonblock a", e))?;
-    b.set_nonblocking(true)
-        .map_err(|e| io_err("nonblock b", e))?;
+/// [`IoConfig::timeout`], if delivery order is ever violated, or if
+/// the sender declares link failure. Audit findings do *not* fail the
+/// transfer; they are reported in [`IoSummary::audit_findings`].
+pub fn run_transfer(
+    cfg: &IoConfig,
+    clock: &dyn Clock,
+    link: &mut dyn Transport,
+) -> Result<IoSummary, String> {
+    // Telemetry pipeline: both machines and the host trace into a
+    // fan-out carrying the live monitor and, optionally, a JSONL file.
+    let mon = Rc::new(RefCell::new(Monitor::new(MonitorConfig::default())));
+    let jsonl = match &cfg.trace {
+        Some(path) => Some(Rc::new(RefCell::new(
+            JsonlSink::create(path).map_err(|e| io_err("create trace", e))?,
+        ))),
+        None => None,
+    };
+    let mut sinks: Vec<SharedSink> = vec![mon.clone()];
+    if let Some(j) = &jsonl {
+        sinks.push(j.clone());
+    }
+    let fanout: SharedSink = Rc::new(RefCell::new(FanoutSink::new(sinks)));
+    let host_trace = sink_trace(fanout.clone(), "host");
+    let chan_trace = sink_trace(fanout.clone(), "channel");
+
+    let mut stats = match &cfg.stats {
+        Some(target) => Some(StatsOut::open(target)?),
+        None => None,
+    };
+    let stats_interval = Duration::from_nanos(cfg.stats_interval.as_nanos().max(1) as u64);
 
     let lcfg = loopback_config();
     let modulus = lcfg.seq_modulus();
     let mut sender = Sender::new(lcfg.clone());
-    let mut receiver = Receiver::new(lcfg);
+    let mut receiver = match cfg.rx_capacity {
+        Some((capacity, watermark)) => Receiver::with_capacity(lcfg, capacity, watermark),
+        None => Receiver::new(lcfg),
+    };
+    sender.set_trace(sink_trace(fanout.clone(), "tx"));
+    receiver.set_trace(sink_trace(fanout.clone(), "rx"));
 
-    let epoch = WallInstant::now();
-    let now = || Instant::from_nanos(epoch.elapsed().as_nanos() as u64);
+    let domain = clock.domain().as_str();
+    let start = clock.now();
+    host_trace.emit(start, || TraceEvent::TraceHeader {
+        clock_domain: domain,
+    });
+    host_trace.emit(start, || TraceEvent::RunStarted);
+    sender.start(start);
+    receiver.start(start);
 
-    sender.start(now());
-    receiver.start(now());
-
+    let timeout = Duration::from_nanos(cfg.timeout.as_nanos() as u64);
+    let mut next_stats = start + stats_interval;
+    let mut counters = HostCounters::new();
     let mut next_id: u64 = 0; // next SDU to offer the sender
     let mut expected: u64 = 0; // next id the application must see
     let mut reseq = Resequencer::new(0);
@@ -131,14 +536,12 @@ pub fn run_loopback(cfg: &IoConfig) -> Result<IoSummary, String> {
     // one), so the host tracks the highest sequence it has put on the
     // wire as the expansion reference for inbound feedback.
     let mut tx_reference: u64 = 0;
-    let mut drops_injected: u64 = 0;
-    let mut info_seen: u64 = 0;
-    let mut datagrams_sent: u64 = 0;
-    let mut feedback_sent: u64 = 0;
+    let mut info_seen: u64 = 0; // outbound info frames (drop injector)
+    let mut rx_info_seen: u64 = 0; // inbound info frames (corruptor)
     let mut buf = [0u8; 2048];
 
-    loop {
-        let t = now();
+    let outcome = 'outcome: loop {
+        let t = clock.now();
 
         // Offer fresh SDUs until the sender's queue refuses more.
         while next_id < cfg.sdus {
@@ -157,65 +560,82 @@ pub fn run_loopback(cfg: &IoConfig) -> Result<IoSummary, String> {
             receiver.on_timeout(t);
         }
 
-        // Data direction: sender → socket a, with loss injection.
-        while let Some(frame) = sender.poll_transmit(now()) {
+        // Data direction: sender → link, with loss injection.
+        while let Some(frame) = sender.poll_transmit(clock.now()) {
             if let Frame::Info(ref info) = frame {
                 tx_reference = tx_reference.max(info.seq);
                 info_seen += 1;
                 if cfg.drop_every != 0 && info_seen % cfg.drop_every == 0 {
-                    drops_injected += 1;
+                    counters.drops += 1;
+                    counters.registry.inc("io.inject.drops");
+                    chan_trace.emit(clock.now(), || TraceEvent::ChannelDrop { dir: "fwd" });
                     continue;
                 }
             }
             let datagram = wire::encode(&frame, modulus);
-            a.send(&datagram).map_err(|e| io_err("send data", e))?;
-            datagrams_sent += 1;
+            if let Err(e) = link.send_data(&datagram) {
+                break 'outcome Err(e);
+            }
+            counters.datagrams += 1;
+            counters.registry.inc("io.tx.datagrams");
         }
 
-        // Feedback direction: receiver → socket b. Control frames ride
-        // the same lossy medium in principle, but the demo keeps the
+        // Feedback direction: receiver → link. Control frames ride the
+        // same lossy medium in principle, but the demo keeps the
         // feedback channel clean (the simulator covers lossy feedback).
-        while let Some(frame) = receiver.poll_transmit(now()) {
+        while let Some(frame) = receiver.poll_transmit(clock.now()) {
             let datagram = wire::encode(&frame, modulus);
-            b.send(&datagram).map_err(|e| io_err("send feedback", e))?;
-            feedback_sent += 1;
+            if let Err(e) = link.send_feedback(&datagram) {
+                break 'outcome Err(e);
+            }
+            counters.feedback += 1;
+            counters.registry.inc("io.rx.feedback");
         }
 
-        // Inbound data at the receiver.
+        // Inbound data at the receiver, with corruption injection.
         loop {
-            match b.recv(&mut buf) {
+            match link.recv_data(&mut buf) {
                 // An undecodable datagram is indistinguishable from
                 // silence on the wire — drop it and let the gap report.
-                Ok(n) => {
+                Ok(Some(n)) => {
                     if let Ok(frame) = wire::decode(&buf[..n], receiver.highest_seen(), modulus) {
-                        receiver.handle_frame(now(), frame, RxStatus::Ok);
+                        let mut status = RxStatus::Ok;
+                        if matches!(frame, Frame::Info(_)) {
+                            rx_info_seen += 1;
+                            if cfg.corrupt_every != 0 && rx_info_seen % cfg.corrupt_every == 0 {
+                                status = RxStatus::PayloadCorrupted;
+                                counters.corruptions += 1;
+                                counters.registry.inc("io.inject.corruptions");
+                            }
+                        }
+                        receiver.handle_frame(clock.now(), frame, status);
                     }
                 }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(e) => return Err(io_err("recv data", e)),
+                Ok(None) => break,
+                Err(e) => break 'outcome Err(e),
             }
         }
 
         // Inbound feedback at the sender.
         loop {
-            match a.recv(&mut buf) {
-                Ok(n) => {
+            match link.recv_feedback(&mut buf) {
+                Ok(Some(n)) => {
                     if let Ok(frame) = wire::decode(&buf[..n], tx_reference, modulus) {
-                        sender.handle_frame(now(), frame, RxStatus::Ok);
+                        sender.handle_frame(clock.now(), frame, RxStatus::Ok);
                     }
                 }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(e) => return Err(io_err("recv feedback", e)),
+                Ok(None) => break,
+                Err(e) => break 'outcome Err(e),
             }
         }
 
         // Application delivery, resequenced and order-checked.
         let mut delivered_now = false;
-        while let Some(d) = receiver.poll_deliver(now()) {
+        while let Some(d) = receiver.poll_deliver(clock.now()) {
             delivered_now = true;
             for (pid, _payload) in reseq.offer(d.packet_id, d.payload) {
                 if pid.0 != expected {
-                    return Err(format!(
+                    break 'outcome Err(format!(
                         "out-of-order delivery: got {} want {expected}",
                         pid.0
                     ));
@@ -229,25 +649,40 @@ pub fn run_loopback(cfg: &IoConfig) -> Result<IoSummary, String> {
         while sender.poll_event().is_some() {}
         while receiver.poll_event().is_some() {}
 
+        // Periodic live stats: snapshot the monitor mid-run. Missed
+        // intervals (a host stall) collapse into one document.
+        if stats.is_some() && t >= next_stats {
+            let doc = {
+                let nums = StatsNums::from_snapshot(mon.borrow().live_snapshot());
+                stats_doc(
+                    domain,
+                    false,
+                    (t - start).as_secs_f64(),
+                    cfg.sdus,
+                    expected,
+                    &counters,
+                    &nums,
+                )
+            };
+            if let Some(out) = stats.as_mut() {
+                out.write_doc(&doc)?;
+            }
+            while next_stats <= t {
+                next_stats += stats_interval;
+            }
+        }
+
         if expected == cfg.sdus && sender.buffered() == 0 {
-            let stats = sender.stats();
-            return Ok(IoSummary {
-                delivered: expected,
-                drops_injected,
-                datagrams_sent,
-                feedback_sent,
-                retransmissions: stats.retransmissions,
-                wall: epoch.elapsed(),
-            });
+            break 'outcome Ok(());
         }
         if sender.state() == SenderState::Failed {
-            return Err(format!(
+            break 'outcome Err(format!(
                 "sender declared link failure after {} of {} SDUs",
                 expected, cfg.sdus
             ));
         }
-        if epoch.elapsed() > cfg.timeout {
-            return Err(format!(
+        if t - start > timeout {
+            break 'outcome Err(format!(
                 "timeout: delivered {} of {} SDUs in {:?}",
                 expected, cfg.sdus, cfg.timeout
             ));
@@ -255,10 +690,53 @@ pub fn run_loopback(cfg: &IoConfig) -> Result<IoSummary, String> {
         if !delivered_now {
             // Nothing happened this spin: yield briefly rather than
             // burning a core. 200 µs keeps timer error far below the
-            // millisecond-scale protocol deadlines.
-            std::thread::sleep(WallDuration::from_micros(200));
+            // millisecond-scale protocol deadlines. (Manual clocks
+            // advance virtual time here instead of parking.)
+            clock.sleep(Duration::from_nanos(200_000));
         }
+    };
+
+    // End-of-run: close the trace so the auditor runs its final checks
+    // (unresolved chains, silence), then render the closing stats
+    // document from the folded report.
+    let end = clock.now();
+    host_trace.emit(end, || TraceEvent::RunFinished {
+        deadline_hit: outcome.is_err(),
+    });
+    let report = mon.borrow_mut().take_report();
+    if let Some(out) = stats.as_mut() {
+        let nums = StatsNums::from_report(&report);
+        let doc = stats_doc(
+            domain,
+            true,
+            (end - start).as_secs_f64(),
+            cfg.sdus,
+            expected,
+            &counters,
+            &nums,
+        );
+        out.write_doc(&doc)?;
     }
+    if let Some(j) = &jsonl {
+        j.borrow_mut()
+            .try_flush()
+            .map_err(|e| io_err("flush trace", e))?;
+    }
+    outcome?;
+
+    let stats_ = sender.stats();
+    Ok(IoSummary {
+        delivered: expected,
+        drops_injected: counters.drops,
+        corruptions_injected: counters.corruptions,
+        datagrams_sent: counters.datagrams,
+        feedback_sent: counters.feedback,
+        retransmissions: stats_.retransmissions,
+        audit_findings: report.total_findings,
+        audit_records: report.records,
+        counters: counters.registry,
+        wall: std::time::Duration::from_nanos((end - start).as_nanos()),
+    })
 }
 
 #[cfg(test)]
@@ -278,10 +756,14 @@ mod tests {
             sdus: 50,
             payload_len: 32,
             drop_every: 0,
-            timeout: WallDuration::from_secs(20),
+            timeout: std::time::Duration::from_secs(20),
+            ..IoConfig::default()
         })
         .expect("lossless loopback transfer");
         assert_eq!(summary.delivered, 50);
         assert_eq!(summary.drops_injected, 0);
+        assert_eq!(summary.audit_findings, 0, "clean run must audit clean");
+        assert_eq!(summary.counters.get("io.inject.drops"), Some(0.0));
+        assert!(summary.counters.get("io.tx.datagrams").unwrap_or(0.0) > 0.0);
     }
 }

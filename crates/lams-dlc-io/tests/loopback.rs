@@ -13,6 +13,7 @@ fn lossy_loopback_delivers_everything_in_order() {
         payload_len: 64,
         drop_every: 7,
         timeout: Duration::from_secs(60),
+        ..IoConfig::default()
     };
     let summary = run_loopback(&cfg).expect("transfer must complete");
     assert_eq!(summary.delivered, 200, "every SDU delivered");

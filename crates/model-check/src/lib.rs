@@ -4,10 +4,12 @@
 //! # model-check
 //!
 //! Deterministic adversarial model checking for the sans-IO LAMS-DLC
-//! machines. This crate depends on `proto-core` and `lams-dlc` only —
-//! no simulator, no telemetry: it is the existence proof that the
+//! machines. The explorer itself depends on `proto-core` and
+//! `lams-dlc` only — no simulator: it is the existence proof that the
 //! protocol state machines can be explored as pure functions of
-//! `(time, frame)` inputs.
+//! `(time, frame)` inputs. (`telemetry` is used at the edges, for
+//! machine-readable coverage documents and replayable failure
+//! artifacts — never inside the exploration itself.)
 //!
 //! Each [`Schedule`] derives, from a single index, a seeded channel
 //! adversary that may **drop**, **duplicate**, **reorder** (extra
@@ -42,6 +44,7 @@ use lams_dlc::{
     wire, Frame, LamsConfig, PacketId, Receiver, Resequencer, RxStatus, Sender, SenderState,
 };
 use proto_core::{Duration, Instant};
+use telemetry::Json;
 
 mod rng;
 pub use rng::Rng;
@@ -66,6 +69,14 @@ pub struct Schedule {
     /// Channel capacity: frames in flight beyond this are lost
     /// (`usize::MAX` = unbounded).
     pub capacity: usize,
+    /// Known-bad-machine fault: after the sender's `n`-th information
+    /// frame emission, the harness replays the *first* emitted
+    /// information frame as if a buggy sender re-emitted it without
+    /// renumbering — a guaranteed monotone-numbering violation (use
+    /// `n ≥ 2`). `0` disables the fault; the standard sweep never sets
+    /// it. This exists to prove the checker and its failure artifacts
+    /// work end to end.
+    pub replay_stale_after: u64,
 }
 
 impl Schedule {
@@ -83,11 +94,144 @@ impl Schedule {
             reorder_pct: [0, 10, 25][(r.next_u64() % 3) as usize],
             corrupt_pct: [0, 5, 15][(r.next_u64() % 3) as usize],
             capacity: [8, 32, usize::MAX, usize::MAX][(r.next_u64() % 4) as usize],
+            replay_stale_after: 0,
         }
     }
 
     fn is_adversarial(&self) -> bool {
         self.drop_pct > 0 || self.corrupt_pct > 0 || self.capacity != usize::MAX
+    }
+
+    /// The artifact-header JSON form: every field exactly (capacities
+    /// past 2⁵³ round-trip via exact-integer JSON).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("seed", self.seed.into()),
+            ("sdus", self.sdus.into()),
+            ("drop_pct", u64::from(self.drop_pct).into()),
+            ("dup_pct", u64::from(self.dup_pct).into()),
+            ("reorder_pct", u64::from(self.reorder_pct).into()),
+            ("corrupt_pct", u64::from(self.corrupt_pct).into()),
+            ("capacity", (self.capacity as u64).into()),
+            ("replay_stale_after", self.replay_stale_after.into()),
+        ])
+    }
+
+    /// Parse the artifact-header form back.
+    pub fn from_json(v: &Json) -> Result<Schedule, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("schedule field {name} missing or not an integer"))
+        };
+        let pct = |name: &str| -> Result<u8, String> {
+            let n = field(name)?;
+            u8::try_from(n).map_err(|_| format!("schedule field {name} out of range: {n}"))
+        };
+        Ok(Schedule {
+            seed: field("seed")?,
+            sdus: field("sdus")?,
+            drop_pct: pct("drop_pct")?,
+            dup_pct: pct("dup_pct")?,
+            reorder_pct: pct("reorder_pct")?,
+            corrupt_pct: pct("corrupt_pct")?,
+            capacity: field("capacity")? as usize,
+            replay_stale_after: field("replay_stale_after")?,
+        })
+    }
+}
+
+/// What one schedule (or a whole sweep) actually exercised: adversary
+/// actions that fired, protocol recovery machinery that ran, and
+/// sender state transitions observed. A sweep whose coverage shows a
+/// zero for some knob proved nothing about that knob.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Coverage {
+    /// Frames dropped by the random-loss knob.
+    pub drops: u64,
+    /// Frames duplicated.
+    pub dups: u64,
+    /// Frames delayed onto a reordering path.
+    pub reorders: u64,
+    /// Frames delivered payload-corrupted.
+    pub corruptions: u64,
+    /// Frames lost to the capacity bound.
+    pub capacity_losses: u64,
+    /// Checkpoints the receiver emitted.
+    pub checkpoints: u64,
+    /// Sender retransmissions.
+    pub retransmissions: u64,
+    /// Request-NAK probes (enforced recovery entries).
+    pub request_naks: u64,
+    /// Enforced-NAK answers from the receiver.
+    pub enforced_naks: u64,
+    /// Explorer steps taken.
+    pub steps: u64,
+    /// Sender state transitions observed, as `"from->to"` labels with
+    /// counts, in first-seen order.
+    pub transitions: Vec<(String, u64)>,
+}
+
+impl Coverage {
+    fn transition(&mut self, from: SenderState, to: SenderState) {
+        let label = format!("{}->{}", state_name(from), state_name(to));
+        match self.transitions.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, n)) => *n += 1,
+            None => self.transitions.push((label, 1)),
+        }
+    }
+
+    /// Fold another coverage record into this one.
+    pub fn absorb(&mut self, other: &Coverage) {
+        self.drops += other.drops;
+        self.dups += other.dups;
+        self.reorders += other.reorders;
+        self.corruptions += other.corruptions;
+        self.capacity_losses += other.capacity_losses;
+        self.checkpoints += other.checkpoints;
+        self.retransmissions += other.retransmissions;
+        self.request_naks += other.request_naks;
+        self.enforced_naks += other.enforced_naks;
+        self.steps += other.steps;
+        for (label, n) in &other.transitions {
+            match self.transitions.iter_mut().find(|(l, _)| l == label) {
+                Some((_, total)) => *total += n,
+                None => self.transitions.push((label.clone(), *n)),
+            }
+        }
+    }
+
+    /// The `coverage` block of the `lams-dlc.mcheck/1` document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("drops", self.drops.into()),
+            ("dups", self.dups.into()),
+            ("reorders", self.reorders.into()),
+            ("corruptions", self.corruptions.into()),
+            ("capacity_losses", self.capacity_losses.into()),
+            ("checkpoints", self.checkpoints.into()),
+            ("retransmissions", self.retransmissions.into()),
+            ("request_naks", self.request_naks.into()),
+            ("enforced_naks", self.enforced_naks.into()),
+            ("steps", self.steps.into()),
+            (
+                "transitions",
+                Json::Obj(
+                    self.transitions
+                        .iter()
+                        .map(|(l, n)| (l.clone(), (*n).into()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+fn state_name(s: SenderState) -> &'static str {
+    match s {
+        SenderState::Running => "running",
+        SenderState::Enforced => "enforced",
+        SenderState::Failed => "failed",
     }
 }
 
@@ -152,17 +296,32 @@ impl AdversarialLink {
         }
     }
 
-    /// Apply the adversary's per-frame decisions and enqueue.
-    fn send(&mut self, now: Instant, frame: Frame, sched: &Schedule, rng: &mut Rng) {
-        if self.in_flight.len() >= sched.capacity || rng.chance(sched.drop_pct) {
-            return; // capacity overflow and random loss both look like silence
+    /// Apply the adversary's per-frame decisions and enqueue, counting
+    /// every decision that actually fired into `cov`.
+    fn send(
+        &mut self,
+        now: Instant,
+        frame: Frame,
+        sched: &Schedule,
+        rng: &mut Rng,
+        cov: &mut Coverage,
+    ) {
+        if self.in_flight.len() >= sched.capacity {
+            cov.capacity_losses += 1;
+            return; // overflow looks like silence on the wire
+        }
+        if rng.chance(sched.drop_pct) {
+            cov.drops += 1;
+            return;
         }
         let status = if rng.chance(sched.corrupt_pct) {
+            cov.corruptions += 1;
             RxStatus::PayloadCorrupted
         } else {
             RxStatus::Ok
         };
         let jitter = if rng.chance(sched.reorder_pct) {
+            cov.reorders += 1;
             Duration::from_micros(rng.below(5_000))
         } else {
             Duration::ZERO
@@ -171,6 +330,7 @@ impl AdversarialLink {
         let arrival = now + self.base_delay + jitter;
         self.push(arrival, frame.clone(), status);
         if duplicate && self.in_flight.len() < sched.capacity {
+            cov.dups += 1;
             let late = arrival + Duration::from_micros(1_000 + rng.below(10_000));
             self.push(late, frame, status);
         }
@@ -212,6 +372,72 @@ const MAX_STEPS: u64 = 500_000;
 /// Run one schedule to its terminal state, checking every invariant on
 /// the way.
 pub fn run_schedule(sched: &Schedule) -> Result<Outcome, Violation> {
+    let mut cov = Coverage::default();
+    run_schedule_with(sched, None, &mut cov)
+}
+
+/// [`run_schedule`] plus the per-schedule [`Coverage`] record — which
+/// adversary knobs actually fired and which recovery machinery ran.
+pub fn run_schedule_observed(sched: &Schedule) -> (Result<Outcome, Violation>, Coverage) {
+    let mut cov = Coverage::default();
+    let result = run_schedule_with(sched, None, &mut cov);
+    (result, cov)
+}
+
+/// [`run_schedule_observed`] with the machines traced into `sink`
+/// (`telemetry::TraceRecord` stream, node labels `tx`/`rx`/`host`,
+/// sim clock domain). Deterministic: the same schedule produces a
+/// byte-identical stream — the basis of replayable failure artifacts.
+pub fn run_schedule_traced(
+    sched: &Schedule,
+    sink: telemetry::SharedSink,
+) -> (Result<Outcome, Violation>, Coverage) {
+    let mut cov = Coverage::default();
+    let result = run_schedule_with(sched, Some(sink), &mut cov);
+    (result, cov)
+}
+
+/// Per-emission invariant checks: monotone wire numbering and the
+/// encode→decode round trip against the receiver's current reference.
+fn check_emission(
+    frame: &Frame,
+    last_info_seq: &mut Option<u64>,
+    tx_reference: &mut u64,
+    receiver_reference: u64,
+    modulus: u64,
+) -> Result<(), String> {
+    if let Frame::Info(ref info) = frame {
+        if let Some(prev) = *last_info_seq {
+            if info.seq <= prev {
+                return Err(format!(
+                    "wire numbering not monotone: {} after {prev}",
+                    info.seq
+                ));
+            }
+        }
+        *last_info_seq = Some(info.seq);
+        *tx_reference = (*tx_reference).max(info.seq);
+        let encoded = wire::encode(frame, modulus);
+        match wire::decode(&encoded, receiver_reference, modulus) {
+            Ok(decoded) if decoded == *frame => {}
+            other => {
+                return Err(format!(
+                    "bounded numbering violated: seq {} does not survive the \
+                     wire against reference {receiver_reference} (decode: {other:?})",
+                    info.seq
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run_schedule_with(
+    sched: &Schedule,
+    trace: Option<telemetry::SharedSink>,
+    cov: &mut Coverage,
+) -> Result<Outcome, Violation> {
+    use proto_core::Machine as _;
     let cfg = LamsConfig::paper_default();
     let modulus = cfg.seq_modulus();
     // Nominal one-way delay just under half the configured round trip,
@@ -230,7 +456,24 @@ pub fn run_schedule(sched: &Schedule) -> Result<Outcome, Violation> {
     let mut data_link = AdversarialLink::new(base_delay); // sender → receiver
     let mut feedback_link = AdversarialLink::new(base_delay); // receiver → sender
 
+    // Optional tracing: the machines feed `sink` exactly like they feed
+    // a simulator or UDP host, and the checker frames the stream with
+    // the same header/run events those hosts emit.
+    let host_trace = trace
+        .as_ref()
+        .map(|s| telemetry::sink_trace(s.clone(), "host"));
+    if let Some(sink) = &trace {
+        sender.set_trace(telemetry::sink_trace(sink.clone(), "tx"));
+        receiver.set_trace(telemetry::sink_trace(sink.clone(), "rx"));
+    }
+
     let mut now = Instant::ZERO;
+    if let Some(h) = &host_trace {
+        h.emit(now, || telemetry::TraceEvent::TraceHeader {
+            clock_domain: "sim",
+        });
+        h.emit(now, || telemetry::TraceEvent::RunStarted);
+    }
     sender.start(now);
     receiver.start(now);
 
@@ -240,11 +483,14 @@ pub fn run_schedule(sched: &Schedule) -> Result<Outcome, Violation> {
     let mut last_info_seq: Option<u64> = None;
     let mut tx_reference: u64 = 0;
     let mut steps: u64 = 0;
+    let mut prev_state = sender.state();
+    let mut emitted_info: u64 = 0;
+    let mut stale_frame: Option<Frame> = None;
 
-    loop {
+    let result = 'run: loop {
         steps += 1;
         if steps > MAX_STEPS {
-            return Err(violation(format!(
+            break 'run Err(violation(format!(
                 "no termination within {MAX_STEPS} steps (delivered {expected}/{})",
                 sched.sdus
             )));
@@ -270,31 +516,39 @@ pub fn run_schedule(sched: &Schedule) -> Result<Outcome, Violation> {
         // Sender transmissions → data link, with the monotone-numbering
         // and wire round-trip checks at the emission point.
         while let Some(frame) = sender.poll_transmit(now) {
-            if let Frame::Info(ref info) = frame {
-                if let Some(prev) = last_info_seq {
-                    if info.seq <= prev {
-                        return Err(violation(format!(
-                            "wire numbering not monotone: {} after {prev}",
-                            info.seq
-                        )));
+            if matches!(frame, Frame::Info(_)) {
+                emitted_info += 1;
+                if sched.replay_stale_after != 0 {
+                    if stale_frame.is_none() {
+                        stale_frame = Some(frame.clone());
                     }
-                }
-                last_info_seq = Some(info.seq);
-                tx_reference = tx_reference.max(info.seq);
-                let encoded = wire::encode(&frame, modulus);
-                match wire::decode(&encoded, receiver.highest_seen(), modulus) {
-                    Ok(decoded) if decoded == frame => {}
-                    other => {
-                        return Err(violation(format!(
-                            "bounded numbering violated: seq {} does not survive the \
-                             wire against reference {} (decode: {other:?})",
-                            info.seq,
-                            receiver.highest_seen()
-                        )));
+                    if emitted_info == sched.replay_stale_after {
+                        // The known-bad machine re-emits its first
+                        // information frame without renumbering.
+                        let stale = stale_frame.take().expect("saved above");
+                        if let Err(what) = check_emission(
+                            &stale,
+                            &mut last_info_seq,
+                            &mut tx_reference,
+                            receiver.highest_seen(),
+                            modulus,
+                        ) {
+                            break 'run Err(violation(what));
+                        }
+                        data_link.send(now, stale, sched, &mut rng, cov);
                     }
                 }
             }
-            data_link.send(now, frame, sched, &mut rng);
+            if let Err(what) = check_emission(
+                &frame,
+                &mut last_info_seq,
+                &mut tx_reference,
+                receiver.highest_seen(),
+                modulus,
+            ) {
+                break 'run Err(violation(what));
+            }
+            data_link.send(now, frame, sched, &mut rng, cov);
         }
 
         // Receiver feedback → feedback link, round-tripped against the
@@ -304,13 +558,13 @@ pub fn run_schedule(sched: &Schedule) -> Result<Outcome, Violation> {
             match wire::decode(&encoded, tx_reference, modulus) {
                 Ok(decoded) if decoded == frame => {}
                 other => {
-                    return Err(violation(format!(
+                    break 'run Err(violation(format!(
                         "feedback frame does not survive the wire against \
                          reference {tx_reference} (decode: {other:?})"
                     )));
                 }
             }
-            feedback_link.send(now, frame, sched, &mut rng);
+            feedback_link.send(now, frame, sched, &mut rng, cov);
         }
 
         // Arrivals due now.
@@ -325,7 +579,7 @@ pub fn run_schedule(sched: &Schedule) -> Result<Outcome, Violation> {
         while let Some(d) = receiver.poll_deliver(now) {
             for (pid, _payload) in reseq.offer(d.packet_id, d.payload) {
                 if pid.0 != expected {
-                    return Err(violation(format!(
+                    break 'run Err(violation(format!(
                         "delivery order broken: released {} while expecting {expected}",
                         pid.0
                     )));
@@ -336,22 +590,29 @@ pub fn run_schedule(sched: &Schedule) -> Result<Outcome, Violation> {
         while sender.poll_event().is_some() {}
         while receiver.poll_event().is_some() {}
 
+        // Sender state transitions (coverage of the recovery machine).
+        let state = sender.state();
+        if state != prev_state {
+            cov.transition(prev_state, state);
+            prev_state = state;
+        }
+
         // Terminal states.
         if expected == sched.sdus && sender.buffered() == 0 {
             let stats = sender.stats();
-            return Ok(Outcome::Complete {
+            break 'run Ok(Outcome::Complete {
                 steps,
                 elapsed: now - Instant::ZERO,
                 retransmissions: stats.retransmissions,
             });
         }
-        if sender.state() == SenderState::Failed {
+        if state == SenderState::Failed {
             if sched.is_adversarial() {
-                return Ok(Outcome::LinkFailed {
+                break 'run Ok(Outcome::LinkFailed {
                     delivered: expected,
                 });
             }
-            return Err(violation(
+            break 'run Err(violation(
                 "sender declared link failure on a clean channel".into(),
             ));
         }
@@ -372,13 +633,28 @@ pub fn run_schedule(sched: &Schedule) -> Result<Outcome, Violation> {
         match next {
             Some(t) => now = now.max(t),
             None => {
-                return Err(violation(format!(
+                break 'run Err(violation(format!(
                     "deadlock: no pending event with {} of {} SDUs delivered",
                     expected, sched.sdus
                 )));
             }
         }
+    };
+
+    // Fold the recovery-machinery counters and close the trace.
+    let s = sender.stats();
+    let r = receiver.stats();
+    cov.steps += steps;
+    cov.checkpoints += r.checkpoints_sent;
+    cov.retransmissions += s.retransmissions;
+    cov.request_naks += s.request_naks;
+    cov.enforced_naks += r.enforced_sent;
+    if let Some(h) = &host_trace {
+        h.emit(now, || telemetry::TraceEvent::RunFinished {
+            deadline_hit: result.is_err(),
+        });
     }
+    result
 }
 
 /// Aggregate result of a schedule sweep.
@@ -392,6 +668,24 @@ pub struct Report {
     pub violations: Vec<Violation>,
     /// Total retransmissions across completed schedules.
     pub retransmissions: u64,
+    /// Aggregate coverage across every schedule in the sweep.
+    pub coverage: Coverage,
+}
+
+impl Report {
+    /// The machine-readable `lams-dlc.mcheck/1` sweep document.
+    pub fn to_json(&self) -> Json {
+        let schedules = self.complete + self.link_failures + self.violations.len() as u64;
+        Json::obj([
+            ("schema", MCHECK_SCHEMA.into()),
+            ("schedules", schedules.into()),
+            ("complete", self.complete.into()),
+            ("link_failures", self.link_failures.into()),
+            ("violations", (self.violations.len() as u64).into()),
+            ("retransmissions", self.retransmissions.into()),
+            ("coverage", self.coverage.to_json()),
+        ])
+    }
 }
 
 /// Run the standard sweep: schedules `0..count` via [`Schedule::derive`].
@@ -399,7 +693,9 @@ pub fn run_sweep(count: u64) -> Report {
     let mut report = Report::default();
     for index in 0..count {
         let sched = Schedule::derive(index);
-        match run_schedule(&sched) {
+        let (result, cov) = run_schedule_observed(&sched);
+        report.coverage.absorb(&cov);
+        match result {
             Ok(Outcome::Complete {
                 retransmissions, ..
             }) => {
@@ -411,6 +707,81 @@ pub fn run_sweep(count: u64) -> Report {
         }
     }
     report
+}
+
+/// Schema tag of the sweep coverage document ([`Report::to_json`]).
+pub const MCHECK_SCHEMA: &str = "lams-dlc.mcheck/1";
+
+/// Schema tag of a replayable failure artifact
+/// ([`write_artifact`] / [`read_artifact`]).
+pub const ARTIFACT_SCHEMA: &str = "lams-dlc.mcheck-fail/1";
+
+/// Write a replayable failure artifact: one header line carrying the
+/// offending [`Schedule`] and the finding text, followed by the full
+/// telemetry trace of a deterministic re-run of that schedule. The
+/// trace body is a plain `TraceRecord` JSONL stream, so `trace-tools
+/// summary`/`audit` can re-audit the artifact offline (the header is
+/// skipped as a meta line), and [`read_artifact`] + a fresh run
+/// reproduce the identical finding.
+pub fn write_artifact(path: &std::path::Path, v: &Violation) -> Result<(), String> {
+    use std::io::Write as _;
+    let header = Json::obj([
+        ("schema", ARTIFACT_SCHEMA.into()),
+        ("schedule", v.schedule.to_json()),
+        ("finding", v.what.as_str().into()),
+    ]);
+    let mut file = std::io::BufWriter::new(
+        std::fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?,
+    );
+    writeln!(file, "{}", header.render()).map_err(|e| format!("{}: {e}", path.display()))?;
+    let jsonl = std::rc::Rc::new(std::cell::RefCell::new(telemetry::JsonlSink::to_writer(
+        file,
+    )));
+    let shared: telemetry::SharedSink = jsonl.clone();
+    let (replayed, _cov) = run_schedule_traced(&v.schedule, shared);
+    jsonl
+        .borrow_mut()
+        .try_flush()
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    // The re-run is deterministic; a diverging verdict means the
+    // artifact would not reproduce the finding and must not be trusted.
+    match replayed {
+        Err(rv) if rv.what == v.what => Ok(()),
+        other => Err(format!(
+            "artifact re-run diverged: expected {:?}, got {:?}",
+            v.what,
+            other.err().map(|rv| rv.what)
+        )),
+    }
+}
+
+/// Parse a failure artifact's header: the [`Schedule`] to re-run and
+/// the finding string the re-run must reproduce byte-identically.
+pub fn read_artifact(path: &std::path::Path) -> Result<(Schedule, String), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let first = text
+        .lines()
+        .next()
+        .ok_or_else(|| format!("{}: empty artifact", path.display()))?;
+    let header = Json::parse(first).map_err(|e| format!("artifact header: {e}"))?;
+    match header.get("schema").and_then(Json::as_str) {
+        Some(s) if s == ARTIFACT_SCHEMA => {}
+        other => {
+            return Err(format!(
+                "artifact schema mismatch: expected {ARTIFACT_SCHEMA:?}, found {other:?}"
+            ))
+        }
+    }
+    let sched = header
+        .get("schedule")
+        .ok_or_else(|| "artifact header has no schedule".to_string())
+        .and_then(Schedule::from_json)?;
+    let finding = header
+        .get("finding")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "artifact header has no finding".to_string())?
+        .to_string();
+    Ok((sched, finding))
 }
 
 #[cfg(test)]
@@ -427,6 +798,7 @@ mod tests {
             reorder_pct: 0,
             corrupt_pct: 0,
             capacity: usize::MAX,
+            replay_stale_after: 0,
         };
         match run_schedule(&sched).expect("clean channel must hold invariants") {
             Outcome::Complete {
@@ -446,6 +818,7 @@ mod tests {
             reorder_pct: 10,
             corrupt_pct: 10,
             capacity: usize::MAX,
+            replay_stale_after: 0,
         };
         match run_schedule(&sched).expect("adversary must not break invariants") {
             Outcome::Complete {
@@ -463,5 +836,111 @@ mod tests {
         assert_eq!(a.sdus, b.sdus);
         assert_eq!(a.drop_pct, b.drop_pct);
         assert_eq!(a.capacity, b.capacity);
+    }
+
+    #[test]
+    fn schedule_json_round_trips() {
+        let mut sched = Schedule::derive(7);
+        sched.replay_stale_after = 3;
+        let back = Schedule::from_json(&sched.to_json()).expect("round trip");
+        assert_eq!(format!("{sched:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn lossy_schedule_reports_nonzero_coverage() {
+        let sched = Schedule {
+            seed: 42,
+            sdus: 50,
+            drop_pct: 20,
+            dup_pct: 10,
+            reorder_pct: 10,
+            corrupt_pct: 10,
+            capacity: usize::MAX,
+            replay_stale_after: 0,
+        };
+        let (result, cov) = run_schedule_observed(&sched);
+        result.expect("adversary must not break invariants");
+        assert!(cov.drops > 0, "drop knob never fired");
+        assert!(cov.dups > 0, "dup knob never fired");
+        assert!(cov.reorders > 0, "reorder knob never fired");
+        assert!(cov.corruptions > 0, "corrupt knob never fired");
+        assert!(cov.checkpoints > 0, "no checkpoint observed");
+        assert!(
+            cov.retransmissions > 0,
+            "20% loss must force retransmission"
+        );
+        assert!(cov.steps > 0);
+    }
+
+    #[test]
+    fn stale_replay_fault_is_caught_as_monotone_violation() {
+        let sched = Schedule {
+            seed: 7,
+            sdus: 20,
+            drop_pct: 0,
+            dup_pct: 0,
+            reorder_pct: 0,
+            corrupt_pct: 0,
+            capacity: usize::MAX,
+            replay_stale_after: 3,
+        };
+        let v = run_schedule(&sched).expect_err("known-bad machine must violate");
+        assert!(
+            v.what.contains("not monotone"),
+            "expected a monotone-numbering finding, got: {}",
+            v.what
+        );
+    }
+
+    #[test]
+    fn failure_artifact_round_trips_to_identical_finding() {
+        let sched = Schedule {
+            seed: 7,
+            sdus: 20,
+            drop_pct: 0,
+            dup_pct: 0,
+            reorder_pct: 0,
+            corrupt_pct: 0,
+            capacity: usize::MAX,
+            replay_stale_after: 3,
+        };
+        let v = run_schedule(&sched).expect_err("known-bad machine must violate");
+        let dir = std::env::temp_dir().join("lams-dlc-mcheck-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("artifact.jsonl");
+        write_artifact(&path, &v).expect("artifact written and self-verified");
+
+        let (sched_back, finding) = read_artifact(&path).expect("header parses");
+        let replayed = run_schedule(&sched_back).expect_err("replay must violate");
+        assert_eq!(
+            replayed.what, finding,
+            "replay verdict must be byte-identical"
+        );
+
+        // The trace body must be a valid TraceRecord stream that a
+        // fresh traced run reproduces byte-for-byte.
+        let text = std::fs::read_to_string(&path).expect("read artifact");
+        let body: Vec<&str> = text.lines().skip(1).collect();
+        assert!(!body.is_empty(), "artifact must carry the trace");
+        for line in &body {
+            telemetry::parse_line(line).expect("artifact body is a TraceRecord stream");
+        }
+        let jsonl = std::rc::Rc::new(std::cell::RefCell::new(telemetry::JsonlSink::to_writer(
+            Vec::new(),
+        )));
+        let shared: telemetry::SharedSink = jsonl.clone();
+        let _ = run_schedule_traced(&sched_back, shared);
+        let fresh = std::rc::Rc::try_unwrap(jsonl)
+            .ok()
+            .expect("sole owner")
+            .into_inner()
+            .into_inner();
+        let fresh = String::from_utf8(fresh).expect("utf8");
+        assert_eq!(
+            body.join("\n"),
+            fresh.trim_end(),
+            "traced replay must be byte-identical"
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

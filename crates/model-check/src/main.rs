@@ -1,41 +1,146 @@
 //! Adversarial schedule sweep for the sans-IO LAMS-DLC machines.
 //!
 //! ```text
-//! model-check [--schedules N]
+//! model-check [--schedules N] [--json <path|->] [--artifact <path>]
+//!             [--inject-stale-replay N]
+//! model-check --replay <artifact>
 //! ```
 //!
 //! Runs `N` (default 1000) derived schedules through the pure machines
-//! and reports invariant violations. Exits non-zero if any invariant
-//! broke.
+//! and reports invariant violations. `--json` additionally writes the
+//! machine-readable `lams-dlc.mcheck/1` coverage document — which
+//! adversary knobs fired and which recovery machinery ran — so CI can
+//! assert the sweep actually exercised every knob. On the first
+//! violation, `--artifact` writes a replayable failure artifact
+//! (schedule header + deterministic telemetry trace); `--replay`
+//! re-runs such an artifact and demands the byte-identical finding.
+//! `--inject-stale-replay` arms the known-bad-machine fault on every
+//! schedule (replay the first information frame after the `N`-th
+//! emission) to prove the checker and its artifacts end to end. Exits
+//! non-zero if any invariant broke or a replay diverged.
 
-use model_check::run_sweep;
+use model_check::{read_artifact, run_schedule, write_artifact, Report, Schedule};
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let mut schedules: u64 = 1000;
+struct Opts {
+    schedules: u64,
+    json: Option<String>,
+    artifact: Option<String>,
+    replay: Option<String>,
+    inject_stale_replay: u64,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        schedules: 1000,
+        json: None,
+        artifact: None,
+        replay: None,
+        inject_stale_replay: 0,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .ok_or_else(|| format!("{what} requires a value"))
+        };
         match flag.as_str() {
-            "--schedules" => match args.next().map(|v| v.parse()) {
-                Some(Ok(n)) => schedules = n,
-                _ => {
-                    eprintln!("--schedules requires an integer value");
-                    return ExitCode::FAILURE;
-                }
-            },
+            "--schedules" => {
+                opts.schedules = value("--schedules")?
+                    .parse()
+                    .map_err(|e| format!("--schedules: {e}"))?
+            }
+            "--json" => opts.json = Some(value("--json")?),
+            "--artifact" => opts.artifact = Some(value("--artifact")?),
+            "--replay" => opts.replay = Some(value("--replay")?),
+            "--inject-stale-replay" => {
+                opts.inject_stale_replay = value("--inject-stale-replay")?
+                    .parse()
+                    .map_err(|e| format!("--inject-stale-replay: {e}"))?
+            }
             "--help" | "-h" => {
-                println!("usage: model-check [--schedules N]");
-                return ExitCode::SUCCESS;
+                println!(
+                    "usage: model-check [--schedules N] [--json <path|->] \
+                     [--artifact <path>] [--inject-stale-replay N] | \
+                     model-check --replay <artifact>"
+                );
+                std::process::exit(0);
             }
-            other => {
-                eprintln!("unknown flag: {other}");
-                return ExitCode::FAILURE;
-            }
+            other => return Err(format!("unknown flag: {other}")),
         }
     }
+    Ok(opts)
+}
 
-    println!("model-check: exploring {schedules} adversarial schedules");
-    let report = run_sweep(schedules);
+fn replay_artifact(path: &str) -> ExitCode {
+    let (sched, expected) = match read_artifact(std::path::Path::new(path)) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("replay: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("model-check: replaying artifact {path}");
+    match run_schedule(&sched) {
+        Err(v) if v.what == expected => {
+            println!("replay reproduced the finding byte-identically:");
+            println!("  {expected}");
+            ExitCode::SUCCESS
+        }
+        Err(v) => {
+            eprintln!("replay DIVERGED:");
+            eprintln!("  artifact: {expected}");
+            eprintln!("  replay:   {}", v.what);
+            ExitCode::FAILURE
+        }
+        Ok(outcome) => {
+            eprintln!("replay DIVERGED: artifact expected a violation, run ended {outcome:?}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &opts.replay {
+        return replay_artifact(path);
+    }
+
+    println!(
+        "model-check: exploring {} adversarial schedules{}",
+        opts.schedules,
+        if opts.inject_stale_replay > 0 {
+            format!(
+                " (stale-replay fault armed after {} emissions)",
+                opts.inject_stale_replay
+            )
+        } else {
+            String::new()
+        }
+    );
+    let mut report = Report::default();
+    for index in 0..opts.schedules {
+        let mut sched = Schedule::derive(index);
+        sched.replay_stale_after = opts.inject_stale_replay;
+        let (result, cov) = model_check::run_schedule_observed(&sched);
+        report.coverage.absorb(&cov);
+        match result {
+            Ok(model_check::Outcome::Complete {
+                retransmissions, ..
+            }) => {
+                report.complete += 1;
+                report.retransmissions += retransmissions;
+            }
+            Ok(model_check::Outcome::LinkFailed { .. }) => report.link_failures += 1,
+            Err(v) => report.violations.push(v),
+        }
+    }
     println!(
         "complete: {} | declared link failures: {} | violations: {} | \
          retransmissions across completed runs: {}",
@@ -44,12 +149,48 @@ fn main() -> ExitCode {
         report.violations.len(),
         report.retransmissions,
     );
+    let c = &report.coverage;
+    println!(
+        "coverage: drops {} | dups {} | reorders {} | corruptions {} | \
+         capacity losses {} | checkpoints {} | request naks {} | enforced naks {}",
+        c.drops,
+        c.dups,
+        c.reorders,
+        c.corruptions,
+        c.capacity_losses,
+        c.checkpoints,
+        c.request_naks,
+        c.enforced_naks,
+    );
+
+    if let Some(path) = &opts.json {
+        let doc = report.to_json().render();
+        let write_result = if path == "-" {
+            println!("{doc}");
+            Ok(())
+        } else {
+            std::fs::write(path, format!("{doc}\n"))
+        };
+        if let Err(e) = write_result {
+            eprintln!("--json {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     if report.violations.is_empty() {
         println!("all invariants held");
         ExitCode::SUCCESS
     } else {
         for v in &report.violations {
             eprintln!("VIOLATION: {v}");
+        }
+        if let Some(path) = &opts.artifact {
+            match write_artifact(std::path::Path::new(path), &report.violations[0]) {
+                Ok(()) => eprintln!(
+                    "failure artifact written to {path} (verify with model-check --replay {path})"
+                ),
+                Err(e) => eprintln!("--artifact {path}: {e}"),
+            }
         }
         ExitCode::FAILURE
     }

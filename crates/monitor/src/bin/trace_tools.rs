@@ -109,7 +109,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 }
 
 /// Feed every line of the trace into `monitor`, also tallying event
-/// kinds for `summary`. Fails with the line number on malformed input.
+/// kinds for `summary`. Lines that are JSON objects carrying a
+/// `"schema"` member are stream metadata (failure-artifact headers,
+/// interleaved stats documents), counted under `(meta)` and skipped.
+/// Fails with the line number on malformed input.
 fn replay(path: &str, monitor: &mut Monitor) -> Result<BTreeMap<&'static str, u64>, String> {
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     let mut kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
@@ -118,8 +121,13 @@ fn replay(path: &str, monitor: &mut Monitor) -> Result<BTreeMap<&'static str, u6
         if line.trim().is_empty() {
             continue;
         }
-        let rec =
-            telemetry::parse_line(&line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let v = Json::parse(&line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        if v.get("schema").is_some() {
+            *kinds.entry("(meta)").or_insert(0) += 1;
+            continue;
+        }
+        let rec = telemetry::TraceRecord::from_json(&v)
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
         *kinds.entry(rec.event.kind()).or_insert(0) += 1;
         monitor.observe(&rec);
     }
@@ -162,6 +170,9 @@ fn run(args: &Args) -> Result<ExitCode, String> {
     };
     let mut monitor = Monitor::new(cfg);
     let kinds = replay(&args.trace, &mut monitor)?;
+    // Streams without a trace_header are simulator traces from before
+    // the header existed.
+    let domain = monitor.clock_domain().unwrap_or("sim");
     let report = monitor.take_report();
 
     match args.command.as_str() {
@@ -175,7 +186,7 @@ fn run(args: &Args) -> Result<ExitCode, String> {
             }
             let runs: u64 = report.experiments.iter().map(|e| e.runs).sum();
             eprintln!(
-                "audit: {} finding(s) across {} run(s), {} record(s)",
+                "audit: {} finding(s) across {} run(s), {} record(s), {domain} clock",
                 report.total_findings, runs, report.records
             );
             Ok(if report.total_findings > 0 {
@@ -204,6 +215,7 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         "summary" => {
             let mut w = open_out(&args.out)?;
             writeln!(w, "records: {}", report.records).map_err(|e| e.to_string())?;
+            writeln!(w, "clock domain: {domain}").map_err(|e| e.to_string())?;
             writeln!(w, "event kinds:").map_err(|e| e.to_string())?;
             for (kind, n) in &kinds {
                 writeln!(w, "  {kind:<24} {n}").map_err(|e| e.to_string())?;

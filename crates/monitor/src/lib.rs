@@ -88,6 +88,12 @@ pub struct MonitorConfig {
     pub keep_lifecycles: bool,
     /// Maximum findings kept verbatim; the rest are counted.
     pub findings_cap: usize,
+    /// Extra allowance added to every audited timing bound when the
+    /// stream declares a wall clock domain (`trace_header`): real hosts
+    /// observe timer-fire and scheduling jitter that virtual time never
+    /// has, so strict sim-calibrated deadlines would flag OS latency as
+    /// protocol violations. Sim streams are unaffected.
+    pub wall_slack: Duration,
 }
 
 impl Default for MonitorConfig {
@@ -96,6 +102,7 @@ impl Default for MonitorConfig {
             window: Duration::from_millis(100),
             keep_lifecycles: false,
             findings_cap: 256,
+            wall_slack: Duration::from_millis(50),
         }
     }
 }
@@ -230,6 +237,48 @@ impl MonitorReport {
     }
 }
 
+/// A point-in-time view of the current run's audited links, taken
+/// mid-run without disturbing any audit or series state — the data
+/// behind a live `--stats` snapshot on a wall-clock host.
+pub struct LiveSnapshot {
+    /// Findings so far (monitor lifetime, capped-out ones included).
+    pub findings: u64,
+    /// Trace records observed so far.
+    pub records: u64,
+    /// Frame lifecycles completed (sender releases) this run.
+    pub frames: u64,
+    /// Unique clean deliveries this run.
+    pub delivered: u64,
+    /// NAKs observed this run.
+    pub naks: u64,
+    /// Retransmissions observed this run.
+    pub retransmissions: u64,
+    /// Peak unresolved-frame count (sender occupancy HWM) this run.
+    pub max_outstanding: u64,
+    /// Windowed series lines accumulated so far (all links, key order).
+    pub series: Vec<Json>,
+    /// Delivery latencies recorded so far, seconds, sorted ascending.
+    latencies: Vec<f64>,
+}
+
+impl LiveSnapshot {
+    /// Delivery-latency samples in the snapshot.
+    pub fn delivery_count(&self) -> u64 {
+        self.latencies.len() as u64
+    }
+
+    /// Delivery-latency quantile in seconds (nearest-rank over the
+    /// samples so far; `None` with no samples).
+    pub fn delivery_quantile(&self, q: f64) -> Option<f64> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.latencies.len() as f64).ceil() as usize)
+            .clamp(1, self.latencies.len());
+        Some(self.latencies[rank - 1])
+    }
+}
+
 /// The live auditor/metrics engine. Implements [`TraceSink`]; feed it
 /// records through the global sink, a fanout, or [`Monitor::observe`].
 pub struct Monitor {
@@ -250,6 +299,8 @@ pub struct Monitor {
     counters: Registry,
     window_lines: Vec<Json>,
     lifecycles: Vec<FrameLifecycle>,
+    /// Clock domain announced by the stream's `trace_header`, if any.
+    clock_domain: Option<&'static str>,
     /// Self-profiling handle, resolved at construction (create the
     /// monitor after `profile::install` to attribute audit time).
     prof: profile::Prof,
@@ -273,8 +324,16 @@ impl Monitor {
             counters: Registry::new(),
             window_lines: Vec::new(),
             lifecycles: Vec::new(),
+            clock_domain: None,
             prof: profile::current(),
         }
+    }
+
+    /// Clock domain announced by the stream's `trace_header` record:
+    /// `"sim"` or `"wall"`. `None` for streams without one (simulator
+    /// traces predating the header, which are implicitly `"sim"`).
+    pub fn clock_domain(&self) -> Option<&'static str> {
+        self.clock_domain
     }
 
     /// Findings detected so far (including capped-out ones).
@@ -373,6 +432,9 @@ impl Monitor {
                 // like the per-experiment live monitors did.
                 self.run_ordinal = 0;
             }
+            TraceEvent::TraceHeader { clock_domain } => {
+                self.clock_domain = Some(clock_domain);
+            }
             TraceEvent::RunStarted => self.begin_run(),
             TraceEvent::RunFinished { deadline_hit } => self.finish_run(t, deadline_hit),
             // Resequencer holds come from the collector node, which
@@ -401,17 +463,29 @@ impl Monitor {
                             failure_ns,
                             ..
                         },
-                    ) => la.on_sender_config(
-                        t,
-                        rec.node,
-                        LinkTiming {
-                            w_cp: Duration::from_nanos(w_cp_ns),
-                            cp_timeout: Duration::from_nanos(cp_timeout_ns),
-                            rtt: Duration::from_nanos(rtt_ns),
-                            resolving: Duration::from_nanos(resolving_ns),
-                            failure: Duration::from_nanos(failure_ns),
-                        },
-                    ),
+                    ) => {
+                        // Wall-clock streams carry timer-fire and socket
+                        // jitter virtual time never has; widen every
+                        // audited bound so the invariants check protocol
+                        // logic, not OS scheduling. Sim streams keep the
+                        // exact bounds.
+                        let slack = if self.clock_domain == Some("wall") {
+                            self.cfg.wall_slack.as_nanos()
+                        } else {
+                            0
+                        };
+                        la.on_sender_config(
+                            t,
+                            rec.node,
+                            LinkTiming {
+                                w_cp: Duration::from_nanos(w_cp_ns + slack),
+                                cp_timeout: Duration::from_nanos(cp_timeout_ns + slack),
+                                rtt: Duration::from_nanos(rtt_ns),
+                                resolving: Duration::from_nanos(resolving_ns + slack),
+                                failure: Duration::from_nanos(failure_ns + slack),
+                            },
+                        )
+                    }
                     (Side::Tx, &TraceEvent::IFrameTx { seq, retx, .. }) => {
                         la.on_tx(t, rec.node, seq, retx, out)
                     }
@@ -495,6 +569,45 @@ impl Monitor {
         let rec = telemetry::parse_line(line)?;
         self.observe(&rec);
         Ok(())
+    }
+
+    /// A point-in-time view of the current (unfinished) run: link
+    /// tallies, windowed series so far, and delivery latencies, summed
+    /// over audited links in key order. Reading is non-destructive —
+    /// the run keeps accumulating and `finish_run` folds as usual.
+    pub fn live_snapshot(&self) -> LiveSnapshot {
+        let mut snap = LiveSnapshot {
+            findings: self.findings.total(),
+            records: self.seen,
+            frames: 0,
+            delivered: 0,
+            naks: 0,
+            retransmissions: 0,
+            max_outstanding: 0,
+            series: Vec::new(),
+            latencies: Vec::new(),
+        };
+        let mut keys: Vec<&'static str> = self.links.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let la = &self.links[key];
+            if !la.audited() {
+                continue;
+            }
+            snap.frames += la.tally.frames;
+            snap.delivered += la.tally.delivered;
+            snap.naks += la.tally.naks;
+            snap.retransmissions += la.tally.retransmissions;
+            snap.max_outstanding = snap.max_outstanding.max(la.tally.max_outstanding);
+            snap.latencies.extend_from_slice(&la.tally.latencies);
+            snap.series.extend(
+                la.series
+                    .peek_lines(self.experiment_id, self.run_ordinal, key),
+            );
+        }
+        snap.latencies
+            .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        snap
     }
 
     /// Drain everything accumulated into a report, resetting the
@@ -728,6 +841,44 @@ mod tests {
             .iter()
             .any(|f| f.invariant == Invariant::CheckpointCadence
                 && f.window == (Instant::from_nanos(16 * MS), Instant::from_nanos(28 * MS))));
+    }
+
+    #[test]
+    fn wall_clock_streams_get_cadence_slack() {
+        // Same 12 ms emission gap as the strict sim-domain test above,
+        // but the stream declares a wall clock — the gap is within the
+        // default jitter allowance, so no finding.
+        let mut records = clean_run();
+        records.insert(
+            0,
+            rec(
+                0,
+                "host",
+                TraceEvent::TraceHeader {
+                    clock_domain: "wall",
+                },
+            ),
+        );
+        records.insert(
+            7,
+            rec(
+                28 * MS,
+                "rx",
+                TraceEvent::CheckpointEmitted {
+                    index: 2,
+                    covered: 1,
+                    naks: 0,
+                    enforced: false,
+                    stop: false,
+                },
+            ),
+        );
+        let m = feed(&records);
+        assert!(
+            m.findings().is_empty(),
+            "wall-domain jitter must not be flagged: {:?}",
+            m.findings()
+        );
     }
 
     #[test]
@@ -1080,6 +1231,50 @@ mod tests {
         assert_eq!(split_node("hop3.rx"), Some(("hop3", Side::Rx)));
         assert_eq!(split_node("channel"), None);
         assert_eq!(split_node("collector"), None);
+    }
+
+    #[test]
+    fn live_snapshot_reads_mid_run_without_disturbing_audit() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        let records = clean_run();
+        // Feed everything except RunFinished: the run is still live.
+        for r in &records[..records.len() - 1] {
+            m.observe(r);
+        }
+        let snap = m.live_snapshot();
+        assert_eq!(snap.delivered, 1);
+        assert_eq!(snap.frames, 1);
+        assert_eq!(snap.findings, 0);
+        assert_eq!(snap.delivery_count(), 1);
+        let p50 = snap.delivery_quantile(0.5).unwrap();
+        assert!((p50 - 0.014).abs() < 1e-9, "{p50}");
+        assert!(!snap.series.is_empty());
+        // Snapshot is non-destructive: finishing the run still folds
+        // the same tallies and series into the report.
+        m.observe(&records[records.len() - 1]);
+        assert_eq!(m.total_findings(), 0, "{:?}", m.findings());
+        let report = m.take_report();
+        assert_eq!(report.experiments[0].delivered, 1);
+        assert!(!report.window_lines.is_empty());
+    }
+
+    #[test]
+    fn trace_header_sets_clock_domain() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        assert_eq!(m.clock_domain(), None);
+        m.observe(&rec(
+            0,
+            "host",
+            TraceEvent::TraceHeader {
+                clock_domain: "wall",
+            },
+        ));
+        assert_eq!(m.clock_domain(), Some("wall"));
+        // The header is stream metadata: no links, no findings.
+        for r in clean_run() {
+            m.observe(&r);
+        }
+        assert_eq!(m.total_findings(), 0, "{:?}", m.findings());
     }
 
     #[test]

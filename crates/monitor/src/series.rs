@@ -68,11 +68,27 @@ impl LinkSeries {
     /// each window in seconds, and `throughput_fps` is the delivered
     /// rate over the window.
     pub fn drain_lines(&mut self, experiment: &str, run: u64, link: &str) -> Vec<Json> {
-        let width_s = self.width.as_secs_f64();
         let windows = std::mem::take(&mut self.windows);
+        self.render_lines(windows.iter(), experiment, run, link)
+    }
+
+    /// The touched windows so far, in time order, without draining —
+    /// the live stats endpoint reads the series mid-run while the
+    /// auditor keeps accumulating into it.
+    pub fn peek_lines(&self, experiment: &str, run: u64, link: &str) -> Vec<Json> {
+        self.render_lines(self.windows.iter(), experiment, run, link)
+    }
+
+    fn render_lines<'a>(
+        &self,
+        windows: impl Iterator<Item = (&'a u64, &'a WindowAcc)>,
+        experiment: &str,
+        run: u64,
+        link: &str,
+    ) -> Vec<Json> {
+        let width_s = self.width.as_secs_f64();
         windows
-            .into_iter()
-            .map(|(idx, w)| {
+            .map(|(&idx, w)| {
                 let t0 = idx as f64 * width_s;
                 Json::obj([
                     ("experiment", experiment.into()),
@@ -122,6 +138,16 @@ mod tests {
             Some(250.0)
         );
         assert_eq!(lines[0].get("run").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn peek_does_not_drain() {
+        let mut s = LinkSeries::new(Duration::from_millis(10));
+        s.at(Instant::from_millis(3)).tx += 1;
+        let peeked = s.peek_lines("e1", 0, "");
+        assert_eq!(peeked.len(), 1);
+        assert_eq!(s.len(), 1, "peek leaves the series intact");
+        assert_eq!(s.drain_lines("e1", 0, ""), peeked, "same line shape");
     }
 
     #[test]

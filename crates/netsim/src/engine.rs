@@ -27,6 +27,7 @@ use crate::topology::{
 };
 use crate::traffic::TrafficGen;
 use bytes::Bytes;
+use proto_core::{Clock, ManualClock};
 use sim_core::{Duration, EventQueue, Instant, QueueProfile, RunTimer};
 use telemetry::TraceEvent;
 
@@ -511,15 +512,21 @@ where
         // stale duplicates that would each buy a no-op pump pass.
         let mut wake = Some((Instant::ZERO, q.schedule(Instant::ZERO, SimEvent::Wake)));
         let mut holding_buf: Vec<f64> = Vec::new();
-        let mut finished_at = Instant::ZERO;
+        // Simulated time as a Clock: kept in lock-step with the event
+        // queue, so the engine's notion of "now" (and the instant the
+        // run finished at) is the same abstraction a wall-clock host
+        // uses — a ManualClock never advanced past the last dispatched
+        // event (or the deadline, when that cuts the run short).
+        let sim_clock = ManualClock::new();
         let mut deadline_hit = false;
 
         while let Some((now, first_ev)) = q.pop() {
             if now > deadline {
                 deadline_hit = true;
-                finished_at = deadline;
+                sim_clock.set(deadline);
                 break;
             }
+            sim_clock.set(now);
             // Drain every event scheduled for this same instant before
             // pumping: simultaneous SDU arrivals (a batch) must all be
             // in the sending buffer before any transmission decision.
@@ -676,7 +683,6 @@ where
                 && txs.iter().all(|t| t.buffered() == 0);
             drop(collect_span);
             if done || txs.iter().any(|t| t.is_failed()) {
-                finished_at = now;
                 break;
             }
 
@@ -730,9 +736,9 @@ where
                     }
                 }
             }
-            finished_at = now;
         }
 
+        let finished_at = sim_clock.now();
         sim_trace.emit(finished_at, || TraceEvent::RunFinished { deadline_hit });
 
         Outcome {

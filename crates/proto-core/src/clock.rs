@@ -1,0 +1,225 @@
+//! Pluggable time sources for protocol hosts.
+//!
+//! The state machines never read a clock — every entry point takes
+//! `now: Instant` — so *hosts* decide where time comes from. This module
+//! names that decision: a [`Clock`] yields the current [`Instant`] and
+//! can park the calling thread, and every host (the discrete-event
+//! simulator, the real-UDP loopback host, the model checker, tests)
+//! drives the same machines and the same telemetry pipeline through one
+//! of its implementations:
+//!
+//! * [`ManualClock`] — time advances only when the owner says so. The
+//!   simulator's event loop keeps one in lock-step with its event queue,
+//!   and tests use it as a *fake clock*: deterministic timer expiry with
+//!   no real waiting ([`Clock::sleep`] advances virtual time instead of
+//!   parking).
+//! * [`WallClock`] — monotonic real time, measured from the clock's
+//!   construction so timestamps stay run-local and small (a trace never
+//!   carries Unix-epoch nanoseconds unless a host asks for them via
+//!   [`WallClock::unix_epoch_nanos`]).
+//!
+//! Which source produced a trace matters to consumers — wall-clock
+//! cadences are only approximately the configured protocol periods,
+//! and re-running never reproduces identical timestamps — so streams
+//! are tagged with a [`ClockDomain`] (the `trace_header` record).
+
+use crate::time::{Duration, Instant};
+use std::cell::Cell;
+
+/// Which kind of time a stream of instants was measured in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClockDomain {
+    /// Virtual time: deterministic, reproducible bit-for-bit.
+    Sim,
+    /// Monotonic wall-clock time: real, never exactly reproducible.
+    Wall,
+}
+
+impl ClockDomain {
+    /// Stable machine-readable name (the `clock_domain` trace field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ClockDomain::Sim => "sim",
+            ClockDomain::Wall => "wall",
+        }
+    }
+
+    /// Parse the machine-readable name back.
+    pub fn parse(s: &str) -> Option<ClockDomain> {
+        match s {
+            "sim" => Some(ClockDomain::Sim),
+            "wall" => Some(ClockDomain::Wall),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ClockDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A host's time source.
+///
+/// `&self` throughout: hosts hand out shared references to one clock
+/// (the event loop, the stats emitter, and the trace pipeline all read
+/// the same instant stream).
+pub trait Clock {
+    /// The current instant on this clock's timeline.
+    fn now(&self) -> Instant;
+
+    /// Let `d` pass. Wall clocks park the thread; manual clocks advance
+    /// their virtual time, so host loops written against [`Clock`] run
+    /// unmodified (and instantly) under a fake clock in tests.
+    fn sleep(&self, d: Duration);
+
+    /// Which domain this clock's instants live in.
+    fn domain(&self) -> ClockDomain;
+}
+
+/// Monotonic wall-clock time, zeroed at construction.
+#[derive(Clone, Debug)]
+pub struct WallClock {
+    epoch: std::time::Instant,
+    unix_epoch_nanos: u128,
+}
+
+impl WallClock {
+    /// A wall clock whose `t = 0` is now.
+    pub fn new() -> Self {
+        WallClock {
+            epoch: std::time::Instant::now(),
+            unix_epoch_nanos: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0),
+        }
+    }
+
+    /// Unix time of this clock's `t = 0`, in nanoseconds — lets a
+    /// machine-readable report anchor its run-local timestamps to
+    /// calendar time without widening every trace record.
+    pub fn unix_epoch_nanos(&self) -> u128 {
+        self.unix_epoch_nanos
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Instant {
+        Instant::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(std::time::Duration::from_nanos(d.as_nanos()));
+    }
+
+    fn domain(&self) -> ClockDomain {
+        ClockDomain::Wall
+    }
+}
+
+/// Manually-advanced virtual time.
+///
+/// The simulator keeps one in lock-step with its event queue; tests use
+/// it as a fake clock. `sleep` advances the clock instead of parking,
+/// so a polling host loop makes progress under manual time without any
+/// real delay.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now_ns: Cell<u64>,
+}
+
+impl ManualClock {
+    /// A manual clock starting at `t = 0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A manual clock starting at `t`.
+    pub fn at(t: Instant) -> Self {
+        ManualClock {
+            now_ns: Cell::new(t.as_nanos()),
+        }
+    }
+
+    /// Move the clock forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.now_ns
+            .set(self.now_ns.get().saturating_add(d.as_nanos()));
+    }
+
+    /// Jump the clock to `t`. Time never runs backwards: an earlier `t`
+    /// is ignored, so event loops can re-assert "it is now the popped
+    /// event's instant" without guarding.
+    pub fn set(&self, t: Instant) {
+        if t.as_nanos() > self.now_ns.get() {
+            self.now_ns.set(t.as_nanos());
+        }
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Instant {
+        Instant::from_nanos(self.now_ns.get())
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+
+    fn domain(&self) -> ClockDomain {
+        ClockDomain::Sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_advances_only_on_request() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), Instant::ZERO);
+        c.advance(Duration::from_millis(5));
+        assert_eq!(c.now(), Instant::from_millis(5));
+        // sleep is virtual: it advances rather than parking.
+        c.sleep(Duration::from_millis(2));
+        assert_eq!(c.now(), Instant::from_millis(7));
+        assert_eq!(c.domain(), ClockDomain::Sim);
+    }
+
+    #[test]
+    fn manual_clock_never_runs_backwards() {
+        let c = ManualClock::at(Instant::from_millis(10));
+        c.set(Instant::from_millis(3));
+        assert_eq!(c.now(), Instant::from_millis(10));
+        c.set(Instant::from_millis(12));
+        assert_eq!(c.now(), Instant::from_millis(12));
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic_and_run_local() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+        // Run-local: fresh clocks start near zero, not at the Unix epoch.
+        assert!(a < Instant::from_millis(60_000), "{a:?}");
+        assert_eq!(c.domain(), ClockDomain::Wall);
+    }
+
+    #[test]
+    fn domain_names_round_trip() {
+        for d in [ClockDomain::Sim, ClockDomain::Wall] {
+            assert_eq!(ClockDomain::parse(d.as_str()), Some(d));
+        }
+        assert_eq!(ClockDomain::parse("lamport"), None);
+    }
+}

@@ -6,11 +6,14 @@
 //! Host-agnostic substrate for the LAMS-DLC reproduction's protocol
 //! state machines. This crate sits at the bottom of the workspace's
 //! dependency graph — it knows nothing about the simulator, telemetry
-//! sinks, sockets, or threads — and provides exactly three things:
+//! sinks, sockets, or threads — and provides exactly four things:
 //!
 //! * [`Instant`] / [`Duration`] — plain-integer nanosecond time, with no
 //!   clock source attached (re-exported by `sim-core`, so simulator code
 //!   keeps its historical import paths);
+//! * [`Clock`] / [`ClockDomain`] — the pluggable time-source contract
+//!   hosts implement: [`ManualClock`] for virtual (simulated, or
+//!   test-faked) time, [`WallClock`] for monotonic real time;
 //! * [`TraceEvent`] / [`ProtoTrace`] / [`Trace`] — the protocol event
 //!   vocabulary and the pluggable sink contract hosts implement
 //!   (`telemetry` bridges it onto its timestamped-record sinks);
@@ -23,10 +26,12 @@
 //! `cargo tree -i telemetry` must never reach `proto-core`, `lams-dlc`
 //! or `hdlc`.
 
+pub mod clock;
 pub mod machine;
 pub mod time;
 pub mod trace;
 
+pub use clock::{Clock, ClockDomain, ManualClock, WallClock};
 pub use machine::{Delivered, Machine, ReceiverMachine, RxStatus, SenderMachine, WireFrame};
 pub use time::{Duration, Instant};
 pub use trace::{ProtoTrace, SharedTrace, Trace, TraceEvent};

@@ -181,6 +181,15 @@ pub enum TraceEvent {
         /// Time spent held in the resequencer, in nanoseconds.
         held_ns: u64,
     },
+    /// Stream header, emitted by the host as the first record of a
+    /// trace: names the clock domain every following timestamp was
+    /// measured in. Streams without one are simulator traces from
+    /// before the header existed (implicitly `"sim"`).
+    TraceHeader {
+        /// Clock domain name: `"sim"` (virtual, reproducible) or
+        /// `"wall"` (monotonic real time, run-local origin).
+        clock_domain: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -208,6 +217,7 @@ impl TraceEvent {
             TraceEvent::SenderConfig { .. } => "sender_config",
             TraceEvent::BufferRelease { .. } => "buffer_release",
             TraceEvent::ReseqHold { .. } => "reseq_hold",
+            TraceEvent::TraceHeader { .. } => "trace_header",
         }
     }
 }

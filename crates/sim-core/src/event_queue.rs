@@ -145,22 +145,23 @@ impl QueueProfile {
 /// Wall-clock stopwatch for computing simulated-events/sec alongside a
 /// [`QueueProfile`]. Separate from simulated time on purpose: nothing
 /// inside the simulation may observe it.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RunTimer {
-    started: std::time::Instant,
+    clock: proto_core::WallClock,
 }
 
 impl RunTimer {
     /// Start timing now.
     pub fn start() -> Self {
         RunTimer {
-            started: std::time::Instant::now(),
+            clock: proto_core::WallClock::new(),
         }
     }
 
     /// Wall-clock seconds since `start`.
     pub fn elapsed_secs(&self) -> f64 {
-        self.started.elapsed().as_secs_f64()
+        use proto_core::Clock;
+        self.clock.now().as_secs_f64()
     }
 }
 

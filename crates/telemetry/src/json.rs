@@ -1,13 +1,17 @@
 //! Minimal JSON value model: construction, rendering, parsing.
 //!
-//! Numbers are `f64`. Non-finite values render as `null` (JSON has no
-//! NaN/Infinity). Object member order is preserved — reports render in
-//! the order fields were inserted, which keeps diffs stable.
+//! Numbers are `f64`, except that non-negative integers too large for
+//! `f64` to hold exactly travel as [`Json::Int`] — wall-clock traces
+//! carry nanosecond counts past 2^53, and those must survive a
+//! render/parse round trip bit-for-bit. Non-finite values render as
+//! `null` (JSON has no NaN/Infinity). Object member order is preserved
+//! — reports render in the order fields were inserted, which keeps
+//! diffs stable.
 
 use std::fmt;
 
 /// A JSON value.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub enum Json {
     /// `null`
     Null,
@@ -15,12 +19,36 @@ pub enum Json {
     Bool(bool),
     /// Any number; rendered as an integer when exactly integral.
     Num(f64),
+    /// A non-negative integer preserved exactly beyond `f64`'s 2^53
+    /// mantissa range; always rendered as plain digits. Numerically
+    /// equal `Int` and `Num` values compare equal.
+    Int(u64),
     /// A string.
     Str(String),
     /// An array.
     Arr(Vec<Json>),
     /// An object with preserved member order.
     Obj(Vec<(String, Json)>),
+}
+
+impl PartialEq for Json {
+    fn eq(&self, other: &Json) -> bool {
+        match (self, other) {
+            (Json::Null, Json::Null) => true,
+            (Json::Bool(a), Json::Bool(b)) => a == b,
+            (Json::Num(a), Json::Num(b)) => a == b,
+            (Json::Int(a), Json::Int(b)) => a == b,
+            // Cross-representation: equal when the f64 side is exactly
+            // this integer (a parser may hand back either form).
+            (Json::Int(a), Json::Num(b)) | (Json::Num(b), Json::Int(a)) => {
+                *b >= 0.0 && b.fract() == 0.0 && *a as f64 == *b
+            }
+            (Json::Str(a), Json::Str(b)) => a == b,
+            (Json::Arr(a), Json::Arr(b)) => a == b,
+            (Json::Obj(a), Json::Obj(b)) => a == b,
+            _ => false,
+        }
+    }
 }
 
 impl Json {
@@ -37,10 +65,25 @@ impl Json {
         }
     }
 
-    /// Numeric value, if this is a number.
+    /// Numeric value, if this is a number. `Int` values round to the
+    /// nearest `f64`; use [`Json::as_u64`] when exactness matters.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
+            Json::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// Exact unsigned-integer value, if this is a number holding one.
+    /// `Num` qualifies when non-negative, integral, and in `u64` range
+    /// (an integral `f64` in range converts exactly).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
             _ => None,
         }
     }
@@ -95,6 +138,7 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(n) => write_num(out, *n),
+            Json::Int(n) => write_u64(out, *n),
             Json::Str(s) => write_str(out, s),
             Json::Arr(items) => {
                 write_seq(out, indent, depth, items.len(), '[', ']', |out, i, d| {
@@ -157,6 +201,11 @@ pub(crate) fn write_num(out: &mut String, n: f64) {
     }
 }
 
+pub(crate) fn write_u64(out: &mut String, n: u64) {
+    use fmt::Write;
+    let _ = write!(out, "{n}");
+}
+
 pub(crate) fn write_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -188,7 +237,14 @@ impl From<f64> for Json {
 }
 impl From<u64> for Json {
     fn from(n: u64) -> Json {
-        Json::Num(n as f64)
+        // Stay in the f64 world whenever it is exact (every value the
+        // simulator produces), so renderings are unchanged; switch to
+        // `Int` only where f64 would silently round.
+        if (n as f64) as u128 == n as u128 {
+            Json::Num(n as f64)
+        } else {
+            Json::Int(n)
+        }
     }
 }
 impl From<u32> for Json {
@@ -467,6 +523,16 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
+        // Plain non-negative integer literals that f64 cannot hold
+        // exactly stay exact as `Int`; everything else (all existing
+        // traces) keeps the f64 representation.
+        if !text.starts_with('-') && !text.contains(['.', 'e', 'E']) {
+            if let Ok(n) = text.parse::<u64>() {
+                if (n as f64) as u128 != n as u128 {
+                    return Ok(Json::Int(n));
+                }
+            }
+        }
         text.parse::<f64>().map(Json::Num).map_err(|_| ParseError {
             at: start,
             reason: "invalid number",
@@ -526,6 +592,26 @@ mod tests {
             Json::parse(r#""🚀""#).unwrap(),
             Json::Str("\u{1f680}".into())
         );
+    }
+
+    #[test]
+    fn big_integers_survive_exactly() {
+        // 2^53 + 1 is the first integer f64 cannot represent.
+        let n = (1u64 << 53) + 1;
+        let v = Json::from(n);
+        assert_eq!(v, Json::Int(n));
+        assert_eq!(v.render(), "9007199254740993");
+        assert_eq!(Json::parse("9007199254740993").unwrap().as_u64(), Some(n));
+        // Small integers keep the historical f64 path and rendering.
+        assert_eq!(Json::from(17u64), Json::Num(17.0));
+        assert_eq!(Json::parse("17").unwrap(), Json::Num(17.0));
+        assert_eq!(Json::parse("17").unwrap().as_u64(), Some(17));
+        // Cross-representation equality: same value, either form.
+        assert_eq!(Json::Int(17), Json::Num(17.0));
+        assert_ne!(Json::Int(17), Json::Num(17.5));
+        // Non-integers and negatives have no exact u64 reading.
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(0.5).as_u64(), None);
     }
 
     #[test]

@@ -126,6 +126,9 @@ fn event_fields(event: &TraceEvent) -> Vec<(&'static str, Json)> {
         TraceEvent::ReseqHold { id, held_ns } => {
             vec![("id", id.into()), ("held_ns", held_ns.into())]
         }
+        TraceEvent::TraceHeader { clock_domain } => {
+            vec![("clock_domain", clock_domain.into())]
+        }
     }
 }
 
@@ -141,13 +144,29 @@ pub struct TraceRecord {
 }
 
 impl TraceRecord {
-    /// Render as one JSON object: `{"t": secs, "node": .., "event": .., ...}`.
+    /// Nanosecond timestamp needing an exact side channel: `Some` only
+    /// when the f64-seconds `t` member alone would round the time.
+    /// Sim traces never get past 2^53 ns (≈ 104 days), so they never
+    /// carry one and their historical byte shape is unchanged;
+    /// wall-clock hosts can in principle run long enough to need it.
+    fn inexact_t_ns(&self) -> Option<u64> {
+        let ns = self.t.as_nanos();
+        if (self.t.as_secs_f64() * 1e9).round() as u64 != ns {
+            Some(ns)
+        } else {
+            None
+        }
+    }
+
+    /// Render as one JSON object: `{"t": secs, "node": .., "event": .., ...}`
+    /// (plus `"t_ns"` right after `"t"` when seconds alone would round).
     pub fn to_json(&self) -> Json {
-        let mut members: Vec<(String, Json)> = vec![
-            ("t".into(), Json::Num(self.t.as_secs_f64())),
-            ("node".into(), self.node.into()),
-            ("event".into(), self.event.kind().into()),
-        ];
+        let mut members: Vec<(String, Json)> = vec![("t".into(), Json::Num(self.t.as_secs_f64()))];
+        if let Some(ns) = self.inexact_t_ns() {
+            members.push(("t_ns".into(), Json::Int(ns)));
+        }
+        members.push(("node".into(), self.node.into()));
+        members.push(("event".into(), self.event.kind().into()));
         for (k, v) in event_fields(&self.event) {
             members.push((k.into(), v));
         }
@@ -161,6 +180,10 @@ impl TraceRecord {
     pub fn render_into(&self, out: &mut String) {
         out.push_str("{\"t\":");
         crate::json::write_num(out, self.t.as_secs_f64());
+        if let Some(ns) = self.inexact_t_ns() {
+            out.push_str(",\"t_ns\":");
+            crate::json::write_u64(out, ns);
+        }
         out.push_str(",\"node\":");
         crate::json::write_str(out, self.node);
         out.push_str(",\"event\":");
@@ -177,8 +200,10 @@ impl TraceRecord {
     /// Rebuild a record from the JSON object produced by
     /// [`TraceRecord::to_json`]. This is the inverse the offline trace
     /// analyzer relies on: `t` survives the f64 round trip exactly
-    /// (Rust renders the shortest round-trippable decimal), so a
-    /// replayed stream reproduces the live stream bit-for-bit.
+    /// below 2^53 ns (Rust renders the shortest round-trippable
+    /// decimal), and records past that carry an exact `t_ns` member
+    /// which parsing prefers — so a replayed stream reproduces the live
+    /// stream bit-for-bit in either clock domain.
     pub fn from_json(v: &Json) -> Result<TraceRecord, String> {
         let t = v
             .get("t")
@@ -187,6 +212,7 @@ impl TraceRecord {
         if !(t.is_finite() && t >= 0.0) {
             return Err(format!("record has invalid time {t}"));
         }
+        let t_ns = v.get("t_ns").and_then(Json::as_u64);
         let node = intern(
             v.get("node")
                 .and_then(Json::as_str)
@@ -198,8 +224,7 @@ impl TraceRecord {
             .ok_or("record missing string \"event\"")?;
         let num = |k: &str| -> Result<u64, String> {
             v.get(k)
-                .and_then(Json::as_f64)
-                .map(|n| n as u64)
+                .and_then(Json::as_u64)
                 .ok_or_else(|| format!("{kind} record missing numeric {k:?}"))
         };
         let flag = |k: &str| -> Result<bool, String> {
@@ -292,12 +317,19 @@ impl TraceRecord {
                 id: num("id")?,
                 held_ns: num("held_ns")?,
             },
+            "trace_header" => TraceEvent::TraceHeader {
+                clock_domain: word("clock_domain")?,
+            },
             other => return Err(format!("unknown event kind {other:?}")),
         };
         Ok(TraceRecord {
             // `t` is seconds; nanosecond counts below 2^53 (≈ 104 days
-            // of sim time) round-trip exactly through f64.
-            t: Instant::from_nanos((t * 1e9).round() as u64),
+            // of sim time) round-trip exactly through f64, and records
+            // past that carry the exact count in `t_ns`.
+            t: match t_ns {
+                Some(ns) => Instant::from_nanos(ns),
+                None => Instant::from_nanos((t * 1e9).round() as u64),
+            },
             node,
             event,
         })
@@ -319,6 +351,8 @@ const KNOWN_LABELS: &[&str] = &[
     "collector",
     "sim",
     "runner",
+    "host",
+    "wall",
     "a2b.tx",
     "a2b.rx",
     "b2a.tx",
@@ -962,6 +996,9 @@ mod tests {
                 id: 40,
                 held_ns: 2_500_000,
             },
+            TraceEvent::TraceHeader {
+                clock_domain: "wall",
+            },
         ];
         for (i, event) in events.into_iter().enumerate() {
             // Deliberately awkward timestamp: exercises the f64 round trip.
@@ -970,6 +1007,24 @@ mod tests {
             let back = parse_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
             assert_eq!(back, original, "{line}");
         }
+    }
+
+    #[test]
+    fn wall_scale_timestamps_round_trip_exactly() {
+        // Past 2^53 ns the f64-seconds member alone rounds; the record
+        // grows an exact `t_ns` companion which parsing prefers.
+        let ns = (1u64 << 53) + 1;
+        let original = rec(ns, TraceEvent::LinkFailed);
+        let line = original.to_json().render();
+        assert!(line.contains("\"t_ns\":9007199254740993"), "{line}");
+        let mut direct = String::new();
+        original.render_into(&mut direct);
+        assert_eq!(direct, line, "both render paths agree");
+        let back = parse_line(&line).unwrap();
+        assert_eq!(back.t.as_nanos(), ns);
+        // Sim-scale records keep the historical single-`t` shape.
+        let small = rec(1_234_567_891, TraceEvent::LinkFailed);
+        assert!(!small.to_json().render().contains("t_ns"));
     }
 
     /// A writer that fails every write after the first `ok_writes`.
@@ -1128,6 +1183,9 @@ mod tests {
                 cp_timeout_ns: 16_000_000,
                 resolving_ns: 45_210_000,
                 failure_ns: 43_710_000,
+            },
+            TraceEvent::TraceHeader {
+                clock_domain: "sim",
             },
         ];
         for (i, event) in events.into_iter().enumerate() {

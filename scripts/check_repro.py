@@ -7,6 +7,8 @@ Usage:
                    [--bench BENCH.json]...
                    [--attribution OFFLINE.tsv]...
                    [--profile PROFILE.json]...
+                   [--live STATS.jsonl]...
+                   [--mcheck MCHECK.json]...
 
 With one positional argument: validate the `lams-dlc.repro/1` schema
 (top-level fields, per-experiment structure, perf blocks, live-monitor
@@ -40,6 +42,17 @@ every line must be byte-identical to the corresponding experiment's
 `attribution` block in the report (ids compared case-insensitively),
 and every attributed experiment must appear — the offline replay and
 the live monitor must reconstruct the same causal story.
+
+Each `--live FILE` must be a `lams-dlc.live/1` JSONL stream (as written
+by `lams-dlc-io --stats`): every snapshot well-formed with one constant
+clock domain, cumulative counters monotone non-decreasing across
+snapshots, zero audit findings throughout, and exactly the last
+document marked final.
+
+Each `--mcheck FILE` must be a `lams-dlc.mcheck/1` sweep document (as
+written by `model-check --json`): zero violations, every schedule
+accounted for, and nonzero coverage for every adversary knob — a sweep
+whose coverage shows a zero proved nothing about that knob.
 """
 
 import json
@@ -399,6 +412,166 @@ def check_attribution_replay(tsv_path, doc, report_path):
         fail(f"{tsv_path}: no offline attribution for {', '.join(missing)}")
 
 
+# The live-host stats stream (`lams-dlc-io --stats`). Counters here are
+# cumulative, so later snapshots can never show less than earlier ones.
+LIVE_COUNTERS = ("io.inject.drops", "io.inject.corruptions",
+                 "io.tx.datagrams", "io.rx.feedback")
+LIVE_LINK_KEYS = ("frames", "delivered", "naks", "retransmissions",
+                  "max_outstanding")
+LIVE_SERIES_KEYS = ("t0_s", "t1_s", "tx", "retx", "delivered", "naks",
+                    "releases", "outstanding_hwm")
+
+
+def validate_live_doc(doc, where, path):
+    """One `lams-dlc.live/1` snapshot in isolation."""
+    if doc.get("schema") != "lams-dlc.live/1":
+        fail(f"{path}:{where}: schema is {doc.get('schema')!r}, "
+             f"want 'lams-dlc.live/1'")
+    if doc.get("clock_domain") not in ("sim", "wall"):
+        fail(f"{path}:{where}: clock_domain is "
+             f"{doc.get('clock_domain')!r}, want 'sim' or 'wall'")
+    if not isinstance(doc.get("final"), bool):
+        fail(f"{path}:{where}: 'final' must be a bool")
+    if not isinstance(doc.get("elapsed_s"), (int, float)) or \
+            doc["elapsed_s"] < 0:
+        fail(f"{path}:{where}: 'elapsed_s' must be a non-negative number")
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        fail(f"{path}:{where}: missing 'counters' block")
+    for name in LIVE_COUNTERS:
+        if not isinstance(counters.get(name), int) or counters[name] < 0:
+            fail(f"{path}:{where}: counter '{name}' must be a "
+                 f"non-negative integer")
+    progress = doc.get("progress")
+    for key in ("sdus", "delivered"):
+        if not isinstance(progress.get(key) if isinstance(progress, dict)
+                          else None, int):
+            fail(f"{path}:{where}: progress '{key}' must be an integer")
+    if progress["delivered"] > progress["sdus"]:
+        fail(f"{path}:{where}: delivered {progress['delivered']} exceeds "
+             f"sdus {progress['sdus']}")
+    audit = doc.get("audit")
+    for key in ("findings", "records"):
+        if not isinstance(audit.get(key) if isinstance(audit, dict)
+                          else None, int):
+            fail(f"{path}:{where}: audit '{key}' must be an integer")
+    if audit["findings"] != 0:
+        fail(f"{path}:{where}: live audit reported {audit['findings']} "
+             f"finding(s)")
+    link = doc.get("link")
+    for key in LIVE_LINK_KEYS:
+        if not isinstance(link.get(key) if isinstance(link, dict)
+                          else None, int):
+            fail(f"{path}:{where}: link '{key}' must be an integer")
+    lat = doc.get("delivery_latency")
+    if not isinstance(lat, dict) or not isinstance(lat.get("count"), int):
+        fail(f"{path}:{where}: missing delivery_latency block")
+    if lat["count"] > 0 and not isinstance(lat.get("p50_s"), (int, float)):
+        fail(f"{path}:{where}: {lat['count']} latencies but no p50_s")
+    series = doc.get("series")
+    if not isinstance(series, list):
+        fail(f"{path}:{where}: 'series' must be an array")
+    for n, w in enumerate(series):
+        for key in LIVE_SERIES_KEYS:
+            if key not in w:
+                fail(f"{path}:{where}: series window {n} missing '{key}'")
+        if not w["t0_s"] < w["t1_s"]:
+            fail(f"{path}:{where}: series window {n} has t0_s "
+                 f"{w['t0_s']} >= t1_s {w['t1_s']}")
+        for key in ("tx", "retx", "delivered", "naks", "releases"):
+            if not isinstance(w[key], int) or w[key] < 0:
+                fail(f"{path}:{where}: series window {n} '{key}' must be "
+                     f"a non-negative integer")
+
+
+def check_live(path):
+    """A whole `--stats` stream: per-line validity plus the cross-line
+    invariants (constant domain, monotone cumulative numbers, exactly
+    one final document, at the end)."""
+    try:
+        with open(path) as f:
+            lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    except OSError as e:
+        fail(str(e))
+    if not lines:
+        fail(f"{path}: empty stats stream")
+    docs = []
+    for n, line in enumerate(lines, 1):
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{n}: {e}")
+        validate_live_doc(doc, n, path)
+        docs.append(doc)
+    domains = {d["clock_domain"] for d in docs}
+    if len(domains) != 1:
+        fail(f"{path}: clock_domain changed mid-stream: {sorted(domains)}")
+    finals = [n for n, d in enumerate(docs, 1) if d["final"]]
+    if finals != [len(docs)]:
+        fail(f"{path}: want exactly the last document final, "
+             f"got final at line(s) {finals} of {len(docs)}")
+    monotone = [("elapsed_s", lambda d: d["elapsed_s"]),
+                ("progress.delivered", lambda d: d["progress"]["delivered"]),
+                ("audit.records", lambda d: d["audit"]["records"])]
+    monotone += [(f"counters[{name}]",
+                  lambda d, name=name: d["counters"][name])
+                 for name in LIVE_COUNTERS]
+    for prev_n, (prev, cur) in enumerate(zip(docs, docs[1:]), 1):
+        for label, get in monotone:
+            if get(cur) < get(prev):
+                fail(f"{path}:{prev_n + 1}: {label} went backwards "
+                     f"({get(prev)} -> {get(cur)}) — cumulative numbers "
+                     f"must be monotone")
+    final = docs[-1]
+    if final["progress"]["delivered"] != final["progress"]["sdus"]:
+        fail(f"{path}: final document delivered "
+             f"{final['progress']['delivered']} of "
+             f"{final['progress']['sdus']} SDUs")
+
+
+# The model-check sweep document. Every adversary knob must have fired:
+# a sweep that never dropped (or never corrupted, ...) a frame proved
+# nothing about the protocol's behaviour under that adversary.
+MCHECK_KNOBS = ("drops", "dups", "reorders", "corruptions",
+                "capacity_losses")
+MCHECK_MACHINERY = ("checkpoints", "retransmissions")
+
+
+def check_mcheck(doc, path):
+    if doc.get("schema") != "lams-dlc.mcheck/1":
+        fail(f"{path}: schema is {doc.get('schema')!r}, "
+             f"want 'lams-dlc.mcheck/1'")
+    for key in ("schedules", "complete", "link_failures", "violations",
+                "retransmissions"):
+        if not isinstance(doc.get(key), int) or doc[key] < 0:
+            fail(f"{path}: '{key}' must be a non-negative integer")
+    if doc["violations"] != 0:
+        fail(f"{path}: sweep found {doc['violations']} invariant "
+             f"violation(s)")
+    if doc["complete"] + doc["link_failures"] != doc["schedules"]:
+        fail(f"{path}: complete {doc['complete']} + link_failures "
+             f"{doc['link_failures']} != schedules {doc['schedules']}")
+    if doc["schedules"] == 0:
+        fail(f"{path}: sweep ran no schedules")
+    cov = doc.get("coverage")
+    if not isinstance(cov, dict):
+        fail(f"{path}: missing 'coverage' block")
+    for key in MCHECK_KNOBS + MCHECK_MACHINERY + ("steps",):
+        if not isinstance(cov.get(key), int) or cov[key] < 0:
+            fail(f"{path}: coverage '{key}' must be a non-negative integer")
+    for key in MCHECK_KNOBS:
+        if cov[key] == 0:
+            fail(f"{path}: adversary knob '{key}' never fired — the sweep "
+                 f"proved nothing about it")
+    for key in MCHECK_MACHINERY:
+        if cov[key] == 0:
+            fail(f"{path}: recovery machinery '{key}' never ran")
+    if cov["steps"] == 0:
+        fail(f"{path}: coverage recorded no explorer steps")
+    if not isinstance(cov.get("transitions"), dict):
+        fail(f"{path}: coverage missing 'transitions' map")
+
+
 def check_identical(a, b):
     try:
         with open(a, "rb") as fa, open(b, "rb") as fb:
@@ -411,7 +584,11 @@ def check_identical(a, b):
 
 def main():
     args = sys.argv[1:]
-    positional, pairs, benches, replays, profiles = [], [], [], [], []
+    positional, pairs = [], []
+    benches, replays, profiles, lives, mchecks = [], [], [], [], []
+    single = {"--bench": benches, "--profile": profiles,
+              "--attribution": replays, "--live": lives,
+              "--mcheck": mchecks}
     i = 0
     while i < len(args):
         if args[i] == "--identical":
@@ -420,29 +597,17 @@ def main():
                 sys.exit(2)
             pairs.append((args[i + 1], args[i + 2]))
             i += 3
-        elif args[i] == "--bench":
+        elif args[i] in single:
             if len(args) - i < 2:
                 print(__doc__, file=sys.stderr)
                 sys.exit(2)
-            benches.append(args[i + 1])
-            i += 2
-        elif args[i] == "--profile":
-            if len(args) - i < 2:
-                print(__doc__, file=sys.stderr)
-                sys.exit(2)
-            profiles.append(args[i + 1])
-            i += 2
-        elif args[i] == "--attribution":
-            if len(args) - i < 2:
-                print(__doc__, file=sys.stderr)
-                sys.exit(2)
-            replays.append(args[i + 1])
+            single[args[i]].append(args[i + 1])
             i += 2
         else:
             positional.append(args[i])
             i += 1
     if len(positional) not in (1, 2) and not (
-            (benches or profiles) and not positional):
+            (benches or profiles or lives or mchecks) and not positional):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
     if replays and not positional:
@@ -475,6 +640,14 @@ def main():
         validate_profile(load(path), path)
     if profiles:
         checks.append(f"{len(profiles)} profile document(s) valid")
+    for path in lives:
+        check_live(path)
+    if lives:
+        checks.append(f"{len(lives)} live stats stream(s) valid")
+    for path in mchecks:
+        check_mcheck(load(path), path)
+    if mchecks:
+        checks.append(f"{len(mchecks)} model-check sweep(s) covered")
     print(f"check_repro: OK ({', '.join(checks)})")
 
 
