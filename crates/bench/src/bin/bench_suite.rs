@@ -6,6 +6,7 @@
 //! bench_suite --skip-micro         # experiments only
 //! bench_suite --skip-experiments   # micro-kernels only
 //! bench_suite --skip-profile       # omit the profiled pass
+//! bench_suite --skip-shards        # omit the shard-scaling sweep
 //! ```
 //!
 //! Prints one `lams-dlc.bench/1` JSON document to stdout:
@@ -19,6 +20,7 @@
 //!   "experiments": [ {"id", "runs", "wall_secs", "events_per_sec",
 //!                     "queue": {"scheduled", "popped", "cancelled",
 //!                               "peak_depth", "horizon_s"}} | perf-less ],
+//!   "shards": [ {"shards", "wall_secs", "events_per_sec", "popped"} ],
 //!   "total": {"runs", "wall_secs", "events_per_sec", "popped"},
 //!   "profile": {"wall_ns", "counters", "queue_depth", "alloc",
 //!               "spans": [span tree]} | null
@@ -45,7 +47,7 @@ static ALLOC: profile::alloc::CountingAlloc = profile::alloc::CountingAlloc;
 
 const USAGE: &str = "\
 usage: bench_suite [--micro-iters N] [--skip-micro] [--skip-experiments]
-                   [--skip-profile]
+                   [--skip-profile] [--skip-shards]
 ";
 
 const DEFAULT_MICRO_ITERS: u64 = 100_000;
@@ -56,6 +58,7 @@ fn queue_json(q: &QueueProfile) -> Json {
         ("popped", q.popped.into()),
         ("cancelled", q.cancelled.into()),
         ("peak_depth", (q.peak_depth as u64).into()),
+        ("compactions", q.compactions.into()),
         ("horizon_s", q.horizon.as_secs_f64().into()),
     ])
 }
@@ -65,6 +68,7 @@ fn main() {
     let mut run_micro = true;
     let mut run_experiments = true;
     let mut run_profile = true;
+    let mut run_shards = true;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -83,6 +87,7 @@ fn main() {
             "--skip-micro" => run_micro = false,
             "--skip-experiments" => run_experiments = false,
             "--skip-profile" => run_profile = false,
+            "--skip-shards" => run_shards = false,
             flag => {
                 eprintln!("error: unknown flag: {flag}\n\n{USAGE}");
                 std::process::exit(2);
@@ -137,6 +142,25 @@ fn main() {
         })
         .collect();
 
+    // The core-count scaling sweep: one fixed sharded-chain workload
+    // per shard count. Simulated results are identical across counts
+    // (asserted inside the sweep); only the wall clock moves.
+    let shards_json: Vec<Json> = if run_shards {
+        bench::run_shard_sweep(bench::SHARD_SWEEP_COUNTS)
+            .iter()
+            .map(|p| {
+                Json::obj([
+                    ("shards", (p.shards as u64).into()),
+                    ("wall_secs", p.wall_secs.into()),
+                    ("events_per_sec", p.events_per_sec.into()),
+                    ("popped", p.popped.into()),
+                ])
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     // The profiled pass runs last so its overhead cannot leak into the
     // timed figures above.
     let profile_block = if run_profile {
@@ -150,6 +174,7 @@ fn main() {
         ("quick", Json::from(true)),
         ("micro", Json::from(micro)),
         ("experiments", Json::from(experiments_json)),
+        ("shards", Json::from(shards_json)),
         (
             "total",
             Json::obj([

@@ -11,6 +11,7 @@
 //! repro --profile p.json     # self-profile (span trees + table)
 //! repro --profile-folded p.folded  # collapsed stacks for flamegraphs
 //! repro --workers 4          # fan experiments out across 4 threads
+//! repro --shards 8 e18       # split sharded-family simulations over 8 cores
 //! ```
 //!
 //! `--json` writes one JSON document:
@@ -102,6 +103,7 @@ fn main() {
     }
 
     parallel::set_workers(cli.workers);
+    parallel::set_shards(cli.shards);
 
     if let Some(path) = &cli.trace {
         match telemetry::JsonlSink::create(std::path::Path::new(path)) {

@@ -1,0 +1,99 @@
+//! E18 — conservative parallel execution (ours; infrastructure): a
+//! many-hop LAMS-DLC relay chain sharded across cores with link-delay
+//! lookahead (`repro --shards N`). The table is the end-to-end result
+//! at the *configured* shard count — byte-identical at every count by
+//! construction — so this experiment doubles as the repro harness's
+//! cross-shard determinism witness: `--shards 1` and `--shards N`
+//! reports must agree on everything but the perf block.
+
+use crate::chain::run_chain_lams;
+use crate::experiments::ExperimentOutput;
+use crate::parallel;
+use crate::relay::RelayConfig;
+use crate::report::Table;
+use crate::scenario::ScenarioConfig;
+use sim_core::Duration;
+
+/// Chain lengths swept (long chains: the cut count grows with hops, so
+/// deeper chains expose more parallelism).
+pub const HOPS: &[usize] = &[2, 4, 8, 12];
+
+/// Run E18. Each run is itself shard-parallel, so the sweep stays
+/// inline rather than nesting inside [`parallel::map`].
+pub fn run(quick: bool) -> ExperimentOutput {
+    let n: u64 = if quick { 1_200 } else { 5_000 };
+    let hops: &[usize] = if quick { &[2, 6] } else { HOPS };
+    let shards = parallel::shards();
+    let mut table = Table::new(
+        "end-to-end delay and goodput over a sharded relay chain (residual BER 1e-5)",
+        &[
+            "hops",
+            "e2e_mean_ms",
+            "e2e_p99_ms",
+            "efficiency",
+            "retransmissions",
+            "lost",
+        ],
+    );
+    for &h in hops {
+        let mut base = ScenarioConfig::paper_default();
+        base.n_packets = n;
+        base.data_residual_ber = 1e-5;
+        base.ctrl_residual_ber = 1e-6;
+        base.deadline = Duration::from_secs(600);
+        let cfg = RelayConfig { hops: h, base };
+        let r = run_chain_lams(&cfg, shards);
+        table.row(vec![
+            (h as u64).into(),
+            (r.e2e_delay.mean() * 1e3).into(),
+            (r.e2e_delay_hist.quantile(0.99).unwrap_or(0.0) * 1e3).into(),
+            r.efficiency().into(),
+            r.retransmissions.into(),
+            r.lost.into(),
+        ]);
+    }
+    ExperimentOutput {
+        id: "E18",
+        title: "Sharded relay chain (conservative parallel execution)".into(),
+        tables: vec![table],
+        traces: vec![],
+        notes: vec![
+            "expected shape: delay grows with hop count exactly as in E13's \
+             LAMS column; every column except the perf block is independent \
+             of --shards (the conservative coordinator commits the same \
+             event set in the same canonical order at any cut)"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_shards<T>(n: usize, body: impl FnOnce() -> T) -> T {
+        let prev = parallel::shards();
+        parallel::set_shards(n);
+        let out = body();
+        parallel::set_shards(prev);
+        out
+    }
+
+    #[test]
+    fn e18_rows_independent_of_shard_count() {
+        let serial = with_shards(1, || run(true));
+        let sharded = with_shards(3, || run(true));
+        let (a, b) = (&serial.tables[0], &sharded.tables[0]);
+        assert_eq!(a.len(), b.len());
+        for row in 0..a.len() {
+            assert_eq!(a.value(row, 5).unwrap(), 0.0, "row {row}: lost");
+            for col in 0..6 {
+                assert_eq!(
+                    a.value(row, col),
+                    b.value(row, col),
+                    "row {row} col {col}: shards must not change results"
+                );
+            }
+        }
+    }
+}

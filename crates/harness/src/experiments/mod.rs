@@ -25,6 +25,7 @@ pub mod e14_frame_size;
 pub mod e15_duplex;
 pub mod e16_delay_load;
 pub mod e17_gbn;
+pub mod e18_sharded_chain;
 
 use crate::report::Table;
 use sim_core::stats::Series;
@@ -104,7 +105,7 @@ impl ExperimentOutput {
 /// All experiment ids in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];
 
 /// Run one experiment by id ("e1".."e12"), or `None` if unknown.
@@ -127,6 +128,7 @@ pub fn run_by_id(id: &str, quick: bool) -> Option<ExperimentOutput> {
         "e15" => e15_duplex::run(quick),
         "e16" => e16_delay_load::run(quick),
         "e17" => e17_gbn::run(quick),
+        "e18" => e18_sharded_chain::run(quick),
         _ => return None,
     })
 }

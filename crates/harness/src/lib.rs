@@ -23,6 +23,7 @@
 //!   figure of the paper (see DESIGN.md for the index);
 //! * [`report`] — plain-text table/series rendering.
 
+pub mod chain;
 pub mod duplex;
 pub mod experiments;
 pub mod metrics;
@@ -37,6 +38,7 @@ pub mod scenario;
 
 pub use netsim::{link, traffic};
 
+pub use chain::{run_chain, run_chain_lams};
 pub use duplex::{run_duplex, run_duplex_lams, run_duplex_sr, DuplexReport};
 pub use metrics::{Collector, RunReport};
 pub use netsim::link::{Channel, DelayModel, ErrorModel, Fate, Outage};

@@ -38,6 +38,30 @@ pub fn workers() -> usize {
     WORKERS.load(Ordering::Relaxed).max(1)
 }
 
+/// Shard count for experiment families that split one simulation across
+/// threads (`repro --shards N`). Orthogonal to [`WORKERS`], which fans
+/// out *across* experiments; shards parallelise *within* one run.
+static SHARDS: AtomicUsize = AtomicUsize::new(1);
+
+/// Set the shard count for subsequent sharded runs. `0` selects the
+/// machine's available parallelism (the CLI rejects 0 before calling
+/// this; programmatic callers get auto).
+pub fn set_shards(n: usize) {
+    let n = if n == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        n
+    };
+    SHARDS.store(n, Ordering::Relaxed);
+}
+
+/// The configured shard count.
+pub fn shards() -> usize {
+    SHARDS.load(Ordering::Relaxed).max(1)
+}
+
 /// What one worker item hands back besides its output: the side
 /// channels to replay on the orchestrating thread.
 struct ItemResult<O> {
@@ -184,6 +208,7 @@ mod tests {
             popped: 2,
             cancelled: 0,
             peak_depth: 1,
+            compactions: 0,
             horizon: Instant::from_millis(1),
         };
         with_workers(3, || {

@@ -27,6 +27,7 @@ usage: repro [OPTIONS] [EXPERIMENT_ID...]
   repro --metrics m.jsonl    # also write windowed time-series metrics (JSONL)
   repro --profile p.json     # self-profile each experiment (span trees)
   repro --workers 4          # run experiments on 4 worker threads (0 = auto)
+  repro --shards 8 e18       # split sharded-family simulations over 8 cores
 
 options:
   -q, --quick            shrink workloads for CI
@@ -37,12 +38,17 @@ options:
       --profile <path>         write the lams-dlc.profile/1 span-tree document
       --profile-folded <path>  write collapsed stacks for flamegraph tools
       --workers <n>      worker threads for the experiment fan-out (default 1)
+      --shards <n>       threads per sharded simulation (default 1; must be >= 1)
 
 Profiling (--profile / --profile-folded) measures wall-clock spans and
 prints a per-experiment breakdown; simulated results are byte-identical
 with profiling on or off. Within a profiled experiment the inner
 simulation fan-out runs serially so span times nest correctly;
 experiments themselves still spread across --workers.
+
+--shards splits each simulation of the sharded experiment family (e18)
+across conservative parallel-DES threads; results are byte-identical at
+any shard count (only the perf block's wall clock differs).
 
 Every run is audited live against the LAMS-DLC protocol invariants;
 violations are printed to stderr and fail the run (exit 1).
@@ -73,6 +79,10 @@ pub const INDEX: &[(&str, &str)] = &[
     ("e15", "Full-duplex operation (no-piggyback cost)"),
     ("e16", "Delay vs offered load (throughput/delay tradeoff)"),
     ("e17", "Go-Back-N baseline collapse"),
+    (
+        "e18",
+        "Sharded relay chain (conservative parallel execution)",
+    ),
 ];
 
 /// Parsed `repro` command line.
@@ -95,6 +105,8 @@ pub struct CliArgs {
     pub profile_folded: Option<String>,
     /// Worker threads for the experiment fan-out (0 = auto).
     pub workers: usize,
+    /// Threads per sharded simulation (≥ 1; the parser rejects 0).
+    pub shards: usize,
     /// Explicit experiment ids (empty = all).
     pub ids: Vec<String>,
 }
@@ -113,6 +125,7 @@ impl CliArgs {
 pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut cli = CliArgs {
         workers: 1,
+        shards: 1,
         ..CliArgs::default()
     };
     let mut it = args.iter();
@@ -136,6 +149,18 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 cli.workers = v
                     .parse()
                     .map_err(|_| format!("--workers expects a number, got {v:?}"))?;
+            }
+            "--shards" => {
+                let v = value("--shards", &mut it)?;
+                cli.shards = v
+                    .parse()
+                    .map_err(|_| format!("--shards expects a number, got {v:?}"))?;
+                // Unlike --workers, 0 is not "auto": a sharded run's
+                // shape is part of its identity contract, so the count
+                // must be explicit.
+                if cli.shards == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
             }
             "all" => {}
             flag if flag.starts_with('-') => return Err(format!("unknown flag: {flag}")),
@@ -438,7 +463,20 @@ mod tests {
         let cli = parse_args(&args(&["all"])).expect("valid");
         assert!(cli.ids.is_empty());
         assert_eq!(cli.workers, 1);
+        assert_eq!(cli.shards, 1);
         assert!(cli.json.is_none());
+    }
+
+    #[test]
+    fn parses_shards_and_rejects_bad_counts() {
+        let cli = parse_args(&args(&["--shards", "4", "e18"])).expect("valid");
+        assert_eq!(cli.shards, 4);
+        let err = parse_args(&args(&["--shards", "0"])).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse_args(&args(&["--shards", "many"])).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        let err = parse_args(&args(&["--shards"])).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
     }
 
     #[test]

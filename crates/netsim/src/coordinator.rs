@@ -1,0 +1,741 @@
+//! Conservative sharded execution: the coordinator half.
+//!
+//! [`run_sharded`] spawns one thread per shard and drives them in
+//! supersteps. Each round it grants every shard a window
+//!
+//! ```text
+//! G_s = min(H_s, LB, deadline)      H_s = min over inbound cut links
+//!                                         (C_sender + link delay)
+//! ```
+//!
+//! where `C_sender` is the sending shard's committed time. `H_s` is the
+//! classic conservative-DES safe horizon: every *future* transmission
+//! from a neighbour arrives strictly after its committed time plus the
+//! link's propagation delay (serialization adds more), so processing
+//! events at or before `H_s` can never be invalidated by a frame still
+//! to be routed. `LB` is a lower bound on the run's finish time — for a
+//! locally-done shard its `done_since`, otherwise the earliest instant
+//! its state can change (next queued event, safe horizon, or earliest
+//! pending routed arrival), maximised over shards. Capping grants at
+//! `LB` keeps every shard from processing past the instant the whole
+//! simulation completes, so the set of processed events — and with it
+//! every trace record, counter and collector statistic — is identical
+//! at any shard count.
+//!
+//! Termination mirrors the serial engine's exits: completion at
+//! `T* = max(done_since)` once every shard has committed through `T*`
+//! with nothing left to route; deadline when every shard has committed
+//! to the deadline without completing; stall (queue exhaustion) at the
+//! last processed instant; and sender-declared link failure at the
+//! failure instant.
+//!
+//! Tracing: the coordinator emits `RunStarted`/`RunFinished` itself and
+//! merges the per-shard buffered records by `(t, node label)` — a
+//! stable sort applied at *every* shard count (including one), so the
+//! merged stream is byte-identical across counts as long as no two
+//! shards emit under the same label at the same instant. Endpoint,
+//! collector and per-experiment labels are shard-owned by construction;
+//! the shared `"channel"` label (outage drops) is the one caveat,
+//! documented in DESIGN.md §11.
+
+use crate::collect::Collect;
+use crate::endpoint::{RxEndpoint, TxEndpoint};
+use crate::shard::{CutPlan, FinishedShard, Inbound, ShardSim, WindowSummary};
+use crate::topology::TopologyError;
+use sim_core::{Duration, Instant, QueueProfile, RunTimer};
+use std::sync::mpsc;
+use telemetry::{BufferSink, TraceEvent, TraceRecord};
+
+/// Everything a sharded run hands back: per-shard user outputs (shard
+/// order) plus the run-level facts the coordinator owns.
+pub struct ShardedOutcome<O> {
+    /// One output per shard, produced by the `finish` closure.
+    pub outputs: Vec<O>,
+    /// Instant the run completed (or the deadline / failure instant).
+    pub finished_at: Instant,
+    /// True if the deadline fired before completion.
+    pub deadline_hit: bool,
+    /// All shard queues' profiling snapshots, absorbed into one.
+    pub queue: QueueProfile,
+    /// Wall-clock seconds the whole sharded run took.
+    pub wall_secs: f64,
+}
+
+enum Cmd<F> {
+    Window {
+        grant: Instant,
+        stop_on_done: bool,
+        arrivals: Vec<Inbound<F>>,
+    },
+    Finish {
+        finished_at: Instant,
+        deadline_hit: bool,
+    },
+}
+
+struct ShardDone<O> {
+    out: O,
+    queue: QueueProfile,
+    records: Vec<TraceRecord>,
+}
+
+enum Up<F, O> {
+    Built(usize, Option<TopologyError>),
+    Window(usize, WindowSummary<F>),
+    Done(usize, Box<ShardDone<O>>),
+}
+
+/// Coordinator-side view of one shard between rounds.
+struct ShardState<F> {
+    committed: Instant,
+    next_event: Option<Instant>,
+    done_since: Option<Instant>,
+    failed_at: Option<Instant>,
+    last_event_at: Instant,
+    /// Routed cut-link arrivals awaiting injection with the next grant.
+    pending: Vec<Inbound<F>>,
+}
+
+/// Run one simulation split across `plan.n_shards` OS threads.
+///
+/// `build(s)` constructs shard `s`'s [`ShardSim`] *on its thread* (so
+/// `Rc`-based trace handles resolve against the shard's buffered sink);
+/// `finish(s, pieces)` turns the finished shard into a `Send`able
+/// output on the same thread. Outputs come back in shard order.
+///
+/// With one shard the same machinery runs the whole simulation in a
+/// single window with serial stop-on-done semantics — the degenerate
+/// case is the reference the multi-shard runs are checked against.
+pub fn run_sharded<T, R, C, O, Build, Fin>(
+    plan: &CutPlan,
+    deadline: Duration,
+    build: Build,
+    finish: Fin,
+) -> Result<ShardedOutcome<O>, TopologyError>
+where
+    T: TxEndpoint,
+    R: RxEndpoint<Frame = T::Frame>,
+    C: Collect,
+    T::Frame: Send,
+    O: Send,
+    Build: Fn(usize) -> Result<ShardSim<T, R, C>, TopologyError> + Sync,
+    Fin: Fn(usize, FinishedShard<T, R, C>) -> O + Sync,
+{
+    let n = plan.n_shards.max(1);
+    let timer = RunTimer::start();
+    let forward_traces = telemetry::global_sink().is_some();
+    let deadline = Instant::ZERO + deadline;
+
+    // Per-shard inbound cut lists for the safe horizon, and the
+    // link → destination routing table.
+    let mut inbound_cuts: Vec<Vec<(usize, Duration)>> = vec![Vec::new(); n];
+    let mut route: Vec<(usize, usize)> = Vec::new(); // (global link, to_shard)
+    for c in &plan.cuts {
+        inbound_cuts[c.to_shard].push((c.from_shard, c.delay));
+        route.push((c.link.0, c.to_shard));
+    }
+    route.sort_unstable();
+
+    let (up_tx, up_rx) = mpsc::channel::<Up<T::Frame, O>>();
+    let result = std::thread::scope(|scope| {
+        let mut cmd_txs = Vec::with_capacity(n);
+        for s in 0..n {
+            let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd<T::Frame>>();
+            cmd_txs.push(cmd_tx);
+            let up = up_tx.clone();
+            let build = &build;
+            let finish = &finish;
+            scope.spawn(move || shard_thread(s, cmd_rx, up, build, finish, forward_traces));
+        }
+        drop(up_tx);
+        coordinate(n, deadline, &inbound_cuts, &route, cmd_txs, up_rx)
+    });
+    let (outputs, finished_at, deadline_hit, queue, records) = result?;
+
+    // Deterministic trace merge: shard-order concatenation, stable-
+    // sorted by (instant, node label) — the same rule at every shard
+    // count — replayed into the caller's sink between the coordinator's
+    // own run markers.
+    let sim_trace = telemetry::global_handle("sim");
+    sim_trace.emit(Instant::ZERO, || TraceEvent::RunStarted);
+    if let Some(sink) = telemetry::global_sink() {
+        let mut merged: Vec<TraceRecord> = records.into_iter().flatten().collect();
+        merged.sort_by(|a, b| (a.t, a.node).cmp(&(b.t, b.node)));
+        sink.borrow_mut().record_all(&merged);
+    }
+    sim_trace.emit(finished_at, || TraceEvent::RunFinished { deadline_hit });
+
+    Ok(ShardedOutcome {
+        outputs,
+        finished_at,
+        deadline_hit,
+        queue,
+        wall_secs: timer.elapsed_secs(),
+    })
+}
+
+/// One shard's thread: build (under a buffered trace sink), serve
+/// granted windows, then finish and ship the pieces home.
+fn shard_thread<T, R, C, O, Build, Fin>(
+    s: usize,
+    cmds: mpsc::Receiver<Cmd<T::Frame>>,
+    up: mpsc::Sender<Up<T::Frame, O>>,
+    build: &Build,
+    finish: &Fin,
+    forward_traces: bool,
+) where
+    T: TxEndpoint,
+    R: RxEndpoint<Frame = T::Frame>,
+    C: Collect,
+    Build: Fn(usize) -> Result<ShardSim<T, R, C>, TopologyError>,
+    Fin: Fn(usize, FinishedShard<T, R, C>) -> O,
+{
+    let sink = if forward_traces {
+        let sink = std::rc::Rc::new(std::cell::RefCell::new(BufferSink::new()));
+        telemetry::install_global(sink.clone());
+        Some(sink)
+    } else {
+        None
+    };
+    let uninstall = |sink: &Option<std::rc::Rc<std::cell::RefCell<BufferSink>>>| {
+        if sink.is_some() {
+            telemetry::uninstall_global();
+        }
+    };
+    let mut sim = match build(s) {
+        Ok(sim) => {
+            let _ = up.send(Up::Built(s, None));
+            sim
+        }
+        Err(e) => {
+            uninstall(&sink);
+            let _ = up.send(Up::Built(s, Some(e)));
+            return;
+        }
+    };
+    sim.start();
+    loop {
+        match cmds.recv() {
+            Ok(Cmd::Window {
+                grant,
+                stop_on_done,
+                arrivals,
+            }) => {
+                sim.inject(arrivals);
+                let summary = sim.run_window(grant, stop_on_done);
+                let _ = up.send(Up::Window(s, summary));
+            }
+            Ok(Cmd::Finish {
+                finished_at,
+                deadline_hit,
+            }) => {
+                let queue = sim.queue_profile();
+                let out = finish(s, sim.into_finished(finished_at, deadline_hit));
+                uninstall(&sink);
+                let records = sink.map(|b| b.borrow_mut().take()).unwrap_or_default();
+                let _ = up.send(Up::Done(
+                    s,
+                    Box::new(ShardDone {
+                        out,
+                        queue,
+                        records,
+                    }),
+                ));
+                return;
+            }
+            // Coordinator dropped the command channel (build error on a
+            // sibling shard): exit without finishing.
+            Err(_) => {
+                uninstall(&sink);
+                return;
+            }
+        }
+    }
+}
+
+type CoordResult<O> =
+    Result<(Vec<O>, Instant, bool, QueueProfile, Vec<Vec<TraceRecord>>), TopologyError>;
+
+/// The superstep loop. Runs on the caller's thread inside the scope.
+fn coordinate<F: Send, O: Send>(
+    n: usize,
+    deadline: Instant,
+    inbound_cuts: &[Vec<(usize, Duration)>],
+    route: &[(usize, usize)],
+    cmd_txs: Vec<mpsc::Sender<Cmd<F>>>,
+    up_rx: mpsc::Receiver<Up<F, O>>,
+) -> CoordResult<O> {
+    // Phase 1: all shards built?
+    let mut build_errors = Vec::new();
+    for _ in 0..n {
+        match up_rx.recv() {
+            Ok(Up::Built(_, None)) => {}
+            Ok(Up::Built(s, Some(e))) => build_errors.push((s, e)),
+            Ok(_) => unreachable!("first message per shard is Built"),
+            Err(_) => build_errors.push((n, TopologyError(vec!["shard thread died".into()]))),
+        }
+    }
+    if !build_errors.is_empty() {
+        build_errors.sort_by_key(|(s, _)| *s);
+        let msgs = build_errors
+            .into_iter()
+            .flat_map(|(s, e)| e.0.into_iter().map(move |m| format!("shard {s}: {m}")))
+            .collect();
+        // Dropping cmd_txs unblocks the surviving threads.
+        drop(cmd_txs);
+        return Err(TopologyError(msgs));
+    }
+
+    // Phase 2: supersteps.
+    let mut states: Vec<ShardState<F>> = (0..n)
+        .map(|_| ShardState {
+            committed: Instant::ZERO,
+            next_event: Some(Instant::ZERO),
+            done_since: None,
+            failed_at: None,
+            last_event_at: Instant::ZERO,
+            pending: Vec::new(),
+        })
+        .collect();
+    let to_shard = |link: usize| -> usize {
+        route[route
+            .binary_search_by_key(&link, |(l, _)| *l)
+            .expect("outbound batch on a non-cut link")]
+        .1
+    };
+
+    let (finished_at, deadline_hit) = loop {
+        // Exits, in the serial engine's priority order: failure, global
+        // completion, queue exhaustion, deadline.
+        if let Some(f) = states.iter().filter_map(|st| st.failed_at).min() {
+            break (f, false);
+        }
+        let all_done = states.iter().all(|st| st.done_since.is_some());
+        let no_pending = states.iter().all(|st| st.pending.is_empty());
+        if all_done && no_pending {
+            let t_star = states
+                .iter()
+                .filter_map(|st| st.done_since)
+                .max()
+                .expect("all done implies a done_since");
+            if states.iter().all(|st| st.committed >= t_star) {
+                break (t_star, false);
+            }
+        }
+        let any_events = states.iter().any(|st| st.next_event.is_some());
+        if !any_events && no_pending && !all_done {
+            // Queue exhaustion without completion: the serial loop just
+            // runs out of events.
+            let last = states.iter().map(|st| st.last_event_at).max();
+            break (last.unwrap_or(Instant::ZERO), false);
+        }
+        if !all_done && states.iter().all(|st| st.committed >= deadline) {
+            break (deadline, true);
+        }
+
+        // Safe horizons from the neighbours' committed times; `None` =
+        // no inbound cuts, unbounded.
+        let horizons: Vec<Option<Instant>> = (0..n)
+            .map(|s| {
+                inbound_cuts[s]
+                    .iter()
+                    .map(|&(from, delay)| states[from].committed + delay)
+                    .min()
+            })
+            .collect();
+
+        // Finish-time lower bound LB: no shard may process past it.
+        // `None` = unbounded (some shard can never finish locally; the
+        // run ends by deadline or failure, both already capped).
+        let mut lb: Option<Instant> = Some(Instant::ZERO);
+        for (s, st) in states.iter().enumerate() {
+            let term = match st.done_since {
+                Some(d) => Some(d),
+                None => {
+                    let mut t: Option<Instant> = horizons[s];
+                    let mut cap = |c: Option<Instant>| {
+                        t = match (t, c) {
+                            (Some(a), Some(b)) => Some(a.min(b)),
+                            (a, None) => a,
+                            (None, b) => b,
+                        };
+                    };
+                    cap(st.next_event);
+                    cap(st.pending.iter().map(|a| a.at).min());
+                    t
+                }
+            };
+            lb = match (lb, term) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            };
+        }
+
+        // Grants. With one shard there is nothing to coordinate: grant
+        // the deadline and stop at local (= global) done, exactly like
+        // the serial loop.
+        let mut awaiting = 0usize;
+        for (s, st) in states.iter_mut().enumerate() {
+            let mut grant = deadline;
+            if n > 1 {
+                if let Some(h) = horizons[s] {
+                    grant = grant.min(h);
+                }
+                if let Some(lb) = lb {
+                    grant = grant.min(lb);
+                }
+                grant = grant.max(st.committed);
+            }
+            // A window is useful when it can advance the shard, deliver
+            // routed arrivals, or cover events at exactly the committed
+            // instant (the t = 0 bootstrap round).
+            if grant > st.committed || !st.pending.is_empty() || st.next_event == Some(st.committed)
+            {
+                let arrivals = {
+                    let mut a = std::mem::take(&mut st.pending);
+                    a.sort_by_key(|x| (x.at, x.link, x.seq));
+                    a
+                };
+                cmd_txs[s]
+                    .send(Cmd::Window {
+                        grant,
+                        stop_on_done: n == 1,
+                        arrivals,
+                    })
+                    .expect("shard thread alive");
+                awaiting += 1;
+            }
+        }
+        assert!(awaiting > 0, "conservative grant loop must make progress");
+
+        for _ in 0..awaiting {
+            match up_rx.recv().expect("shard thread alive") {
+                Up::Window(s, summary) => {
+                    let outbound = {
+                        let st = &mut states[s];
+                        st.committed = summary.committed;
+                        st.next_event = summary.next_event;
+                        st.done_since = summary.done_since;
+                        st.failed_at = summary.failed_at;
+                        st.last_event_at = st.last_event_at.max(summary.last_event_at);
+                        summary.outbound
+                    };
+                    for a in outbound {
+                        states[to_shard(a.link)].pending.push(a);
+                    }
+                }
+                _ => unreachable!("windows answer with Window"),
+            }
+        }
+    };
+
+    // Phase 3: finish.
+    for tx in &cmd_txs {
+        tx.send(Cmd::Finish {
+            finished_at,
+            deadline_hit,
+        })
+        .expect("shard thread alive");
+    }
+    let mut outputs: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    let mut records: Vec<Vec<TraceRecord>> = (0..n).map(|_| Vec::new()).collect();
+    let mut queue = QueueProfile::default();
+    for _ in 0..n {
+        match up_rx.recv().expect("shard thread alive") {
+            Up::Done(s, done) => {
+                queue.absorb(&done.queue);
+                outputs[s] = Some(done.out);
+                records[s] = done.records;
+            }
+            _ => unreachable!("finish answers with Done"),
+        }
+    }
+    let outputs = outputs
+        .into_iter()
+        .map(|o| o.expect("every shard reported Done"))
+        .collect();
+    Ok((outputs, finished_at, deadline_hit, queue, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::FrameMeta;
+    use crate::link::{Channel, DelayModel, ErrorModel};
+    use crate::shard::{Partition, ShardBuilder};
+    use crate::topology::{LinkSpec, NodeId, NodeRole, Topology};
+    use crate::traffic::{Pattern, TrafficGen};
+    use bytes::Bytes;
+    use sim_core::SeedSplitter;
+    use std::collections::{BTreeMap, VecDeque};
+
+    /// Toy protocol: one frame per SDU, no acknowledgements, no timers.
+    struct EchoTx {
+        queue: VecDeque<u64>,
+        sent: u64,
+    }
+
+    impl TxEndpoint for EchoTx {
+        type Frame = u64;
+        fn start(&mut self, _now: Instant) {}
+        fn push(&mut self, id: u64, _payload: Bytes) -> bool {
+            self.queue.push_back(id);
+            true
+        }
+        fn poll_transmit(&mut self, _now: Instant) -> Option<u64> {
+            let f = self.queue.pop_front();
+            if f.is_some() {
+                self.sent += 1;
+            }
+            f
+        }
+        fn handle_frame(&mut self, _now: Instant, _frame: u64, _ok: bool) {}
+        fn on_timeout(&mut self, _now: Instant) {}
+        fn poll_timeout(&self) -> Option<Instant> {
+            None
+        }
+        fn buffered(&self) -> usize {
+            self.queue.len()
+        }
+        fn meta(_frame: &u64) -> FrameMeta {
+            FrameMeta {
+                bytes: 64,
+                is_info: true,
+            }
+        }
+        fn drain_holding(&mut self, _out: &mut Vec<f64>) {}
+        fn transmissions(&self) -> u64 {
+            self.sent
+        }
+        fn retransmissions(&self) -> u64 {
+            0
+        }
+    }
+
+    struct EchoRx {
+        pending: VecDeque<u64>,
+    }
+
+    impl RxEndpoint for EchoRx {
+        type Frame = u64;
+        fn start(&mut self, _now: Instant) {}
+        fn handle_frame(&mut self, _now: Instant, frame: u64, ok: bool) {
+            if ok {
+                self.pending.push_back(frame);
+            }
+        }
+        fn on_timeout(&mut self, _now: Instant) {}
+        fn poll_timeout(&self) -> Option<Instant> {
+            None
+        }
+        fn poll_transmit(&mut self, _now: Instant) -> Option<u64> {
+            None
+        }
+        fn poll_deliver(&mut self, _now: Instant) -> Option<(u64, usize)> {
+            self.pending.pop_front().map(|id| (id, 64))
+        }
+        fn occupancy(&self) -> usize {
+            self.pending.len()
+        }
+        fn meta(_frame: &u64) -> FrameMeta {
+            FrameMeta {
+                bytes: 64,
+                is_info: true,
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct CountCollector {
+        delivered: u64,
+        last_at: Instant,
+    }
+
+    impl Collect for CountCollector {
+        fn on_push(&mut self, _now: Instant, _id: u64) {}
+        fn on_deliver(&mut self, now: Instant, _id: u64) {
+            self.delivered += 1;
+            self.last_at = now;
+        }
+        fn on_holding(&mut self, _samples: &[f64]) {}
+        fn sample(&mut self, _now: Instant, _tx: usize, _rx: usize, _rate: f64) {}
+        fn delivered_unique(&self) -> u64 {
+            self.delivered
+        }
+    }
+
+    fn clean_channel() -> Channel {
+        Channel::new(
+            1e6,
+            DelayModel::Fixed(Duration::from_millis(1)),
+            ErrorModel::Clean,
+        )
+    }
+
+    fn chain_topo(hops: usize) -> Topology {
+        let mut t = Topology::default();
+        t.roles.push(NodeRole::Source);
+        for _ in 1..hops {
+            t.roles.push(NodeRole::Relay);
+        }
+        t.roles.push(NodeRole::Sink);
+        for i in 0..hops {
+            t.links.push(LinkSpec {
+                from: NodeId(i),
+                to: NodeId(i + 1),
+                dir: "fwd",
+            });
+        }
+        t
+    }
+
+    /// Run an `hops`-hop forward-only echo chain (hop i = global link i)
+    /// split across `shards` shards; `n` SDUs batch-pushed at t = 0.
+    fn run_chain(hops: usize, shards: usize, n: u64) -> (Instant, Instant, bool, u64, Vec<u64>) {
+        let topo = chain_topo(hops);
+        let part = Partition::contiguous(hops + 1, shards);
+        let delays = vec![DelayModel::Fixed(Duration::from_millis(1)); hops];
+        let plan = part.plan(&topo, &delays).expect("valid partition");
+        let ranges: Vec<(usize, usize)> = (0..part.n_shards())
+            .map(|s| {
+                let mine = (0..=hops).filter(|&i| part.shard_of(NodeId(i)) == Some(s));
+                let lo = mine.clone().min().expect("no shard is empty");
+                (lo, mine.max().expect("no shard is empty"))
+            })
+            .collect();
+        let out = run_sharded(
+            &plan,
+            Duration::from_secs(60),
+            |s| {
+                let (lo, hi) = ranges[s];
+                let mut b: ShardBuilder<EchoTx, EchoRx, CountCollector> = ShardBuilder::new(64);
+                // Links ascending by global id: the inbound stub (if
+                // any), then this shard's owned hops. Hop `hi` is a cut
+                // when node hi+1 lives in the next shard.
+                let stub = (lo > 0).then(|| b.cut_in(lo - 1));
+                let mut owned = Vec::new(); // (hop, local link)
+                for i in lo..=hi.min(hops.saturating_sub(1)) {
+                    let l = if i == hi {
+                        b.cut_out(i, clean_channel(), "fwd")
+                    } else {
+                        b.link(i, clean_channel(), "fwd")
+                    };
+                    owned.push((i, l));
+                }
+                let mut txs = BTreeMap::new();
+                for &(i, l) in &owned {
+                    txs.insert(
+                        i,
+                        b.tx(
+                            l,
+                            EchoTx {
+                                queue: VecDeque::new(),
+                                sent: 0,
+                            },
+                        ),
+                    );
+                }
+                // Receivers for hops terminating in this shard: the stub
+                // hop and every non-cut owned hop. Draining right after
+                // the arrival link lets a forward catch the same pump
+                // pass, like the serial relay wiring.
+                let mut rxs = Vec::new(); // (hop, rx, local link)
+                if let Some(sl) = stub {
+                    rxs.push((
+                        lo - 1,
+                        b.rx_silent(EchoRx {
+                            pending: VecDeque::new(),
+                        }),
+                        sl,
+                    ));
+                }
+                for &(i, l) in &owned {
+                    if i < hi {
+                        rxs.push((
+                            i,
+                            b.rx_silent(EchoRx {
+                                pending: VecDeque::new(),
+                            }),
+                            l,
+                        ));
+                    }
+                }
+                for &(j, r, l) in &rxs {
+                    b.listen(l, r);
+                    b.drain_after(r, l);
+                    if j + 1 == hops {
+                        let c = b.collector(CountCollector::default());
+                        b.expect(c, n);
+                        b.deliver(r, c);
+                    } else {
+                        b.forward(r, txs[&(j + 1)]);
+                    }
+                }
+                if lo == 0 {
+                    let gen = TrafficGen::new(Pattern::Batch, n, SeedSplitter::new(1).stream(2));
+                    b.source(gen, txs[&0], None, 0);
+                }
+                b.build()
+            },
+            |_s, fin| {
+                let delivered: u64 = fin.collectors.iter().map(|c| c.delivered).sum();
+                let last_at = fin
+                    .collectors
+                    .iter()
+                    .map(|c| c.last_at)
+                    .max()
+                    .unwrap_or(Instant::ZERO);
+                let sent: Vec<u64> = fin.txs.iter().map(|t| t.sent).collect();
+                (delivered, last_at, sent)
+            },
+        )
+        .expect("sharded run");
+        let delivered: u64 = out.outputs.iter().map(|(d, _, _)| d).sum();
+        let last_at = out
+            .outputs
+            .iter()
+            .map(|(_, a, _)| *a)
+            .max()
+            .expect("at least one shard");
+        let sent: Vec<u64> = out.outputs.iter().flat_map(|(_, _, s)| s.clone()).collect();
+        (out.finished_at, last_at, out.deadline_hit, delivered, sent)
+    }
+
+    #[test]
+    fn echo_chain_identical_at_every_shard_count() {
+        let hops = 4;
+        let n = 9;
+        let serial = run_chain(hops, 1, n);
+        for shards in 2..=4 {
+            let sharded = run_chain(hops, shards, n);
+            assert_eq!(serial, sharded, "shards={shards} diverged");
+        }
+        let (finished_at, last_at, deadline_hit, delivered, sent) = serial;
+        assert_eq!(delivered, n, "all SDUs delivered");
+        assert_eq!(sent, vec![n; hops], "every hop forwarded every frame");
+        assert!(!deadline_hit);
+        assert_eq!(finished_at, last_at, "run completes at the last delivery");
+    }
+
+    #[test]
+    fn build_error_surfaces_with_shard_prefix() {
+        let plan = CutPlan {
+            n_shards: 2,
+            cuts: Vec::new(),
+        };
+        let err = match run_sharded(
+            &plan,
+            Duration::from_secs(1),
+            |_s| -> Result<ShardSim<EchoTx, EchoRx, CountCollector>, TopologyError> {
+                Err(TopologyError(vec!["boom".into()]))
+            },
+            |_s, _fin| (),
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("build errors must propagate"),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("shard 0: boom"), "{msg}");
+        assert!(msg.contains("shard 1: boom"), "{msg}");
+    }
+}

@@ -36,20 +36,27 @@
 
 pub mod channel;
 pub mod collect;
+pub mod coordinator;
 pub mod driver;
 pub mod endpoint;
 pub mod engine;
 pub mod link;
+pub mod shard;
 pub mod topology;
 pub mod traffic;
 
 pub use channel::{ErrorProcess, GeState, GilbertElliott, Lossless, UniformBer};
 pub use collect::Collect;
+pub use coordinator::{run_sharded, ShardedOutcome};
 pub use driver::Driver;
 pub use endpoint::{FrameMeta, RxEndpoint, TxEndpoint};
 pub use engine::{Outcome, Sim, SimBuilder, SimEvent};
 pub use link::{Channel, DelayModel, ErrorModel, Fate, Outage};
 pub use proto_core::{Machine, ReceiverMachine, SenderMachine};
+pub use shard::{
+    CutLink, CutPlan, FinishedShard, Inbound, Partition, ShardBuilder, ShardEvent, ShardSim,
+    WindowSummary,
+};
 pub use topology::{
     ColId, EndpointId, LinkId, LinkSpec, NodeId, NodeRole, RxId, Topology, TopologyError, TxId,
 };

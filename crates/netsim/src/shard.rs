@@ -1,0 +1,1156 @@
+//! Conservative sharded execution: the per-shard half.
+//!
+//! A [`Partition`] assigns every node of a [`Topology`] to exactly one
+//! shard. Links whose endpoints land in different shards become **cut
+//! links**: the sending shard keeps the real [`Channel`] (its RNG, FIFO
+//! clamp and outage schedule), while the receiving shard registers a
+//! channel-less *stub* that only dispatches injected arrivals to its
+//! listeners. [`Partition::plan`] validates the assignment and extracts
+//! the per-cut-link **lookahead** (the fixed propagation delay) that the
+//! coordinator's conservative horizon rule depends on — a cut link with
+//! zero or time-varying delay is rejected at partition time.
+//!
+//! [`ShardSim`] is the per-shard event loop. It mirrors the serial
+//! engine's pump semantics (timers → per-link serve/transmit → drains)
+//! but processes events in **granted windows**: [`ShardSim::run_window`]
+//! consumes every queued event with `at ≤ grant`, accumulating frames
+//! that crossed an outbound cut link into a timestamped batch for the
+//! coordinator to route.
+//!
+//! Determinism across shard counts rests on three rules the types here
+//! enforce or document:
+//!
+//! * **Canonical intra-instant order.** Same-instant events are drained
+//!   into a scratch buffer and dispatched in a globally defined order —
+//!   pushes by `(source ordinal, sdu id)`, then arrivals by `(global
+//!   link id, per-link arrival sequence)`, then wakes — so the dispatch
+//!   sequence is independent of how events happened to interleave
+//!   across shard queues. (The serial engine's insertion-order
+//!   tie-break cannot survive sharding: a cross-shard arrival loses its
+//!   insertion position when it travels as a batch.)
+//! * **Per-link arrival sequences assigned at transmit.** The shard
+//!   owning a channel numbers its arrivals; the FIFO clamp can collapse
+//!   distinct transmissions onto one arrival instant, and the sequence
+//!   keeps their order well-defined wherever they are replayed.
+//! * **Global registration order.** Builders must register links in
+//!   ascending global-id order (validated) and endpoints in global
+//!   order (documented), so each shard's pump order is the global pump
+//!   order restricted to the shard.
+
+use crate::collect::Collect;
+use crate::endpoint::{RxEndpoint, TxEndpoint};
+use crate::link::{Channel, DelayModel, Fate};
+use crate::topology::{ColId, EndpointId, LinkId, NodeId, RxId, Topology, TopologyError, TxId};
+use crate::traffic::TrafficGen;
+use bytes::Bytes;
+use sim_core::{Duration, EventId, EventQueue, Instant, QueueProfile};
+use telemetry::TraceEvent;
+
+/// Deterministic node → shard assignment.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    assign: Vec<usize>,
+    n_shards: usize,
+}
+
+impl Partition {
+    /// Explicit assignment: `assign[node] = shard`.
+    pub fn explicit(assign: Vec<usize>, n_shards: usize) -> Self {
+        Partition { assign, n_shards }
+    }
+
+    /// Contiguous balanced ranges: nodes split into `n_shards` runs of
+    /// near-equal length (the first `n_nodes % n_shards` runs get one
+    /// extra node). The natural partition for chain topologies.
+    pub fn contiguous(n_nodes: usize, n_shards: usize) -> Self {
+        let n_shards = n_shards.max(1);
+        let base = n_nodes / n_shards;
+        let extra = n_nodes % n_shards;
+        let mut assign = Vec::with_capacity(n_nodes);
+        for s in 0..n_shards {
+            let len = base + usize::from(s < extra);
+            assign.extend(std::iter::repeat_n(s, len));
+        }
+        Partition { assign, n_shards }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Shard owning `node`, if assigned.
+    pub fn shard_of(&self, node: NodeId) -> Option<usize> {
+        self.assign.get(node.0).copied()
+    }
+
+    /// Validate the assignment against `topo` and extract the cut-link
+    /// plan. `delays[link]` is each link's propagation model; cut links
+    /// must have a fixed, strictly positive delay — that delay is the
+    /// conservative lookahead the coordinator grants windows by.
+    ///
+    /// Rejected with one precise message each: wrong assignment length,
+    /// out-of-range shard indices, empty shards, and cut links whose
+    /// delay is zero or time-varying.
+    pub fn plan(&self, topo: &Topology, delays: &[DelayModel]) -> Result<CutPlan, TopologyError> {
+        let mut errors = Vec::new();
+        let nodes = topo.nodes();
+        if self.n_shards == 0 {
+            errors.push("partition has zero shards".to_string());
+        }
+        if self.assign.len() != nodes {
+            errors.push(format!(
+                "partition assigns {} nodes but the topology has {nodes}",
+                self.assign.len()
+            ));
+        }
+        let mut populated = vec![false; self.n_shards];
+        for (i, &s) in self.assign.iter().enumerate() {
+            match populated.get_mut(s) {
+                Some(slot) => *slot = true,
+                None => errors.push(format!(
+                    "node {i} assigned to shard {s} but there are only {} shards",
+                    self.n_shards
+                )),
+            }
+        }
+        for (s, present) in populated.iter().enumerate() {
+            if !present {
+                errors.push(format!("shard {s} has no nodes"));
+            }
+        }
+        if delays.len() != topo.link_count() {
+            errors.push(format!(
+                "got {} delay models for {} links",
+                delays.len(),
+                topo.link_count()
+            ));
+        }
+        let mut cuts = Vec::new();
+        if errors.is_empty() {
+            for (i, l) in topo.links.iter().enumerate() {
+                let (from_shard, to_shard) = (self.assign[l.from.0], self.assign[l.to.0]);
+                if from_shard == to_shard {
+                    continue;
+                }
+                match &delays[i] {
+                    DelayModel::Fixed(d) if *d > Duration::ZERO => cuts.push(CutLink {
+                        link: LinkId(i),
+                        from_shard,
+                        to_shard,
+                        delay: *d,
+                    }),
+                    DelayModel::Fixed(_) => errors.push(format!(
+                        "cut link {i} has zero propagation delay; \
+                         cross-shard lookahead needs a positive fixed delay"
+                    )),
+                    DelayModel::Profile { .. } => errors.push(format!(
+                        "cut link {i} has a time-varying delay profile; \
+                         cross-shard lookahead needs a fixed delay"
+                    )),
+                }
+            }
+        }
+        if !errors.is_empty() {
+            return Err(TopologyError(errors));
+        }
+        Ok(CutPlan {
+            n_shards: self.n_shards,
+            cuts,
+        })
+    }
+}
+
+/// One link crossing a shard boundary.
+#[derive(Clone, Copy, Debug)]
+pub struct CutLink {
+    /// Global link id.
+    pub link: LinkId,
+    /// Shard owning the channel (the sending side).
+    pub from_shard: usize,
+    /// Shard hosting the listeners (the receiving side).
+    pub to_shard: usize,
+    /// Fixed propagation delay — the conservative lookahead.
+    pub delay: Duration,
+}
+
+/// A validated partition's cut-link plan, consumed by the coordinator.
+#[derive(Clone, Debug)]
+pub struct CutPlan {
+    /// Number of shards.
+    pub n_shards: usize,
+    /// Every link crossing a shard boundary.
+    pub cuts: Vec<CutLink>,
+}
+
+/// One event on a shard's queue.
+pub enum ShardEvent<F> {
+    /// SDU `id` arrives at local source `source`.
+    Push {
+        /// Local source index.
+        source: usize,
+        /// SDU id.
+        id: u64,
+    },
+    /// A frame reaches the far end of local link `link`.
+    Arrive {
+        /// Local link index.
+        link: usize,
+        /// Per-link arrival sequence (canonical same-instant order).
+        seq: u64,
+        /// The frame.
+        frame: F,
+        /// True if it survived the channel uncorrupted.
+        clean: bool,
+    },
+    /// Re-poll endpoints at a previously requested instant.
+    Wake,
+}
+
+/// A frame in flight across a cut link, in coordinator-routable form.
+/// `(at, link, seq)` is the canonical injection order.
+pub struct Inbound<F> {
+    /// Arrival instant at the receiving shard.
+    pub at: Instant,
+    /// Global id of the cut link it travelled.
+    pub link: usize,
+    /// Per-link arrival sequence assigned at transmit.
+    pub seq: u64,
+    /// The frame.
+    pub frame: F,
+    /// True if it survived the channel uncorrupted.
+    pub clean: bool,
+}
+
+/// Where a receiver's completed deliveries go (shard-local; forwarding
+/// never crosses shards — co-located endpoints share a node, and a node
+/// lives in exactly one shard).
+enum Delivery {
+    Collect(ColId),
+    Forward(TxId),
+}
+
+struct ShardSource {
+    gen: TrafficGen,
+    tx: TxId,
+    /// Local collector credited with pushes, if this shard has one.
+    /// `None` on shards whose flow is accounted remotely (the sink
+    /// shard's collector is pre-seeded with the push schedule instead).
+    col: Option<ColId>,
+    /// Global source ordinal — the canonical same-instant dispatch key.
+    ordinal: u64,
+}
+
+/// One local link: an owned channel (intra-shard or outbound cut) or an
+/// inbound stub.
+struct LinkSlot {
+    global: usize,
+    dir: &'static str,
+    /// `None` = inbound stub (listeners only).
+    channel: Option<Channel>,
+    /// Owned cut link: arrivals are exported as batches, not scheduled.
+    export: bool,
+    senders: Vec<EndpointId>,
+    listeners: Vec<EndpointId>,
+    /// Next per-link arrival sequence (owned links only).
+    next_seq: u64,
+}
+
+/// Builder for one shard's slice of a simulation. Mirrors
+/// [`crate::SimBuilder`]'s registration API, with global link ids and
+/// explicit cut-link roles. Register links in ascending global-id order
+/// and endpoints in global registration order: each shard's pump order
+/// must be the global order restricted to the shard.
+pub struct ShardBuilder<T, R, C> {
+    payload_bytes: usize,
+    links: Vec<LinkSlot>,
+    txs: Vec<T>,
+    tx_link: Vec<usize>,
+    rxs: Vec<R>,
+    rx_link: Vec<usize>,
+    rx_delivery: Vec<Option<Delivery>>,
+    rx_drain_after: Vec<Option<usize>>,
+    collectors: Vec<C>,
+    expects: Vec<(ColId, u64)>,
+    sources: Vec<ShardSource>,
+}
+
+impl<T, R, C> ShardBuilder<T, R, C>
+where
+    T: TxEndpoint,
+    R: RxEndpoint<Frame = T::Frame>,
+    C: Collect,
+{
+    /// Start a build with the given SDU payload size.
+    pub fn new(payload_bytes: usize) -> Self {
+        ShardBuilder {
+            payload_bytes,
+            links: Vec::new(),
+            txs: Vec::new(),
+            tx_link: Vec::new(),
+            rxs: Vec::new(),
+            rx_link: Vec::new(),
+            rx_delivery: Vec::new(),
+            rx_drain_after: Vec::new(),
+            collectors: Vec::new(),
+            expects: Vec::new(),
+            sources: Vec::new(),
+        }
+    }
+
+    fn push_link(&mut self, slot: LinkSlot) -> LinkId {
+        self.links.push(slot);
+        LinkId(self.links.len() - 1)
+    }
+
+    /// Add an intra-shard link carried by `channel` (global id `global`).
+    pub fn link(&mut self, global: usize, channel: Channel, dir: &'static str) -> LinkId {
+        self.push_link(LinkSlot {
+            global,
+            dir,
+            channel: Some(channel),
+            export: false,
+            senders: Vec::new(),
+            listeners: Vec::new(),
+            next_seq: 0,
+        })
+    }
+
+    /// Add an outbound cut link: this shard owns the channel; arrivals
+    /// are exported to the coordinator instead of scheduled locally.
+    pub fn cut_out(&mut self, global: usize, channel: Channel, dir: &'static str) -> LinkId {
+        self.push_link(LinkSlot {
+            global,
+            dir,
+            channel: Some(channel),
+            export: true,
+            senders: Vec::new(),
+            listeners: Vec::new(),
+            next_seq: 0,
+        })
+    }
+
+    /// Add an inbound cut-link stub: no channel, only listeners for
+    /// arrivals the coordinator injects.
+    pub fn cut_in(&mut self, global: usize) -> LinkId {
+        self.push_link(LinkSlot {
+            global,
+            dir: "",
+            channel: None,
+            export: false,
+            senders: Vec::new(),
+            listeners: Vec::new(),
+            next_seq: 0,
+        })
+    }
+
+    /// Host a sending endpoint transmitting on local `link`.
+    pub fn tx(&mut self, link: LinkId, endpoint: T) -> TxId {
+        let id = TxId(self.txs.len());
+        self.txs.push(endpoint);
+        self.tx_link.push(link.0);
+        if let Some(slot) = self.links.get_mut(link.0) {
+            slot.senders.push(EndpointId::Tx(id));
+        }
+        id
+    }
+
+    /// Host a receiving endpoint transmitting its control frames on
+    /// local `link`.
+    pub fn rx(&mut self, link: LinkId, endpoint: R) -> RxId {
+        let id = RxId(self.rxs.len());
+        self.rxs.push(endpoint);
+        self.rx_link.push(link.0);
+        if let Some(slot) = self.links.get_mut(link.0) {
+            slot.senders.push(EndpointId::Rx(id));
+        }
+        id
+    }
+
+    /// Host a receiving endpoint that never transmits: a pure listener
+    /// (a protocol without reverse traffic, or a receiver whose control
+    /// path lives on another shard's links).
+    pub fn rx_silent(&mut self, endpoint: R) -> RxId {
+        let id = RxId(self.rxs.len());
+        self.rxs.push(endpoint);
+        self.rx_link.push(usize::MAX);
+        id
+    }
+
+    /// Deliver local `link`'s arrivals to `endpoint`.
+    pub fn listen(&mut self, link: LinkId, endpoint: impl Into<EndpointId>) {
+        if let Some(slot) = self.links.get_mut(link.0) {
+            slot.listeners.push(endpoint.into());
+        }
+    }
+
+    /// Register a collector.
+    pub fn collector(&mut self, collector: C) -> ColId {
+        self.collectors.push(collector);
+        ColId(self.collectors.len() - 1)
+    }
+
+    /// Shard-local completion condition: `col` must reach `total`
+    /// unique deliveries (the sink shard's half of "safe delivery").
+    pub fn expect(&mut self, col: ColId, total: u64) {
+        self.expects.push((col, total));
+    }
+
+    /// Feed `gen`'s SDUs into `tx`. `col` credits pushes locally when
+    /// the accounting collector lives on this shard; `ordinal` is the
+    /// source's global registration index (canonical dispatch key).
+    pub fn source(&mut self, gen: TrafficGen, tx: TxId, col: Option<ColId>, ordinal: u64) {
+        self.sources.push(ShardSource {
+            gen,
+            tx,
+            col,
+            ordinal,
+        });
+    }
+
+    /// Terminal receiver: `rx`'s deliveries credit `col`.
+    pub fn deliver(&mut self, rx: RxId, col: ColId) {
+        if self.rx_delivery.len() <= rx.0 {
+            self.rx_delivery.resize_with(rx.0 + 1, || None);
+        }
+        self.rx_delivery[rx.0] = Some(Delivery::Collect(col));
+    }
+
+    /// Store-and-forward receiver: `rx`'s deliveries push into `tx`
+    /// (both endpoints co-located on this shard by construction).
+    pub fn forward(&mut self, rx: RxId, tx: TxId) {
+        if self.rx_delivery.len() <= rx.0 {
+            self.rx_delivery.resize_with(rx.0 + 1, || None);
+        }
+        self.rx_delivery[rx.0] = Some(Delivery::Forward(tx));
+    }
+
+    /// Drain `rx`'s deliveries right after local `link` is pumped
+    /// (default: after the last local link).
+    pub fn drain_after(&mut self, rx: RxId, link: LinkId) {
+        if self.rx_drain_after.len() <= rx.0 {
+            self.rx_drain_after.resize_with(rx.0 + 1, || None);
+        }
+        self.rx_drain_after[rx.0] = Some(link.0);
+    }
+
+    /// Validate the shard wiring and produce a runnable [`ShardSim`].
+    pub fn build(mut self) -> Result<ShardSim<T, R, C>, TopologyError> {
+        let mut errors = Vec::new();
+        if self.links.is_empty() {
+            errors.push("shard has no links".to_string());
+        }
+        for w in self.links.windows(2) {
+            if w[1].global <= w[0].global {
+                errors.push(format!(
+                    "links must be registered in ascending global-id order \
+                     (got {} after {})",
+                    w[1].global, w[0].global
+                ));
+            }
+        }
+        for (i, slot) in self.links.iter().enumerate() {
+            if slot.channel.is_none() {
+                if !slot.senders.is_empty() {
+                    errors.push(format!(
+                        "local link {i} (global {}) is an inbound stub but has senders",
+                        slot.global
+                    ));
+                }
+                if slot.listeners.is_empty() {
+                    errors.push(format!("inbound cut link {} has no listeners", slot.global));
+                }
+            }
+            if slot.export && !slot.listeners.is_empty() {
+                errors.push(format!(
+                    "outbound cut link {} cannot have local listeners",
+                    slot.global
+                ));
+            }
+        }
+        for (i, &l) in self.tx_link.iter().enumerate() {
+            if l >= self.links.len() {
+                errors.push(format!("tx {i} transmits on an unknown link"));
+            }
+        }
+        for (i, &l) in self.rx_link.iter().enumerate() {
+            // `usize::MAX` marks a silent receiver with no transmit link.
+            if l != usize::MAX && l >= self.links.len() {
+                errors.push(format!("rx {i} transmits on an unknown link"));
+            }
+        }
+        self.rx_delivery.resize_with(self.rxs.len(), || None);
+        self.rx_drain_after.resize_with(self.rxs.len(), || None);
+        let mut deliveries = Vec::with_capacity(self.rxs.len());
+        for (i, d) in self.rx_delivery.drain(..).enumerate() {
+            match d {
+                Some(Delivery::Forward(t)) => {
+                    if t.0 >= self.txs.len() {
+                        errors.push(format!("rx {i} forwards into an unknown tx"));
+                    }
+                    deliveries.push(Delivery::Forward(t));
+                }
+                Some(Delivery::Collect(c)) => {
+                    if c.0 >= self.collectors.len() {
+                        errors.push(format!("rx {i} delivers to an unknown collector"));
+                    }
+                    deliveries.push(Delivery::Collect(c));
+                }
+                None => {
+                    errors.push(format!("rx {i} has no delivery target"));
+                    deliveries.push(Delivery::Collect(ColId(0)));
+                }
+            }
+        }
+        for (i, s) in self.sources.iter().enumerate() {
+            if s.tx.0 >= self.txs.len() {
+                errors.push(format!("source {i} feeds an unknown tx"));
+            }
+            if s.col.is_some_and(|c| c.0 >= self.collectors.len()) {
+                errors.push(format!("source {i} uses an unknown collector"));
+            }
+        }
+        for (i, (c, _)) in self.expects.iter().enumerate() {
+            if c.0 >= self.collectors.len() {
+                errors.push(format!("expect {i} references an unknown collector"));
+            }
+        }
+        if !errors.is_empty() {
+            return Err(TopologyError(errors));
+        }
+        let links = self.links.len();
+        let mut drains: Vec<Vec<RxId>> = vec![Vec::new(); links];
+        for (i, after) in self.rx_drain_after.iter().enumerate() {
+            let li = after.unwrap_or(links - 1);
+            drains[li.min(links - 1)].push(RxId(i));
+        }
+        let mut q = EventQueue::new();
+        q.set_profiler(profile::current());
+        Ok(ShardSim {
+            payload: Bytes::from(vec![0u8; self.payload_bytes]),
+            links: self.links,
+            txs: self.txs,
+            rxs: self.rxs,
+            deliveries,
+            drains,
+            collectors: self.collectors,
+            expects: self.expects,
+            sources: self.sources,
+            q,
+            wake: None,
+            trace: telemetry::global_handle("channel"),
+            last_event_at: Instant::ZERO,
+            done_since: None,
+            failed_at: None,
+            round: Vec::new(),
+            next_round: Vec::new(),
+        })
+    }
+}
+
+/// Everything a finished shard hands back for report assembly, in
+/// registration order (mirrors [`crate::Outcome`], restricted to the
+/// shard).
+pub struct FinishedShard<T, R, C> {
+    /// The senders.
+    pub txs: Vec<T>,
+    /// The receivers.
+    pub rxs: Vec<R>,
+    /// The collectors.
+    pub collectors: Vec<C>,
+    /// SDUs issued per local source.
+    pub issued: Vec<u64>,
+    /// SDUs each local source would issue in total.
+    pub targets: Vec<u64>,
+    /// Global finish instant (coordinator-decided).
+    pub finished_at: Instant,
+    /// True if the deadline fired before completion.
+    pub deadline_hit: bool,
+}
+
+/// One granted window's result, reported to the coordinator.
+pub struct WindowSummary<F> {
+    /// Simulated time this shard has now committed up to (the grant, or
+    /// the failure instant if a sender declared link failure mid-window).
+    pub committed: Instant,
+    /// Earliest still-queued local event, for the coordinator's
+    /// finish-time lower bound.
+    pub next_event: Option<Instant>,
+    /// Instant the shard-local completion condition last became true
+    /// (and has held since); `None` while incomplete.
+    pub done_since: Option<Instant>,
+    /// Instant a local sender declared link failure, if any.
+    pub failed_at: Option<Instant>,
+    /// Most recent locally processed event instant.
+    pub last_event_at: Instant,
+    /// Frames that crossed outbound cut links this window, sorted by
+    /// `(at, link, seq)`.
+    pub outbound: Vec<Inbound<F>>,
+}
+
+/// One shard's runnable slice of a simulation: a serial-identical pump
+/// over local links, driven in coordinator-granted windows.
+pub struct ShardSim<T, R, C>
+where
+    T: TxEndpoint,
+{
+    payload: Bytes,
+    links: Vec<LinkSlot>,
+    txs: Vec<T>,
+    rxs: Vec<R>,
+    deliveries: Vec<Delivery>,
+    drains: Vec<Vec<RxId>>,
+    collectors: Vec<C>,
+    expects: Vec<(ColId, u64)>,
+    sources: Vec<ShardSource>,
+    q: EventQueue<ShardEvent<T::Frame>>,
+    wake: Option<(Instant, EventId)>,
+    trace: telemetry::Trace,
+    last_event_at: Instant,
+    done_since: Option<Instant>,
+    failed_at: Option<Instant>,
+    /// Scratch buffers for canonical same-instant dispatch.
+    round: Vec<ShardEvent<T::Frame>>,
+    next_round: Vec<ShardEvent<T::Frame>>,
+}
+
+/// Canonical same-instant dispatch key: pushes first (by global source
+/// ordinal, then SDU id), then arrivals (by global link id, then
+/// per-link arrival sequence), then wakes.
+fn canon_key<F>(links: &[LinkSlot], sources: &[ShardSource], ev: &ShardEvent<F>) -> (u8, u64, u64) {
+    match ev {
+        ShardEvent::Push { source, id } => (0, sources[*source].ordinal, *id),
+        ShardEvent::Arrive { link, seq, .. } => (1, links[*link].global as u64, *seq),
+        ShardEvent::Wake => (2, 0, 0),
+    }
+}
+
+impl<T, R, C> ShardSim<T, R, C>
+where
+    T: TxEndpoint,
+    R: RxEndpoint<Frame = T::Frame>,
+    C: Collect,
+{
+    /// Start all endpoints at t = 0 and schedule the initial events
+    /// (first push per source, one wake). Call once, before the first
+    /// window.
+    pub fn start(&mut self) {
+        for t in self.txs.iter_mut() {
+            t.start(Instant::ZERO);
+        }
+        for r in self.rxs.iter_mut() {
+            r.start(Instant::ZERO);
+        }
+        for (s, src) in self.sources.iter_mut().enumerate() {
+            if let Some((at, id)) = src.gen.next() {
+                self.q.schedule(at, ShardEvent::Push { source: s, id });
+            }
+        }
+        self.wake = Some((
+            Instant::ZERO,
+            self.q.schedule(Instant::ZERO, ShardEvent::Wake),
+        ));
+    }
+
+    /// Schedule coordinator-routed cut-link arrivals. The caller sorts
+    /// by `(at, link, seq)`; injection order is insertion order, and the
+    /// canonical dispatch key makes same-instant placement deterministic
+    /// regardless.
+    pub fn inject(&mut self, arrivals: Vec<Inbound<T::Frame>>) {
+        for a in arrivals {
+            let local = self
+                .links
+                .binary_search_by_key(&a.link, |l| l.global)
+                .unwrap_or_else(|_| panic!("injected arrival on unknown global link {}", a.link));
+            self.q.schedule(
+                a.at,
+                ShardEvent::Arrive {
+                    link: local,
+                    seq: a.seq,
+                    frame: a.frame,
+                    clean: a.clean,
+                },
+            );
+        }
+    }
+
+    /// The shard-local completion condition: every local source
+    /// exhausted, every expected collector total met, every local
+    /// sender drained.
+    fn locally_done(&self) -> bool {
+        self.sources.iter().all(|s| s.gen.issued() >= s.gen.total())
+            && self
+                .expects
+                .iter()
+                .all(|(c, n)| self.collectors[c.0].delivered_unique() >= *n)
+            && self.txs.iter().all(|t| t.buffered() == 0)
+    }
+
+    /// Process every queued event with `at ≤ grant`. With
+    /// `stop_on_done` (single-shard runs, where local done is global
+    /// done) the window also ends at the first instant the completion
+    /// condition holds, exactly like the serial engine.
+    pub fn run_window(&mut self, grant: Instant, stop_on_done: bool) -> WindowSummary<T::Frame> {
+        let mut outbound: Vec<Inbound<T::Frame>> = Vec::new();
+        let mut committed = grant;
+        while let Some(at) = self.q.next_instant() {
+            if at > grant {
+                break;
+            }
+            let (now, first) = self.q.pop().expect("peeked event pops");
+            self.last_event_at = now;
+            self.dispatch_instant(now, first);
+            self.pump(now, &mut outbound);
+            if self.locally_done() {
+                if self.done_since.is_none() {
+                    self.done_since = Some(now);
+                }
+            } else {
+                self.done_since = None;
+            }
+            if self.txs.iter().any(|t| t.is_failed()) {
+                self.failed_at = Some(now);
+                committed = now;
+                break;
+            }
+            if stop_on_done && self.done_since.is_some() {
+                committed = now;
+                break;
+            }
+            self.rearm_wake(now);
+        }
+        outbound.sort_by_key(|a| (a.at, a.link, a.seq));
+        WindowSummary {
+            committed,
+            next_event: self.q.next_instant(),
+            done_since: self.done_since,
+            failed_at: self.failed_at,
+            last_event_at: self.last_event_at,
+            outbound,
+        }
+    }
+
+    /// Drain every event at `now` and dispatch in canonical order,
+    /// iterating rounds for same-instant cascades (a dispatched push
+    /// can schedule its source's next push at the same instant).
+    fn dispatch_instant(&mut self, now: Instant, first: ShardEvent<T::Frame>) {
+        let mut round = std::mem::take(&mut self.round);
+        let mut next = std::mem::take(&mut self.next_round);
+        round.push(first);
+        while let Some(ev) = self.q.pop_at(now) {
+            round.push(ev);
+        }
+        while !round.is_empty() {
+            round.sort_by_key(|ev| canon_key(&self.links, &self.sources, ev));
+            for ev in round.drain(..) {
+                self.dispatch(now, ev);
+            }
+            while let Some(ev) = self.q.pop_at(now) {
+                next.push(ev);
+            }
+            std::mem::swap(&mut round, &mut next);
+        }
+        self.round = round;
+        self.next_round = next;
+    }
+
+    fn dispatch(&mut self, now: Instant, ev: ShardEvent<T::Frame>) {
+        match ev {
+            ShardEvent::Push { source, id } => {
+                let src = &mut self.sources[source];
+                if let Some(col) = src.col {
+                    self.collectors[col.0].on_push(now, id);
+                }
+                self.txs[src.tx.0].push(id, self.payload.clone());
+                if let Some((at, nid)) = src.gen.next() {
+                    self.q
+                        .schedule(at.max(now), ShardEvent::Push { source, id: nid });
+                }
+            }
+            ShardEvent::Arrive {
+                link, frame, clean, ..
+            } => match self.links[link].listeners.as_slice() {
+                [ep] => match *ep {
+                    EndpointId::Tx(t) => self.txs[t.0].handle_frame(now, frame, clean),
+                    EndpointId::Rx(r) => self.rxs[r.0].handle_frame(now, frame, clean),
+                },
+                listeners => {
+                    let last = listeners.len().saturating_sub(1);
+                    let mut frame = Some(frame);
+                    for (k, ep) in listeners.iter().enumerate() {
+                        let f = if k == last {
+                            frame.take().expect("frame consumed once")
+                        } else {
+                            frame.as_ref().expect("frame present").clone()
+                        };
+                        match *ep {
+                            EndpointId::Tx(t) => self.txs[t.0].handle_frame(now, f, clean),
+                            EndpointId::Rx(r) => self.rxs[r.0].handle_frame(now, f, clean),
+                        }
+                    }
+                }
+            },
+            ShardEvent::Wake => {
+                if self.wake.is_some_and(|(t, _)| t <= now) {
+                    self.wake = None;
+                }
+            }
+        }
+    }
+
+    /// The serial engine's pump, restricted to local links: timers,
+    /// per-link serve/transmit (exported on cut links), drains.
+    fn pump(&mut self, now: Instant, outbound: &mut Vec<Inbound<T::Frame>>) {
+        for t in self.txs.iter_mut() {
+            t.on_timeout(now);
+        }
+        for r in self.rxs.iter_mut() {
+            r.on_timeout(now);
+        }
+        for li in 0..self.links.len() {
+            while let Some(channel) = self.links[li].channel.as_ref() {
+                if !channel.idle(now) {
+                    break;
+                }
+                let mut found = None;
+                for ep in &self.links[li].senders {
+                    found = match *ep {
+                        EndpointId::Tx(t) => {
+                            self.txs[t.0].poll_transmit(now).map(|f| (T::meta(&f), f))
+                        }
+                        EndpointId::Rx(r) => {
+                            self.rxs[r.0].poll_transmit(now).map(|f| (R::meta(&f), f))
+                        }
+                    };
+                    if found.is_some() {
+                        break;
+                    }
+                }
+                let Some((meta, frame)) = found else {
+                    break;
+                };
+                let slot = &mut self.links[li];
+                let channel = slot.channel.as_mut().expect("owned link has channel");
+                match channel.transmit(now, meta.bytes, meta.is_info) {
+                    Fate::Arrives { at, clean } => {
+                        let seq = slot.next_seq;
+                        slot.next_seq += 1;
+                        if slot.export {
+                            outbound.push(Inbound {
+                                at,
+                                link: slot.global,
+                                seq,
+                                frame,
+                                clean,
+                            });
+                        } else {
+                            self.q.schedule(
+                                at,
+                                ShardEvent::Arrive {
+                                    link: li,
+                                    seq,
+                                    frame,
+                                    clean,
+                                },
+                            );
+                        }
+                    }
+                    Fate::Lost => {
+                        let dir = slot.dir;
+                        self.trace.emit(now, || TraceEvent::ChannelDrop { dir });
+                    }
+                }
+            }
+            for r in 0..self.drains[li].len() {
+                let rid = self.drains[li][r];
+                while let Some((id, _len)) = self.rxs[rid.0].poll_deliver(now) {
+                    match self.deliveries[rid.0] {
+                        Delivery::Collect(c) => self.collectors[c.0].on_deliver(now, id),
+                        Delivery::Forward(t) => {
+                            self.txs[t.0].push(id, self.payload.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-arm the single wake at the earliest pending protocol instant
+    /// over local endpoints and owned channels — the serial engine's
+    /// rule verbatim, restricted to the shard.
+    fn rearm_wake(&mut self, now: Instant) {
+        let mut want: Option<Instant> = None;
+        let mut consider = |c: Option<Instant>| {
+            if let Some(t) = c {
+                want = Some(want.map_or(t, |w| w.min(t)));
+            }
+        };
+        for t in &self.txs {
+            consider(t.poll_timeout());
+        }
+        for r in &self.rxs {
+            consider(r.poll_timeout());
+        }
+        for slot in &self.links {
+            if let Some(c) = &slot.channel {
+                if !c.idle(now) {
+                    consider(Some(c.free_at()));
+                }
+            }
+        }
+        let Some(t) = want else {
+            return;
+        };
+        let t = if t > now {
+            Some(t)
+        } else {
+            self.links
+                .iter()
+                .filter_map(|s| s.channel.as_ref())
+                .filter(|c| !c.idle(now))
+                .map(|c| c.free_at())
+                .min()
+        };
+        if let Some(t) = t {
+            debug_assert!(t > now, "wake must advance time");
+            match self.wake {
+                Some((at, id)) if t < at => {
+                    let id = self.q.reschedule(id, t).expect("tracked wake is pending");
+                    self.wake = Some((t, id));
+                }
+                None => {
+                    self.wake = Some((t, self.q.schedule(t, ShardEvent::Wake)));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// The queue's profiling snapshot so far.
+    pub fn queue_profile(&self) -> QueueProfile {
+        self.q.profile()
+    }
+
+    /// Consume the shard into its report-assembly pieces.
+    pub fn into_finished(self, finished_at: Instant, deadline_hit: bool) -> FinishedShard<T, R, C> {
+        FinishedShard {
+            issued: self.sources.iter().map(|s| s.gen.issued()).collect(),
+            targets: self.sources.iter().map(|s| s.gen.total()).collect(),
+            txs: self.txs,
+            rxs: self.rxs,
+            collectors: self.collectors,
+            finished_at,
+            deadline_hit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::ErrorModel;
+    use crate::topology::{LinkSpec, NodeRole};
+
+    fn chain_topo(hops: usize) -> Topology {
+        let mut t = Topology::default();
+        t.roles.push(NodeRole::Source);
+        for _ in 1..hops {
+            t.roles.push(NodeRole::Relay);
+        }
+        t.roles.push(NodeRole::Sink);
+        for i in 0..hops {
+            t.links.push(LinkSpec {
+                from: NodeId(i),
+                to: NodeId(i + 1),
+                dir: "fwd",
+            });
+            t.links.push(LinkSpec {
+                from: NodeId(i + 1),
+                to: NodeId(i),
+                dir: "rev",
+            });
+        }
+        t
+    }
+
+    fn fixed_delays(n: usize, ms: u64) -> Vec<DelayModel> {
+        vec![DelayModel::Fixed(Duration::from_millis(ms)); n]
+    }
+
+    #[test]
+    fn contiguous_partition_is_balanced_and_total() {
+        let p = Partition::contiguous(5, 2);
+        assert_eq!(p.n_shards(), 2);
+        assert_eq!(p.shard_of(NodeId(0)), Some(0));
+        assert_eq!(p.shard_of(NodeId(2)), Some(0));
+        assert_eq!(p.shard_of(NodeId(3)), Some(1));
+        assert_eq!(p.shard_of(NodeId(4)), Some(1));
+        assert_eq!(p.shard_of(NodeId(5)), None);
+    }
+
+    #[test]
+    fn plan_accepts_chain_and_finds_cuts() {
+        let topo = chain_topo(3);
+        let p = Partition::contiguous(4, 2);
+        let plan = p
+            .plan(&topo, &fixed_delays(topo.link_count(), 13))
+            .expect("valid partition");
+        assert_eq!(plan.n_shards, 2);
+        // Nodes 0,1 | 2,3: hop 1 (links 2 fwd, 3 rev) is cut.
+        assert_eq!(plan.cuts.len(), 2);
+        assert_eq!(plan.cuts[0].link, LinkId(2));
+        assert_eq!(plan.cuts[0].from_shard, 0);
+        assert_eq!(plan.cuts[0].to_shard, 1);
+        assert_eq!(plan.cuts[1].link, LinkId(3));
+        assert_eq!(plan.cuts[1].from_shard, 1);
+        assert_eq!(plan.cuts[1].to_shard, 0);
+        assert_eq!(plan.cuts[0].delay, Duration::from_millis(13));
+    }
+
+    #[test]
+    fn plan_rejects_wrong_length_and_range() {
+        let topo = chain_topo(2);
+        let err = Partition::explicit(vec![0, 1], 2)
+            .plan(&topo, &fixed_delays(topo.link_count(), 1))
+            .expect_err("3 nodes, 2 assigned");
+        assert!(err.to_string().contains("assigns 2 nodes"), "{err}");
+        let err = Partition::explicit(vec![0, 5, 1], 2)
+            .plan(&topo, &fixed_delays(topo.link_count(), 1))
+            .expect_err("shard 5 of 2");
+        assert!(
+            err.to_string().contains("node 1 assigned to shard 5"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn plan_rejects_empty_shards() {
+        let topo = chain_topo(2);
+        let err = Partition::explicit(vec![0, 0, 0], 2)
+            .plan(&topo, &fixed_delays(topo.link_count(), 1))
+            .expect_err("shard 1 empty");
+        assert!(err.to_string().contains("shard 1 has no nodes"), "{err}");
+        // Every node in exactly one shard, no shard empty: the valid case.
+        assert!(Partition::explicit(vec![0, 0, 1], 2)
+            .plan(&topo, &fixed_delays(topo.link_count(), 1))
+            .is_ok());
+    }
+
+    #[test]
+    fn plan_rejects_zero_delay_cut_links() {
+        let topo = chain_topo(2);
+        let mut delays = fixed_delays(topo.link_count(), 1);
+        delays[2] = DelayModel::Fixed(Duration::ZERO); // hop 1 fwd: cut
+        let err = Partition::explicit(vec![0, 0, 1], 2)
+            .plan(&topo, &delays)
+            .expect_err("zero-delay cut link");
+        assert!(
+            err.to_string()
+                .contains("cut link 2 has zero propagation delay"),
+            "{err}"
+        );
+        // The same zero delay on an intra-shard link is fine.
+        let mut delays = fixed_delays(topo.link_count(), 1);
+        delays[0] = DelayModel::Fixed(Duration::ZERO); // hop 0: internal
+        assert!(Partition::explicit(vec![0, 0, 1], 2)
+            .plan(&topo, &delays)
+            .is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_bad_cut_wiring() {
+        struct NoTx;
+        impl TxEndpoint for NoTx {
+            type Frame = u64;
+            fn start(&mut self, _: Instant) {}
+            fn push(&mut self, _: u64, _: Bytes) -> bool {
+                false
+            }
+            fn poll_transmit(&mut self, _: Instant) -> Option<u64> {
+                None
+            }
+            fn handle_frame(&mut self, _: Instant, _: u64, _: bool) {}
+            fn on_timeout(&mut self, _: Instant) {}
+            fn poll_timeout(&self) -> Option<Instant> {
+                None
+            }
+            fn buffered(&self) -> usize {
+                0
+            }
+            fn meta(_: &u64) -> crate::endpoint::FrameMeta {
+                crate::endpoint::FrameMeta {
+                    bytes: 1,
+                    is_info: true,
+                }
+            }
+            fn drain_holding(&mut self, _: &mut Vec<f64>) {}
+            fn transmissions(&self) -> u64 {
+                0
+            }
+            fn retransmissions(&self) -> u64 {
+                0
+            }
+        }
+        struct NoRx;
+        impl RxEndpoint for NoRx {
+            type Frame = u64;
+            fn start(&mut self, _: Instant) {}
+            fn handle_frame(&mut self, _: Instant, _: u64, _: bool) {}
+            fn on_timeout(&mut self, _: Instant) {}
+            fn poll_timeout(&self) -> Option<Instant> {
+                None
+            }
+            fn poll_transmit(&mut self, _: Instant) -> Option<u64> {
+                None
+            }
+            fn poll_deliver(&mut self, _: Instant) -> Option<(u64, usize)> {
+                None
+            }
+            fn occupancy(&self) -> usize {
+                0
+            }
+            fn meta(_: &u64) -> crate::endpoint::FrameMeta {
+                crate::endpoint::FrameMeta {
+                    bytes: 1,
+                    is_info: true,
+                }
+            }
+        }
+        struct NoCol;
+        impl Collect for NoCol {
+            fn on_push(&mut self, _: Instant, _: u64) {}
+            fn on_deliver(&mut self, _: Instant, _: u64) {}
+            fn on_holding(&mut self, _: &[f64]) {}
+            fn sample(&mut self, _: Instant, _: usize, _: usize, _: f64) {}
+            fn delivered_unique(&self) -> u64 {
+                0
+            }
+        }
+
+        // A sender on an inbound stub, a listener on an outbound cut
+        // link, and descending global-id registration: all rejected.
+        let mut b: ShardBuilder<NoTx, NoRx, NoCol> = ShardBuilder::new(8);
+        let chan = || {
+            Channel::new(
+                1e6,
+                DelayModel::Fixed(Duration::from_millis(1)),
+                ErrorModel::Clean,
+            )
+        };
+        let out = b.cut_out(3, chan(), "fwd");
+        let stub = b.cut_in(1); // descending: 1 after 3
+        b.tx(stub, NoTx);
+        b.listen(out, EndpointId::Rx(RxId(0)));
+        let r = b.rx(out, NoRx);
+        b.deliver(r, ColId(0)); // unknown collector
+        let err = match b.build() {
+            Err(e) => e,
+            Ok(_) => panic!("invalid shard wiring accepted"),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("ascending global-id order"), "{msg}");
+        assert!(msg.contains("inbound stub but has senders"), "{msg}");
+        assert!(msg.contains("cannot have local listeners"), "{msg}");
+        assert!(msg.contains("delivers to an unknown collector"), "{msg}");
+    }
+}

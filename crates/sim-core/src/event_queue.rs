@@ -100,6 +100,7 @@ struct QueueStats {
     popped: u64,
     cancelled: u64,
     peak_depth: usize,
+    compactions: u64,
 }
 
 /// A profiling snapshot of an [`EventQueue`], taken with
@@ -116,6 +117,9 @@ pub struct QueueProfile {
     pub cancelled: u64,
     /// Maximum number of pending events at any point.
     pub peak_depth: usize,
+    /// Times the heap was compacted because lazily-cancelled entries
+    /// outnumbered live ones.
+    pub compactions: u64,
     /// Simulated time reached (timestamp of the last pop).
     pub horizon: Instant,
 }
@@ -138,6 +142,7 @@ impl QueueProfile {
         self.popped += other.popped;
         self.cancelled += other.cancelled;
         self.peak_depth = self.peak_depth.max(other.peak_depth);
+        self.compactions += other.compactions;
         self.horizon = self.horizon.max(other.horizon);
     }
 }
@@ -218,6 +223,7 @@ impl<E> EventQueue<E> {
             popped: self.stats.popped,
             cancelled: self.stats.cancelled,
             peak_depth: self.stats.peak_depth,
+            compactions: self.stats.compactions,
             horizon: self.now,
         }
     }
@@ -311,6 +317,7 @@ impl<E> EventQueue<E> {
         self.free_slots.push(id.slot);
         self.dead += 1;
         self.stats.cancelled += 1;
+        self.maybe_compact();
         true
     }
 
@@ -337,6 +344,7 @@ impl<E> EventQueue<E> {
         self.clear_live(id.seq);
         self.dead += 1;
         self.stats.cancelled += 1;
+        self.maybe_compact();
         let seq = self.next_seq;
         self.next_seq += 1;
         self.set_live(seq);
@@ -349,10 +357,20 @@ impl<E> EventQueue<E> {
         Some(EventId { seq, slot: id.slot })
     }
 
-    /// Timestamp of the next pending event, if any.
-    pub fn peek_time(&mut self) -> Option<Instant> {
+    /// Timestamp of the earliest *live* pending event without popping
+    /// it — the horizon a conservative parallel shard advertises to its
+    /// coordinator. Dead (cancelled/superseded) heap entries at the top
+    /// are dropped on the way, so the answer is exact, not a stale
+    /// lower bound.
+    pub fn next_instant(&mut self) -> Option<Instant> {
         self.drop_dead();
         self.heap.peek().map(|e| e.at)
+    }
+
+    /// Timestamp of the next pending event, if any. Alias of
+    /// [`EventQueue::next_instant`], kept for existing callers.
+    pub fn peek_time(&mut self) -> Option<Instant> {
+        self.next_instant()
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
@@ -391,6 +409,25 @@ impl<E> EventQueue<E> {
             self.heap.pop();
             self.dead -= 1;
         }
+    }
+
+    /// Rebuild the heap without its dead entries once they outnumber
+    /// the live ones. Lazy cancellation alone only removes dead entries
+    /// when they surface at the top, so a cancel-heavy run whose
+    /// cancelled timers sit far in the future grows the heap without
+    /// bound; compacting at the dead > live threshold keeps the heap at
+    /// most 2× the live count while staying O(1) amortized per cancel
+    /// (a compaction touching n entries is paid for by the > n/2
+    /// cancels since the last one).
+    fn maybe_compact(&mut self) {
+        if self.dead <= self.heap.len() - self.dead {
+            return;
+        }
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.retain(|e| self.is_live(e.seq));
+        self.heap = BinaryHeap::from(entries);
+        self.dead = 0;
+        self.stats.compactions += 1;
     }
 }
 
@@ -496,6 +533,7 @@ mod tests {
             popped: 4,
             cancelled: 1,
             peak_depth: 3,
+            compactions: 2,
             horizon: Instant::from_millis(2),
         };
         let b = QueueProfile {
@@ -503,12 +541,14 @@ mod tests {
             popped: 2,
             cancelled: 0,
             peak_depth: 7,
+            compactions: 1,
             horizon: Instant::from_millis(1),
         };
         a.absorb(&b);
         assert_eq!(a.scheduled, 7);
         assert_eq!(a.popped, 6);
         assert_eq!(a.peak_depth, 7);
+        assert_eq!(a.compactions, 3);
         assert_eq!(a.horizon, Instant::from_millis(2));
         assert!(a.events_per_sec(2.0) == 3.0);
         assert!(a.events_per_sec(0.0) == 0.0);
@@ -604,6 +644,80 @@ mod tests {
         assert_eq!(q.pop_at(t), Some("x"));
         assert_eq!(q.pop_at(t), None);
         assert_eq!(q.pop().unwrap().1, "y");
+    }
+
+    #[test]
+    fn next_instant_sees_earliest_live_entry() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_instant(), None);
+        let a = q.schedule(Instant::from_nanos(3), "a");
+        q.schedule(Instant::from_nanos(8), "b");
+        assert_eq!(q.next_instant(), Some(Instant::from_nanos(3)));
+        // Peeking is side-effect free on live entries: nothing popped,
+        // nothing reordered.
+        assert_eq!(q.next_instant(), Some(Instant::from_nanos(3)));
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.next_instant(), Some(Instant::from_nanos(8)));
+        let c = q.schedule(Instant::from_nanos(5), "c");
+        let c2 = q.reschedule(c, Instant::from_nanos(9)).unwrap();
+        assert_eq!(q.next_instant(), Some(Instant::from_nanos(8)));
+        q.cancel(c2);
+        assert_eq!(q.next_instant(), Some(Instant::from_nanos(8)));
+        q.pop();
+        assert_eq!(q.next_instant(), None);
+    }
+
+    #[test]
+    fn churn_loop_keeps_heap_bounded() {
+        // Schedule-then-cancel churn with the cancelled timers far in
+        // the future, so none of them ever surfaces at the heap top for
+        // lazy removal. Without compaction the heap grows by one dead
+        // entry per iteration; with it the heap stays within 2× the
+        // live population.
+        let mut q = EventQueue::new();
+        let live: Vec<_> = (0..8)
+            .map(|i| q.schedule(Instant::from_millis(1_000 + i), "live"))
+            .collect();
+        for i in 0..10_000u64 {
+            let id = q.schedule(Instant::from_millis(500 + i), "churn");
+            q.cancel(id);
+        }
+        assert_eq!(q.len(), live.len());
+        assert!(
+            q.heap.len() <= 2 * live.len() + 1,
+            "heap holds {} entries for {} live events — lazy-cancel \
+             growth is unbounded",
+            q.heap.len(),
+            live.len()
+        );
+        let p = q.profile();
+        assert!(p.compactions > 0, "churn loop never compacted");
+        // The survivors are untouched by compaction.
+        for (i, id) in live.iter().enumerate() {
+            assert!(q.cancel(*id), "live event {i} lost by compaction");
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_accounting() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..64)
+            .map(|i| q.schedule(Instant::from_nanos(100 + i), i))
+            .collect();
+        // Cancel everything not divisible by 4; once dead entries
+        // outnumber live ones the heap compacts mid-loop.
+        for (i, id) in ids.iter().enumerate() {
+            if i % 4 != 0 {
+                q.cancel(*id);
+            }
+        }
+        assert!(q.profile().compactions > 0);
+        assert_eq!(q.len(), 16);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..64).step_by(4).collect::<Vec<_>>());
+        let p = q.profile();
+        assert_eq!((p.scheduled, p.popped, p.cancelled), (64, 16, 48));
     }
 
     #[test]

@@ -85,11 +85,14 @@ fn step(
             }
         },
         // Cancel a random pending event; a second cancel is a no-op.
+        // The earliest live instant must track the removal immediately
+        // (the cancelled entry may have been the minimum).
         5 => {
             if !model.entries.is_empty() {
                 let e = model.entries.remove(pick as usize % model.entries.len());
                 prop_assert!(q.cancel(e.id));
                 prop_assert!(!q.cancel(e.id));
+                prop_assert_eq!(q.next_instant(), model.min_at());
             }
         }
         // Reschedule a random pending event to now + dt: it keeps its
@@ -108,11 +111,16 @@ fn step(
                 model.next_seq += 1;
                 // The superseded id is dead.
                 prop_assert!(!q.cancel(old_id));
+                // The old instant's heap entry is dead; the earliest
+                // live instant must reflect only the new one.
+                prop_assert_eq!(q.next_instant(), model.min_at());
             }
         }
-        // Peek must see the model's minimum timestamp.
+        // Peek must see the model's minimum timestamp, through both the
+        // legacy name and `next_instant` (the horizon probe).
         _ => {
             prop_assert_eq!(q.peek_time(), model.min_at());
+            prop_assert_eq!(q.next_instant(), model.min_at());
         }
     }
     prop_assert_eq!(q.len(), model.entries.len());

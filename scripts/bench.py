@@ -19,6 +19,7 @@ writes one `lams-dlc.bench/1` document:
                   "ns_per_op", "ops_per_sec"} ],
       "experiments": [ {"id", "runs", "wall_secs", "events_per_sec",
                         "queue": {...} | null} ],
+      "shards": [ {"shards", "wall_secs", "events_per_sec", "popped"} ],
       "total": {"runs", "wall_secs", "events_per_sec", "popped"},
       "profile": {"wall_ns", "counters", "queue_depth", "alloc",
                   "spans": [...]} | null
@@ -125,6 +126,26 @@ def median_experiments(reps):
             entry["events_per_sec"] = statistics.median(
                 row["events_per_sec"] for row in rows)
         merged.append(entry)
+    return merged
+
+
+def median_shards(reps):
+    """Median the wall-clock fields of each shard-sweep point; the shard
+    count and popped totals are counted fields and must agree."""
+    merged = []
+    for i, first in enumerate(reps[0].get("shards", [])):
+        rows = [r["shards"][i] for r in reps]
+        for row in rows:
+            if row["shards"] != first["shards"] or row["popped"] != first["popped"]:
+                fail(f"shard sweep point {i}: counted fields differ across "
+                     f"reps — the workload is not deterministic")
+        merged.append({
+            "shards": first["shards"],
+            "wall_secs": statistics.median(row["wall_secs"] for row in rows),
+            "events_per_sec": statistics.median(
+                row["events_per_sec"] for row in rows),
+            "popped": first["popped"],
+        })
     return merged
 
 
@@ -259,6 +280,7 @@ def main():
         "quick": True,
         "micro": median_micro(reps),
         "experiments": median_experiments(reps),
+        "shards": median_shards(reps),
         "total": median_total(reps),
         # Wall-clock-bearing throughout: rep 1's profiled pass, verbatim.
         "profile": reps[0].get("profile"),

@@ -18,8 +18,9 @@ zero resolution-bound violations).
 
 With two positional arguments: additionally require the two documents to
 be identical once every `perf` and `profile` block (the wall-clock-
-bearing fields) is nulled out — the parallel runner must be a pure speed
-knob, and self-profiling must never perturb simulated results.
+bearing fields) is nulled out — the parallel runner (`--workers`) and
+the sharded simulation runtime (`--shards`) must both be pure speed
+knobs, and self-profiling must never perturb simulated results.
 
 Each `--profile FILE` must be a valid `lams-dlc.profile/1` document (as
 written by `repro --profile`): per experiment, every span node must
@@ -58,7 +59,7 @@ whose coverage shows a zero proved nothing about that knob.
 import json
 import sys
 
-EXPECTED_IDS = [f"E{i}" for i in range(1, 18)]
+EXPECTED_IDS = [f"E{i}" for i in range(1, 19)]
 
 METRICS_KEYS = ("runs", "frames", "delivered", "naks", "retransmissions",
                 "max_tx_outstanding", "audit_findings", "delivery_latency")
@@ -210,7 +211,7 @@ def validate(doc, path):
     return doc
 
 
-BENCH_EXPECTED_IDS = [f"e{i}" for i in range(1, 18)]
+BENCH_EXPECTED_IDS = [f"e{i}" for i in range(1, 19)]
 
 MICRO_KEYS = ("name", "iters", "ops", "wall_secs", "ns_per_op",
               "ops_per_sec")
@@ -256,6 +257,25 @@ def validate_bench(doc, path):
                 fail(f"{path}: {e['id']} queue profile missing '{key}'")
         if q["popped"] <= 0 or e["events_per_sec"] <= 0:
             fail(f"{path}: {e['id']} ran simulations but popped nothing")
+    # The shard-scaling sweep: optional (older baselines predate it;
+    # --skip-shards omits it), but when present each point must be
+    # well-formed and the shard counts strictly increasing.
+    shards = doc.get("shards")
+    if shards is not None and shards != []:
+        if not isinstance(shards, list):
+            fail(f"{path}: 'shards' must be an array")
+        prev = 0
+        for p in shards:
+            for key in ("shards", "wall_secs", "events_per_sec", "popped"):
+                if key not in p:
+                    fail(f"{path}: shard sweep point missing '{key}': {p}")
+            if p["shards"] <= prev:
+                fail(f"{path}: shard counts must be strictly increasing, "
+                     f"got {p['shards']} after {prev}")
+            prev = p["shards"]
+            if p["popped"] <= 0 or p["events_per_sec"] <= 0:
+                fail(f"{path}: shard sweep at {p['shards']} shard(s) "
+                     f"popped no events")
     total = doc.get("total")
     if not isinstance(total, dict):
         fail(f"{path}: missing 'total' block")
