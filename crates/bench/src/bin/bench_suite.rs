@@ -20,7 +20,8 @@
 //!   "experiments": [ {"id", "runs", "wall_secs", "events_per_sec",
 //!                     "queue": {"scheduled", "popped", "cancelled",
 //!                               "peak_depth", "horizon_s"}} | perf-less ],
-//!   "shards": [ {"shards", "wall_secs", "events_per_sec", "popped"} ],
+//!   "shards": [ {"shards", "wall_secs", "events_per_sec", "popped",
+//!                "efficiency", "imbalance"} ],
 //!   "total": {"runs", "wall_secs", "events_per_sec", "popped"},
 //!   "profile": {"wall_ns", "counters", "queue_depth", "alloc",
 //!               "spans": [span tree]} | null
@@ -154,6 +155,8 @@ fn main() {
                     ("wall_secs", p.wall_secs.into()),
                     ("events_per_sec", p.events_per_sec.into()),
                     ("popped", p.popped.into()),
+                    ("efficiency", p.efficiency.into()),
+                    ("imbalance", p.imbalance.into()),
                 ])
             })
             .collect()

@@ -342,6 +342,11 @@ pub struct ShardSweepPoint {
     pub popped: u64,
     /// `popped / wall_secs`.
     pub events_per_sec: f64,
+    /// Parallel efficiency `Σ busy / (shards × wall)` from the
+    /// coordinator's superstep accounting (1.0 for one shard).
+    pub efficiency: f64,
+    /// Load-imbalance factor `max busy / mean busy` across shards.
+    pub imbalance: f64,
 }
 
 /// The sharded-chain scaling kernel: one fixed many-hop LAMS-DLC relay
@@ -364,7 +369,9 @@ pub fn run_shard_sweep(counts: &[usize]) -> Vec<ShardSweepPoint> {
     counts
         .iter()
         .map(|&shards| {
+            let _ = harness::metrics::shard_take(); // isolate this run's accounting
             let r = harness::run_chain_lams(&cfg, shards);
+            let shard = harness::metrics::shard_take().map(|acc| acc.profile);
             let key = (
                 r.finished_at,
                 r.delivered_unique,
@@ -383,6 +390,8 @@ pub fn run_shard_sweep(counts: &[usize]) -> Vec<ShardSweepPoint> {
                 wall_secs: r.wall_secs,
                 popped: r.queue.popped,
                 events_per_sec: r.queue.events_per_sec(r.wall_secs),
+                efficiency: shard.as_ref().map_or(1.0, |p| p.efficiency()),
+                imbalance: shard.as_ref().map_or(1.0, |p| p.imbalance()),
             }
         })
         .collect()
@@ -500,7 +509,11 @@ mod tests {
             assert!(p.popped > 0);
             assert!(p.wall_secs > 0.0);
             assert!(p.events_per_sec > 0.0);
+            assert!(p.efficiency > 0.0 && p.efficiency <= 1.0 + 1e-9, "{p:?}");
+            assert!(p.imbalance >= 1.0, "{p:?}");
         }
+        assert_eq!(pts[0].efficiency, 1.0, "one shard is degenerate");
+        assert_eq!(pts[0].imbalance, 1.0);
         // The cross-count identity assertion lives inside the sweep;
         // reaching here means 1 and 2 shards agreed.
     }

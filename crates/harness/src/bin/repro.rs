@@ -12,6 +12,7 @@
 //! repro --profile-folded p.folded  # collapsed stacks for flamegraphs
 //! repro --workers 4          # fan experiments out across 4 threads
 //! repro --shards 8 e18       # split sharded-family simulations over 8 cores
+//! repro --shards 3 --timeline t.json e18   # Perfetto superstep timeline
 //! ```
 //!
 //! `--json` writes one JSON document:
@@ -136,7 +137,12 @@ fn main() {
                 }
                 // Where the CPU nanoseconds went, when profiled.
                 if let Some(p) = &run.profile {
-                    print!("{}", p.table(&run.id));
+                    print!("{}", p.table(&run.id, run.perf.as_ref().map(|(q, _, _)| q)));
+                }
+                // The sharded runtime's superstep accounting, when the
+                // experiment ran sharded simulations.
+                if let Some(acc) = &run.shard {
+                    print!("{}", runner::shard_table(&run.id, &acc.profile));
                 }
             }
             None => {
@@ -198,6 +204,15 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = &cli.timeline {
+        let doc = runner::timeline_json(&runs);
+        if let Err(e) = std::fs::write(path, doc.render_pretty() + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path} (open in Perfetto / chrome://tracing)");
     }
 
     if let Some(path) = &cli.profile_folded {

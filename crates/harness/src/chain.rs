@@ -295,6 +295,7 @@ where
     report.queue = outcome.queue;
     report.wall_secs = outcome.wall_secs;
     crate::metrics::perf_absorb(&report.queue, report.wall_secs);
+    crate::metrics::shard_absorb(&outcome.shard, outcome.supersteps);
     report
 }
 

@@ -67,6 +67,7 @@ pub fn shards() -> usize {
 struct ItemResult<O> {
     out: O,
     perf: Option<(QueueProfile, f64, u64)>,
+    shard: Option<crate::metrics::ShardAcc>,
     records: Vec<TraceRecord>,
 }
 
@@ -113,9 +114,11 @@ where
     std::thread::scope(|scope| {
         for _ in 0..n_workers {
             scope.spawn(|| {
-                // Each worker starts with a clean perf accumulator so the
-                // per-item delta is exactly that item's runs.
+                // Each worker starts with clean perf and shard
+                // accumulators so the per-item delta is exactly that
+                // item's runs.
                 let _ = crate::metrics::perf_take();
+                let _ = crate::metrics::shard_take();
                 loop {
                     let idx = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(slot) = slots.get(idx) else {
@@ -135,6 +138,7 @@ where
                         *results[idx].lock().expect("result slot") = Some(ItemResult {
                             out,
                             perf: crate::metrics::perf_take(),
+                            shard: crate::metrics::shard_take(),
                             records,
                         });
                         continue;
@@ -145,6 +149,7 @@ where
                     *results[idx].lock().expect("result slot") = Some(ItemResult {
                         out,
                         perf: crate::metrics::perf_take(),
+                        shard: crate::metrics::shard_take(),
                         records,
                     });
                 }
@@ -165,6 +170,9 @@ where
                 .expect("every item produced a result");
             if let Some((profile, wall, runs)) = r.perf {
                 crate::metrics::perf_merge(&profile, wall, runs);
+            }
+            if let Some(shard) = r.shard {
+                crate::metrics::shard_merge(shard);
             }
             if let Some(sink) = &caller_sink {
                 let mut sink = sink.borrow_mut();

@@ -111,8 +111,11 @@ impl ExperimentProfile {
 
     /// Human-readable breakdown: one row per call path (indented by
     /// depth) with call count, total/self wall-clock, self share of the
-    /// experiment wall clock, and mean cost per call.
-    pub fn table(&self, id: &str) -> String {
+    /// experiment wall clock, and mean cost per call. When the
+    /// experiment's merged queue profile is supplied, an event-queue
+    /// line (compactions, peak depth, horizon) rides along — stats that
+    /// were JSON-only before.
+    pub fn table(&self, id: &str, queue: Option<&sim_core::QueueProfile>) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
         let _ = writeln!(
@@ -138,6 +141,15 @@ impl ExperimentProfile {
                 self.queue_depth.count,
                 self.queue_depth.mean(),
                 self.queue_depth.max,
+            );
+        }
+        if let Some(q) = queue {
+            let _ = writeln!(
+                s,
+                "  event queue: {} compaction(s), peak depth {}, horizon {:.3} s",
+                q.compactions,
+                q.peak_depth,
+                q.horizon.as_secs_f64(),
             );
         }
         if let Some(a) = &self.alloc {
@@ -300,12 +312,34 @@ mod tests {
     #[test]
     fn table_lists_every_call_path_once() {
         let p = sample_profile();
-        let t = p.table("e1");
+        let t = p.table("e1", None);
         assert!(t.contains("self-profile [e1]"), "{t}");
         for name in ["experiment", "sim.run", "queue.pop", "queue.schedule"] {
             assert_eq!(t.matches(name).count(), 1, "{name} once in:\n{t}");
         }
         assert!(!t.contains("WARNING"), "{t}");
+    }
+
+    #[test]
+    fn table_surfaces_queue_compactions_when_perf_rides_along() {
+        use sim_core::{Instant, QueueProfile};
+        let p = sample_profile();
+        assert!(
+            !p.table("e1", None).contains("compaction"),
+            "no queue line without a perf block"
+        );
+        let q = QueueProfile {
+            scheduled: 10,
+            popped: 9,
+            cancelled: 0,
+            peak_depth: 4,
+            compactions: 7,
+            horizon: Instant::from_millis(1500),
+        };
+        let t = p.table("e1", Some(&q));
+        assert!(t.contains("7 compaction(s)"), "{t}");
+        assert!(t.contains("peak depth 4"), "{t}");
+        assert!(t.contains("horizon 1.500 s"), "{t}");
     }
 
     #[test]

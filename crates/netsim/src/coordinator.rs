@@ -43,8 +43,9 @@ use crate::endpoint::{RxEndpoint, TxEndpoint};
 use crate::shard::{CutPlan, FinishedShard, Inbound, ShardSim, WindowSummary};
 use crate::topology::TopologyError;
 use sim_core::{Duration, Instant, QueueProfile, RunTimer};
+use std::collections::BTreeMap;
 use std::sync::mpsc;
-use telemetry::{BufferSink, TraceEvent, TraceRecord};
+use telemetry::{BufferSink, SuperstepSpan, TraceEvent, TraceRecord};
 
 /// Everything a sharded run hands back: per-shard user outputs (shard
 /// order) plus the run-level facts the coordinator owns.
@@ -59,6 +60,130 @@ pub struct ShardedOutcome<O> {
     pub queue: QueueProfile,
     /// Wall-clock seconds the whole sharded run took.
     pub wall_secs: f64,
+    /// Superstep accounting aggregated over the run.
+    pub shard: ShardProfile,
+    /// Every granted window in deterministic grant order — `(round,
+    /// shard)` ascending — with wall-clock placement, the timeline
+    /// export's raw material.
+    pub supersteps: Vec<SuperstepSpan>,
+}
+
+/// Aggregated superstep accounting for sharded runs, absorbable across
+/// runs like [`QueueProfile`].
+///
+/// Every counter field is deterministic: byte-identical across repeated
+/// runs, and — for [`ShardProfile::events`] — across shard counts too.
+/// The per-shard wall vectors and [`ShardProfile::wall_secs`] are
+/// determinism-exempt, mirroring the report's `perf`/`profile` blocks.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShardProfile {
+    /// Shard count (max over absorbed runs).
+    pub shards: u64,
+    /// Coordinator rounds driven (each granting ≥ 1 window).
+    pub supersteps: u64,
+    /// Windows granted, summed over rounds and shards.
+    pub windows: u64,
+    /// Granted windows that processed zero events (pure lookahead
+    /// stalls: the shard advanced its commit front but had no work).
+    pub null_windows: u64,
+    /// Events processed: pushes and arrivals only. Wakes are engine
+    /// bookkeeping whose count varies with the window schedule, so
+    /// excluding them keeps this total invariant across shard counts.
+    pub events: u64,
+    /// Cross-shard arrivals injected into granted windows.
+    pub inbound: u64,
+    /// Frames exported across outbound cut links.
+    pub outbound: u64,
+    /// Σ over windows of `G_s − C_s`: simulated nanoseconds actually
+    /// granted past each shard's previous commit front.
+    pub granted_ns: u64,
+    /// Σ over windows (with a finite safe horizon) of `H_s − C_s`:
+    /// simulated nanoseconds the lookahead made available. The gap to
+    /// [`ShardProfile::granted_ns`] is grant ceded to the finish-time
+    /// lower bound or the deadline.
+    pub available_ns: u64,
+    /// Critical-cut histogram: for each global cut-link id, how many
+    /// windows had their grant bound by that inbound link's
+    /// `C_sender + delay` horizon.
+    pub critical_cuts: BTreeMap<u64, u64>,
+    /// Busy wall-clock nanoseconds per shard (determinism-exempt).
+    pub busy_ns: Vec<u64>,
+    /// Wall-clock nanoseconds each shard spent blocked waiting for its
+    /// next grant (determinism-exempt).
+    pub blocked_ns: Vec<u64>,
+    /// Wall-clock seconds of the coordinated run (determinism-exempt).
+    pub wall_secs: f64,
+}
+
+impl ShardProfile {
+    /// Parallel efficiency: `Σ busy / (shards × wall)`. Exactly `1.0`
+    /// for single-shard runs (there is no coordination to lose time
+    /// to — the degenerate window *is* the serial engine).
+    pub fn efficiency(&self) -> f64 {
+        if self.shards <= 1 {
+            return 1.0;
+        }
+        let wall_ns = self.wall_secs * 1e9;
+        if wall_ns <= 0.0 {
+            return 1.0;
+        }
+        let busy: u64 = self.busy_ns.iter().sum();
+        busy as f64 / (self.shards as f64 * wall_ns)
+    }
+
+    /// Load-imbalance factor: `max busy / mean busy` over shards
+    /// (`1.0` when degenerate — one shard, or no busy time recorded).
+    pub fn imbalance(&self) -> f64 {
+        let busy: u64 = self.busy_ns.iter().sum();
+        if self.busy_ns.len() <= 1 || busy == 0 {
+            return 1.0;
+        }
+        let max = *self.busy_ns.iter().max().expect("nonempty") as f64;
+        let mean = busy as f64 / self.busy_ns.len() as f64;
+        max / mean
+    }
+
+    /// Lookahead utilization: `granted_ns / available_ns` — how much of
+    /// the safe horizon the coordinator actually granted. `1.0` when no
+    /// horizon-bounded window was granted (single-shard runs).
+    pub fn lookahead_utilization(&self) -> f64 {
+        if self.available_ns == 0 {
+            return 1.0;
+        }
+        self.granted_ns as f64 / self.available_ns as f64
+    }
+
+    /// Fold another run's accounting into this one: counters sum, the
+    /// critical-cut histogram merges, per-shard wall vectors add
+    /// element-wise (growing to the larger shard count), and `shards`
+    /// takes the maximum.
+    pub fn absorb(&mut self, other: &ShardProfile) {
+        self.shards = self.shards.max(other.shards);
+        self.supersteps += other.supersteps;
+        self.windows += other.windows;
+        self.null_windows += other.null_windows;
+        self.events += other.events;
+        self.inbound += other.inbound;
+        self.outbound += other.outbound;
+        self.granted_ns += other.granted_ns;
+        self.available_ns += other.available_ns;
+        for (&link, &count) in &other.critical_cuts {
+            *self.critical_cuts.entry(link).or_insert(0) += count;
+        }
+        if self.busy_ns.len() < other.busy_ns.len() {
+            self.busy_ns.resize(other.busy_ns.len(), 0);
+        }
+        for (mine, theirs) in self.busy_ns.iter_mut().zip(&other.busy_ns) {
+            *mine += theirs;
+        }
+        if self.blocked_ns.len() < other.blocked_ns.len() {
+            self.blocked_ns.resize(other.blocked_ns.len(), 0);
+        }
+        for (mine, theirs) in self.blocked_ns.iter_mut().zip(&other.blocked_ns) {
+            *mine += theirs;
+        }
+        self.wall_secs += other.wall_secs;
+    }
 }
 
 enum Cmd<F> {
@@ -77,12 +202,29 @@ struct ShardDone<O> {
     out: O,
     queue: QueueProfile,
     records: Vec<TraceRecord>,
+    /// Wall-clock ns this shard spent waiting for window grants.
+    blocked_ns: u64,
+    /// The shard thread's span-profiler report, when profiling.
+    profile: Option<profile::Report>,
 }
 
 enum Up<F, O> {
     Built(usize, Option<TopologyError>),
-    Window(usize, WindowSummary<F>),
+    /// A window's summary plus its wall placement: start and busy time
+    /// in nanoseconds since the run epoch (determinism-exempt).
+    Window(usize, WindowSummary<F>, u64, u64),
     Done(usize, Box<ShardDone<O>>),
+}
+
+/// Per-thread configuration forwarded to shard threads.
+#[derive(Clone, Copy)]
+struct ThreadCfg {
+    /// Buffer and forward trace records to the caller's global sink.
+    forward_traces: bool,
+    /// Install a span profiler on the shard thread and ship its report.
+    profiled: bool,
+    /// Shared wall-clock epoch for window placement.
+    epoch: std::time::Instant,
 }
 
 /// Coordinator-side view of one shard between rounds.
@@ -123,15 +265,19 @@ where
 {
     let n = plan.n_shards.max(1);
     let timer = RunTimer::start();
-    let forward_traces = telemetry::global_sink().is_some();
+    let cfg = ThreadCfg {
+        forward_traces: telemetry::global_sink().is_some(),
+        profiled: profile::enabled(),
+        epoch: std::time::Instant::now(),
+    };
     let deadline = Instant::ZERO + deadline;
 
-    // Per-shard inbound cut lists for the safe horizon, and the
-    // link → destination routing table.
-    let mut inbound_cuts: Vec<Vec<(usize, Duration)>> = vec![Vec::new(); n];
+    // Per-shard inbound cut lists for the safe horizon (sender shard,
+    // delay, global link id), and the link → destination routing table.
+    let mut inbound_cuts: Vec<Vec<(usize, Duration, u64)>> = vec![Vec::new(); n];
     let mut route: Vec<(usize, usize)> = Vec::new(); // (global link, to_shard)
     for c in &plan.cuts {
-        inbound_cuts[c.to_shard].push((c.from_shard, c.delay));
+        inbound_cuts[c.to_shard].push((c.from_shard, c.delay, c.link.0 as u64));
         route.push((c.link.0, c.to_shard));
     }
     route.sort_unstable();
@@ -145,21 +291,39 @@ where
             let up = up_tx.clone();
             let build = &build;
             let finish = &finish;
-            scope.spawn(move || shard_thread(s, cmd_rx, up, build, finish, forward_traces));
+            scope.spawn(move || shard_thread(s, cmd_rx, up, build, finish, cfg));
         }
         drop(up_tx);
         coordinate(n, deadline, &inbound_cuts, &route, cmd_txs, up_rx)
     });
-    let (outputs, finished_at, deadline_hit, queue, records) = result?;
+    let (outputs, finished_at, deadline_hit, queue, records, mut shard, supersteps) = result?;
+    shard.wall_secs = timer.elapsed_secs();
 
-    // Deterministic trace merge: shard-order concatenation, stable-
-    // sorted by (instant, node label) — the same rule at every shard
-    // count — replayed into the caller's sink between the coordinator's
-    // own run markers.
+    // Deterministic trace merge: shard-order concatenation plus the
+    // coordinator's own superstep records (already in (round, shard)
+    // order), stable-sorted by (instant, node label) — the same rule at
+    // every shard count — replayed into the caller's sink between the
+    // coordinator's own run markers.
     let sim_trace = telemetry::global_handle("sim");
     sim_trace.emit(Instant::ZERO, || TraceEvent::RunStarted);
     if let Some(sink) = telemetry::global_sink() {
+        let _merge = profile::span("merge");
         let mut merged: Vec<TraceRecord> = records.into_iter().flatten().collect();
+        merged.extend(supersteps.iter().map(|sp| TraceRecord {
+            t: Instant::from_nanos(sp.grant_ns),
+            node: "coord",
+            event: TraceEvent::Superstep {
+                round: sp.round,
+                shard: sp.shard,
+                grant_ns: sp.grant_ns,
+                cut_bound: sp.cut_bound,
+                critical_link: sp.critical_link,
+                events: sp.events,
+                inbound: sp.inbound,
+                outbound: sp.outbound,
+                queue_depth: sp.queue_depth,
+            },
+        }));
         merged.sort_by(|a, b| (a.t, a.node).cmp(&(b.t, b.node)));
         sink.borrow_mut().record_all(&merged);
     }
@@ -171,18 +335,22 @@ where
         deadline_hit,
         queue,
         wall_secs: timer.elapsed_secs(),
+        shard,
+        supersteps,
     })
 }
 
-/// One shard's thread: build (under a buffered trace sink), serve
-/// granted windows, then finish and ship the pieces home.
+/// One shard's thread: build (under a buffered trace sink and, when
+/// profiling, a thread-local span profiler), serve granted windows with
+/// `superstep/exchange/advance` spans and busy/blocked wall accounting,
+/// then finish and ship the pieces home.
 fn shard_thread<T, R, C, O, Build, Fin>(
     s: usize,
     cmds: mpsc::Receiver<Cmd<T::Frame>>,
     up: mpsc::Sender<Up<T::Frame, O>>,
     build: &Build,
     finish: &Fin,
-    forward_traces: bool,
+    cfg: ThreadCfg,
 ) where
     T: TxEndpoint,
     R: RxEndpoint<Frame = T::Frame>,
@@ -190,7 +358,7 @@ fn shard_thread<T, R, C, O, Build, Fin>(
     Build: Fn(usize) -> Result<ShardSim<T, R, C>, TopologyError>,
     Fin: Fn(usize, FinishedShard<T, R, C>) -> O,
 {
-    let sink = if forward_traces {
+    let sink = if cfg.forward_traces {
         let sink = std::rc::Rc::new(std::cell::RefCell::new(BufferSink::new()));
         telemetry::install_global(sink.clone());
         Some(sink)
@@ -202,28 +370,50 @@ fn shard_thread<T, R, C, O, Build, Fin>(
             telemetry::uninstall_global();
         }
     };
+    // Installed before `build` so the shard's event queue binds to this
+    // thread's profiler.
+    if cfg.profiled {
+        profile::install();
+    }
+    let prof = profile::current();
+    let now_ns = || cfg.epoch.elapsed().as_nanos() as u64;
     let mut sim = match build(s) {
         Ok(sim) => {
             let _ = up.send(Up::Built(s, None));
             sim
         }
         Err(e) => {
+            if cfg.profiled {
+                let _ = profile::take();
+            }
             uninstall(&sink);
             let _ = up.send(Up::Built(s, Some(e)));
             return;
         }
     };
     sim.start();
+    let mut blocked_ns = 0u64;
     loop {
+        let wait0 = now_ns();
         match cmds.recv() {
             Ok(Cmd::Window {
                 grant,
                 stop_on_done,
                 arrivals,
             }) => {
-                sim.inject(arrivals);
-                let summary = sim.run_window(grant, stop_on_done);
-                let _ = up.send(Up::Window(s, summary));
+                let t0 = now_ns();
+                blocked_ns += t0 - wait0;
+                let summary = {
+                    let _step = prof.span("superstep");
+                    {
+                        let _x = prof.span("exchange");
+                        sim.inject(arrivals);
+                    }
+                    let _a = prof.span("advance");
+                    sim.run_window(grant, stop_on_done)
+                };
+                let busy_ns = now_ns() - t0;
+                let _ = up.send(Up::Window(s, summary, t0, busy_ns));
             }
             Ok(Cmd::Finish {
                 finished_at,
@@ -231,6 +421,7 @@ fn shard_thread<T, R, C, O, Build, Fin>(
             }) => {
                 let queue = sim.queue_profile();
                 let out = finish(s, sim.into_finished(finished_at, deadline_hit));
+                let profile = if cfg.profiled { profile::take() } else { None };
                 uninstall(&sink);
                 let records = sink.map(|b| b.borrow_mut().take()).unwrap_or_default();
                 let _ = up.send(Up::Done(
@@ -239,6 +430,8 @@ fn shard_thread<T, R, C, O, Build, Fin>(
                         out,
                         queue,
                         records,
+                        blocked_ns,
+                        profile,
                     }),
                 ));
                 return;
@@ -246,6 +439,9 @@ fn shard_thread<T, R, C, O, Build, Fin>(
             // Coordinator dropped the command channel (build error on a
             // sibling shard): exit without finishing.
             Err(_) => {
+                if cfg.profiled {
+                    let _ = profile::take();
+                }
                 uninstall(&sink);
                 return;
             }
@@ -253,14 +449,24 @@ fn shard_thread<T, R, C, O, Build, Fin>(
     }
 }
 
-type CoordResult<O> =
-    Result<(Vec<O>, Instant, bool, QueueProfile, Vec<Vec<TraceRecord>>), TopologyError>;
+type CoordResult<O> = Result<
+    (
+        Vec<O>,
+        Instant,
+        bool,
+        QueueProfile,
+        Vec<Vec<TraceRecord>>,
+        ShardProfile,
+        Vec<SuperstepSpan>,
+    ),
+    TopologyError,
+>;
 
 /// The superstep loop. Runs on the caller's thread inside the scope.
 fn coordinate<F: Send, O: Send>(
     n: usize,
     deadline: Instant,
-    inbound_cuts: &[Vec<(usize, Duration)>],
+    inbound_cuts: &[Vec<(usize, Duration, u64)>],
     route: &[(usize, usize)],
     cmd_txs: Vec<mpsc::Sender<Cmd<F>>>,
     up_rx: mpsc::Receiver<Up<F, O>>,
@@ -304,6 +510,21 @@ fn coordinate<F: Send, O: Send>(
         .1
     };
 
+    // Superstep accounting: every counter below is a pure function of
+    // the grant sequence, which the conservative protocol makes
+    // deterministic; the busy/blocked wall vectors are filled from the
+    // shards' (determinism-exempt) measurements.
+    let mut acc = ShardProfile {
+        shards: n as u64,
+        busy_ns: vec![0; n],
+        blocked_ns: vec![0; n],
+        ..ShardProfile::default()
+    };
+    let mut supersteps: Vec<SuperstepSpan> = Vec::new();
+    // Index into `supersteps` of each shard's in-flight window.
+    let mut in_flight: Vec<Option<usize>> = vec![None; n];
+    let mut round: u64 = 0;
+
     let (finished_at, deadline_hit) = loop {
         // Exits, in the serial engine's priority order: failure, global
         // completion, queue exhaustion, deadline.
@@ -333,13 +554,15 @@ fn coordinate<F: Send, O: Send>(
             break (deadline, true);
         }
 
-        // Safe horizons from the neighbours' committed times; `None` =
-        // no inbound cuts, unbounded.
-        let horizons: Vec<Option<Instant>> = (0..n)
+        // Safe horizons from the neighbours' committed times, each
+        // paired with the global id of the binding inbound link (ties
+        // break to the smallest link id); `None` = no inbound cuts,
+        // unbounded.
+        let horizons: Vec<Option<(Instant, u64)>> = (0..n)
             .map(|s| {
                 inbound_cuts[s]
                     .iter()
-                    .map(|&(from, delay)| states[from].committed + delay)
+                    .map(|&(from, delay, link)| (states[from].committed + delay, link))
                     .min()
             })
             .collect();
@@ -352,7 +575,7 @@ fn coordinate<F: Send, O: Send>(
             let term = match st.done_since {
                 Some(d) => Some(d),
                 None => {
-                    let mut t: Option<Instant> = horizons[s];
+                    let mut t: Option<Instant> = horizons[s].map(|(h, _)| h);
                     let mut cap = |c: Option<Instant>| {
                         t = match (t, c) {
                             (Some(a), Some(b)) => Some(a.min(b)),
@@ -378,7 +601,7 @@ fn coordinate<F: Send, O: Send>(
         for (s, st) in states.iter_mut().enumerate() {
             let mut grant = deadline;
             if n > 1 {
-                if let Some(h) = horizons[s] {
+                if let Some((h, _)) = horizons[s] {
                     grant = grant.min(h);
                 }
                 if let Some(lb) = lb {
@@ -396,6 +619,35 @@ fn coordinate<F: Send, O: Send>(
                     a.sort_by_key(|x| (x.at, x.link, x.seq));
                     a
                 };
+                // The critical cut: the inbound link whose horizon is
+                // the binding constraint on this grant.
+                let cut = (n > 1)
+                    .then_some(horizons[s])
+                    .flatten()
+                    .filter(|&(h, _)| h == grant);
+                acc.windows += 1;
+                acc.inbound += arrivals.len() as u64;
+                acc.granted_ns += (grant - st.committed).as_nanos();
+                if n > 1 {
+                    if let Some((h, _)) = horizons[s] {
+                        if h > st.committed {
+                            acc.available_ns += (h - st.committed).as_nanos();
+                        }
+                    }
+                }
+                if let Some((_, link)) = cut {
+                    *acc.critical_cuts.entry(link).or_insert(0) += 1;
+                }
+                in_flight[s] = Some(supersteps.len());
+                supersteps.push(SuperstepSpan {
+                    round,
+                    shard: s as u64,
+                    grant_ns: grant.as_nanos(),
+                    cut_bound: cut.is_some(),
+                    critical_link: cut.map(|(_, l)| l).unwrap_or(0),
+                    inbound: arrivals.len() as u64,
+                    ..SuperstepSpan::default()
+                });
                 cmd_txs[s]
                     .send(Cmd::Window {
                         grant,
@@ -407,10 +659,25 @@ fn coordinate<F: Send, O: Send>(
             }
         }
         assert!(awaiting > 0, "conservative grant loop must make progress");
+        acc.supersteps += 1;
+        round += 1;
 
         for _ in 0..awaiting {
             match up_rx.recv().expect("shard thread alive") {
-                Up::Window(s, summary) => {
+                Up::Window(s, summary, t0_ns, busy_ns) => {
+                    let idx = in_flight[s].take().expect("reply matches a granted window");
+                    let sp = &mut supersteps[idx];
+                    sp.events = summary.events;
+                    sp.outbound = summary.outbound.len() as u64;
+                    sp.queue_depth = summary.queue_depth;
+                    sp.t0_ns = t0_ns;
+                    sp.busy_ns = busy_ns;
+                    acc.events += summary.events;
+                    acc.outbound += summary.outbound.len() as u64;
+                    if summary.events == 0 {
+                        acc.null_windows += 1;
+                    }
+                    acc.busy_ns[s] += busy_ns;
                     let outbound = {
                         let st = &mut states[s];
                         st.committed = summary.committed;
@@ -444,6 +711,12 @@ fn coordinate<F: Send, O: Send>(
         match up_rx.recv().expect("shard thread alive") {
             Up::Done(s, done) => {
                 queue.absorb(&done.queue);
+                acc.blocked_ns[s] = done.blocked_ns;
+                if let Some(report) = &done.profile {
+                    // Runs on the caller's thread: fold the shard's
+                    // span tree into the profiled run's report.
+                    profile::absorb(report);
+                }
                 outputs[s] = Some(done.out);
                 records[s] = done.records;
             }
@@ -454,7 +727,15 @@ fn coordinate<F: Send, O: Send>(
         .into_iter()
         .map(|o| o.expect("every shard reported Done"))
         .collect();
-    Ok((outputs, finished_at, deadline_hit, queue, records))
+    Ok((
+        outputs,
+        finished_at,
+        deadline_hit,
+        queue,
+        records,
+        acc,
+        supersteps,
+    ))
 }
 
 #[cfg(test)]
@@ -589,9 +870,17 @@ mod tests {
         t
     }
 
+    type ChainResult = (Instant, Instant, bool, u64, Vec<u64>);
+
     /// Run an `hops`-hop forward-only echo chain (hop i = global link i)
     /// split across `shards` shards; `n` SDUs batch-pushed at t = 0.
-    fn run_chain(hops: usize, shards: usize, n: u64) -> (Instant, Instant, bool, u64, Vec<u64>) {
+    /// Returns the deterministic outcome tuple plus the superstep
+    /// accounting and raw spans.
+    fn run_chain(
+        hops: usize,
+        shards: usize,
+        n: u64,
+    ) -> (ChainResult, ShardProfile, Vec<SuperstepSpan>) {
         let topo = chain_topo(hops);
         let part = Partition::contiguous(hops + 1, shards);
         let delays = vec![DelayModel::Fixed(Duration::from_millis(1)); hops];
@@ -698,23 +987,152 @@ mod tests {
             .max()
             .expect("at least one shard");
         let sent: Vec<u64> = out.outputs.iter().flat_map(|(_, _, s)| s.clone()).collect();
-        (out.finished_at, last_at, out.deadline_hit, delivered, sent)
+        (
+            (out.finished_at, last_at, out.deadline_hit, delivered, sent),
+            out.shard,
+            out.supersteps,
+        )
+    }
+
+    /// Zero a span's determinism-exempt wall fields.
+    fn strip_wall(mut sp: SuperstepSpan) -> SuperstepSpan {
+        sp.t0_ns = 0;
+        sp.busy_ns = 0;
+        sp
     }
 
     #[test]
     fn echo_chain_identical_at_every_shard_count() {
         let hops = 4;
         let n = 9;
-        let serial = run_chain(hops, 1, n);
+        let (serial, serial_profile, _) = run_chain(hops, 1, n);
         for shards in 2..=4 {
-            let sharded = run_chain(hops, shards, n);
+            let (sharded, profile, _) = run_chain(hops, shards, n);
             assert_eq!(serial, sharded, "shards={shards} diverged");
+            assert_eq!(
+                profile.events, serial_profile.events,
+                "shards={shards}: event count must be shard-count-invariant"
+            );
         }
         let (finished_at, last_at, deadline_hit, delivered, sent) = serial;
         assert_eq!(delivered, n, "all SDUs delivered");
         assert_eq!(sent, vec![n; hops], "every hop forwarded every frame");
         assert!(!deadline_hit);
         assert_eq!(finished_at, last_at, "run completes at the last delivery");
+    }
+
+    #[test]
+    fn single_shard_profile_is_degenerate() {
+        let (hops, n) = (4, 9);
+        let (_, profile, supersteps) = run_chain(hops, 1, n);
+        assert_eq!(profile.shards, 1);
+        assert_eq!(
+            profile.supersteps, 1,
+            "one window covers the whole serial run"
+        );
+        assert_eq!(profile.windows, 1);
+        assert_eq!(profile.efficiency(), 1.0, "single shard is exactly 1.0");
+        assert_eq!(profile.imbalance(), 1.0);
+        assert_eq!(profile.lookahead_utilization(), 1.0);
+        assert_eq!(profile.available_ns, 0, "no horizon without cuts");
+        assert!(profile.critical_cuts.is_empty());
+        assert_eq!(
+            profile.events,
+            n * (hops as u64 + 1),
+            "one push plus one arrival per hop per SDU"
+        );
+        assert_eq!(supersteps.len(), 1);
+        assert!(!supersteps[0].cut_bound);
+    }
+
+    #[test]
+    fn superstep_accounting_deterministic_across_runs() {
+        let (out_a, prof_a, spans_a) = run_chain(4, 3, 9);
+        let (out_b, prof_b, spans_b) = run_chain(4, 3, 9);
+        assert_eq!(out_a, out_b);
+        let strip = |sp: Vec<SuperstepSpan>| -> Vec<SuperstepSpan> {
+            sp.into_iter().map(strip_wall).collect()
+        };
+        assert_eq!(
+            strip(spans_a),
+            strip(spans_b),
+            "grant sequence, critical cuts and per-window counts are deterministic"
+        );
+        for p in [&prof_a, &prof_b] {
+            assert!(p.windows >= p.supersteps);
+            assert!(p.granted_ns <= p.available_ns + p.granted_ns);
+            assert_eq!(p.busy_ns.len(), 3);
+            assert_eq!(p.blocked_ns.len(), 3);
+        }
+        assert_eq!(
+            (
+                prof_a.supersteps,
+                prof_a.windows,
+                prof_a.null_windows,
+                prof_a.events,
+                prof_a.inbound,
+                prof_a.outbound,
+                prof_a.granted_ns,
+                prof_a.available_ns,
+                &prof_a.critical_cuts,
+            ),
+            (
+                prof_b.supersteps,
+                prof_b.windows,
+                prof_b.null_windows,
+                prof_b.events,
+                prof_b.inbound,
+                prof_b.outbound,
+                prof_b.granted_ns,
+                prof_b.available_ns,
+                &prof_b.critical_cuts,
+            )
+        );
+        // Multi-shard runs must see the cut horizons bind at least once,
+        // and every critical link must be a real cut link.
+        assert!(!prof_a.critical_cuts.is_empty());
+        for &link in prof_a.critical_cuts.keys() {
+            assert!(link < 4, "critical link {link} is not a chain hop");
+        }
+    }
+
+    #[test]
+    fn shard_profile_absorb_sums_and_merges() {
+        let (_, mut a, _) = run_chain(4, 2, 5);
+        let (_, b, _) = run_chain(4, 3, 5);
+        let expected_events = a.events + b.events;
+        let expected_windows = a.windows + b.windows;
+        let mut cuts = a.critical_cuts.clone();
+        for (&l, &c) in &b.critical_cuts {
+            *cuts.entry(l).or_insert(0) += c;
+        }
+        a.absorb(&b);
+        assert_eq!(a.shards, 3, "max of absorbed shard counts");
+        assert_eq!(a.events, expected_events);
+        assert_eq!(a.windows, expected_windows);
+        assert_eq!(a.critical_cuts, cuts);
+        assert_eq!(a.busy_ns.len(), 3, "wall vectors grow to the larger run");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig { cases: 8, ..Default::default() })]
+
+        /// Conservative windows must process exactly the serial event
+        /// set: Σ per-superstep events across shards equals the serial
+        /// engine's count for the same workload — analytically
+        /// `n · (hops + 1)` for the echo chain.
+        #[test]
+        fn event_totals_invariant_across_shard_counts(
+            hops in 2usize..6,
+            shards in 2usize..5,
+            n in 1u64..20,
+        ) {
+            let shards = shards.min(hops + 1);
+            let (_, serial, _) = run_chain(hops, 1, n);
+            let (_, sharded, _) = run_chain(hops, shards, n);
+            proptest::prop_assert_eq!(serial.events, n * (hops as u64 + 1));
+            proptest::prop_assert_eq!(sharded.events, serial.events);
+        }
     }
 
     #[test]

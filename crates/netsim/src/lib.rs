@@ -47,7 +47,7 @@ pub mod traffic;
 
 pub use channel::{ErrorProcess, GeState, GilbertElliott, Lossless, UniformBer};
 pub use collect::Collect;
-pub use coordinator::{run_sharded, ShardedOutcome};
+pub use coordinator::{run_sharded, ShardProfile, ShardedOutcome};
 pub use driver::Driver;
 pub use endpoint::{FrameMeta, RxEndpoint, TxEndpoint};
 pub use engine::{Outcome, Sim, SimBuilder, SimEvent};

@@ -90,8 +90,10 @@ impl Partition {
     /// conservative lookahead the coordinator grants windows by.
     ///
     /// Rejected with one precise message each: wrong assignment length,
-    /// out-of-range shard indices, empty shards, and cut links whose
-    /// delay is zero or time-varying.
+    /// out-of-range shard indices, empty shards, cut links whose delay
+    /// is zero or time-varying, and multi-shard partitions with no
+    /// cross-shard links at all (no cuts means no lookahead to grant
+    /// windows by).
     pub fn plan(&self, topo: &Topology, delays: &[DelayModel]) -> Result<CutPlan, TopologyError> {
         let mut errors = Vec::new();
         let nodes = topo.nodes();
@@ -150,6 +152,18 @@ impl Partition {
                     )),
                 }
             }
+        }
+        if errors.is_empty() && self.n_shards > 1 && cuts.is_empty() {
+            // A multi-shard partition with no cross-shard links means
+            // the shards never exchange anything and every horizon is
+            // infinite — the "parallelism" is really independent runs.
+            // Reject it so a miswired partition fails loudly instead of
+            // silently degenerating.
+            errors.push(format!(
+                "partition has {} shards but no cross-shard links; \
+                 conservative windows need at least one cut",
+                self.n_shards
+            ));
         }
         if !errors.is_empty() {
             return Err(TopologyError(errors));
@@ -542,6 +556,7 @@ where
             last_event_at: Instant::ZERO,
             done_since: None,
             failed_at: None,
+            events: 0,
             round: Vec::new(),
             next_round: Vec::new(),
         })
@@ -583,6 +598,13 @@ pub struct WindowSummary<F> {
     pub failed_at: Option<Instant>,
     /// Most recent locally processed event instant.
     pub last_event_at: Instant,
+    /// Events processed this window: pushes and arrivals only. Wakes
+    /// are engine bookkeeping whose count varies with the window
+    /// schedule, so excluding them keeps the sum over shards invariant
+    /// across shard counts.
+    pub events: u64,
+    /// Events still pending on the shard queue at window end.
+    pub queue_depth: u64,
     /// Frames that crossed outbound cut links this window, sorted by
     /// `(at, link, seq)`.
     pub outbound: Vec<Inbound<F>>,
@@ -609,6 +631,9 @@ where
     last_event_at: Instant,
     done_since: Option<Instant>,
     failed_at: Option<Instant>,
+    /// Cumulative pushes + arrivals dispatched (wakes excluded);
+    /// windows report the per-window delta.
+    events: u64,
     /// Scratch buffers for canonical same-instant dispatch.
     round: Vec<ShardEvent<T::Frame>>,
     next_round: Vec<ShardEvent<T::Frame>>,
@@ -693,6 +718,7 @@ where
     pub fn run_window(&mut self, grant: Instant, stop_on_done: bool) -> WindowSummary<T::Frame> {
         let mut outbound: Vec<Inbound<T::Frame>> = Vec::new();
         let mut committed = grant;
+        let events_before = self.events;
         while let Some(at) = self.q.next_instant() {
             if at > grant {
                 break;
@@ -726,6 +752,8 @@ where
             done_since: self.done_since,
             failed_at: self.failed_at,
             last_event_at: self.last_event_at,
+            events: self.events - events_before,
+            queue_depth: self.q.len() as u64,
             outbound,
         }
     }
@@ -757,6 +785,7 @@ where
     fn dispatch(&mut self, now: Instant, ev: ShardEvent<T::Frame>) {
         match ev {
             ShardEvent::Push { source, id } => {
+                self.events += 1;
                 let src = &mut self.sources[source];
                 if let Some(col) = src.col {
                     self.collectors[col.0].on_push(now, id);
@@ -769,27 +798,30 @@ where
             }
             ShardEvent::Arrive {
                 link, frame, clean, ..
-            } => match self.links[link].listeners.as_slice() {
-                [ep] => match *ep {
-                    EndpointId::Tx(t) => self.txs[t.0].handle_frame(now, frame, clean),
-                    EndpointId::Rx(r) => self.rxs[r.0].handle_frame(now, frame, clean),
-                },
-                listeners => {
-                    let last = listeners.len().saturating_sub(1);
-                    let mut frame = Some(frame);
-                    for (k, ep) in listeners.iter().enumerate() {
-                        let f = if k == last {
-                            frame.take().expect("frame consumed once")
-                        } else {
-                            frame.as_ref().expect("frame present").clone()
-                        };
-                        match *ep {
-                            EndpointId::Tx(t) => self.txs[t.0].handle_frame(now, f, clean),
-                            EndpointId::Rx(r) => self.rxs[r.0].handle_frame(now, f, clean),
+            } => {
+                self.events += 1;
+                match self.links[link].listeners.as_slice() {
+                    [ep] => match *ep {
+                        EndpointId::Tx(t) => self.txs[t.0].handle_frame(now, frame, clean),
+                        EndpointId::Rx(r) => self.rxs[r.0].handle_frame(now, frame, clean),
+                    },
+                    listeners => {
+                        let last = listeners.len().saturating_sub(1);
+                        let mut frame = Some(frame);
+                        for (k, ep) in listeners.iter().enumerate() {
+                            let f = if k == last {
+                                frame.take().expect("frame consumed once")
+                            } else {
+                                frame.as_ref().expect("frame present").clone()
+                            };
+                            match *ep {
+                                EndpointId::Tx(t) => self.txs[t.0].handle_frame(now, f, clean),
+                                EndpointId::Rx(r) => self.rxs[r.0].handle_frame(now, f, clean),
+                            }
                         }
                     }
                 }
-            },
+            }
             ShardEvent::Wake => {
                 if self.wake.is_some_and(|(t, _)| t <= now) {
                     self.wake = None;
@@ -1055,6 +1087,22 @@ mod tests {
         assert!(Partition::explicit(vec![0, 0, 1], 2)
             .plan(&topo, &delays)
             .is_ok());
+    }
+
+    #[test]
+    fn plan_rejects_multi_shard_partition_without_cuts() {
+        // Two disconnected nodes: a 2-shard split has no cross-shard
+        // links, so there is no lookahead to grant windows by.
+        let mut topo = Topology::default();
+        topo.roles.push(NodeRole::Source);
+        topo.roles.push(NodeRole::Sink);
+        let err = Partition::explicit(vec![0, 1], 2)
+            .plan(&topo, &[])
+            .expect_err("no cross-shard links");
+        assert!(err.to_string().contains("no cross-shard links"), "{err}");
+        // The same topology in one shard is fine: single-shard runs
+        // never need cuts.
+        assert!(Partition::explicit(vec![0, 0], 1).plan(&topo, &[]).is_ok());
     }
 
     #[test]

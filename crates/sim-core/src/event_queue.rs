@@ -363,6 +363,7 @@ impl<E> EventQueue<E> {
     /// are dropped on the way, so the answer is exact, not a stale
     /// lower bound.
     pub fn next_instant(&mut self) -> Option<Instant> {
+        let _span = self.prof.span("queue.next_instant");
         self.drop_dead();
         self.heap.peek().map(|e| e.at)
     }

@@ -1,0 +1,278 @@
+//! Perfetto-loadable timeline export for the sharded runtime.
+//!
+//! The conservative coordinator records one [`SuperstepSpan`] per
+//! granted window; this module renders a collection of them as Chrome
+//! trace-event JSON (the `traceEvents` array format Perfetto and
+//! `chrome://tracing` load natively), tagged with the
+//! [`TIMELINE_SCHEMA`] marker so tooling can validate the document.
+//!
+//! Layout: one *process* (pid) per [`TimelineGroup`] (an experiment
+//! run), one *thread* (tid) per shard. Each granted window becomes a
+//! `ph:"X"` duration span on its shard's track, and three `ph:"C"`
+//! counter series (`events`, `queue_depth`, `grant_horizon_s`) are
+//! emitted alongside so event rate, backlog and the grant front are
+//! visible as graphs above the tracks.
+//!
+//! Determinism contract: span/counter *ordering* and every `args`
+//! member are pure functions of the simulation (byte-identical across
+//! repeated runs at the same shard count); only the `ts`/`dur` members
+//! carry wall-clock placement and are determinism-exempt, mirroring the
+//! `perf`/`profile` report blocks. An offline replay (no wall clock)
+//! uses synthetic placement — see [`timeline_doc`].
+
+use crate::json::Json;
+
+/// Schema marker carried in the document's top-level `"schema"` member.
+pub const TIMELINE_SCHEMA: &str = "lams-dlc.timeline/1";
+
+/// One granted window of one shard within a coordinator superstep —
+/// the unit of the sharded runtime's wall-clock attribution.
+///
+/// All fields except `t0_ns`/`busy_ns` are deterministic (identical
+/// across repeated runs at the same shard count); the two wall fields
+/// are exempt and zero in offline replays.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SuperstepSpan {
+    /// Coordinator round index (0-based).
+    pub round: u64,
+    /// Shard the window was granted to.
+    pub shard: u64,
+    /// Granted horizon `G_s` in simulated nanoseconds.
+    pub grant_ns: u64,
+    /// True when an inbound cut's `C_sender + delay` bound the grant.
+    pub cut_bound: bool,
+    /// Global id of the binding cut link (0 when `cut_bound` is false).
+    pub critical_link: u64,
+    /// Events processed in the window (pushes + arrivals, no wakes).
+    pub events: u64,
+    /// Cross-shard arrivals injected at the start of the window.
+    pub inbound: u64,
+    /// Frames exported across outbound cut links during the window.
+    pub outbound: u64,
+    /// Events still pending on the shard queue at window end.
+    pub queue_depth: u64,
+    /// Window start, wall-clock nanoseconds since the run epoch
+    /// (determinism-exempt; 0 in offline replays).
+    pub t0_ns: u64,
+    /// Busy wall-clock nanoseconds spent inside the window
+    /// (determinism-exempt; 0 in offline replays).
+    pub busy_ns: u64,
+}
+
+/// One Perfetto process worth of spans: an experiment run's supersteps.
+#[derive(Clone, Debug, Default)]
+pub struct TimelineGroup {
+    /// Process label shown in the UI (e.g. `"E18 run 0"`).
+    pub label: String,
+    /// The run's granted windows, in coordinator emission order.
+    pub spans: Vec<SuperstepSpan>,
+}
+
+/// Render timeline groups as a Chrome trace-event document.
+///
+/// When every span carries zero wall timing (an offline `trace-tools
+/// timeline` replay), placement is synthesized deterministically — per
+/// track, each span starts where the previous one ended and lasts
+/// `events + 1` µs — so the document still loads with readable
+/// proportions. Live exports place spans at their measured wall offsets
+/// (integer microseconds; flooring preserves per-track non-overlap
+/// exactly because windows on one shard thread are sequential).
+pub fn timeline_doc(groups: &[TimelineGroup]) -> Json {
+    let synthetic = groups
+        .iter()
+        .flat_map(|g| g.spans.iter())
+        .all(|s| s.t0_ns == 0 && s.busy_ns == 0);
+    let mut events: Vec<Json> = Vec::new();
+    for (gi, group) in groups.iter().enumerate() {
+        let pid = (gi + 1) as u64;
+        events.push(Json::obj([
+            ("name", Json::from("process_name")),
+            ("ph", "M".into()),
+            ("pid", pid.into()),
+            (
+                "args",
+                Json::obj([("name", Json::from(group.label.as_str()))]),
+            ),
+        ]));
+        let shards = group.spans.iter().map(|s| s.shard + 1).max().unwrap_or(0);
+        for shard in 0..shards {
+            events.push(Json::obj([
+                ("name", Json::from("thread_name")),
+                ("ph", "M".into()),
+                ("pid", pid.into()),
+                ("tid", (shard + 1).into()),
+                (
+                    "args",
+                    Json::obj([("name", Json::from(format!("shard {shard}")))]),
+                ),
+            ]));
+        }
+        // Deterministic emission order: (round, shard), regardless of
+        // which shard's window reply reached the coordinator first.
+        let mut spans: Vec<&SuperstepSpan> = group.spans.iter().collect();
+        spans.sort_by_key(|s| (s.round, s.shard));
+        let mut cursor = vec![0u64; shards as usize];
+        for s in spans {
+            let (ts, dur) = if synthetic {
+                let dur = s.events + 1;
+                let ts = cursor[s.shard as usize];
+                cursor[s.shard as usize] = ts + dur;
+                (ts, dur)
+            } else {
+                (s.t0_ns / 1_000, s.busy_ns / 1_000)
+            };
+            let tid = s.shard + 1;
+            events.push(Json::obj([
+                ("name", Json::from("superstep")),
+                ("ph", "X".into()),
+                ("pid", pid.into()),
+                ("tid", tid.into()),
+                ("ts", ts.into()),
+                ("dur", dur.into()),
+                (
+                    "args",
+                    Json::obj([
+                        ("round", Json::from(s.round)),
+                        ("shard", s.shard.into()),
+                        ("grant_ns", s.grant_ns.into()),
+                        ("cut_bound", s.cut_bound.into()),
+                        ("critical_link", s.critical_link.into()),
+                        ("events", s.events.into()),
+                        ("inbound", s.inbound.into()),
+                        ("outbound", s.outbound.into()),
+                        ("queue_depth", s.queue_depth.into()),
+                    ]),
+                ),
+            ]));
+            let series = format!("shard{}", s.shard);
+            for (name, value) in [
+                ("events", Json::from(s.events)),
+                ("queue_depth", s.queue_depth.into()),
+                ("grant_horizon_s", (s.grant_ns as f64 / 1e9).into()),
+            ] {
+                events.push(Json::obj([
+                    ("name", Json::from(name)),
+                    ("ph", "C".into()),
+                    ("pid", pid.into()),
+                    ("ts", ts.into()),
+                    ("args", Json::obj([(series.as_str(), value)])),
+                ]));
+            }
+        }
+    }
+    Json::obj([
+        ("schema", Json::from(TIMELINE_SCHEMA)),
+        ("displayTimeUnit", "ms".into()),
+        ("traceEvents", Json::Arr(events)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(round: u64, shard: u64, events: u64, wall: bool) -> SuperstepSpan {
+        SuperstepSpan {
+            round,
+            shard,
+            grant_ns: (round + 1) * 1_000_000,
+            cut_bound: shard == 1,
+            critical_link: if shard == 1 { 3 } else { 0 },
+            events,
+            inbound: shard,
+            outbound: 1,
+            queue_depth: 2,
+            t0_ns: if wall {
+                round * 10_000 + shard * 500
+            } else {
+                0
+            },
+            busy_ns: if wall { 4_000 } else { 0 },
+        }
+    }
+
+    fn doc(wall: bool) -> Json {
+        timeline_doc(&[TimelineGroup {
+            label: "E18 run 0".into(),
+            spans: vec![
+                span(0, 0, 5, wall),
+                span(0, 1, 3, wall),
+                span(1, 0, 7, wall),
+            ],
+        }])
+    }
+
+    #[test]
+    fn doc_carries_schema_and_tracks() {
+        let d = doc(true);
+        assert_eq!(
+            d.get("schema").and_then(Json::as_str),
+            Some(TIMELINE_SCHEMA)
+        );
+        let events = d.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert_eq!(
+            names.iter().filter(|n| **n == "process_name").count(),
+            1,
+            "one process"
+        );
+        assert_eq!(
+            names.iter().filter(|n| **n == "thread_name").count(),
+            2,
+            "one track per shard"
+        );
+        assert_eq!(names.iter().filter(|n| **n == "superstep").count(), 3);
+        assert_eq!(names.iter().filter(|n| **n == "grant_horizon_s").count(), 3);
+    }
+
+    #[test]
+    fn spans_do_not_overlap_per_track() {
+        for wall in [false, true] {
+            let d = doc(wall);
+            let events = d.get("traceEvents").and_then(Json::as_arr).unwrap();
+            let mut last_end: std::collections::BTreeMap<(u64, u64), u64> = Default::default();
+            for e in events {
+                if e.get("ph").and_then(Json::as_str) != Some("X") {
+                    continue;
+                }
+                let key = (
+                    e.get("pid").and_then(Json::as_u64).unwrap(),
+                    e.get("tid").and_then(Json::as_u64).unwrap(),
+                );
+                let ts = e.get("ts").and_then(Json::as_u64).unwrap();
+                let dur = e.get("dur").and_then(Json::as_u64).unwrap();
+                if let Some(end) = last_end.get(&key) {
+                    assert!(ts >= *end, "wall={wall}: span at {ts} overlaps {end}");
+                }
+                last_end.insert(key, ts + dur);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_fields_identical_across_placements() {
+        // Strip ts/dur (the only wall-bearing members) and the synthetic
+        // and wall documents must agree byte for byte.
+        let strip = |d: &Json| {
+            let events = d.get("traceEvents").and_then(Json::as_arr).unwrap();
+            events
+                .iter()
+                .map(|e| match e {
+                    Json::Obj(members) => Json::Obj(
+                        members
+                            .iter()
+                            .filter(|(k, _)| k != "ts" && k != "dur")
+                            .cloned()
+                            .collect(),
+                    ),
+                    other => other.clone(),
+                })
+                .map(|e| e.render())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&doc(false)), strip(&doc(true)));
+    }
+}

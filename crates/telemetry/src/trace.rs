@@ -129,6 +129,27 @@ fn event_fields(event: &TraceEvent) -> Vec<(&'static str, Json)> {
         TraceEvent::TraceHeader { clock_domain } => {
             vec![("clock_domain", clock_domain.into())]
         }
+        TraceEvent::Superstep {
+            round,
+            shard,
+            grant_ns,
+            cut_bound,
+            critical_link,
+            events,
+            inbound,
+            outbound,
+            queue_depth,
+        } => vec![
+            ("round", round.into()),
+            ("shard", shard.into()),
+            ("grant_ns", grant_ns.into()),
+            ("cut_bound", cut_bound.into()),
+            ("critical_link", critical_link.into()),
+            ("events", events.into()),
+            ("inbound", inbound.into()),
+            ("outbound", outbound.into()),
+            ("queue_depth", queue_depth.into()),
+        ],
     }
 }
 
@@ -320,6 +341,17 @@ impl TraceRecord {
             "trace_header" => TraceEvent::TraceHeader {
                 clock_domain: word("clock_domain")?,
             },
+            "superstep" => TraceEvent::Superstep {
+                round: num("round")?,
+                shard: num("shard")?,
+                grant_ns: num("grant_ns")?,
+                cut_bound: flag("cut_bound")?,
+                critical_link: num("critical_link")?,
+                events: num("events")?,
+                inbound: num("inbound")?,
+                outbound: num("outbound")?,
+                queue_depth: num("queue_depth")?,
+            },
             other => return Err(format!("unknown event kind {other:?}")),
         };
         Ok(TraceRecord {
@@ -349,6 +381,7 @@ const KNOWN_LABELS: &[&str] = &[
     "rx",
     "channel",
     "collector",
+    "coord",
     "sim",
     "runner",
     "host",
@@ -998,6 +1031,17 @@ mod tests {
             },
             TraceEvent::TraceHeader {
                 clock_domain: "wall",
+            },
+            TraceEvent::Superstep {
+                round: 17,
+                shard: 2,
+                grant_ns: 1_002_000_000,
+                cut_bound: true,
+                critical_link: 5,
+                events: 143,
+                inbound: 7,
+                outbound: 9,
+                queue_depth: 21,
             },
         ];
         for (i, event) in events.into_iter().enumerate() {

@@ -130,8 +130,9 @@ def median_experiments(reps):
 
 
 def median_shards(reps):
-    """Median the wall-clock fields of each shard-sweep point; the shard
-    count and popped totals are counted fields and must agree."""
+    """Median the wall-clock fields of each shard-sweep point (including
+    the efficiency/imbalance ratios, which read the wall clock); the
+    shard count and popped totals are counted fields and must agree."""
     merged = []
     for i, first in enumerate(reps[0].get("shards", [])):
         rows = [r["shards"][i] for r in reps]
@@ -139,13 +140,19 @@ def median_shards(reps):
             if row["shards"] != first["shards"] or row["popped"] != first["popped"]:
                 fail(f"shard sweep point {i}: counted fields differ across "
                      f"reps — the workload is not deterministic")
-        merged.append({
+        point = {
             "shards": first["shards"],
             "wall_secs": statistics.median(row["wall_secs"] for row in rows),
             "events_per_sec": statistics.median(
                 row["events_per_sec"] for row in rows),
             "popped": first["popped"],
-        })
+        }
+        if "efficiency" in first:
+            point["efficiency"] = statistics.median(
+                row["efficiency"] for row in rows)
+            point["imbalance"] = statistics.median(
+                row["imbalance"] for row in rows)
+        merged.append(point)
     return merged
 
 
@@ -204,8 +211,11 @@ def load_trajectory(root):
 
 def print_trajectory(docs, as_json):
     """Per-PR events/s trajectory table (or JSON) over the committed
-    baselines, with the delta against the previous baseline."""
+    baselines, with the delta against the previous baseline, plus the
+    shard-scaling block of every baseline that recorded one
+    (BENCH_0006.json onward)."""
     rows = []
+    shard_rows = []
     prev = None
     for name, doc in docs:
         total = doc["total"]
@@ -220,9 +230,20 @@ def print_trajectory(docs, as_json):
             "delta_pct": delta,
         })
         prev = eps
+        for point in doc.get("shards") or []:
+            shard_rows.append({
+                "baseline": name,
+                "shards": point["shards"],
+                "wall_secs": point["wall_secs"],
+                "events_per_sec": point["events_per_sec"],
+                "popped": point["popped"],
+                "efficiency": point.get("efficiency"),
+                "imbalance": point.get("imbalance"),
+            })
     if as_json:
         print(json.dumps({"schema": "lams-dlc.bench-trajectory/1",
-                          "trajectory": rows}, indent=2))
+                          "trajectory": rows,
+                          "shards": shard_rows}, indent=2))
         return
     print(f"{'baseline':<20} {'runs':>5} {'popped':>12} "
           f"{'wall s':>8} {'events/s':>12} {'delta':>8}")
@@ -232,6 +253,19 @@ def print_trajectory(docs, as_json):
         print(f"{row['baseline']:<20} {row['runs']:>5} {row['popped']:>12} "
               f"{row['wall_secs']:>8.3f} {row['events_per_sec']:>12.0f} "
               f"{delta}")
+    if not shard_rows:
+        return
+    print()
+    print(f"{'shard scaling':<20} {'shards':>6} {'popped':>12} "
+          f"{'wall s':>8} {'events/s':>12} {'effic':>7} {'imbal':>7}")
+    for row in shard_rows:
+        eff = ("     --" if row["efficiency"] is None
+               else f"{row['efficiency'] * 100:6.1f}%")
+        imb = ("     --" if row["imbalance"] is None
+               else f"{row['imbalance']:6.2f}x")
+        print(f"{row['baseline']:<20} {row['shards']:>6} {row['popped']:>12} "
+              f"{row['wall_secs']:>8.3f} {row['events_per_sec']:>12.0f} "
+              f"{eff} {imb}")
 
 
 def main():
